@@ -1,0 +1,122 @@
+// Experiment F1 — reproduces Figure 1: the development workflow "local
+// emulation -> HPC emulation -> QPU" with a single, unchanged program.
+//
+// One payload is built once (pulser SDK) and executed on three resources
+// selected purely by name — the --qpu switch. We report per stage: the
+// agreement with the ideal distribution, the calibration the job actually
+// saw, and the portability validator's verdict (including the drifted-QPU
+// warning that motivates revalidation at the point of execution).
+#include <cstdio>
+#include <numbers>
+
+#include "bench_util.hpp"
+#include "qpu/controller.hpp"
+#include "qrmi/direct_qpu.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "runtime/runtime.hpp"
+#include "sdk/pulser.hpp"
+
+namespace {
+using namespace qcenv;
+using namespace qcenv::bench;
+using quantum::Payload;
+using quantum::Samples;
+}  // namespace
+
+int main() {
+  print_title(
+      "F1 | Figure 1 workflow: one program, three environments, zero "
+      "source changes (switching is the --qpu resource name only)");
+
+  // --- Build the program ONCE with the pulser SDK -------------------------
+  const auto device_spec = quantum::DeviceSpec::analog_default();
+  sdk::pulser::SequenceBuilder builder(
+      quantum::AtomRegister::linear_chain(6, 6.0), device_spec);
+  (void)builder.declare_channel("global",
+                                sdk::pulser::ChannelKind::kRydbergGlobal);
+  // Adiabatic-ish sweep toward the AFM-ordered phase.
+  (void)builder.add(
+      sdk::pulser::ramp_detuning_pulse(600, 2.0 * std::numbers::pi, -6.0,
+                                       8.0, 0.0),
+      "global");
+  const Payload payload = builder.to_payload(2000).value();
+
+  // --- Stand up the three environments ------------------------------------
+  qrmi::ResourceRegistry registry;
+  registry.add("laptop-sv",
+               qrmi::LocalEmulatorQrmi::create("laptop-sv", "sv").value());
+  registry.add("hpc-mps",
+               qrmi::LocalEmulatorQrmi::create("hpc-mps", "mps:16").value());
+
+  common::ManualClock clock;
+  qpu::QpuOptions qpu_options;
+  qpu_options.time_scale = 1e9;  // compress shot pacing for the bench
+  qpu::QpuDevice device(qpu_options, &clock);
+  // Simulate eight hours of calibration drift before the production run.
+  clock.advance(8LL * 3600 * common::kSecond);
+  qpu::QpuController controller(&device, &clock);
+  registry.add("fresnel-qpu", std::make_shared<qrmi::DirectQpuQrmi>(
+                                  "fresnel-qpu", &device, &controller));
+
+  // Reference distribution: the ideal dense result.
+  runtime::RuntimeOptions ref_options;
+  ref_options.resource = "laptop-sv";
+  auto reference_rt =
+      runtime::HybridRuntime::connect_local(&registry, ref_options).value();
+  const Samples reference = reference_rt->run(payload).value();
+
+  Table table({"stage (--qpu=)", "backend", "tv_vs_ideal", "validation",
+               "warnings", "device_fidelity"});
+
+  for (const std::string resource : {"laptop-sv", "hpc-mps", "fresnel-qpu"}) {
+    runtime::RuntimeOptions options;
+    options.resource = resource;
+    options.poll_interval = common::kMillisecond;
+    auto rt = runtime::HybridRuntime::connect_local(&registry, options);
+    if (!rt.ok()) {
+      std::printf("connect failed: %s\n", rt.error().to_string().c_str());
+      return 1;
+    }
+    const auto report = rt.value()->validate(payload).value();
+    auto samples = rt.value()->run(payload);
+    if (!samples.ok()) {
+      std::printf("run failed on %s: %s\n", resource.c_str(),
+                  samples.error().to_string().c_str());
+      return 1;
+    }
+    const double tv =
+        Samples::total_variation_distance(reference, samples.value());
+    const std::string backend =
+        samples.value().metadata().at_or_null("backend").as_string();
+    table.add_row({resource, backend, fmt("%.3f", tv),
+                   report.compatible ? "compatible" : "INCOMPATIBLE",
+                   std::to_string(report.warning_count()),
+                   fmt("%.3f", report.device_fidelity)});
+  }
+  table.print();
+
+  // --- The mock mode: structural validation at widths no emulator can do --
+  print_note("\nMock validation (chi=1 product state, 100-atom register):");
+  sdk::pulser::SequenceBuilder wide_builder(
+      quantum::AtomRegister::linear_chain(100, 6.0),
+      quantum::DeviceSpec::emulator_default(256));
+  (void)wide_builder.declare_channel(
+      "global", sdk::pulser::ChannelKind::kRydbergGlobal);
+  (void)wide_builder.add(
+      sdk::pulser::constant_pulse(200, 2.0, 0.0, 0.0), "global");
+  const Payload wide = wide_builder.to_payload(20).value();
+  auto mock = qrmi::LocalEmulatorQrmi::create("mock", "mps-mock").value();
+  auto mock_run = mock->run_sync(wide);
+  std::printf("  100-atom end-to-end mock run: %s (%llu shots, %zu qubits)\n",
+              mock_run.ok() ? "OK" : mock_run.error().to_string().c_str(),
+              static_cast<unsigned long long>(
+                  mock_run.ok() ? mock_run.value().total_shots() : 0),
+              mock_run.ok() ? mock_run.value().num_qubits() : 0);
+
+  print_note(
+      "\nExpected shape: laptop-sv and hpc-mps agree to within sampling\n"
+      "noise (TV ~ few %); the drifted QPU shows a larger TV and a\n"
+      "validation warning (degraded fidelity / stale calibration) — the\n"
+      "reason the runtime revalidates at the point of execution.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment E1 — the headline claim (§3.3/§2.4): a second scheduling layer
+// after the HPC resource manager improves QPU utilization.
+//
+// One-level baseline: hybrid jobs allocate the whole QPU (GRES 10/10) along
+// with their classical nodes for their full wall time. Two-level: the
+// middleware daemon shares the QPU across concurrent jobs. We sweep the
+// offered load and report utilization, makespan and wasted classical hours.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workload/cosim.hpp"
+#include "workload/patterns.hpp"
+
+namespace {
+using namespace qcenv;
+using namespace qcenv::bench;
+using workload::CosimOptions;
+using workload::Pattern;
+using workload::QpuAccess;
+}  // namespace
+
+int main() {
+  print_title(
+      "E1 | One-level (exclusive Slurm allocation) vs two-level "
+      "(middleware daemon) scheduling — pattern B (CC-heavy SQD-style)");
+
+  Table table({"jobs", "mode", "qpu_util", "qpu_busy", "makespan",
+               "cpu_held", "cpu_useful", "wasted_cpu_h"});
+
+  for (const std::size_t count : {6u, 12u, 24u}) {
+    common::Rng rng(7);
+    workload::PatternOptions pattern_options;
+    pattern_options.count = count;
+    pattern_options.arrival_window_seconds = 120.0;
+    const auto jobs =
+        workload::generate(Pattern::kLowQcHighCc, pattern_options, rng);
+
+    CosimOptions one_level;
+    one_level.access = QpuAccess::kExclusiveSlurm;
+    CosimOptions two_level;
+    two_level.access = QpuAccess::kDaemonShared;
+    two_level.queue_policy.non_production_batch_shots = 0;
+
+    for (const auto& [mode, options] :
+         {std::pair<const char*, CosimOptions>{"one-level", one_level},
+          std::pair<const char*, CosimOptions>{"two-level", two_level}}) {
+      const auto metrics = workload::run_cosim(options, jobs);
+      const double wasted_cpu_hours =
+          (metrics.cpu_held_seconds - metrics.cpu_useful_seconds) / 3600.0;
+      table.add_row({std::to_string(count), mode,
+                     pct(metrics.qpu_utilization),
+                     secs(metrics.qpu_busy_seconds),
+                     secs(metrics.makespan_seconds),
+                     secs(metrics.cpu_held_seconds),
+                     secs(metrics.cpu_useful_seconds),
+                     fmt("%.2f h", wasted_cpu_hours)});
+    }
+  }
+  table.print();
+  print_note(
+      "\nExpected shape: identical qpu_busy (same physics work), but the\n"
+      "two-level mode packs it into a several-times shorter makespan =>\n"
+      "QPU utilization multiplies, growing with load. The cost is visible\n"
+      "too: shared-mode jobs hold classical nodes while queued on the QPU\n"
+      "(higher wasted_cpu_h) — exactly the §2.4 motivation for malleable\n"
+      "jobs, quantified in bench_malleable.");
+
+  // Small-scale timelines make the difference visible at a glance.
+  print_title("E1 (visual) | 5-job timelines, one-level vs two-level");
+  for (const auto mode :
+       {workload::QpuAccess::kExclusiveSlurm,
+        workload::QpuAccess::kDaemonShared}) {
+    common::Rng rng(3);
+    workload::PatternOptions pattern_options;
+    pattern_options.count = 5;
+    pattern_options.arrival_window_seconds = 20.0;
+    const auto jobs =
+        workload::generate(workload::Pattern::kLowQcHighCc, pattern_options,
+                           rng);
+    workload::Timeline timeline;
+    CosimOptions options;
+    options.access = mode;
+    options.queue_policy.non_production_batch_shots = 0;
+    options.timeline = &timeline;
+    (void)workload::run_cosim(options, jobs);
+    std::printf("\n[%s]\n%s",
+                mode == workload::QpuAccess::kExclusiveSlurm ? "one-level"
+                                                             : "two-level",
+                timeline.render_gantt(90).c_str());
+  }
+  return 0;
+}

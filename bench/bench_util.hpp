@@ -1,0 +1,67 @@
+// Shared table-printing helpers for the bench harnesses. Each bench prints
+// paper-style rows; EXPERIMENTS.md records the expected shapes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qcenv::bench {
+
+inline void print_title(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("%s\n", note.c_str());
+}
+
+/// Fixed-width table: first row is the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    const auto measure = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    measure(header_);
+    for (const auto& row : rows_) measure(row);
+    const auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::string rule;
+    for (const std::size_t w : widths) {
+      rule += std::string(w, '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+inline std::string pct(double fraction) { return fmt("%.1f%%", fraction * 100.0); }
+inline std::string secs(double seconds) { return fmt("%.1f s", seconds); }
+
+}  // namespace qcenv::bench

@@ -1,0 +1,87 @@
+// Domain example: adiabatic preparation of the antiferromagnetic (AFM /
+// Z2-crystal) phase on a neutral-atom chain — the canonical analog-QPU
+// workload the paper's stack exists to serve.
+//
+// Protocol: ramp the detuning from below to above resonance under constant
+// Rabi drive. Deep in the blockaded regime the ground state orders
+// antiferromagnetically. We use a 9-atom (odd) chain: with open boundaries
+// and the next-nearest-neighbour C6 tail, odd chains have a *unique*
+// crystalline ground state, so the Neel probability is a clean adiabaticity
+// metric. The same payload runs on the exact dense emulator and on
+// bond-limited MPS emulators.
+#include <cstdio>
+
+#include "qrmi/local_emulator.hpp"
+#include "qrmi/registry.hpp"
+#include "sdk/pulser.hpp"
+
+using namespace qcenv;
+
+int main() {
+  constexpr std::size_t kAtoms = 9;
+  constexpr double kOmega = 7.5;         // rad/us
+  constexpr double kDeltaStart = -9.0;   // rad/us
+  constexpr double kDeltaStop = 12.0;    // rad/us (U_nnn < delta < U_nn)
+
+  const auto device = quantum::DeviceSpec::analog_default();
+  std::printf(
+      "Z2-crystal preparation on a %zu-atom chain (spacing 6.0 um, "
+      "U_nn = %.0f rad/us, blockade radius %.1f um)\n\n",
+      kAtoms, device.c6_coefficient / std::pow(6.0, 6.0),
+      device.blockade_radius());
+
+  qrmi::ResourceRegistry registry;
+  registry.add("sv", qrmi::LocalEmulatorQrmi::create("sv", "sv").value());
+  registry.add("mps8",
+               qrmi::LocalEmulatorQrmi::create("mps8", "mps:8").value());
+  registry.add("mps2",
+               qrmi::LocalEmulatorQrmi::create("mps2", "mps:2").value());
+
+  const std::string neel_even = "101010101";
+
+  std::printf("%-12s %-10s %-10s %-10s\n", "ramp (ns)", "backend",
+              "<|m_s|>", "P(Neel)");
+  for (const quantum::DurationNsQ ramp_ns : {1000, 4000, 16000}) {
+    for (const std::string backend : {"sv", "mps8", "mps2"}) {
+      sdk::pulser::SequenceBuilder builder(
+          quantum::AtomRegister::linear_chain(kAtoms, 6.0), device);
+      (void)builder.declare_channel(
+          "global", sdk::pulser::ChannelKind::kRydbergGlobal);
+      // Rise, sweep, fall — the standard three-segment schedule.
+      (void)builder.add(
+          quantum::Pulse{quantum::Waveform::ramp(250, 0.0, kOmega),
+                         quantum::Waveform::constant(250, kDeltaStart), 0.0},
+          "global");
+      (void)builder.add(sdk::pulser::ramp_detuning_pulse(
+                            ramp_ns, kOmega, kDeltaStart, kDeltaStop, 0.0),
+                        "global");
+      (void)builder.add(
+          quantum::Pulse{quantum::Waveform::ramp(250, kOmega, 0.0),
+                         quantum::Waveform::constant(250, kDeltaStop), 0.0},
+          "global");
+      auto payload = builder.to_payload(1000);
+      if (!payload.ok()) {
+        std::fprintf(stderr, "%s\n", payload.error().to_string().c_str());
+        return 1;
+      }
+      auto resource = registry.lookup(backend).value();
+      auto samples = resource->run_sync(payload.value());
+      if (!samples.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     samples.error().to_string().c_str());
+        return 1;
+      }
+      std::printf("%-12lld %-10s %-10.3f %-10.3f\n",
+                  static_cast<long long>(ramp_ns), backend.c_str(),
+                  samples.value().mean_abs_staggered_magnetization(),
+                  samples.value().probability(neel_even));
+    }
+  }
+  std::printf(
+      "\nReading: slower ramps are more adiabatic => stronger crystalline\n"
+      "order (P(Neel) grows toward ~0.6 at 16 us on the exact emulator).\n"
+      "chi=8 tracks the dense solution; chi=2 cannot hold the entanglement\n"
+      "grown near the phase transition — the accuracy/cost dial of the\n"
+      "paper's emulator-backed development loop.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Third-party error-mitigation service (paper §1/§2.5): the runtime returns
+// per-job calibration metadata with every result; a mitigation component —
+// living entirely outside the vendor stack — uses it to invert readout
+// errors. No extra service calls, no source changes to the program.
+#include <cstdio>
+#include <numbers>
+
+#include "mitigation/readout.hpp"
+#include "qpu/controller.hpp"
+#include "qrmi/direct_qpu.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "sdk/pulser.hpp"
+
+using namespace qcenv;
+
+int main() {
+  // A QPU with deliberately poor readout.
+  common::ManualClock clock;
+  qpu::QpuOptions options;
+  options.time_scale = 1e9;
+  options.spec.calibration.readout_p01 = 0.03;
+  options.spec.calibration.readout_p10 = 0.12;
+  options.drift.dephasing_sigma = 0;  // isolate the readout channel
+  options.drift.rabi_scale_sigma = 0;
+  options.drift.detuning_offset_sigma = 0;
+  options.drift.readout_sigma = 0;
+  options.drift.fill_sigma = 0;
+  options.drift.dephasing_degradation_per_hour = 0;
+  options.spec.calibration.dephasing_rate = 0.0;
+  options.spec.calibration.fill_success = 1.0;
+  qpu::QpuDevice device(options, &clock);
+  qpu::QpuController controller(&device, &clock);
+  qrmi::DirectQpuQrmi qpu_resource("fresnel", &device, &controller);
+
+  // The program: a blockaded pi pulse on three atoms — ideally the state
+  // has exactly one excitation, so "000" should never be read out.
+  sdk::pulser::SequenceBuilder builder(
+      quantum::AtomRegister::linear_chain(3, 5.0),
+      quantum::DeviceSpec::analog_default());
+  (void)builder.declare_channel("g",
+                                sdk::pulser::ChannelKind::kRydbergGlobal);
+  const double omega = 2.0 * std::numbers::pi;
+  const double t_pi_us =
+      std::numbers::pi / (std::sqrt(3.0) * omega);  // collective enhancement
+  (void)builder.add(
+      sdk::pulser::constant_pulse(
+          static_cast<quantum::DurationNsQ>(t_pi_us * 1e3), omega, 0.0, 0.0),
+      "g");
+  const auto payload = builder.to_payload(20000).value();
+
+  // Ideal reference from the development emulator.
+  auto emulator = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  const auto ideal = emulator->run_sync(payload).value();
+
+  // Production run on the noisy QPU.
+  const auto raw = qpu_resource.run_sync(payload, common::kMillisecond).value();
+
+  // Mitigation, configured purely from the job's own metadata.
+  auto mitigator = mitigation::ReadoutMitigator::from_metadata(raw).value();
+  std::printf("per-job calibration: p01=%.3f p10=%.3f\n\n", mitigator.p01(),
+              mitigator.p10());
+  const auto mitigated = mitigator.mitigate(raw).value();
+
+  const auto tv = [&](const quantum::Samples& s) {
+    return quantum::Samples::total_variation_distance(ideal, s);
+  };
+  std::printf("%-12s %-14s %-14s %-12s\n", "", "P(no excite)",
+              "P(1 excite)", "TV vs ideal");
+  const auto p1 = [](const quantum::Samples& s) {
+    return s.probability("100") + s.probability("010") +
+           s.probability("001");
+  };
+  std::printf("%-12s %-14.3f %-14.3f %-12s\n", "ideal",
+              ideal.probability("000"), p1(ideal), "-");
+  std::printf("%-12s %-14.3f %-14.3f %-12.3f\n", "qpu raw",
+              raw.probability("000"), p1(raw), tv(raw));
+  std::printf("%-12s %-14.3f %-14.3f %-12.3f\n", "mitigated",
+              mitigated.probability("000"), p1(mitigated), tv(mitigated));
+
+  std::printf(
+      "\nThe mitigated distribution recovers the blockade physics that the\n"
+      "12%% readout decay had washed out — using only metadata the daemon\n"
+      "already ships with every job (paper: per-job metadata on qubit\n"
+      "performance assists in interpreting noisy results).\n");
+  return tv(mitigated) < tv(raw) ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Hybrid example: QAOA for MaxCut driven by the HybridExecutor with a
+// Nelder-Mead optimizer — the "balanced QC-CC" pattern of Table 1. The
+// quantum side runs through the same runtime abstraction as every other
+// example; swap the resource name and the loop runs on MPS or a QPU.
+#include <cstdio>
+#include <numbers>
+
+#include "qrmi/local_emulator.hpp"
+#include "runtime/executor.hpp"
+#include "sdk/qgate.hpp"
+#include "workload/optimizer.hpp"
+
+using namespace qcenv;
+
+namespace {
+
+// A 6-vertex ring + one chord: max cut = 6 (cut every ring edge... the
+// chord frustrates perfect cuts; best known cut below).
+const std::vector<std::pair<std::size_t, std::size_t>> kEdges = {
+    {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}};
+
+double cut_value(const std::string& bits) {
+  double cut = 0;
+  for (const auto& [a, b] : kEdges) {
+    if (bits[a] != bits[b]) cut += 1.0;
+  }
+  return cut;
+}
+
+}  // namespace
+
+int main() {
+  qrmi::ResourceRegistry registry;
+  registry.add("emu-sv",
+               qrmi::LocalEmulatorQrmi::create("emu-sv", "sv").value());
+
+  runtime::RuntimeOptions options;
+  options.resource = "emu-sv";
+  auto rt = runtime::HybridRuntime::connect_local(&registry, options).value();
+  runtime::HybridExecutor executor(rt.get());
+
+  constexpr std::size_t kLayers = 2;
+  // Parameters: [gamma_1..gamma_p, beta_1..beta_p].
+  runtime::ParametricProgram program =
+      [](const std::vector<double>& params) {
+        std::vector<double> gammas(params.begin(),
+                                   params.begin() + kLayers);
+        std::vector<double> betas(params.begin() + kLayers, params.end());
+        auto circuit = sdk::qgate::qaoa_maxcut(6, kEdges, gammas, betas);
+        return sdk::qgate::to_payload(circuit, 600, /*native_only=*/true)
+            .value();
+      };
+  runtime::CostFunction cost = [](const quantum::Samples& samples) {
+    double expectation = 0;
+    for (const auto& [bits, count] : samples.counts()) {
+      expectation += cut_value(bits) * static_cast<double>(count);
+    }
+    return -expectation / static_cast<double>(samples.total_shots());
+  };
+
+  workload::NelderMead::Options nm_options;
+  nm_options.max_evaluations = 70;
+  nm_options.initial_step = 0.4;
+  workload::NelderMead optimizer(2 * kLayers, nm_options);
+
+  std::printf("QAOA MaxCut (6 vertices, 7 edges, p=%zu) on %s\n\n", kLayers,
+              rt->resource_name().c_str());
+  auto loop = executor.optimize(program, cost, optimizer.strategy(),
+                                {0.4, 0.6, 0.8, 0.4}, 70);
+  if (!loop.ok()) {
+    std::fprintf(stderr, "loop failed: %s\n",
+                 loop.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("iterations: %zu\n", loop.value().iterations.size());
+  const auto& best = loop.value().best();
+  std::printf("best expected cut: %.3f\n", -best.cost);
+  std::printf("best params: ");
+  for (const double p : best.parameters) std::printf("%.3f ", p);
+  std::printf("\n\nmost likely cuts from the best iteration:\n");
+  std::vector<std::pair<std::uint64_t, std::string>> ranked;
+  for (const auto& [bits, count] : best.samples.counts()) {
+    ranked.emplace_back(count, bits);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (std::size_t i = 0; i < ranked.size() && i < 5; ++i) {
+    std::printf("  %s  cut=%g  p=%.2f\n", ranked[i].second.c_str(),
+                cut_value(ranked[i].second),
+                static_cast<double>(ranked[i].first) /
+                    static_cast<double>(best.samples.total_shots()));
+  }
+  // Random assignment averages 3.5; the loop should comfortably beat it.
+  std::printf("\n(random baseline: 3.5; optimum for this graph: 6)\n");
+  return -best.cost > 4.0 ? 0 : 1;
+}

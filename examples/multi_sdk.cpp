@@ -1,0 +1,90 @@
+// Multi-SDK demo (§2.3.1): the same 4-qubit GHZ experiment written in all
+// three SDK front-ends, all executing through the SAME QRMI resource — the
+// "coherent multi-SDK execution environment" the paper advocates.
+//
+// pulser has no gates, so its GHZ analogue is the collectively blockaded
+// superposition (|0000> + W-like states); we use it to show a genuinely
+// analog program flowing through the identical runtime path instead.
+#include <cstdio>
+#include <numbers>
+
+#include "qrmi/local_emulator.hpp"
+#include "sdk/kernelq.hpp"
+#include "sdk/pulser.hpp"
+#include "sdk/qgate.hpp"
+
+using namespace qcenv;
+
+namespace {
+void print_top(const quantum::Samples& samples, const char* label) {
+  std::vector<std::pair<std::uint64_t, std::string>> ranked;
+  for (const auto& [bits, count] : samples.counts()) {
+    ranked.emplace_back(count, bits);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("%-28s", label);
+  for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+    std::printf("  %s:%.2f", ranked[i].second.c_str(),
+                static_cast<double>(ranked[i].first) /
+                    static_cast<double>(samples.total_shots()));
+  }
+  std::printf("\n");
+}
+}  // namespace
+
+int main() {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  std::printf("resource: %s (%s)\n\n", resource->resource_id().c_str(),
+              resource->metadata().at_or_null("backend").as_string().c_str());
+  constexpr std::uint64_t kShots = 4000;
+
+  // --- SDK 1: qgate (Qiskit-style circuits + transpiler) -------------------
+  auto qgate_payload =
+      sdk::qgate::to_payload(sdk::qgate::ghz(4), kShots, true).value();
+  auto from_qgate = resource->run_sync(qgate_payload).value();
+
+  // --- SDK 2: kernelq (CUDA-Q-style kernels) --------------------------------
+  sdk::kernelq::Kernel kernel(4);
+  const auto& q = kernel.qubits();
+  kernel.h(q[0]).cx(q[0], q[1]).cx(q[1], q[2]).cx(q[2], q[3]);
+  auto from_kernelq = sdk::kernelq::sample(kernel, kShots, *resource).value();
+
+  // --- SDK 3: pulser (analog sequences) -------------------------------------
+  sdk::pulser::SequenceBuilder builder(
+      quantum::AtomRegister::square_lattice(2, 2, 5.0),
+      quantum::DeviceSpec::analog_default());
+  (void)builder.declare_channel("g",
+                                sdk::pulser::ChannelKind::kRydbergGlobal);
+  // Collective pi pulse on a fully blockaded 2x2 plaquette: one shared
+  // excitation, enhanced Rabi frequency sqrt(4)*Omega.
+  const double omega = 2.0 * std::numbers::pi;
+  const double t_pi_us = std::numbers::pi / (2.0 * omega);  // sqrt(4)=2
+  (void)builder.add(
+      sdk::pulser::constant_pulse(
+          static_cast<quantum::DurationNsQ>(t_pi_us * 1e3), omega, 0.0, 0.0),
+      "g");
+  auto from_pulser =
+      resource->run_sync(builder.to_payload(kShots).value()).value();
+
+  // --- Compare ---------------------------------------------------------------
+  std::printf("digital GHZ through two SDKs (identical distribution):\n");
+  print_top(from_qgate, "  qgate (transpiled to CZ)");
+  print_top(from_kernelq, "  kernelq (CX kernels)");
+  const double tv = quantum::Samples::total_variation_distance(from_qgate,
+                                                               from_kernelq);
+  std::printf("  total-variation distance: %.3f (sampling noise scale: %.3f)\n",
+              tv, 1.0 / std::sqrt(static_cast<double>(kShots)));
+
+  std::printf("\nanalog program through the same resource:\n");
+  print_top(from_pulser, "  pulser (blockaded pi)");
+  const double single_excitation =
+      from_pulser.probability("1000") + from_pulser.probability("0100") +
+      from_pulser.probability("0010") + from_pulser.probability("0001");
+  std::printf("  P(exactly one excitation) = %.3f (blockade: expect ~1)\n",
+              single_excitation);
+
+  std::printf(
+      "\nAll three SDKs lowered to the same payload format and ran through\n"
+      "one QRMI resource — no per-SDK integration on the hosting side.\n");
+  return tv < 0.1 && single_excitation > 0.9 ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Quickstart: build one analog program with the pulser SDK and run it on
+// any QRMI resource — the paper's "single configuration change with the
+// --qpu option" workflow.
+//
+//   ./quickstart                 # runs on the default local emulator
+//   ./quickstart --qpu=emu-mps   # tensor-network emulator
+//   ./quickstart --qpu=emu-mock  # chi=1 product-state mock
+//   QCENV_QPU=emu-mps ./quickstart   # same thing via environment
+#include <cstdio>
+#include <numbers>
+#include <string>
+
+#include "common/config.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "runtime/runtime.hpp"
+#include "sdk/pulser.hpp"
+
+using namespace qcenv;
+
+int main(int argc, char** argv) {
+  // --- Configuration: CLI flag > environment > default --------------------
+  common::Config config;
+  config.load_env("QCENV_");
+  config.load_env("QRMI_");
+  runtime::RuntimeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--qpu=", 0) == 0) options.resource = arg.substr(6);
+  }
+  if (options.resource.empty() && !config.contains("QCENV_QPU")) {
+    options.resource = "emu-sv";  // default development backend
+  }
+
+  // --- Resources available to this user (normally site-provided) ----------
+  qrmi::ResourceRegistry registry;
+  registry.add("emu-sv",
+               qrmi::LocalEmulatorQrmi::create("emu-sv", "sv").value());
+  registry.add("emu-mps",
+               qrmi::LocalEmulatorQrmi::create("emu-mps", "mps:16").value());
+  registry.add("emu-mock",
+               qrmi::LocalEmulatorQrmi::create("emu-mock", "mps-mock").value());
+
+  auto rt = runtime::HybridRuntime::connect_local(&registry, options, config);
+  if (!rt.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 rt.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("connected: mode=%s resource=%s\n",
+              rt.value()->mode().c_str(),
+              rt.value()->resource_name().c_str());
+
+  // --- Fetch device characteristics and build the program ------------------
+  const auto spec = rt.value()->device().value();
+  std::printf("device: %s (max %zu qubits, blockade radius %.1f um)\n",
+              spec.name.c_str(), spec.max_qubits, spec.blockade_radius());
+
+  sdk::pulser::SequenceBuilder builder(
+      quantum::AtomRegister::ring(8, 6.0), spec);
+  (void)builder.declare_channel("global",
+                                sdk::pulser::ChannelKind::kRydbergGlobal);
+  // A pi/2 rotation of every atom followed by a short interacting hold.
+  (void)builder.add(sdk::pulser::constant_pulse(
+                        250, 2.0 * std::numbers::pi, 0.0, 0.0),
+                    "global");
+  (void)builder.add(sdk::pulser::constant_pulse(300, 0.0, 2.0, 0.0),
+                    "global");
+  auto payload = builder.to_payload(1000);
+  if (!payload.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 payload.error().to_string().c_str());
+    return 1;
+  }
+
+  // --- Validate against the *current* device state, then run ---------------
+  const auto report = rt.value()->validate(payload.value()).value();
+  std::printf("%s\n", report.to_string().c_str());
+  if (!report.compatible) return 1;
+
+  auto samples = rt.value()->run(payload.value());
+  if (!samples.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 samples.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\n%llu shots on %s; top outcomes:\n",
+              static_cast<unsigned long long>(samples.value().total_shots()),
+              samples.value().metadata().at_or_null("backend")
+                  .as_string().c_str());
+  // Print the five most frequent bitstrings.
+  std::vector<std::pair<std::uint64_t, std::string>> ranked;
+  for (const auto& [bits, count] : samples.value().counts()) {
+    ranked.emplace_back(count, bits);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (std::size_t i = 0; i < ranked.size() && i < 5; ++i) {
+    std::printf("  %s  %5llu  (%.1f%%)\n", ranked[i].second.c_str(),
+                static_cast<unsigned long long>(ranked[i].first),
+                100.0 * static_cast<double>(ranked[i].first) /
+                    static_cast<double>(samples.value().total_shots()));
+  }
+  std::printf("mean excitation fraction: %.3f\n",
+              samples.value().mean_excitation_fraction());
+  return 0;
+}

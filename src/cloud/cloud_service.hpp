@@ -1,0 +1,63 @@
+// Simulated vendor cloud (after Pasqal's cloud emulation service, paper
+// ref [6]). Exposes any QRMI resource over a REST API with injected WAN
+// latency, bearer-token auth and a job store — the loose-coupling path of
+// the paper's integration taxonomy (§2.2.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "net/http_server.hpp"
+#include "qrmi/qrmi.hpp"
+
+namespace qcenv::cloud {
+
+struct LatencyModel {
+  common::DurationNs base = 30 * common::kMillisecond;   // one-way WAN
+  common::DurationNs jitter = 10 * common::kMillisecond;  // uniform extra
+
+  common::DurationNs sample(common::Rng& rng) const {
+    return base + static_cast<common::DurationNs>(
+                      rng.uniform() * static_cast<double>(jitter));
+  }
+};
+
+struct CloudServiceOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral
+  std::string api_key = "dev-key";
+  LatencyModel latency;
+  std::uint64_t seed = 7;
+};
+
+/// REST façade over a QRMI resource:
+///   GET    /api/v1/health
+///   GET    /api/v1/device
+///   POST   /api/v1/jobs            body: payload JSON -> {"id": ...}
+///   GET    /api/v1/jobs/:id        -> {"status": ...}
+///   GET    /api/v1/jobs/:id/result -> samples JSON
+///   DELETE /api/v1/jobs/:id        -> cancel
+class CloudService {
+ public:
+  CloudService(qrmi::QrmiPtr resource, CloudServiceOptions options = {});
+  ~CloudService();
+
+  common::Result<std::uint16_t> start();
+  void stop();
+  std::uint16_t port() const noexcept { return server_.port(); }
+  std::uint64_t requests_served() const noexcept {
+    return server_.requests_served();
+  }
+
+ private:
+  void install_routes();
+
+  qrmi::QrmiPtr resource_;
+  CloudServiceOptions options_;
+  net::HttpServer server_;
+  std::mutex rng_mutex_;
+  common::Rng rng_;
+};
+
+}  // namespace qcenv::cloud

@@ -1,0 +1,128 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+extern char** environ;
+
+namespace qcenv::common {
+
+Status Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return err::io("cannot open config file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return load_string(buffer.str());
+}
+
+Status Config::load_string(std::string_view text) {
+  std::size_t line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return err::invalid_argument("config line " + std::to_string(line_no) +
+                                   " has no '=': " + std::string(line));
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      return err::invalid_argument("config line " + std::to_string(line_no) +
+                                   " has empty key");
+    }
+    file_layer_[key] = value;
+  }
+  return Status::ok_status();
+}
+
+void Config::load_env(std::string_view prefix) {
+  for (char** env = environ; *env != nullptr; ++env) {
+    const std::string_view entry(*env);
+    if (!starts_with(entry, prefix)) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    env_layer_[std::string(entry.substr(0, eq))] =
+        std::string(entry.substr(eq + 1));
+  }
+}
+
+void Config::set(const std::string& key, std::string value) {
+  override_layer_[key] = std::move(value);
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  if (const auto it = override_layer_.find(key); it != override_layer_.end()) {
+    return it->second;
+  }
+  if (const auto it = env_layer_.find(key); it != env_layer_.end()) {
+    return it->second;
+  }
+  if (const auto it = file_layer_.find(key); it != file_layer_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::string Config::get_or(const std::string& key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+Result<std::string> Config::require(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return err::not_found("missing required config key: " + key);
+  return *v;
+}
+
+long long Config::get_int_or(const std::string& key, long long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+double Config::get_double_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const std::string lower = to_lower(*v);
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+std::map<std::string, std::string> Config::with_prefix(
+    std::string_view prefix) const {
+  std::map<std::string, std::string> out;
+  const auto scan = [&](const std::map<std::string, std::string>& layer) {
+    for (const auto& [key, value] : layer) {
+      if (starts_with(key, prefix)) out[key] = value;
+    }
+  };
+  // Lowest precedence first so higher layers overwrite.
+  scan(file_layer_);
+  scan(env_layer_);
+  scan(override_layer_);
+  return out;
+}
+
+}  // namespace qcenv::common

@@ -1,0 +1,59 @@
+// Layered configuration: defaults < file < environment < explicit overrides.
+//
+// QRMI (and the daemon) are configured through environment variables in the
+// paper's design; Config reproduces that while letting tests inject values
+// without touching the process environment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace qcenv::common {
+
+/// Immutable-after-build key/value configuration with typed accessors.
+class Config {
+ public:
+  Config() = default;
+
+  /// Loads `KEY=VALUE` lines ('#' comments, blank lines ignored) into the
+  /// file layer. Later calls override earlier keys.
+  Status load_file(const std::string& path);
+
+  /// Parses the same format from a string (used by tests and embedded
+  /// defaults).
+  Status load_string(std::string_view text);
+
+  /// Imports all process environment variables with the given prefix
+  /// (e.g. "QRMI_") into the environment layer.
+  void load_env(std::string_view prefix);
+
+  /// Explicit override (highest precedence) — e.g. from CLI flags.
+  void set(const std::string& key, std::string value);
+
+  /// Lookup across layers (override > env > file).
+  std::optional<std::string> get(const std::string& key) const;
+
+  std::string get_or(const std::string& key, std::string fallback) const;
+  Result<std::string> require(const std::string& key) const;
+
+  /// Typed accessors; parse errors fall back (get_*_or) or error (require_*).
+  long long get_int_or(const std::string& key, long long fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  /// All keys with the given prefix, in sorted order (for listing resources).
+  std::map<std::string, std::string> with_prefix(std::string_view prefix) const;
+
+  bool contains(const std::string& key) const { return get(key).has_value(); }
+
+ private:
+  std::map<std::string, std::string> file_layer_;
+  std::map<std::string, std::string> env_layer_;
+  std::map<std::string, std::string> override_layer_;
+};
+
+}  // namespace qcenv::common

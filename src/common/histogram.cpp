@@ -1,0 +1,102 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace qcenv::common {
+
+BucketHistogram::BucketHistogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)),
+      counts_(boundaries_.size() + 1, 0) {
+  assert(std::is_sorted(boundaries_.begin(), boundaries_.end()) &&
+         "histogram boundaries must be sorted");
+}
+
+BucketHistogram BucketHistogram::exponential(double start, double factor,
+                                             int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return BucketHistogram(std::move(bounds));
+}
+
+void BucketHistogram::observe(double value) {
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  counts_[static_cast<std::size_t>(it - boundaries_.begin())]++;
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t BucketHistogram::cumulative(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k <= i && k < counts_.size(); ++k) {
+    total += counts_[k];
+  }
+  return total;
+}
+
+void BucketHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+void QuantileRecorder::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double QuantileRecorder::mean() const {
+  if (samples_.empty()) return 0;
+  double total = 0;
+  for (const double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double QuantileRecorder::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0 : samples_.front();
+}
+
+double QuantileRecorder::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0 : samples_.back();
+}
+
+double QuantileRecorder::quantile(double q) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double QuantileRecorder::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double acc = 0;
+  for (const double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string QuantileRecorder::summary(const std::string& unit) const {
+  return format("n=%zu mean=%.3f%s p50=%.3f%s p95=%.3f%s p99=%.3f%s max=%.3f%s",
+                count(), mean(), unit.c_str(), quantile(0.5), unit.c_str(),
+                quantile(0.95), unit.c_str(), quantile(0.99), unit.c_str(),
+                max(), unit.c_str());
+}
+
+}  // namespace qcenv::common

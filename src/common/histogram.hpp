@@ -1,0 +1,70 @@
+// Fixed-boundary and streaming histograms for latency/size statistics.
+// Used by the telemetry registry (Prometheus-style buckets) and by the
+// bench harnesses (p50/p95/p99 reporting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcenv::common {
+
+/// Cumulative-bucket histogram with user-supplied upper boundaries
+/// (Prometheus semantics: each bucket counts observations <= boundary,
+/// plus an implicit +Inf bucket).
+class BucketHistogram {
+ public:
+  /// `boundaries` must be strictly increasing.
+  explicit BucketHistogram(std::vector<double> boundaries);
+
+  /// Exponential boundaries: `start * factor^i` for i in [0, count).
+  static BucketHistogram exponential(double start, double factor, int count);
+
+  void observe(double value);
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  const std::vector<double>& boundaries() const noexcept { return boundaries_; }
+  /// Per-bucket (non-cumulative) counts; size == boundaries().size() + 1.
+  const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+  /// Cumulative count of observations <= boundaries()[i].
+  std::uint64_t cumulative(std::size_t i) const;
+
+  void reset();
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Exact-quantile recorder: stores samples and sorts on demand. Suitable for
+/// bench harnesses (bounded sample counts), not for unbounded telemetry.
+class QuantileRecorder {
+ public:
+  void record(double value) { samples_.push_back(value); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// q in [0, 1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double stddev() const;
+
+  /// "n=100 mean=1.2 p50=1.1 p95=2.0 p99=3.4" with a value formatter suffix.
+  std::string summary(const std::string& unit = "") const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace qcenv::common

@@ -1,0 +1,59 @@
+// Strong ID types. JobId{3} and SessionId{3} do not compare or convert,
+// which prevents the classic scheduler bug of crossing ID namespaces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace qcenv::common {
+
+/// CRTP-free strongly typed integral identifier; Tag disambiguates.
+template <typename Tag>
+struct StrongId {
+  std::uint64_t value = 0;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t v) : value(v) {}
+
+  constexpr bool valid() const noexcept { return value != 0; }
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  std::string to_string() const { return std::to_string(value); }
+};
+
+/// Thread-safe monotonically increasing ID allocator (never yields 0).
+template <typename Tag>
+class IdGenerator {
+ public:
+  StrongId<Tag> next() {
+    return StrongId<Tag>(counter_.fetch_add(1, std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> counter_{1};
+};
+
+struct JobTag {};
+struct SessionTag {};
+struct TaskTag {};
+struct NodeTag {};
+struct AllocTag {};
+
+using JobId = StrongId<JobTag>;        // batch-scheduler job
+using SessionId = StrongId<SessionTag>;  // daemon user session
+using TaskId = StrongId<TaskTag>;      // quantum task on a QRMI resource
+using NodeId = StrongId<NodeTag>;      // compute node
+using AllocId = StrongId<AllocTag>;    // resource allocation
+
+}  // namespace qcenv::common
+
+namespace std {
+template <typename Tag>
+struct hash<qcenv::common::StrongId<Tag>> {
+  size_t operator()(const qcenv::common::StrongId<Tag>& id) const noexcept {
+    return std::hash<uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,410 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qcenv::common {
+
+namespace {
+
+const Json kNullJson;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "null";  // JSON has no NaN; null is the least-surprising encoding
+    return;
+  }
+  if (std::isinf(v)) {
+    out += (v > 0 ? "1e308" : "-1e308");
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips doubles exactly; trim to shortest via %g first.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = std::strtod(buf, nullptr);
+  if (back == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      if (std::strtod(shorter, nullptr) == v) {
+        out += shorter;
+        return;
+      }
+    }
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> parse() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Error fail(const std::string& what) const {
+    return err::protocol("json parse error at offset " + std::to_string(pos_) +
+                         ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  Result<Json> parse_value() {
+    if (depth_ > kMaxDepth) return fail("nesting too deep");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return s.error();
+        return Json(std::move(s).value());
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Json(true);
+        }
+        return fail("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Json(false);
+        }
+        return fail("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Json(nullptr);
+        }
+        return fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Result<Json> parse_object() {
+    ++pos_;  // consume '{'
+    ++depth_;
+    JsonObject obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key");
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      obj[std::move(key).value()] = std::move(value).value();
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        return Json(std::move(obj));
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> parse_array() {
+    ++pos_;  // consume '['
+    ++depth_;
+    JsonArray arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      arr.push_back(std::move(value).value());
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        return Json(std::move(arr));
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // consume '"'
+    std::string out;
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) return fail("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("invalid \\u escape");
+            }
+            // Encode as UTF-8 (surrogate pairs collapse to U+FFFD for
+            // simplicity; payloads never use astral-plane characters).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("invalid escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Result<Json> parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<std::int64_t>(v));
+      }
+      // fall through to double on overflow
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("invalid number");
+    return Json(d);
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) value_ = JsonObject{};
+  return std::get<JsonObject>(value_)[key];
+}
+
+const Json& Json::at_or_null(const std::string& key) const {
+  if (!is_object()) return kNullJson;
+  const auto& obj = std::get<JsonObject>(value_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? kNullJson : it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+Result<bool> Json::get_bool(const std::string& key) const {
+  const Json& v = at_or_null(key);
+  if (!v.is_bool()) return err::protocol("missing bool field '" + key + "'");
+  return v.as_bool();
+}
+
+Result<std::int64_t> Json::get_int(const std::string& key) const {
+  const Json& v = at_or_null(key);
+  if (!v.is_number()) return err::protocol("missing int field '" + key + "'");
+  return v.as_int();
+}
+
+Result<double> Json::get_double(const std::string& key) const {
+  const Json& v = at_or_null(key);
+  if (!v.is_number()) {
+    return err::protocol("missing number field '" + key + "'");
+  }
+  return v.as_double();
+}
+
+Result<std::string> Json::get_string(const std::string& key) const {
+  const Json& v = at_or_null(key);
+  if (!v.is_string()) {
+    return err::protocol("missing string field '" + key + "'");
+  }
+  return v.as_string();
+}
+
+void Json::push_back(Json value) {
+  if (!is_array()) value_ = JsonArray{};
+  std::get<JsonArray>(value_).push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  return 0;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) * d, ' ');
+    }
+  };
+  switch (type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += (as_bool() ? "true" : "false"); break;
+    case Type::kInt: out += std::to_string(std::get<std::int64_t>(value_)); break;
+    case Type::kDouble: append_double(out, std::get<double>(value_)); break;
+    case Type::kString: append_escaped(out, as_string()); break;
+    case Type::kArray: {
+      const auto& arr = as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& item : arr) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        item.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const auto& obj = as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, item] : obj) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        append_escaped(out, key);
+        out += ':';
+        if (indent > 0) out += ' ';
+        item.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Result<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace qcenv::common

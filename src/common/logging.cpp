@@ -1,0 +1,66 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <ctime>
+
+namespace qcenv::common {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+void stderr_sink(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+  std::fprintf(stderr, "[%s %-5s %.*s] %.*s\n", stamp, to_string(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() { sinks_.push_back(stderr_sink); }
+
+void Logger::set_sink(LogSink sink) {
+  std::scoped_lock lock(mutex_);
+  sinks_.clear();
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::add_sink(LogSink sink) {
+  std::scoped_lock lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::reset() {
+  std::scoped_lock lock(mutex_);
+  sinks_.clear();
+  sinks_.push_back(stderr_sink);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  std::scoped_lock lock(mutex_);
+  for (const auto& sink : sinks_) sink(level, component, message);
+}
+
+}  // namespace qcenv::common

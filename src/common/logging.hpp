@@ -1,0 +1,86 @@
+// Thread-safe leveled logger with pluggable sinks.
+//
+// Usage:
+//   QCENV_LOG(info) << "job " << id << " started";
+// The default sink writes to stderr; tests may install a capture sink.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qcenv::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level) noexcept;
+
+/// A log sink receives fully formatted records. Must be callable from
+/// multiple threads (the logger serializes calls under its own mutex).
+using LogSink =
+    std::function<void(LogLevel, std::string_view component, std::string_view message)>;
+
+/// Process-wide logger. Cheap level check before any formatting happens.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Replaces all sinks with `sink`. Returns the previous sink count.
+  void set_sink(LogSink sink);
+  /// Adds an additional sink.
+  void add_sink(LogSink sink);
+  /// Restores the default stderr sink.
+  void reset();
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+
+  std::mutex mutex_;
+  std::vector<LogSink> sinks_;
+  LogLevel level_ = LogLevel::kInfo;
+};
+
+/// Stream-style single-record builder; emits on destruction.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogRecord() { Logger::instance().log(level_, component_, stream_.str()); }
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace qcenv::common
+
+/// Component defaults to the translation unit; override with QCENV_LOG_COMPONENT.
+#ifndef QCENV_LOG_COMPONENT
+#define QCENV_LOG_COMPONENT "qcenv"
+#endif
+
+#define QCENV_LOG_AT(level_enum)                                            \
+  if (!::qcenv::common::Logger::instance().enabled(level_enum)) {          \
+  } else                                                                    \
+    ::qcenv::common::LogRecord(level_enum, QCENV_LOG_COMPONENT)
+
+#define QCENV_LOG(level) QCENV_LOG_AT(::qcenv::common::LogLevel::k##level)

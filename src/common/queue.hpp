@@ -1,0 +1,85 @@
+// Thread-safe blocking queue used for message passing between components
+// (CP.3/CP.mess: prefer passing data over sharing writable state).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/clock.hpp"
+
+namespace qcenv::common {
+
+/// Unbounded MPMC blocking queue with close() semantics: after close(),
+/// pushes are rejected and pops drain remaining items then return nullopt.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Returns false if the queue is closed.
+  bool push(T item) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Waits up to `timeout` (wall time); nullopt on timeout or closed-empty.
+  std::optional<T> pop_for(DurationNs timeout) {
+    std::unique_lock lock(mutex_);
+    const bool got = cv_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                                  [&] { return !items_.empty() || closed_; });
+    if (!got || items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace qcenv::common

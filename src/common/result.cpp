@@ -1,0 +1,67 @@
+#include "common/result.hpp"
+
+namespace qcenv::common {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = qcenv::common::to_string(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace err {
+Error invalid_argument(std::string msg) {
+  return Error(ErrorCode::kInvalidArgument, std::move(msg));
+}
+Error not_found(std::string msg) {
+  return Error(ErrorCode::kNotFound, std::move(msg));
+}
+Error already_exists(std::string msg) {
+  return Error(ErrorCode::kAlreadyExists, std::move(msg));
+}
+Error permission_denied(std::string msg) {
+  return Error(ErrorCode::kPermissionDenied, std::move(msg));
+}
+Error resource_exhausted(std::string msg) {
+  return Error(ErrorCode::kResourceExhausted, std::move(msg));
+}
+Error failed_precondition(std::string msg) {
+  return Error(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+Error unavailable(std::string msg) {
+  return Error(ErrorCode::kUnavailable, std::move(msg));
+}
+Error timeout(std::string msg) {
+  return Error(ErrorCode::kTimeout, std::move(msg));
+}
+Error cancelled(std::string msg) {
+  return Error(ErrorCode::kCancelled, std::move(msg));
+}
+Error protocol(std::string msg) {
+  return Error(ErrorCode::kProtocol, std::move(msg));
+}
+Error io(std::string msg) { return Error(ErrorCode::kIo, std::move(msg)); }
+Error internal(std::string msg) {
+  return Error(ErrorCode::kInternal, std::move(msg));
+}
+}  // namespace err
+
+}  // namespace qcenv::common

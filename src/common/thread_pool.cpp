@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+
+namespace qcenv::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.close();
+  // jthread joins automatically.
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min<std::size_t>(workers_.size() + 1, n);
+  if (parts <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t pending;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->pending = parts - 1;
+
+  // Dispatch all but the first chunk to the pool; run the first inline.
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::size_t lo = begin + p * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    const bool accepted = tasks_.push([&body, lo, hi, latch] {
+      if (lo < hi) body(lo, hi);
+      std::scoped_lock lock(latch->mutex);
+      if (--latch->pending == 0) latch->cv.notify_one();
+    });
+    if (!accepted) {  // shutting down: run inline
+      if (lo < hi) body(lo, hi);
+      std::scoped_lock lock(latch->mutex);
+      --latch->pending;
+    }
+  }
+  body(begin, std::min(end, begin + chunk));
+
+  // Help-first wait: while chunks are outstanding, execute queued tasks on
+  // this thread so nested parallel_for calls cannot deadlock the pool.
+  while (true) {
+    {
+      std::scoped_lock lock(latch->mutex);
+      if (latch->pending == 0) return;
+    }
+    if (auto task = tasks_.try_pop()) {
+      (*task)();
+      continue;
+    }
+    std::unique_lock lock(latch->mutex);
+    latch->cv.wait_for(lock, std::chrono::milliseconds(1),
+                       [&] { return latch->pending == 0; });
+    if (latch->pending == 0) return;
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(begin, end, [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace qcenv::common

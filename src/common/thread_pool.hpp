@@ -1,0 +1,67 @@
+// Task-based thread pool (CP.4: think in terms of tasks, not threads).
+//
+// Two entry points:
+//  - submit(fn): returns std::future<R> for one-off asynchronous tasks.
+//  - parallel_for(begin, end, body): blocks until the index range has been
+//    processed; used by the state-vector kernels for data parallelism.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/queue.hpp"
+
+namespace qcenv::common {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Schedules `fn()` and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    const bool accepted = tasks_.push([task] { (*task)(); });
+    if (!accepted) {
+      // Pool is shutting down; run inline so the future is always satisfied.
+      (*task)();
+    }
+    return future;
+  }
+
+  /// Splits [begin, end) into chunks and runs `body(i)` for each index.
+  /// Executes on the calling thread too, so it works with zero workers and
+  /// never deadlocks when called from inside a pool task.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Same but the body receives [chunk_begin, chunk_end) ranges — cheaper
+  /// for tight numeric kernels.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+};
+
+/// Process-wide default pool for numeric kernels.
+ThreadPool& default_pool();
+
+}  // namespace qcenv::common

@@ -1,0 +1,33 @@
+#include "daemon/admission.hpp"
+
+namespace qcenv::daemon {
+
+using common::Status;
+
+Status AdmissionController::validate(const quantum::Payload& payload,
+                                     JobClass cls,
+                                     const quantum::DeviceSpec& spec,
+                                     std::size_t current_depth) const {
+  if (current_depth >= policy_.max_queue_depth) {
+    return common::err::resource_exhausted("daemon queue is full");
+  }
+  const auto quota = policy_.max_shots.find(cls);
+  if (quota != policy_.max_shots.end() && payload.shots() > quota->second) {
+    return common::err::invalid_argument(
+        std::string("shot count ") + std::to_string(payload.shots()) +
+        " exceeds the " + to_string(cls) + " class limit of " +
+        std::to_string(quota->second));
+  }
+  if (payload.kind() == quantum::PayloadKind::kAnalog) {
+    auto sequence = payload.sequence();
+    if (!sequence.ok()) return sequence.error();
+    QCENV_RETURN_IF_ERROR(spec.validate(sequence.value()));
+  } else {
+    auto circuit = payload.circuit();
+    if (!circuit.ok()) return circuit.error();
+    QCENV_RETURN_IF_ERROR(spec.validate(circuit.value()));
+  }
+  return Status::ok_status();
+}
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,44 @@
+// Admission control: "quantum job validation" (Figure 2). Programs are
+// rejected at the daemon boundary — against the *current* device spec and
+// per-class shot quotas — instead of failing after queueing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/result.hpp"
+#include "daemon/queue_core.hpp"
+#include "quantum/device.hpp"
+#include "quantum/payload.hpp"
+
+namespace qcenv::daemon {
+
+struct AdmissionPolicy {
+  /// Per-class shot ceilings; development jobs are kept small by policy
+  /// ("non-production jobs configured with a low number of shots", §3.3).
+  std::map<JobClass, std::uint64_t> max_shots = {
+      {JobClass::kProduction, 1'000'000},
+      {JobClass::kTest, 20'000},
+      {JobClass::kDevelopment, 2'000},
+  };
+  std::size_t max_queue_depth = 10'000;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionPolicy policy = {})
+      : policy_(std::move(policy)) {}
+
+  const AdmissionPolicy& policy() const noexcept { return policy_; }
+
+  /// Validates a payload for the given class against the device spec and
+  /// current queue depth.
+  common::Status validate(const quantum::Payload& payload, JobClass cls,
+                          const quantum::DeviceSpec& spec,
+                          std::size_t current_depth) const;
+
+ private:
+  AdmissionPolicy policy_;
+};
+
+}  // namespace qcenv::daemon

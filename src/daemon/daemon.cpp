@@ -1,0 +1,425 @@
+#include "daemon/daemon.hpp"
+
+#include "common/strings.hpp"
+
+#define QCENV_LOG_COMPONENT "daemon"
+#include "common/logging.hpp"
+
+namespace qcenv::daemon {
+
+using common::Json;
+using common::Result;
+using net::HttpRequest;
+using net::HttpResponse;
+using net::PathParams;
+
+namespace {
+
+int http_status_for(common::ErrorCode code) {
+  switch (code) {
+    case common::ErrorCode::kNotFound: return 404;
+    case common::ErrorCode::kInvalidArgument: return 400;
+    case common::ErrorCode::kProtocol: return 400;
+    case common::ErrorCode::kPermissionDenied: return 401;
+    case common::ErrorCode::kFailedPrecondition: return 409;
+    case common::ErrorCode::kResourceExhausted: return 429;
+    case common::ErrorCode::kCancelled: return 410;
+    case common::ErrorCode::kUnavailable: return 503;
+    default: return 500;
+  }
+}
+
+HttpResponse error_response(const common::Error& error) {
+  Json body = Json::object();
+  body["error"] = error.message();
+  body["code"] = common::to_string(error.code());
+  return HttpResponse::json(http_status_for(error.code()), body.dump());
+}
+
+Result<JobClass> job_class_from_string(const std::string& text) {
+  if (text == "production") return JobClass::kProduction;
+  if (text == "test") return JobClass::kTest;
+  if (text == "development" || text == "dev") return JobClass::kDevelopment;
+  return common::err::invalid_argument("unknown job class: " + text);
+}
+
+Json job_to_json(const DaemonJob& job) {
+  Json out = Json::object();
+  out["id"] = static_cast<long long>(job.id);
+  out["user"] = job.user;
+  out["class"] = to_string(job.job_class);
+  out["state"] = to_string(job.state);
+  out["total_shots"] = static_cast<long long>(job.total_shots);
+  out["shots_done"] = static_cast<long long>(job.shots_done);
+  out["submit_time_ns"] = job.submit_time;
+  out["first_dispatch_time_ns"] = job.first_dispatch_time;
+  out["finish_time_ns"] = job.finish_time;
+  if (!job.error.empty()) out["error"] = job.error;
+  return out;
+}
+
+}  // namespace
+
+MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
+                                   qrmi::QrmiPtr resource,
+                                   qpu::QpuDevice* device,
+                                   common::Clock* clock)
+    : options_(std::move(options)),
+      resource_(std::move(resource)),
+      device_(device),
+      clock_(clock),
+      sessions_(options_.sessions, clock),
+      admission_(options_.admission),
+      dispatcher_(std::make_unique<Dispatcher>(resource_,
+                                               options_.queue_policy, clock,
+                                               &metrics_)),
+      server_(net::HttpServerOptions{options_.port, 4,
+                                     10 * common::kSecond}) {
+  install_routes();
+}
+
+MiddlewareDaemon::~MiddlewareDaemon() { stop(); }
+
+Result<std::uint16_t> MiddlewareDaemon::start() {
+  auto port = server_.start();
+  if (port.ok()) {
+    QCENV_LOG(Info) << "middleware daemon on 127.0.0.1:" << port.value();
+  }
+  return port;
+}
+
+void MiddlewareDaemon::stop() { server_.stop(); }
+
+JobClass MiddlewareDaemon::resolve_class(const std::string& partition,
+                                         JobClass session_default) const {
+  if (partition.empty()) return session_default;
+  const auto it = options_.partition_class.find(partition);
+  return it != options_.partition_class.end() ? it->second : session_default;
+}
+
+void MiddlewareDaemon::install_routes() {
+  // Instrumentation middleware: count requests per path prefix.
+  server_.set_middleware(
+      [this](const HttpRequest& request) -> std::optional<HttpResponse> {
+        metrics_
+            .counter("daemon_http_requests_total",
+                     {{"method", request.method}}, "REST requests")
+            .increment();
+        return std::nullopt;
+      });
+
+  auto& router = server_.router();
+
+  const auto authenticate =
+      [this](const HttpRequest& request) -> Result<Session> {
+    const auto it = request.headers.find("X-Session-Token");
+    if (it == request.headers.end()) {
+      return common::err::permission_denied("missing X-Session-Token header");
+    }
+    return sessions_.authenticate(it->second);
+  };
+  const auto require_admin =
+      [this](const HttpRequest& request) -> common::Status {
+    const auto it = request.headers.find("X-Admin-Key");
+    if (it == request.headers.end() || it->second != options_.admin_key) {
+      return common::err::permission_denied("admin key required");
+    }
+    return common::Status::ok_status();
+  };
+
+  router.add("POST", "/v1/sessions",
+             [this](const HttpRequest& request, const PathParams&) {
+               auto body = Json::parse(request.body);
+               if (!body.ok()) return error_response(body.error());
+               auto user = body.value().get_string("user");
+               if (!user.ok()) return error_response(user.error());
+               JobClass cls = JobClass::kDevelopment;
+               if (body.value().contains("class")) {
+                 auto parsed = job_class_from_string(
+                     body.value().at_or_null("class").as_string());
+                 if (!parsed.ok()) return error_response(parsed.error());
+                 cls = parsed.value();
+               }
+               auto session = sessions_.create(user.value(), cls);
+               if (!session.ok()) return error_response(session.error());
+               Json out = Json::object();
+               out["session_id"] = session.value().id.to_string();
+               out["token"] = session.value().token;
+               out["class"] = to_string(session.value().job_class);
+               return HttpResponse::json(201, out.dump());
+             });
+
+  router.add("DELETE", "/v1/sessions",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams&) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               auto status = sessions_.close(session.value().token);
+               if (!status.ok()) return error_response(status.error());
+               return HttpResponse::json(200, R"({"closed":true})");
+             });
+
+  router.add("GET", "/v1/device",
+             [this](const HttpRequest&, const PathParams&) {
+               auto spec = resource_->target();
+               if (!spec.ok()) return error_response(spec.error());
+               return HttpResponse::json(200, spec.value().to_json().dump());
+             });
+
+  router.add(
+      "POST", "/v1/jobs",
+      [this, authenticate](const HttpRequest& request, const PathParams&) {
+        auto session = authenticate(request);
+        if (!session.ok()) return error_response(session.error());
+        auto body = Json::parse(request.body);
+        if (!body.ok()) return error_response(body.error());
+        auto payload =
+            quantum::Payload::from_json(body.value().at_or_null("payload"));
+        if (!payload.ok()) return error_response(payload.error());
+        const std::string partition =
+            body.value().contains("partition")
+                ? body.value().at_or_null("partition").as_string()
+                : "";
+        const JobClass cls =
+            resolve_class(partition, session.value().job_class);
+        auto spec = resource_->target();
+        if (!spec.ok()) return error_response(spec.error());
+        std::size_t depth = 0;
+        for (const auto& [_, d] : dispatcher_->queue_depths()) depth += d;
+        auto admitted = admission_.validate(payload.value(), cls,
+                                            spec.value(), depth);
+        if (!admitted.ok()) return error_response(admitted.error());
+        const std::uint64_t id =
+            dispatcher_->submit(session.value().id, session.value().user, cls,
+                                std::move(payload).value());
+        Json out = Json::object();
+        out["job_id"] = static_cast<long long>(id);
+        out["class"] = to_string(cls);
+        return HttpResponse::json(201, out.dump());
+      });
+
+  router.add("GET", "/v1/jobs/:id",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams& params) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               const std::uint64_t id = std::strtoull(
+                   params.at("id").c_str(), nullptr, 10);
+               auto job = dispatcher_->query(id);
+               if (!job.ok()) return error_response(job.error());
+               if (job.value().user != session.value().user) {
+                 return error_response(common::err::permission_denied(
+                     "job belongs to another user"));
+               }
+               return HttpResponse::json(200, job_to_json(job.value()).dump());
+             });
+
+  router.add("GET", "/v1/jobs/:id/result",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams& params) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               const std::uint64_t id = std::strtoull(
+                   params.at("id").c_str(), nullptr, 10);
+               auto owner = dispatcher_->query(id);
+               if (!owner.ok()) return error_response(owner.error());
+               if (owner.value().user != session.value().user) {
+                 return error_response(common::err::permission_denied(
+                     "job belongs to another user"));
+               }
+               auto samples = dispatcher_->result(id);
+               if (!samples.ok()) return error_response(samples.error());
+               return HttpResponse::json(200,
+                                         samples.value().to_json().dump());
+             });
+
+  router.add("DELETE", "/v1/jobs/:id",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams& params) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               const std::uint64_t id = std::strtoull(
+                   params.at("id").c_str(), nullptr, 10);
+               auto owner = dispatcher_->query(id);
+               if (!owner.ok()) return error_response(owner.error());
+               if (owner.value().user != session.value().user) {
+                 return error_response(common::err::permission_denied(
+                     "job belongs to another user"));
+               }
+               auto status = dispatcher_->cancel(id);
+               if (!status.ok()) return error_response(status.error());
+               return HttpResponse::json(200, R"({"cancelled":true})");
+             });
+
+  router.add("GET", "/v1/jobs",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams&) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               Json out = Json::array();
+               for (const auto& job : dispatcher_->jobs_snapshot()) {
+                 if (job.user == session.value().user) {
+                   out.push_back(job_to_json(job));
+                 }
+               }
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("GET", "/v1/queue",
+             [this](const HttpRequest&, const PathParams&) {
+               Json out = Json::object();
+               Json depths = Json::object();
+               for (const auto& [cls, depth] : dispatcher_->queue_depths()) {
+                 depths[to_string(cls)] = static_cast<long long>(depth);
+               }
+               out["depths"] = std::move(depths);
+               Json order = Json::array();
+               for (const std::uint64_t id : dispatcher_->queue_order()) {
+                 order.push_back(static_cast<long long>(id));
+               }
+               out["order"] = std::move(order);
+               out["draining"] = dispatcher_->draining();
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("GET", "/metrics",
+             [this](const HttpRequest&, const PathParams&) {
+               return HttpResponse::text(200, metrics_.expose());
+             });
+
+  // ---- Admin surface ------------------------------------------------------
+
+  router.add("GET", "/admin/status",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               Json out = Json::object();
+               out["sessions"] = static_cast<long long>(sessions_.count());
+               out["draining"] = dispatcher_->draining();
+               Json depths = Json::object();
+               for (const auto& [cls, depth] : dispatcher_->queue_depths()) {
+                 depths[to_string(cls)] = static_cast<long long>(depth);
+               }
+               out["queue"] = std::move(depths);
+               if (device_ != nullptr) {
+                 const auto counters = device_->counters();
+                 out["qpu_jobs_executed"] =
+                     static_cast<long long>(counters.jobs_executed);
+                 out["qpu_busy_seconds"] = common::to_seconds(counters.busy_ns);
+                 out["qpu_fidelity"] =
+                     device_->spec().calibration.fidelity_estimate();
+               }
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("GET", "/admin/sessions",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               Json out = Json::array();
+               for (const auto& session : sessions_.list()) {
+                 Json s = Json::object();
+                 s["id"] = session.id.to_string();
+                 s["user"] = session.user;
+                 s["class"] = to_string(session.job_class);
+                 s["created_ns"] = session.created;
+                 out.push_back(std::move(s));
+               }
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("POST", "/admin/expire_sessions",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               Json out = Json::object();
+               out["expired"] =
+                   static_cast<long long>(sessions_.expire_idle());
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("POST", "/admin/drain",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               dispatcher_->drain();
+               return HttpResponse::json(200, R"({"draining":true})");
+             });
+
+  router.add("POST", "/admin/resume",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               dispatcher_->resume();
+               return HttpResponse::json(200, R"({"draining":false})");
+             });
+
+  router.add("POST", "/admin/recalibrate",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               if (device_ == nullptr) {
+                 return error_response(common::err::failed_precondition(
+                     "no local device attached to this daemon"));
+               }
+               device_->recalibrate();
+               Json out = Json::object();
+               out["recalibrated"] = true;
+               out["fidelity"] =
+                   device_->spec().calibration.fidelity_estimate();
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("POST", "/admin/qa",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               if (device_ == nullptr) {
+                 return error_response(common::err::failed_precondition(
+                     "no local device attached to this daemon"));
+               }
+               auto quality = device_->run_qa_check();
+               if (!quality.ok()) return error_response(quality.error());
+               Json out = Json::object();
+               out["qa_quality"] = quality.value();
+               return HttpResponse::json(200, out.dump());
+             });
+
+  // Low-level control with safeguards (§2.5): bounded shot-rate override.
+  router.add(
+      "POST", "/admin/lowlevel/shot_rate",
+      [this, require_admin](const HttpRequest& request, const PathParams&) {
+        auto admin = require_admin(request);
+        if (!admin.ok()) return error_response(admin.error());
+        if (device_ == nullptr) {
+          return error_response(common::err::failed_precondition(
+              "no local device attached to this daemon"));
+        }
+        auto body = Json::parse(request.body);
+        if (!body.ok()) return error_response(body.error());
+        auto value = body.value().get_double("value");
+        if (!value.ok()) return error_response(value.error());
+        if (value.value() < options_.min_shot_rate_hz ||
+            value.value() > options_.max_shot_rate_hz) {
+          return error_response(common::err::invalid_argument(
+              common::format("shot rate %.3f Hz outside the safeguarded "
+                             "range [%.3f, %.3f]",
+                             value.value(), options_.min_shot_rate_hz,
+                             options_.max_shot_rate_hz)));
+        }
+        auto status = device_->set_shot_rate(value.value());
+        if (!status.ok()) return error_response(status.error());
+        Json out = Json::object();
+        out["shot_rate_hz"] = value.value();
+        return HttpResponse::json(200, out.dump());
+      });
+}
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,95 @@
+// MiddlewareDaemon: the standalone REST service on the quantum access node
+// (Figure 2). Composition root wiring sessions, admission, the dispatcher,
+// telemetry and the admin/low-level surface behind one HTTP server.
+//
+// REST surface (user endpoints authenticate with X-Session-Token; admin
+// endpoints with X-Admin-Key):
+//   POST   /v1/sessions               {user, class}        -> session+token
+//   DELETE /v1/sessions               (token header)       -> close session
+//   GET    /v1/device                                      -> device spec
+//   POST   /v1/jobs                   {payload, partition?} -> {job_id}
+//   GET    /v1/jobs/:id                                     -> job status
+//   GET    /v1/jobs/:id/result                              -> samples
+//   DELETE /v1/jobs/:id                                     -> cancel
+//   GET    /v1/queue                                        -> depths/order
+//   GET    /metrics                                         -> Prometheus
+//   GET    /admin/status
+//   GET    /admin/sessions
+//   POST   /admin/drain | /admin/resume
+//   POST   /admin/recalibrate
+//   POST   /admin/qa
+//   POST   /admin/lowlevel/shot_rate  {value}   (safeguarded bounds)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "daemon/admission.hpp"
+#include "daemon/dispatcher.hpp"
+#include "daemon/sessions.hpp"
+#include "net/http_server.hpp"
+#include "qpu/qpu_device.hpp"
+#include "qrmi/qrmi.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::daemon {
+
+struct DaemonOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral
+  std::string admin_key = "admin-key";
+  QueuePolicy queue_policy;
+  AdmissionPolicy admission;
+  SessionManagerOptions sessions;
+  /// Slurm partition -> job class ("the daemon retrieves the job's priority
+  /// from Slurm", §3.3): submissions may carry their partition name.
+  std::map<std::string, JobClass> partition_class = {
+      {"production", JobClass::kProduction},
+      {"test", JobClass::kTest},
+      {"dev", JobClass::kDevelopment},
+  };
+  /// Low-level control safeguards.
+  double min_shot_rate_hz = 0.1;
+  double max_shot_rate_hz = 1000.0;
+};
+
+class MiddlewareDaemon {
+ public:
+  /// `resource` executes jobs (usually the direct-access QPU). `device` is
+  /// optional and enables the admin/low-level endpoints that act on the
+  /// physical device; pass nullptr when fronting a cloud resource.
+  MiddlewareDaemon(DaemonOptions options, qrmi::QrmiPtr resource,
+                   qpu::QpuDevice* device, common::Clock* clock);
+  ~MiddlewareDaemon();
+
+  common::Result<std::uint16_t> start();
+  void stop();
+  std::uint16_t port() const noexcept { return server_.port(); }
+
+  SessionManager& sessions() noexcept { return sessions_; }
+  Dispatcher& dispatcher() noexcept { return *dispatcher_; }
+  telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const DaemonOptions& options() const noexcept { return options_; }
+
+  /// Resolves a job class from an explicit partition name or session
+  /// default.
+  JobClass resolve_class(const std::string& partition,
+                         JobClass session_default) const;
+
+ private:
+  void install_routes();
+
+  DaemonOptions options_;
+  qrmi::QrmiPtr resource_;
+  qpu::QpuDevice* device_;
+  common::Clock* clock_;
+  telemetry::MetricsRegistry metrics_;
+  SessionManager sessions_;
+  AdmissionController admission_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  net::HttpServer server_;
+};
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,257 @@
+#include "daemon/dispatcher.hpp"
+
+#define QCENV_LOG_COMPONENT "daemon.dispatch"
+#include "common/logging.hpp"
+
+namespace qcenv::daemon {
+
+using common::Result;
+using common::Status;
+using quantum::Payload;
+using quantum::Samples;
+
+const char* to_string(DaemonJobState state) noexcept {
+  switch (state) {
+    case DaemonJobState::kQueued: return "queued";
+    case DaemonJobState::kRunning: return "running";
+    case DaemonJobState::kCompleted: return "completed";
+    case DaemonJobState::kFailed: return "failed";
+    case DaemonJobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Dispatcher::Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
+                       common::Clock* clock,
+                       telemetry::MetricsRegistry* metrics)
+    : resource_(std::move(resource)),
+      clock_(clock),
+      metrics_(metrics),
+      core_(policy),
+      worker_([this](const std::stop_token& stop) { worker_loop(stop); }) {}
+
+Dispatcher::~Dispatcher() {
+  worker_.request_stop();
+  cv_.notify_all();
+}
+
+std::uint64_t Dispatcher::submit(common::SessionId session,
+                                 const std::string& user, JobClass cls,
+                                 Payload payload) {
+  std::uint64_t id = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    id = next_job_id_++;
+    Record record;
+    record.job.id = id;
+    record.job.session = session;
+    record.job.user = user;
+    record.job.job_class = cls;
+    record.job.total_shots = payload.shots();
+    record.job.submit_time = clock_->now();
+    record.samples = Samples(payload.num_qubits());
+    record.payload = std::move(payload);
+    core_.enqueue(id, cls, record.job.total_shots, record.job.submit_time);
+    records_.emplace(id, std::move(record));
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("daemon_jobs_submitted_total",
+                  {{"class", to_string(cls)}}, "jobs accepted by the daemon")
+        .increment();
+  }
+  cv_.notify_all();
+  return id;
+}
+
+Result<DaemonJob> Dispatcher::query(std::uint64_t job_id) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = records_.find(job_id);
+  if (it == records_.end()) {
+    return common::err::not_found("unknown job " + std::to_string(job_id));
+  }
+  return it->second.job;
+}
+
+Result<Samples> Dispatcher::result(std::uint64_t job_id) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = records_.find(job_id);
+  if (it == records_.end()) {
+    return common::err::not_found("unknown job " + std::to_string(job_id));
+  }
+  const Record& record = it->second;
+  switch (record.job.state) {
+    case DaemonJobState::kCompleted: return record.samples;
+    case DaemonJobState::kFailed:
+      return common::err::internal(record.job.error);
+    case DaemonJobState::kCancelled:
+      return common::err::cancelled("job was cancelled");
+    default:
+      return common::err::failed_precondition(
+          "job is " + std::string(to_string(record.job.state)));
+  }
+}
+
+Result<Samples> Dispatcher::wait(std::uint64_t job_id) {
+  {
+    std::unique_lock lock(mutex_);
+    const auto it = records_.find(job_id);
+    if (it == records_.end()) {
+      return common::err::not_found("unknown job " + std::to_string(job_id));
+    }
+    cv_.wait(lock, [&] {
+      const auto& state = records_.at(job_id).job.state;
+      return state == DaemonJobState::kCompleted ||
+             state == DaemonJobState::kFailed ||
+             state == DaemonJobState::kCancelled;
+    });
+  }
+  return result(job_id);
+}
+
+Status Dispatcher::cancel(std::uint64_t job_id) {
+  std::scoped_lock lock(mutex_);
+  const auto it = records_.find(job_id);
+  if (it == records_.end()) {
+    return common::err::not_found("unknown job " + std::to_string(job_id));
+  }
+  Record& record = it->second;
+  switch (record.job.state) {
+    case DaemonJobState::kQueued:
+      core_.remove(job_id);
+      finish_locked(record, DaemonJobState::kCancelled, "");
+      return Status::ok_status();
+    case DaemonJobState::kRunning:
+      // Honoured at the next batch boundary (shot-batch granularity).
+      record.cancel_requested = true;
+      return Status::ok_status();
+    default:
+      return common::err::failed_precondition(
+          "job already " + std::string(to_string(record.job.state)));
+  }
+}
+
+void Dispatcher::drain() {
+  draining_.store(true);
+  cv_.notify_all();
+}
+
+void Dispatcher::resume() {
+  draining_.store(false);
+  cv_.notify_all();
+}
+
+std::map<JobClass, std::size_t> Dispatcher::queue_depths() const {
+  std::scoped_lock lock(mutex_);
+  return {
+      {JobClass::kProduction, core_.depth_of(JobClass::kProduction)},
+      {JobClass::kTest, core_.depth_of(JobClass::kTest)},
+      {JobClass::kDevelopment, core_.depth_of(JobClass::kDevelopment)},
+  };
+}
+
+std::vector<DaemonJob> Dispatcher::jobs_snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<DaemonJob> out;
+  out.reserve(records_.size());
+  for (const auto& [_, record] : records_) out.push_back(record.job);
+  return out;
+}
+
+std::vector<std::uint64_t> Dispatcher::queue_order() const {
+  std::scoped_lock lock(mutex_);
+  return core_.snapshot(clock_->now());
+}
+
+void Dispatcher::finish_locked(Record& record, DaemonJobState state,
+                               const std::string& error) {
+  record.job.state = state;
+  record.job.error = error;
+  record.job.finish_time = clock_->now();
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("daemon_jobs_finished_total",
+                  {{"class", to_string(record.job.job_class)},
+                   {"state", to_string(state)}},
+                  "jobs reaching a terminal state")
+        .increment();
+    if (state == DaemonJobState::kCompleted &&
+        record.job.first_dispatch_time > 0) {
+      metrics_
+          ->histogram("daemon_job_wait_seconds",
+                      {0.1, 0.5, 1, 5, 15, 60, 300, 1800},
+                      {{"class", to_string(record.job.job_class)}},
+                      "queue wait before first dispatch")
+          .observe(common::to_seconds(record.job.first_dispatch_time -
+                                      record.job.submit_time));
+    }
+  }
+}
+
+void Dispatcher::worker_loop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    std::optional<Batch> batch;
+    Payload slice;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        return stop.stop_requested() ||
+               (!draining_.load() && core_.depth() > 0);
+      });
+      if (stop.stop_requested()) return;
+      batch = core_.next_batch(clock_->now());
+      if (!batch.has_value()) continue;
+      Record& record = records_.at(batch->job_id);
+      if (record.cancel_requested) {
+        core_.batch_done(*batch);
+        core_.remove(batch->job_id);
+        finish_locked(record, DaemonJobState::kCancelled, "");
+        cv_.notify_all();
+        continue;
+      }
+      if (record.job.state == DaemonJobState::kQueued) {
+        record.job.state = DaemonJobState::kRunning;
+        record.job.first_dispatch_time = clock_->now();
+      }
+      slice = record.payload;
+      slice.set_shots(batch->shots);
+    }
+
+    auto outcome = resource_->run_sync(slice);
+    if (metrics_ != nullptr) {
+      metrics_
+          ->counter("daemon_batches_dispatched_total",
+                    {{"class", to_string(batch->cls)}},
+                    "QPU batches dispatched")
+          .increment();
+    }
+
+    std::scoped_lock lock(mutex_);
+    Record& record = records_.at(batch->job_id);
+    core_.batch_done(*batch);
+    if (!outcome.ok()) {
+      core_.remove(batch->job_id);
+      finish_locked(record, DaemonJobState::kFailed,
+                    outcome.error().to_string());
+      QCENV_LOG(Warn) << "job " << batch->job_id
+                      << " failed: " << record.job.error;
+      cv_.notify_all();
+      continue;
+    }
+    record.job.shots_done += batch->shots;
+    // Keep the last batch's metadata (most recent calibration).
+    auto merged_metadata = outcome.value().metadata();
+    (void)record.samples.merge(outcome.value());
+    record.samples.set_metadata(std::move(merged_metadata));
+
+    if (record.cancel_requested) {
+      core_.remove(batch->job_id);
+      finish_locked(record, DaemonJobState::kCancelled, "");
+    } else if (batch->final_batch) {
+      finish_locked(record, DaemonJobState::kCompleted, "");
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace qcenv::daemon

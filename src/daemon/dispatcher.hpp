@@ -1,0 +1,106 @@
+// Live dispatcher: drives the PriorityQueueCore against a QRMI resource.
+//
+// One worker thread pulls batches from the policy core, slices the job's
+// payload to the batch shot count, executes it synchronously through QRMI,
+// merges samples into the job record and re-queues remainders. This is the
+// daemon's "second level of scheduling logic that allows multiple users to
+// share the QPU" (§3.3).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "daemon/queue_core.hpp"
+#include "qrmi/qrmi.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::daemon {
+
+enum class DaemonJobState {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kFailed,
+  kCancelled,
+};
+
+const char* to_string(DaemonJobState state) noexcept;
+
+struct DaemonJob {
+  std::uint64_t id = 0;
+  common::SessionId session;
+  std::string user;
+  JobClass job_class = JobClass::kDevelopment;
+  DaemonJobState state = DaemonJobState::kQueued;
+  std::uint64_t total_shots = 0;
+  std::uint64_t shots_done = 0;
+  common::TimeNs submit_time = 0;
+  common::TimeNs first_dispatch_time = 0;
+  common::TimeNs finish_time = 0;
+  std::string error;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
+             common::Clock* clock, telemetry::MetricsRegistry* metrics);
+  ~Dispatcher();
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Enqueues a validated payload; returns the daemon job id.
+  std::uint64_t submit(common::SessionId session, const std::string& user,
+                       JobClass cls, quantum::Payload payload);
+
+  common::Result<DaemonJob> query(std::uint64_t job_id) const;
+  /// Samples of a completed job.
+  common::Result<quantum::Samples> result(std::uint64_t job_id) const;
+  /// Blocks until the job reaches a terminal state.
+  common::Result<quantum::Samples> wait(std::uint64_t job_id);
+  common::Status cancel(std::uint64_t job_id);
+
+  /// Admin: pause/resume batch dispatch (maintenance windows).
+  void drain();
+  void resume();
+  bool draining() const noexcept { return draining_.load(); }
+
+  std::map<JobClass, std::size_t> queue_depths() const;
+  std::vector<DaemonJob> jobs_snapshot() const;
+  /// Pending ids in dispatch order.
+  std::vector<std::uint64_t> queue_order() const;
+
+ private:
+  struct Record {
+    DaemonJob job;
+    quantum::Payload payload;
+    quantum::Samples samples;
+    bool cancel_requested = false;
+  };
+
+  void worker_loop(const std::stop_token& stop);
+  void finish_locked(Record& record, DaemonJobState state,
+                     const std::string& error);
+
+  qrmi::QrmiPtr resource_;
+  common::Clock* clock_;
+  telemetry::MetricsRegistry* metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  PriorityQueueCore core_;
+  std::map<std::uint64_t, Record> records_;
+  std::uint64_t next_job_id_ = 1;
+  std::atomic<bool> draining_{false};
+  std::jthread worker_;
+};
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,121 @@
+#include "daemon/queue_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qcenv::daemon {
+
+const char* to_string(JobClass cls) noexcept {
+  switch (cls) {
+    case JobClass::kProduction: return "production";
+    case JobClass::kTest: return "test";
+    case JobClass::kDevelopment: return "development";
+  }
+  return "?";
+}
+
+void PriorityQueueCore::enqueue(std::uint64_t job_id, JobClass cls,
+                                std::uint64_t total_shots,
+                                common::TimeNs now) {
+  assert(entries_.count(job_id) == 0 && in_flight_.count(job_id) == 0 &&
+         "job already queued");
+  Entry entry;
+  entry.job_id = job_id;
+  entry.cls = cls;
+  entry.remaining_shots = total_shots;
+  entry.total_shots = total_shots;
+  entry.enqueue_time = now;
+  entry.seq = next_seq_++;
+  entries_.emplace(job_id, entry);
+}
+
+int PriorityQueueCore::effective_rank(const Entry& entry,
+                                      common::TimeNs now) const {
+  if (!policy_.class_priority) return 0;  // FIFO baseline: one class
+  int rank = class_rank(entry.cls);
+  if (policy_.age_to_boost > 0) {
+    const auto boosts = static_cast<int>((now - entry.enqueue_time) /
+                                         policy_.age_to_boost);
+    rank = std::max(0, rank - boosts);
+  }
+  return rank;
+}
+
+std::vector<const PriorityQueueCore::Entry*> PriorityQueueCore::ordered(
+    common::TimeNs now) const {
+  std::vector<const Entry*> order;
+  order.reserve(entries_.size());
+  for (const auto& [_, entry] : entries_) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [&](const Entry* a, const Entry* b) {
+              const int ra = effective_rank(*a, now);
+              const int rb = effective_rank(*b, now);
+              if (ra != rb) return ra < rb;
+              if (policy_.shortest_first_within_class &&
+                  a->remaining_shots != b->remaining_shots) {
+                return a->remaining_shots < b->remaining_shots;
+              }
+              return a->seq < b->seq;
+            });
+  return order;
+}
+
+std::optional<Batch> PriorityQueueCore::next_batch(common::TimeNs now) {
+  if (entries_.empty()) return std::nullopt;
+  const Entry* head = ordered(now).front();
+
+  Batch batch;
+  batch.job_id = head->job_id;
+  batch.cls = head->cls;
+  const bool small_batches = policy_.non_production_batch_shots > 0 &&
+                             head->cls != JobClass::kProduction;
+  batch.shots = small_batches
+                    ? std::min(head->remaining_shots,
+                               policy_.non_production_batch_shots)
+                    : head->remaining_shots;
+  batch.final_batch = batch.shots >= head->remaining_shots;
+
+  // Move the entry to the in-flight set.
+  const auto it = entries_.find(head->job_id);
+  in_flight_.emplace(it->first, it->second);
+  entries_.erase(it);
+  return batch;
+}
+
+void PriorityQueueCore::batch_done(const Batch& batch) {
+  const auto it = in_flight_.find(batch.job_id);
+  assert(it != in_flight_.end() && "batch_done for unknown dispatch");
+  Entry entry = it->second;
+  in_flight_.erase(it);
+  assert(batch.shots <= entry.remaining_shots);
+  entry.remaining_shots -= batch.shots;
+  if (entry.remaining_shots > 0) {
+    // Keep the original seq: the job resumes its place within its class.
+    entries_.emplace(entry.job_id, entry);
+  }
+}
+
+bool PriorityQueueCore::remove(std::uint64_t job_id) {
+  return entries_.erase(job_id) > 0;
+}
+
+bool PriorityQueueCore::pending(std::uint64_t job_id) const {
+  return entries_.count(job_id) > 0;
+}
+
+std::size_t PriorityQueueCore::depth_of(JobClass cls) const {
+  std::size_t count = 0;
+  for (const auto& [_, entry] : entries_) {
+    if (entry.cls == cls) ++count;
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> PriorityQueueCore::snapshot(
+    common::TimeNs now) const {
+  std::vector<std::uint64_t> out;
+  for (const Entry* entry : ordered(now)) out.push_back(entry->job_id);
+  return out;
+}
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,109 @@
+// Second-level scheduling core (§3.3 "User sessions and job priorities").
+//
+// Deterministic state machine — no threads, no clocks of its own — so the
+// exact same policy code runs inside the live daemon (driven by worker
+// threads and a wall clock) and inside the virtual-time benches (driven by
+// simkit events).
+//
+// Policy, as described in the paper:
+//  - Three job classes: production > test > development.
+//  - The scheduler always serves the highest class first (FIFO within a
+//    class, with optional aging so development jobs cannot starve forever).
+//  - Non-production jobs are dispatched in small shot batches "without
+//    batched submission", bounding the delay a newly arrived production job
+//    experiences to one small batch instead of a whole job.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace qcenv::daemon {
+
+enum class JobClass { kProduction = 0, kTest = 1, kDevelopment = 2 };
+
+const char* to_string(JobClass cls) noexcept;
+/// Smaller = more important.
+constexpr int class_rank(JobClass cls) noexcept {
+  return static_cast<int>(cls);
+}
+
+struct QueuePolicy {
+  /// Serve higher classes first (false = plain FIFO, the baseline).
+  bool class_priority = true;
+  /// Chop non-production jobs into batches of at most this many shots
+  /// (0 = dispatch whole jobs, i.e. "batched submission" for everyone).
+  std::uint64_t non_production_batch_shots = 100;
+  /// Anti-starvation: after each `age_to_boost` of pending time a job's
+  /// effective rank improves by one class (0 = disabled).
+  common::DurationNs age_to_boost = 600 * common::kSecond;
+  /// Pattern-aware ordering (§3.5 future work, implemented here): within a
+  /// class, serve the job with the least remaining QPU work first. Uses the
+  /// "expected time running on the QC hardware" hint the paper proposes;
+  /// remaining shots are the proxy.
+  bool shortest_first_within_class = false;
+};
+
+/// One dispatchable slice of a job.
+struct Batch {
+  std::uint64_t job_id = 0;
+  JobClass cls = JobClass::kDevelopment;
+  std::uint64_t shots = 0;
+  /// True when this batch completes the job.
+  bool final_batch = true;
+};
+
+class PriorityQueueCore {
+ public:
+  explicit PriorityQueueCore(QueuePolicy policy = {}) : policy_(policy) {}
+
+  const QueuePolicy& policy() const noexcept { return policy_; }
+
+  /// Adds a job with `total_shots` still to execute.
+  void enqueue(std::uint64_t job_id, JobClass cls, std::uint64_t total_shots,
+               common::TimeNs now);
+
+  /// Pops the next batch to dispatch, honouring class priority, aging and
+  /// the small-batch policy. The job leaves the pending set until
+  /// batch_done() re-queues any remainder.
+  std::optional<Batch> next_batch(common::TimeNs now);
+
+  /// Reports a dispatched batch finished; re-queues the remainder (if any)
+  /// at its original queue position so a job's batches stay contiguous
+  /// unless something more important arrived.
+  void batch_done(const Batch& batch);
+
+  /// Removes a pending job (cancellation). False if not pending here.
+  bool remove(std::uint64_t job_id);
+
+  bool pending(std::uint64_t job_id) const;
+  std::size_t depth() const { return entries_.size(); }
+  std::size_t depth_of(JobClass cls) const;
+  /// Pending job ids in dispatch order (for the /v1/queue endpoint).
+  std::vector<std::uint64_t> snapshot(common::TimeNs now) const;
+
+ private:
+  struct Entry {
+    std::uint64_t job_id;
+    JobClass cls;
+    std::uint64_t remaining_shots;
+    std::uint64_t total_shots;
+    common::TimeNs enqueue_time;
+    std::uint64_t seq;  // stable FIFO order within a class
+  };
+
+  int effective_rank(const Entry& entry, common::TimeNs now) const;
+  /// Dispatch order: (effective rank asc, seq asc).
+  std::vector<const Entry*> ordered(common::TimeNs now) const;
+
+  QueuePolicy policy_;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, Entry> entries_;           // job_id -> entry
+  std::map<std::uint64_t, Entry> in_flight_;         // dispatched, awaiting done
+};
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,84 @@
+#include "daemon/sessions.hpp"
+
+#include "common/strings.hpp"
+
+namespace qcenv::daemon {
+
+using common::Result;
+using common::Status;
+
+Result<Session> SessionManager::create(const std::string& user,
+                                       JobClass cls) {
+  if (user.empty()) {
+    return common::err::invalid_argument("session user must not be empty");
+  }
+  std::scoped_lock lock(mutex_);
+  if (by_token_.size() >= options_.max_sessions) {
+    return common::err::resource_exhausted("session table full");
+  }
+  std::size_t user_sessions = 0;
+  for (const auto& [_, session] : by_token_) {
+    if (session.user == user) ++user_sessions;
+  }
+  if (user_sessions >= options_.max_sessions_per_user) {
+    return common::err::resource_exhausted(
+        "user '" + user + "' has too many open sessions");
+  }
+  Session session;
+  session.id = ids_.next();
+  session.user = user;
+  session.token = common::random_token(16);
+  session.job_class = cls;
+  session.created = clock_->now();
+  session.last_active = session.created;
+  by_token_[session.token] = session;
+  return session;
+}
+
+Result<Session> SessionManager::authenticate(const std::string& token) {
+  std::scoped_lock lock(mutex_);
+  const auto it = by_token_.find(token);
+  if (it == by_token_.end()) {
+    return common::err::permission_denied("invalid session token");
+  }
+  it->second.last_active = clock_->now();
+  return it->second;
+}
+
+Status SessionManager::close(const std::string& token) {
+  std::scoped_lock lock(mutex_);
+  if (by_token_.erase(token) == 0) {
+    return common::err::not_found("no such session");
+  }
+  return Status::ok_status();
+}
+
+std::size_t SessionManager::expire_idle() {
+  std::scoped_lock lock(mutex_);
+  const common::TimeNs now = clock_->now();
+  std::size_t removed = 0;
+  for (auto it = by_token_.begin(); it != by_token_.end();) {
+    if (now - it->second.last_active > options_.idle_expiry) {
+      it = by_token_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t SessionManager::count() const {
+  std::scoped_lock lock(mutex_);
+  return by_token_.size();
+}
+
+std::vector<Session> SessionManager::list() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Session> out;
+  out.reserve(by_token_.size());
+  for (const auto& [_, session] : by_token_) out.push_back(session);
+  return out;
+}
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,61 @@
+// User sessions: "as the user part of the runtime environment connects to
+// the middleware, a unique session is created, and a session token is
+// returned" (§3.3). Tokens authenticate job submission; sessions carry a
+// default job class and expire after inactivity.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "daemon/queue_core.hpp"
+
+namespace qcenv::daemon {
+
+struct Session {
+  common::SessionId id;
+  std::string user;
+  std::string token;
+  JobClass job_class = JobClass::kDevelopment;
+  common::TimeNs created = 0;
+  common::TimeNs last_active = 0;
+};
+
+struct SessionManagerOptions {
+  common::DurationNs idle_expiry = 3600 * common::kSecond;
+  std::size_t max_sessions = 1024;
+  std::size_t max_sessions_per_user = 16;
+};
+
+class SessionManager {
+ public:
+  SessionManager(SessionManagerOptions options, common::Clock* clock)
+      : options_(options), clock_(clock) {}
+
+  common::Result<Session> create(const std::string& user, JobClass cls);
+
+  /// Token -> session; refreshes last_active.
+  common::Result<Session> authenticate(const std::string& token);
+
+  common::Status close(const std::string& token);
+
+  /// Drops sessions idle beyond the expiry; returns how many were removed.
+  std::size_t expire_idle();
+
+  std::size_t count() const;
+  std::vector<Session> list() const;
+
+ private:
+  SessionManagerOptions options_;
+  common::Clock* clock_;
+  common::IdGenerator<common::SessionTag> ids_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Session> by_token_;
+};
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,276 @@
+#include "emulator/backend.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "emulator/statevector.hpp"
+
+namespace qcenv::emulator {
+
+using common::Json;
+using common::Result;
+using common::Rng;
+using quantum::Circuit;
+using quantum::Gate;
+using quantum::GateKind;
+using quantum::Payload;
+using quantum::PayloadKind;
+using quantum::Samples;
+using quantum::Sequence;
+
+namespace {
+
+CMatrix gate_matrix_1q(const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::kI: return gate_identity2();
+    case GateKind::kX: return gate_x();
+    case GateKind::kY: return gate_y();
+    case GateKind::kZ: return gate_z();
+    case GateKind::kH: return gate_h();
+    case GateKind::kS: return gate_s();
+    case GateKind::kSdg: return gate_sdg();
+    case GateKind::kT: return gate_t();
+    case GateKind::kTdg: return gate_tdg();
+    case GateKind::kRx: return gate_rx(gate.param);
+    case GateKind::kRy: return gate_ry(gate.param);
+    case GateKind::kRz: return gate_rz(gate.param);
+    case GateKind::kPhase: return gate_phase(gate.param);
+    default: return gate_identity2();
+  }
+}
+
+CMatrix gate_matrix_2q(const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::kCz: return gate_cz();
+    case GateKind::kCx: return gate_cx();
+    case GateKind::kSwap: return gate_swap();
+    default: return CMatrix::identity(4);
+  }
+}
+
+Json base_metadata(const std::string& backend, const Payload& payload,
+                   const NoiseModel& noise, std::size_t trajectories) {
+  Json meta = Json::object();
+  meta["backend"] = backend;
+  meta["program_hash"] = static_cast<long long>(payload.program_hash());
+  meta["shots"] = static_cast<long long>(payload.shots());
+  meta["trajectories"] = static_cast<long long>(trajectories);
+  if (noise.enabled()) {
+    meta["calibration"] = noise.calibration().to_json();
+  }
+  return meta;
+}
+
+/// Divides shots into `parts` nearly equal chunks.
+std::vector<std::uint64_t> split_shots(std::uint64_t shots,
+                                       std::size_t parts) {
+  std::vector<std::uint64_t> out(parts, shots / parts);
+  for (std::size_t i = 0; i < shots % parts; ++i) ++out[i];
+  return out;
+}
+
+}  // namespace
+
+StateVectorBackend::StateVectorBackend(std::size_t max_qubits)
+    : spec_(quantum::DeviceSpec::emulator_default(max_qubits)),
+      max_qubits_(max_qubits) {
+  spec_.name = "emu-sv";
+}
+
+Result<Samples> StateVectorBackend::run(const Payload& payload,
+                                        const RunOptions& options) {
+  if (payload.num_qubits() > max_qubits_) {
+    return common::err::resource_exhausted(
+        "emu-sv: " + std::to_string(payload.num_qubits()) +
+        " qubits exceed the dense limit of " + std::to_string(max_qubits_));
+  }
+  Rng rng(options.seed);
+  NoiseModel noise = options.calibration != nullptr
+                         ? NoiseModel(*options.calibration)
+                         : NoiseModel();
+
+  if (payload.kind() == PayloadKind::kDigital) {
+    auto circuit = payload.circuit();
+    if (!circuit.ok()) return circuit.error();
+    QCENV_RETURN_IF_ERROR(spec_.validate(circuit.value()));
+    StateVector psi(circuit.value().num_qubits());
+    for (const Gate& gate : circuit.value().gates()) {
+      if (quantum::arity(gate.kind) == 1) {
+        psi.apply_1q(gate_matrix_1q(gate), gate.qubits[0], options.pool);
+      } else {
+        psi.apply_2q(gate_matrix_2q(gate), gate.qubits[0], gate.qubits[1],
+                     options.pool);
+      }
+    }
+    Samples samples = psi.sample(payload.shots(), rng);
+    samples = noise.apply_readout_errors(samples, rng);
+    samples.set_metadata(base_metadata(name(), payload, noise, 1));
+    return samples;
+  }
+
+  auto sequence = payload.sequence();
+  if (!sequence.ok()) return sequence.error();
+  QCENV_RETURN_IF_ERROR(spec_.validate(sequence.value()));
+  const Sequence& seq = sequence.value();
+  const auto grid = seq.sample(options.sample_dt_ns);
+  const std::size_t n = seq.atom_register().size();
+
+  const std::size_t trajectories =
+      noise.stochastic()
+          ? std::max<std::size_t>(
+                1, std::min<std::uint64_t>(options.trajectories,
+                                           payload.shots()))
+          : 1;
+  const auto shot_split = split_shots(payload.shots(), trajectories);
+
+  Samples merged(n);
+  for (std::size_t t = 0; t < trajectories; ++t) {
+    Rng traj_rng = rng.fork(t + 1);
+    const TrajectoryNoise traj = noise.draw_trajectory(n, traj_rng);
+    AnalogEvolveOptions evolve;
+    evolve.max_substep_ns =
+        options.max_substep_ns > 0 ? options.max_substep_ns : 2;
+    evolve.pool = options.pool;
+    evolve.delta_disorder = traj.delta_disorder;
+    evolve.active = traj.active;
+    evolve.rabi_scale = traj.rabi_scale;
+    evolve.detuning_offset = traj.detuning_offset;
+
+    StateVector psi(n);
+    evolve_analog(psi, seq.atom_register(), grid, spec_.c6_coefficient,
+                  evolve);
+    Samples shot_samples = psi.sample(shot_split[t], traj_rng);
+    shot_samples = NoiseModel::mask_inactive(shot_samples, traj.active);
+    QCENV_RETURN_IF_ERROR(merged.merge(shot_samples));
+  }
+  merged = noise.apply_readout_errors(merged, rng);
+  merged.set_metadata(base_metadata(name(), payload, noise, trajectories));
+  return merged;
+}
+
+MpsBackend::MpsBackend(MpsOptions options, std::size_t max_qubits,
+                       int interaction_range)
+    : spec_(quantum::DeviceSpec::emulator_default(max_qubits)),
+      mps_options_(options),
+      max_qubits_(max_qubits),
+      interaction_range_(interaction_range) {
+  spec_.name = name();
+}
+
+std::string MpsBackend::name() const {
+  return "emu-mps-chi" + std::to_string(mps_options_.max_bond);
+}
+
+Result<Samples> MpsBackend::run(const Payload& payload,
+                                const RunOptions& options) {
+  if (payload.num_qubits() > max_qubits_) {
+    return common::err::resource_exhausted(
+        name() + ": " + std::to_string(payload.num_qubits()) +
+        " qubits exceed the configured limit of " +
+        std::to_string(max_qubits_));
+  }
+  Rng rng(options.seed);
+  NoiseModel noise = options.calibration != nullptr
+                         ? NoiseModel(*options.calibration)
+                         : NoiseModel();
+
+  if (payload.kind() == PayloadKind::kDigital) {
+    auto circuit = payload.circuit();
+    if (!circuit.ok()) return circuit.error();
+    QCENV_RETURN_IF_ERROR(spec_.validate(circuit.value()));
+    Mps psi(circuit.value().num_qubits());
+    for (const Gate& gate : circuit.value().gates()) {
+      if (quantum::arity(gate.kind) == 1) {
+        psi.apply_1q(gate_matrix_1q(gate), gate.qubits[0]);
+      } else {
+        psi.apply_2q(gate_matrix_2q(gate), gate.qubits[0], gate.qubits[1],
+                     mps_options_);
+      }
+    }
+    Samples samples = psi.sample(payload.shots(), rng);
+    samples = noise.apply_readout_errors(samples, rng);
+    Json meta = base_metadata(name(), payload, noise, 1);
+    meta["max_bond_dim"] = static_cast<long long>(psi.max_bond_dim());
+    meta["truncation_weight"] = psi.truncation_weight();
+    samples.set_metadata(std::move(meta));
+    return samples;
+  }
+
+  auto sequence = payload.sequence();
+  if (!sequence.ok()) return sequence.error();
+  QCENV_RETURN_IF_ERROR(spec_.validate(sequence.value()));
+  const Sequence& seq = sequence.value();
+  const auto grid = seq.sample(options.sample_dt_ns);
+  const std::size_t n = seq.atom_register().size();
+
+  const std::size_t trajectories =
+      noise.stochastic()
+          ? std::max<std::size_t>(
+                1, std::min<std::uint64_t>(options.trajectories,
+                                           payload.shots()))
+          : 1;
+  const auto shot_split = split_shots(payload.shots(), trajectories);
+
+  Samples merged(n);
+  double total_truncation = 0;
+  std::size_t peak_bond = 1;
+  for (std::size_t t = 0; t < trajectories; ++t) {
+    Rng traj_rng = rng.fork(t + 1);
+    const TrajectoryNoise traj = noise.draw_trajectory(n, traj_rng);
+    MpsEvolveOptions evolve;
+    evolve.max_substep_ns =
+        options.max_substep_ns > 0 ? options.max_substep_ns : 5;
+    evolve.mps = mps_options_;
+    evolve.interaction_range = interaction_range_;
+    evolve.delta_disorder = traj.delta_disorder;
+    evolve.active = traj.active;
+    evolve.rabi_scale = traj.rabi_scale;
+    evolve.detuning_offset = traj.detuning_offset;
+
+    Mps psi(n);
+    evolve_analog_mps(psi, seq.atom_register(), grid, spec_.c6_coefficient,
+                      evolve);
+    total_truncation += psi.truncation_weight();
+    peak_bond = std::max(peak_bond, psi.max_bond_dim());
+    Samples shot_samples = psi.sample(shot_split[t], traj_rng);
+    shot_samples = NoiseModel::mask_inactive(shot_samples, traj.active);
+    QCENV_RETURN_IF_ERROR(merged.merge(shot_samples));
+  }
+  merged = noise.apply_readout_errors(merged, rng);
+  Json meta = base_metadata(name(), payload, noise, trajectories);
+  meta["max_bond_dim"] = static_cast<long long>(peak_bond);
+  meta["truncation_weight"] =
+      total_truncation / static_cast<double>(trajectories);
+  merged.set_metadata(std::move(meta));
+  return merged;
+}
+
+Result<std::unique_ptr<Backend>> make_emulator_backend(
+    const std::string& kind) {
+  if (kind == "sv" || kind == "statevector") {
+    return std::unique_ptr<Backend>(std::make_unique<StateVectorBackend>());
+  }
+  if (kind == "mps") {
+    return std::unique_ptr<Backend>(std::make_unique<MpsBackend>());
+  }
+  if (kind == "mps-mock") {
+    MpsOptions options;
+    options.max_bond = 1;
+    return std::unique_ptr<Backend>(
+        std::make_unique<MpsBackend>(options, 1024));
+  }
+  if (common::starts_with(kind, "mps:")) {
+    const std::string chi_text = kind.substr(4);
+    char* end = nullptr;
+    const long chi = std::strtol(chi_text.c_str(), &end, 10);
+    if (end == chi_text.c_str() || *end != '\0' || chi < 1) {
+      return common::err::invalid_argument("bad bond dimension in: " + kind);
+    }
+    MpsOptions options;
+    options.max_bond = static_cast<std::size_t>(chi);
+    return std::unique_ptr<Backend>(std::make_unique<MpsBackend>(options));
+  }
+  return common::err::not_found("unknown emulator backend: " + kind);
+}
+
+}  // namespace qcenv::emulator

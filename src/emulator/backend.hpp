@@ -1,0 +1,99 @@
+// Backend: the execution interface every compute resource implements.
+//
+// A Backend consumes an opaque Payload and produces Samples. The same
+// interface backs the local emulators, the simulated QPU and (through QRMI)
+// cloud resources, which is what makes the paper's emulator <-> QPU switch
+// source-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/thread_pool.hpp"
+#include "emulator/mps.hpp"
+#include "emulator/noise.hpp"
+#include "quantum/device.hpp"
+#include "quantum/payload.hpp"
+#include "quantum/samples.hpp"
+
+namespace qcenv::emulator {
+
+/// Per-run execution options.
+struct RunOptions {
+  /// RNG seed; identical seeds reproduce identical samples.
+  std::uint64_t seed = 1234;
+  /// Calibration to emulate; nullptr = ideal execution (development mode).
+  const quantum::CalibrationSnapshot* calibration = nullptr;
+  /// Worker pool for the dense kernels; nullptr = serial.
+  common::ThreadPool* pool = nullptr;
+  /// Integration substep ceiling (ns).
+  quantum::DurationNsQ max_substep_ns = 0;  // 0 = backend default
+  /// Waveform sampling grid (ns).
+  quantum::DurationNsQ sample_dt_ns = 10;
+  /// Noise trajectories when calibration has stochastic terms.
+  std::size_t trajectories = 8;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+  virtual quantum::DeviceSpec spec() const = 0;
+
+  /// Validates the payload against spec() and executes it.
+  virtual common::Result<quantum::Samples> run(const quantum::Payload& payload,
+                                               const RunOptions& options) = 0;
+
+  /// Convenience overload with default options (non-virtual to avoid the
+  /// default-argument-in-override pitfall).
+  common::Result<quantum::Samples> run(const quantum::Payload& payload) {
+    return run(payload, RunOptions{});
+  }
+};
+
+/// Exact dense emulator; memory-bound at ~2^max_qubits amplitudes.
+class StateVectorBackend final : public Backend {
+ public:
+  explicit StateVectorBackend(std::size_t max_qubits = 22);
+
+  std::string name() const override { return "emu-sv"; }
+  quantum::DeviceSpec spec() const override { return spec_; }
+  using Backend::run;
+  common::Result<quantum::Samples> run(const quantum::Payload& payload,
+                                       const RunOptions& options) override;
+
+ private:
+  quantum::DeviceSpec spec_;
+  std::size_t max_qubits_;
+};
+
+/// Tensor-network emulator; chi = 1 gives the product-state mock mode.
+class MpsBackend final : public Backend {
+ public:
+  explicit MpsBackend(MpsOptions options = {}, std::size_t max_qubits = 64,
+                      int interaction_range = 2);
+
+  std::string name() const override;
+  quantum::DeviceSpec spec() const override { return spec_; }
+  using Backend::run;
+  common::Result<quantum::Samples> run(const quantum::Payload& payload,
+                                       const RunOptions& options) override;
+
+  const MpsOptions& mps_options() const noexcept { return mps_options_; }
+
+ private:
+  quantum::DeviceSpec spec_;
+  MpsOptions mps_options_;
+  std::size_t max_qubits_;
+  int interaction_range_;
+};
+
+/// Factory by name: "sv" / "statevector", "mps", "mps-mock" (chi = 1).
+/// "mps:<chi>" selects an explicit bond dimension.
+common::Result<std::unique_ptr<Backend>> make_emulator_backend(
+    const std::string& kind);
+
+}  // namespace qcenv::emulator

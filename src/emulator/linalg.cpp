@@ -1,0 +1,291 @@
+#include "emulator/linalg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace qcenv::emulator {
+
+namespace {
+constexpr double kJacobiTol = 1e-14;
+constexpr int kMaxSweeps = 60;
+}  // namespace
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+CMatrix CMatrix::adjoint() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.at(c, r) = std::conj(at(r, c));
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::transpose() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.at(c, r) = at(r, c);
+    }
+  }
+  return out;
+}
+
+double CMatrix::norm() const {
+  double acc = 0;
+  for (const Complex& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+CMatrix matmul(const CMatrix& a, const CMatrix& b) {
+  assert(a.cols() == b.rows() && "matmul shape mismatch");
+  CMatrix out(a.rows(), b.cols());
+  // i-k-j loop order: streams through b rows, cache friendly.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const Complex aik = a.at(i, k);
+      if (aik == Complex{}) continue;
+      const Complex* brow = b.data() + k * b.cols();
+      Complex* orow = out.data() + i * out.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+CMatrix kron(const CMatrix& a, const CMatrix& b) {
+  CMatrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ar = 0; ar < a.rows(); ++ar) {
+    for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+      const Complex av = a.at(ar, ac);
+      if (av == Complex{}) continue;
+      for (std::size_t br = 0; br < b.rows(); ++br) {
+        for (std::size_t bc = 0; bc < b.cols(); ++bc) {
+          out.at(ar * b.rows() + br, ac * b.cols() + bc) = av * b.at(br, bc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double max_abs_diff(const CMatrix& a, const CMatrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double best = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      best = std::max(best, std::abs(a.at(r, c) - b.at(r, c)));
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// One-sided Jacobi on a matrix with rows >= cols: orthogonalizes column
+/// pairs until convergence, accumulating the right-transformations into V.
+SvdResult svd_tall(const CMatrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  CMatrix work = a;
+  CMatrix v = CMatrix::identity(n);
+
+  const auto col_dot = [&](std::size_t i, std::size_t j) {
+    // Returns ci^dagger * cj.
+    Complex acc = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      acc += std::conj(work.at(r, i)) * work.at(r, j);
+    }
+    return acc;
+  };
+  const auto col_norm2 = [&](std::size_t i) {
+    double acc = 0;
+    for (std::size_t r = 0; r < m; ++r) acc += std::norm(work.at(r, i));
+    return acc;
+  };
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const Complex gamma = col_dot(i, j);
+        const double alpha = col_norm2(i);
+        const double beta = col_norm2(j);
+        const double mag = std::abs(gamma);
+        if (mag <= kJacobiTol * std::sqrt(alpha * beta) || mag == 0.0) {
+          continue;
+        }
+        converged = false;
+        // Remove the phase of gamma from column j so the 2x2 Gram matrix
+        // becomes real, then apply a classic real Jacobi rotation.
+        const Complex phase = gamma / mag;
+        const double tau = (beta - alpha) / (2.0 * mag);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (std::size_t r = 0; r < m; ++r) {
+          const Complex ci = work.at(r, i);
+          const Complex cj = work.at(r, j) * std::conj(phase);
+          work.at(r, i) = cs * ci - sn * cj;
+          work.at(r, j) = sn * ci + cs * cj;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const Complex vi = v.at(r, i);
+          const Complex vj = v.at(r, j) * std::conj(phase);
+          v.at(r, i) = cs * vi - sn * vj;
+          v.at(r, j) = sn * vi + cs * vj;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Extract singular values and sort descending.
+  std::vector<double> sigma(n);
+  for (std::size_t i = 0; i < n; ++i) sigma[i] = std::sqrt(col_norm2(i));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.u = CMatrix(m, n);
+  out.s.resize(n);
+  out.vh = CMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = order[k];
+    out.s[k] = sigma[src];
+    const double inv = sigma[src] > 0 ? 1.0 / sigma[src] : 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      out.u.at(r, k) = work.at(r, src) * inv;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      out.vh.at(k, r) = std::conj(v.at(r, src));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvdResult svd(const CMatrix& a) {
+  if (a.rows() >= a.cols()) return svd_tall(a);
+  // A = U S Vh  <=>  A^dagger = V S Uh; compute on the tall adjoint.
+  SvdResult t = svd_tall(a.adjoint());
+  SvdResult out;
+  out.s = std::move(t.s);
+  out.u = t.vh.adjoint();
+  out.vh = t.u.adjoint();
+  return out;
+}
+
+double truncate_svd(SvdResult& result, std::size_t max_rank, double cutoff) {
+  const std::size_t k = result.s.size();
+  double total = 0;
+  for (const double s : result.s) total += s * s;
+  if (total <= 0) return 0;
+
+  std::size_t keep = std::min(max_rank, k);
+  const double threshold = cutoff * (result.s.empty() ? 0.0 : result.s[0]);
+  while (keep > 1 && result.s[keep - 1] < threshold) --keep;
+
+  double discarded = 0;
+  for (std::size_t i = keep; i < k; ++i) discarded += result.s[i] * result.s[i];
+
+  if (keep < k) {
+    CMatrix u(result.u.rows(), keep);
+    for (std::size_t r = 0; r < u.rows(); ++r) {
+      for (std::size_t c = 0; c < keep; ++c) u.at(r, c) = result.u.at(r, c);
+    }
+    CMatrix vh(keep, result.vh.cols());
+    for (std::size_t r = 0; r < keep; ++r) {
+      for (std::size_t c = 0; c < vh.cols(); ++c) {
+        vh.at(r, c) = result.vh.at(r, c);
+      }
+    }
+    result.u = std::move(u);
+    result.vh = std::move(vh);
+    result.s.resize(keep);
+  }
+  return discarded / total;
+}
+
+namespace {
+const Complex kI{0.0, 1.0};
+}
+
+CMatrix gate_identity2() { return CMatrix::identity(2); }
+
+CMatrix gate_x() {
+  return CMatrix(2, 2, {0, 1, 1, 0});
+}
+CMatrix gate_y() {
+  return CMatrix(2, 2, {0, -kI, kI, 0});
+}
+CMatrix gate_z() {
+  return CMatrix(2, 2, {1, 0, 0, -1});
+}
+CMatrix gate_h() {
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  return CMatrix(2, 2, {inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2});
+}
+CMatrix gate_s() {
+  return CMatrix(2, 2, {1, 0, 0, kI});
+}
+CMatrix gate_sdg() {
+  return CMatrix(2, 2, {1, 0, 0, -kI});
+}
+CMatrix gate_t() {
+  return CMatrix(2, 2, {1, 0, 0, std::exp(kI * (std::acos(-1.0) / 4.0))});
+}
+CMatrix gate_tdg() {
+  return CMatrix(2, 2, {1, 0, 0, std::exp(-kI * (std::acos(-1.0) / 4.0))});
+}
+CMatrix gate_rx(double angle) {
+  const double c = std::cos(angle / 2), s = std::sin(angle / 2);
+  return CMatrix(2, 2, {c, -kI * s, -kI * s, c});
+}
+CMatrix gate_ry(double angle) {
+  const double c = std::cos(angle / 2), s = std::sin(angle / 2);
+  return CMatrix(2, 2, {c, -s, s, c});
+}
+CMatrix gate_rz(double angle) {
+  return CMatrix(2, 2,
+                 {std::exp(-kI * (angle / 2)), 0, 0, std::exp(kI * (angle / 2))});
+}
+CMatrix gate_phase(double angle) {
+  return CMatrix(2, 2, {1, 0, 0, std::exp(kI * angle)});
+}
+CMatrix gate_cz() {
+  CMatrix m = CMatrix::identity(4);
+  m.at(3, 3) = -1;
+  return m;
+}
+CMatrix gate_cx() {
+  CMatrix m(4, 4);
+  m.at(0, 0) = 1;
+  m.at(1, 1) = 1;
+  m.at(2, 3) = 1;
+  m.at(3, 2) = 1;
+  return m;
+}
+CMatrix gate_swap() {
+  CMatrix m(4, 4);
+  m.at(0, 0) = 1;
+  m.at(1, 2) = 1;
+  m.at(2, 1) = 1;
+  m.at(3, 3) = 1;
+  return m;
+}
+
+}  // namespace qcenv::emulator

@@ -1,0 +1,97 @@
+// Dense complex linear algebra for the emulators: matrices sized by MPS bond
+// dimension (tens, not thousands), so simple cache-friendly kernels beat
+// library dispatch overhead. SVD uses one-sided Jacobi — slow asymptotically
+// but robust, dependency-free and accurate to machine precision at these
+// sizes.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace qcenv::emulator {
+
+using Complex = std::complex<double>;
+
+/// Row-major dense complex matrix.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+  CMatrix(std::size_t rows, std::size_t cols, std::vector<Complex> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {}
+
+  static CMatrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  Complex& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const Complex& at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  Complex* data() noexcept { return data_.data(); }
+  const Complex* data() const noexcept { return data_.data(); }
+
+  CMatrix adjoint() const;
+  CMatrix transpose() const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  bool operator==(const CMatrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// C = A * B.
+CMatrix matmul(const CMatrix& a, const CMatrix& b);
+
+/// Kronecker product (used by tests and the transpiler).
+CMatrix kron(const CMatrix& a, const CMatrix& b);
+
+/// Max |A_ij - B_ij|.
+double max_abs_diff(const CMatrix& a, const CMatrix& b);
+
+/// Thin singular value decomposition A = U * diag(S) * Vh with
+/// k = min(rows, cols): U is rows x k with orthonormal columns, S is the
+/// non-increasing singular values, Vh is k x cols with orthonormal rows.
+struct SvdResult {
+  CMatrix u;
+  std::vector<double> s;
+  CMatrix vh;
+};
+
+/// One-sided Jacobi SVD. Deterministic; converges to machine precision for
+/// the well-conditioned small matrices produced by TEBD.
+SvdResult svd(const CMatrix& a);
+
+/// Truncates an SVD to at most `max_rank` values, additionally dropping
+/// values below `cutoff * s[0]`. Returns the discarded weight
+/// (sum of squared dropped singular values / total).
+double truncate_svd(SvdResult& svd, std::size_t max_rank, double cutoff);
+
+// -- Standard gate matrices (2x2 / 4x4), computational basis |0>, |1> ------
+
+CMatrix gate_identity2();
+CMatrix gate_x();
+CMatrix gate_y();
+CMatrix gate_z();
+CMatrix gate_h();
+CMatrix gate_s();
+CMatrix gate_sdg();
+CMatrix gate_t();
+CMatrix gate_tdg();
+CMatrix gate_rx(double angle);
+CMatrix gate_ry(double angle);
+CMatrix gate_rz(double angle);
+CMatrix gate_phase(double angle);
+CMatrix gate_cz();
+CMatrix gate_cx();
+CMatrix gate_swap();
+
+}  // namespace qcenv::emulator

@@ -1,0 +1,391 @@
+#include "emulator/mps.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qcenv::emulator {
+
+using common::Rng;
+using quantum::Samples;
+
+namespace {
+constexpr double kLambdaFloor = 1e-12;
+}
+
+Mps::Mps(std::size_t num_qubits)
+    : num_sites_(num_qubits),
+      sites_(num_qubits),
+      lambdas_(num_qubits + 1, std::vector<double>{1.0}) {
+  for (auto& site : sites_) {
+    site.chi_l = 1;
+    site.chi_r = 1;
+    site.gamma.assign(2, Complex{});
+    site.gamma[0] = 1.0;  // |0>
+  }
+}
+
+std::size_t Mps::bond_dim(std::size_t bond) const {
+  assert(bond + 1 < lambdas_.size());
+  return lambdas_[bond + 1].size();
+}
+
+std::size_t Mps::max_bond_dim() const {
+  std::size_t best = 1;
+  for (const auto& l : lambdas_) best = std::max(best, l.size());
+  return best;
+}
+
+void Mps::apply_1q(const CMatrix& u, std::size_t q) {
+  assert(q < num_sites_);
+  Site& site = sites_[q];
+  for (std::size_t l = 0; l < site.chi_l; ++l) {
+    for (std::size_t r = 0; r < site.chi_r; ++r) {
+      const Complex a0 = g(site, l, 0, r);
+      const Complex a1 = g(site, l, 1, r);
+      g(site, l, 0, r) = u.at(0, 0) * a0 + u.at(0, 1) * a1;
+      g(site, l, 1, r) = u.at(1, 0) * a0 + u.at(1, 1) * a1;
+    }
+  }
+}
+
+void Mps::apply_2q_adjacent(const CMatrix& u, std::size_t q,
+                            const MpsOptions& options) {
+  assert(q + 1 < num_sites_);
+  Site& left = sites_[q];
+  Site& right = sites_[q + 1];
+  const std::size_t chi_l = left.chi_l;
+  const std::size_t chi_m = left.chi_r;
+  const std::size_t chi_r = right.chi_r;
+  const auto& lam_prev = lambdas_[q];
+  const auto& lam_mid = lambdas_[q + 1];
+  const auto& lam_next = lambdas_[q + 2];
+  assert(lam_prev.size() == chi_l && lam_mid.size() == chi_m &&
+         lam_next.size() == chi_r);
+
+  // Theta[(l,s1),(s2,r)] = lam_prev[l] G1^{s1}[l,m] lam_mid[m]
+  //                        G2^{s2}[m,r] lam_next[r]
+  std::vector<Complex> theta(chi_l * 2 * 2 * chi_r, Complex{});
+  for (std::size_t l = 0; l < chi_l; ++l) {
+    for (std::size_t m = 0; m < chi_m; ++m) {
+      const double lm = lam_mid[m];
+      if (lm == 0.0) continue;
+      for (std::size_t s1 = 0; s1 < 2; ++s1) {
+        const Complex g1 = g(left, l, s1, m) * lam_prev[l] * lm;
+        if (g1 == Complex{}) continue;
+        for (std::size_t s2 = 0; s2 < 2; ++s2) {
+          for (std::size_t r = 0; r < chi_r; ++r) {
+            theta[((l * 2 + s1) * 2 + s2) * chi_r + r] +=
+                g1 * g(right, m, s2, r) * lam_next[r];
+          }
+        }
+      }
+    }
+  }
+
+  // Apply U in the (s1, s2) indices: theta'[s1',s2'] = U[(s1's2'),(s1 s2)].
+  std::vector<Complex> rotated(theta.size(), Complex{});
+  for (std::size_t l = 0; l < chi_l; ++l) {
+    for (std::size_t r = 0; r < chi_r; ++r) {
+      Complex in[4];
+      for (std::size_t s1 = 0; s1 < 2; ++s1) {
+        for (std::size_t s2 = 0; s2 < 2; ++s2) {
+          in[s1 * 2 + s2] = theta[((l * 2 + s1) * 2 + s2) * chi_r + r];
+        }
+      }
+      for (std::size_t row = 0; row < 4; ++row) {
+        Complex acc{};
+        for (std::size_t col = 0; col < 4; ++col) {
+          acc += u.at(row, col) * in[col];
+        }
+        rotated[((l * 2 + row / 2) * 2 + (row % 2)) * chi_r + r] = acc;
+      }
+    }
+  }
+
+  // Reshape to (chi_l*2) x (2*chi_r) and SVD.
+  CMatrix m(chi_l * 2, 2 * chi_r);
+  for (std::size_t l = 0; l < chi_l; ++l) {
+    for (std::size_t s1 = 0; s1 < 2; ++s1) {
+      for (std::size_t s2 = 0; s2 < 2; ++s2) {
+        for (std::size_t r = 0; r < chi_r; ++r) {
+          m.at(l * 2 + s1, s2 * chi_r + r) =
+              rotated[((l * 2 + s1) * 2 + s2) * chi_r + r];
+        }
+      }
+    }
+  }
+  SvdResult decomposition = svd(m);
+  truncation_weight_ +=
+      truncate_svd(decomposition, options.max_bond, options.svd_cutoff);
+
+  // Renormalize the kept spectrum so the state stays normalized.
+  double norm2 = 0;
+  for (const double s : decomposition.s) norm2 += s * s;
+  const double inv_norm = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 0.0;
+  std::vector<double> new_mid(decomposition.s.size());
+  for (std::size_t i = 0; i < new_mid.size(); ++i) {
+    new_mid[i] = decomposition.s[i] * inv_norm;
+  }
+  const std::size_t chi_new = new_mid.size();
+
+  // New Gammas: divide out the environment lambdas (guarded pseudo-inverse).
+  Site new_left;
+  new_left.chi_l = chi_l;
+  new_left.chi_r = chi_new;
+  new_left.gamma.assign(chi_l * 2 * chi_new, Complex{});
+  for (std::size_t l = 0; l < chi_l; ++l) {
+    const double inv = lam_prev[l] > kLambdaFloor ? 1.0 / lam_prev[l] : 0.0;
+    for (std::size_t s1 = 0; s1 < 2; ++s1) {
+      for (std::size_t k = 0; k < chi_new; ++k) {
+        new_left.gamma[(l * 2 + s1) * chi_new + k] =
+            decomposition.u.at(l * 2 + s1, k) * inv;
+      }
+    }
+  }
+  Site new_right;
+  new_right.chi_l = chi_new;
+  new_right.chi_r = chi_r;
+  new_right.gamma.assign(chi_new * 2 * chi_r, Complex{});
+  for (std::size_t k = 0; k < chi_new; ++k) {
+    for (std::size_t s2 = 0; s2 < 2; ++s2) {
+      for (std::size_t r = 0; r < chi_r; ++r) {
+        const double inv =
+            lam_next[r] > kLambdaFloor ? 1.0 / lam_next[r] : 0.0;
+        new_right.gamma[(k * 2 + s2) * chi_r + r] =
+            decomposition.vh.at(k, s2 * chi_r + r) * inv;
+      }
+    }
+  }
+  sites_[q] = std::move(new_left);
+  sites_[q + 1] = std::move(new_right);
+  lambdas_[q + 1] = std::move(new_mid);
+}
+
+void Mps::apply_2q(const CMatrix& u, std::size_t a, std::size_t b,
+                   const MpsOptions& options) {
+  assert(a < num_sites_ && b < num_sites_ && a != b);
+  // Orient so a < b; if operands were given high-first, conjugate the matrix
+  // by SWAP to preserve semantics.
+  CMatrix effective = u;
+  if (a > b) {
+    std::swap(a, b);
+    const CMatrix sw = gate_swap();
+    effective = matmul(sw, matmul(u, sw));
+  }
+  // Bring b next to a with swaps, apply, swap back.
+  for (std::size_t pos = b; pos > a + 1; --pos) {
+    apply_2q_adjacent(gate_swap(), pos - 1, options);
+  }
+  apply_2q_adjacent(effective, a, options);
+  for (std::size_t pos = a + 1; pos < b; ++pos) {
+    apply_2q_adjacent(gate_swap(), pos, options);
+  }
+}
+
+double Mps::z_expectation(std::size_t q) const {
+  assert(q < num_sites_);
+  const Site& site = sites_[q];
+  const auto& lam_l = lambdas_[q];
+  const auto& lam_r = lambdas_[q + 1];
+  double p0 = 0, p1 = 0;
+  for (std::size_t l = 0; l < site.chi_l; ++l) {
+    const double wl = lam_l[l] * lam_l[l];
+    for (std::size_t r = 0; r < site.chi_r; ++r) {
+      const double w = wl * lam_r[r] * lam_r[r];
+      p0 += w * std::norm(g(site, l, 0, r));
+      p1 += w * std::norm(g(site, l, 1, r));
+    }
+  }
+  const double total = p0 + p1;
+  if (total <= 0) return 1.0;
+  return (p0 - p1) / total;
+}
+
+double Mps::entanglement_entropy(std::size_t bond) const {
+  assert(bond + 1 < lambdas_.size());
+  double entropy = 0;
+  for (const double s : lambdas_[bond + 1]) {
+    const double p = s * s;
+    if (p > 1e-300) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+std::string Mps::sample_bits(Rng& rng) const {
+  std::string bits(num_sites_, '0');
+  std::vector<Complex> v{1.0};
+  for (std::size_t q = 0; q < num_sites_; ++q) {
+    const Site& site = sites_[q];
+    const auto& lam_r = lambdas_[q + 1];
+    std::vector<Complex> next0(site.chi_r, Complex{});
+    std::vector<Complex> next1(site.chi_r, Complex{});
+    for (std::size_t l = 0; l < site.chi_l; ++l) {
+      const Complex vl = v[l];
+      if (vl == Complex{}) continue;
+      for (std::size_t r = 0; r < site.chi_r; ++r) {
+        next0[r] += vl * g(site, l, 0, r) * lam_r[r];
+        next1[r] += vl * g(site, l, 1, r) * lam_r[r];
+      }
+    }
+    double w0 = 0, w1 = 0;
+    for (const Complex& c : next0) w0 += std::norm(c);
+    for (const Complex& c : next1) w1 += std::norm(c);
+    const double total = w0 + w1;
+    const bool one = total > 0 && rng.uniform() * total < w1;
+    bits[q] = one ? '1' : '0';
+    std::vector<Complex>& chosen = one ? next1 : next0;
+    const double w = one ? w1 : w0;
+    const double inv = w > 0 ? 1.0 / std::sqrt(w) : 0.0;
+    for (Complex& c : chosen) c *= inv;
+    v = std::move(chosen);
+  }
+  return bits;
+}
+
+Samples Mps::sample(std::uint64_t shots, Rng& rng) const {
+  Samples samples(num_sites_);
+  for (std::uint64_t i = 0; i < shots; ++i) {
+    samples.record(sample_bits(rng));
+  }
+  return samples;
+}
+
+StateVector Mps::to_statevector() const {
+  assert(num_sites_ <= 20 && "dense conversion limited to 20 qubits");
+  StateVector out(num_sites_);
+  // Accumulate left-to-right: cur[idx * chi + r] for idx over the first i
+  // qubits (bit i of idx = qubit i).
+  std::vector<Complex> cur{1.0};
+  std::size_t chi = 1;
+  for (std::size_t q = 0; q < num_sites_; ++q) {
+    const Site& site = sites_[q];
+    const auto& lam_r = lambdas_[q + 1];
+    const std::size_t states = std::size_t{1} << q;
+    std::vector<Complex> next(states * 2 * site.chi_r, Complex{});
+    for (std::size_t idx = 0; idx < states; ++idx) {
+      for (std::size_t l = 0; l < chi; ++l) {
+        const Complex base = cur[idx * chi + l];
+        if (base == Complex{}) continue;
+        for (std::size_t s = 0; s < 2; ++s) {
+          const std::size_t nidx = idx | (s << q);
+          for (std::size_t r = 0; r < site.chi_r; ++r) {
+            next[nidx * site.chi_r + r] +=
+                base * g(site, l, s, r) * lam_r[r];
+          }
+        }
+      }
+    }
+    cur = std::move(next);
+    chi = site.chi_r;
+  }
+  // chi should be 1 at the right boundary.
+  auto& amps = out.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    amps[i] = cur[i * chi];  // right boundary index 0
+  }
+  return out;
+}
+
+void evolve_analog_mps(Mps& psi, const quantum::AtomRegister& reg,
+                       const quantum::SequenceSamples& samples, double c6,
+                       const MpsEvolveOptions& options) {
+  const std::size_t n = psi.num_qubits();
+  assert(reg.size() == n && "register size must match MPS width");
+  if (samples.steps() == 0 || n == 0) return;
+
+  const auto active_bit = [&](std::size_t q) {
+    return options.active.empty() || options.active[q];
+  };
+
+  // Chain interactions up to `interaction_range` neighbours.
+  struct Bond {
+    std::size_t a;
+    std::size_t b;
+    double u;
+  };
+  std::vector<Bond> bonds;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 1; d <= options.interaction_range; ++d) {
+      const std::size_t j = i + static_cast<std::size_t>(d);
+      if (j >= n) continue;
+      if (!active_bit(i) || !active_bit(j)) continue;
+      const double r = reg.distance(i, j);
+      if (r <= 0) continue;
+      bonds.push_back(Bond{i, j, c6 / std::pow(r, 6.0)});
+    }
+  }
+
+  const double sample_dt_us = static_cast<double>(samples.dt_ns) * 1e-3;
+  const auto substeps = static_cast<std::size_t>(std::max<quantum::DurationNsQ>(
+      1, (samples.dt_ns + options.max_substep_ns - 1) /
+             std::max<quantum::DurationNsQ>(1, options.max_substep_ns)));
+  const double dt_us = sample_dt_us / static_cast<double>(substeps);
+
+  for (std::size_t step = 0; step < samples.steps(); ++step) {
+    const double omega = samples.omega[step] * options.rabi_scale;
+    const double delta_glob = samples.delta[step] + options.detuning_offset;
+    const double phi = samples.phase[step];
+
+    // Half Rabi rotation (exact): theta = omega * dt / 2 over half a step.
+    const double theta_half = omega * dt_us / 4.0;
+    const Complex e_ip = Complex(std::cos(phi), std::sin(phi));
+    CMatrix rabi_half(2, 2);
+    rabi_half.at(0, 0) = std::cos(theta_half);
+    rabi_half.at(1, 1) = std::cos(theta_half);
+    rabi_half.at(0, 1) = Complex(0, -1) * e_ip * std::sin(theta_half);
+    rabi_half.at(1, 0) =
+        Complex(0, -1) * std::conj(e_ip) * std::sin(theta_half);
+
+    // Per-qubit detuning phases for a full substep:
+    // exp(-i * (-delta_q) * dt) on |1> => diag(1, e^{+i delta_q dt}).
+    std::vector<CMatrix> detuning_gates;
+    detuning_gates.reserve(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      double delta_q = delta_glob;
+      if (q < options.delta_disorder.size()) {
+        delta_q += options.delta_disorder[q];
+      }
+      if (q < samples.delta_local.size() &&
+          step < samples.delta_local[q].size()) {
+        delta_q += samples.delta_local[q][step];
+      }
+      CMatrix gate(2, 2);
+      gate.at(0, 0) = 1.0;
+      const double angle = delta_q * dt_us;
+      gate.at(1, 1) = Complex(std::cos(angle), std::sin(angle));
+      detuning_gates.push_back(std::move(gate));
+    }
+
+    for (std::size_t sub = 0; sub < substeps; ++sub) {
+      // [K/2]
+      if (omega != 0.0) {
+        for (std::size_t q = 0; q < n; ++q) {
+          if (active_bit(q)) psi.apply_1q(rabi_half, q);
+        }
+      }
+      // [D]: detunings (single-site, free) then interactions.
+      for (std::size_t q = 0; q < n; ++q) {
+        if (active_bit(q)) psi.apply_1q(detuning_gates[q], q);
+      }
+      for (const Bond& bond : bonds) {
+        CMatrix gate = CMatrix::identity(4);
+        const double angle = -bond.u * dt_us;
+        gate.at(3, 3) = Complex(std::cos(angle), std::sin(angle));
+        if (bond.b == bond.a + 1) {
+          psi.apply_2q_adjacent(gate, bond.a, options.mps);
+        } else {
+          psi.apply_2q(gate, bond.a, bond.b, options.mps);
+        }
+      }
+      // [K/2]
+      if (omega != 0.0) {
+        for (std::size_t q = 0; q < n; ++q) {
+          if (active_bit(q)) psi.apply_1q(rabi_half, q);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qcenv::emulator

@@ -1,0 +1,112 @@
+// Matrix-product-state emulator (Vidal canonical form) with TEBD evolution.
+//
+// This is the "tensor network emulator" of the paper's section 3.2: the bond
+// dimension chi caps memory and cost, so very wide registers still execute —
+// inaccurately for entangling dynamics, but faithfully enough to validate a
+// hybrid program end-to-end. chi = 1 is the product-state "mock" mode the
+// paper describes for end-to-end tests.
+//
+// Approximations (documented in DESIGN.md, measured in bench_emulator):
+//  - Registers are treated as 1-D chains in index order; Rydberg
+//    interactions are included up to `interaction_range` neighbours
+//    (default 2; further tails are < ~0.5% of nearest-neighbour strength at
+//    typical spacings).
+//  - Non-adjacent gates are swap-routed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "emulator/linalg.hpp"
+#include "emulator/statevector.hpp"
+#include "quantum/register.hpp"
+#include "quantum/samples.hpp"
+#include "quantum/sequence.hpp"
+
+namespace qcenv::emulator {
+
+struct MpsOptions {
+  std::size_t max_bond = 16;   // chi; 1 = product-state mock
+  double svd_cutoff = 1e-10;   // relative singular-value cutoff
+};
+
+class Mps {
+ public:
+  /// Initializes |0...0> (bond dimension 1).
+  explicit Mps(std::size_t num_qubits);
+
+  std::size_t num_qubits() const noexcept { return num_sites_; }
+  /// Current bond dimension between sites `bond` and `bond + 1`.
+  std::size_t bond_dim(std::size_t bond) const;
+  std::size_t max_bond_dim() const;
+  /// Total discarded weight accumulated by truncations so far.
+  double truncation_weight() const noexcept { return truncation_weight_; }
+
+  void apply_1q(const CMatrix& u, std::size_t q);
+
+  /// Two-qubit unitary on adjacent sites (q, q+1); rows indexed
+  /// (value_q << 1) | value_{q+1}. Truncates to the given options.
+  void apply_2q_adjacent(const CMatrix& u, std::size_t q,
+                         const MpsOptions& options);
+
+  /// General two-qubit unitary; swap-routes non-adjacent operands.
+  void apply_2q(const CMatrix& u, std::size_t a, std::size_t b,
+                const MpsOptions& options);
+
+  /// <Z_q> via exact local contraction.
+  double z_expectation(std::size_t q) const;
+  /// Von Neumann entanglement entropy across the given bond.
+  double entanglement_entropy(std::size_t bond) const;
+
+  /// Draws one bitstring (canonical-form ancestral sampling).
+  std::string sample_bits(common::Rng& rng) const;
+  quantum::Samples sample(std::uint64_t shots, common::Rng& rng) const;
+
+  /// Dense conversion for verification (requires num_qubits <= 20).
+  StateVector to_statevector() const;
+
+ private:
+  // Vidal form: per site Gamma tensors (chiL x 2 x chiR, row-major) and
+  // n+1 singular-value vectors (boundaries are {1}).
+  struct Site {
+    std::size_t chi_l = 1;
+    std::size_t chi_r = 1;
+    std::vector<Complex> gamma;  // [(l * 2 + s) * chi_r + r]
+  };
+
+  Complex& g(Site& site, std::size_t l, std::size_t s, std::size_t r) {
+    return site.gamma[(l * 2 + s) * site.chi_r + r];
+  }
+  const Complex& g(const Site& site, std::size_t l, std::size_t s,
+                   std::size_t r) const {
+    return site.gamma[(l * 2 + s) * site.chi_r + r];
+  }
+
+  std::size_t num_sites_;
+  std::vector<Site> sites_;
+  std::vector<std::vector<double>> lambdas_;  // size num_sites_ + 1
+  double truncation_weight_ = 0;
+};
+
+/// TEBD options mirror AnalogEvolveOptions plus MPS-specific knobs.
+struct MpsEvolveOptions {
+  quantum::DurationNsQ max_substep_ns = 5;
+  MpsOptions mps;
+  int interaction_range = 2;  // neighbours included in the chain Hamiltonian
+  std::vector<double> delta_disorder;
+  std::vector<bool> active;
+  double rabi_scale = 1.0;
+  double detuning_offset = 0.0;
+};
+
+/// TEBD evolution under the chain-restricted Rydberg Hamiltonian using
+/// second-order splitting [K/2][D][K/2] (Rabi half-steps are single-site and
+/// exact; the diagonal part is exact phase gates).
+void evolve_analog_mps(Mps& psi, const quantum::AtomRegister& reg,
+                       const quantum::SequenceSamples& samples, double c6,
+                       const MpsEvolveOptions& options = {});
+
+}  // namespace qcenv::emulator

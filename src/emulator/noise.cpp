@@ -1,0 +1,69 @@
+#include "emulator/noise.hpp"
+
+#include <cmath>
+
+namespace qcenv::emulator {
+
+using common::Rng;
+using quantum::Samples;
+
+TrajectoryNoise NoiseModel::draw_trajectory(std::size_t num_qubits,
+                                            Rng& rng) const {
+  TrajectoryNoise noise;
+  if (!enabled_) return noise;
+  noise.rabi_scale = calibration_.rabi_scale;
+  noise.detuning_offset = calibration_.detuning_offset;
+  if (calibration_.dephasing_rate > 0) {
+    const double sigma = std::sqrt(2.0) * calibration_.dephasing_rate;
+    noise.delta_disorder.resize(num_qubits);
+    for (double& d : noise.delta_disorder) d = rng.normal(0.0, sigma);
+  }
+  if (calibration_.fill_success < 1.0) {
+    noise.active.resize(num_qubits);
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+      noise.active[q] = rng.bernoulli(calibration_.fill_success);
+    }
+  }
+  return noise;
+}
+
+Samples NoiseModel::apply_readout_errors(const Samples& samples,
+                                         Rng& rng) const {
+  if (!enabled_ ||
+      (calibration_.readout_p01 <= 0 && calibration_.readout_p10 <= 0)) {
+    return samples;
+  }
+  Samples corrupted(samples.num_qubits());
+  for (const auto& [bits, count] : samples.counts()) {
+    for (std::uint64_t shot = 0; shot < count; ++shot) {
+      std::string flipped = bits;
+      for (char& c : flipped) {
+        if (c == '0' && rng.bernoulli(calibration_.readout_p01)) {
+          c = '1';
+        } else if (c == '1' && rng.bernoulli(calibration_.readout_p10)) {
+          c = '0';
+        }
+      }
+      corrupted.record(flipped);
+    }
+  }
+  corrupted.set_metadata(samples.metadata());
+  return corrupted;
+}
+
+Samples NoiseModel::mask_inactive(const Samples& samples,
+                                  const std::vector<bool>& active) {
+  if (active.empty()) return samples;
+  Samples masked(samples.num_qubits());
+  for (const auto& [bits, count] : samples.counts()) {
+    std::string out = bits;
+    for (std::size_t q = 0; q < out.size() && q < active.size(); ++q) {
+      if (!active[q]) out[q] = '0';
+    }
+    masked.record(out, count);
+  }
+  masked.set_metadata(samples.metadata());
+  return masked;
+}
+
+}  // namespace qcenv::emulator

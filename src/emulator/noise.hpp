@@ -1,0 +1,64 @@
+// Noise model: turns a CalibrationSnapshot into concrete imperfections.
+//
+//  - rabi_scale / detuning_offset: deterministic calibration errors applied
+//    to the drive channels.
+//  - dephasing_rate: quasi-static per-qubit detuning disorder, redrawn per
+//    trajectory; disorder sigma = sqrt(2) * rate gives the Gaussian
+//    coherence decay exp(-(t * rate)^2) of a T2*-limited device.
+//  - fill_success: per-trajectory atom loading; failed atoms neither drive
+//    nor interact and always read '0'.
+//  - readout_p01 / readout_p10: classical measurement bit flips.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "quantum/device.hpp"
+#include "quantum/samples.hpp"
+
+namespace qcenv::emulator {
+
+/// One trajectory's realized imperfections.
+struct TrajectoryNoise {
+  std::vector<double> delta_disorder;  // rad/us, per qubit
+  std::vector<bool> active;            // atom loaded
+  double rabi_scale = 1.0;
+  double detuning_offset = 0.0;
+};
+
+class NoiseModel {
+ public:
+  /// Ideal (disabled) model.
+  NoiseModel() = default;
+  explicit NoiseModel(quantum::CalibrationSnapshot calibration)
+      : calibration_(std::move(calibration)), enabled_(true) {}
+
+  bool enabled() const noexcept { return enabled_; }
+  const quantum::CalibrationSnapshot& calibration() const noexcept {
+    return calibration_;
+  }
+
+  /// True when outcomes vary between trajectories (stochastic noise terms).
+  bool stochastic() const noexcept {
+    return enabled_ &&
+           (calibration_.dephasing_rate > 0 || calibration_.fill_success < 1.0);
+  }
+
+  TrajectoryNoise draw_trajectory(std::size_t num_qubits,
+                                  common::Rng& rng) const;
+
+  /// Applies readout bit flips shot-by-shot; returns the corrupted samples.
+  quantum::Samples apply_readout_errors(const quantum::Samples& samples,
+                                        common::Rng& rng) const;
+
+  /// Masks bitstring characters of unloaded atoms to '0'.
+  static quantum::Samples mask_inactive(const quantum::Samples& samples,
+                                        const std::vector<bool>& active);
+
+ private:
+  quantum::CalibrationSnapshot calibration_;
+  bool enabled_ = false;
+};
+
+}  // namespace qcenv::emulator

@@ -1,0 +1,382 @@
+#include "emulator/statevector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace qcenv::emulator {
+
+using common::Rng;
+using common::ThreadPool;
+using quantum::Samples;
+
+namespace {
+/// Below this size, threading overhead dominates; run serially.
+constexpr std::size_t kParallelThreshold = 1u << 14;
+
+void maybe_parallel(ThreadPool* pool, std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (pool != nullptr && end - begin >= kParallelThreshold) {
+    pool->parallel_for_chunks(begin, end, body);
+  } else {
+    body(begin, end);
+  }
+}
+}  // namespace
+
+StateVector::StateVector(std::size_t num_qubits)
+    : num_qubits_(num_qubits), amps_(std::size_t{1} << num_qubits) {
+  assert(num_qubits <= 30 && "state vector limited to 30 qubits");
+  amps_[0] = 1.0;
+}
+
+void StateVector::apply_1q(const CMatrix& u, std::size_t q,
+                           ThreadPool* pool) {
+  assert(u.rows() == 2 && u.cols() == 2);
+  assert(q < num_qubits_);
+  const std::size_t bit = std::size_t{1} << q;
+  const Complex u00 = u.at(0, 0), u01 = u.at(0, 1);
+  const Complex u10 = u.at(1, 0), u11 = u.at(1, 1);
+  const std::size_t half = amps_.size() / 2;
+  Complex* amps = amps_.data();
+  // Iterate over indices with bit q clear by splicing the index bits.
+  maybe_parallel(pool, 0, half, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::size_t i0 = ((k & ~(bit - 1)) << 1) | (k & (bit - 1));
+      const std::size_t i1 = i0 | bit;
+      const Complex a0 = amps[i0];
+      const Complex a1 = amps[i1];
+      amps[i0] = u00 * a0 + u01 * a1;
+      amps[i1] = u10 * a0 + u11 * a1;
+    }
+  });
+}
+
+void StateVector::apply_2q(const CMatrix& u, std::size_t a, std::size_t b,
+                           ThreadPool* pool) {
+  assert(u.rows() == 4 && u.cols() == 4);
+  assert(a < num_qubits_ && b < num_qubits_ && a != b);
+  const std::size_t bit_a = std::size_t{1} << a;
+  const std::size_t bit_b = std::size_t{1} << b;
+  const std::size_t lo_bit = std::min(bit_a, bit_b);
+  const std::size_t hi_bit = std::max(bit_a, bit_b);
+  const std::size_t quarter = amps_.size() / 4;
+  Complex* amps = amps_.data();
+
+  maybe_parallel(pool, 0, quarter, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      // Insert zeros at both qubit bit positions.
+      std::size_t idx = k;
+      idx = ((idx & ~(lo_bit - 1)) << 1) | (idx & (lo_bit - 1));
+      idx = ((idx & ~(hi_bit - 1)) << 1) | (idx & (hi_bit - 1));
+      const std::size_t i00 = idx;              // a=0, b=0
+      const std::size_t i01 = idx | bit_b;      // a=0, b=1
+      const std::size_t i10 = idx | bit_a;      // a=1, b=0
+      const std::size_t i11 = idx | bit_a | bit_b;
+      const Complex v00 = amps[i00], v01 = amps[i01];
+      const Complex v10 = amps[i10], v11 = amps[i11];
+      // Matrix rows ordered |ab> = 00, 01, 10, 11.
+      amps[i00] = u.at(0, 0) * v00 + u.at(0, 1) * v01 + u.at(0, 2) * v10 +
+                  u.at(0, 3) * v11;
+      amps[i01] = u.at(1, 0) * v00 + u.at(1, 1) * v01 + u.at(1, 2) * v10 +
+                  u.at(1, 3) * v11;
+      amps[i10] = u.at(2, 0) * v00 + u.at(2, 1) * v01 + u.at(2, 2) * v10 +
+                  u.at(2, 3) * v11;
+      amps[i11] = u.at(3, 0) * v00 + u.at(3, 1) * v01 + u.at(3, 2) * v10 +
+                  u.at(3, 3) * v11;
+    }
+  });
+}
+
+void StateVector::apply_diagonal(const std::vector<Complex>& phases,
+                                 ThreadPool* pool) {
+  assert(phases.size() == amps_.size());
+  Complex* amps = amps_.data();
+  const Complex* ph = phases.data();
+  maybe_parallel(pool, 0, amps_.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) amps[i] *= ph[i];
+  });
+}
+
+double StateVector::norm() const {
+  double acc = 0;
+  for (const Complex& a : amps_) acc += std::norm(a);
+  return std::sqrt(acc);
+}
+
+void StateVector::normalize() {
+  const double n = norm();
+  if (n <= 0) return;
+  const double inv = 1.0 / n;
+  for (Complex& a : amps_) a *= inv;
+}
+
+Complex StateVector::inner_product(const StateVector& other) const {
+  assert(num_qubits_ == other.num_qubits_);
+  Complex acc = 0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return acc;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner_product(other));
+}
+
+double StateVector::excitation_probability(std::size_t q) const {
+  const std::size_t bit = std::size_t{1} << q;
+  double acc = 0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) acc += std::norm(amps_[i]);
+  }
+  return acc;
+}
+
+double StateVector::z_expectation(std::size_t q) const {
+  return 1.0 - 2.0 * excitation_probability(q);
+}
+
+common::Result<double> StateVector::expectation(
+    const quantum::Observable& obs) const {
+  if (obs.num_qubits() != num_qubits_) {
+    return common::err::invalid_argument(
+        "observable width does not match state width");
+  }
+  Complex total = 0;
+  for (const auto& term : obs.terms()) {
+    std::size_t xmask = 0;
+    std::size_t ymask = 0;
+    std::size_t zmask = 0;
+    for (std::size_t q = 0; q < term.paulis.size(); ++q) {
+      const std::size_t bit = std::size_t{1} << q;
+      switch (term.paulis[q]) {
+        case 'X': xmask |= bit; break;
+        case 'Y': xmask |= bit; ymask |= bit; break;
+        case 'Z': zmask |= bit; break;
+        default: break;
+      }
+    }
+    Complex acc = 0;
+    for (std::size_t s = 0; s < amps_.size(); ++s) {
+      const std::size_t t = s ^ xmask;
+      // <s|P|t>: Z contributes (-1)^{s_q}; Y contributes +i when the bra
+      // bit is 1 and -i when 0; X contributes 1.
+      Complex elem = 1.0;
+      const int z_parity = std::popcount(s & zmask) & 1;
+      if (z_parity) elem = -elem;
+      const int y_count = std::popcount(ymask);
+      const int y_ones = std::popcount(s & ymask);
+      // Each Y with bra bit 1 gives +i, with bra bit 0 gives -i:
+      // total i^{y_ones} * (-i)^{y_count - y_ones}.
+      const int i_power = (y_ones - (y_count - y_ones)) & 3;
+      static const Complex kIPow[4] = {
+          {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+      elem *= kIPow[(i_power + 4) & 3];
+      acc += std::conj(amps_[s]) * elem * amps_[t];
+    }
+    total += term.coefficient * acc;
+  }
+  return total.real();
+}
+
+Samples StateVector::sample(std::uint64_t shots, Rng& rng) const {
+  // Build the cumulative distribution once, then binary-search per shot.
+  std::vector<double> cdf(amps_.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::norm(amps_[i]);
+    cdf[i] = acc;
+  }
+  const double total = acc > 0 ? acc : 1.0;
+
+  Samples samples(num_qubits_);
+  for (std::uint64_t shot = 0; shot < shots; ++shot) {
+    const double r = rng.uniform() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    const std::size_t state =
+        static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+            it - cdf.begin(),
+            static_cast<std::ptrdiff_t>(amps_.size()) - 1));
+    std::string bits(num_qubits_, '0');
+    for (std::size_t q = 0; q < num_qubits_; ++q) {
+      if (state & (std::size_t{1} << q)) bits[q] = '1';
+    }
+    samples.record(bits);
+  }
+  return samples;
+}
+
+namespace {
+
+/// Per-state sums used by the diagonal propagator, built incrementally in
+/// O(2^n): f[s] = f[s without lowest bit] + weight[lowest bit].
+std::vector<double> subset_sums(std::size_t num_qubits,
+                                const std::vector<double>& weights) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  std::vector<double> sums(dim, 0.0);
+  for (std::size_t s = 1; s < dim; ++s) {
+    const std::size_t low = s & (~s + 1);
+    const auto q = static_cast<std::size_t>(std::countr_zero(low));
+    sums[s] = sums[s ^ low] + weights[q];
+  }
+  return sums;
+}
+
+/// Pairwise interaction energy per basis state: U[s] = sum over set pairs.
+std::vector<double> interaction_diagonal(const quantum::AtomRegister& reg,
+                                         double c6,
+                                         const std::vector<bool>& active) {
+  const std::size_t n = reg.size();
+  const std::size_t dim = std::size_t{1} << n;
+  // rowsum[q][s] would be O(n 2^n) memory; instead build incrementally:
+  // U[s] = U[s\low] + sum_{j in s\low, both active} C6 / r_{low,j}^6.
+  std::vector<double> pair(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool both_active =
+          (active.empty() || (active[i] && active[j]));
+      if (!both_active) continue;
+      const double r = reg.distance(i, j);
+      if (r <= 0) continue;
+      const double u = c6 / std::pow(r, 6.0);
+      pair[i * n + j] = u;
+      pair[j * n + i] = u;
+    }
+  }
+  std::vector<double> diag(dim, 0.0);
+  for (std::size_t s = 1; s < dim; ++s) {
+    const std::size_t low = s & (~s + 1);
+    const auto q = static_cast<std::size_t>(std::countr_zero(low));
+    const std::size_t rest = s ^ low;
+    double add = 0;
+    std::size_t remaining = rest;
+    while (remaining) {
+      const std::size_t lb = remaining & (~remaining + 1);
+      add += pair[q * n + static_cast<std::size_t>(std::countr_zero(lb))];
+      remaining ^= lb;
+    }
+    diag[s] = diag[rest] + add;
+  }
+  return diag;
+}
+
+}  // namespace
+
+void evolve_analog(StateVector& psi, const quantum::AtomRegister& reg,
+                   const quantum::SequenceSamples& samples, double c6,
+                   const AnalogEvolveOptions& options) {
+  const std::size_t n = psi.num_qubits();
+  assert(reg.size() == n && "register size must match state width");
+  if (samples.steps() == 0 || n == 0) return;
+
+  const std::vector<double> diag_u =
+      interaction_diagonal(reg, c6, options.active);
+
+  // Static per-qubit detuning disorder (noise) summed per basis state.
+  std::vector<double> disorder_sum;
+  if (!options.delta_disorder.empty()) {
+    std::vector<double> weights = options.delta_disorder;
+    weights.resize(n, 0.0);
+    disorder_sum = subset_sums(n, weights);
+  }
+  // Local detuning map weights (from the sequence's DMM), per basis state.
+  std::vector<double> dmm_sum;
+  std::vector<double> dmm_scale_per_step;
+  if (!samples.delta_local.empty()) {
+    // delta_local[q][step] = w_q * wf(step); recover w_q * wf by summing.
+    // We precompute subset sums of the per-qubit weights by taking the
+    // per-step scale out: delta_local[q][t] = weight_q * scale_t where
+    // scale_t is the shared waveform sample. Find a reference qubit with
+    // nonzero weight to extract scale_t.
+    std::vector<double> weights(n, 0.0);
+    std::size_t ref = samples.delta_local.size();
+    for (std::size_t q = 0; q < samples.delta_local.size() && q < n; ++q) {
+      for (const double v : samples.delta_local[q]) {
+        if (v != 0.0) {
+          ref = q;
+          break;
+        }
+      }
+      if (ref < samples.delta_local.size()) break;
+    }
+    if (ref < samples.delta_local.size()) {
+      // Normalize so weight_ref = 1; scale_t = delta_local[ref][t].
+      dmm_scale_per_step.assign(samples.delta_local[ref].begin(),
+                                samples.delta_local[ref].end());
+      for (std::size_t q = 0; q < n && q < samples.delta_local.size(); ++q) {
+        // weight_q = delta_local[q][t*] / scale_t* at any step with scale != 0.
+        double w = 0;
+        for (std::size_t t = 0; t < dmm_scale_per_step.size(); ++t) {
+          if (dmm_scale_per_step[t] != 0.0) {
+            w = samples.delta_local[q][t] / dmm_scale_per_step[t];
+            break;
+          }
+        }
+        weights[q] = w;
+      }
+      dmm_sum = subset_sums(n, weights);
+    }
+  }
+
+  const std::size_t dim = psi.dimension();
+  std::vector<Complex> phases(dim);
+  const auto active_bit = [&](std::size_t q) {
+    return options.active.empty() || options.active[q];
+  };
+
+  // Active-qubit mask for the global detuning popcount.
+  std::size_t active_mask = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    if (active_bit(q)) active_mask |= (std::size_t{1} << q);
+  }
+
+  const double sample_dt_us = static_cast<double>(samples.dt_ns) * 1e-3;
+  const auto substeps = static_cast<std::size_t>(std::max<quantum::DurationNsQ>(
+      1, (samples.dt_ns + options.max_substep_ns - 1) /
+             std::max<quantum::DurationNsQ>(1, options.max_substep_ns)));
+  const double dt_us = sample_dt_us / static_cast<double>(substeps);
+
+  for (std::size_t step = 0; step < samples.steps(); ++step) {
+    const double omega = samples.omega[step] * options.rabi_scale;
+    const double delta = samples.delta[step] + options.detuning_offset;
+    const double phi = samples.phase[step];
+    const double dmm_scale =
+        (step < dmm_scale_per_step.size()) ? dmm_scale_per_step[step] : 0.0;
+
+    // Diagonal phases for a half substep:
+    //   exp(-i * (U(s) - delta*|s| - disorder(s) - dmm(s)) * dt/2)
+    const double half_dt = dt_us / 2.0;
+    for (std::size_t s = 0; s < dim; ++s) {
+      double diag = diag_u[s];
+      diag -= delta * static_cast<double>(std::popcount(s & active_mask));
+      if (!disorder_sum.empty()) diag -= disorder_sum[s];
+      if (!dmm_sum.empty()) diag -= dmm_sum[s] * dmm_scale;
+      const double angle = -diag * half_dt;
+      phases[s] = Complex(std::cos(angle), std::sin(angle));
+    }
+
+    // Rabi rotation for a full substep: exact exponential of the commuting
+    // single-qubit terms.
+    const double theta = omega * dt_us / 2.0;
+    const Complex e_ip = Complex(std::cos(phi), std::sin(phi));
+    CMatrix rabi(2, 2);
+    rabi.at(0, 0) = std::cos(theta);
+    rabi.at(1, 1) = std::cos(theta);
+    rabi.at(0, 1) = Complex(0, -1) * e_ip * std::sin(theta);
+    rabi.at(1, 0) = Complex(0, -1) * std::conj(e_ip) * std::sin(theta);
+
+    for (std::size_t sub = 0; sub < substeps; ++sub) {
+      psi.apply_diagonal(phases, options.pool);
+      if (omega != 0.0) {
+        for (std::size_t q = 0; q < n; ++q) {
+          if (active_bit(q)) psi.apply_1q(rabi, q, options.pool);
+        }
+      }
+      psi.apply_diagonal(phases, options.pool);
+    }
+  }
+}
+
+}  // namespace qcenv::emulator

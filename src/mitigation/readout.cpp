@@ -1,0 +1,149 @@
+#include "mitigation/readout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qcenv::mitigation {
+
+using common::Result;
+using quantum::Samples;
+
+ReadoutMitigator::ReadoutMitigator(double p01, double p10)
+    : p01_(std::clamp(p01, 0.0, 0.49)), p10_(std::clamp(p10, 0.0, 0.49)) {
+  // A = [[1-p01, p10], [p01, 1-p10]], det = 1 - p01 - p10 > 0 after clamp.
+  const double det = 1.0 - p01_ - p10_;
+  inv_[0] = (1.0 - p10_) / det;
+  inv_[1] = -p10_ / det;
+  inv_[2] = -p01_ / det;
+  inv_[3] = (1.0 - p01_) / det;
+}
+
+Result<ReadoutMitigator> ReadoutMitigator::from_metadata(
+    const Samples& samples) {
+  const common::Json& calibration =
+      samples.metadata().at_or_null("calibration");
+  if (!calibration.is_object()) {
+    return common::err::not_found(
+        "samples carry no calibration metadata; run through a QPU or pass "
+        "rates explicitly");
+  }
+  auto snap = quantum::CalibrationSnapshot::from_json(calibration);
+  if (!snap.ok()) return snap.error();
+  return ReadoutMitigator(snap.value());
+}
+
+Result<std::vector<double>> ReadoutMitigator::mitigate_distribution(
+    const Samples& samples, std::size_t max_qubits) const {
+  const std::size_t n = samples.num_qubits();
+  if (n == 0 || samples.total_shots() == 0) {
+    return common::err::invalid_argument("empty samples");
+  }
+  if (n > max_qubits) {
+    return common::err::resource_exhausted(
+        "dense mitigation limited to " + std::to_string(max_qubits) +
+        " qubits; use mitigate_z_expectation for wide registers");
+  }
+  const std::size_t dim = std::size_t{1} << n;
+  std::vector<double> p(dim, 0.0);
+  for (const auto& [bits, count] : samples.counts()) {
+    std::size_t state = 0;
+    for (std::size_t q = 0; q < bits.size() && q < n; ++q) {
+      if (bits[q] == '1') state |= (std::size_t{1} << q);
+    }
+    p[state] += static_cast<double>(count) /
+                static_cast<double>(samples.total_shots());
+  }
+  // Apply inv(A) qubit-wise, like a single-qubit gate on a real vector.
+  for (std::size_t q = 0; q < n; ++q) {
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t base = 0; base < dim; ++base) {
+      if (base & bit) continue;
+      const double v0 = p[base];
+      const double v1 = p[base | bit];
+      p[base] = inv_[0] * v0 + inv_[1] * v1;
+      p[base | bit] = inv_[2] * v0 + inv_[3] * v1;
+    }
+  }
+  // Quasi-probabilities: clip negatives, renormalize.
+  for (double& v : p) v = std::max(v, 0.0);
+  const double total = std::accumulate(p.begin(), p.end(), 0.0);
+  if (total > 0) {
+    for (double& v : p) v /= total;
+  }
+  return p;
+}
+
+Result<Samples> ReadoutMitigator::mitigate(const Samples& samples,
+                                           std::size_t max_qubits) const {
+  auto distribution = mitigate_distribution(samples, max_qubits);
+  if (!distribution.ok()) return distribution.error();
+  const std::size_t n = samples.num_qubits();
+  const std::uint64_t shots = samples.total_shots();
+  const auto& p = distribution.value();
+
+  // Largest-remainder rounding keeps the total shot count exact.
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::vector<std::uint64_t> counts(p.size(), 0);
+  std::uint64_t assigned = 0;
+  for (std::size_t s = 0; s < p.size(); ++s) {
+    const double exact = p[s] * static_cast<double>(shots);
+    counts[s] = static_cast<std::uint64_t>(exact);
+    assigned += counts[s];
+    remainders.emplace_back(exact - std::floor(exact), s);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t i = 0; assigned < shots && i < remainders.size(); ++i) {
+    ++counts[remainders[i].second];
+    ++assigned;
+  }
+
+  Samples out(n);
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    std::string bits(n, '0');
+    for (std::size_t q = 0; q < n; ++q) {
+      if (s & (std::size_t{1} << q)) bits[q] = '1';
+    }
+    out.record(bits, counts[s]);
+  }
+  common::Json meta = samples.metadata();
+  meta["readout_mitigated"] = true;
+  out.set_metadata(std::move(meta));
+  return out;
+}
+
+double ReadoutMitigator::mitigate_z_expectation(const Samples& samples,
+                                                std::size_t qubit) const {
+  const double measured = samples.z_expectation(qubit);
+  const double det = 1.0 - p01_ - p10_;
+  // <Z>_meas = (1 - p01 - p10) <Z>_true + (p10 - p01).
+  return std::clamp((measured - (p10_ - p01_)) / det, -1.0, 1.0);
+}
+
+Result<double> ReadoutMitigator::mitigate_observable(
+    const Samples& samples, const quantum::Observable& observable) const {
+  if (!observable.is_diagonal()) {
+    return common::err::failed_precondition(
+        "readout mitigation applies to diagonal observables");
+  }
+  auto distribution = mitigate_distribution(samples);
+  if (!distribution.ok()) return distribution.error();
+  const auto& p = distribution.value();
+  double total = 0;
+  for (const auto& term : observable.terms()) {
+    std::size_t zmask = 0;
+    for (std::size_t q = 0; q < term.paulis.size(); ++q) {
+      if (term.paulis[q] == 'Z') zmask |= (std::size_t{1} << q);
+    }
+    double acc = 0;
+    for (std::size_t s = 0; s < p.size(); ++s) {
+      const bool odd = (std::popcount(s & zmask) & 1) != 0;
+      acc += (odd ? -1.0 : 1.0) * p[s];
+    }
+    total += term.coefficient * acc;
+  }
+  return total;
+}
+
+}  // namespace qcenv::mitigation

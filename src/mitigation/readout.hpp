@@ -1,0 +1,68 @@
+// Readout-error mitigation: a "third-party component ... integrated at the
+// runtime layer" (paper §1/§2.5 — error-mitigation services plug into the
+// stack through interoperable APIs rather than the vendor stack).
+//
+// Model: each qubit has an independent confusion matrix built from the
+// calibration snapshot the job ran with —
+//     A = [ P(read 0|0)  P(read 0|1) ] = [ 1-p01   p10  ]
+//         [ P(read 1|0)  P(read 1|1) ]   [ p01    1-p10 ]
+// Measured distributions are (tensor A) * true; mitigation applies the
+// tensored inverse. The calibration arrives with the job results (the
+// paper's per-job metadata), so mitigation needs no extra service calls.
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "quantum/device.hpp"
+#include "quantum/observable.hpp"
+#include "quantum/samples.hpp"
+
+namespace qcenv::mitigation {
+
+class ReadoutMitigator {
+ public:
+  /// Uniform per-qubit error rates from a calibration snapshot.
+  explicit ReadoutMitigator(const quantum::CalibrationSnapshot& calibration)
+      : ReadoutMitigator(calibration.readout_p01, calibration.readout_p10) {}
+
+  ReadoutMitigator(double p01, double p10);
+
+  /// Builds a mitigator from the calibration embedded in a job's result
+  /// metadata — the paper's per-job-metadata path. Errors when the samples
+  /// carry no calibration.
+  static common::Result<ReadoutMitigator> from_metadata(
+      const quantum::Samples& samples);
+
+  double p01() const noexcept { return p01_; }
+  double p10() const noexcept { return p10_; }
+
+  /// Full-distribution mitigation (dense 2^n inversion, n <= max_qubits).
+  /// Returns the mitigated probability per basis state (indexing: bit q of
+  /// the state = qubit q), clipped to >= 0 and renormalized.
+  common::Result<std::vector<double>> mitigate_distribution(
+      const quantum::Samples& samples, std::size_t max_qubits = 16) const;
+
+  /// Mitigated samples: the clipped distribution resampled into integer
+  /// counts of the same total (deterministic largest-remainder rounding).
+  common::Result<quantum::Samples> mitigate(
+      const quantum::Samples& samples, std::size_t max_qubits = 16) const;
+
+  /// Closed-form mitigation of <Z_q>:
+  /// <Z>_true = (<Z>_meas - (p10 - p01)) / (1 - p01 - p10).
+  double mitigate_z_expectation(const quantum::Samples& samples,
+                                std::size_t qubit) const;
+
+  /// Diagonal-observable mitigation via the mitigated distribution.
+  common::Result<double> mitigate_observable(
+      const quantum::Samples& samples,
+      const quantum::Observable& observable) const;
+
+ private:
+  double p01_;
+  double p10_;
+  // Inverse confusion matrix entries (row-major 2x2).
+  double inv_[4];
+};
+
+}  // namespace qcenv::mitigation

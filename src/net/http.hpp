@@ -1,0 +1,82 @@
+// Minimal HTTP/1.1 message model and wire codec (request/response line,
+// headers, Content-Length bodies). Enough protocol for a REST daemon on an
+// access node; no chunked encoding, no TLS (site-internal service).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace qcenv::net {
+
+/// Case-insensitive header map (HTTP header names are case-insensitive).
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using Headers = std::map<std::string, std::string, CaseInsensitiveLess>;
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // path + optional query, e.g. "/v1/jobs?limit=5"
+  Headers headers;
+  std::string body;
+
+  /// Path without the query string.
+  std::string path() const;
+  /// Query parameter lookup (simple k=v&k=v parsing, no URL decoding of
+  /// reserved characters beyond %XX for the values we generate).
+  std::optional<std::string> query_param(const std::string& key) const;
+
+  std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  static HttpResponse json(int status, const std::string& body);
+  static HttpResponse text(int status, const std::string& body);
+
+  std::string serialize() const;
+};
+
+/// Incremental parser: feed() bytes until a full message is available.
+/// Template on message kind via two concrete classes below.
+class HttpRequestParser {
+ public:
+  /// Appends bytes; returns a parsed request once complete, nullopt while
+  /// incomplete, or an error on malformed input.
+  common::Result<bool> feed(std::string_view bytes);
+  bool complete() const noexcept { return complete_; }
+  HttpRequest& request() { return request_; }
+
+ private:
+  std::string buffer_;
+  HttpRequest request_;
+  bool headers_done_ = false;
+  bool complete_ = false;
+  std::size_t body_expected_ = 0;
+};
+
+class HttpResponseParser {
+ public:
+  common::Result<bool> feed(std::string_view bytes);
+  bool complete() const noexcept { return complete_; }
+  HttpResponse& response() { return response_; }
+
+ private:
+  std::string buffer_;
+  HttpResponse response_;
+  bool headers_done_ = false;
+  bool complete_ = false;
+  std::size_t body_expected_ = 0;
+};
+
+/// Shared header-block parsing (exposed for tests).
+common::Result<Headers> parse_header_block(std::string_view block);
+
+}  // namespace qcenv::net

@@ -1,0 +1,58 @@
+#include "net/http_client.hpp"
+
+#include "net/socket.hpp"
+
+namespace qcenv::net {
+
+using common::Result;
+
+Result<HttpResponse> HttpClient::get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return send(std::move(request));
+}
+
+Result<HttpResponse> HttpClient::post(const std::string& target,
+                                      const std::string& body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = target;
+  request.body = body;
+  request.headers["Content-Type"] = "application/json";
+  return send(std::move(request));
+}
+
+Result<HttpResponse> HttpClient::del(const std::string& target) {
+  HttpRequest request;
+  request.method = "DELETE";
+  request.target = target;
+  return send(std::move(request));
+}
+
+Result<HttpResponse> HttpClient::send(HttpRequest request) {
+  for (const auto& [name, value] : default_headers_) {
+    if (request.headers.find(name) == request.headers.end()) {
+      request.headers[name] = value;
+    }
+  }
+  request.headers["Connection"] = "close";
+
+  auto socket = connect_local(port_, timeout_);
+  if (!socket.ok()) return socket.error();
+  QCENV_RETURN_IF_ERROR(socket.value().send_all(request.serialize()));
+
+  HttpResponseParser parser;
+  while (!parser.complete()) {
+    auto chunk = socket.value().recv_some();
+    if (!chunk.ok()) return chunk.error();
+    if (chunk.value().empty()) {
+      return common::err::protocol("connection closed mid-response");
+    }
+    auto progress = parser.feed(chunk.value());
+    if (!progress.ok()) return progress.error();
+  }
+  return std::move(parser.response());
+}
+
+}  // namespace qcenv::net

@@ -1,0 +1,40 @@
+// Blocking HTTP client for localhost services. One connection per request —
+// simple and robust; the daemon's request rates don't justify pooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "net/http.hpp"
+
+namespace qcenv::net {
+
+class HttpClient {
+ public:
+  explicit HttpClient(std::uint16_t port,
+                      common::DurationNs timeout = 10 * common::kSecond)
+      : port_(port), timeout_(timeout) {}
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Adds a header sent with every request (e.g. Authorization).
+  void set_default_header(const std::string& name, const std::string& value) {
+    default_headers_[name] = value;
+  }
+
+  common::Result<HttpResponse> get(const std::string& target);
+  common::Result<HttpResponse> post(const std::string& target,
+                                    const std::string& body);
+  common::Result<HttpResponse> del(const std::string& target);
+
+  common::Result<HttpResponse> send(HttpRequest request);
+
+ private:
+  std::uint16_t port_;
+  common::DurationNs timeout_;
+  Headers default_headers_;
+};
+
+}  // namespace qcenv::net

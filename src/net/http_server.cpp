@@ -1,0 +1,150 @@
+#include "net/http_server.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+#define QCENV_LOG_COMPONENT "net.http"
+#include "common/logging.hpp"
+
+namespace qcenv::net {
+
+using common::Result;
+
+void Router::add(const std::string& method, const std::string& pattern,
+                 Handler handler) {
+  Route route;
+  route.method = method;
+  for (const auto& segment : common::split(pattern, '/')) {
+    if (!segment.empty()) route.segments.push_back(segment);
+  }
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& path,
+                   PathParams& params) {
+  if (route.segments.size() != path.size()) return false;
+  PathParams captured;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const std::string& pattern = route.segments[i];
+    if (!pattern.empty() && pattern.front() == ':') {
+      captured[pattern.substr(1)] = path[i];
+    } else if (pattern != path[i]) {
+      return false;
+    }
+  }
+  params = std::move(captured);
+  return true;
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  std::vector<std::string> path;
+  for (const auto& segment : common::split(request.path(), '/')) {
+    if (!segment.empty()) path.push_back(segment);
+  }
+  bool path_known = false;
+  for (const auto& route : routes_) {
+    PathParams params;
+    if (!match(route, path, params)) continue;
+    path_known = true;
+    if (route.method != request.method) continue;
+    return route.handler(request, params);
+  }
+  if (path_known) {
+    return HttpResponse::json(405, R"({"error":"method not allowed"})");
+  }
+  return HttpResponse::json(404, R"({"error":"not found"})");
+}
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(options) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+Result<std::uint16_t> HttpServer::start() {
+  auto listener = ListenSocket::listen_on(options_.port);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(listener).value();
+  // Accept timeout lets the loop observe stop requests promptly.
+  QCENV_RETURN_IF_ERROR(
+      listener_.set_accept_timeout(100 * common::kMillisecond));
+  workers_ = std::make_unique<common::ThreadPool>(options_.worker_threads);
+  running_.store(true);
+  acceptor_ = std::jthread(
+      [this](const std::stop_token& stop) { accept_loop(stop); });
+  QCENV_LOG(Debug) << "http server listening on 127.0.0.1:"
+                   << listener_.port();
+  return listener_.port();
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  acceptor_.request_stop();
+  if (acceptor_.joinable()) acceptor_.join();
+  workers_.reset();  // drains in-flight handlers
+  listener_.close();
+}
+
+void HttpServer::accept_loop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    auto client = listener_.accept_client();
+    if (!client.ok()) {
+      if (client.error().code() == common::ErrorCode::kTimeout) continue;
+      if (!stop.stop_requested()) {
+        QCENV_LOG(Warn) << "accept failed: " << client.error().to_string();
+      }
+      continue;
+    }
+    auto socket = std::make_shared<Socket>(std::move(client).value());
+    workers_->submit([this, socket]() mutable {
+      serve_connection(std::move(*socket));
+    });
+  }
+}
+
+void HttpServer::serve_connection(Socket client) {
+  (void)client.set_timeout(options_.idle_timeout);
+  while (running_.load()) {
+    HttpRequestParser parser;
+    bool closed = false;
+    while (!parser.complete()) {
+      auto chunk = client.recv_some();
+      if (!chunk.ok() || chunk.value().empty()) {
+        closed = true;
+        break;
+      }
+      auto progress = parser.feed(chunk.value());
+      if (!progress.ok()) {
+        (void)client.send_all(
+            HttpResponse::json(400, R"({"error":"malformed request"})")
+                .serialize());
+        return;
+      }
+    }
+    if (closed) return;
+
+    const HttpRequest& request = parser.request();
+    HttpResponse response;
+    if (middleware_) {
+      if (auto intercepted = middleware_(request)) {
+        response = std::move(*intercepted);
+      } else {
+        response = router_.dispatch(request);
+      }
+    } else {
+      response = router_.dispatch(request);
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    response.headers["Connection"] = "keep-alive";
+    if (!client.send_all(response.serialize()).ok()) return;
+
+    const auto connection = request.headers.find("Connection");
+    if (connection != request.headers.end() &&
+        common::iequals(connection->second, "close")) {
+      return;
+    }
+  }
+}
+
+}  // namespace qcenv::net

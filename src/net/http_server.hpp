@@ -1,0 +1,90 @@
+// Threaded HTTP server with a pattern router.
+//
+// Routes use ":name" segments for path parameters, e.g.
+//   router.add("GET", "/v1/jobs/:id", handler);
+// Handlers run on a worker pool; connections are keep-alive with an idle
+// timeout. A middleware hook runs before routing (authentication, metrics).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/thread_pool.hpp"
+#include "net/http.hpp"
+#include "net/socket.hpp"
+
+namespace qcenv::net {
+
+using PathParams = std::map<std::string, std::string>;
+using Handler = std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+/// Returns a response to short-circuit (e.g. 401), or nullopt to continue.
+using Middleware = std::function<std::optional<HttpResponse>(const HttpRequest&)>;
+
+class Router {
+ public:
+  void add(const std::string& method, const std::string& pattern,
+           Handler handler);
+
+  /// Dispatches; 404 on no route, 405 on method mismatch for a known path.
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  // ":name" marks a parameter
+    Handler handler;
+  };
+  static bool match(const Route& route, const std::vector<std::string>& path,
+                    PathParams& params);
+
+  std::vector<Route> routes_;
+};
+
+struct HttpServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral
+  std::size_t worker_threads = 4;
+  common::DurationNs idle_timeout = 5 * common::kSecond;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  Router& router() noexcept { return router_; }
+  void set_middleware(Middleware middleware) {
+    middleware_ = std::move(middleware);
+  }
+
+  /// Binds and starts the accept loop. Returns the bound port.
+  common::Result<std::uint16_t> start();
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Requests served so far (for tests and metrics).
+  std::uint64_t requests_served() const noexcept { return requests_.load(); }
+
+ private:
+  void accept_loop(const std::stop_token& stop);
+  void serve_connection(Socket client);
+
+  HttpServerOptions options_;
+  Router router_;
+  Middleware middleware_;
+  ListenSocket listener_;
+  std::unique_ptr<common::ThreadPool> workers_;
+  std::jthread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace qcenv::net

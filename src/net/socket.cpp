@@ -1,0 +1,174 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qcenv::net {
+
+using common::Result;
+using common::Status;
+
+namespace {
+common::Error errno_error(const std::string& what) {
+  return common::err::io(what + ": " + std::strerror(errno));
+}
+
+/// Waits for readiness with poll(). Timeouts rely on poll rather than
+/// SO_RCVTIMEO/SO_SNDTIMEO because sandboxed kernels do not always honour
+/// socket timeouts on blocking accept()/recv().
+/// events: POLLIN or POLLOUT. timeout <= 0 waits indefinitely.
+Status wait_ready(int fd, short events, common::DurationNs timeout) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int timeout_ms =
+      timeout > 0
+          ? static_cast<int>(
+                std::max<common::DurationNs>(1, timeout / common::kMillisecond))
+          : -1;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::ok_status();
+    if (rc == 0) return common::err::timeout("poll timed out");
+    if (errno == EINTR) continue;
+    return errno_error("poll");
+  }
+}
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), timeout_(other.timeout_) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    timeout_ = other.timeout_;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::send_all(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    QCENV_RETURN_IF_ERROR(wait_ready(fd_, POLLOUT, timeout_));
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return errno_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+Result<std::string> Socket::recv_some(std::size_t max_bytes) {
+  QCENV_RETURN_IF_ERROR(wait_ready(fd_, POLLIN, timeout_));
+  std::string buffer(max_bytes, '\0');
+  while (true) {
+    const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Readiness raced away (rare); wait again.
+        QCENV_RETURN_IF_ERROR(wait_ready(fd_, POLLIN, timeout_));
+        continue;
+      }
+      return errno_error("recv");
+    }
+    buffer.resize(static_cast<std::size_t>(n));
+    return buffer;
+  }
+}
+
+Status Socket::set_timeout(common::DurationNs timeout) {
+  timeout_ = timeout;
+  return Status::ok_status();
+}
+
+Result<ListenSocket> ListenSocket::listen_on(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  Socket socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_error("bind");
+  }
+  if (::listen(fd, backlog) != 0) return errno_error("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_error("getsockname");
+  }
+  ListenSocket out;
+  out.socket_ = std::move(socket);
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+Result<Socket> ListenSocket::accept_client() {
+  QCENV_RETURN_IF_ERROR(
+      wait_ready(socket_.fd(), POLLIN, accept_timeout_));
+  while (true) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return common::err::timeout("accept timed out");
+    }
+    return errno_error("accept");
+  }
+}
+
+Status ListenSocket::set_accept_timeout(common::DurationNs timeout) {
+  accept_timeout_ = timeout;
+  return Status::ok_status();
+}
+
+Result<Socket> connect_local(std::uint16_t port, common::DurationNs timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  Socket socket(fd);
+  QCENV_RETURN_IF_ERROR(socket.set_timeout(timeout));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_error("connect to 127.0.0.1:" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+}  // namespace qcenv::net

@@ -1,0 +1,74 @@
+// RAII TCP sockets (IPv4, localhost-oriented). The REST substrate for the
+// middleware daemon and the simulated cloud service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace qcenv::net {
+
+/// Owns a file descriptor; moves transfer ownership, destruction closes.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Sends the whole buffer (handles partial writes).
+  common::Status send_all(std::string_view data);
+
+  /// Receives up to `max_bytes`; empty string = orderly shutdown.
+  common::Result<std::string> recv_some(std::size_t max_bytes = 64 * 1024);
+
+  /// Sets the poll-based I/O timeout (0 = wait indefinitely). Implemented
+  /// with poll() rather than SO_RCVTIMEO, which sandboxed kernels ignore.
+  common::Status set_timeout(common::DurationNs timeout);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  common::DurationNs timeout_ = 0;
+};
+
+/// Listening socket bound to 127.0.0.1.
+class ListenSocket {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port.
+  static common::Result<ListenSocket> listen_on(std::uint16_t port,
+                                                int backlog = 64);
+
+  ListenSocket() = default;
+  std::uint16_t port() const noexcept { return port_; }
+  bool valid() const noexcept { return socket_.valid(); }
+
+  /// Blocks for the next client; respects the accept timeout if set so
+  /// servers can poll their shutdown flag (kTimeout on expiry).
+  common::Result<Socket> accept_client();
+
+  common::Status set_accept_timeout(common::DurationNs timeout);
+
+  void close() { socket_.close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+  common::DurationNs accept_timeout_ = 0;
+};
+
+/// Connects to 127.0.0.1:port.
+common::Result<Socket> connect_local(
+    std::uint16_t port, common::DurationNs timeout = 5 * common::kSecond);
+
+}  // namespace qcenv::net

@@ -1,0 +1,72 @@
+#include "qpu/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qcenv::qpu {
+
+using common::TimeNs;
+
+CalibrationModel::CalibrationModel(quantum::CalibrationSnapshot nominal,
+                                   DriftParams params, std::uint64_t seed)
+    : nominal_(nominal), current_(nominal), params_(params), rng_(seed) {}
+
+namespace {
+/// One OU step: x' = mu + (x - mu) e^{-theta dt} + sigma sqrt(var) N(0,1)
+/// with var = (1 - e^{-2 theta dt}) / (2 theta), dt in hours.
+double ou_step(double x, double mu, double theta, double sigma, double dt_h,
+               common::Rng& rng) {
+  if (dt_h <= 0) return x;
+  const double decay = std::exp(-theta * dt_h);
+  const double var =
+      theta > 0 ? (1.0 - decay * decay) / (2.0 * theta) : dt_h;
+  return mu + (x - mu) * decay + sigma * std::sqrt(var) * rng.normal();
+}
+}  // namespace
+
+const quantum::CalibrationSnapshot& CalibrationModel::advance_to(
+    TimeNs now_ns) {
+  if (now_ns <= last_time_ns_) return current_;
+  const double dt_h =
+      common::to_seconds(now_ns - last_time_ns_) / 3600.0;
+  const double hours_since_recal =
+      common::to_seconds(now_ns - last_recalibration_ns_) / 3600.0;
+  const double theta = params_.theta_per_hour;
+
+  current_.rabi_scale = ou_step(current_.rabi_scale, nominal_.rabi_scale,
+                                theta, params_.rabi_scale_sigma, dt_h, rng_);
+  current_.detuning_offset =
+      ou_step(current_.detuning_offset, nominal_.detuning_offset, theta,
+              params_.detuning_offset_sigma, dt_h, rng_);
+  // Dephasing reverts to a slowly degrading mean.
+  const double dephasing_mean =
+      nominal_.dephasing_rate +
+      params_.dephasing_degradation_per_hour * hours_since_recal;
+  current_.dephasing_rate =
+      std::max(0.0, ou_step(current_.dephasing_rate, dephasing_mean, theta,
+                            params_.dephasing_sigma, dt_h, rng_));
+  current_.readout_p01 = std::clamp(
+      ou_step(current_.readout_p01, nominal_.readout_p01, theta,
+              params_.readout_sigma, dt_h, rng_),
+      0.0, 0.5);
+  current_.readout_p10 = std::clamp(
+      ou_step(current_.readout_p10, nominal_.readout_p10, theta,
+              params_.readout_sigma, dt_h, rng_),
+      0.0, 0.5);
+  current_.fill_success = std::clamp(
+      ou_step(current_.fill_success, nominal_.fill_success, theta,
+              params_.fill_sigma, dt_h, rng_),
+      0.5, 1.0);
+  current_.timestamp_ns = now_ns;
+  last_time_ns_ = now_ns;
+  return current_;
+}
+
+void CalibrationModel::recalibrate(TimeNs now_ns) {
+  current_ = nominal_;
+  current_.timestamp_ns = now_ns;
+  last_time_ns_ = now_ns;
+  last_recalibration_ns_ = now_ns;
+}
+
+}  // namespace qcenv::qpu

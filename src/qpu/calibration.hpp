@@ -1,0 +1,65 @@
+// Calibration drift model.
+//
+// Quantum devices drift between calibrations (paper §2.5/§3.6): qubit
+// coherence, drive amplitudes and readout fidelities wander over hours. We
+// model each CalibrationSnapshot field as an Ornstein-Uhlenbeck process
+// around its nominal value, plus a slow secular degradation of the
+// dephasing rate since the last recalibration — giving the drift detectors
+// in src/telemetry a realistic signal.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "quantum/device.hpp"
+
+namespace qcenv::qpu {
+
+/// Drift dynamics per field. Sigmas are per sqrt(hour); theta is the mean
+/// reversion rate per hour.
+struct DriftParams {
+  double theta_per_hour = 1.0;
+  double rabi_scale_sigma = 0.02;
+  double detuning_offset_sigma = 0.15;   // rad/us
+  double dephasing_sigma = 0.002;        // 1/us
+  double readout_sigma = 0.004;
+  double fill_sigma = 0.002;
+  /// Secular dephasing growth per hour since recalibration (degradation
+  /// trend operators watch for).
+  double dephasing_degradation_per_hour = 0.004;
+};
+
+class CalibrationModel {
+ public:
+  CalibrationModel(quantum::CalibrationSnapshot nominal, DriftParams params,
+                   std::uint64_t seed);
+
+  /// Advances the OU processes to absolute time `now_ns` and returns the
+  /// snapshot at that time. Monotonic: earlier times are clamped.
+  const quantum::CalibrationSnapshot& advance_to(common::TimeNs now_ns);
+
+  const quantum::CalibrationSnapshot& current() const noexcept {
+    return current_;
+  }
+  const quantum::CalibrationSnapshot& nominal() const noexcept {
+    return nominal_;
+  }
+
+  /// Resets drift state to nominal (a recalibration run).
+  void recalibrate(common::TimeNs now_ns);
+
+  common::TimeNs last_recalibration_ns() const noexcept {
+    return last_recalibration_ns_;
+  }
+
+ private:
+  quantum::CalibrationSnapshot nominal_;
+  quantum::CalibrationSnapshot current_;
+  DriftParams params_;
+  common::Rng rng_;
+  common::TimeNs last_time_ns_ = 0;
+  common::TimeNs last_recalibration_ns_ = 0;
+};
+
+}  // namespace qcenv::qpu

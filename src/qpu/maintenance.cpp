@@ -1,0 +1,58 @@
+#include "qpu/maintenance.hpp"
+
+#define QCENV_LOG_COMPONENT "qpu.maintenance"
+#include "common/logging.hpp"
+
+namespace qcenv::qpu {
+
+common::Result<MaintenanceScheduler::TickOutcome> MaintenanceScheduler::tick(
+    common::TimeNs now) {
+  TickOutcome outcome;
+  if (!initialized_) {
+    // The device is assumed freshly calibrated when maintenance begins.
+    counters_.last_recalibration_ns = now;
+    initialized_ = true;
+  }
+
+  // Unconditional recalibration on stale calibration.
+  if (policy_.max_calibration_age > 0 &&
+      now - counters_.last_recalibration_ns >= policy_.max_calibration_age) {
+    device_->recalibrate();
+    counters_.last_recalibration_ns = now;
+    ++counters_.recalibrations;
+    outcome.recalibrated = true;
+  }
+
+  if (now - counters_.last_qa_ns < policy_.qa_interval &&
+      counters_.qa_runs > 0) {
+    return outcome;  // QA not due yet
+  }
+  auto quality = device_->run_qa_check();
+  if (!quality.ok()) return quality.error();
+  ++counters_.qa_runs;
+  counters_.last_qa_ns = now;
+  counters_.last_quality = quality.value();
+  outcome.qa_ran = true;
+  outcome.quality = quality.value();
+
+  if (quality.value() < policy_.quality_threshold) {
+    QCENV_LOG(Warn) << "QA quality " << quality.value()
+                    << " below threshold " << policy_.quality_threshold
+                    << "; recalibrating";
+    device_->recalibrate();
+    ++counters_.recalibrations;
+    ++counters_.quality_triggers;
+    counters_.last_recalibration_ns = now;
+    outcome.recalibrated = true;
+    // Confirm recovery so operators see the post-maintenance quality.
+    auto confirm = device_->run_qa_check();
+    if (confirm.ok()) {
+      ++counters_.qa_runs;
+      counters_.last_quality = confirm.value();
+      outcome.quality = confirm.value();
+    }
+  }
+  return outcome;
+}
+
+}  // namespace qcenv::qpu

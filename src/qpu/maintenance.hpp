@@ -1,0 +1,62 @@
+// Periodic QA and threshold-triggered recalibration (§3.4: "quality
+// assurance jobs checking the QPU [are] typically scheduled periodically by
+// both the hosting site and the QPU itself").
+//
+// The scheduler is tick-driven: the hosting site calls tick(now) from its
+// cron/simulation loop; the scheduler decides whether a QA run is due and
+// whether the measured quality warrants a recalibration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "qpu/qpu_device.hpp"
+
+namespace qcenv::qpu {
+
+struct MaintenancePolicy {
+  /// Time between QA runs.
+  common::DurationNs qa_interval = 4LL * 3600 * common::kSecond;
+  /// Recalibrate when QA quality falls below this.
+  double quality_threshold = 0.85;
+  /// Also recalibrate unconditionally after this long (0 = never).
+  common::DurationNs max_calibration_age = 24LL * 3600 * common::kSecond;
+};
+
+struct MaintenanceCounters {
+  std::uint64_t qa_runs = 0;
+  std::uint64_t recalibrations = 0;
+  std::uint64_t quality_triggers = 0;  // recalibrations due to bad QA
+  double last_quality = 1.0;
+  common::TimeNs last_qa_ns = 0;
+  common::TimeNs last_recalibration_ns = 0;
+};
+
+class MaintenanceScheduler {
+ public:
+  MaintenanceScheduler(QpuDevice* device, MaintenancePolicy policy)
+      : device_(device), policy_(policy) {}
+
+  struct TickOutcome {
+    bool qa_ran = false;
+    double quality = 0;
+    bool recalibrated = false;
+  };
+
+  /// Runs due maintenance at `now`. QA occupies the device like a normal
+  /// job (it goes through QpuDevice::execute), so hosting sites schedule
+  /// ticks in low-priority windows.
+  common::Result<TickOutcome> tick(common::TimeNs now);
+
+  const MaintenanceCounters& counters() const noexcept { return counters_; }
+  const MaintenancePolicy& policy() const noexcept { return policy_; }
+
+ private:
+  QpuDevice* device_;
+  MaintenancePolicy policy_;
+  MaintenanceCounters counters_;
+  bool initialized_ = false;
+};
+
+}  // namespace qcenv::qpu

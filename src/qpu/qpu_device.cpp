@@ -1,0 +1,166 @@
+#include "qpu/qpu_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#define QCENV_LOG_COMPONENT "qpu"
+#include "common/logging.hpp"
+
+namespace qcenv::qpu {
+
+using common::DurationNs;
+using common::Result;
+using common::Status;
+using quantum::Payload;
+using quantum::Samples;
+
+QpuDevice::QpuDevice(QpuOptions options, common::Clock* clock)
+    : options_(std::move(options)),
+      clock_(clock),
+      calibration_(options_.spec.calibration, options_.drift, options_.seed),
+      shot_rate_hz_(options_.spec.shot_rate_hz) {
+  auto engine = emulator::make_emulator_backend(options_.engine);
+  // A misconfigured engine is a deployment error, not a runtime condition.
+  if (!engine.ok()) {
+    QCENV_LOG(Error) << "unknown QPU engine '" << options_.engine
+                     << "', falling back to sv";
+    engine = emulator::make_emulator_backend("sv");
+  }
+  engine_ = std::move(engine).value();
+  calibration_.recalibrate(clock_->now());
+}
+
+quantum::DeviceSpec QpuDevice::spec() {
+  std::scoped_lock lock(mutex_);
+  quantum::DeviceSpec spec = options_.spec;
+  spec.shot_rate_hz = shot_rate_hz_.load(std::memory_order_relaxed);
+  spec.calibration = calibration_.advance_to(clock_->now());
+  return spec;
+}
+
+double QpuDevice::estimated_duration_seconds(const Payload& payload) const {
+  const double rate = std::max(shot_rate_hz(), 1e-9);
+  return options_.setup_seconds +
+         static_cast<double>(payload.shots()) / rate;
+}
+
+Result<Samples> QpuDevice::execute(const Payload& payload,
+                                   const std::atomic<bool>* cancel) {
+  // Validate against the *current* device state.
+  quantum::CalibrationSnapshot cal;
+  {
+    std::scoped_lock lock(mutex_);
+    cal = calibration_.advance_to(clock_->now());
+    ++run_counter_;
+  }
+  if (payload.kind() == quantum::PayloadKind::kDigital &&
+      !options_.spec.supports_digital) {
+    return common::err::failed_precondition(
+        "device '" + options_.spec.name + "' is analog-only");
+  }
+  if (payload.kind() == quantum::PayloadKind::kAnalog) {
+    auto sequence = payload.sequence();
+    if (!sequence.ok()) return sequence.error();
+    QCENV_RETURN_IF_ERROR(options_.spec.validate(sequence.value()));
+  }
+
+  // Pace the setup phase.
+  const double scale = std::max(options_.time_scale, 1e-9);
+  clock_->sleep_for(
+      common::from_seconds(options_.setup_seconds / scale));
+
+  const double rate = std::max(shot_rate_hz(), 1e-9);
+  const std::uint64_t total_shots = payload.shots();
+  const std::uint64_t batch =
+      std::max<std::uint64_t>(1, options_.shot_batch);
+
+  // Execute physics once for all shots (calibration is quasi-static over a
+  // job), then pace delivery batch by batch so cancellation has the shot
+  // granularity of the real machine.
+  emulator::RunOptions run_options;
+  {
+    std::scoped_lock lock(mutex_);
+    run_options.seed = options_.seed ^ (run_counter_ * 0x9E3779B9ull);
+  }
+  run_options.calibration = &cal;
+  Payload job = payload;
+  auto outcome = engine_->run(job, run_options);
+  if (!outcome.ok()) return outcome;
+
+  std::uint64_t done = 0;
+  while (done < total_shots) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      std::scoped_lock lock(mutex_);
+      ++counters_.jobs_cancelled;
+      counters_.shots_executed += done;
+      return common::err::cancelled("job aborted after " +
+                                    std::to_string(done) + " shots");
+    }
+    const std::uint64_t step = std::min(batch, total_shots - done);
+    clock_->sleep_for(
+        common::from_seconds(static_cast<double>(step) / rate / scale));
+    done += step;
+  }
+
+  {
+    std::scoped_lock lock(mutex_);
+    ++counters_.jobs_executed;
+    counters_.shots_executed += total_shots;
+    counters_.busy_ns += common::from_seconds(
+        options_.setup_seconds + static_cast<double>(total_shots) / rate);
+  }
+
+  Samples samples = std::move(outcome).value();
+  common::Json meta = samples.metadata();
+  meta["backend"] = "qpu:" + options_.spec.name;
+  meta["calibration"] = cal.to_json();
+  meta["device_seconds"] =
+      options_.setup_seconds + static_cast<double>(total_shots) / rate;
+  samples.set_metadata(std::move(meta));
+  return samples;
+}
+
+Result<double> QpuDevice::run_qa_check() {
+  // Reference program: two blockaded atoms, collective pi pulse. Ideal
+  // outcome: all population in the symmetric single-excitation sector.
+  const double omega = 2.0 * std::numbers::pi;
+  const double t_pi = std::numbers::pi / (std::sqrt(2.0) * omega);
+  quantum::AtomRegister reg = quantum::AtomRegister::linear_chain(2, 5.0);
+  quantum::Sequence seq(reg);
+  const auto dur = static_cast<quantum::DurationNsQ>(t_pi * 1e3);
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(dur, omega),
+                               quantum::Waveform::constant(dur, 0.0), 0.0});
+  Payload payload = Payload::from_sequence(seq, 200);
+  auto samples = execute(payload);
+  if (!samples.ok()) return samples.error();
+  {
+    std::scoped_lock lock(mutex_);
+    ++counters_.qa_runs;
+  }
+  const double single = samples.value().probability("10") +
+                        samples.value().probability("01");
+  return single;  // 1.0 on a perfect device
+}
+
+common::Status QpuDevice::set_shot_rate(double hz) {
+  if (hz <= 0) {
+    return common::err::invalid_argument("shot rate must be positive");
+  }
+  shot_rate_hz_.store(hz, std::memory_order_relaxed);
+  QCENV_LOG(Info) << "shot rate set to " << hz << " Hz";
+  return common::Status::ok_status();
+}
+
+void QpuDevice::recalibrate() {
+  std::scoped_lock lock(mutex_);
+  calibration_.recalibrate(clock_->now());
+  QCENV_LOG(Info) << "device '" << options_.spec.name << "' recalibrated";
+}
+
+QpuCounters QpuDevice::counters() const {
+  std::scoped_lock lock(mutex_);
+  return counters_;
+}
+
+}  // namespace qcenv::qpu

@@ -1,0 +1,101 @@
+// Simulated analog QPU.
+//
+// Executes payloads on an exact emulator with the *current drifted
+// calibration* applied, and paces execution at the device shot rate
+// (~1 Hz today, ~100 Hz roadmap — paper §2.2.1). The time scale can be
+// compressed for tests via `time_scale` or driven entirely by a ManualClock.
+//
+// The device is single-job: callers (the vendor controller, the middleware)
+// serialize access. Cancellation is honoured between shot batches, matching
+// the granularity of a real analog machine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "emulator/backend.hpp"
+#include "qpu/calibration.hpp"
+#include "quantum/device.hpp"
+#include "quantum/payload.hpp"
+#include "quantum/samples.hpp"
+
+namespace qcenv::qpu {
+
+struct QpuOptions {
+  quantum::DeviceSpec spec = quantum::DeviceSpec::analog_default();
+  DriftParams drift;
+  std::uint64_t seed = 42;
+  /// Shots executed between cancellation checks.
+  std::uint64_t shot_batch = 10;
+  /// Fixed per-job setup cost (register load, sequence compile) in seconds
+  /// of device time.
+  double setup_seconds = 2.0;
+  /// Wall-time compression: simulated_device_time = nominal / time_scale.
+  /// 1.0 = real time; tests use large values (or a ManualClock).
+  double time_scale = 1.0;
+  /// Truth engine executing the physics ("sv" or "mps:<chi>").
+  std::string engine = "sv";
+};
+
+/// Counters exported to the observability stack.
+struct QpuCounters {
+  std::uint64_t jobs_executed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t shots_executed = 0;
+  std::uint64_t qa_runs = 0;
+  common::DurationNs busy_ns = 0;
+};
+
+class QpuDevice {
+ public:
+  /// `clock` must outlive the device; it provides device time (wall or
+  /// manual).
+  QpuDevice(QpuOptions options, common::Clock* clock);
+
+  /// Device spec with calibration advanced to now. What users fetch for
+  /// program development and validity checks.
+  quantum::DeviceSpec spec();
+
+  const QpuOptions& options() const noexcept { return options_; }
+
+  /// Nominal device seconds a payload occupies (setup + shots / rate).
+  double estimated_duration_seconds(const quantum::Payload& payload) const;
+
+  /// Validates, paces, and executes a payload with current calibration.
+  /// `cancel` (optional) aborts between shot batches, returning kCancelled.
+  common::Result<quantum::Samples> execute(
+      const quantum::Payload& payload,
+      const std::atomic<bool>* cancel = nullptr);
+
+  /// Quality-assurance job: a reference two-atom blockade sequence whose
+  /// outcome distribution is compared against the ideal; returns the
+  /// measured quality in [0, 1]. Scheduled periodically by hosting sites.
+  common::Result<double> run_qa_check();
+
+  /// Resets calibration to nominal (maintenance action).
+  void recalibrate();
+
+  /// Overrides the effective shot rate (admin low-level control; bounds are
+  /// enforced by the caller's safeguard layer, positivity here).
+  common::Status set_shot_rate(double hz);
+  double shot_rate_hz() const {
+    return shot_rate_hz_.load(std::memory_order_relaxed);
+  }
+
+  QpuCounters counters() const;
+
+ private:
+  QpuOptions options_;
+  common::Clock* clock_;
+  CalibrationModel calibration_;
+  std::unique_ptr<emulator::Backend> engine_;
+  std::uint64_t run_counter_ = 0;
+  std::atomic<double> shot_rate_hz_;
+  mutable std::mutex mutex_;  // guards calibration_, counters_, run_counter_
+  QpuCounters counters_;
+};
+
+}  // namespace qcenv::qpu

@@ -1,0 +1,107 @@
+#include "qrmi/cloud_client.hpp"
+
+#include "common/strings.hpp"
+
+namespace qcenv::qrmi {
+
+using common::Json;
+using common::Result;
+using common::Status;
+using net::HttpResponse;
+using quantum::Samples;
+
+CloudQrmi::CloudQrmi(std::string resource_id, ResourceType type,
+                     std::uint16_t port, std::string api_key)
+    : resource_id_(std::move(resource_id)), type_(type), client_(port),
+      port_(port) {
+  client_.set_default_header("Authorization", "Bearer " + api_key);
+}
+
+Result<Json> CloudQrmi::expect_json(Result<HttpResponse> response,
+                                    int expected_status) {
+  if (!response.ok()) {
+    return common::err::unavailable("cloud endpoint unreachable: " +
+                                    response.error().message());
+  }
+  auto body = Json::parse(response.value().body);
+  if (response.value().status != expected_status) {
+    const std::string detail =
+        body.ok() && body.value().contains("error")
+            ? body.value().at_or_null("error").as_string()
+            : response.value().body;
+    const int status = response.value().status;
+    if (status == 404) return common::err::not_found(detail);
+    if (status == 401 || status == 403) {
+      return common::err::permission_denied(detail);
+    }
+    if (status == 409) return common::err::failed_precondition(detail);
+    if (status == 410) return common::err::cancelled(detail);
+    if (status == 429) return common::err::resource_exhausted(detail);
+    return common::err::protocol("cloud API returned " +
+                                 std::to_string(status) + ": " + detail);
+  }
+  if (!body.ok()) return body.error();
+  return body;
+}
+
+Result<bool> CloudQrmi::is_accessible() {
+  auto response = client_.get("/api/v1/health");
+  return response.ok() && response.value().status == 200;
+}
+
+Result<std::string> CloudQrmi::acquire() {
+  // Cloud access is authorized by the API key; leases are nominal.
+  return std::string("cloud-lease-") + common::random_token(8);
+}
+
+Status CloudQrmi::release(const std::string&) { return Status::ok_status(); }
+
+Result<std::string> CloudQrmi::task_start(const quantum::Payload& payload) {
+  auto body = expect_json(client_.post("/api/v1/jobs", payload.serialize()),
+                          201);
+  if (!body.ok()) return body.error();
+  return body.value().get_string("id");
+}
+
+Result<TaskStatus> CloudQrmi::task_status(const std::string& task_id) {
+  auto body = expect_json(client_.get("/api/v1/jobs/" + task_id), 200);
+  if (!body.ok()) return body.error();
+  auto status = body.value().get_string("status");
+  if (!status.ok()) return status.error();
+  const std::string& s = status.value();
+  if (s == "queued") return TaskStatus::kQueued;
+  if (s == "running") return TaskStatus::kRunning;
+  if (s == "completed") return TaskStatus::kCompleted;
+  if (s == "failed") return TaskStatus::kFailed;
+  if (s == "cancelled") return TaskStatus::kCancelled;
+  return common::err::protocol("unknown cloud task status: " + s);
+}
+
+Result<Samples> CloudQrmi::task_result(const std::string& task_id) {
+  auto body =
+      expect_json(client_.get("/api/v1/jobs/" + task_id + "/result"), 200);
+  if (!body.ok()) return body.error();
+  return Samples::from_json(body.value());
+}
+
+Status CloudQrmi::task_stop(const std::string& task_id) {
+  auto body = expect_json(client_.del("/api/v1/jobs/" + task_id), 200);
+  if (!body.ok()) return body.error();
+  return Status::ok_status();
+}
+
+Result<quantum::DeviceSpec> CloudQrmi::target() {
+  auto body = expect_json(client_.get("/api/v1/device"), 200);
+  if (!body.ok()) return body.error();
+  return quantum::DeviceSpec::from_json(body.value());
+}
+
+Json CloudQrmi::metadata() {
+  Json meta = Json::object();
+  meta["resource_id"] = resource_id_;
+  meta["type"] = to_string(type_);
+  meta["endpoint"] = "127.0.0.1:" + std::to_string(port_);
+  return meta;
+}
+
+}  // namespace qcenv::qrmi

@@ -1,0 +1,45 @@
+// QRMI resource types "cloud-qpu" / "cloud-emulator": a REST client against
+// the vendor cloud API (src/cloud). Network failures surface as
+// kUnavailable so the runtime can retry or fall back.
+#pragma once
+
+#include <string>
+
+#include "net/http_client.hpp"
+#include "qrmi/qrmi.hpp"
+
+namespace qcenv::qrmi {
+
+class CloudQrmi final : public Qrmi {
+ public:
+  CloudQrmi(std::string resource_id, ResourceType type, std::uint16_t port,
+            std::string api_key);
+
+  std::string resource_id() const override { return resource_id_; }
+  ResourceType type() const override { return type_; }
+  common::Result<bool> is_accessible() override;
+
+  common::Result<std::string> acquire() override;
+  common::Status release(const std::string& token) override;
+
+  common::Result<std::string> task_start(
+      const quantum::Payload& payload) override;
+  common::Result<TaskStatus> task_status(const std::string& task_id) override;
+  common::Result<quantum::Samples> task_result(
+      const std::string& task_id) override;
+  common::Status task_stop(const std::string& task_id) override;
+
+  common::Result<quantum::DeviceSpec> target() override;
+  common::Json metadata() override;
+
+ private:
+  common::Result<common::Json> expect_json(
+      common::Result<net::HttpResponse> response, int expected_status);
+
+  std::string resource_id_;
+  ResourceType type_;
+  net::HttpClient client_;
+  std::uint16_t port_;
+};
+
+}  // namespace qcenv::qrmi

@@ -1,0 +1,128 @@
+#include "qrmi/local_emulator.hpp"
+
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qcenv::qrmi {
+
+using common::Result;
+using common::Status;
+using quantum::Payload;
+using quantum::Samples;
+
+Result<std::shared_ptr<LocalEmulatorQrmi>> LocalEmulatorQrmi::create(
+    std::string resource_id, const std::string& backend_kind,
+    emulator::RunOptions run_options) {
+  auto backend = emulator::make_emulator_backend(backend_kind);
+  if (!backend.ok()) return backend.error();
+  return std::shared_ptr<LocalEmulatorQrmi>(new LocalEmulatorQrmi(
+      std::move(resource_id), backend_kind, std::move(backend).value(),
+      run_options));
+}
+
+LocalEmulatorQrmi::LocalEmulatorQrmi(std::string resource_id,
+                                     std::string backend_kind,
+                                     std::unique_ptr<emulator::Backend> backend,
+                                     emulator::RunOptions run_options)
+    : resource_id_(std::move(resource_id)),
+      backend_kind_(std::move(backend_kind)),
+      backend_(std::move(backend)),
+      run_options_(run_options) {}
+
+Result<std::string> LocalEmulatorQrmi::acquire() {
+  // Emulators grant unlimited shared leases.
+  return std::string("emu-lease-") + common::random_token(8);
+}
+
+Status LocalEmulatorQrmi::release(const std::string&) {
+  return Status::ok_status();
+}
+
+Result<std::string> LocalEmulatorQrmi::task_start(const Payload& payload) {
+  const std::string id =
+      "local-" + std::to_string(next_task_.fetch_add(1));
+  auto task = std::make_shared<Task>();
+  task->status = TaskStatus::kRunning;
+  {
+    std::scoped_lock lock(mutex_);
+    tasks_[id] = task;
+  }
+  emulator::RunOptions options = run_options_;
+  // Each task gets a distinct seed so repeated runs differ like hardware,
+  // while the resource-level seed keeps whole experiments reproducible.
+  options.seed =
+      run_options_.seed ^ (seed_counter_.fetch_add(1) * 0x9E3779B9ull);
+  task->completion =
+      common::default_pool().submit([this, task, payload, options] {
+        auto outcome = backend_->run(payload, options);
+        std::scoped_lock lock(mutex_);
+        if (outcome.ok()) {
+          task->samples = std::move(outcome).value();
+          task->status = TaskStatus::kCompleted;
+        } else {
+          task->error = outcome.error();
+          task->status = TaskStatus::kFailed;
+        }
+      });
+  return id;
+}
+
+Result<TaskStatus> LocalEmulatorQrmi::task_status(const std::string& task_id) {
+  std::scoped_lock lock(mutex_);
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return common::err::not_found("unknown task: " + task_id);
+  }
+  return it->second->status;
+}
+
+Result<Samples> LocalEmulatorQrmi::task_result(const std::string& task_id) {
+  std::shared_ptr<Task> task;
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = tasks_.find(task_id);
+    if (it == tasks_.end()) {
+      return common::err::not_found("unknown task: " + task_id);
+    }
+    task = it->second;
+  }
+  if (task->completion.valid()) task->completion.wait();
+  std::scoped_lock lock(mutex_);
+  switch (task->status) {
+    case TaskStatus::kCompleted: return *task->samples;
+    case TaskStatus::kFailed: return *task->error;
+    case TaskStatus::kCancelled:
+      return common::err::cancelled("task cancelled: " + task_id);
+    default:
+      return common::err::failed_precondition("task still running: " +
+                                              task_id);
+  }
+}
+
+Status LocalEmulatorQrmi::task_stop(const std::string& task_id) {
+  // Emulator tasks are short; treat stop of a known task as best-effort.
+  std::scoped_lock lock(mutex_);
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return common::err::not_found("unknown task: " + task_id);
+  }
+  if (it->second->status == TaskStatus::kQueued) {
+    it->second->status = TaskStatus::kCancelled;
+  }
+  return Status::ok_status();
+}
+
+Result<quantum::DeviceSpec> LocalEmulatorQrmi::target() {
+  return backend_->spec();
+}
+
+common::Json LocalEmulatorQrmi::metadata() {
+  common::Json meta = common::Json::object();
+  meta["resource_id"] = resource_id_;
+  meta["type"] = to_string(type());
+  meta["engine"] = backend_kind_;
+  meta["backend"] = backend_->name();
+  return meta;
+}
+
+}  // namespace qcenv::qrmi

@@ -1,0 +1,66 @@
+// QRMI resource type "local-emulator": the paper's extension of QRMI to
+// locally running emulators. Tasks execute on a worker thread so the
+// interface behaves asynchronously like the other resource types.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "emulator/backend.hpp"
+#include "qrmi/qrmi.hpp"
+
+namespace qcenv::qrmi {
+
+class LocalEmulatorQrmi final : public Qrmi {
+ public:
+  /// `backend_kind` as accepted by make_emulator_backend ("sv", "mps",
+  /// "mps:<chi>", "mps-mock").
+  static common::Result<std::shared_ptr<LocalEmulatorQrmi>> create(
+      std::string resource_id, const std::string& backend_kind,
+      emulator::RunOptions run_options = {});
+
+  std::string resource_id() const override { return resource_id_; }
+  ResourceType type() const override { return ResourceType::kLocalEmulator; }
+  common::Result<bool> is_accessible() override { return true; }
+
+  common::Result<std::string> acquire() override;
+  common::Status release(const std::string& token) override;
+
+  common::Result<std::string> task_start(
+      const quantum::Payload& payload) override;
+  common::Result<TaskStatus> task_status(const std::string& task_id) override;
+  common::Result<quantum::Samples> task_result(
+      const std::string& task_id) override;
+  common::Status task_stop(const std::string& task_id) override;
+
+  common::Result<quantum::DeviceSpec> target() override;
+  common::Json metadata() override;
+
+ private:
+  LocalEmulatorQrmi(std::string resource_id, std::string backend_kind,
+                    std::unique_ptr<emulator::Backend> backend,
+                    emulator::RunOptions run_options);
+
+  struct Task {
+    TaskStatus status = TaskStatus::kQueued;
+    std::optional<quantum::Samples> samples;
+    std::optional<common::Error> error;
+    std::future<void> completion;
+  };
+
+  std::string resource_id_;
+  std::string backend_kind_;
+  std::unique_ptr<emulator::Backend> backend_;
+  emulator::RunOptions run_options_;
+  std::atomic<std::uint64_t> next_task_{1};
+  std::atomic<std::uint64_t> seed_counter_{1};
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Task>> tasks_;
+};
+
+}  // namespace qcenv::qrmi

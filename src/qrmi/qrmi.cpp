@@ -1,0 +1,50 @@
+#include "qrmi/qrmi.hpp"
+
+#include <thread>
+
+namespace qcenv::qrmi {
+
+const char* to_string(ResourceType type) noexcept {
+  switch (type) {
+    case ResourceType::kLocalEmulator: return "local-emulator";
+    case ResourceType::kDirectAccess: return "direct-access";
+    case ResourceType::kCloudQpu: return "cloud-qpu";
+    case ResourceType::kCloudEmulator: return "cloud-emulator";
+  }
+  return "?";
+}
+
+common::Result<ResourceType> resource_type_from_string(const std::string& s) {
+  if (s == "local-emulator") return ResourceType::kLocalEmulator;
+  if (s == "direct-access") return ResourceType::kDirectAccess;
+  if (s == "cloud-qpu") return ResourceType::kCloudQpu;
+  if (s == "cloud-emulator") return ResourceType::kCloudEmulator;
+  return common::err::invalid_argument("unknown QRMI resource type: " + s);
+}
+
+const char* to_string(TaskStatus status) noexcept {
+  switch (status) {
+    case TaskStatus::kQueued: return "queued";
+    case TaskStatus::kRunning: return "running";
+    case TaskStatus::kCompleted: return "completed";
+    case TaskStatus::kFailed: return "failed";
+    case TaskStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+common::Result<quantum::Samples> Qrmi::run_sync(
+    const quantum::Payload& payload, common::DurationNs poll_interval) {
+  auto task = task_start(payload);
+  if (!task.ok()) return task.error();
+  const std::string& id = task.value();
+  while (true) {
+    auto status = task_status(id);
+    if (!status.ok()) return status.error();
+    if (is_terminal(status.value())) break;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(poll_interval));
+  }
+  return task_result(id);
+}
+
+}  // namespace qcenv::qrmi

@@ -1,0 +1,90 @@
+// QRMI — Quantum Resource Management Interface (after Sitdikov et al.,
+// arXiv:2506.10052, the interface the paper builds its runtime on).
+//
+// A Qrmi instance represents one quantum resource. The lifecycle is:
+//   acquire() -> token        exclusive or shared lease on the resource
+//   task_start(payload)       submit; returns an opaque task id
+//   task_status(id)           poll
+//   task_result(id)           fetch samples once completed
+//   task_stop(id)             cancel
+//   release(token)
+// target() returns the current device specification (with live calibration)
+// so programs can be validated at the point of execution.
+//
+// The paper's contribution we reproduce here: *local emulators are QRMI
+// resources too* (LocalEmulatorQrmi), so development, HPC emulation and QPU
+// execution share one interface and programs move between them without
+// source changes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "quantum/device.hpp"
+#include "quantum/payload.hpp"
+#include "quantum/samples.hpp"
+
+namespace qcenv::qrmi {
+
+enum class ResourceType {
+  kLocalEmulator,  // in-process emulator (developer laptop / HPC node)
+  kDirectAccess,   // on-prem QPU behind the vendor controller
+  kCloudQpu,       // QPU reached through a cloud API
+  kCloudEmulator,  // managed emulator reached through a cloud API
+};
+
+const char* to_string(ResourceType type) noexcept;
+common::Result<ResourceType> resource_type_from_string(const std::string& s);
+
+enum class TaskStatus { kQueued, kRunning, kCompleted, kFailed, kCancelled };
+
+const char* to_string(TaskStatus status) noexcept;
+
+/// True for states in which the task will make no further progress.
+constexpr bool is_terminal(TaskStatus status) noexcept {
+  return status == TaskStatus::kCompleted || status == TaskStatus::kFailed ||
+         status == TaskStatus::kCancelled;
+}
+
+class Qrmi {
+ public:
+  virtual ~Qrmi() = default;
+
+  virtual std::string resource_id() const = 0;
+  virtual ResourceType type() const = 0;
+
+  /// Whether the resource is reachable and operational right now.
+  virtual common::Result<bool> is_accessible() = 0;
+
+  /// Leases the resource. Direct-access resources are exclusive; emulators
+  /// and cloud resources grant freely.
+  virtual common::Result<std::string> acquire() = 0;
+  virtual common::Status release(const std::string& token) = 0;
+
+  virtual common::Result<std::string> task_start(
+      const quantum::Payload& payload) = 0;
+  virtual common::Result<TaskStatus> task_status(
+      const std::string& task_id) = 0;
+  virtual common::Result<quantum::Samples> task_result(
+      const std::string& task_id) = 0;
+  virtual common::Status task_stop(const std::string& task_id) = 0;
+
+  /// Current device specification (embedding the live calibration snapshot).
+  virtual common::Result<quantum::DeviceSpec> target() = 0;
+
+  /// Implementation-defined details (engine, endpoint, limits).
+  virtual common::Json metadata() = 0;
+
+  /// Convenience: start, poll until terminal, and return the result.
+  /// `poll_interval` applies to asynchronous resource types.
+  common::Result<quantum::Samples> run_sync(
+      const quantum::Payload& payload,
+      common::DurationNs poll_interval = 20 * common::kMillisecond);
+};
+
+using QrmiPtr = std::shared_ptr<Qrmi>;
+
+}  // namespace qcenv::qrmi

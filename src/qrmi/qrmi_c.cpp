@@ -1,0 +1,139 @@
+#include "qrmi/qrmi_c.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "qrmi/registry.hpp"
+
+namespace {
+
+const qcenv::qrmi::ResourceRegistry* g_registry = nullptr;
+std::mutex g_mutex;
+
+int code_for(const qcenv::common::Error& error) {
+  using qcenv::common::ErrorCode;
+  switch (error.code()) {
+    case ErrorCode::kNotFound: return QRMI_ERR_NOT_FOUND;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kProtocol:
+    case ErrorCode::kFailedPrecondition:
+      return QRMI_ERR_INVALID;
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kResourceExhausted:
+      return QRMI_ERR_UNAVAILABLE;
+    case ErrorCode::kPermissionDenied: return QRMI_ERR_PERMISSION;
+    case ErrorCode::kCancelled: return QRMI_ERR_CANCELLED;
+    default: return QRMI_ERR_INTERNAL;
+  }
+}
+
+char* dup_string(const std::string& text) {
+  char* out = static_cast<char*>(std::malloc(text.size() + 1));
+  if (out != nullptr) std::memcpy(out, text.c_str(), text.size() + 1);
+  return out;
+}
+
+}  // namespace
+
+struct qrmi_handle {
+  qcenv::qrmi::QrmiPtr resource;
+};
+
+namespace qcenv::qrmi {
+void qrmi_c_register(const ResourceRegistry* registry) {
+  std::scoped_lock lock(g_mutex);
+  g_registry = registry;
+}
+}  // namespace qcenv::qrmi
+
+extern "C" {
+
+int qrmi_open(const char* resource_id, qrmi_handle** out_handle) {
+  if (resource_id == nullptr || out_handle == nullptr) return QRMI_ERR_INVALID;
+  std::scoped_lock lock(g_mutex);
+  if (g_registry == nullptr) return QRMI_ERR_UNAVAILABLE;
+  auto resource = g_registry->lookup(resource_id);
+  if (!resource.ok()) return code_for(resource.error());
+  *out_handle = new qrmi_handle{std::move(resource).value()};
+  return QRMI_OK;
+}
+
+void qrmi_close(qrmi_handle* handle) { delete handle; }
+
+int qrmi_is_accessible(qrmi_handle* handle, int* out_accessible) {
+  if (handle == nullptr || out_accessible == nullptr) return QRMI_ERR_INVALID;
+  auto accessible = handle->resource->is_accessible();
+  if (!accessible.ok()) return code_for(accessible.error());
+  *out_accessible = accessible.value() ? 1 : 0;
+  return QRMI_OK;
+}
+
+int qrmi_acquire(qrmi_handle* handle, char** out_token) {
+  if (handle == nullptr || out_token == nullptr) return QRMI_ERR_INVALID;
+  auto token = handle->resource->acquire();
+  if (!token.ok()) return code_for(token.error());
+  *out_token = dup_string(token.value());
+  return *out_token != nullptr ? QRMI_OK : QRMI_ERR_INTERNAL;
+}
+
+int qrmi_release(qrmi_handle* handle, const char* token) {
+  if (handle == nullptr || token == nullptr) return QRMI_ERR_INVALID;
+  auto status = handle->resource->release(token);
+  return status.ok() ? QRMI_OK : code_for(status.error());
+}
+
+int qrmi_task_start(qrmi_handle* handle, const char* payload_json,
+                    char** out_task_id) {
+  if (handle == nullptr || payload_json == nullptr || out_task_id == nullptr) {
+    return QRMI_ERR_INVALID;
+  }
+  auto payload = qcenv::quantum::Payload::deserialize(payload_json);
+  if (!payload.ok()) return code_for(payload.error());
+  auto task = handle->resource->task_start(payload.value());
+  if (!task.ok()) return code_for(task.error());
+  *out_task_id = dup_string(task.value());
+  return *out_task_id != nullptr ? QRMI_OK : QRMI_ERR_INTERNAL;
+}
+
+int qrmi_task_status(qrmi_handle* handle, const char* task_id,
+                     int* out_status) {
+  if (handle == nullptr || task_id == nullptr || out_status == nullptr) {
+    return QRMI_ERR_INVALID;
+  }
+  auto status = handle->resource->task_status(task_id);
+  if (!status.ok()) return code_for(status.error());
+  *out_status = static_cast<int>(status.value());
+  return QRMI_OK;
+}
+
+int qrmi_task_result(qrmi_handle* handle, const char* task_id,
+                     char** out_samples_json) {
+  if (handle == nullptr || task_id == nullptr ||
+      out_samples_json == nullptr) {
+    return QRMI_ERR_INVALID;
+  }
+  auto samples = handle->resource->task_result(task_id);
+  if (!samples.ok()) return code_for(samples.error());
+  *out_samples_json = dup_string(samples.value().to_json().dump());
+  return *out_samples_json != nullptr ? QRMI_OK : QRMI_ERR_INTERNAL;
+}
+
+int qrmi_task_stop(qrmi_handle* handle, const char* task_id) {
+  if (handle == nullptr || task_id == nullptr) return QRMI_ERR_INVALID;
+  auto status = handle->resource->task_stop(task_id);
+  return status.ok() ? QRMI_OK : code_for(status.error());
+}
+
+int qrmi_target(qrmi_handle* handle, char** out_spec_json) {
+  if (handle == nullptr || out_spec_json == nullptr) return QRMI_ERR_INVALID;
+  auto spec = handle->resource->target();
+  if (!spec.ok()) return code_for(spec.error());
+  *out_spec_json = dup_string(spec.value().to_json().dump());
+  return *out_spec_json != nullptr ? QRMI_OK : QRMI_ERR_INTERNAL;
+}
+
+void qrmi_string_free(char* text) { std::free(text); }
+
+}  // extern "C"

@@ -1,0 +1,99 @@
+#include "qrmi/registry.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+#include "qrmi/cloud_client.hpp"
+#include "qrmi/local_emulator.hpp"
+
+namespace qcenv::qrmi {
+
+using common::Result;
+using common::Status;
+
+void ResourceRegistry::add(const std::string& name, QrmiPtr resource) {
+  resources_[name] = std::move(resource);
+}
+
+Result<QrmiPtr> ResourceRegistry::lookup(const std::string& name) const {
+  const auto it = resources_.find(name);
+  if (it == resources_.end()) {
+    return common::err::not_found(
+        "unknown QRMI resource '" + name + "'; available: " +
+        common::join(names(), ", "));
+  }
+  return it->second;
+}
+
+bool ResourceRegistry::contains(const std::string& name) const {
+  return resources_.count(name) > 0;
+}
+
+std::vector<std::string> ResourceRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(resources_.size());
+  for (const auto& [name, _] : resources_) out.push_back(name);
+  return out;
+}
+
+std::string config_key_name(const std::string& resource_name) {
+  std::string out;
+  out.reserve(resource_name.size());
+  for (const char c : resource_name) {
+    out += (c == '-') ? '_'
+                      : static_cast<char>(std::toupper(
+                            static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+Status ResourceRegistry::load_from_config(const common::Config& config,
+                                          const std::string& prefix) {
+  const auto declared = config.get(prefix + "RESOURCES");
+  if (!declared.has_value()) return Status::ok_status();  // nothing declared
+  for (const auto& raw_name : common::split(*declared, ',')) {
+    const std::string name(common::trim(raw_name));
+    if (name.empty()) continue;
+    const std::string key_base = prefix + config_key_name(name) + "_";
+    auto type_text = config.require(key_base + "TYPE");
+    if (!type_text.ok()) return type_text.error();
+    auto type = resource_type_from_string(type_text.value());
+    if (!type.ok()) return type.error();
+
+    switch (type.value()) {
+      case ResourceType::kLocalEmulator: {
+        const std::string engine =
+            config.get_or(key_base + "ENGINE", "sv");
+        emulator::RunOptions options;
+        options.seed = static_cast<std::uint64_t>(
+            config.get_int_or(key_base + "SEED", 1234));
+        auto resource = LocalEmulatorQrmi::create(name, engine, options);
+        if (!resource.ok()) return resource.error();
+        add(name, std::move(resource).value());
+        break;
+      }
+      case ResourceType::kCloudQpu:
+      case ResourceType::kCloudEmulator: {
+        const long long port = config.get_int_or(key_base + "PORT", 0);
+        if (port <= 0 || port > 65535) {
+          return common::err::invalid_argument(
+              "resource '" + name + "' needs a valid " + key_base + "PORT");
+        }
+        const std::string api_key =
+            config.get_or(key_base + "API_KEY", "dev-key");
+        add(name, std::make_shared<CloudQrmi>(
+                      name, type.value(),
+                      static_cast<std::uint16_t>(port), api_key));
+        break;
+      }
+      case ResourceType::kDirectAccess:
+        return common::err::invalid_argument(
+            "resource '" + name +
+            "': direct-access resources are registered by the hosting "
+            "site's daemon, not from user configuration");
+    }
+  }
+  return Status::ok_status();
+}
+
+}  // namespace qcenv::qrmi

@@ -1,0 +1,51 @@
+// Resource registry: names -> QRMI instances.
+//
+// This is the substrate of the paper's `--qpu=<resource>` switch: all
+// resources (local emulators, cloud endpoints, the on-prem QPU) are looked
+// up by name through one registry. Emulator and cloud resources can be
+// declared in configuration (QRMI is "configured through environment
+// variables", §3.4); direct-access resources are registered by the hosting
+// site's daemon, which owns the device objects.
+//
+// Config schema (keys relative to a prefix, default "QRMI_"):
+//   QRMI_RESOURCES=frontend-emu,cloud-emu         # comma-separated names
+//   QRMI_<NAME>_TYPE=local-emulator|cloud-qpu|cloud-emulator
+//   QRMI_<NAME>_ENGINE=sv|mps|mps:<chi>|mps-mock  # local-emulator only
+//   QRMI_<NAME>_PORT=<port>                       # cloud types
+//   QRMI_<NAME>_API_KEY=<key>                     # cloud types
+// <NAME> is the resource name uppercased with '-' replaced by '_'.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "qrmi/qrmi.hpp"
+
+namespace qcenv::qrmi {
+
+class ResourceRegistry {
+ public:
+  /// Registers (or replaces) a named resource.
+  void add(const std::string& name, QrmiPtr resource);
+
+  common::Result<QrmiPtr> lookup(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::size_t size() const { return resources_.size(); }
+
+  /// Instantiates every resource declared in `config` (see schema above).
+  /// Stops at the first invalid declaration.
+  common::Status load_from_config(const common::Config& config,
+                                  const std::string& prefix = "QRMI_");
+
+ private:
+  std::map<std::string, QrmiPtr> resources_;
+};
+
+/// "frontend-emu" -> "FRONTEND_EMU" (for config key derivation).
+std::string config_key_name(const std::string& resource_name);
+
+}  // namespace qcenv::qrmi

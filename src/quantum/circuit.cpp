@@ -1,0 +1,183 @@
+#include "quantum/circuit.hpp"
+
+#include <algorithm>
+
+namespace qcenv::quantum {
+
+using common::Json;
+using common::JsonArray;
+using common::Result;
+using common::Status;
+
+const char* to_string(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kI: return "i";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kH: return "h";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kRx: return "rx";
+    case GateKind::kRy: return "ry";
+    case GateKind::kRz: return "rz";
+    case GateKind::kPhase: return "p";
+    case GateKind::kCz: return "cz";
+    case GateKind::kCx: return "cx";
+    case GateKind::kSwap: return "swap";
+  }
+  return "?";
+}
+
+Result<GateKind> gate_kind_from_string(const std::string& name) {
+  static const std::pair<const char*, GateKind> kTable[] = {
+      {"i", GateKind::kI},     {"x", GateKind::kX},
+      {"y", GateKind::kY},     {"z", GateKind::kZ},
+      {"h", GateKind::kH},     {"s", GateKind::kS},
+      {"sdg", GateKind::kSdg}, {"t", GateKind::kT},
+      {"tdg", GateKind::kTdg}, {"rx", GateKind::kRx},
+      {"ry", GateKind::kRy},   {"rz", GateKind::kRz},
+      {"p", GateKind::kPhase}, {"cz", GateKind::kCz},
+      {"cx", GateKind::kCx},   {"swap", GateKind::kSwap},
+  };
+  for (const auto& [text, kind] : kTable) {
+    if (name == text) return kind;
+  }
+  return common::err::protocol("unknown gate: " + name);
+}
+
+bool is_parameterized(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kRz:
+    case GateKind::kPhase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int arity(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kCz:
+    case GateKind::kCx:
+    case GateKind::kSwap:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+Json Gate::to_json() const {
+  Json out = Json::object();
+  out["gate"] = to_string(kind);
+  JsonArray qs;
+  qs.reserve(qubits.size());
+  for (const std::size_t q : qubits) qs.push_back(static_cast<long long>(q));
+  out["qubits"] = Json(std::move(qs));
+  if (is_parameterized(kind)) out["param"] = param;
+  return out;
+}
+
+Result<Gate> Gate::from_json(const Json& json) {
+  auto name = json.get_string("gate");
+  if (!name.ok()) return name.error();
+  auto kind = gate_kind_from_string(name.value());
+  if (!kind.ok()) return kind.error();
+  Gate gate;
+  gate.kind = kind.value();
+  const Json& qs = json.at_or_null("qubits");
+  if (!qs.is_array()) return common::err::protocol("gate needs 'qubits'");
+  for (const auto& q : qs.as_array()) {
+    if (!q.is_int()) return common::err::protocol("qubit index must be int");
+    gate.qubits.push_back(static_cast<std::size_t>(q.as_int()));
+  }
+  if (is_parameterized(gate.kind)) {
+    auto param = json.get_double("param");
+    if (!param.ok()) return param.error();
+    gate.param = param.value();
+  }
+  return gate;
+}
+
+Circuit& Circuit::add(GateKind kind, std::vector<std::size_t> qubits,
+                      double param) {
+  gates_.push_back(Gate{kind, std::move(qubits), param});
+  return *this;
+}
+
+std::size_t Circuit::two_qubit_gate_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return arity(g.kind) == 2; }));
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(num_qubits_, 0);
+  std::size_t depth = 0;
+  for (const auto& gate : gates_) {
+    std::size_t at = 0;
+    for (const std::size_t q : gate.qubits) {
+      if (q < level.size()) at = std::max(at, level[q]);
+    }
+    ++at;
+    for (const std::size_t q : gate.qubits) {
+      if (q < level.size()) level[q] = at;
+    }
+    depth = std::max(depth, at);
+  }
+  return depth;
+}
+
+Status Circuit::validate() const {
+  if (num_qubits_ == 0) {
+    return common::err::invalid_argument("circuit has zero qubits");
+  }
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const std::string where = "gate " + std::to_string(i) + " (" +
+                              to_string(g.kind) + ")";
+    if (g.qubits.size() != static_cast<std::size_t>(arity(g.kind))) {
+      return common::err::invalid_argument(where + ": wrong operand count");
+    }
+    for (const std::size_t q : g.qubits) {
+      if (q >= num_qubits_) {
+        return common::err::invalid_argument(
+            where + ": qubit " + std::to_string(q) + " out of range");
+      }
+    }
+    if (g.qubits.size() == 2 && g.qubits[0] == g.qubits[1]) {
+      return common::err::invalid_argument(where + ": duplicate operands");
+    }
+  }
+  return Status::ok_status();
+}
+
+Json Circuit::to_json() const {
+  Json out = Json::object();
+  out["num_qubits"] = static_cast<long long>(num_qubits_);
+  JsonArray gates;
+  gates.reserve(gates_.size());
+  for (const auto& g : gates_) gates.push_back(g.to_json());
+  out["gates"] = Json(std::move(gates));
+  return out;
+}
+
+Result<Circuit> Circuit::from_json(const Json& json) {
+  auto n = json.get_int("num_qubits");
+  if (!n.ok()) return n.error();
+  Circuit circuit(static_cast<std::size_t>(n.value()));
+  const Json& gates = json.at_or_null("gates");
+  if (!gates.is_array()) return common::err::protocol("circuit needs 'gates'");
+  for (const auto& g : gates.as_array()) {
+    auto gate = Gate::from_json(g);
+    if (!gate.ok()) return gate.error();
+    circuit.add(gate.value().kind, gate.value().qubits, gate.value().param);
+  }
+  return circuit;
+}
+
+}  // namespace qcenv::quantum

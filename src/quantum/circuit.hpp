@@ -1,0 +1,103 @@
+// Gate-model circuit IR for the digital front-ends (qgate, kernelq).
+//
+// The native gate set of the simulated stack is {RX, RY, RZ, CZ}; richer
+// gates are accepted in the IR and decomposed by the transpiler in
+// src/sdk/qgate before hitting a backend that requires native gates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace qcenv::quantum {
+
+enum class GateKind {
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kRx,
+  kRy,
+  kRz,
+  kPhase,  // diag(1, e^{i*param})
+  kCz,
+  kCx,
+  kSwap,
+};
+
+const char* to_string(GateKind kind) noexcept;
+common::Result<GateKind> gate_kind_from_string(const std::string& name);
+
+/// True for RX/RY/RZ/PHASE (gates that carry an angle parameter).
+bool is_parameterized(GateKind kind) noexcept;
+/// Number of qubit operands the gate takes (1 or 2).
+int arity(GateKind kind) noexcept;
+
+struct Gate {
+  GateKind kind = GateKind::kI;
+  std::vector<std::size_t> qubits;  // size == arity(kind)
+  double param = 0;                 // angle for parameterized gates
+
+  common::Json to_json() const;
+  static common::Result<Gate> from_json(const common::Json& json);
+  bool operator==(const Gate&) const = default;
+};
+
+/// A circuit over `num_qubits` qubits, measured in the computational basis
+/// at the end (terminal full measurement, as on current analog/early-digital
+/// hardware).
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+
+  /// Appends a gate; qubit indices are validated by validate().
+  Circuit& add(GateKind kind, std::vector<std::size_t> qubits,
+               double param = 0);
+
+  // Convenience builders for the common gates.
+  Circuit& h(std::size_t q) { return add(GateKind::kH, {q}); }
+  Circuit& x(std::size_t q) { return add(GateKind::kX, {q}); }
+  Circuit& y(std::size_t q) { return add(GateKind::kY, {q}); }
+  Circuit& z(std::size_t q) { return add(GateKind::kZ, {q}); }
+  Circuit& s(std::size_t q) { return add(GateKind::kS, {q}); }
+  Circuit& t(std::size_t q) { return add(GateKind::kT, {q}); }
+  Circuit& rx(std::size_t q, double angle) { return add(GateKind::kRx, {q}, angle); }
+  Circuit& ry(std::size_t q, double angle) { return add(GateKind::kRy, {q}, angle); }
+  Circuit& rz(std::size_t q, double angle) { return add(GateKind::kRz, {q}, angle); }
+  Circuit& phase(std::size_t q, double angle) { return add(GateKind::kPhase, {q}, angle); }
+  Circuit& cz(std::size_t a, std::size_t b) { return add(GateKind::kCz, {a, b}); }
+  Circuit& cx(std::size_t control, std::size_t target) {
+    return add(GateKind::kCx, {control, target});
+  }
+  Circuit& swap(std::size_t a, std::size_t b) { return add(GateKind::kSwap, {a, b}); }
+
+  std::size_t size() const noexcept { return gates_.size(); }
+  std::size_t two_qubit_gate_count() const;
+  /// Longest chain of gates through any qubit (circuit depth).
+  std::size_t depth() const;
+
+  /// Qubit-index bounds and arity checks.
+  common::Status validate() const;
+
+  common::Json to_json() const;
+  static common::Result<Circuit> from_json(const common::Json& json);
+  bool operator==(const Circuit&) const = default;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qcenv::quantum

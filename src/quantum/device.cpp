@@ -1,0 +1,205 @@
+#include "quantum/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qcenv::quantum {
+
+using common::Json;
+using common::Result;
+using common::Status;
+
+double CalibrationSnapshot::fidelity_estimate() const {
+  // Heuristic composite: each deviation from nominal multiplies a penalty.
+  const double rabi_penalty = std::exp(-10.0 * std::abs(rabi_scale - 1.0));
+  const double detuning_penalty = std::exp(-std::abs(detuning_offset));
+  const double dephasing_penalty = std::exp(-20.0 * std::max(0.0, dephasing_rate));
+  const double readout_penalty =
+      (1.0 - std::clamp(readout_p01, 0.0, 1.0)) *
+      (1.0 - std::clamp(readout_p10, 0.0, 1.0));
+  const double fill_penalty = std::clamp(fill_success, 0.0, 1.0);
+  return std::clamp(rabi_penalty * detuning_penalty * dephasing_penalty *
+                        readout_penalty * fill_penalty,
+                    1e-9, 1.0);
+}
+
+Json CalibrationSnapshot::to_json() const {
+  Json out = Json::object();
+  out["timestamp_ns"] = timestamp_ns;
+  out["rabi_scale"] = rabi_scale;
+  out["detuning_offset"] = detuning_offset;
+  out["dephasing_rate"] = dephasing_rate;
+  out["readout_p01"] = readout_p01;
+  out["readout_p10"] = readout_p10;
+  out["fill_success"] = fill_success;
+  out["fidelity_estimate"] = fidelity_estimate();
+  return out;
+}
+
+Result<CalibrationSnapshot> CalibrationSnapshot::from_json(const Json& j) {
+  CalibrationSnapshot snap;
+  auto ts = j.get_int("timestamp_ns");
+  if (!ts.ok()) return ts.error();
+  snap.timestamp_ns = ts.value();
+  auto field = [&](const char* key, double* dest) -> Status {
+    auto v = j.get_double(key);
+    if (!v.ok()) return v.error();
+    *dest = v.value();
+    return Status::ok_status();
+  };
+  QCENV_RETURN_IF_ERROR(field("rabi_scale", &snap.rabi_scale));
+  QCENV_RETURN_IF_ERROR(field("detuning_offset", &snap.detuning_offset));
+  QCENV_RETURN_IF_ERROR(field("dephasing_rate", &snap.dephasing_rate));
+  QCENV_RETURN_IF_ERROR(field("readout_p01", &snap.readout_p01));
+  QCENV_RETURN_IF_ERROR(field("readout_p10", &snap.readout_p10));
+  QCENV_RETURN_IF_ERROR(field("fill_success", &snap.fill_success));
+  return snap;
+}
+
+double DeviceSpec::blockade_radius() const {
+  if (max_amplitude <= 0) return 0;
+  return std::pow(c6_coefficient / max_amplitude, 1.0 / 6.0);
+}
+
+Status DeviceSpec::validate(const Sequence& sequence) const {
+  QCENV_RETURN_IF_ERROR(sequence.validate());
+  const auto& reg = sequence.atom_register();
+  if (reg.size() > max_qubits) {
+    return common::err::invalid_argument(
+        "register has " + std::to_string(reg.size()) + " atoms; device '" +
+        name + "' supports " + std::to_string(max_qubits));
+  }
+  if (reg.size() > 1 && reg.min_distance() < min_atom_distance_um - 1e-9) {
+    return common::err::invalid_argument(
+        "atoms closer than the device minimum distance of " +
+        std::to_string(min_atom_distance_um) + " um");
+  }
+  if (reg.max_radius_from_centroid() > max_layout_radius_um + 1e-9) {
+    return common::err::invalid_argument(
+        "register exceeds the device layout radius of " +
+        std::to_string(max_layout_radius_um) + " um");
+  }
+  if (sequence.duration() > max_sequence_duration_ns) {
+    return common::err::invalid_argument(
+        "sequence duration " + std::to_string(sequence.duration()) +
+        " ns exceeds device limit " +
+        std::to_string(max_sequence_duration_ns) + " ns");
+  }
+  for (std::size_t i = 0; i < sequence.pulses().size(); ++i) {
+    const Pulse& p = sequence.pulses()[i];
+    if (p.amplitude.max_value() > max_amplitude + 1e-9) {
+      return common::err::invalid_argument(
+          "pulse " + std::to_string(i) + " amplitude exceeds device max " +
+          std::to_string(max_amplitude) + " rad/us");
+    }
+    if (std::max(std::abs(p.detuning.max_value()),
+                 std::abs(p.detuning.min_value())) >
+        max_abs_detuning + 1e-9) {
+      return common::err::invalid_argument(
+          "pulse " + std::to_string(i) + " detuning exceeds device range");
+    }
+  }
+  return Status::ok_status();
+}
+
+Status DeviceSpec::validate(const Circuit& circuit) const {
+  if (!supports_digital) {
+    return common::err::failed_precondition(
+        "device '" + name +
+        "' is analog-only; run digital circuits on an emulator resource");
+  }
+  QCENV_RETURN_IF_ERROR(circuit.validate());
+  if (circuit.num_qubits() > max_qubits) {
+    return common::err::invalid_argument(
+        "circuit needs " + std::to_string(circuit.num_qubits()) +
+        " qubits; device supports " + std::to_string(max_qubits));
+  }
+  return Status::ok_status();
+}
+
+Json DeviceSpec::to_json() const {
+  Json out = Json::object();
+  out["name"] = name;
+  out["vendor"] = vendor;
+  out["generation"] = generation;
+  out["max_qubits"] = static_cast<long long>(max_qubits);
+  out["min_atom_distance_um"] = min_atom_distance_um;
+  out["max_layout_radius_um"] = max_layout_radius_um;
+  out["max_amplitude"] = max_amplitude;
+  out["max_abs_detuning"] = max_abs_detuning;
+  out["c6_coefficient"] = c6_coefficient;
+  out["max_sequence_duration_ns"] = max_sequence_duration_ns;
+  out["shot_rate_hz"] = shot_rate_hz;
+  out["supports_digital"] = supports_digital;
+  out["calibration"] = calibration.to_json();
+  return out;
+}
+
+Result<DeviceSpec> DeviceSpec::from_json(const Json& json) {
+  DeviceSpec spec;
+  auto name = json.get_string("name");
+  if (!name.ok()) return name.error();
+  spec.name = name.value();
+  spec.vendor = json.get_string("vendor").value_or("qcenv");
+  spec.generation = json.get_string("generation").value_or("analog-1");
+  auto max_qubits = json.get_int("max_qubits");
+  if (!max_qubits.ok()) return max_qubits.error();
+  spec.max_qubits = static_cast<std::size_t>(max_qubits.value());
+  spec.min_atom_distance_um =
+      json.at_or_null("min_atom_distance_um").is_number()
+          ? json.at_or_null("min_atom_distance_um").as_double()
+          : spec.min_atom_distance_um;
+  spec.max_layout_radius_um =
+      json.at_or_null("max_layout_radius_um").is_number()
+          ? json.at_or_null("max_layout_radius_um").as_double()
+          : spec.max_layout_radius_um;
+  auto max_amp = json.get_double("max_amplitude");
+  if (!max_amp.ok()) return max_amp.error();
+  spec.max_amplitude = max_amp.value();
+  auto max_det = json.get_double("max_abs_detuning");
+  if (!max_det.ok()) return max_det.error();
+  spec.max_abs_detuning = max_det.value();
+  auto c6 = json.get_double("c6_coefficient");
+  if (!c6.ok()) return c6.error();
+  spec.c6_coefficient = c6.value();
+  auto max_dur = json.get_int("max_sequence_duration_ns");
+  if (!max_dur.ok()) return max_dur.error();
+  spec.max_sequence_duration_ns = max_dur.value();
+  auto shot_rate = json.get_double("shot_rate_hz");
+  if (!shot_rate.ok()) return shot_rate.error();
+  spec.shot_rate_hz = shot_rate.value();
+  auto digital = json.get_bool("supports_digital");
+  if (!digital.ok()) return digital.error();
+  spec.supports_digital = digital.value();
+  if (json.contains("calibration")) {
+    auto cal = CalibrationSnapshot::from_json(json.at_or_null("calibration"));
+    if (!cal.ok()) return cal.error();
+    spec.calibration = cal.value();
+  }
+  return spec;
+}
+
+DeviceSpec DeviceSpec::analog_default() {
+  return DeviceSpec{};  // defaults model the analog QPU
+}
+
+DeviceSpec DeviceSpec::emulator_default(std::size_t max_qubits) {
+  DeviceSpec spec;
+  spec.name = "sim-emulator";
+  spec.generation = "emulator";
+  spec.max_qubits = max_qubits;
+  spec.supports_digital = true;
+  spec.shot_rate_hz = 0.0;  // not shot-rate limited
+  // Emulators do not enforce physical trap geometry or sequence length.
+  spec.max_layout_radius_um = 1e9;
+  spec.max_sequence_duration_ns = 1'000'000'000;
+  spec.min_atom_distance_um = 0.0;
+  spec.calibration = CalibrationSnapshot{};
+  spec.calibration.dephasing_rate = 0.0;
+  spec.calibration.readout_p01 = 0.0;
+  spec.calibration.readout_p10 = 0.0;
+  spec.calibration.fill_success = 1.0;
+  return spec;
+}
+
+}  // namespace qcenv::quantum

@@ -1,0 +1,74 @@
+// Device specifications and calibration snapshots.
+//
+// DeviceSpec is what users fetch ("device characteristics needed for program
+// development" in Figure 1) and what programs are validated against at the
+// point of execution. The embedded CalibrationSnapshot changes over time on
+// the simulated QPU (drift), which is exactly the portability hazard the
+// paper's runtime revalidation addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/sequence.hpp"
+
+namespace qcenv::quantum {
+
+/// Time-varying device quality parameters. Nominal values represent a
+/// freshly calibrated machine.
+struct CalibrationSnapshot {
+  std::int64_t timestamp_ns = 0;   // when the snapshot was taken
+  double rabi_scale = 1.0;         // multiplicative Ω miscalibration
+  double detuning_offset = 0.0;    // additive δ offset, rad/µs
+  double dephasing_rate = 0.008;   // 1/µs, T2*-like phase noise strength
+  double readout_p01 = 0.01;       // P(read 1 | prepared 0)
+  double readout_p10 = 0.03;       // P(read 0 | prepared 1)
+  double fill_success = 0.995;     // per-atom loading probability
+
+  /// Composite quality score in (0, 1]; 1.0 = nominal. Used by monitoring
+  /// dashboards and drift alerts.
+  double fidelity_estimate() const;
+
+  common::Json to_json() const;
+  static common::Result<CalibrationSnapshot> from_json(const common::Json& j);
+  bool operator==(const CalibrationSnapshot&) const = default;
+};
+
+/// Static device capabilities plus the current calibration snapshot.
+struct DeviceSpec {
+  std::string name = "sim-analog";
+  std::string vendor = "qcenv";
+  std::string generation = "analog-1";
+  std::size_t max_qubits = 100;
+  double min_atom_distance_um = 4.0;
+  double max_layout_radius_um = 35.0;
+  double max_amplitude = 4.0 * 3.14159265358979323846;  // rad/µs
+  double max_abs_detuning = 20.0 * 3.14159265358979323846;  // rad/µs
+  double c6_coefficient = 5420503.0;  // rad µs^-1 µm^6 (Rb 70S)
+  DurationNsQ max_sequence_duration_ns = 100'000;
+  double shot_rate_hz = 1.0;   // paper: ~1 Hz today, ~100 Hz roadmap
+  bool supports_digital = false;  // analog-only production device
+  CalibrationSnapshot calibration;
+
+  /// Rydberg blockade radius at the device's max amplitude (µm):
+  /// r_b = (C6 / Ω)^(1/6).
+  double blockade_radius() const;
+
+  /// Full program validation against device limits.
+  common::Status validate(const Sequence& sequence) const;
+  common::Status validate(const Circuit& circuit) const;
+
+  common::Json to_json() const;
+  static common::Result<DeviceSpec> from_json(const common::Json& json);
+
+  /// A Fresnel-like analog QPU profile.
+  static DeviceSpec analog_default();
+  /// An emulator profile: digital support, generous limits, perfect nominal
+  /// calibration.
+  static DeviceSpec emulator_default(std::size_t max_qubits = 26);
+};
+
+}  // namespace qcenv::quantum

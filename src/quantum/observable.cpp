@@ -1,0 +1,86 @@
+#include "quantum/observable.hpp"
+
+namespace qcenv::quantum {
+
+using common::Result;
+using common::Status;
+
+Status Observable::add_term(double coefficient, const std::string& paulis) {
+  if (paulis.size() != num_qubits_) {
+    return common::err::invalid_argument(
+        "pauli string length does not match qubit count");
+  }
+  for (const char c : paulis) {
+    if (c != 'I' && c != 'X' && c != 'Y' && c != 'Z') {
+      return common::err::invalid_argument(
+          std::string("invalid pauli character: ") + c);
+    }
+  }
+  terms_.push_back(PauliTerm{coefficient, paulis});
+  return Status::ok_status();
+}
+
+bool Observable::is_diagonal() const noexcept {
+  for (const auto& term : terms_) {
+    if (!term.is_diagonal()) return false;
+  }
+  return true;
+}
+
+Result<double> Observable::expectation_from_samples(
+    const Samples& samples) const {
+  if (!is_diagonal()) {
+    return common::err::failed_precondition(
+        "observable has X/Y terms; evaluate on a state backend");
+  }
+  if (samples.total_shots() == 0) {
+    return common::err::invalid_argument("no shots recorded");
+  }
+  double total = 0;
+  for (const auto& term : terms_) {
+    double acc = 0;
+    for (const auto& [bits, count] : samples.counts()) {
+      double sign = 1.0;
+      for (std::size_t q = 0; q < term.paulis.size() && q < bits.size(); ++q) {
+        if (term.paulis[q] == 'Z' && bits[q] == '1') sign = -sign;
+      }
+      acc += sign * static_cast<double>(count);
+    }
+    total += term.coefficient * acc /
+             static_cast<double>(samples.total_shots());
+  }
+  return total;
+}
+
+Observable Observable::mean_magnetization(std::size_t n) {
+  Observable obs(n);
+  const double w = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string paulis(n, 'I');
+    paulis[i] = 'Z';
+    (void)obs.add_term(w, paulis);
+  }
+  return obs;
+}
+
+Observable Observable::staggered_magnetization(std::size_t n) {
+  Observable obs(n);
+  const double w = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string paulis(n, 'I');
+    paulis[i] = 'Z';
+    (void)obs.add_term((i % 2 == 0 ? w : -w), paulis);
+  }
+  return obs;
+}
+
+Observable Observable::zz(std::size_t n, std::size_t a, std::size_t b) {
+  Observable obs(n);
+  std::string paulis(n, 'I');
+  if (a < n) paulis[a] = 'Z';
+  if (b < n) paulis[b] = 'Z';
+  (void)obs.add_term(1.0, paulis);
+  return obs;
+}
+
+}  // namespace qcenv::quantum

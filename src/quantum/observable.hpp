@@ -1,0 +1,58 @@
+// Pauli-string observables. Diagonal (Z/I) observables evaluate directly
+// from bitstring samples; general observables need a state backend (the
+// emulator evaluates them from the wavefunction).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "quantum/samples.hpp"
+
+namespace qcenv::quantum {
+
+/// A single Pauli string, e.g. "ZZIZ" (character i acts on qubit i).
+struct PauliTerm {
+  double coefficient = 1.0;
+  std::string paulis;  // characters in {I, X, Y, Z}
+
+  bool is_diagonal() const noexcept {
+    for (const char c : paulis) {
+      if (c == 'X' || c == 'Y') return false;
+    }
+    return true;
+  }
+};
+
+/// Weighted sum of Pauli strings over a fixed qubit count.
+class Observable {
+ public:
+  Observable() = default;
+  explicit Observable(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  const std::vector<PauliTerm>& terms() const noexcept { return terms_; }
+
+  /// Adds coefficient * paulis; the string length must equal num_qubits.
+  common::Status add_term(double coefficient, const std::string& paulis);
+
+  /// True when every term contains only I/Z (sample-evaluable).
+  bool is_diagonal() const noexcept;
+
+  /// Expectation value from measurement counts; requires is_diagonal().
+  common::Result<double> expectation_from_samples(const Samples& samples) const;
+
+  // Common ready-made observables.
+  /// Sum_i Z_i / n — average magnetization.
+  static Observable mean_magnetization(std::size_t n);
+  /// Sum_i (-1)^i Z_i / n — staggered magnetization (AFM order parameter).
+  static Observable staggered_magnetization(std::size_t n);
+  /// Z_a Z_b two-point correlator.
+  static Observable zz(std::size_t n, std::size_t a, std::size_t b);
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<PauliTerm> terms_;
+};
+
+}  // namespace qcenv::quantum

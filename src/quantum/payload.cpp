@@ -1,0 +1,122 @@
+#include "quantum/payload.hpp"
+
+namespace qcenv::quantum {
+
+using common::Json;
+using common::Result;
+
+const char* to_string(PayloadKind kind) noexcept {
+  switch (kind) {
+    case PayloadKind::kAnalog: return "analog";
+    case PayloadKind::kDigital: return "digital";
+  }
+  return "?";
+}
+
+Payload Payload::from_sequence(const Sequence& sequence, std::uint64_t shots) {
+  Payload payload;
+  payload.kind_ = PayloadKind::kAnalog;
+  payload.body_ = sequence.to_json();
+  payload.shots_ = shots;
+  return payload;
+}
+
+Payload Payload::from_circuit(const Circuit& circuit, std::uint64_t shots) {
+  Payload payload;
+  payload.kind_ = PayloadKind::kDigital;
+  payload.body_ = circuit.to_json();
+  payload.shots_ = shots;
+  return payload;
+}
+
+std::size_t Payload::num_qubits() const {
+  if (kind_ == PayloadKind::kAnalog) {
+    return body_.at_or_null("register").size();
+  }
+  const Json& n = body_.at_or_null("num_qubits");
+  return n.is_int() ? static_cast<std::size_t>(n.as_int()) : 0;
+}
+
+Result<Sequence> Payload::sequence() const {
+  if (kind_ != PayloadKind::kAnalog) {
+    return common::err::failed_precondition("payload is not analog");
+  }
+  return Sequence::from_json(body_);
+}
+
+Result<Circuit> Payload::circuit() const {
+  if (kind_ != PayloadKind::kDigital) {
+    return common::err::failed_precondition("payload is not digital");
+  }
+  return Circuit::from_json(body_);
+}
+
+std::uint64_t Payload::program_hash() const {
+  const std::string canonical =
+      std::string(to_string(kind_)) + "|" + body_.dump();
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : canonical) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+Json Payload::to_json() const {
+  Json out = Json::object();
+  out["version"] = kVersion;
+  out["kind"] = to_string(kind_);
+  out["body"] = body_;
+  out["shots"] = static_cast<long long>(shots_);
+  out["metadata"] = metadata_;
+  return out;
+}
+
+std::string Payload::serialize() const { return to_json().dump(); }
+
+Result<Payload> Payload::from_json(const Json& json) {
+  auto version = json.get_string("version");
+  if (!version.ok()) return version.error();
+  if (version.value() != kVersion) {
+    return common::err::protocol("unsupported payload version: " +
+                                 version.value());
+  }
+  auto kind = json.get_string("kind");
+  if (!kind.ok()) return kind.error();
+  Payload payload;
+  if (kind.value() == "analog") {
+    payload.kind_ = PayloadKind::kAnalog;
+  } else if (kind.value() == "digital") {
+    payload.kind_ = PayloadKind::kDigital;
+  } else {
+    return common::err::protocol("unknown payload kind: " + kind.value());
+  }
+  payload.body_ = json.at_or_null("body");
+  auto shots = json.get_int("shots");
+  if (!shots.ok()) return shots.error();
+  if (shots.value() <= 0) {
+    return common::err::invalid_argument("shots must be positive");
+  }
+  payload.shots_ = static_cast<std::uint64_t>(shots.value());
+  if (json.contains("metadata")) {
+    payload.metadata_ = json.at_or_null("metadata");
+  }
+  // Eagerly decode the program once so corrupt payloads are rejected at the
+  // boundary, not deep inside a backend.
+  if (payload.kind_ == PayloadKind::kAnalog) {
+    auto seq = payload.sequence();
+    if (!seq.ok()) return seq.error();
+  } else {
+    auto circ = payload.circuit();
+    if (!circ.ok()) return circ.error();
+  }
+  return payload;
+}
+
+Result<Payload> Payload::deserialize(const std::string& text) {
+  auto json = Json::parse(text);
+  if (!json.ok()) return json.error();
+  return from_json(json.value());
+}
+
+}  // namespace qcenv::quantum

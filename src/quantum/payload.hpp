@@ -1,0 +1,63 @@
+// Payload: the portable program format.
+//
+// This is the "single, unchanged program" of Figure 1: an SDK lowers a
+// program once into a Payload; QRMI resources transport it opaquely; each
+// backend interprets it. Payloads are versioned and hashable so the runtime
+// can prove that development and production executed the same program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/sequence.hpp"
+
+namespace qcenv::quantum {
+
+enum class PayloadKind { kAnalog, kDigital };
+
+const char* to_string(PayloadKind kind) noexcept;
+
+class Payload {
+ public:
+  static constexpr const char* kVersion = "qcenv.payload.v1";
+
+  Payload() = default;
+
+  static Payload from_sequence(const Sequence& sequence, std::uint64_t shots);
+  static Payload from_circuit(const Circuit& circuit, std::uint64_t shots);
+
+  PayloadKind kind() const noexcept { return kind_; }
+  std::uint64_t shots() const noexcept { return shots_; }
+  void set_shots(std::uint64_t shots) { shots_ = shots; }
+
+  /// Number of qubits the program uses (register size or circuit width).
+  std::size_t num_qubits() const;
+
+  /// Decodes the embedded program. Errors if the kind does not match.
+  common::Result<Sequence> sequence() const;
+  common::Result<Circuit> circuit() const;
+
+  /// Free-form metadata (SDK name, program name, submit-time annotations).
+  common::Json& metadata() { return metadata_; }
+  const common::Json& metadata() const { return metadata_; }
+
+  /// FNV-1a hash over the canonical program encoding (excludes shots and
+  /// metadata, so the same physics program hashes equally across runs).
+  std::uint64_t program_hash() const;
+
+  std::string serialize() const;
+  common::Json to_json() const;
+  static common::Result<Payload> from_json(const common::Json& json);
+  static common::Result<Payload> deserialize(const std::string& text);
+
+ private:
+  PayloadKind kind_ = PayloadKind::kAnalog;
+  common::Json body_;  // serialized Sequence or Circuit
+  std::uint64_t shots_ = 100;
+  common::Json metadata_ = common::Json::object();
+};
+
+}  // namespace qcenv::quantum

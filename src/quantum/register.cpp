@@ -1,0 +1,121 @@
+#include "quantum/register.hpp"
+
+#include <limits>
+#include <numbers>
+
+namespace qcenv::quantum {
+
+using common::Json;
+using common::JsonArray;
+using common::Result;
+
+double AtomRegister::min_distance() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
+      best = std::min(best, positions_[i].distance_to(positions_[j]));
+    }
+  }
+  return best;
+}
+
+double AtomRegister::max_radius_from_centroid() const {
+  if (positions_.empty()) return 0;
+  Position centroid;
+  for (const auto& p : positions_) {
+    centroid.x += p.x;
+    centroid.y += p.y;
+  }
+  centroid.x /= static_cast<double>(positions_.size());
+  centroid.y /= static_cast<double>(positions_.size());
+  double radius = 0;
+  for (const auto& p : positions_) {
+    radius = std::max(radius, centroid.distance_to(p));
+  }
+  return radius;
+}
+
+Json AtomRegister::to_json() const {
+  JsonArray atoms;
+  atoms.reserve(positions_.size());
+  for (const auto& p : positions_) {
+    atoms.push_back(Json::array({p.x, p.y}));
+  }
+  return Json(std::move(atoms));
+}
+
+Result<AtomRegister> AtomRegister::from_json(const Json& json) {
+  if (!json.is_array()) {
+    return common::err::protocol("register must be an array of [x,y] pairs");
+  }
+  std::vector<Position> positions;
+  positions.reserve(json.size());
+  for (const auto& item : json.as_array()) {
+    if (!item.is_array() || item.size() != 2 ||
+        !item.as_array()[0].is_number() || !item.as_array()[1].is_number()) {
+      return common::err::protocol("register atom must be [x,y]");
+    }
+    positions.push_back(
+        Position{item.as_array()[0].as_double(), item.as_array()[1].as_double()});
+  }
+  return AtomRegister(std::move(positions));
+}
+
+AtomRegister AtomRegister::linear_chain(std::size_t n, double spacing) {
+  std::vector<Position> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back(Position{static_cast<double>(i) * spacing, 0.0});
+  }
+  return AtomRegister(std::move(positions));
+}
+
+AtomRegister AtomRegister::ring(std::size_t n, double spacing) {
+  std::vector<Position> positions;
+  positions.reserve(n);
+  if (n == 1) {
+    positions.push_back(Position{0, 0});
+    return AtomRegister(std::move(positions));
+  }
+  // Chord length between adjacent atoms equals `spacing`.
+  const double theta = 2.0 * std::numbers::pi / static_cast<double>(n);
+  const double radius = spacing / (2.0 * std::sin(theta / 2.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = theta * static_cast<double>(i);
+    positions.push_back(
+        Position{radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  return AtomRegister(std::move(positions));
+}
+
+AtomRegister AtomRegister::square_lattice(std::size_t rows, std::size_t cols,
+                                          double spacing) {
+  std::vector<Position> positions;
+  positions.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      positions.push_back(Position{static_cast<double>(c) * spacing,
+                                   static_cast<double>(r) * spacing});
+    }
+  }
+  return AtomRegister(std::move(positions));
+}
+
+AtomRegister AtomRegister::triangular_lattice(std::size_t rows,
+                                              std::size_t cols,
+                                              double spacing) {
+  std::vector<Position> positions;
+  positions.reserve(rows * cols);
+  const double row_height = spacing * std::numbers::sqrt3 / 2.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double x_offset = (r % 2 == 0) ? 0.0 : spacing / 2.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      positions.push_back(
+          Position{x_offset + static_cast<double>(c) * spacing,
+                   static_cast<double>(r) * row_height});
+    }
+  }
+  return AtomRegister(std::move(positions));
+}
+
+}  // namespace qcenv::quantum

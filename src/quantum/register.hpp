@@ -1,0 +1,79 @@
+// Atom register: qubit positions in the plane (µm), as used by neutral-atom
+// analog devices. The register fixes the interaction graph through the
+// Rydberg C6/r^6 law, so geometry is part of the program.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace qcenv::quantum {
+
+/// A 2-D coordinate in micrometres.
+struct Position {
+  double x = 0;
+  double y = 0;
+
+  double distance_to(const Position& other) const {
+    const double dx = x - other.x;
+    const double dy = y - other.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+  bool operator==(const Position&) const = default;
+};
+
+/// An ordered collection of trap positions; index == qubit id.
+class AtomRegister {
+ public:
+  AtomRegister() = default;
+  explicit AtomRegister(std::vector<Position> positions)
+      : positions_(std::move(positions)) {}
+
+  std::size_t size() const noexcept { return positions_.size(); }
+  bool empty() const noexcept { return positions_.empty(); }
+  const Position& at(std::size_t i) const { return positions_.at(i); }
+  const std::vector<Position>& positions() const noexcept { return positions_; }
+
+  void add(Position p) { positions_.push_back(p); }
+
+  /// Pairwise distance between qubits i and j (µm).
+  double distance(std::size_t i, std::size_t j) const {
+    return positions_.at(i).distance_to(positions_.at(j));
+  }
+
+  /// Smallest pairwise distance; +inf for fewer than two atoms.
+  double min_distance() const;
+
+  /// Largest distance from the register centroid (layout radius).
+  double max_radius_from_centroid() const;
+
+  common::Json to_json() const;
+  static common::Result<AtomRegister> from_json(const common::Json& json);
+
+  bool operator==(const AtomRegister&) const = default;
+
+  // -- Lattice factories ----------------------------------------------------
+
+  /// `n` atoms on a line with the given spacing (µm).
+  static AtomRegister linear_chain(std::size_t n, double spacing);
+
+  /// Ring of `n` atoms with the given nearest-neighbour spacing.
+  static AtomRegister ring(std::size_t n, double spacing);
+
+  /// rows x cols square lattice.
+  static AtomRegister square_lattice(std::size_t rows, std::size_t cols,
+                                     double spacing);
+
+  /// Triangular lattice with `rows` rows of `cols` atoms.
+  static AtomRegister triangular_lattice(std::size_t rows, std::size_t cols,
+                                         double spacing);
+
+ private:
+  std::vector<Position> positions_;
+};
+
+}  // namespace qcenv::quantum

@@ -1,0 +1,133 @@
+#include "quantum/samples.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qcenv::quantum {
+
+using common::Json;
+using common::Result;
+using common::Status;
+
+void Samples::record(const std::string& bitstring, std::uint64_t count) {
+  if (num_qubits_ == 0) num_qubits_ = bitstring.size();
+  counts_[bitstring] += count;
+  total_ += count;
+}
+
+double Samples::probability(const std::string& bitstring) const {
+  if (total_ == 0) return 0;
+  const auto it = counts_.find(bitstring);
+  if (it == counts_.end()) return 0;
+  return static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+double Samples::marginal(std::size_t qubit) const {
+  if (total_ == 0 || qubit >= num_qubits_) return 0;
+  std::uint64_t ones = 0;
+  for (const auto& [bits, count] : counts_) {
+    if (qubit < bits.size() && bits[qubit] == '1') ones += count;
+  }
+  return static_cast<double>(ones) / static_cast<double>(total_);
+}
+
+double Samples::mean_excitation_fraction() const {
+  if (total_ == 0 || num_qubits_ == 0) return 0;
+  double acc = 0;
+  for (const auto& [bits, count] : counts_) {
+    const auto ones = static_cast<double>(
+        std::count(bits.begin(), bits.end(), '1'));
+    acc += ones * static_cast<double>(count);
+  }
+  return acc / (static_cast<double>(total_) * static_cast<double>(num_qubits_));
+}
+
+double Samples::z_expectation(std::size_t qubit) const {
+  return 1.0 - 2.0 * marginal(qubit);
+}
+
+double Samples::zz_correlation(std::size_t a, std::size_t b) const {
+  if (total_ == 0) return 0;
+  double acc = 0;
+  for (const auto& [bits, count] : counts_) {
+    const double za = (a < bits.size() && bits[a] == '1') ? -1.0 : 1.0;
+    const double zb = (b < bits.size() && bits[b] == '1') ? -1.0 : 1.0;
+    acc += za * zb * static_cast<double>(count);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+double Samples::mean_abs_staggered_magnetization() const {
+  if (total_ == 0 || num_qubits_ == 0) return 0;
+  double acc = 0;
+  for (const auto& [bits, count] : counts_) {
+    double m = 0;
+    for (std::size_t q = 0; q < bits.size(); ++q) {
+      const double z = bits[q] == '1' ? -1.0 : 1.0;
+      m += (q % 2 == 0) ? z : -z;
+    }
+    acc += std::abs(m) / static_cast<double>(num_qubits_) *
+           static_cast<double>(count);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+double Samples::total_variation_distance(const Samples& a, const Samples& b) {
+  std::set<std::string> keys;
+  for (const auto& [bits, _] : a.counts_) keys.insert(bits);
+  for (const auto& [bits, _] : b.counts_) keys.insert(bits);
+  double tv = 0;
+  for (const auto& bits : keys) {
+    tv += std::abs(a.probability(bits) - b.probability(bits));
+  }
+  return 0.5 * tv;
+}
+
+Status Samples::merge(const Samples& other) {
+  if (num_qubits_ != 0 && other.num_qubits_ != 0 &&
+      num_qubits_ != other.num_qubits_) {
+    return common::err::invalid_argument(
+        "cannot merge samples of different widths");
+  }
+  if (num_qubits_ == 0) num_qubits_ = other.num_qubits_;
+  for (const auto& [bits, count] : other.counts_) {
+    counts_[bits] += count;
+    total_ += count;
+  }
+  return Status::ok_status();
+}
+
+Json Samples::to_json() const {
+  Json out = Json::object();
+  out["num_qubits"] = static_cast<long long>(num_qubits_);
+  Json counts = Json::object();
+  for (const auto& [bits, count] : counts_) {
+    counts[bits] = static_cast<long long>(count);
+  }
+  out["counts"] = std::move(counts);
+  if (!metadata_.is_null()) out["metadata"] = metadata_;
+  return out;
+}
+
+Result<Samples> Samples::from_json(const Json& json) {
+  auto n = json.get_int("num_qubits");
+  if (!n.ok()) return n.error();
+  Samples samples(static_cast<std::size_t>(n.value()));
+  const Json& counts = json.at_or_null("counts");
+  if (!counts.is_object()) {
+    return common::err::protocol("samples need a 'counts' object");
+  }
+  for (const auto& [bits, count] : counts.as_object()) {
+    if (!count.is_int() || count.as_int() < 0) {
+      return common::err::protocol("sample counts must be non-negative ints");
+    }
+    samples.record(bits, static_cast<std::uint64_t>(count.as_int()));
+  }
+  if (json.contains("metadata")) {
+    samples.set_metadata(json.at_or_null("metadata"));
+  }
+  return samples;
+}
+
+}  // namespace qcenv::quantum

@@ -1,0 +1,69 @@
+// Measurement results: bitstring counts plus execution metadata.
+//
+// Bitstring convention: character i corresponds to qubit i ('1' = Rydberg /
+// excited). Samples travel back through QRMI as JSON and carry per-job
+// calibration metadata, which the paper calls out as an observability
+// requirement ("per-job metadata on qubit performance").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace qcenv::quantum {
+
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  const std::map<std::string, std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  void record(const std::string& bitstring, std::uint64_t count = 1);
+
+  std::uint64_t total_shots() const noexcept { return total_; }
+  /// Empirical probability of an exact bitstring.
+  double probability(const std::string& bitstring) const;
+  /// P(qubit q == 1).
+  double marginal(std::size_t qubit) const;
+  /// Mean of (n_excited / n) over shots.
+  double mean_excitation_fraction() const;
+  /// <Z_q> = P(0) - P(1) on qubit q.
+  double z_expectation(std::size_t qubit) const;
+  /// <Z_a Z_b> two-point correlator.
+  double zz_correlation(std::size_t a, std::size_t b) const;
+  /// Mean per-shot |staggered magnetization|: <|sum_i (-1)^i Z_i| / n>.
+  /// The Z2 crystal order parameter — unlike the signed expectation it does
+  /// not average to zero over the two degenerate Neel patterns.
+  double mean_abs_staggered_magnetization() const;
+
+  /// Total-variation distance between two empirical distributions
+  /// (0 = identical, 1 = disjoint). Used to verify emulator/QPU agreement.
+  static double total_variation_distance(const Samples& a, const Samples& b);
+
+  /// Merges counts from another run of the same width (batched execution).
+  common::Status merge(const Samples& other);
+
+  /// Attaches/reads execution metadata (calibration snapshot, backend name,
+  /// timing). Stored as a JSON object.
+  void set_metadata(common::Json metadata) { metadata_ = std::move(metadata); }
+  const common::Json& metadata() const noexcept { return metadata_; }
+
+  common::Json to_json() const;
+  static common::Result<Samples> from_json(const common::Json& json);
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  common::Json metadata_;
+};
+
+}  // namespace qcenv::quantum

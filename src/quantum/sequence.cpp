@@ -1,0 +1,176 @@
+#include "quantum/sequence.hpp"
+
+#include <algorithm>
+
+namespace qcenv::quantum {
+
+using common::Json;
+using common::JsonArray;
+using common::Result;
+using common::Status;
+
+Json Pulse::to_json() const {
+  Json out = Json::object();
+  out["amplitude"] = amplitude.to_json();
+  out["detuning"] = detuning.to_json();
+  out["phase"] = phase;
+  return out;
+}
+
+Result<Pulse> Pulse::from_json(const Json& json) {
+  auto amplitude = Waveform::from_json(json.at_or_null("amplitude"));
+  if (!amplitude.ok()) return amplitude.error();
+  auto detuning = Waveform::from_json(json.at_or_null("detuning"));
+  if (!detuning.ok()) return detuning.error();
+  auto phase = json.get_double("phase");
+  if (!phase.ok()) return phase.error();
+  Pulse pulse;
+  pulse.amplitude = std::move(amplitude).value();
+  pulse.detuning = std::move(detuning).value();
+  pulse.phase = phase.value();
+  return pulse;
+}
+
+bool Pulse::operator==(const Pulse& other) const {
+  return amplitude == other.amplitude && detuning == other.detuning &&
+         phase == other.phase;
+}
+
+Json DetuningMap::to_json() const {
+  Json out = Json::object();
+  JsonArray w;
+  w.reserve(weights.size());
+  for (const double v : weights) w.push_back(v);
+  out["weights"] = Json(std::move(w));
+  out["detuning"] = detuning.to_json();
+  return out;
+}
+
+Result<DetuningMap> DetuningMap::from_json(const Json& json) {
+  const Json& w = json.at_or_null("weights");
+  if (!w.is_array()) return common::err::protocol("detuning map needs weights");
+  DetuningMap map;
+  map.weights.reserve(w.size());
+  for (const auto& v : w.as_array()) {
+    if (!v.is_number()) {
+      return common::err::protocol("detuning weights must be numbers");
+    }
+    map.weights.push_back(v.as_double());
+  }
+  auto wf = Waveform::from_json(json.at_or_null("detuning"));
+  if (!wf.ok()) return wf.error();
+  map.detuning = std::move(wf).value();
+  return map;
+}
+
+DurationNsQ Sequence::duration() const {
+  DurationNsQ total = 0;
+  for (const auto& pulse : pulses_) total += pulse.duration();
+  return total;
+}
+
+Status Sequence::validate() const {
+  if (register_.empty()) {
+    return common::err::invalid_argument("sequence has an empty register");
+  }
+  for (std::size_t i = 0; i < pulses_.size(); ++i) {
+    const Pulse& p = pulses_[i];
+    const std::string where = "pulse " + std::to_string(i);
+    if (p.amplitude.duration() != p.detuning.duration()) {
+      return common::err::invalid_argument(
+          where + ": amplitude and detuning durations differ");
+    }
+    if (p.amplitude.duration() <= 0) {
+      return common::err::invalid_argument(where + ": zero duration");
+    }
+    if (p.amplitude.min_value() < 0) {
+      return common::err::invalid_argument(
+          where + ": amplitude must be non-negative");
+    }
+  }
+  if (has_detuning_map_) {
+    if (detuning_map_.weights.size() != register_.size()) {
+      return common::err::invalid_argument(
+          "detuning map weight count does not match register size");
+    }
+    for (const double w : detuning_map_.weights) {
+      if (w < 0.0 || w > 1.0) {
+        return common::err::invalid_argument(
+            "detuning map weights must lie in [0, 1]");
+      }
+    }
+    if (detuning_map_.detuning.max_value() > 0.0) {
+      return common::err::invalid_argument(
+          "detuning map waveform must be non-positive (light shift)");
+    }
+  }
+  return Status::ok_status();
+}
+
+SequenceSamples Sequence::sample(DurationNsQ dt_ns) const {
+  SequenceSamples out;
+  out.dt_ns = dt_ns;
+  if (dt_ns <= 0) return out;
+  for (const auto& pulse : pulses_) {
+    const auto amp = pulse.amplitude.sample(dt_ns);
+    const auto det = pulse.detuning.sample(dt_ns);
+    const std::size_t steps = std::max(amp.size(), det.size());
+    for (std::size_t i = 0; i < steps; ++i) {
+      out.omega.push_back(i < amp.size() ? amp[i] : 0.0);
+      out.delta.push_back(i < det.size() ? det[i] : 0.0);
+      out.phase.push_back(pulse.phase);
+    }
+  }
+  if (has_detuning_map_) {
+    // The map's waveform spans the whole sequence; pad or truncate to the
+    // global step grid, then scale per qubit.
+    auto local = detuning_map_.detuning.sample(dt_ns);
+    local.resize(out.omega.size(), 0.0);
+    out.delta_local.reserve(register_.size());
+    for (const double w : detuning_map_.weights) {
+      std::vector<double> row(local.size());
+      std::transform(local.begin(), local.end(), row.begin(),
+                     [w](double v) { return w * v; });
+      out.delta_local.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Json Sequence::to_json() const {
+  Json out = Json::object();
+  out["register"] = register_.to_json();
+  JsonArray pulses;
+  pulses.reserve(pulses_.size());
+  for (const auto& p : pulses_) pulses.push_back(p.to_json());
+  out["pulses"] = Json(std::move(pulses));
+  if (has_detuning_map_) out["detuning_map"] = detuning_map_.to_json();
+  return out;
+}
+
+Result<Sequence> Sequence::from_json(const Json& json) {
+  auto reg = AtomRegister::from_json(json.at_or_null("register"));
+  if (!reg.ok()) return reg.error();
+  Sequence seq(std::move(reg).value());
+  const Json& pulses = json.at_or_null("pulses");
+  if (!pulses.is_array()) {
+    return common::err::protocol("sequence needs a 'pulses' array");
+  }
+  for (const auto& p : pulses.as_array()) {
+    auto pulse = Pulse::from_json(p);
+    if (!pulse.ok()) return pulse.error();
+    seq.add_pulse(std::move(pulse).value());
+  }
+  if (json.contains("detuning_map")) {
+    auto map = DetuningMap::from_json(json.at_or_null("detuning_map"));
+    if (!map.ok()) return map.error();
+    seq.set_detuning_map(std::move(map).value());
+  }
+  return seq;
+}
+
+bool Sequence::operator==(const Sequence& other) const {
+  return to_json() == other.to_json();
+}
+
+}  // namespace qcenv::quantum

@@ -1,0 +1,102 @@
+// Analog sequences: the programmable-quantum-simulator IR.
+//
+// A Sequence binds an AtomRegister to a time-ordered list of pulses on a
+// global Rydberg channel (amplitude Ω(t), detuning δ(t), carrier phase φ),
+// optionally plus a local detuning-modulation map (per-qubit weights, one
+// extra detuning waveform) as provided by neutral-atom DMMs. Sequences
+// serialize to JSON and are validated against a DeviceSpec before execution —
+// the paper's "ensuring program validity at the point of execution".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "quantum/register.hpp"
+#include "quantum/waveform.hpp"
+
+namespace qcenv::quantum {
+
+/// One pulse on the global channel. Amplitude and detuning must share the
+/// same duration.
+struct Pulse {
+  Waveform amplitude;  // Ω(t), rad/µs, must be >= 0
+  Waveform detuning;   // δ(t), rad/µs
+  double phase = 0;    // carrier phase, rad
+
+  DurationNsQ duration() const { return amplitude.duration(); }
+
+  common::Json to_json() const;
+  static common::Result<Pulse> from_json(const common::Json& json);
+  bool operator==(const Pulse& other) const;
+};
+
+/// Per-qubit weights in [0, 1] scaling an extra (negative) detuning waveform.
+struct DetuningMap {
+  std::vector<double> weights;  // size == register size
+  Waveform detuning;            // shared waveform, scaled per qubit
+
+  common::Json to_json() const;
+  static common::Result<DetuningMap> from_json(const common::Json& json);
+};
+
+/// Dense samples of a sequence on a uniform grid, ready for integration.
+struct SequenceSamples {
+  DurationNsQ dt_ns = 0;
+  std::vector<double> omega;   // rad/µs, one per step
+  std::vector<double> delta;   // rad/µs
+  std::vector<double> phase;   // rad
+  // Local detuning: delta_local[q][step] added to delta for qubit q.
+  std::vector<std::vector<double>> delta_local;
+
+  std::size_t steps() const { return omega.size(); }
+  double total_duration_us() const {
+    return static_cast<double>(dt_ns) * 1e-3 * static_cast<double>(steps());
+  }
+};
+
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(AtomRegister reg) : register_(std::move(reg)) {}
+
+  const AtomRegister& atom_register() const noexcept { return register_; }
+  const std::vector<Pulse>& pulses() const noexcept { return pulses_; }
+
+  /// Appends a pulse to the global channel.
+  void add_pulse(Pulse pulse) { pulses_.push_back(std::move(pulse)); }
+
+  /// Installs the (single) local detuning map. Weights must match the
+  /// register size; enforced at validation time.
+  void set_detuning_map(DetuningMap map) {
+    detuning_map_ = std::move(map);
+    has_detuning_map_ = true;
+  }
+  bool has_detuning_map() const noexcept { return has_detuning_map_; }
+  const DetuningMap& detuning_map() const { return detuning_map_; }
+
+  /// Total sequence duration in ns.
+  DurationNsQ duration() const;
+
+  /// Checks internal consistency (pulse durations match, amplitude >= 0,
+  /// weights sized/normalized). Device-specific limits are checked by
+  /// DeviceSpec::validate.
+  common::Status validate() const;
+
+  /// Samples all channels on a uniform dt grid.
+  SequenceSamples sample(DurationNsQ dt_ns) const;
+
+  common::Json to_json() const;
+  static common::Result<Sequence> from_json(const common::Json& json);
+
+  bool operator==(const Sequence& other) const;
+
+ private:
+  AtomRegister register_;
+  std::vector<Pulse> pulses_;
+  DetuningMap detuning_map_;
+  bool has_detuning_map_ = false;
+};
+
+}  // namespace qcenv::quantum

@@ -1,0 +1,311 @@
+#include "quantum/waveform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace qcenv::quantum {
+
+using common::Json;
+using common::JsonArray;
+using common::Result;
+
+namespace {
+constexpr double kNsToUs = 1e-3;
+
+/// Blackman window value in [0, 1] at fraction x in [0, 1]; w(0)=w(1)=0,
+/// peak 1.0 at x=0.5. Integral over [0,1] is 0.42.
+double blackman_window(double x) {
+  return 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * x) +
+         0.08 * std::cos(4.0 * std::numbers::pi * x);
+}
+}  // namespace
+
+struct Waveform::Impl {
+  enum class Kind { kConstant, kRamp, kBlackman, kInterpolated, kComposite };
+
+  Kind kind = Kind::kConstant;
+  DurationNsQ duration = 0;
+  double a = 0;  // constant value / ramp start / blackman amplitude
+  double b = 0;  // ramp stop / blackman area
+  std::vector<double> values;     // interpolated nodes
+  std::vector<Waveform> parts;    // composite segments
+
+  double value_at(DurationNsQ t) const {
+    if (duration <= 0) return 0;
+    const double frac =
+        std::clamp(static_cast<double>(t) / static_cast<double>(duration), 0.0, 1.0);
+    switch (kind) {
+      case Kind::kConstant: return a;
+      case Kind::kRamp: return a + (b - a) * frac;
+      case Kind::kBlackman: return a * blackman_window(frac);
+      case Kind::kInterpolated: {
+        if (values.empty()) return 0;
+        if (values.size() == 1) return values.front();
+        const double pos = frac * static_cast<double>(values.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, values.size() - 1);
+        const double f = pos - static_cast<double>(lo);
+        return values[lo] * (1.0 - f) + values[hi] * f;
+      }
+      case Kind::kComposite: {
+        DurationNsQ offset = t;
+        for (const auto& part : parts) {
+          if (offset < part.duration()) return part.value_at(offset);
+          offset -= part.duration();
+        }
+        return parts.empty() ? 0 : parts.back().value_at(parts.back().duration());
+      }
+    }
+    return 0;
+  }
+};
+
+Waveform Waveform::constant(DurationNsQ duration, double value) {
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Impl::Kind::kConstant;
+  impl->duration = std::max<DurationNsQ>(duration, 0);
+  impl->a = value;
+  return Waveform(std::move(impl));
+}
+
+Waveform Waveform::ramp(DurationNsQ duration, double start, double stop) {
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Impl::Kind::kRamp;
+  impl->duration = std::max<DurationNsQ>(duration, 0);
+  impl->a = start;
+  impl->b = stop;
+  return Waveform(std::move(impl));
+}
+
+Waveform Waveform::blackman(DurationNsQ duration, double area) {
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Impl::Kind::kBlackman;
+  impl->duration = std::max<DurationNsQ>(duration, 0);
+  impl->b = area;
+  // integral = amplitude * 0.42 * duration_us  =>  solve for amplitude.
+  const double duration_us =
+      static_cast<double>(impl->duration) * kNsToUs;
+  impl->a = duration_us > 0 ? area / (0.42 * duration_us) : 0.0;
+  return Waveform(std::move(impl));
+}
+
+Waveform Waveform::interpolated(DurationNsQ duration,
+                                std::vector<double> values) {
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Impl::Kind::kInterpolated;
+  impl->duration = std::max<DurationNsQ>(duration, 0);
+  impl->values = std::move(values);
+  return Waveform(std::move(impl));
+}
+
+Waveform Waveform::composite(std::vector<Waveform> parts) {
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Impl::Kind::kComposite;
+  impl->duration = 0;
+  for (const auto& part : parts) impl->duration += part.duration();
+  impl->parts = std::move(parts);
+  return Waveform(std::move(impl));
+}
+
+DurationNsQ Waveform::duration() const noexcept {
+  return impl_ ? impl_->duration : 0;
+}
+
+double Waveform::value_at(DurationNsQ t_ns) const {
+  return impl_ ? impl_->value_at(t_ns) : 0.0;
+}
+
+std::vector<double> Waveform::sample(DurationNsQ dt_ns) const {
+  std::vector<double> out;
+  const DurationNsQ total = duration();
+  if (total <= 0 || dt_ns <= 0) return out;
+  const auto steps = static_cast<std::size_t>((total + dt_ns - 1) / dt_ns);
+  out.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const DurationNsQ mid = static_cast<DurationNsQ>(i) * dt_ns + dt_ns / 2;
+    out.push_back(value_at(std::min(mid, total - 1)));
+  }
+  return out;
+}
+
+double Waveform::integral() const {
+  if (!impl_ || impl_->duration <= 0) return 0;
+  switch (impl_->kind) {
+    case Impl::Kind::kConstant:
+      return impl_->a * static_cast<double>(impl_->duration) * kNsToUs;
+    case Impl::Kind::kRamp:
+      return 0.5 * (impl_->a + impl_->b) *
+             static_cast<double>(impl_->duration) * kNsToUs;
+    case Impl::Kind::kBlackman:
+      return impl_->b;  // constructed from the target area
+    case Impl::Kind::kInterpolated: {
+      // Trapezoid over the node grid.
+      const auto& v = impl_->values;
+      if (v.size() < 2) {
+        return (v.empty() ? 0.0 : v.front()) *
+               static_cast<double>(impl_->duration) * kNsToUs;
+      }
+      const double dt_us = static_cast<double>(impl_->duration) * kNsToUs /
+                           static_cast<double>(v.size() - 1);
+      double acc = 0;
+      for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+        acc += 0.5 * (v[i] + v[i + 1]) * dt_us;
+      }
+      return acc;
+    }
+    case Impl::Kind::kComposite: {
+      double acc = 0;
+      for (const auto& part : impl_->parts) acc += part.integral();
+      return acc;
+    }
+  }
+  return 0;
+}
+
+double Waveform::max_value() const {
+  if (!impl_) return 0;
+  switch (impl_->kind) {
+    case Impl::Kind::kConstant: return impl_->a;
+    case Impl::Kind::kRamp: return std::max(impl_->a, impl_->b);
+    case Impl::Kind::kBlackman: return std::max(impl_->a, 0.0);
+    case Impl::Kind::kInterpolated: {
+      double best = impl_->values.empty() ? 0.0 : impl_->values.front();
+      for (const double v : impl_->values) best = std::max(best, v);
+      return best;
+    }
+    case Impl::Kind::kComposite: {
+      double best = impl_->parts.empty() ? 0.0 : impl_->parts.front().max_value();
+      for (const auto& part : impl_->parts) best = std::max(best, part.max_value());
+      return best;
+    }
+  }
+  return 0;
+}
+
+double Waveform::min_value() const {
+  if (!impl_) return 0;
+  switch (impl_->kind) {
+    case Impl::Kind::kConstant: return impl_->a;
+    case Impl::Kind::kRamp: return std::min(impl_->a, impl_->b);
+    case Impl::Kind::kBlackman: return std::min(0.0, impl_->a);
+    case Impl::Kind::kInterpolated: {
+      double best = impl_->values.empty() ? 0.0 : impl_->values.front();
+      for (const double v : impl_->values) best = std::min(best, v);
+      return best;
+    }
+    case Impl::Kind::kComposite: {
+      double best = impl_->parts.empty() ? 0.0 : impl_->parts.front().min_value();
+      for (const auto& part : impl_->parts) best = std::min(best, part.min_value());
+      return best;
+    }
+  }
+  return 0;
+}
+
+Json Waveform::to_json() const {
+  Json out = Json::object();
+  if (!impl_) {
+    out["kind"] = "constant";
+    out["duration_ns"] = 0;
+    out["value"] = 0.0;
+    return out;
+  }
+  out["duration_ns"] = impl_->duration;
+  switch (impl_->kind) {
+    case Impl::Kind::kConstant:
+      out["kind"] = "constant";
+      out["value"] = impl_->a;
+      break;
+    case Impl::Kind::kRamp:
+      out["kind"] = "ramp";
+      out["start"] = impl_->a;
+      out["stop"] = impl_->b;
+      break;
+    case Impl::Kind::kBlackman:
+      out["kind"] = "blackman";
+      out["area"] = impl_->b;
+      break;
+    case Impl::Kind::kInterpolated: {
+      out["kind"] = "interpolated";
+      JsonArray values;
+      values.reserve(impl_->values.size());
+      for (const double v : impl_->values) values.push_back(v);
+      out["values"] = Json(std::move(values));
+      break;
+    }
+    case Impl::Kind::kComposite: {
+      out["kind"] = "composite";
+      JsonArray parts;
+      parts.reserve(impl_->parts.size());
+      for (const auto& part : impl_->parts) parts.push_back(part.to_json());
+      out["parts"] = Json(std::move(parts));
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Waveform> Waveform::from_json(const Json& json) {
+  auto kind = json.get_string("kind");
+  if (!kind.ok()) return kind.error();
+  auto duration = json.get_int("duration_ns");
+  if (!duration.ok()) return duration.error();
+  const DurationNsQ d = duration.value();
+  const std::string& k = kind.value();
+  if (k == "constant") {
+    auto v = json.get_double("value");
+    if (!v.ok()) return v.error();
+    return Waveform::constant(d, v.value());
+  }
+  if (k == "ramp") {
+    auto start = json.get_double("start");
+    if (!start.ok()) return start.error();
+    auto stop = json.get_double("stop");
+    if (!stop.ok()) return stop.error();
+    return Waveform::ramp(d, start.value(), stop.value());
+  }
+  if (k == "blackman") {
+    auto area = json.get_double("area");
+    if (!area.ok()) return area.error();
+    return Waveform::blackman(d, area.value());
+  }
+  if (k == "interpolated") {
+    const Json& values = json.at_or_null("values");
+    if (!values.is_array()) {
+      return common::err::protocol("interpolated waveform needs 'values'");
+    }
+    std::vector<double> nodes;
+    nodes.reserve(values.size());
+    for (const auto& v : values.as_array()) {
+      if (!v.is_number()) {
+        return common::err::protocol("waveform values must be numbers");
+      }
+      nodes.push_back(v.as_double());
+    }
+    return Waveform::interpolated(d, std::move(nodes));
+  }
+  if (k == "composite") {
+    const Json& parts = json.at_or_null("parts");
+    if (!parts.is_array()) {
+      return common::err::protocol("composite waveform needs 'parts'");
+    }
+    std::vector<Waveform> segments;
+    segments.reserve(parts.size());
+    for (const auto& p : parts.as_array()) {
+      auto seg = Waveform::from_json(p);
+      if (!seg.ok()) return seg.error();
+      segments.push_back(std::move(seg).value());
+    }
+    return Waveform::composite(std::move(segments));
+  }
+  return common::err::protocol("unknown waveform kind: " + k);
+}
+
+bool Waveform::operator==(const Waveform& other) const {
+  // Structural equality via canonical JSON; waveforms are small.
+  return to_json() == other.to_json();
+}
+
+}  // namespace qcenv::quantum

@@ -1,0 +1,69 @@
+// Waveforms: time-dependent control parameters for analog pulses, in the
+// Pulser convention — durations in nanoseconds, values in rad/µs.
+//
+// Waveform is a value type (cheap to copy; shares an immutable impl) with a
+// small algebra: constants, ramps, Blackman envelopes, piecewise-linear
+// interpolation and concatenation. Programs serialize waveforms to JSON so
+// the same payload replays identically on any backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace qcenv::quantum {
+
+/// Duration in integer nanoseconds (device clock granularity).
+using DurationNsQ = std::int64_t;
+
+class Waveform {
+ public:
+  Waveform() = default;  // empty waveform, duration 0
+
+  /// Constant `value` for `duration` ns.
+  static Waveform constant(DurationNsQ duration, double value);
+  /// Linear ramp from `start` to `stop` over `duration` ns.
+  static Waveform ramp(DurationNsQ duration, double start, double stop);
+  /// Blackman window scaled so the waveform integrates to `area`
+  /// (rad, when the value is rad/µs) over `duration` ns.
+  static Waveform blackman(DurationNsQ duration, double area);
+  /// Piecewise-linear through `values` evenly spaced across `duration`.
+  static Waveform interpolated(DurationNsQ duration,
+                               std::vector<double> values);
+  /// Concatenation of several segments.
+  static Waveform composite(std::vector<Waveform> parts);
+
+  DurationNsQ duration() const noexcept;
+  bool empty() const noexcept { return duration() == 0; }
+
+  /// Value at time `t_ns` in [0, duration); clamps outside.
+  double value_at(DurationNsQ t_ns) const;
+
+  /// Samples every `dt_ns` starting at dt/2 (midpoint rule), producing
+  /// ceil(duration/dt) samples.
+  std::vector<double> sample(DurationNsQ dt_ns) const;
+
+  /// Time integral in rad (value treated as rad/µs, time in ns).
+  double integral() const;
+
+  /// Extremes over the duration (sampled at 1 ns resolution internally for
+  /// curved shapes, exact for constants/ramps).
+  double max_value() const;
+  double min_value() const;
+
+  common::Json to_json() const;
+  static common::Result<Waveform> from_json(const common::Json& json);
+
+  bool operator==(const Waveform& other) const;
+
+ private:
+  struct Impl;
+  explicit Waveform(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace qcenv::quantum

@@ -1,0 +1,49 @@
+#include "runtime/executor.hpp"
+
+namespace qcenv::runtime {
+
+using common::Result;
+
+Result<IterationResult> HybridExecutor::evaluate(
+    const ParametricProgram& program, const CostFunction& cost,
+    const std::vector<double>& params) {
+  auto samples = runtime_->run(program(params));
+  if (!samples.ok()) return samples.error();
+  IterationResult result;
+  result.parameters = params;
+  result.samples = std::move(samples).value();
+  result.cost = cost(result.samples);
+  return result;
+}
+
+Result<LoopResult> HybridExecutor::optimize(const ParametricProgram& program,
+                                            const CostFunction& cost,
+                                            const ParameterStrategy& strategy,
+                                            std::vector<double> initial,
+                                            std::size_t max_iterations) {
+  LoopResult loop;
+  std::vector<std::vector<double>> history_params;
+  std::vector<double> history_costs;
+
+  std::vector<double> params = std::move(initial);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    auto result = evaluate(program, cost, params);
+    if (!result.ok()) return result.error();
+    history_params.push_back(result.value().parameters);
+    history_costs.push_back(result.value().cost);
+    if (loop.iterations.empty() ||
+        result.value().cost < loop.iterations[loop.best_index].cost) {
+      loop.best_index = loop.iterations.size();
+    }
+    loop.iterations.push_back(std::move(result).value());
+
+    params = strategy(history_params, history_costs);
+    if (params.empty()) break;
+  }
+  if (loop.iterations.empty()) {
+    return common::err::failed_precondition("optimizer produced no iterations");
+  }
+  return loop;
+}
+
+}  // namespace qcenv::runtime

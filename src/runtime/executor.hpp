@@ -1,0 +1,61 @@
+// HybridExecutor: drives hybrid quantum-classical loops through a
+// HybridRuntime — the variational pattern the paper's workload taxonomy
+// calls "balanced QC-CC". Classical post-processing overlaps with the next
+// quantum submission where the algorithm allows.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "quantum/payload.hpp"
+#include "quantum/samples.hpp"
+#include "runtime/runtime.hpp"
+
+namespace qcenv::runtime {
+
+/// Builds the payload for a given parameter vector.
+using ParametricProgram =
+    std::function<quantum::Payload(const std::vector<double>&)>;
+/// Scores one execution (lower is better, e.g. energy).
+using CostFunction = std::function<double(const quantum::Samples&)>;
+/// Proposes the next parameters from evaluation history; empty = stop.
+using ParameterStrategy = std::function<std::vector<double>(
+    const std::vector<std::vector<double>>& params,
+    const std::vector<double>& costs)>;
+
+struct IterationResult {
+  std::vector<double> parameters;
+  double cost = 0;
+  quantum::Samples samples;
+};
+
+struct LoopResult {
+  std::vector<IterationResult> iterations;
+  std::size_t best_index = 0;
+
+  const IterationResult& best() const { return iterations[best_index]; }
+};
+
+class HybridExecutor {
+ public:
+  explicit HybridExecutor(HybridRuntime* runtime) : runtime_(runtime) {}
+
+  /// Runs the optimization loop: program(params) -> runtime -> cost(samples)
+  /// -> strategy proposes next params. Stops when the strategy returns an
+  /// empty vector or `max_iterations` is reached.
+  common::Result<LoopResult> optimize(const ParametricProgram& program,
+                                      const CostFunction& cost,
+                                      const ParameterStrategy& strategy,
+                                      std::vector<double> initial,
+                                      std::size_t max_iterations = 50);
+
+  /// One-shot evaluation.
+  common::Result<IterationResult> evaluate(const ParametricProgram& program,
+                                           const CostFunction& cost,
+                                           const std::vector<double>& params);
+
+ private:
+  HybridRuntime* runtime_;
+};
+
+}  // namespace qcenv::runtime

@@ -1,0 +1,91 @@
+#include "runtime/portability.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace qcenv::runtime {
+
+std::size_t ValidationReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(issues.begin(), issues.end(), [](const auto& issue) {
+        return issue.kind == ValidationIssue::Kind::kError;
+      }));
+}
+
+std::size_t ValidationReport::warning_count() const {
+  return issues.size() - error_count();
+}
+
+std::string ValidationReport::to_string() const {
+  std::string out = common::format(
+      "validation against '%s': %s (fidelity %.3f, %zu errors, %zu warnings)",
+      device.c_str(), compatible ? "COMPATIBLE" : "INCOMPATIBLE",
+      device_fidelity, error_count(), warning_count());
+  for (const auto& issue : issues) {
+    out += "\n  [";
+    out += issue.kind == ValidationIssue::Kind::kError ? "error" : "warn";
+    out += "] " + issue.message;
+  }
+  return out;
+}
+
+ValidationReport validate_payload(const quantum::Payload& payload,
+                                  const quantum::DeviceSpec& spec,
+                                  common::TimeNs now,
+                                  const ValidationThresholds& thresholds) {
+  ValidationReport report;
+  report.device = spec.name;
+  report.program_hash = payload.program_hash();
+  report.device_fidelity = spec.calibration.fidelity_estimate();
+
+  // Hard device-limit checks.
+  if (payload.kind() == quantum::PayloadKind::kAnalog) {
+    auto sequence = payload.sequence();
+    if (!sequence.ok()) {
+      report.issues.push_back(
+          {ValidationIssue::Kind::kError, sequence.error().to_string()});
+    } else {
+      auto status = spec.validate(sequence.value());
+      if (!status.ok()) {
+        report.issues.push_back(
+            {ValidationIssue::Kind::kError, status.error().message()});
+      }
+    }
+  } else {
+    auto circuit = payload.circuit();
+    if (!circuit.ok()) {
+      report.issues.push_back(
+          {ValidationIssue::Kind::kError, circuit.error().to_string()});
+    } else {
+      auto status = spec.validate(circuit.value());
+      if (!status.ok()) {
+        report.issues.push_back(
+            {ValidationIssue::Kind::kError, status.error().message()});
+      }
+    }
+  }
+
+  // Soft calibration checks: the temporal dimension of portability.
+  if (report.device_fidelity < thresholds.min_fidelity) {
+    report.issues.push_back(
+        {ValidationIssue::Kind::kWarning,
+         common::format("device quality estimate %.3f below threshold %.3f "
+                        "- results may be degraded",
+                        report.device_fidelity, thresholds.min_fidelity)});
+  }
+  const common::DurationNs age = now - spec.calibration.timestamp_ns;
+  if (spec.calibration.timestamp_ns > 0 &&
+      age > thresholds.max_calibration_age) {
+    report.issues.push_back(
+        {ValidationIssue::Kind::kWarning,
+         common::format("calibration snapshot is %.1f h old; refetch device "
+                        "specs before production runs",
+                        common::to_seconds(age) / 3600.0)});
+  }
+
+  report.compatible = report.error_count() == 0;
+  return report;
+}
+
+}  // namespace qcenv::runtime

@@ -1,0 +1,48 @@
+// Portability validation: "ensuring program validity at the point of
+// execution" (§2.1). A program developed yesterday against cached device
+// specs is re-validated against the *current* spec (with live calibration)
+// before running, and the report explains what changed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "quantum/device.hpp"
+#include "quantum/payload.hpp"
+
+namespace qcenv::runtime {
+
+struct ValidationIssue {
+  enum class Kind { kError, kWarning };
+  Kind kind = Kind::kError;
+  std::string message;
+};
+
+struct ValidationReport {
+  bool compatible = false;   // no errors (warnings allowed)
+  std::string device;
+  double device_fidelity = 1.0;
+  std::uint64_t program_hash = 0;
+  std::vector<ValidationIssue> issues;
+
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  std::string to_string() const;
+};
+
+struct ValidationThresholds {
+  /// Warn when the device quality estimate is below this.
+  double min_fidelity = 0.7;
+  /// Warn when calibration data is older than this (ns).
+  common::DurationNs max_calibration_age = 3600 * common::kSecond;
+};
+
+/// Validates the payload against a device spec, producing a structured
+/// report instead of a single pass/fail.
+ValidationReport validate_payload(const quantum::Payload& payload,
+                                  const quantum::DeviceSpec& spec,
+                                  common::TimeNs now,
+                                  const ValidationThresholds& thresholds = {});
+
+}  // namespace qcenv::runtime

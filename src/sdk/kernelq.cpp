@@ -1,0 +1,34 @@
+#include "sdk/kernelq.hpp"
+
+namespace qcenv::sdk::kernelq {
+
+using common::Result;
+
+Result<quantum::Payload> Kernel::to_payload(std::uint64_t shots) const {
+  QCENV_RETURN_IF_ERROR(circuit_.validate());
+  quantum::Payload payload = quantum::Payload::from_circuit(circuit_, shots);
+  payload.metadata()["sdk"] = "kernelq";
+  return payload;
+}
+
+Result<quantum::Samples> sample(const Kernel& kernel, std::uint64_t shots,
+                                qrmi::Qrmi& resource) {
+  auto payload = kernel.to_payload(shots);
+  if (!payload.ok()) return payload.error();
+  return resource.run_sync(payload.value());
+}
+
+Result<double> observe(const Kernel& kernel,
+                       const quantum::Observable& observable,
+                       std::uint64_t shots, qrmi::Qrmi& resource) {
+  if (!observable.is_diagonal()) {
+    return common::err::invalid_argument(
+        "observe() needs a diagonal (I/Z) observable; rotate the basis in "
+        "the kernel for X/Y terms");
+  }
+  auto samples = sample(kernel, shots, resource);
+  if (!samples.ok()) return samples.error();
+  return observable.expectation_from_samples(samples.value());
+}
+
+}  // namespace qcenv::sdk::kernelq

@@ -1,0 +1,81 @@
+// "kernelq" SDK: a CUDA-Q-style kernel front-end. Kernels record gate
+// applications on typed qubit handles; free functions sample/observe lower
+// the recording to the common Payload and execute it through any QRMI
+// resource — the third first-class SDK of the multi-SDK story.
+//
+//   Kernel k(2);
+//   auto q = k.qubits();
+//   k.h(q[0]); k.cx(q[0], q[1]);
+//   auto samples = kernelq::sample(k, 1000, *resource);
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.hpp"
+#include "qrmi/qrmi.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/observable.hpp"
+#include "quantum/payload.hpp"
+
+namespace qcenv::sdk::kernelq {
+
+/// Typed qubit handle bound to a kernel.
+struct Qubit {
+  std::size_t index = 0;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(std::size_t num_qubits) : circuit_(num_qubits) {
+    qubits_.reserve(num_qubits);
+    for (std::size_t i = 0; i < num_qubits; ++i) qubits_.push_back(Qubit{i});
+  }
+
+  const std::vector<Qubit>& qubits() const noexcept { return qubits_; }
+  std::size_t num_qubits() const noexcept { return circuit_.num_qubits(); }
+
+  Kernel& h(Qubit q) { circuit_.h(q.index); return *this; }
+  Kernel& x(Qubit q) { circuit_.x(q.index); return *this; }
+  Kernel& y(Qubit q) { circuit_.y(q.index); return *this; }
+  Kernel& z(Qubit q) { circuit_.z(q.index); return *this; }
+  Kernel& t(Qubit q) { circuit_.t(q.index); return *this; }
+  Kernel& s(Qubit q) { circuit_.s(q.index); return *this; }
+  Kernel& rx(Qubit q, double angle) { circuit_.rx(q.index, angle); return *this; }
+  Kernel& ry(Qubit q, double angle) { circuit_.ry(q.index, angle); return *this; }
+  Kernel& rz(Qubit q, double angle) { circuit_.rz(q.index, angle); return *this; }
+  Kernel& cx(Qubit control, Qubit target) {
+    circuit_.cx(control.index, target.index);
+    return *this;
+  }
+  Kernel& cz(Qubit a, Qubit b) {
+    circuit_.cz(a.index, b.index);
+    return *this;
+  }
+  Kernel& swap(Qubit a, Qubit b) {
+    circuit_.swap(a.index, b.index);
+    return *this;
+  }
+
+  const quantum::Circuit& circuit() const noexcept { return circuit_; }
+
+  /// Lowers the recording to a portable payload.
+  common::Result<quantum::Payload> to_payload(std::uint64_t shots) const;
+
+ private:
+  quantum::Circuit circuit_;
+  std::vector<Qubit> qubits_;
+};
+
+/// cudaq::sample analogue: executes the kernel on a QRMI resource.
+common::Result<quantum::Samples> sample(const Kernel& kernel,
+                                        std::uint64_t shots,
+                                        qrmi::Qrmi& resource);
+
+/// cudaq::observe analogue for diagonal observables: estimates <obs> from
+/// samples taken on the resource.
+common::Result<double> observe(const Kernel& kernel,
+                               const quantum::Observable& observable,
+                               std::uint64_t shots, qrmi::Qrmi& resource);
+
+}  // namespace qcenv::sdk::kernelq

@@ -1,0 +1,105 @@
+#include "sdk/pulser.hpp"
+
+namespace qcenv::sdk::pulser {
+
+using common::Result;
+using common::Status;
+using quantum::Pulse;
+using quantum::Waveform;
+
+SequenceBuilder::SequenceBuilder(quantum::AtomRegister register_in,
+                                 quantum::DeviceSpec device)
+    : register_(std::move(register_in)),
+      device_(std::move(device)),
+      sequence_(register_) {}
+
+Status SequenceBuilder::declare_channel(const std::string& name,
+                                        ChannelKind kind) {
+  if (channels_.count(name) > 0) {
+    return common::err::already_exists("channel '" + name +
+                                       "' already declared");
+  }
+  if (kind == ChannelKind::kRydbergGlobal) {
+    for (const auto& [_, existing] : channels_) {
+      if (existing == ChannelKind::kRydbergGlobal) {
+        return common::err::failed_precondition(
+            "device exposes a single global Rydberg channel");
+      }
+    }
+  }
+  channels_[name] = kind;
+  return Status::ok_status();
+}
+
+Status SequenceBuilder::add(const Pulse& pulse, const std::string& channel) {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    return common::err::not_found("channel '" + channel + "' not declared");
+  }
+  if (it->second != ChannelKind::kRydbergGlobal) {
+    return common::err::invalid_argument(
+        "pulses can only target the rydberg_global channel");
+  }
+  sequence_.add_pulse(pulse);
+  return Status::ok_status();
+}
+
+Status SequenceBuilder::add_detuning_map(const std::string& channel,
+                                         std::vector<double> weights,
+                                         Waveform waveform) {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    return common::err::not_found("channel '" + channel + "' not declared");
+  }
+  if (it->second != ChannelKind::kDetuningMap) {
+    return common::err::invalid_argument("channel '" + channel +
+                                         "' is not a detuning map");
+  }
+  if (has_detuning_map_) {
+    return common::err::failed_precondition(
+        "detuning map already configured");
+  }
+  quantum::DetuningMap map;
+  map.weights = std::move(weights);
+  map.detuning = std::move(waveform);
+  sequence_.set_detuning_map(std::move(map));
+  has_detuning_map_ = true;
+  return Status::ok_status();
+}
+
+Result<quantum::Sequence> SequenceBuilder::build() const {
+  QCENV_RETURN_IF_ERROR(device_.validate(sequence_));
+  return sequence_;
+}
+
+Result<quantum::Payload> SequenceBuilder::to_payload(
+    std::uint64_t shots) const {
+  auto sequence = build();
+  if (!sequence.ok()) return sequence.error();
+  quantum::Payload payload =
+      quantum::Payload::from_sequence(sequence.value(), shots);
+  payload.metadata()["sdk"] = "pulser";
+  return payload;
+}
+
+Pulse constant_pulse(quantum::DurationNsQ duration, double amplitude,
+                     double detuning, double phase) {
+  return Pulse{Waveform::constant(duration, amplitude),
+               Waveform::constant(duration, detuning), phase};
+}
+
+Pulse blackman_pulse(quantum::DurationNsQ duration, double area,
+                     double detuning, double phase) {
+  return Pulse{Waveform::blackman(duration, area),
+               Waveform::constant(duration, detuning), phase};
+}
+
+Pulse ramp_detuning_pulse(quantum::DurationNsQ duration, double amplitude,
+                          double detuning_start, double detuning_stop,
+                          double phase) {
+  return Pulse{Waveform::constant(duration, amplitude),
+               Waveform::ramp(duration, detuning_start, detuning_stop),
+               phase};
+}
+
+}  // namespace qcenv::sdk::pulser

@@ -1,0 +1,69 @@
+// "pulser" SDK: an analog sequence builder mirroring the Pulser API shape
+// (declare channels on a device, append pulses, build). One of the three
+// first-class SDK front-ends; lowers to the common Payload.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "quantum/device.hpp"
+#include "quantum/payload.hpp"
+#include "quantum/sequence.hpp"
+
+namespace qcenv::sdk::pulser {
+
+/// Channel kinds available on the simulated analog device.
+enum class ChannelKind { kRydbergGlobal, kDetuningMap };
+
+class SequenceBuilder {
+ public:
+  /// The builder validates against `device` at build() time, exactly like
+  /// Pulser validates against a Device object.
+  SequenceBuilder(quantum::AtomRegister register_, quantum::DeviceSpec device);
+
+  /// Declares a named channel; only one rydberg_global and at most one
+  /// detuning map are supported (matching the analog hardware).
+  common::Status declare_channel(const std::string& name, ChannelKind kind);
+
+  /// Appends a pulse to a declared rydberg_global channel.
+  common::Status add(const quantum::Pulse& pulse, const std::string& channel);
+
+  /// Configures the detuning map (weights per atom + shared waveform) on a
+  /// declared detuning-map channel.
+  common::Status add_detuning_map(const std::string& channel,
+                                  std::vector<double> weights,
+                                  quantum::Waveform waveform);
+
+  /// Validates the assembled sequence against the device and returns it.
+  common::Result<quantum::Sequence> build() const;
+
+  /// build() + wrap as a portable payload.
+  common::Result<quantum::Payload> to_payload(std::uint64_t shots) const;
+
+  const quantum::DeviceSpec& device() const noexcept { return device_; }
+
+ private:
+  quantum::AtomRegister register_;
+  quantum::DeviceSpec device_;
+  std::map<std::string, ChannelKind> channels_;
+  quantum::Sequence sequence_;
+  bool has_detuning_map_ = false;
+};
+
+// Pulse factory helpers in the Pulser style.
+
+/// Constant-amplitude, constant-detuning pulse.
+quantum::Pulse constant_pulse(quantum::DurationNsQ duration, double amplitude,
+                              double detuning, double phase);
+
+/// Blackman amplitude envelope of the given area with constant detuning.
+quantum::Pulse blackman_pulse(quantum::DurationNsQ duration, double area,
+                              double detuning, double phase);
+
+/// Constant amplitude with linear detuning sweep (adiabatic ramps).
+quantum::Pulse ramp_detuning_pulse(quantum::DurationNsQ duration,
+                                   double amplitude, double detuning_start,
+                                   double detuning_stop, double phase);
+
+}  // namespace qcenv::sdk::pulser

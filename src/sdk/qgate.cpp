@@ -1,0 +1,136 @@
+#include "sdk/qgate.hpp"
+
+#include <numbers>
+
+namespace qcenv::sdk::qgate {
+
+using common::Result;
+using quantum::Circuit;
+using quantum::Gate;
+using quantum::GateKind;
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// H up to global phase: apply RZ(pi) then RY(pi/2).
+void emit_h(Circuit& out, std::size_t q) {
+  out.rz(q, kPi);
+  out.ry(q, kPi / 2.0);
+}
+
+void emit_native_1q(Circuit& out, const Gate& gate) {
+  const std::size_t q = gate.qubits[0];
+  switch (gate.kind) {
+    case GateKind::kI: break;
+    case GateKind::kX: out.rx(q, kPi); break;
+    case GateKind::kY: out.ry(q, kPi); break;
+    case GateKind::kZ: out.rz(q, kPi); break;
+    case GateKind::kH: emit_h(out, q); break;
+    case GateKind::kS: out.rz(q, kPi / 2.0); break;
+    case GateKind::kSdg: out.rz(q, -kPi / 2.0); break;
+    case GateKind::kT: out.rz(q, kPi / 4.0); break;
+    case GateKind::kTdg: out.rz(q, -kPi / 4.0); break;
+    case GateKind::kRx: out.rx(q, gate.param); break;
+    case GateKind::kRy: out.ry(q, gate.param); break;
+    case GateKind::kRz: out.rz(q, gate.param); break;
+    case GateKind::kPhase: out.rz(q, gate.param); break;
+    default: break;
+  }
+}
+
+/// CX(control, target) = (I x H) CZ (I x H) on the target.
+void emit_cx(Circuit& out, std::size_t control, std::size_t target) {
+  emit_h(out, target);
+  out.cz(control, target);
+  emit_h(out, target);
+}
+}  // namespace
+
+bool is_native(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kRz:
+    case GateKind::kCz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Circuit> transpile(const Circuit& circuit) {
+  QCENV_RETURN_IF_ERROR(circuit.validate());
+  Circuit out(circuit.num_qubits());
+  for (const Gate& gate : circuit.gates()) {
+    switch (gate.kind) {
+      case GateKind::kCz:
+        out.cz(gate.qubits[0], gate.qubits[1]);
+        break;
+      case GateKind::kCx:
+        emit_cx(out, gate.qubits[0], gate.qubits[1]);
+        break;
+      case GateKind::kSwap:
+        emit_cx(out, gate.qubits[0], gate.qubits[1]);
+        emit_cx(out, gate.qubits[1], gate.qubits[0]);
+        emit_cx(out, gate.qubits[0], gate.qubits[1]);
+        break;
+      default:
+        emit_native_1q(out, gate);
+        break;
+    }
+  }
+  return out;
+}
+
+TranspileStats stats(const Circuit& input, const Circuit& output) {
+  TranspileStats out;
+  out.input_gates = input.size();
+  out.output_gates = output.size();
+  out.two_qubit_gates = output.two_qubit_gate_count();
+  return out;
+}
+
+Result<quantum::Payload> to_payload(const Circuit& circuit,
+                                    std::uint64_t shots, bool native_only) {
+  Circuit lowered = circuit;
+  if (native_only) {
+    auto transpiled = transpile(circuit);
+    if (!transpiled.ok()) return transpiled.error();
+    lowered = std::move(transpiled).value();
+  } else {
+    QCENV_RETURN_IF_ERROR(circuit.validate());
+  }
+  quantum::Payload payload = quantum::Payload::from_circuit(lowered, shots);
+  payload.metadata()["sdk"] = "qgate";
+  payload.metadata()["transpiled"] = native_only;
+  return payload;
+}
+
+Circuit ghz(std::size_t n) {
+  Circuit circuit(n);
+  if (n == 0) return circuit;
+  circuit.h(0);
+  for (std::size_t q = 0; q + 1 < n; ++q) circuit.cx(q, q + 1);
+  return circuit;
+}
+
+Circuit qaoa_maxcut(
+    std::size_t n,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    const std::vector<double>& gammas, const std::vector<double>& betas) {
+  Circuit circuit(n);
+  for (std::size_t q = 0; q < n; ++q) circuit.h(q);
+  const std::size_t layers = std::min(gammas.size(), betas.size());
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (const auto& [a, b] : edges) {
+      // exp(-i gamma Z_a Z_b) = CX(a,b) RZ(2 gamma on b) CX(a,b).
+      circuit.cx(a, b);
+      circuit.rz(b, 2.0 * gammas[layer]);
+      circuit.cx(a, b);
+    }
+    for (std::size_t q = 0; q < n; ++q) circuit.rx(q, 2.0 * betas[layer]);
+  }
+  return circuit;
+}
+
+}  // namespace qcenv::sdk::qgate

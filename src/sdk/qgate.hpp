@@ -1,0 +1,45 @@
+// "qgate" SDK: a Qiskit-style gate-circuit front-end with a transpiler to
+// the native gate set {RX, RY, RZ, CZ} of the simulated digital backend.
+#pragma once
+
+#include "common/result.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/payload.hpp"
+
+namespace qcenv::sdk::qgate {
+
+/// Native gates after transpilation.
+bool is_native(quantum::GateKind kind) noexcept;
+
+/// Rewrites a circuit into the native set. Unitary-equivalent up to global
+/// phase (verified by tests). H, S, T, X, Y, Z, PHASE become rotations;
+/// CX/SWAP decompose over CZ with basis changes.
+common::Result<quantum::Circuit> transpile(const quantum::Circuit& circuit);
+
+/// Counts used by transpilation reports.
+struct TranspileStats {
+  std::size_t input_gates = 0;
+  std::size_t output_gates = 0;
+  std::size_t two_qubit_gates = 0;
+};
+TranspileStats stats(const quantum::Circuit& input,
+                     const quantum::Circuit& output);
+
+/// Wraps a circuit as a payload (transpiling when `native_only`).
+common::Result<quantum::Payload> to_payload(const quantum::Circuit& circuit,
+                                            std::uint64_t shots,
+                                            bool native_only = false);
+
+// -- Ready-made circuit generators used by examples and benches ------------
+
+/// GHZ state preparation on n qubits.
+quantum::Circuit ghz(std::size_t n);
+
+/// One QAOA-like layer for MaxCut on the given edges:
+/// cost layer exp(-i gamma Z Z) per edge + mixer RX(2 beta).
+quantum::Circuit qaoa_maxcut(std::size_t n,
+                             const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+                             const std::vector<double>& gammas,
+                             const std::vector<double>& betas);
+
+}  // namespace qcenv::sdk::qgate

@@ -1,0 +1,68 @@
+#include "simkit/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace qcenv::simkit {
+
+std::uint64_t Simulator::schedule_at(TimeNs at, EventFn fn) {
+  if (at < now_) at = now_;
+  const std::uint64_t id = next_id_++;
+  events_.push(Event{at, next_seq_++, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+bool Simulator::cancel(std::uint64_t event_id) {
+  // The priority queue cannot delete arbitrary entries; tombstone instead.
+  // Tombstones are rare (cancellations are uncommon) so linear scan is fine.
+  if (std::find(cancelled_.begin(), cancelled_.end(), event_id) !=
+      cancelled_.end()) {
+    return false;
+  }
+  if (event_id == 0 || event_id >= next_id_) return false;
+  cancelled_.push_back(event_id);
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+bool Simulator::step() {
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // tombstoned
+    }
+    assert(ev.at >= now_ && "event time went backwards");
+    now_ = ev.at;
+    --live_events_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(TimeNs until) {
+  std::size_t executed = 0;
+  while (!events_.empty()) {
+    // Peek through tombstones to find the next live event time.
+    if (events_.top().at > until) break;
+    if (step()) ++executed;
+  }
+  if (now_ < until && until != std::numeric_limits<TimeNs>::max()) {
+    now_ = until;
+  }
+  return executed;
+}
+
+void SimClock::sleep_for(DurationNs) {
+  assert(false &&
+         "SimClock::sleep_for called: simulation code must use "
+         "Simulator::schedule_after, not blocking sleeps");
+}
+
+}  // namespace qcenv::simkit

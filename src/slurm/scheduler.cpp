@@ -1,0 +1,454 @@
+#include "slurm/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#define QCENV_LOG_COMPONENT "slurm"
+#include "common/logging.hpp"
+
+namespace qcenv::slurm {
+
+using common::Result;
+using common::Status;
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kPreempted: return "preempted";
+    case JobState::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+SlurmScheduler::SlurmScheduler(ClusterConfig config, simkit::Simulator* sim)
+    : config_(std::move(config)), sim_(sim) {
+  nodes_.reserve(config_.nodes.size());
+  for (const auto& spec : config_.nodes) {
+    nodes_.push_back(NodeState{spec, spec.cpus});
+    total_cpus_ += spec.cpus;
+  }
+  for (const auto& pool : config_.gres) {
+    gres_free_[pool.name] = pool.total;
+    gres_busy_[pool.name] = 0;
+  }
+  for (const auto& pool : config_.licenses) {
+    license_free_[pool.name] = pool.total;
+  }
+  last_account_time_ = sim_->now();
+}
+
+void SlurmScheduler::register_plugin(std::unique_ptr<SpankPlugin> plugin) {
+  plugins_.push_back(std::move(plugin));
+}
+
+const Partition* SlurmScheduler::find_partition(const std::string& name) const {
+  for (const auto& partition : config_.partitions) {
+    if (partition.name == name) return &partition;
+  }
+  return nullptr;
+}
+
+int SlurmScheduler::partition_priority(const Record& record) const {
+  const Partition* partition =
+      find_partition(record.job.submission.partition);
+  return partition != nullptr ? partition->priority : 0;
+}
+
+Result<JobId> SlurmScheduler::submit(JobSubmission submission,
+                                     JobCallbacks callbacks) {
+  const Partition* partition = find_partition(submission.partition);
+  if (partition == nullptr) {
+    return common::err::invalid_argument("unknown partition: " +
+                                         submission.partition);
+  }
+  if (submission.time_limit > partition->max_time) {
+    return common::err::invalid_argument(
+        "time limit exceeds partition max for " + submission.partition);
+  }
+  if (submission.nodes <= 0 || submission.cpus_per_node <= 0) {
+    return common::err::invalid_argument("nodes and cpus must be positive");
+  }
+  if (static_cast<std::size_t>(submission.nodes) > nodes_.size()) {
+    return common::err::resource_exhausted("cluster has only " +
+                                           std::to_string(nodes_.size()) +
+                                           " nodes");
+  }
+  for (const auto& [pool, units] : submission.gres) {
+    const auto it = gres_free_.find(pool);
+    if (it == gres_free_.end()) {
+      return common::err::invalid_argument("unknown GRES pool: " + pool);
+    }
+    // Validate against total, not current availability.
+    for (const auto& configured : config_.gres) {
+      if (configured.name == pool && units > configured.total) {
+        return common::err::resource_exhausted(
+            "GRES request exceeds pool " + pool);
+      }
+    }
+  }
+
+  Record record;
+  record.job.id = ids_.next();
+  record.job.submission = std::move(submission);
+  record.job.submit_time = sim_->now();
+  record.callbacks = std::move(callbacks);
+  for (const auto& plugin : plugins_) {
+    QCENV_RETURN_IF_ERROR(plugin->on_submit(record.job));
+  }
+  const JobId id = record.job.id;
+  records_.emplace(id, std::move(record));
+  pending_.push_back(id);
+  schedule_pass();
+  return id;
+}
+
+Status SlurmScheduler::cancel(JobId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return common::err::not_found("unknown job " + id.to_string());
+  }
+  Record& record = it->second;
+  switch (record.job.state) {
+    case JobState::kPending: {
+      record.job.state = JobState::kCancelled;
+      record.job.end_time = sim_->now();
+      pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+      if (record.callbacks.on_end) record.callbacks.on_end(record.job);
+      return Status::ok_status();
+    }
+    case JobState::kRunning:
+      end_job(id, JobState::kCancelled);
+      return Status::ok_status();
+    default:
+      return common::err::failed_precondition(
+          "job already " + std::string(to_string(record.job.state)));
+  }
+}
+
+Result<BatchJob> SlurmScheduler::query(JobId id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return common::err::not_found("unknown job " + id.to_string());
+  }
+  return it->second.job;
+}
+
+std::vector<BatchJob> SlurmScheduler::queue_snapshot() const {
+  std::vector<BatchJob> out;
+  for (const auto& [_, record] : records_) {
+    if (record.job.state == JobState::kPending ||
+        record.job.state == JobState::kRunning) {
+      out.push_back(record.job);
+    }
+  }
+  return out;
+}
+
+std::size_t SlurmScheduler::pending_count() const { return pending_.size(); }
+
+std::size_t SlurmScheduler::running_count() const {
+  std::size_t count = 0;
+  for (const auto& [_, record] : records_) {
+    if (record.job.state == JobState::kRunning) ++count;
+  }
+  return count;
+}
+
+std::optional<SlurmScheduler::Allocation> SlurmScheduler::try_allocate(
+    const BatchJob& job) {
+  Allocation allocation;
+  // Nodes: first-fit over nodes with enough free cpus.
+  int remaining = job.submission.nodes;
+  for (std::size_t i = 0; i < nodes_.size() && remaining > 0; ++i) {
+    if (nodes_[i].free_cpus >= job.submission.cpus_per_node) {
+      allocation.node_cpus.emplace_back(i, job.submission.cpus_per_node);
+      --remaining;
+    }
+  }
+  if (remaining > 0) return std::nullopt;
+  for (const auto& [pool, units] : job.submission.gres) {
+    if (gres_free_[pool] < units) return std::nullopt;
+    allocation.gres[pool] = units;
+  }
+  for (const auto& [pool, count] : job.submission.licenses) {
+    const auto it = license_free_.find(pool);
+    if (it == license_free_.end() || it->second < count) return std::nullopt;
+    allocation.licenses[pool] = count;
+  }
+  return allocation;
+}
+
+void SlurmScheduler::apply_allocation(Record& record, Allocation allocation) {
+  account_until(sim_->now());
+  for (const auto& [node, cpus] : allocation.node_cpus) {
+    nodes_[node].free_cpus -= cpus;
+    busy_cpus_ += cpus;
+    record.job.allocated_nodes.push_back(nodes_[node].spec.name);
+  }
+  for (const auto& [pool, units] : allocation.gres) {
+    gres_free_[pool] -= units;
+    gres_busy_[pool] += units;
+  }
+  for (const auto& [pool, count] : allocation.licenses) {
+    license_free_[pool] -= count;
+  }
+  record.allocation = std::move(allocation);
+}
+
+void SlurmScheduler::release_allocation(Record& record) {
+  if (!record.allocation.has_value()) return;
+  account_until(sim_->now());
+  for (const auto& [node, cpus] : record.allocation->node_cpus) {
+    nodes_[node].free_cpus += cpus;
+    busy_cpus_ -= cpus;
+  }
+  for (const auto& [pool, units] : record.allocation->gres) {
+    gres_free_[pool] += units;
+    gres_busy_[pool] -= units;
+  }
+  for (const auto& [pool, count] : record.allocation->licenses) {
+    license_free_[pool] += count;
+  }
+  record.job.allocated_nodes.clear();
+  record.allocation.reset();
+}
+
+void SlurmScheduler::start_job(JobId id) {
+  Record& record = records_.at(id);
+  record.job.state = JobState::kRunning;
+  record.job.start_time = sim_->now();
+  if (record.job.submission.external_completion) {
+    // Externally driven job: only the time limit is scheduled.
+    record.allocation->end_event = sim_->schedule_after(
+        record.job.submission.time_limit,
+        [this, id] { end_job(id, JobState::kTimeout); });
+  } else {
+    const DurationNs runtime = std::min(record.job.submission.duration,
+                                        record.job.submission.time_limit);
+    const bool timed_out =
+        record.job.submission.duration > record.job.submission.time_limit;
+    record.allocation->end_event = sim_->schedule_after(
+        runtime, [this, id, timed_out] {
+          end_job(id, timed_out ? JobState::kTimeout : JobState::kCompleted);
+        });
+  }
+  if (record.callbacks.on_start) record.callbacks.on_start(record.job);
+}
+
+Status SlurmScheduler::complete(JobId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return common::err::not_found("unknown job " + id.to_string());
+  }
+  if (it->second.job.state != JobState::kRunning) {
+    return common::err::failed_precondition(
+        "job is " + std::string(to_string(it->second.job.state)));
+  }
+  if (it->second.allocation.has_value() &&
+      it->second.allocation->end_event != 0) {
+    sim_->cancel(it->second.allocation->end_event);
+    it->second.allocation->end_event = 0;
+  }
+  end_job(id, JobState::kCompleted);
+  return Status::ok_status();
+}
+
+void SlurmScheduler::end_job(JobId id, JobState final_state) {
+  Record& record = records_.at(id);
+  assert(record.job.state == JobState::kRunning);
+  if (record.allocation.has_value() && record.allocation->end_event != 0 &&
+      final_state != JobState::kCompleted &&
+      final_state != JobState::kTimeout) {
+    sim_->cancel(record.allocation->end_event);
+  }
+  release_allocation(record);
+  record.job.end_time = sim_->now();
+  record.job.state = final_state;
+  switch (final_state) {
+    case JobState::kCompleted: ++stats_.jobs_completed; break;
+    case JobState::kTimeout: ++stats_.jobs_timed_out; break;
+    case JobState::kPreempted: ++stats_.jobs_preempted; break;
+    default: break;
+  }
+  if (final_state == JobState::kPreempted) {
+    // Requeue from scratch (Slurm's requeue-on-preempt semantics).
+    record.job.state = JobState::kPending;
+    ++record.job.preempt_count;
+    pending_.push_back(id);
+  } else if (record.callbacks.on_end) {
+    record.callbacks.on_end(record.job);
+  }
+  schedule_pass();
+}
+
+TimeNs SlurmScheduler::earliest_start_estimate(const BatchJob& job) const {
+  // Collect running jobs' latest end bounds (start + time_limit) and probe
+  // successively later release times until the job fits.
+  struct Release {
+    TimeNs at;
+    const Record* record;
+  };
+  std::vector<Release> releases;
+  for (const auto& [_, record] : records_) {
+    if (record.job.state == JobState::kRunning &&
+        record.allocation.has_value()) {
+      releases.push_back(
+          Release{record.job.start_time + record.job.submission.time_limit,
+                  &record});
+    }
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.at < b.at; });
+
+  // Probe: free resources now plus everything released up to each point.
+  std::vector<int> free_cpus(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    free_cpus[i] = nodes_[i].free_cpus;
+  }
+  std::map<std::string, int> gres = gres_free_;
+  const auto fits = [&]() {
+    int needed = job.submission.nodes;
+    for (std::size_t i = 0; i < free_cpus.size() && needed > 0; ++i) {
+      if (free_cpus[i] >= job.submission.cpus_per_node) --needed;
+    }
+    if (needed > 0) return false;
+    for (const auto& [pool, units] : job.submission.gres) {
+      const auto it = gres.find(pool);
+      if (it == gres.end() || it->second < units) return false;
+    }
+    return true;
+  };
+  if (fits()) return sim_->now();
+  for (const auto& release : releases) {
+    for (const auto& [node, cpus] : release.record->allocation->node_cpus) {
+      free_cpus[node] += cpus;
+    }
+    for (const auto& [pool, units] : release.record->allocation->gres) {
+      gres[pool] += units;
+    }
+    if (fits()) return release.at;
+  }
+  // Cannot fit even with everything free (request > cluster) — treat as far
+  // future so nothing backfills around it forever.
+  return sim_->now() + 365LL * 24 * 3600 * common::kSecond;
+}
+
+void SlurmScheduler::preempt_for(const BatchJob& head) {
+  const Partition* head_partition = find_partition(head.submission.partition);
+  if (head_partition == nullptr || !head_partition->preempt_lower) return;
+  // Victims: running jobs in strictly lower-priority partitions, lowest
+  // priority first, newest first.
+  std::vector<JobId> victims;
+  for (const auto& [id, record] : records_) {
+    if (record.job.state != JobState::kRunning) continue;
+    const Partition* p = find_partition(record.job.submission.partition);
+    if (p != nullptr && p->priority < head_partition->priority) {
+      victims.push_back(id);
+    }
+  }
+  std::sort(victims.begin(), victims.end(), [this](JobId a, JobId b) {
+    const int pa = partition_priority(records_.at(a));
+    const int pb = partition_priority(records_.at(b));
+    if (pa != pb) return pa < pb;
+    return records_.at(a).job.start_time > records_.at(b).job.start_time;
+  });
+  for (const JobId victim : victims) {
+    if (try_allocate(head).has_value()) return;  // enough freed
+    QCENV_LOG(Debug) << "preempting job " << victim.to_string() << " for "
+                     << head.id.to_string();
+    end_job(victim, JobState::kPreempted);
+    // end_job triggers schedule_pass which may already start `head`.
+    const auto it = records_.find(head.id);
+    if (it == records_.end() || it->second.job.state != JobState::kPending) {
+      return;
+    }
+  }
+}
+
+void SlurmScheduler::schedule_pass() {
+  // Order pending by (priority desc, submit asc, id asc).
+  std::vector<JobId> order(pending_.begin(), pending_.end());
+  std::sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+    const Record& ra = records_.at(a);
+    const Record& rb = records_.at(b);
+    const int pa = partition_priority(ra);
+    const int pb = partition_priority(rb);
+    if (pa != pb) return pa > pb;
+    if (ra.job.submit_time != rb.job.submit_time) {
+      return ra.job.submit_time < rb.job.submit_time;
+    }
+    return a < b;
+  });
+
+  bool head_blocked = false;
+  TimeNs reservation = 0;
+  for (const JobId id : order) {
+    Record& record = records_.at(id);
+    if (record.job.state != JobState::kPending) continue;
+    auto allocation = try_allocate(record.job);
+    if (allocation.has_value()) {
+      if (head_blocked) {
+        // EASY backfill: only start if we finish before the reservation.
+        const TimeNs finish = sim_->now() + record.job.submission.time_limit;
+        if (finish > reservation) continue;
+      }
+      pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+      apply_allocation(record, std::move(allocation).value());
+      start_job(id);
+      continue;
+    }
+    if (!head_blocked) {
+      // First blocked job: try preemption, then reserve.
+      preempt_for(record.job);
+      if (record.job.state != JobState::kPending) continue;  // started
+      auto retry = try_allocate(record.job);
+      if (retry.has_value()) {
+        pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+        apply_allocation(record, std::move(retry).value());
+        start_job(id);
+        continue;
+      }
+      head_blocked = true;
+      reservation = earliest_start_estimate(record.job);
+    }
+  }
+}
+
+void SlurmScheduler::account_until(TimeNs now) {
+  const double dt = common::to_seconds(now - last_account_time_);
+  if (dt <= 0) return;
+  stats_.cpu_busy_seconds += dt * busy_cpus_;
+  stats_.cpu_capacity_seconds += dt * total_cpus_;
+  for (const auto& pool : config_.gres) {
+    stats_.gres_busy_seconds[pool.name] += dt * gres_busy_[pool.name];
+    stats_.gres_capacity_seconds[pool.name] += dt * pool.total;
+  }
+  last_account_time_ = now;
+}
+
+ClusterStats SlurmScheduler::finish_accounting() {
+  account_until(sim_->now());
+  return stats_;
+}
+
+std::map<std::string, double> SlurmScheduler::mean_wait_seconds_by_partition()
+    const {
+  std::map<std::string, double> total;
+  std::map<std::string, int> count;
+  for (const auto& [_, record] : records_) {
+    if (record.job.state != JobState::kCompleted) continue;
+    total[record.job.submission.partition] += common::to_seconds(
+        record.job.start_time - record.job.submit_time);
+    count[record.job.submission.partition] += 1;
+  }
+  std::map<std::string, double> mean;
+  for (const auto& [partition, sum] : total) {
+    mean[partition] = sum / count[partition];
+  }
+  return mean;
+}
+
+}  // namespace qcenv::slurm

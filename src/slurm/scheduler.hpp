@@ -1,0 +1,142 @@
+// slurmlite scheduler: priority scheduling with EASY backfill, partition
+// preemption, GRES/license accounting — advanced in virtual time by a
+// simkit::Simulator so cluster-scale scenarios run in milliseconds.
+//
+// The algorithmic model (deliberately close to Slurm's sched/backfill):
+//  1. Pending jobs are ordered by (partition priority, submit time).
+//  2. The head job starts if resources fit; otherwise it gets a
+//     reservation at the earliest time enough resources free up.
+//  3. Later jobs may backfill iff their time limit ends before the head
+//     job's reservation (EASY condition) and resources fit now.
+//  4. If the head job's partition has preempt_lower, running jobs from
+//     lower-priority partitions are requeued until the head job fits.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.hpp"
+#include "simkit/simulator.hpp"
+#include "slurm/spank.hpp"
+#include "slurm/types.hpp"
+
+namespace qcenv::slurm {
+
+struct ClusterConfig {
+  std::vector<NodeSpec> nodes;
+  std::vector<Partition> partitions;
+  std::vector<CountedPool> gres;
+  std::vector<CountedPool> licenses;
+};
+
+/// Aggregate utilization accounting (time integrals of busy resources).
+struct ClusterStats {
+  double cpu_busy_seconds = 0;
+  double cpu_capacity_seconds = 0;
+  std::map<std::string, double> gres_busy_seconds;
+  std::map<std::string, double> gres_capacity_seconds;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_preempted = 0;
+  std::uint64_t jobs_timed_out = 0;
+
+  double cpu_utilization() const {
+    return cpu_capacity_seconds > 0 ? cpu_busy_seconds / cpu_capacity_seconds
+                                    : 0.0;
+  }
+  double gres_utilization(const std::string& pool) const {
+    const auto busy = gres_busy_seconds.find(pool);
+    const auto cap = gres_capacity_seconds.find(pool);
+    if (busy == gres_busy_seconds.end() || cap == gres_capacity_seconds.end() ||
+        cap->second <= 0) {
+      return 0.0;
+    }
+    return busy->second / cap->second;
+  }
+};
+
+class SlurmScheduler {
+ public:
+  SlurmScheduler(ClusterConfig config, simkit::Simulator* sim);
+
+  void register_plugin(std::unique_ptr<SpankPlugin> plugin);
+
+  /// Submits a job (runs SPANK plugins synchronously). Scheduling happens
+  /// at the current simulation time.
+  common::Result<JobId> submit(JobSubmission submission,
+                               JobCallbacks callbacks = {});
+
+  common::Status cancel(JobId id);
+
+  /// Ends a running external_completion job successfully (the job's driver
+  /// signals it is done).
+  common::Status complete(JobId id);
+
+  common::Result<BatchJob> query(JobId id) const;
+  std::vector<BatchJob> queue_snapshot() const;  // squeue
+  std::size_t pending_count() const;
+  std::size_t running_count() const;
+
+  /// Closes the books at the current sim time and returns utilization.
+  ClusterStats finish_accounting();
+  const ClusterStats& stats() const { return stats_; }
+
+  /// Mean/max pending wait per partition (seconds), over completed jobs.
+  std::map<std::string, double> mean_wait_seconds_by_partition() const;
+
+ private:
+  struct NodeState {
+    NodeSpec spec;
+    int free_cpus = 0;
+  };
+  struct Allocation {
+    std::vector<std::pair<std::size_t, int>> node_cpus;  // node idx, cpus
+    std::map<std::string, int> gres;
+    std::map<std::string, int> licenses;
+    std::uint64_t end_event = 0;
+  };
+  struct Record {
+    BatchJob job;
+    JobCallbacks callbacks;
+    std::optional<Allocation> allocation;
+  };
+
+  const Partition* find_partition(const std::string& name) const;
+  int partition_priority(const Record& record) const;
+
+  /// Tries to allocate resources for the job right now.
+  std::optional<Allocation> try_allocate(const BatchJob& job);
+  void apply_allocation(Record& record, Allocation allocation);
+  void release_allocation(Record& record);
+  void start_job(JobId id);
+  void end_job(JobId id, JobState final_state);
+  void schedule_pass();
+  /// Earliest virtual time at which the given job could start, assuming all
+  /// running jobs hold resources until their time limits.
+  TimeNs earliest_start_estimate(const BatchJob& job) const;
+  void preempt_for(const BatchJob& head);
+  void account_until(TimeNs now);
+
+  ClusterConfig config_;
+  simkit::Simulator* sim_;
+  std::vector<std::unique_ptr<SpankPlugin>> plugins_;
+  common::IdGenerator<common::JobTag> ids_;
+
+  std::vector<NodeState> nodes_;
+  std::map<std::string, int> gres_free_;
+  std::map<std::string, int> license_free_;
+
+  std::map<JobId, Record> records_;
+  std::deque<JobId> pending_;
+
+  // Accounting.
+  ClusterStats stats_;
+  TimeNs last_account_time_ = 0;
+  int busy_cpus_ = 0;
+  std::map<std::string, int> gres_busy_;
+  int total_cpus_ = 0;
+};
+
+}  // namespace qcenv::slurm

@@ -1,0 +1,32 @@
+#include "slurm/spank.hpp"
+
+namespace qcenv::slurm {
+
+using common::Status;
+
+Status QrmiSpankPlugin::on_submit(BatchJob& job) {
+  const std::string& resource = job.submission.qpu_resource;
+  if (resource.empty()) return Status::ok_status();  // purely classical job
+  auto qrmi = registry_->lookup(resource);
+  if (!qrmi.ok()) return qrmi.error();
+  job.env["QRMI_RESOURCE_ID"] = resource;
+  job.env["QRMI_RESOURCE_TYPE"] = to_string(qrmi.value()->type());
+  if (daemon_port_ != 0) {
+    job.env["QRMI_DAEMON_PORT"] = std::to_string(daemon_port_);
+  }
+  return Status::ok_status();
+}
+
+Status HintSpankPlugin::on_submit(BatchJob& job) {
+  const std::string& hint = job.submission.hint;
+  if (hint.empty()) return Status::ok_status();
+  if (hint != "qc-dominant" && hint != "cc-dominant" && hint != "qc-balanced") {
+    return common::err::invalid_argument(
+        "unknown --hint value '" + hint +
+        "' (expected qc-dominant, cc-dominant or qc-balanced)");
+  }
+  job.env["QCENV_WORKLOAD_HINT"] = hint;
+  return Status::ok_status();
+}
+
+}  // namespace qcenv::slurm

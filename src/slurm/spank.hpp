@@ -1,0 +1,54 @@
+// SPANK-style plugin hooks (after Slurm's SPANK API): plugins observe job
+// submission, validate options and inject environment variables into the
+// job. This is how QRMI configuration reaches user jobs without source
+// changes — the `--qpu=<resource>` option becomes QRMI_* env vars.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "qrmi/registry.hpp"
+#include "slurm/types.hpp"
+
+namespace qcenv::slurm {
+
+class SpankPlugin {
+ public:
+  virtual ~SpankPlugin() = default;
+  virtual std::string name() const = 0;
+
+  /// Runs at submission, before queueing. May mutate job.env or reject the
+  /// job with an error.
+  virtual common::Status on_submit(BatchJob& job) = 0;
+};
+
+/// The QRMI plugin: resolves `--qpu=<resource>` against the resource
+/// registry, rejects unknown resources at submit time (instead of failing
+/// inside the job), and exports:
+///   QRMI_RESOURCE_ID, QRMI_RESOURCE_TYPE,
+///   QRMI_DAEMON_PORT (when the middleware daemon endpoint is configured).
+class QrmiSpankPlugin final : public SpankPlugin {
+ public:
+  QrmiSpankPlugin(const qrmi::ResourceRegistry* registry,
+                  std::uint16_t daemon_port = 0)
+      : registry_(registry), daemon_port_(daemon_port) {}
+
+  std::string name() const override { return "spank_qrmi"; }
+  common::Status on_submit(BatchJob& job) override;
+
+ private:
+  const qrmi::ResourceRegistry* registry_;
+  std::uint16_t daemon_port_;
+};
+
+/// Validates `--hint=` values against the Table-1 taxonomy and normalizes
+/// them into the job environment (QCENV_WORKLOAD_HINT).
+class HintSpankPlugin final : public SpankPlugin {
+ public:
+  std::string name() const override { return "spank_hint"; }
+  common::Status on_submit(BatchJob& job) override;
+};
+
+}  // namespace qcenv::slurm

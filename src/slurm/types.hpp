@@ -1,0 +1,99 @@
+// slurmlite core types: nodes, partitions, jobs.
+//
+// A deliberately small model of the Slurm surfaces the paper relies on:
+// partitions with priorities (mapping the daemon's job classes, §3.3),
+// GRES/license pools for fractional QPU shares (§3.5), SPANK-style plugin
+// hooks that inject QRMI environment variables, and preemption between
+// partitions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace qcenv::slurm {
+
+using common::DurationNs;
+using common::JobId;
+using common::TimeNs;
+
+struct NodeSpec {
+  std::string name;
+  int cpus = 32;
+  int gpus = 0;
+};
+
+struct Partition {
+  std::string name;
+  /// Larger = more important. Maps to the daemon's job classes.
+  int priority = 100;
+  /// Jobs in this partition may preempt running jobs of lower-priority
+  /// partitions when resources are short.
+  bool preempt_lower = false;
+  DurationNs max_time = 24LL * 3600 * common::kSecond;
+};
+
+/// Countable shared resources (the paper's "10 licenses/GRES units,
+/// corresponding to timeshares of the QPU in increments of 10 points").
+struct CountedPool {
+  std::string name;
+  int total = 0;
+};
+
+enum class JobState {
+  kPending,
+  kRunning,
+  kCompleted,
+  kCancelled,
+  kPreempted,  // transient: requeued as pending
+  kTimeout,
+};
+
+const char* to_string(JobState state) noexcept;
+
+struct JobSubmission {
+  std::string name;
+  std::string user;
+  std::string partition;
+  int nodes = 1;
+  int cpus_per_node = 1;
+  std::map<std::string, int> gres;      // pool name -> units
+  std::map<std::string, int> licenses;  // pool name -> count
+  DurationNs time_limit = 3600 * common::kSecond;
+  /// Actual runtime in simulation (the "script length").
+  DurationNs duration = 60 * common::kSecond;
+  /// When true the job runs until SlurmScheduler::complete() is called
+  /// (hybrid jobs whose wall time depends on external queues); the time
+  /// limit still applies.
+  bool external_completion = false;
+  /// --qpu=<resource>: consumed by the QRMI SPANK plugin.
+  std::string qpu_resource;
+  /// --hint=<pattern>: workload-pattern hint (Table 1).
+  std::string hint;
+};
+
+struct BatchJob {
+  JobId id;
+  JobSubmission submission;
+  JobState state = JobState::kPending;
+  TimeNs submit_time = 0;
+  TimeNs start_time = 0;
+  TimeNs end_time = 0;
+  int preempt_count = 0;
+  /// Environment assembled by SPANK plugins at submission.
+  std::map<std::string, std::string> env;
+  /// Node names allocated while running.
+  std::vector<std::string> allocated_nodes;
+};
+
+/// Observer hooks fired by the scheduler (workload models attach here).
+struct JobCallbacks {
+  std::function<void(const BatchJob&)> on_start;
+  std::function<void(const BatchJob&)> on_end;  // any terminal state
+};
+
+}  // namespace qcenv::slurm

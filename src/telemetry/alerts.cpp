@@ -1,0 +1,53 @@
+#include "telemetry/alerts.hpp"
+
+namespace qcenv::telemetry {
+
+const char* to_string(AlertSeverity severity) noexcept {
+  switch (severity) {
+    case AlertSeverity::kInfo: return "info";
+    case AlertSeverity::kWarning: return "warning";
+    case AlertSeverity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+void AlertManager::add_rule(AlertRule rule) {
+  std::scoped_lock lock(mutex_);
+  rules_.push_back(RuleState{std::move(rule), -1});
+}
+
+void AlertManager::add_sink(AlertSink sink) {
+  std::scoped_lock lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+std::vector<FiredAlert> AlertManager::evaluate(const TimeSeriesDb& tsdb) {
+  std::scoped_lock lock(mutex_);
+  std::vector<FiredAlert> fired;
+  for (RuleState& state : rules_) {
+    const auto points = tsdb.query_range(
+        state.rule.series, state.high_water + 1,
+        std::numeric_limits<common::TimeNs>::max());
+    for (const Point& point : points) {
+      state.high_water = std::max(state.high_water, point.time);
+      std::optional<DriftAlert> alert;
+      if (auto* ewma = std::get_if<EwmaDetector>(&state.rule.detector)) {
+        alert = ewma->update(point.value);
+      } else if (auto* cusum =
+                     std::get_if<CusumDetector>(&state.rule.detector)) {
+        alert = cusum->update(point.value);
+      }
+      if (alert.has_value()) {
+        fired.push_back(FiredAlert{state.rule.name, state.rule.severity,
+                                   point.time, alert->detail});
+      }
+    }
+  }
+  for (const FiredAlert& alert : fired) {
+    history_.push_back(alert);
+    for (const auto& sink : sinks_) sink(alert);
+  }
+  return fired;
+}
+
+}  // namespace qcenv::telemetry

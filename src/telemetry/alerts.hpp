@@ -1,0 +1,62 @@
+// Alerting on TSDB series: each rule attaches a drift detector to one
+// series; evaluation feeds new points into the detector and tracks
+// firing/resolved state, notifying sinks (log, admin API, dashboards).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "telemetry/drift.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace qcenv::telemetry {
+
+enum class AlertSeverity { kInfo, kWarning, kCritical };
+
+const char* to_string(AlertSeverity severity) noexcept;
+
+struct AlertRule {
+  std::string name;
+  SeriesKey series;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  /// Detector strategy; one instance per rule, fed in time order.
+  std::variant<EwmaDetector, CusumDetector> detector;
+};
+
+struct FiredAlert {
+  std::string rule;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  common::TimeNs fired_at = 0;
+  std::string detail;
+};
+
+using AlertSink = std::function<void(const FiredAlert&)>;
+
+class AlertManager {
+ public:
+  void add_rule(AlertRule rule);
+  void add_sink(AlertSink sink);
+
+  /// Feeds every point newer than the rule's high-water mark into its
+  /// detector. Returns alerts fired during this evaluation.
+  std::vector<FiredAlert> evaluate(const TimeSeriesDb& tsdb);
+
+  const std::vector<FiredAlert>& history() const noexcept { return history_; }
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    common::TimeNs high_water = -1;
+  };
+  std::vector<RuleState> rules_;
+  std::vector<AlertSink> sinks_;
+  std::vector<FiredAlert> history_;
+  std::mutex mutex_;
+};
+
+}  // namespace qcenv::telemetry

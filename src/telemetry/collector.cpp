@@ -1,0 +1,73 @@
+#include "telemetry/collector.hpp"
+
+namespace qcenv::telemetry {
+
+QpuTelemetrySource::QpuTelemetrySource(qpu::QpuDevice* device,
+                                       MetricsRegistry* registry)
+    : device_(device), registry_(registry) {
+  labels_ = {{"device", device_->options().spec.name}};
+}
+
+void QpuTelemetrySource::update() {
+  const quantum::DeviceSpec spec = device_->spec();
+  const quantum::CalibrationSnapshot& cal = spec.calibration;
+  registry_->gauge("qpu_rabi_scale", labels_, "drive amplitude calibration")
+      .set(cal.rabi_scale);
+  registry_->gauge("qpu_detuning_offset", labels_, "detuning offset rad/us")
+      .set(cal.detuning_offset);
+  registry_->gauge("qpu_dephasing_rate", labels_, "dephasing rate 1/us")
+      .set(cal.dephasing_rate);
+  registry_->gauge("qpu_readout_p01", labels_, "readout 0->1 error")
+      .set(cal.readout_p01);
+  registry_->gauge("qpu_readout_p10", labels_, "readout 1->0 error")
+      .set(cal.readout_p10);
+  registry_->gauge("qpu_fill_success", labels_, "atom loading probability")
+      .set(cal.fill_success);
+  registry_->gauge("qpu_fidelity_estimate", labels_, "composite quality")
+      .set(cal.fidelity_estimate());
+
+  const qpu::QpuCounters counters = device_->counters();
+  registry_->gauge("qpu_jobs_executed_total", labels_, "completed jobs")
+      .set(static_cast<double>(counters.jobs_executed));
+  registry_->gauge("qpu_shots_executed_total", labels_, "delivered shots")
+      .set(static_cast<double>(counters.shots_executed));
+  registry_->gauge("qpu_busy_seconds_total", labels_, "device busy time")
+      .set(common::to_seconds(counters.busy_ns));
+}
+
+std::size_t Collector::scrape_once() {
+  const common::TimeNs now = clock_->now();
+  const auto samples = registry_->collect();
+  for (const auto& sample : samples) {
+    Tags tags(sample.labels.begin(), sample.labels.end());
+    tsdb_->write(sample.name, tags, now, sample.value);
+  }
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  return samples.size();
+}
+
+void Collector::start(common::DurationNs interval) {
+  stop();
+  scraper_ = std::jthread([this, interval](const std::stop_token& stop) {
+    while (!stop.stop_requested()) {
+      scrape_once();
+      // Sleep in small slices so stop requests are honoured promptly.
+      common::DurationNs remaining = interval;
+      while (remaining > 0 && !stop.stop_requested()) {
+        const common::DurationNs slice =
+            std::min<common::DurationNs>(remaining, 50 * common::kMillisecond);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void Collector::stop() {
+  if (scraper_.joinable()) {
+    scraper_.request_stop();
+    scraper_.join();
+  }
+}
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,58 @@
+// Collector: bridges the pull world (metrics registries, QPU state) into
+// the TSDB. scrape_once() is manual/deterministic for tests and simulation;
+// start() spawns a background scraper for live deployments.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "qpu/qpu_device.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace qcenv::telemetry {
+
+/// Publishes QPU health into a MetricsRegistry (the per-device exporter the
+/// hosting site scrapes; paper Figure 2's "fine grained hardware
+/// monitoring").
+class QpuTelemetrySource {
+ public:
+  QpuTelemetrySource(qpu::QpuDevice* device, MetricsRegistry* registry);
+
+  /// Samples device state into gauges/counters.
+  void update();
+
+ private:
+  qpu::QpuDevice* device_;
+  MetricsRegistry* registry_;
+  Labels labels_;
+};
+
+class Collector {
+ public:
+  Collector(MetricsRegistry* registry, TimeSeriesDb* tsdb,
+            common::Clock* clock)
+      : registry_(registry), tsdb_(tsdb), clock_(clock) {}
+  ~Collector() { stop(); }
+
+  /// Scrapes every registry sample into the TSDB at the clock's now().
+  /// Returns the number of samples written.
+  std::size_t scrape_once();
+
+  /// Background scraping at a fixed wall interval.
+  void start(common::DurationNs interval);
+  void stop();
+
+  std::uint64_t scrape_count() const noexcept { return scrapes_.load(); }
+
+ private:
+  MetricsRegistry* registry_;
+  TimeSeriesDb* tsdb_;
+  common::Clock* clock_;
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::jthread scraper_;
+};
+
+}  // namespace qcenv::telemetry

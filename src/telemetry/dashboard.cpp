@@ -1,0 +1,83 @@
+#include "telemetry/dashboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace qcenv::telemetry {
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kGlyphs[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  std::string out;
+  for (const double v : values) {
+    if (std::isnan(v)) {
+      out += " ";
+      continue;
+    }
+    const double norm = span > 0 ? (v - lo) / span : 0.5;
+    const auto idx = static_cast<std::size_t>(
+        std::clamp(norm * 7.0 + 0.5, 0.0, 7.0));
+    out += kGlyphs[idx];
+  }
+  return out;
+}
+
+std::string Dashboard::render_panel(const Panel& panel, common::TimeNs start,
+                                    common::TimeNs end) const {
+  const common::DurationNs span = std::max<common::DurationNs>(end - start, 1);
+  const common::DurationNs window =
+      std::max<common::DurationNs>(span / static_cast<common::DurationNs>(
+                                              std::max<std::size_t>(panel.width, 1)),
+                                   1);
+  const auto windows =
+      tsdb_->aggregate(panel.series, start, end, window, Aggregation::kMean);
+  std::vector<double> values;
+  values.reserve(windows.size());
+  double last = std::nan("");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& w : windows) {
+    if (w.samples == 0) {
+      values.push_back(std::isnan(last) ? std::nan("") : last);
+      continue;
+    }
+    values.push_back(w.value);
+    last = w.value;
+    lo = std::min(lo, w.value);
+    hi = std::max(hi, w.value);
+  }
+  // Leading gaps render as the first known value.
+  for (std::size_t i = values.size(); i-- > 0;) {
+    if (std::isnan(values[i]) && i + 1 < values.size()) {
+      values[i] = values[i + 1];
+    }
+  }
+  std::string line = common::format("%-28s ", panel.title.c_str());
+  line += sparkline(values);
+  if (std::isfinite(lo) && std::isfinite(hi)) {
+    line += common::format("  min=%.4g last=%.4g max=%.4g", lo, last, hi);
+  } else {
+    line += "  (no data)";
+  }
+  return line;
+}
+
+std::string Dashboard::render(common::TimeNs start, common::TimeNs end) const {
+  std::string out;
+  out += common::format("== qcenv dashboard  [%.1fs window] ==\n",
+                        common::to_seconds(end - start));
+  for (const auto& panel : panels_) {
+    out += render_panel(panel, start, end) + "\n";
+  }
+  return out;
+}
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,41 @@
+// Text dashboard renderer (the Grafana role, terminal edition): Unicode
+// sparklines over TSDB series with min/last/max annotations. Used by the
+// observability example and by admins over SSH.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/tsdb.hpp"
+
+namespace qcenv::telemetry {
+
+struct Panel {
+  std::string title;
+  SeriesKey series;
+  /// Number of sparkline columns; each aggregates an equal time slice.
+  std::size_t width = 60;
+};
+
+class Dashboard {
+ public:
+  explicit Dashboard(const TimeSeriesDb* tsdb) : tsdb_(tsdb) {}
+
+  void add_panel(Panel panel) { panels_.push_back(std::move(panel)); }
+
+  /// Renders all panels over [start, end].
+  std::string render(common::TimeNs start, common::TimeNs end) const;
+
+  /// One panel as a single sparkline row.
+  std::string render_panel(const Panel& panel, common::TimeNs start,
+                           common::TimeNs end) const;
+
+ private:
+  const TimeSeriesDb* tsdb_;
+  std::vector<Panel> panels_;
+};
+
+/// Maps normalized values (0..1) to the eight sparkline glyphs.
+std::string sparkline(const std::vector<double>& values);
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,87 @@
+#include "telemetry/drift.hpp"
+
+#include "common/strings.hpp"
+
+namespace qcenv::telemetry {
+
+namespace {
+void welford_update(std::size_t& count, double& mean, double& m2,
+                    double value) {
+  ++count;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (value - mean);
+}
+
+double welford_sigma(std::size_t count, double m2) {
+  if (count < 2) return 0;
+  const double variance = m2 / static_cast<double>(count - 1);
+  const double sigma = variance > 0 ? std::sqrt(variance) : 0.0;
+  // Small-sample inflation: the sigma estimator itself has standard error
+  // ~ sigma / sqrt(2(n-1)); pad by two of those so an unlucky warmup does
+  // not shrink the control bands and flood operators with false alarms.
+  const double inflation =
+      1.0 + 2.0 / std::sqrt(2.0 * static_cast<double>(count - 1));
+  return sigma * inflation;
+}
+}  // namespace
+
+std::optional<DriftAlert> EwmaDetector::update(double value) {
+  if (count_ < warmup_) {
+    welford_update(count_, mean_, m2_, value);
+    ewma_ = count_ == 1 ? value : alpha_ * value + (1 - alpha_) * ewma_;
+    return std::nullopt;
+  }
+  ewma_ = alpha_ * value + (1 - alpha_) * ewma_;
+  ++count_;
+  double sigma = welford_sigma(warmup_, m2_);
+  if (sigma <= 0) sigma = std::abs(mean_) * 1e-3 + 1e-12;
+  // EWMA variance correction: sigma_ewma = sigma * sqrt(alpha/(2-alpha)).
+  const double band = k_ * sigma * std::sqrt(alpha_ / (2.0 - alpha_));
+  if (std::abs(ewma_ - mean_) > band) {
+    return DriftAlert{
+        count_, ewma_,
+        common::format("ewma %.6g outside %.6g +- %.6g", ewma_, mean_, band)};
+  }
+  return std::nullopt;
+}
+
+void EwmaDetector::reset() {
+  count_ = 0;
+  mean_ = 0;
+  m2_ = 0;
+  ewma_ = 0;
+}
+
+std::optional<DriftAlert> CusumDetector::update(double value) {
+  if (count_ < warmup_) {
+    welford_update(count_, mean_, m2_, value);
+    return std::nullopt;
+  }
+  ++count_;
+  double sigma = welford_sigma(warmup_, m2_);
+  if (sigma <= 0) sigma = std::abs(mean_) * 1e-3 + 1e-12;
+  const double z = (value - mean_) / sigma;
+  pos_ = std::max(0.0, pos_ + z - slack_);
+  neg_ = std::max(0.0, neg_ - z - slack_);
+  if (pos_ > threshold_ || neg_ > threshold_) {
+    DriftAlert alert{count_, pos_ > threshold_ ? pos_ : -neg_,
+                     common::format("cusum %s drift: S+=%.2f S-=%.2f",
+                                    pos_ > threshold_ ? "upward" : "downward",
+                                    pos_, neg_)};
+    pos_ = 0;
+    neg_ = 0;
+    return alert;
+  }
+  return std::nullopt;
+}
+
+void CusumDetector::reset() {
+  count_ = 0;
+  mean_ = 0;
+  m2_ = 0;
+  pos_ = 0;
+  neg_ = 0;
+}
+
+}  // namespace qcenv::telemetry

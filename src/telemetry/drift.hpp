@@ -1,0 +1,71 @@
+// Drift detection on calibration telemetry (§3.6/§4: "automated drift
+// detection"). Two standard detectors:
+//
+//  - EwmaDetector: exponentially weighted moving average control chart;
+//    flags when the smoothed value leaves mean +- k * sigma control bands.
+//  - CusumDetector: cumulative-sum detector; flags sustained small shifts
+//    that EWMA bands would take long to catch.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace qcenv::telemetry {
+
+struct DriftAlert {
+  std::size_t sample_index = 0;  // sample at which the alarm fired
+  double value = 0;              // offending statistic
+  std::string detail;
+};
+
+class EwmaDetector {
+ public:
+  /// `alpha`: smoothing weight; `k`: control-band width in sigmas.
+  /// `warmup`: samples used to estimate the baseline mean/sigma.
+  EwmaDetector(double alpha = 0.2, double k = 4.0, std::size_t warmup = 20)
+      : alpha_(alpha), k_(k), warmup_(warmup) {}
+
+  /// Feeds one sample; returns an alert when the chart signals.
+  std::optional<DriftAlert> update(double value);
+
+  double ewma() const noexcept { return ewma_; }
+  bool warmed_up() const noexcept { return count_ >= warmup_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double k_;
+  std::size_t warmup_;
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;  // Welford accumulator
+  double ewma_ = 0;
+};
+
+class CusumDetector {
+ public:
+  /// `slack`: drift allowance in sigmas; `threshold`: alarm level in sigmas.
+  CusumDetector(double slack = 0.5, double threshold = 5.0,
+                std::size_t warmup = 20)
+      : slack_(slack), threshold_(threshold), warmup_(warmup) {}
+
+  std::optional<DriftAlert> update(double value);
+
+  double positive_sum() const noexcept { return pos_; }
+  double negative_sum() const noexcept { return neg_; }
+  void reset();
+
+ private:
+  double slack_;
+  double threshold_;
+  std::size_t warmup_;
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double pos_ = 0;
+  double neg_ = 0;
+};
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,145 @@
+#include "telemetry/metrics.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+
+namespace qcenv::telemetry {
+
+std::string format_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::label_key(const Labels& labels) {
+  return format_labels(labels);
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 MetricKind kind,
+                                                 const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+  } else {
+    assert(it->second.kind == kind && "metric kind collision");
+  }
+  if (it->second.help.empty() && !help.empty()) it->second.help = help;
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels,
+                                  const std::string& help) {
+  std::scoped_lock lock(mutex_);
+  Family& fam = family(name, MetricKind::kCounter, help);
+  const std::string key = label_key(labels);
+  auto [it, inserted] = fam.counters.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+    fam.label_sets[key] = labels;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  std::scoped_lock lock(mutex_);
+  Family& fam = family(name, MetricKind::kGauge, help);
+  const std::string key = label_key(labels);
+  auto [it, inserted] = fam.gauges.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_unique<Gauge>();
+    fam.label_sets[key] = labels;
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            std::vector<double> boundaries,
+                                            const Labels& labels,
+                                            const std::string& help) {
+  std::scoped_lock lock(mutex_);
+  Family& fam = family(name, MetricKind::kHistogram, help);
+  const std::string key = label_key(labels);
+  auto [it, inserted] = fam.histograms.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_unique<HistogramMetric>(std::move(boundaries));
+    fam.label_sets[key] = labels;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::expose() const {
+  std::scoped_lock lock(mutex_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) {
+      out += "# HELP " + name + " " + fam.help + "\n";
+    }
+    const char* type = fam.kind == MetricKind::kCounter   ? "counter"
+                       : fam.kind == MetricKind::kGauge   ? "gauge"
+                                                          : "histogram";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+    for (const auto& [key, counter] : fam.counters) {
+      out += name + key + " " + common::format("%.17g", counter->value()) +
+             "\n";
+    }
+    for (const auto& [key, gauge] : fam.gauges) {
+      out += name + key + " " + common::format("%.17g", gauge->value()) + "\n";
+    }
+    for (const auto& [key, histogram] : fam.histograms) {
+      const auto snap = histogram->snapshot();
+      const Labels& base = fam.label_sets.at(key);
+      for (std::size_t b = 0; b < snap.boundaries().size(); ++b) {
+        Labels with_le = base;
+        with_le["le"] = common::format("%g", snap.boundaries()[b]);
+        out += name + "_bucket" + format_labels(with_le) + " " +
+               std::to_string(snap.cumulative(b)) + "\n";
+      }
+      Labels inf = base;
+      inf["le"] = "+Inf";
+      out += name + "_bucket" + format_labels(inf) + " " +
+             std::to_string(snap.count()) + "\n";
+      out += name + "_sum" + key + " " +
+             common::format("%.17g", snap.sum()) + "\n";
+      out += name + "_count" + key + " " + std::to_string(snap.count()) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<MetricSample> MetricsRegistry::collect() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [key, counter] : fam.counters) {
+      out.push_back(MetricSample{name, fam.label_sets.at(key),
+                                 counter->value()});
+    }
+    for (const auto& [key, gauge] : fam.gauges) {
+      out.push_back(
+          MetricSample{name, fam.label_sets.at(key), gauge->value()});
+    }
+    for (const auto& [key, histogram] : fam.histograms) {
+      const auto snap = histogram->snapshot();
+      out.push_back(MetricSample{name + "_count", fam.label_sets.at(key),
+                                 static_cast<double>(snap.count())});
+      out.push_back(
+          MetricSample{name + "_sum", fam.label_sets.at(key), snap.sum()});
+    }
+  }
+  return out;
+}
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,124 @@
+// Metrics registry with Prometheus text exposition (§3.6: "exposing QPU
+// state through standard telemetry tools such as Prometheus").
+//
+// Model: a registry owns metric families (counter/gauge/histogram + help
+// text); a family owns one time series per label set. Handles returned to
+// instrumented code are stable pointers guarded by atomics, so the hot path
+// (increment/observe) is lock-free after first lookup.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/result.hpp"
+
+namespace qcenv::telemetry {
+
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void increment(double delta = 1.0) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Histogram handle; observation is mutex-guarded (bucket vectors are not
+/// atomically updatable), still cheap at telemetry rates.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> boundaries)
+      : histogram_(std::move(boundaries)) {}
+
+  void observe(double value) {
+    std::scoped_lock lock(mutex_);
+    histogram_.observe(value);
+  }
+  common::BucketHistogram snapshot() const {
+    std::scoped_lock lock(mutex_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  common::BucketHistogram histogram_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One sample for scrape consumers (collector, TSDB bridge).
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  double value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the counter for (name, labels), creating it on first use.
+  /// Name collisions across kinds are a programming error and assert.
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  HistogramMetric& histogram(const std::string& name,
+                             std::vector<double> boundaries,
+                             const Labels& labels = {},
+                             const std::string& help = "");
+
+  /// Prometheus text exposition format (the /metrics endpoint body).
+  std::string expose() const;
+
+  /// Flat snapshot of scalar samples (histograms contribute _count/_sum and
+  /// per-bucket cumulative series).
+  std::vector<MetricSample> collect() const;
+
+ private:
+  struct Family {
+    MetricKind kind;
+    std::string help;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<HistogramMetric>> histograms;
+    std::map<std::string, Labels> label_sets;  // key -> parsed labels
+  };
+
+  static std::string label_key(const Labels& labels);
+  Family& family(const std::string& name, MetricKind kind,
+                 const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+/// Renders labels as {a="x",b="y"} (empty string for no labels).
+std::string format_labels(const Labels& labels);
+
+}  // namespace qcenv::telemetry

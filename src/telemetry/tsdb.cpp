@@ -1,0 +1,172 @@
+#include "telemetry/tsdb.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace qcenv::telemetry {
+
+using common::Result;
+using common::Status;
+
+std::string SeriesKey::to_string() const {
+  std::string out = measurement;
+  for (const auto& [tag, value] : tags) {
+    out += "," + tag + "=" + value;
+  }
+  return out;
+}
+
+void TimeSeriesDb::write(const SeriesKey& key, Point point) {
+  std::scoped_lock lock(mutex_);
+  auto& series = data_[key];
+  // Points arrive mostly in time order; insert-sort from the back when not.
+  if (!series.empty() && point.time < series.back().time) {
+    const auto it = std::upper_bound(
+        series.begin(), series.end(), point,
+        [](const Point& a, const Point& b) { return a.time < b.time; });
+    series.insert(it, point);
+  } else {
+    series.push_back(point);
+  }
+  if (series.size() > retention_) {
+    series.erase(series.begin(),
+                 series.begin() + static_cast<std::ptrdiff_t>(
+                                      series.size() - retention_));
+  }
+}
+
+Status TimeSeriesDb::write_line(const std::string& line) {
+  // measurement[,tag=v]* <space> value=<num> <space> <timestamp>
+  const auto sections = common::split(std::string(common::trim(line)), ' ');
+  if (sections.size() != 3) {
+    return common::err::protocol("line protocol needs 3 sections: " + line);
+  }
+  SeriesKey key;
+  const auto name_tags = common::split(sections[0], ',');
+  key.measurement = name_tags[0];
+  if (key.measurement.empty()) {
+    return common::err::protocol("empty measurement name");
+  }
+  for (std::size_t i = 1; i < name_tags.size(); ++i) {
+    const std::size_t eq = name_tags[i].find('=');
+    if (eq == std::string::npos) {
+      return common::err::protocol("malformed tag: " + name_tags[i]);
+    }
+    key.tags[name_tags[i].substr(0, eq)] = name_tags[i].substr(eq + 1);
+  }
+  if (!common::starts_with(sections[1], "value=")) {
+    return common::err::protocol("expected value=<num> field");
+  }
+  char* end = nullptr;
+  const std::string value_text = sections[1].substr(6);
+  const double value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    return common::err::protocol("bad field value: " + value_text);
+  }
+  const long long time = std::strtoll(sections[2].c_str(), &end, 10);
+  if (end == sections[2].c_str() || *end != '\0') {
+    return common::err::protocol("bad timestamp: " + sections[2]);
+  }
+  write(key, Point{time, value});
+  return Status::ok_status();
+}
+
+Result<std::string> TimeSeriesDb::dump_series(const SeriesKey& key) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) {
+    return common::err::not_found("unknown series: " + key.to_string());
+  }
+  std::string out;
+  for (const Point& point : it->second) {
+    out += key.to_string() + " value=" +
+           common::format_double_shortest(point.value) + " " +
+           std::to_string(point.time) + "\n";
+  }
+  return out;
+}
+
+std::vector<Point> TimeSeriesDb::query_range(const SeriesKey& key,
+                                             common::TimeNs start,
+                                             common::TimeNs end) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Point> out;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return out;
+  for (const Point& point : it->second) {
+    if (point.time >= start && point.time <= end) out.push_back(point);
+  }
+  return out;
+}
+
+std::optional<Point> TimeSeriesDb::last(const SeriesKey& key) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::vector<WindowPoint> TimeSeriesDb::aggregate(
+    const SeriesKey& key, common::TimeNs start, common::TimeNs end,
+    common::DurationNs window, Aggregation aggregation) const {
+  std::vector<WindowPoint> out;
+  if (window <= 0 || end <= start) return out;
+  const auto points = query_range(key, start, end - 1);
+  const auto num_windows =
+      static_cast<std::size_t>((end - start + window - 1) / window);
+  out.resize(num_windows);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    out[w].window_start = start + static_cast<common::TimeNs>(w) * window;
+  }
+  for (const Point& point : points) {
+    const auto w = static_cast<std::size_t>((point.time - start) / window);
+    WindowPoint& wp = out[w];
+    switch (aggregation) {
+      case Aggregation::kMean:
+      case Aggregation::kSum:
+        wp.value += point.value;
+        break;
+      case Aggregation::kMin:
+        wp.value = wp.samples == 0 ? point.value
+                                   : std::min(wp.value, point.value);
+        break;
+      case Aggregation::kMax:
+        wp.value = wp.samples == 0 ? point.value
+                                   : std::max(wp.value, point.value);
+        break;
+      case Aggregation::kLast:
+        wp.value = point.value;
+        break;
+      case Aggregation::kCount:
+        break;
+    }
+    ++wp.samples;
+  }
+  for (WindowPoint& wp : out) {
+    if (aggregation == Aggregation::kMean && wp.samples > 0) {
+      wp.value /= static_cast<double>(wp.samples);
+    }
+    if (aggregation == Aggregation::kCount) {
+      wp.value = static_cast<double>(wp.samples);
+    }
+  }
+  return out;
+}
+
+std::vector<SeriesKey> TimeSeriesDb::series() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<SeriesKey> out;
+  out.reserve(data_.size());
+  for (const auto& [key, _] : data_) out.push_back(key);
+  return out;
+}
+
+std::size_t TimeSeriesDb::point_count(const SeriesKey& key) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = data_.find(key);
+  return it == data_.end() ? 0 : it->second.size();
+}
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,91 @@
+// Mini time-series database (the InfluxDB role in the paper's stack).
+//
+// Series are keyed by measurement name + sorted tag set. Points are
+// (timestamp, value). Supports InfluxDB line-protocol round-trips, range
+// queries, windowed aggregation and a retention cap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace qcenv::telemetry {
+
+using Tags = std::map<std::string, std::string>;
+
+struct Point {
+  common::TimeNs time = 0;
+  double value = 0;
+};
+
+struct SeriesKey {
+  std::string measurement;
+  Tags tags;
+
+  bool operator<(const SeriesKey& other) const {
+    if (measurement != other.measurement) {
+      return measurement < other.measurement;
+    }
+    return tags < other.tags;
+  }
+  bool operator==(const SeriesKey&) const = default;
+
+  /// "qpu_fidelity,device=fresnel" (tags sorted).
+  std::string to_string() const;
+};
+
+enum class Aggregation { kMean, kMin, kMax, kLast, kSum, kCount };
+
+struct WindowPoint {
+  common::TimeNs window_start = 0;
+  double value = 0;
+  std::size_t samples = 0;
+};
+
+class TimeSeriesDb {
+ public:
+  /// `max_points_per_series` bounds memory; the oldest points are dropped.
+  explicit TimeSeriesDb(std::size_t max_points_per_series = 100000)
+      : retention_(max_points_per_series) {}
+
+  void write(const SeriesKey& key, Point point);
+  void write(const std::string& measurement, const Tags& tags,
+             common::TimeNs time, double value) {
+    write(SeriesKey{measurement, tags}, Point{time, value});
+  }
+
+  /// Ingests one line-protocol line: "measurement,tag=v value=1.5 123456".
+  common::Status write_line(const std::string& line);
+
+  /// Serializes a series to line protocol (one line per point).
+  common::Result<std::string> dump_series(const SeriesKey& key) const;
+
+  /// Points with time in [start, end].
+  std::vector<Point> query_range(const SeriesKey& key, common::TimeNs start,
+                                 common::TimeNs end) const;
+
+  /// Latest point of a series.
+  std::optional<Point> last(const SeriesKey& key) const;
+
+  /// Fixed-window aggregation over [start, end).
+  std::vector<WindowPoint> aggregate(const SeriesKey& key,
+                                     common::TimeNs start, common::TimeNs end,
+                                     common::DurationNs window,
+                                     Aggregation aggregation) const;
+
+  std::vector<SeriesKey> series() const;
+  std::size_t point_count(const SeriesKey& key) const;
+
+ private:
+  std::size_t retention_;
+  mutable std::mutex mutex_;
+  std::map<SeriesKey, std::vector<Point>> data_;
+};
+
+}  // namespace qcenv::telemetry

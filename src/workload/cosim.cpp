@@ -1,0 +1,304 @@
+#include "workload/cosim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simkit/simulator.hpp"
+#include "slurm/scheduler.hpp"
+
+namespace qcenv::workload {
+
+using common::DurationNs;
+using common::TimeNs;
+using daemon::Batch;
+using daemon::JobClass;
+using daemon::PriorityQueueCore;
+
+namespace {
+
+const char* partition_for(JobClass cls) {
+  switch (cls) {
+    case JobClass::kProduction: return "production";
+    case JobClass::kTest: return "test";
+    case JobClass::kDevelopment: return "dev";
+  }
+  return "dev";
+}
+
+class Engine {
+ public:
+  Engine(const CosimOptions& options, const std::vector<WorkloadJob>& jobs)
+      : options_(options),
+        specs_(jobs),
+        qpu_queue_(options.queue_policy),
+        slurm_(make_cluster(options), &sim_) {}
+
+  CosimMetrics run() {
+    contexts_.resize(specs_.size());
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+      contexts_[i].index = i;
+      sim_.schedule_at(
+          common::from_seconds(specs_[i].submit_at_seconds),
+          [this, i] { submit_slurm(i, /*from_phase=*/0); });
+    }
+    sim_.run();
+    return finalize();
+  }
+
+ private:
+  struct JobCtx {
+    std::size_t index = 0;
+    std::size_t phase = 0;           // next phase to execute
+    common::JobId slurm_id;          // active allocation (if any)
+    bool holds_allocation = false;
+    TimeNs submit_time = 0;
+    TimeNs done_time = 0;
+    TimeNs quantum_enqueue_time = -1;
+    double quantum_wait_seconds = 0;
+    bool finished = false;
+  };
+
+  static slurm::ClusterConfig make_cluster(const CosimOptions& options) {
+    slurm::ClusterConfig config;
+    for (int n = 0; n < options.nodes; ++n) {
+      config.nodes.push_back(
+          slurm::NodeSpec{"node" + std::to_string(n), options.cpus_per_node, 0});
+    }
+    config.partitions = {
+        {"production", 300, false, 30LL * 24 * 3600 * common::kSecond},
+        {"test", 200, false, 30LL * 24 * 3600 * common::kSecond},
+        {"dev", 100, false, 30LL * 24 * 3600 * common::kSecond},
+    };
+    config.gres = {{"qpu", 10}};  // ten 10%-timeshare units (paper §3.5)
+    return config;
+  }
+
+  void submit_slurm(std::size_t index, std::size_t from_phase) {
+    const WorkloadJob& spec = specs_[index];
+    JobCtx& ctx = contexts_[index];
+    ctx.phase = from_phase;
+    if (from_phase == 0) ctx.submit_time = sim_.now();
+
+    slurm::JobSubmission submission;
+    submission.name = spec.name;
+    submission.user = "cosim";
+    submission.partition = partition_for(spec.job_class);
+    submission.nodes = 1;
+    submission.cpus_per_node = spec.cpus;
+    submission.external_completion = true;
+    submission.time_limit = common::from_seconds(
+        std::max(1.0, spec.total_seconds() * options_.time_limit_factor));
+    if (options_.access == QpuAccess::kExclusiveSlurm) {
+      submission.gres["qpu"] = 10;  // whole device for the whole job
+    }
+    const common::TimeNs pending_from = sim_.now();
+    slurm::JobCallbacks callbacks;
+    callbacks.on_start = [this, index, from_phase,
+                          pending_from](const slurm::BatchJob& job) {
+      JobCtx& started = contexts_[index];
+      started.slurm_id = job.id;
+      started.holds_allocation = true;
+      trace(index, PhaseKind::kPending, pending_from, sim_.now());
+      if (options_.access == QpuAccess::kExclusiveSlurm && from_phase == 0) {
+        // Exclusive mode: waiting for the QPU happens in the Slurm pending
+        // queue (the allocation includes the device), so that wait is the
+        // comparable "quantum wait".
+        started.quantum_wait_seconds +=
+            common::to_seconds(sim_.now() - started.submit_time);
+      }
+      run_phase(index);
+    };
+    auto id = slurm_.submit(std::move(submission), std::move(callbacks));
+    assert(id.ok() && "cosim slurm submission must be valid");
+    (void)id;
+  }
+
+  void run_phase(std::size_t index) {
+    JobCtx& ctx = contexts_[index];
+    const WorkloadJob& spec = specs_[index];
+    if (ctx.phase >= spec.phases.size()) {
+      finish_job(index);
+      return;
+    }
+    const HybridPhase& phase = spec.phases[ctx.phase];
+    if (!phase.quantum) {
+      cpu_useful_seconds_ += phase.seconds * spec.cpus;
+      trace(index, PhaseKind::kClassical, sim_.now(),
+            sim_.now() + common::from_seconds(phase.seconds));
+      sim_.schedule_after(common::from_seconds(phase.seconds),
+                          [this, index] {
+                            ++contexts_[index].phase;
+                            run_phase(index);
+                          });
+      return;
+    }
+    // Quantum phase.
+    if (options_.access == QpuAccess::kExclusiveSlurm) {
+      // The job owns the device: service starts immediately.
+      const double service = options_.qpu_setup_seconds + phase.seconds;
+      qpu_busy_seconds_ += service;
+      ++qpu_dispatches_;
+      trace(index, PhaseKind::kQuantumRun, sim_.now(),
+            sim_.now() + common::from_seconds(service));
+      sim_.schedule_after(common::from_seconds(service), [this, index] {
+        ++contexts_[index].phase;
+        run_phase(index);
+      });
+      return;
+    }
+    // Shared mode: route through the middleware queue.
+    if (options_.malleable && ctx.holds_allocation) {
+      // Shrink: release classical nodes while queued on the QPU.
+      ctx.holds_allocation = false;
+      (void)slurm_.complete(ctx.slurm_id);
+    }
+    const auto shots = static_cast<std::uint64_t>(std::max(
+        1.0, phase.seconds * options_.shot_rate_hz + 0.5));
+    // Loose coupling: the submission travels over the WAN first.
+    const auto submit_delay =
+        common::from_seconds(options_.network_roundtrip_seconds / 2.0);
+    sim_.schedule_after(submit_delay, [this, index, shots] {
+      JobCtx& queued = contexts_[index];
+      queued.quantum_enqueue_time = sim_.now();
+      qpu_queue_.enqueue(job_key(index), specs_[index].job_class, shots,
+                         sim_.now());
+      dispatch_qpu();
+    });
+  }
+
+  void trace(std::size_t index, PhaseKind kind, common::TimeNs from,
+             common::TimeNs to) {
+    if (options_.timeline != nullptr) {
+      options_.timeline->record(specs_[index].name, kind,
+                                common::to_seconds(from),
+                                common::to_seconds(to));
+    }
+  }
+
+  static std::uint64_t job_key(std::size_t index) { return index + 1; }
+  static std::size_t key_job(std::uint64_t key) { return key - 1; }
+
+  void dispatch_qpu() {
+    if (qpu_busy_) return;
+    auto batch = qpu_queue_.next_batch(sim_.now());
+    if (!batch.has_value()) return;
+    qpu_busy_ = true;
+    ++qpu_dispatches_;
+    const std::size_t index = key_job(batch->job_id);
+    JobCtx& ctx = contexts_[index];
+    if (ctx.quantum_enqueue_time >= 0) {
+      ctx.quantum_wait_seconds +=
+          common::to_seconds(sim_.now() - ctx.quantum_enqueue_time);
+      trace(index, PhaseKind::kQuantumWait, ctx.quantum_enqueue_time,
+            sim_.now());
+      ctx.quantum_enqueue_time = -1;
+    }
+    const double service =
+        options_.qpu_setup_seconds +
+        static_cast<double>(batch->shots) / options_.shot_rate_hz;
+    qpu_busy_seconds_ += service;
+    trace(index, PhaseKind::kQuantumRun, sim_.now(),
+          sim_.now() + common::from_seconds(service));
+    const Batch dispatched = *batch;
+    sim_.schedule_after(common::from_seconds(service),
+                        [this, dispatched] { qpu_batch_done(dispatched); });
+  }
+
+  void qpu_batch_done(const Batch& batch) {
+    qpu_busy_ = false;
+    qpu_queue_.batch_done(batch);
+    if (batch.final_batch) {
+      const std::size_t index = key_job(batch.job_id);
+      // Results travel back over the WAN; the QPU is already free.
+      const auto result_delay =
+          common::from_seconds(options_.network_roundtrip_seconds / 2.0);
+      sim_.schedule_after(result_delay, [this, index] {
+        JobCtx& ctx = contexts_[index];
+        ++ctx.phase;
+        if (options_.malleable && !ctx.holds_allocation) {
+          // Grow again: reacquire classical nodes for the remaining phases
+          // (or finish if the quantum phase was last).
+          if (ctx.phase >= specs_[index].phases.size()) {
+            finish_job(index);
+          } else {
+            submit_slurm(index, ctx.phase);
+          }
+        } else {
+          run_phase(index);
+        }
+      });
+    }
+    dispatch_qpu();
+  }
+
+  void finish_job(std::size_t index) {
+    JobCtx& ctx = contexts_[index];
+    if (ctx.finished) return;
+    ctx.finished = true;
+    ctx.done_time = sim_.now();
+    if (ctx.holds_allocation) {
+      ctx.holds_allocation = false;
+      (void)slurm_.complete(ctx.slurm_id);
+    }
+    ++completed_;
+  }
+
+  CosimMetrics finalize() {
+    CosimMetrics metrics;
+    const double makespan = common::to_seconds(sim_.now());
+    metrics.makespan_seconds = makespan;
+    metrics.qpu_busy_seconds = qpu_busy_seconds_;
+    metrics.qpu_utilization = makespan > 0 ? qpu_busy_seconds_ / makespan : 0;
+    const auto stats = slurm_.finish_accounting();
+    metrics.cpu_held_seconds = stats.cpu_busy_seconds;
+    metrics.cpu_capacity_seconds = stats.cpu_capacity_seconds;
+    metrics.cpu_useful_seconds = cpu_useful_seconds_;
+    metrics.cpu_held_utilization = stats.cpu_utilization();
+    metrics.cpu_useful_utilization =
+        stats.cpu_capacity_seconds > 0
+            ? cpu_useful_seconds_ / stats.cpu_capacity_seconds
+            : 0;
+    metrics.jobs_completed = completed_;
+    metrics.qpu_dispatches = qpu_dispatches_;
+
+    std::map<JobClass, common::QuantileRecorder> waits;
+    std::map<JobClass, common::QuantileRecorder> turnarounds;
+    for (const JobCtx& ctx : contexts_) {
+      if (!ctx.finished) continue;
+      const JobClass cls = specs_[ctx.index].job_class;
+      waits[cls].record(ctx.quantum_wait_seconds);
+      turnarounds[cls].record(
+          common::to_seconds(ctx.done_time - ctx.submit_time));
+    }
+    for (auto& [cls, recorder] : waits) {
+      ClassStats& cs = metrics.by_class[cls];
+      cs.jobs = recorder.count();
+      cs.mean_quantum_wait_seconds = recorder.mean();
+      cs.p95_quantum_wait_seconds = recorder.quantile(0.95);
+      cs.mean_turnaround_seconds = turnarounds[cls].mean();
+    }
+    return metrics;
+  }
+
+  CosimOptions options_;
+  std::vector<WorkloadJob> specs_;
+  simkit::Simulator sim_;
+  PriorityQueueCore qpu_queue_;
+  slurm::SlurmScheduler slurm_;
+  std::vector<JobCtx> contexts_;
+  bool qpu_busy_ = false;
+  double qpu_busy_seconds_ = 0;
+  double cpu_useful_seconds_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t qpu_dispatches_ = 0;
+};
+
+}  // namespace
+
+CosimMetrics run_cosim(const CosimOptions& options,
+                       const std::vector<WorkloadJob>& jobs) {
+  Engine engine(options, jobs);
+  return engine.run();
+}
+
+}  // namespace qcenv::workload

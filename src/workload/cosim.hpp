@@ -1,0 +1,76 @@
+// Co-simulation of the full two-level scheduling stack in virtual time:
+// slurmlite allocates classical nodes (and, in exclusive mode, QPU GRES),
+// while the daemon's PriorityQueueCore orders quantum work onto a single
+// QPU server. This engine regenerates Table 1 and the scheduling
+// experiments (E1/E2/E6) in milliseconds of wall time.
+//
+// Access modes:
+//  * kExclusiveSlurm — the one-level baseline: a hybrid job allocates the
+//    whole QPU (10/10 GRES units) together with its classical nodes for its
+//    entire wall time; the QPU idles during the job's classical phases.
+//  * kDaemonShared — the paper's model: jobs allocate classical nodes only;
+//    quantum phases are submitted to the middleware queue, which packs the
+//    QPU back-to-back across all concurrent jobs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "daemon/queue_core.hpp"
+#include "workload/patterns.hpp"
+#include "workload/trace.hpp"
+
+namespace qcenv::workload {
+
+enum class QpuAccess { kExclusiveSlurm, kDaemonShared };
+
+struct CosimOptions {
+  int nodes = 8;
+  int cpus_per_node = 32;
+  QpuAccess access = QpuAccess::kDaemonShared;
+  daemon::QueuePolicy queue_policy;
+  /// Fixed per-dispatch QPU overhead (register load, compile), seconds.
+  double qpu_setup_seconds = 2.0;
+  /// Converts quantum phase seconds into shots and back (paper §2.2.1:
+  /// ~1 Hz today, ~100 Hz roadmap).
+  double shot_rate_hz = 1.0;
+  /// Release classical nodes during quantum waits and reacquire afterwards
+  /// (the malleability ablation, §2.4).
+  bool malleable = false;
+  /// Job time limit = factor * nominal duration (large: no timeouts).
+  double time_limit_factor = 1000.0;
+  /// Network round-trip added around each quantum phase (submit + result
+  /// fetch) — models loosely coupled cloud QPUs (§2.2.1). The QPU serves
+  /// other jobs during these gaps.
+  double network_roundtrip_seconds = 0.0;
+  /// Optional per-job phase timeline (Gantt) recorder; not owned.
+  Timeline* timeline = nullptr;
+};
+
+struct ClassStats {
+  std::size_t jobs = 0;
+  double mean_quantum_wait_seconds = 0;
+  double p95_quantum_wait_seconds = 0;
+  double mean_turnaround_seconds = 0;
+};
+
+struct CosimMetrics {
+  double makespan_seconds = 0;
+  double qpu_busy_seconds = 0;
+  double qpu_utilization = 0;       // busy / makespan
+  double cpu_held_seconds = 0;      // allocation integral
+  double cpu_useful_seconds = 0;    // classical phase work only
+  double cpu_capacity_seconds = 0;  // cluster capacity over the makespan
+  double cpu_held_utilization = 0;
+  double cpu_useful_utilization = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t qpu_dispatches = 0;
+  std::map<daemon::JobClass, ClassStats> by_class;
+};
+
+/// Runs the scenario to completion and reports aggregate metrics.
+CosimMetrics run_cosim(const CosimOptions& options,
+                       const std::vector<WorkloadJob>& jobs);
+
+}  // namespace qcenv::workload

@@ -1,0 +1,218 @@
+#include "workload/optimizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qcenv::workload {
+
+NelderMead::NelderMead(std::size_t dim, Options options)
+    : dim_(dim), options_(options) {}
+
+runtime::ParameterStrategy NelderMead::strategy() {
+  return [this](const std::vector<std::vector<double>>& params,
+                const std::vector<double>& costs) {
+    return propose(params, costs);
+  };
+}
+
+std::vector<double> NelderMead::propose(
+    const std::vector<std::vector<double>>& params,
+    const std::vector<double>& costs) {
+  assert(params.size() == costs.size() && !params.empty());
+  if (params.size() >= options_.max_evaluations) return {};
+  const std::size_t last = params.size() - 1;
+
+  // Phase 1: build the initial simplex from the starting point.
+  if (stage_ == Stage::kBuildSimplex) {
+    simplex_.push_back(last);
+    if (simplex_.size() < dim_ + 1) {
+      std::vector<double> vertex = params[simplex_.front()];
+      vertex[simplex_.size() - 1] += options_.initial_step;
+      return vertex;
+    }
+    stage_ = Stage::kReflect;
+    // Fall through to reflection.
+  } else if (stage_ == Stage::kReflect) {
+    // `last` is the reflected point's evaluation.
+    auto by_cost = [&](std::size_t a, std::size_t b) {
+      return costs[a] < costs[b];
+    };
+    std::sort(simplex_.begin(), simplex_.end(), by_cost);
+    const std::size_t worst = simplex_.back();
+    const std::size_t second_worst = simplex_[simplex_.size() - 2];
+    const double fr = costs[last];
+    if (fr < costs[simplex_.front()]) {
+      // Try expansion.
+      stage_ = Stage::kExpand;
+      reflected_ = params[last];
+      std::vector<double> expanded(dim_);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        expanded[i] = centroid_[i] + 2.0 * (params[last][i] - centroid_[i]);
+      }
+      pending_shrink_ = last;  // remember reflected eval index
+      return expanded;
+    }
+    if (fr < costs[second_worst]) {
+      simplex_.back() = last;  // accept reflection
+    } else {
+      // Contract toward the better of (worst, reflected).
+      stage_ = Stage::kContract;
+      const bool outside = fr < costs[worst];
+      const std::size_t anchor = outside ? last : worst;
+      std::vector<double> contracted(dim_);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        contracted[i] =
+            centroid_[i] + 0.5 * (params[anchor][i] - centroid_[i]);
+      }
+      pending_shrink_ = last;
+      return contracted;
+    }
+  } else if (stage_ == Stage::kExpand) {
+    // `last` = expansion eval; pending_shrink_ = reflection eval.
+    std::sort(simplex_.begin(), simplex_.end(),
+              [&](std::size_t a, std::size_t b) { return costs[a] < costs[b]; });
+    simplex_.back() =
+        costs[last] < costs[pending_shrink_] ? last : pending_shrink_;
+    stage_ = Stage::kReflect;
+  } else if (stage_ == Stage::kContract) {
+    std::sort(simplex_.begin(), simplex_.end(),
+              [&](std::size_t a, std::size_t b) { return costs[a] < costs[b]; });
+    if (costs[last] < costs[simplex_.back()]) {
+      simplex_.back() = last;
+      stage_ = Stage::kReflect;
+    } else {
+      // Shrink all non-best vertices toward the best.
+      stage_ = Stage::kShrink;
+      pending_shrink_ = 1;  // next simplex slot to replace
+      const auto& best = params[simplex_.front()];
+      std::vector<double> shrunk(dim_);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        shrunk[i] = best[i] + 0.5 * (params[simplex_[1]][i] - best[i]);
+      }
+      return shrunk;
+    }
+  } else if (stage_ == Stage::kShrink) {
+    simplex_[pending_shrink_] = last;
+    ++pending_shrink_;
+    if (pending_shrink_ < simplex_.size()) {
+      const auto& best = params[simplex_.front()];
+      std::vector<double> shrunk(dim_);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        shrunk[i] =
+            best[i] + 0.5 * (params[simplex_[pending_shrink_]][i] - best[i]);
+      }
+      return shrunk;
+    }
+    stage_ = Stage::kReflect;
+  }
+
+  // Reflection step (entered from several stages above).
+  std::sort(simplex_.begin(), simplex_.end(),
+            [&](std::size_t a, std::size_t b) { return costs[a] < costs[b]; });
+  // Convergence: cost spread across the simplex.
+  const double spread =
+      std::abs(costs[simplex_.back()] - costs[simplex_.front()]);
+  if (spread < options_.tolerance) return {};
+
+  centroid_.assign(dim_, 0.0);
+  for (std::size_t v = 0; v + 1 < simplex_.size(); ++v) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      centroid_[i] += params[simplex_[v]][i];
+    }
+  }
+  for (double& c : centroid_) c /= static_cast<double>(dim_);
+  std::vector<double> reflected(dim_);
+  const auto& worst = params[simplex_.back()];
+  for (std::size_t i = 0; i < dim_; ++i) {
+    reflected[i] = centroid_[i] + (centroid_[i] - worst[i]);
+  }
+  stage_ = Stage::kReflect;
+  return reflected;
+}
+
+Spsa::Spsa(std::size_t dim, std::uint64_t seed, Options options)
+    : dim_(dim), options_(options), rng_(seed) {}
+
+runtime::ParameterStrategy Spsa::strategy() {
+  return [this](const std::vector<std::vector<double>>& params,
+                const std::vector<double>& costs) {
+    return propose(params, costs);
+  };
+}
+
+std::vector<double> Spsa::propose(
+    const std::vector<std::vector<double>>& params,
+    const std::vector<double>& costs) {
+  if (!have_theta_) {
+    theta_ = params.front();
+    have_theta_ = true;
+  }
+  if (iteration_ >= options_.max_iterations) return {};
+  const double ck =
+      options_.c / std::pow(static_cast<double>(iteration_ + 1),
+                            options_.gamma);
+  if (phase_ == Phase::kPlus) {
+    delta_.resize(dim_);
+    for (double& d : delta_) d = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+    std::vector<double> plus(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) plus[i] = theta_[i] + ck * delta_[i];
+    phase_ = Phase::kMinus;
+    return plus;
+  }
+  // Minus phase, first call: the plus point was just evaluated; propose the
+  // minus point. Second call: both gradients samples are in, update theta.
+  if (pending_ == 0) {
+    pending_ = 1;
+    std::vector<double> minus(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      minus[i] = theta_[i] - ck * delta_[i];
+    }
+    return minus;
+  }
+  pending_ = 0;
+  const std::size_t n = costs.size();
+  const double f_plus = costs[n - 2];
+  const double f_minus = costs[n - 1];
+  const double ak =
+      options_.a / std::pow(static_cast<double>(iteration_ + 1) + 10.0,
+                            options_.alpha);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double gradient = (f_plus - f_minus) / (2.0 * ck * delta_[i]);
+    theta_[i] -= ak * gradient;
+  }
+  ++iteration_;
+  phase_ = Phase::kPlus;
+  if (iteration_ >= options_.max_iterations) {
+    // Final evaluation at theta so the best point enters the history.
+    return theta_;
+  }
+  return propose(params, costs);  // immediately draw the next plus point
+}
+
+runtime::ParameterStrategy grid_search(std::size_t dim, double lo, double hi,
+                                       std::size_t points_per_dim) {
+  auto counter = std::make_shared<std::size_t>(0);
+  return [dim, lo, hi, points_per_dim, counter](
+             const std::vector<std::vector<double>>&,
+             const std::vector<double>&) -> std::vector<double> {
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < dim; ++i) total *= points_per_dim;
+    const std::size_t index = (*counter)++;
+    if (index + 1 >= total) return {};
+    // Decode index+1 (index 0 was the executor's initial point).
+    std::size_t code = index + 1;
+    std::vector<double> point(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      const std::size_t step = code % points_per_dim;
+      code /= points_per_dim;
+      point[i] = points_per_dim > 1
+                     ? lo + (hi - lo) * static_cast<double>(step) /
+                               static_cast<double>(points_per_dim - 1)
+                     : lo;
+    }
+    return point;
+  };
+}
+
+}  // namespace qcenv::workload

@@ -1,0 +1,84 @@
+// Classical optimizers for hybrid variational loops: Nelder-Mead simplex
+// (derivative-free, low-dimension), SPSA (noise-tolerant stochastic
+// approximation) and grid search (baselines/tests). They drive the
+// runtime::HybridExecutor through its ParameterStrategy interface.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/executor.hpp"
+
+namespace qcenv::workload {
+
+/// Nelder-Mead over `dim` parameters. Stateful strategy: construct once per
+/// optimization run and pass .strategy() to HybridExecutor::optimize.
+class NelderMead {
+ public:
+  struct Options {
+    double initial_step = 0.5;
+    double tolerance = 1e-4;     // simplex spread stopping criterion
+    std::size_t max_evaluations = 200;
+  };
+
+  explicit NelderMead(std::size_t dim) : NelderMead(dim, Options{}) {}
+  NelderMead(std::size_t dim, Options options);
+
+  /// Strategy closure for HybridExecutor (captures this; keep alive).
+  runtime::ParameterStrategy strategy();
+
+ private:
+  std::vector<double> propose(
+      const std::vector<std::vector<double>>& params,
+      const std::vector<double>& costs);
+
+  std::size_t dim_;
+  Options options_;
+  // Simplex bookkeeping: indices into the evaluation history.
+  std::vector<std::size_t> simplex_;
+  enum class Stage { kBuildSimplex, kReflect, kExpand, kContract, kShrink };
+  Stage stage_ = Stage::kBuildSimplex;
+  std::vector<double> centroid_;
+  std::vector<double> reflected_;
+  std::size_t pending_shrink_ = 0;
+};
+
+/// SPSA: simultaneous perturbation stochastic approximation; two
+/// evaluations per step regardless of dimension, robust to shot noise.
+class Spsa {
+ public:
+  struct Options {
+    double a = 0.4;        // step size numerator
+    double c = 0.2;        // perturbation size
+    double alpha = 0.602;  // step decay exponent
+    double gamma = 0.101;  // perturbation decay exponent
+    std::size_t max_iterations = 60;
+  };
+
+  Spsa(std::size_t dim, std::uint64_t seed) : Spsa(dim, seed, Options{}) {}
+  Spsa(std::size_t dim, std::uint64_t seed, Options options);
+
+  runtime::ParameterStrategy strategy();
+
+ private:
+  std::vector<double> propose(
+      const std::vector<std::vector<double>>& params,
+      const std::vector<double>& costs);
+
+  std::size_t dim_;
+  Options options_;
+  common::Rng rng_;
+  std::vector<double> theta_;
+  std::vector<double> delta_;
+  std::size_t iteration_ = 0;
+  bool have_theta_ = false;
+  std::size_t pending_ = 0;
+  enum class Phase { kPlus, kMinus } phase_ = Phase::kPlus;
+};
+
+/// Exhaustive grid over [lo, hi]^dim with `points_per_dim` samples.
+runtime::ParameterStrategy grid_search(std::size_t dim, double lo, double hi,
+                                       std::size_t points_per_dim);
+
+}  // namespace qcenv::workload

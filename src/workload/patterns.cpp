@@ -1,0 +1,135 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace qcenv::workload {
+
+const char* to_string(Pattern pattern) noexcept {
+  switch (pattern) {
+    case Pattern::kHighQcLowCc: return "A-high-qc";
+    case Pattern::kLowQcHighCc: return "B-high-cc";
+    case Pattern::kBalanced: return "C-balanced";
+  }
+  return "?";
+}
+
+const char* scheduler_hint(Pattern pattern) noexcept {
+  switch (pattern) {
+    case Pattern::kHighQcLowCc: return "sequential QPU queue";
+    case Pattern::kLowQcHighCc: return "interleave to kill QPU idle";
+    case Pattern::kBalanced: return "fine-grained orchestration";
+  }
+  return "?";
+}
+
+double WorkloadJob::total_seconds() const {
+  double total = 0;
+  for (const auto& phase : phases) total += phase.seconds;
+  return total;
+}
+
+double WorkloadJob::quantum_seconds() const {
+  double total = 0;
+  for (const auto& phase : phases) {
+    if (phase.quantum) total += phase.seconds;
+  }
+  return total;
+}
+
+double WorkloadJob::classical_seconds() const {
+  return total_seconds() - quantum_seconds();
+}
+
+namespace {
+
+std::vector<HybridPhase> draw_phases(Pattern pattern, common::Rng& rng) {
+  std::vector<HybridPhase> phases;
+  switch (pattern) {
+    case Pattern::kHighQcLowCc:
+      // Small prep, long quantum run, small post-processing.
+      phases.push_back({false, rng.uniform(1.0, 4.0)});
+      phases.push_back({true, rng.uniform(30.0, 90.0)});
+      phases.push_back({false, rng.uniform(1.0, 6.0)});
+      break;
+    case Pattern::kLowQcHighCc:
+      // Heavy classical with one sparse quantum call in the middle
+      // (SQD-style: sample once, post-process at scale).
+      phases.push_back({false, rng.uniform(20.0, 60.0)});
+      phases.push_back({true, rng.uniform(3.0, 10.0)});
+      phases.push_back({false, rng.uniform(90.0, 240.0)});
+      break;
+    case Pattern::kBalanced: {
+      // Variational loop: alternating comparable phases.
+      const int rounds = static_cast<int>(rng.uniform_int(3, 6));
+      for (int r = 0; r < rounds; ++r) {
+        phases.push_back({false, rng.uniform(8.0, 20.0)});
+        phases.push_back({true, rng.uniform(8.0, 20.0)});
+      }
+      phases.push_back({false, rng.uniform(4.0, 10.0)});
+      break;
+    }
+  }
+  return phases;
+}
+
+int draw_cpus(Pattern pattern, common::Rng& rng) {
+  switch (pattern) {
+    case Pattern::kHighQcLowCc: return static_cast<int>(rng.uniform_int(2, 8));
+    case Pattern::kLowQcHighCc:
+      return static_cast<int>(rng.uniform_int(16, 32));
+    case Pattern::kBalanced: return static_cast<int>(rng.uniform_int(8, 16));
+  }
+  return 8;
+}
+
+}  // namespace
+
+std::vector<WorkloadJob> generate(Pattern pattern, PatternOptions options,
+                                  common::Rng& rng) {
+  std::vector<WorkloadJob> jobs;
+  jobs.reserve(options.count);
+  // Poisson arrivals: exponential gaps with mean window/count.
+  const double mean_gap =
+      options.count > 0
+          ? options.arrival_window_seconds / static_cast<double>(options.count)
+          : 0.0;
+  double at = 0;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    WorkloadJob job;
+    job.name = common::format("%s-%03zu", to_string(pattern), i);
+    job.job_class = options.job_class;
+    job.submit_at_seconds = at;
+    job.phases = draw_phases(pattern, rng);
+    job.cpus = draw_cpus(pattern, rng);
+    jobs.push_back(std::move(job));
+    at += rng.exponential_mean(mean_gap);
+  }
+  return jobs;
+}
+
+std::vector<WorkloadJob> generate_mixed_classes(
+    Pattern pattern, std::size_t production, std::size_t test,
+    std::size_t development, double arrival_window_seconds,
+    common::Rng& rng) {
+  std::vector<WorkloadJob> jobs;
+  const auto add = [&](daemon::JobClass cls, std::size_t count) {
+    PatternOptions options;
+    options.count = count;
+    options.arrival_window_seconds = arrival_window_seconds;
+    options.job_class = cls;
+    auto batch = generate(pattern, options, rng);
+    jobs.insert(jobs.end(), batch.begin(), batch.end());
+  };
+  add(daemon::JobClass::kProduction, production);
+  add(daemon::JobClass::kTest, test);
+  add(daemon::JobClass::kDevelopment, development);
+  std::sort(jobs.begin(), jobs.end(),
+            [](const WorkloadJob& a, const WorkloadJob& b) {
+              return a.submit_at_seconds < b.submit_at_seconds;
+            });
+  return jobs;
+}
+
+}  // namespace qcenv::workload

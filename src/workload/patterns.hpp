@@ -1,0 +1,56 @@
+// Table-1 workload generators: the three hybrid patterns with randomized
+// phase structures and Poisson arrivals.
+//
+//   A) High-QC / Low-CC   — dominant quantum, minor pre/post processing
+//   B) Low-QC / High-CC   — sparse quantum, heavy classical
+//   C) Balanced QC-CC     — comparable, alternating phases
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "daemon/queue_core.hpp"
+
+namespace qcenv::workload {
+
+enum class Pattern { kHighQcLowCc, kLowQcHighCc, kBalanced };
+
+const char* to_string(Pattern pattern) noexcept;
+/// Table 1's scheduler hint for the pattern.
+const char* scheduler_hint(Pattern pattern) noexcept;
+
+struct HybridPhase {
+  bool quantum = false;
+  double seconds = 0;
+};
+
+struct WorkloadJob {
+  std::string name;
+  daemon::JobClass job_class = daemon::JobClass::kProduction;
+  double submit_at_seconds = 0;
+  std::vector<HybridPhase> phases;
+  int cpus = 8;  // classical footprint while allocated
+
+  double total_seconds() const;
+  double quantum_seconds() const;
+  double classical_seconds() const;
+};
+
+struct PatternOptions {
+  std::size_t count = 20;
+  double arrival_window_seconds = 600;  // Poisson arrivals across this span
+  daemon::JobClass job_class = daemon::JobClass::kProduction;
+};
+
+/// Draws `options.count` jobs of the given pattern.
+std::vector<WorkloadJob> generate(Pattern pattern, PatternOptions options,
+                                  common::Rng& rng);
+
+/// A mixed-class stream: production/test/development in the given ratios,
+/// all of the same pattern (used by the priority benches).
+std::vector<WorkloadJob> generate_mixed_classes(
+    Pattern pattern, std::size_t production, std::size_t test,
+    std::size_t development, double arrival_window_seconds, common::Rng& rng);
+
+}  // namespace qcenv::workload

@@ -1,0 +1,64 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace qcenv::workload {
+
+void Timeline::record(const std::string& job, PhaseKind kind,
+                      double start_seconds, double end_seconds) {
+  if (end_seconds < start_seconds) std::swap(start_seconds, end_seconds);
+  intervals_.push_back(TraceInterval{job, kind, start_seconds, end_seconds});
+}
+
+double Timeline::total_seconds(PhaseKind kind) const {
+  double total = 0;
+  for (const auto& interval : intervals_) {
+    if (interval.kind == kind) {
+      total += interval.end_seconds - interval.start_seconds;
+    }
+  }
+  return total;
+}
+
+std::string Timeline::render_gantt(std::size_t width) const {
+  if (intervals_.empty() || width == 0) return "(empty timeline)\n";
+  double horizon = 0;
+  std::size_t name_width = 4;
+  // Preserve first-seen job order for stable output.
+  std::vector<std::string> order;
+  std::map<std::string, std::string> rows;
+  for (const auto& interval : intervals_) {
+    horizon = std::max(horizon, interval.end_seconds);
+    if (rows.try_emplace(interval.job, std::string(width, ' ')).second) {
+      order.push_back(interval.job);
+    }
+    name_width = std::max(name_width, interval.job.size());
+  }
+  if (horizon <= 0) horizon = 1;
+  for (const auto& interval : intervals_) {
+    auto lo = static_cast<std::size_t>(interval.start_seconds / horizon *
+                                       static_cast<double>(width));
+    auto hi = static_cast<std::size_t>(interval.end_seconds / horizon *
+                                       static_cast<double>(width));
+    lo = std::min(lo, width - 1);
+    hi = std::min(std::max(hi, lo + 1), width);
+    std::string& row = rows[interval.job];
+    for (std::size_t c = lo; c < hi; ++c) {
+      row[c] = static_cast<char>(interval.kind);
+    }
+  }
+  std::string out = common::format(
+      "time: 0 .. %.0f s   legend: .=pending C=classical w=qpu-wait "
+      "Q=qpu-run\n",
+      horizon);
+  for (const auto& job : order) {
+    out += common::format("%-*s |%s|\n", static_cast<int>(name_width),
+                          job.c_str(), rows[job].c_str());
+  }
+  return out;
+}
+
+}  // namespace qcenv::workload

@@ -1,0 +1,49 @@
+// Execution timelines: per-job phase intervals recorded by the co-sim and
+// rendered as ASCII Gantt charts — the at-a-glance view of where the QPU
+// idles and where classical nodes wait (debugging aid for scheduling
+// policies, and the visual companion to the E1/T1 tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qcenv::workload {
+
+enum class PhaseKind : char {
+  kClassical = 'C',  // running classical work on allocated nodes
+  kQuantumWait = 'w',  // queued for the QPU
+  kQuantumRun = 'Q',   // being served by the QPU
+  kPending = '.',      // waiting for a Slurm allocation
+};
+
+struct TraceInterval {
+  std::string job;
+  PhaseKind kind = PhaseKind::kClassical;
+  double start_seconds = 0;
+  double end_seconds = 0;
+};
+
+class Timeline {
+ public:
+  void record(const std::string& job, PhaseKind kind, double start_seconds,
+              double end_seconds);
+
+  const std::vector<TraceInterval>& intervals() const noexcept {
+    return intervals_;
+  }
+  std::size_t size() const noexcept { return intervals_.size(); }
+  void clear() { intervals_.clear(); }
+
+  /// Renders one row per job, `width` columns across [0, max_end]:
+  ///   jobname  CCCCwwwQQQCCC....CCC
+  /// Later intervals overwrite earlier ones in a cell; idle cells are ' '.
+  std::string render_gantt(std::size_t width = 80) const;
+
+  /// Fraction of recorded time spent per kind (aggregate over jobs).
+  double total_seconds(PhaseKind kind) const;
+
+ private:
+  std::vector<TraceInterval> intervals_;
+};
+
+}  // namespace qcenv::workload

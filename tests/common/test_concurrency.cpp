@@ -1,0 +1,126 @@
+// BlockingQueue and ThreadPool behaviour.
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/queue.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qcenv::common {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_EQ(queue.pop().value(), 3);
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenEnds) {
+  BlockingQueue<int> queue;
+  queue.push(1);
+  queue.close();
+  EXPECT_FALSE(queue.push(2));
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BlockingQueueTest, TryPopNonBlocking) {
+  BlockingQueue<int> queue;
+  EXPECT_FALSE(queue.try_pop().has_value());
+  queue.push(9);
+  EXPECT_EQ(queue.try_pop().value(), 9);
+}
+
+TEST(BlockingQueueTest, PopForTimesOut) {
+  BlockingQueue<int> queue;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.pop_for(20 * kMillisecond).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(BlockingQueueTest, CrossThreadHandoff) {
+  BlockingQueue<int> queue;
+  std::jthread producer([&] {
+    for (int i = 0; i < 100; ++i) queue.push(i);
+    queue.close();
+  });
+  int sum = 0;
+  while (auto v = queue.pop()) sum += *v;
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(0, touched.size(),
+                    [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionCorrectly) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(10, 110, [&](std::size_t lo, std::size_t hi) {
+    std::scoped_lock lock(mutex);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected = 10;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected);
+    EXPECT_GT(hi, lo);
+    expected = hi;
+  }
+  EXPECT_EQ(expected, 110u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_chunks(5, 5, [&](std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 50, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qcenv::common

@@ -1,0 +1,86 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace qcenv::common {
+namespace {
+
+TEST(Config, LoadStringParsesKeyValues) {
+  Config config;
+  ASSERT_TRUE(config
+                  .load_string("# comment\n"
+                               "QRMI_RESOURCE_ID = fresnel\n"
+                               "\n"
+                               "QRMI_TIMEOUT=30\n")
+                  .ok());
+  EXPECT_EQ(config.get_or("QRMI_RESOURCE_ID", ""), "fresnel");
+  EXPECT_EQ(config.get_int_or("QRMI_TIMEOUT", 0), 30);
+}
+
+TEST(Config, RejectsMalformedLines) {
+  Config config;
+  auto status = config.load_string("NOEQUALS\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Config, OverrideBeatsFile) {
+  Config config;
+  ASSERT_TRUE(config.load_string("KEY=file\n").ok());
+  config.set("KEY", "override");
+  EXPECT_EQ(config.get_or("KEY", ""), "override");
+}
+
+TEST(Config, EnvBeatsFile) {
+  ::setenv("QCENVTEST_LAYER", "env", 1);
+  Config config;
+  ASSERT_TRUE(config.load_string("QCENVTEST_LAYER=file\n").ok());
+  config.load_env("QCENVTEST_");
+  EXPECT_EQ(config.get_or("QCENVTEST_LAYER", ""), "env");
+  ::unsetenv("QCENVTEST_LAYER");
+}
+
+TEST(Config, RequireErrorsOnMissing) {
+  Config config;
+  auto missing = config.require("NOPE");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(Config, TypedAccessorsFallBackOnGarbage) {
+  Config config;
+  ASSERT_TRUE(config.load_string("N=abc\nX=1.5zzz\nB=maybe\n").ok());
+  EXPECT_EQ(config.get_int_or("N", 7), 7);
+  EXPECT_DOUBLE_EQ(config.get_double_or("X", 2.0), 2.0);
+  EXPECT_TRUE(config.get_bool_or("B", true));
+}
+
+TEST(Config, BoolParsing) {
+  Config config;
+  ASSERT_TRUE(
+      config.load_string("A=true\nB=0\nC=YES\nD=off\n").ok());
+  EXPECT_TRUE(config.get_bool_or("A", false));
+  EXPECT_FALSE(config.get_bool_or("B", true));
+  EXPECT_TRUE(config.get_bool_or("C", false));
+  EXPECT_FALSE(config.get_bool_or("D", true));
+}
+
+TEST(Config, WithPrefixMergesLayers) {
+  Config config;
+  ASSERT_TRUE(config.load_string("QRMI_A=1\nQRMI_B=2\nOTHER=3\n").ok());
+  config.set("QRMI_B", "override");
+  const auto qrmi = config.with_prefix("QRMI_");
+  ASSERT_EQ(qrmi.size(), 2u);
+  EXPECT_EQ(qrmi.at("QRMI_A"), "1");
+  EXPECT_EQ(qrmi.at("QRMI_B"), "override");
+}
+
+TEST(Config, MissingFileErrors) {
+  Config config;
+  EXPECT_FALSE(config.load_file("/nonexistent/qcenv.conf").ok());
+}
+
+}  // namespace
+}  // namespace qcenv::common

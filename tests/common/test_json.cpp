@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+
+namespace qcenv::common {
+namespace {
+
+TEST(Json, ScalarConstruction) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(42).is_int());
+  EXPECT_TRUE(Json(3.5).is_double());
+  EXPECT_TRUE(Json("text").is_string());
+  EXPECT_TRUE(Json(42).is_number());
+  EXPECT_TRUE(Json(3.5).is_number());
+}
+
+TEST(Json, ObjectAccess) {
+  Json obj = Json::object();
+  obj["name"] = "qpu";
+  obj["qubits"] = 100;
+  EXPECT_TRUE(obj.contains("name"));
+  EXPECT_EQ(obj.at_or_null("name").as_string(), "qpu");
+  EXPECT_EQ(obj.at_or_null("qubits").as_int(), 100);
+  EXPECT_TRUE(obj.at_or_null("missing").is_null());
+}
+
+TEST(Json, CheckedGetters) {
+  Json obj = Json::object();
+  obj["n"] = 5;
+  obj["x"] = 2.5;
+  obj["s"] = "hi";
+  obj["b"] = true;
+  EXPECT_EQ(obj.get_int("n").value(), 5);
+  EXPECT_DOUBLE_EQ(obj.get_double("x").value(), 2.5);
+  EXPECT_DOUBLE_EQ(obj.get_double("n").value(), 5.0);  // int promotes
+  EXPECT_EQ(obj.get_string("s").value(), "hi");
+  EXPECT_TRUE(obj.get_bool("b").value());
+  EXPECT_FALSE(obj.get_int("s").ok());
+  EXPECT_FALSE(obj.get_string("missing").ok());
+}
+
+TEST(Json, DumpCompact) {
+  Json obj = Json::object();
+  obj["a"] = Json::array({1, 2, 3});
+  obj["b"] = "x";
+  EXPECT_EQ(obj.dump(), R"({"a":[1,2,3],"b":"x"})");
+}
+
+TEST(Json, DumpPretty) {
+  Json obj = Json::object();
+  obj["k"] = 1;
+  EXPECT_EQ(obj.dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(Json, ParseBasics) {
+  auto v = Json::parse(R"({"a": [1, 2.5, "three", true, null], "b": {}})");
+  ASSERT_TRUE(v.ok()) << v.error().to_string();
+  const auto& arr = v.value().at_or_null("a").as_array();
+  ASSERT_EQ(arr.size(), 5u);
+  EXPECT_EQ(arr[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(arr[1].as_double(), 2.5);
+  EXPECT_EQ(arr[2].as_string(), "three");
+  EXPECT_TRUE(arr[3].as_bool());
+  EXPECT_TRUE(arr[4].is_null());
+  EXPECT_TRUE(v.value().at_or_null("b").is_object());
+}
+
+TEST(Json, ParseEscapes) {
+  auto v = Json::parse(R"({"s": "a\"b\\c\ndA"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().at_or_null("s").as_string(), "a\"b\\c\ndA");
+}
+
+TEST(Json, RoundTripPreservesStructure) {
+  Json original = Json::object();
+  original["ints"] = Json::array({-1, 0, 9007199254740993LL});
+  original["floats"] = Json::array({0.1, -2.5e-8, 1e20});
+  original["nested"] = Json::object({{"deep", Json::array({Json::object()})}});
+  original["unicode"] = "héllo wörld";
+  auto parsed = Json::parse(original.dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), original);
+}
+
+TEST(Json, DoubleRoundTripIsExact) {
+  const double values[] = {0.1, 1.0 / 3.0, 6.02214076e23, -1e-300, 5420503.0};
+  for (const double v : values) {
+    auto parsed = Json::parse(Json(v).dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed.value().as_double(), v);
+  }
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::parse("").ok());
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse(R"({"a":})").ok());
+  EXPECT_FALSE(Json::parse("tru").ok());
+  EXPECT_FALSE(Json::parse("1 2").ok());
+  EXPECT_FALSE(Json::parse(R"({"a" 1})").ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+}
+
+TEST(Json, DeepNestingRejected) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(Json::parse(deep).ok());
+}
+
+TEST(Json, LargeIntegerOverflowFallsBackToDouble) {
+  auto v = Json::parse("123456789012345678901234567890");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_double());
+}
+
+TEST(Json, ArrayHelpers) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.as_array()[1].as_string(), "two");
+}
+
+TEST(Json, ObjectKeysSortedDeterministically) {
+  Json a = Json::object();
+  a["z"] = 1;
+  a["a"] = 2;
+  Json b = Json::object();
+  b["a"] = 2;
+  b["z"] = 1;
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+}  // namespace
+}  // namespace qcenv::common

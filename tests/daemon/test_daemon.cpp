@@ -1,0 +1,403 @@
+// Sessions, admission, dispatcher and the full REST daemon over loopback.
+#include <gtest/gtest.h>
+
+#include "daemon/daemon.hpp"
+#include "net/http_client.hpp"
+#include "qpu/controller.hpp"
+#include "qrmi/direct_qpu.hpp"
+#include "qrmi/local_emulator.hpp"
+
+namespace qcenv::daemon {
+namespace {
+
+using common::Json;
+using common::kSecond;
+using common::ManualClock;
+using quantum::AtomRegister;
+using quantum::Payload;
+using quantum::Sequence;
+using quantum::Waveform;
+
+Payload small_payload(std::uint64_t shots = 40) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{Waveform::constant(200, 2.0),
+                               Waveform::constant(200, 0.0), 0.0});
+  return Payload::from_sequence(seq, shots);
+}
+
+TEST(SessionManagerTest, CreateAuthenticateClose) {
+  ManualClock clock;
+  SessionManager manager({}, &clock);
+  auto session = manager.create("alice", JobClass::kTest);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session.value().token.empty());
+  auto authed = manager.authenticate(session.value().token);
+  ASSERT_TRUE(authed.ok());
+  EXPECT_EQ(authed.value().user, "alice");
+  EXPECT_EQ(authed.value().job_class, JobClass::kTest);
+  EXPECT_TRUE(manager.close(session.value().token).ok());
+  EXPECT_FALSE(manager.authenticate(session.value().token).ok());
+}
+
+TEST(SessionManagerTest, RejectsBadTokensAndEmptyUser) {
+  ManualClock clock;
+  SessionManager manager({}, &clock);
+  EXPECT_FALSE(manager.authenticate("bogus").ok());
+  EXPECT_FALSE(manager.create("", JobClass::kTest).ok());
+  EXPECT_FALSE(manager.close("bogus").ok());
+}
+
+TEST(SessionManagerTest, PerUserLimit) {
+  ManualClock clock;
+  SessionManagerOptions options;
+  options.max_sessions_per_user = 2;
+  SessionManager manager(options, &clock);
+  ASSERT_TRUE(manager.create("bob", JobClass::kDevelopment).ok());
+  ASSERT_TRUE(manager.create("bob", JobClass::kDevelopment).ok());
+  EXPECT_FALSE(manager.create("bob", JobClass::kDevelopment).ok());
+  EXPECT_TRUE(manager.create("carol", JobClass::kDevelopment).ok());
+}
+
+TEST(SessionManagerTest, IdleExpiry) {
+  ManualClock clock;
+  SessionManagerOptions options;
+  options.idle_expiry = 10 * kSecond;
+  SessionManager manager(options, &clock);
+  auto fresh = manager.create("alice", JobClass::kTest).value();
+  auto stale = manager.create("bob", JobClass::kTest).value();
+  clock.advance(8 * kSecond);
+  ASSERT_TRUE(manager.authenticate(fresh.token).ok());  // refresh alice
+  clock.advance(5 * kSecond);
+  EXPECT_EQ(manager.expire_idle(), 1u);  // bob expired at 13s idle
+  EXPECT_TRUE(manager.authenticate(fresh.token).ok());
+  EXPECT_FALSE(manager.authenticate(stale.token).ok());
+}
+
+TEST(AdmissionTest, EnforcesClassShotQuotas) {
+  AdmissionController admission;
+  const auto spec = quantum::DeviceSpec::analog_default();
+  EXPECT_FALSE(admission
+                   .validate(small_payload(5000), JobClass::kDevelopment,
+                             spec, 0)
+                   .ok());
+  EXPECT_TRUE(admission
+                  .validate(small_payload(5000), JobClass::kProduction, spec,
+                            0)
+                  .ok());
+}
+
+TEST(AdmissionTest, EnforcesDeviceLimitsAndQueueDepth) {
+  AdmissionPolicy policy;
+  policy.max_queue_depth = 2;
+  AdmissionController admission(policy);
+  const auto spec = quantum::DeviceSpec::analog_default();
+  EXPECT_FALSE(
+      admission.validate(small_payload(), JobClass::kProduction, spec, 2)
+          .ok());
+  quantum::Circuit c(2);
+  c.h(0);
+  EXPECT_FALSE(admission
+                   .validate(Payload::from_circuit(c, 10),
+                             JobClass::kProduction, spec, 0)
+                   .ok());  // analog device rejects digital
+}
+
+TEST(DispatcherTest, RunsJobsInClassOrder) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  common::WallClock clock;
+  QueuePolicy policy;
+  policy.non_production_batch_shots = 0;
+  Dispatcher dispatcher(resource, policy, &clock, nullptr);
+  const auto dev =
+      dispatcher.submit(common::SessionId{1}, "dev", JobClass::kDevelopment,
+                        small_payload(20));
+  const auto prod =
+      dispatcher.submit(common::SessionId{2}, "prod", JobClass::kProduction,
+                        small_payload(20));
+  ASSERT_TRUE(dispatcher.wait(dev).ok());
+  ASSERT_TRUE(dispatcher.wait(prod).ok());
+  const auto dev_job = dispatcher.query(dev).value();
+  const auto prod_job = dispatcher.query(prod).value();
+  EXPECT_EQ(dev_job.state, DaemonJobState::kCompleted);
+  EXPECT_EQ(prod_job.state, DaemonJobState::kCompleted);
+  EXPECT_EQ(dev_job.shots_done, 20u);
+}
+
+TEST(DispatcherTest, BatchesMergeToFullShotCount) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  common::WallClock clock;
+  QueuePolicy policy;
+  policy.non_production_batch_shots = 7;  // 40 shots -> 6 batches
+  Dispatcher dispatcher(resource, policy, &clock, nullptr);
+  const auto id = dispatcher.submit(common::SessionId{1}, "dev",
+                                    JobClass::kDevelopment, small_payload(40));
+  auto samples = dispatcher.wait(id);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.value().total_shots(), 40u);
+}
+
+TEST(DispatcherTest, CancelPendingJob) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  common::WallClock clock;
+  Dispatcher dispatcher(resource, QueuePolicy{}, &clock, nullptr);
+  dispatcher.drain();  // hold dispatch so the job stays queued
+  const auto id = dispatcher.submit(common::SessionId{1}, "dev",
+                                    JobClass::kDevelopment, small_payload());
+  ASSERT_TRUE(dispatcher.cancel(id).ok());
+  auto result = dispatcher.wait(id);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), common::ErrorCode::kCancelled);
+  dispatcher.resume();
+}
+
+TEST(DispatcherTest, DrainPausesDispatch) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  common::WallClock clock;
+  Dispatcher dispatcher(resource, QueuePolicy{}, &clock, nullptr);
+  dispatcher.drain();
+  const auto id = dispatcher.submit(common::SessionId{1}, "dev",
+                                    JobClass::kDevelopment, small_payload());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(dispatcher.query(id).value().state, DaemonJobState::kQueued);
+  dispatcher.resume();
+  EXPECT_TRUE(dispatcher.wait(id).ok());
+}
+
+TEST(DispatcherTest, MetricsRecorded) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  common::WallClock clock;
+  telemetry::MetricsRegistry metrics;
+  Dispatcher dispatcher(resource, QueuePolicy{}, &clock, &metrics);
+  const auto id = dispatcher.submit(common::SessionId{1}, "u",
+                                    JobClass::kTest, small_payload());
+  ASSERT_TRUE(dispatcher.wait(id).ok());
+  const std::string exposition = metrics.expose();
+  EXPECT_NE(exposition.find("daemon_jobs_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("daemon_jobs_finished_total"),
+            std::string::npos);
+}
+
+// ---- Full REST daemon -------------------------------------------------------
+
+class DaemonFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    resource_ = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+    DaemonOptions options;
+    options.admin_key = "root";
+    daemon_ = std::make_unique<MiddlewareDaemon>(options, resource_, nullptr,
+                                                 &clock_);
+    auto port = daemon_->start();
+    ASSERT_TRUE(port.ok());
+    client_ = std::make_unique<net::HttpClient>(port.value());
+  }
+
+  std::string open_session(const std::string& user,
+                           const std::string& cls = "development") {
+    Json body = Json::object();
+    body["user"] = user;
+    body["class"] = cls;
+    auto response = client_->post("/v1/sessions", body.dump());
+    EXPECT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, 201);
+    auto parsed = Json::parse(response.value().body);
+    return parsed.value().get_string("token").value();
+  }
+
+  common::WallClock clock_;
+  qrmi::QrmiPtr resource_;
+  std::unique_ptr<MiddlewareDaemon> daemon_;
+  std::unique_ptr<net::HttpClient> client_;
+};
+
+TEST_F(DaemonFixture, SessionLifecycleOverRest) {
+  const std::string token = open_session("alice");
+  EXPECT_EQ(daemon_->sessions().count(), 1u);
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  auto closed = authed.del("/v1/sessions");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed.value().status, 200);
+  EXPECT_EQ(daemon_->sessions().count(), 0u);
+}
+
+TEST_F(DaemonFixture, JobSubmitPollResult) {
+  const std::string token = open_session("alice", "test");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+
+  Json body = Json::object();
+  body["payload"] = small_payload(30).to_json();
+  auto submitted = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted.value().status, 201) << submitted.value().body;
+  const auto job_id =
+      Json::parse(submitted.value().body).value().get_int("job_id").value();
+
+  // Poll until terminal.
+  std::string state;
+  for (int i = 0; i < 200; ++i) {
+    auto status = authed.get("/v1/jobs/" + std::to_string(job_id));
+    ASSERT_TRUE(status.ok());
+    state = Json::parse(status.value().body)
+                .value()
+                .get_string("state")
+                .value();
+    if (state == "completed" || state == "failed") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(state, "completed");
+
+  auto result = authed.get("/v1/jobs/" + std::to_string(job_id) + "/result");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().status, 200);
+  auto samples =
+      quantum::Samples::from_json(Json::parse(result.value().body).value());
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.value().total_shots(), 30u);
+}
+
+TEST_F(DaemonFixture, RejectsUnauthenticatedAndOversized) {
+  auto denied = client_->post("/v1/jobs", "{}");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied.value().status, 401);
+
+  const std::string token = open_session("dave", "development");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(100000).to_json();  // over dev quota
+  auto rejected = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().status, 400);
+}
+
+TEST_F(DaemonFixture, PartitionOverridesSessionClass) {
+  const std::string token = open_session("eve", "development");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(10).to_json();
+  body["partition"] = "production";  // Slurm partition mapping
+  auto submitted = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted.value().status, 201);
+  EXPECT_EQ(Json::parse(submitted.value().body)
+                .value()
+                .get_string("class")
+                .value(),
+            "production");
+}
+
+TEST_F(DaemonFixture, QueueAndMetricsEndpoints) {
+  auto queue = client_->get("/v1/queue");
+  ASSERT_TRUE(queue.ok());
+  EXPECT_EQ(queue.value().status, 200);
+  auto parsed = Json::parse(queue.value().body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().contains("depths"));
+
+  auto metrics = client_->get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().status, 200);
+  EXPECT_NE(metrics.value().body.find("daemon_http_requests_total"),
+            std::string::npos);
+}
+
+TEST_F(DaemonFixture, DeviceEndpointServesSpec) {
+  auto device = client_->get("/v1/device");
+  ASSERT_TRUE(device.ok());
+  ASSERT_EQ(device.value().status, 200);
+  auto spec =
+      quantum::DeviceSpec::from_json(Json::parse(device.value().body).value());
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().supports_digital);
+}
+
+TEST_F(DaemonFixture, AdminEndpointsRequireKey) {
+  auto denied = client_->get("/admin/status");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied.value().status, 401);
+
+  net::HttpClient admin(client_->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  auto status = admin.get("/admin/status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().status, 200);
+
+  auto drained = admin.post("/admin/drain", "{}");
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(daemon_->dispatcher().draining());
+  auto resumed = admin.post("/admin/resume", "{}");
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_FALSE(daemon_->dispatcher().draining());
+}
+
+TEST_F(DaemonFixture, AdminExpireSessions) {
+  (void)open_session("sleepy");
+  EXPECT_EQ(daemon_->sessions().count(), 1u);
+  net::HttpClient admin(client_->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  auto expired = admin.post("/admin/expire_sessions", "{}");
+  ASSERT_TRUE(expired.ok());
+  ASSERT_EQ(expired.value().status, 200);
+  // Nothing idle long enough yet.
+  EXPECT_EQ(Json::parse(expired.value().body).value().get_int("expired")
+                .value(),
+            0);
+}
+
+TEST_F(DaemonFixture, LowLevelEndpointsNeedDevice) {
+  // This daemon fronts an emulator (device == nullptr): guarded endpoints
+  // refuse rather than crash.
+  net::HttpClient admin(client_->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  auto recal = admin.post("/admin/recalibrate", "{}");
+  ASSERT_TRUE(recal.ok());
+  EXPECT_EQ(recal.value().status, 409);
+}
+
+TEST(DaemonWithDevice, AdminControlsActOnQpu) {
+  common::ManualClock clock;
+  qpu::QpuOptions qpu_options;
+  qpu_options.time_scale = 1e9;
+  qpu::QpuDevice device(qpu_options, &clock);
+  qpu::QpuController controller(&device, &clock);
+  auto resource = std::make_shared<qrmi::DirectQpuQrmi>("fresnel", &device,
+                                                        &controller);
+  DaemonOptions options;
+  options.admin_key = "root";
+  common::WallClock wall;
+  MiddlewareDaemon daemon(options, resource, &device, &wall);
+  auto port = daemon.start();
+  ASSERT_TRUE(port.ok());
+
+  net::HttpClient admin(port.value());
+  admin.set_default_header("X-Admin-Key", "root");
+
+  // Safeguarded low-level control: out-of-bounds rejected.
+  auto too_fast = admin.post("/admin/lowlevel/shot_rate",
+                             R"({"value": 99999.0})");
+  ASSERT_TRUE(too_fast.ok());
+  EXPECT_EQ(too_fast.value().status, 400);
+
+  auto ok_rate = admin.post("/admin/lowlevel/shot_rate", R"({"value": 10})");
+  ASSERT_TRUE(ok_rate.ok());
+  EXPECT_EQ(ok_rate.value().status, 200);
+  EXPECT_DOUBLE_EQ(device.shot_rate_hz(), 10.0);
+
+  auto recal = admin.post("/admin/recalibrate", "{}");
+  ASSERT_TRUE(recal.ok());
+  EXPECT_EQ(recal.value().status, 200);
+
+  auto qa = admin.post("/admin/qa", "{}");
+  ASSERT_TRUE(qa.ok());
+  ASSERT_EQ(qa.value().status, 200);
+  EXPECT_GT(Json::parse(qa.value().body).value().get_double("qa_quality")
+                .value(),
+            0.9);
+}
+
+}  // namespace
+}  // namespace qcenv::daemon

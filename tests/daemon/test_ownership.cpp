@@ -1,0 +1,90 @@
+// Per-user job isolation over the REST API: sessions cannot read or cancel
+// other users' jobs.
+#include <gtest/gtest.h>
+
+#include "daemon/daemon.hpp"
+#include "net/http_client.hpp"
+#include "qrmi/local_emulator.hpp"
+
+namespace qcenv::daemon {
+namespace {
+
+using common::Json;
+
+quantum::Payload small_payload() {
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                               quantum::Waveform::constant(200, 0.0), 0.0});
+  return quantum::Payload::from_sequence(seq, 20);
+}
+
+class OwnershipFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    resource_ = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+    daemon_ = std::make_unique<MiddlewareDaemon>(DaemonOptions{}, resource_,
+                                                 nullptr, &clock_);
+    port_ = daemon_->start().value();
+  }
+
+  net::HttpClient client_for(const std::string& user) {
+    net::HttpClient anon(port_);
+    Json body = Json::object();
+    body["user"] = user;
+    body["class"] = "test";
+    auto response = anon.post("/v1/sessions", body.dump());
+    EXPECT_EQ(response.value().status, 201);
+    const std::string token = Json::parse(response.value().body)
+                                  .value()
+                                  .get_string("token")
+                                  .value();
+    net::HttpClient client(port_);
+    client.set_default_header("X-Session-Token", token);
+    return client;
+  }
+
+  long long submit(net::HttpClient& client) {
+    Json body = Json::object();
+    body["payload"] = small_payload().to_json();
+    auto response = client.post("/v1/jobs", body.dump());
+    EXPECT_EQ(response.value().status, 201);
+    return Json::parse(response.value().body).value().get_int("job_id").value();
+  }
+
+  common::WallClock clock_;
+  qrmi::QrmiPtr resource_;
+  std::unique_ptr<MiddlewareDaemon> daemon_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(OwnershipFixture, OtherUsersJobsAreHidden) {
+  auto alice = client_for("alice");
+  auto mallory = client_for("mallory");
+  const long long job = submit(alice);
+  const std::string path = "/v1/jobs/" + std::to_string(job);
+
+  // Mallory cannot query, fetch results for, or cancel Alice's job.
+  EXPECT_EQ(mallory.get(path).value().status, 401);
+  EXPECT_EQ(mallory.get(path + "/result").value().status, 401);
+  EXPECT_EQ(mallory.del(path).value().status, 401);
+  // Alice can.
+  EXPECT_EQ(alice.get(path).value().status, 200);
+}
+
+TEST_F(OwnershipFixture, JobListingIsScopedToUser) {
+  auto alice = client_for("alice");
+  auto bob = client_for("bob");
+  submit(alice);
+  submit(alice);
+  submit(bob);
+  auto alice_jobs = Json::parse(alice.get("/v1/jobs").value().body).value();
+  auto bob_jobs = Json::parse(bob.get("/v1/jobs").value().body).value();
+  EXPECT_EQ(alice_jobs.size(), 2u);
+  EXPECT_EQ(bob_jobs.size(), 1u);
+  for (const auto& job : alice_jobs.as_array()) {
+    EXPECT_EQ(job.at_or_null("user").as_string(), "alice");
+  }
+}
+
+}  // namespace
+}  // namespace qcenv::daemon

@@ -1,0 +1,226 @@
+// PriorityQueueCore: the deterministic second-level scheduling policy.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "daemon/queue_core.hpp"
+
+namespace qcenv::daemon {
+namespace {
+
+using common::kSecond;
+
+QueuePolicy batched_policy(std::uint64_t batch = 100) {
+  QueuePolicy policy;
+  policy.class_priority = true;
+  policy.non_production_batch_shots = batch;
+  policy.age_to_boost = 0;
+  return policy;
+}
+
+TEST(QueueCore, FifoWithinClass) {
+  PriorityQueueCore core(batched_policy(0));
+  core.enqueue(1, JobClass::kProduction, 10, 0);
+  core.enqueue(2, JobClass::kProduction, 10, 1);
+  core.enqueue(3, JobClass::kProduction, 10, 2);
+  EXPECT_EQ(core.next_batch(3)->job_id, 1u);
+  EXPECT_EQ(core.next_batch(3)->job_id, 2u);
+  EXPECT_EQ(core.next_batch(3)->job_id, 3u);
+}
+
+TEST(QueueCore, ClassPriorityOrdersAcrossClasses) {
+  PriorityQueueCore core(batched_policy(0));
+  core.enqueue(1, JobClass::kDevelopment, 10, 0);
+  core.enqueue(2, JobClass::kTest, 10, 1);
+  core.enqueue(3, JobClass::kProduction, 10, 2);
+  EXPECT_EQ(core.next_batch(3)->job_id, 3u);  // production first
+  EXPECT_EQ(core.next_batch(3)->job_id, 2u);  // then test
+  EXPECT_EQ(core.next_batch(3)->job_id, 1u);  // then development
+}
+
+TEST(QueueCore, FifoBaselineIgnoresClasses) {
+  QueuePolicy policy = batched_policy(0);
+  policy.class_priority = false;
+  PriorityQueueCore core(policy);
+  core.enqueue(1, JobClass::kDevelopment, 10, 0);
+  core.enqueue(2, JobClass::kProduction, 10, 1);
+  EXPECT_EQ(core.next_batch(2)->job_id, 1u);  // strict arrival order
+}
+
+TEST(QueueCore, ProductionJobsDispatchWholeShots) {
+  PriorityQueueCore core(batched_policy(50));
+  core.enqueue(1, JobClass::kProduction, 1000, 0);
+  const auto batch = core.next_batch(0);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->shots, 1000u);
+  EXPECT_TRUE(batch->final_batch);
+}
+
+TEST(QueueCore, NonProductionJobsAreChopped) {
+  PriorityQueueCore core(batched_policy(50));
+  core.enqueue(1, JobClass::kDevelopment, 120, 0);
+  auto batch1 = core.next_batch(0);
+  ASSERT_TRUE(batch1.has_value());
+  EXPECT_EQ(batch1->shots, 50u);
+  EXPECT_FALSE(batch1->final_batch);
+  core.batch_done(*batch1);
+  auto batch2 = core.next_batch(1);
+  EXPECT_EQ(batch2->shots, 50u);
+  core.batch_done(*batch2);
+  auto batch3 = core.next_batch(2);
+  EXPECT_EQ(batch3->shots, 20u);
+  EXPECT_TRUE(batch3->final_batch);
+  core.batch_done(*batch3);
+  EXPECT_EQ(core.depth(), 0u);
+}
+
+TEST(QueueCore, ProductionArrivalWaitsAtMostOneBatch) {
+  // The paper's key property: a production job arriving mid-development-job
+  // preempts at the batch boundary, not at job completion.
+  PriorityQueueCore core(batched_policy(10));
+  core.enqueue(1, JobClass::kDevelopment, 100, 0);
+  auto dev_batch = core.next_batch(0);
+  ASSERT_EQ(dev_batch->shots, 10u);
+  // Production arrives while the dev batch is in flight.
+  core.enqueue(2, JobClass::kProduction, 500, 1);
+  core.batch_done(*dev_batch);
+  // Next dispatch must be the production job, not the dev remainder.
+  auto next = core.next_batch(2);
+  EXPECT_EQ(next->job_id, 2u);
+  EXPECT_EQ(next->shots, 500u);
+  core.batch_done(*next);
+  // Dev job resumes afterwards.
+  EXPECT_EQ(core.next_batch(3)->job_id, 1u);
+}
+
+TEST(QueueCore, RemainderKeepsPositionWithinClass) {
+  PriorityQueueCore core(batched_policy(10));
+  core.enqueue(1, JobClass::kDevelopment, 30, 0);
+  core.enqueue(2, JobClass::kDevelopment, 30, 1);
+  auto batch = core.next_batch(2);
+  EXPECT_EQ(batch->job_id, 1u);
+  core.batch_done(*batch);
+  // Job 1's remainder still precedes job 2 (contiguous batches).
+  EXPECT_EQ(core.next_batch(3)->job_id, 1u);
+}
+
+TEST(QueueCore, AgingPromotesStarvedJobs) {
+  QueuePolicy policy = batched_policy(0);
+  policy.age_to_boost = 60 * kSecond;
+  PriorityQueueCore core(policy);
+  core.enqueue(1, JobClass::kDevelopment, 10, 0);
+  core.enqueue(2, JobClass::kProduction, 10, 100 * kSecond);
+  // At t=130s the dev job has waited 130s > 2 boosts worth: rank 2-2=0,
+  // equal to production; FIFO seq then favours the dev job.
+  EXPECT_EQ(core.next_batch(130 * kSecond)->job_id, 1u);
+}
+
+TEST(QueueCore, RemoveCancelsPending) {
+  PriorityQueueCore core(batched_policy(0));
+  core.enqueue(1, JobClass::kTest, 10, 0);
+  EXPECT_TRUE(core.pending(1));
+  EXPECT_TRUE(core.remove(1));
+  EXPECT_FALSE(core.remove(1));
+  EXPECT_FALSE(core.next_batch(1).has_value());
+}
+
+TEST(QueueCore, DepthAccounting) {
+  PriorityQueueCore core(batched_policy(10));
+  core.enqueue(1, JobClass::kProduction, 10, 0);
+  core.enqueue(2, JobClass::kDevelopment, 10, 0);
+  core.enqueue(3, JobClass::kDevelopment, 10, 0);
+  EXPECT_EQ(core.depth(), 3u);
+  EXPECT_EQ(core.depth_of(JobClass::kDevelopment), 2u);
+  EXPECT_EQ(core.depth_of(JobClass::kProduction), 1u);
+  EXPECT_EQ(core.depth_of(JobClass::kTest), 0u);
+  const auto order = core.snapshot(0);
+  EXPECT_EQ(order.front(), 1u);
+}
+
+TEST(QueueCore, EmptyQueueReturnsNothing) {
+  PriorityQueueCore core(batched_policy());
+  EXPECT_FALSE(core.next_batch(0).has_value());
+}
+
+
+TEST(QueueCore, ShortestFirstWithinClass) {
+  // Pattern-aware ordering (the paper's §3.5 "expected time running on
+  // the QC hardware" hint): within a class, less remaining work first.
+  QueuePolicy policy = batched_policy(0);
+  policy.shortest_first_within_class = true;
+  PriorityQueueCore core(policy);
+  core.enqueue(1, JobClass::kTest, 500, 0);
+  core.enqueue(2, JobClass::kTest, 50, 1);
+  core.enqueue(3, JobClass::kProduction, 900, 2);
+  core.enqueue(4, JobClass::kTest, 200, 3);
+  // Production still first (class priority beats SJF) ...
+  EXPECT_EQ(core.next_batch(4)->job_id, 3u);
+  // ... then tests by ascending remaining shots.
+  EXPECT_EQ(core.next_batch(4)->job_id, 2u);
+  EXPECT_EQ(core.next_batch(4)->job_id, 4u);
+  EXPECT_EQ(core.next_batch(4)->job_id, 1u);
+}
+
+TEST(QueueCore, RandomizedShotConservation) {
+  // Property: across any interleaving of enqueue/next_batch/batch_done,
+  // dispatched shots per job sum exactly to the enqueued total.
+  common::Rng rng(77);
+  PriorityQueueCore core(batched_policy(17));
+  std::map<std::uint64_t, std::uint64_t> requested, dispatched;
+  std::vector<Batch> in_flight;
+  std::uint64_t next_id = 1;
+  for (int step = 0; step < 3000; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.3) {
+      const auto shots =
+          static_cast<std::uint64_t>(rng.uniform_int(1, 300));
+      const auto cls = static_cast<JobClass>(rng.uniform_int(0, 2));
+      requested[next_id] = shots;
+      core.enqueue(next_id, cls, shots, step);
+      ++next_id;
+    } else if (roll < 0.7) {
+      auto batch = core.next_batch(step);
+      if (batch.has_value()) in_flight.push_back(*batch);
+    } else if (!in_flight.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(in_flight.size()) - 1));
+      const Batch batch = in_flight[pick];
+      in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
+      dispatched[batch.job_id] += batch.shots;
+      core.batch_done(batch);
+    }
+  }
+  // Drain everything still queued or in flight.
+  while (true) {
+    auto batch = core.next_batch(100000);
+    if (!batch.has_value()) break;
+    dispatched[batch->job_id] += batch->shots;
+    core.batch_done(*batch);
+  }
+  for (const Batch& batch : in_flight) {
+    dispatched[batch.job_id] += batch.shots;
+    core.batch_done(batch);
+  }
+  while (true) {
+    auto batch = core.next_batch(200000);
+    if (!batch.has_value()) break;
+    dispatched[batch->job_id] += batch->shots;
+    core.batch_done(*batch);
+  }
+  EXPECT_EQ(core.depth(), 0u);
+  for (const auto& [job, shots] : requested) {
+    EXPECT_EQ(dispatched[job], shots) << "job " << job;
+  }
+}
+
+TEST(QueueCore, ClassNames) {
+  EXPECT_STREQ(to_string(JobClass::kProduction), "production");
+  EXPECT_STREQ(to_string(JobClass::kTest), "test");
+  EXPECT_STREQ(to_string(JobClass::kDevelopment), "development");
+  EXPECT_LT(class_rank(JobClass::kProduction),
+            class_rank(JobClass::kDevelopment));
+}
+
+}  // namespace
+}  // namespace qcenv::daemon

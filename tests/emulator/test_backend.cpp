@@ -1,0 +1,192 @@
+// Backend interface: payload round-trips, determinism, noise and the
+// factory.
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "emulator/backend.hpp"
+
+namespace qcenv::emulator {
+namespace {
+
+using quantum::AtomRegister;
+using quantum::CalibrationSnapshot;
+using quantum::Circuit;
+using quantum::Payload;
+using quantum::Samples;
+using quantum::Sequence;
+using quantum::Waveform;
+
+constexpr double kPi = std::numbers::pi;
+
+Payload pi_pulse_payload(std::size_t atoms, std::uint64_t shots) {
+  AtomRegister reg = AtomRegister::linear_chain(atoms, 30.0);
+  Sequence seq(reg);
+  const double omega = 2.0 * kPi;
+  const auto dur = static_cast<quantum::DurationNsQ>(500);  // pi pulse
+  seq.add_pulse(quantum::Pulse{Waveform::constant(dur, omega),
+                               Waveform::constant(dur, 0.0), 0.0});
+  return Payload::from_sequence(seq, shots);
+}
+
+Payload bell_payload(std::uint64_t shots) {
+  Circuit circuit(2);
+  circuit.h(0).cx(0, 1);
+  return Payload::from_circuit(circuit, shots);
+}
+
+TEST(StateVectorBackendTest, RunsAnalogPayload) {
+  StateVectorBackend backend;
+  auto samples = backend.run(pi_pulse_payload(2, 500));
+  ASSERT_TRUE(samples.ok()) << samples.error().to_string();
+  EXPECT_EQ(samples.value().total_shots(), 500u);
+  // Ideal pi pulse: everything in |11>.
+  EXPECT_GT(samples.value().probability("11"), 0.98);
+}
+
+TEST(StateVectorBackendTest, RunsDigitalPayload) {
+  StateVectorBackend backend;
+  auto samples = backend.run(bell_payload(2000));
+  ASSERT_TRUE(samples.ok());
+  EXPECT_NEAR(samples.value().probability("00"), 0.5, 0.05);
+  EXPECT_NEAR(samples.value().probability("11"), 0.5, 0.05);
+}
+
+TEST(StateVectorBackendTest, DeterministicUnderSeed) {
+  StateVectorBackend backend;
+  RunOptions options;
+  options.seed = 77;
+  auto a = backend.run(bell_payload(100), options);
+  auto b = backend.run(bell_payload(100), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().counts(), b.value().counts());
+  options.seed = 78;
+  auto c = backend.run(bell_payload(100), options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value().counts(), c.value().counts());
+}
+
+TEST(StateVectorBackendTest, RejectsOversizedPayload) {
+  StateVectorBackend backend(4);
+  auto samples = backend.run(pi_pulse_payload(5, 10));
+  ASSERT_FALSE(samples.ok());
+  EXPECT_EQ(samples.error().code(), common::ErrorCode::kResourceExhausted);
+}
+
+TEST(StateVectorBackendTest, ReadoutErrorsCorruptIdealOutcome) {
+  StateVectorBackend backend;
+  CalibrationSnapshot cal;
+  cal.readout_p10 = 0.25;  // strong 1 -> 0 flips
+  cal.dephasing_rate = 0.0;
+  cal.fill_success = 1.0;
+  RunOptions options;
+  options.calibration = &cal;
+  auto samples = backend.run(pi_pulse_payload(2, 4000), options);
+  ASSERT_TRUE(samples.ok());
+  // P(read 11) ~ (1 - 0.25)^2 ~ 0.56.
+  EXPECT_NEAR(samples.value().probability("11"), 0.5625, 0.05);
+}
+
+TEST(StateVectorBackendTest, CalibrationMetadataAttached) {
+  StateVectorBackend backend;
+  CalibrationSnapshot cal;
+  cal.rabi_scale = 0.97;
+  RunOptions options;
+  options.calibration = &cal;
+  auto samples = backend.run(pi_pulse_payload(1, 50), options);
+  ASSERT_TRUE(samples.ok());
+  const auto& meta = samples.value().metadata();
+  EXPECT_EQ(meta.at_or_null("backend").as_string(), "emu-sv");
+  EXPECT_TRUE(meta.contains("calibration"));
+  EXPECT_NEAR(
+      meta.at_or_null("calibration").at_or_null("rabi_scale").as_double(),
+      0.97, 1e-12);
+}
+
+TEST(StateVectorBackendTest, StochasticNoiseUsesTrajectories) {
+  StateVectorBackend backend;
+  CalibrationSnapshot cal;
+  cal.dephasing_rate = 0.05;
+  RunOptions options;
+  options.calibration = &cal;
+  options.trajectories = 4;
+  auto samples = backend.run(pi_pulse_payload(1, 100), options);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.value().metadata().at_or_null("trajectories").as_int(), 4);
+  EXPECT_EQ(samples.value().total_shots(), 100u);
+}
+
+TEST(MpsBackendTest, AgreesWithStateVectorOnAnalogPayload) {
+  StateVectorBackend sv;
+  MpsOptions mps_options;
+  mps_options.max_bond = 8;
+  MpsBackend mps(mps_options);
+  RunOptions options;
+  options.seed = 5;
+  const Payload payload = pi_pulse_payload(3, 3000);
+  auto a = sv.run(payload, options);
+  auto b = mps.run(payload, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(Samples::total_variation_distance(a.value(), b.value()), 0.05);
+}
+
+TEST(MpsBackendTest, DigitalCircuitWithRouting) {
+  MpsBackend backend;
+  Circuit circuit(4);
+  circuit.h(0).cx(0, 3);  // requires swap routing
+  auto samples = backend.run(Payload::from_circuit(circuit, 2000));
+  ASSERT_TRUE(samples.ok());
+  EXPECT_NEAR(samples.value().probability("0000"), 0.5, 0.05);
+  EXPECT_NEAR(samples.value().probability("1001"), 0.5, 0.05);
+}
+
+TEST(MpsBackendTest, MetadataReportsBondDimension) {
+  MpsOptions mps_options;
+  mps_options.max_bond = 2;
+  MpsBackend backend(mps_options);
+  Circuit circuit(5);
+  for (std::size_t q = 0; q < 5; ++q) circuit.ry(q, 0.7);
+  for (std::size_t q = 0; q + 1 < 5; ++q) circuit.cz(q, q + 1);
+  auto samples = backend.run(Payload::from_circuit(circuit, 10));
+  ASSERT_TRUE(samples.ok());
+  EXPECT_LE(samples.value().metadata().at_or_null("max_bond_dim").as_int(), 2);
+  EXPECT_EQ(backend.name(), "emu-mps-chi2");
+}
+
+TEST(BackendFactory, MakesKnownKinds) {
+  EXPECT_TRUE(make_emulator_backend("sv").ok());
+  EXPECT_TRUE(make_emulator_backend("statevector").ok());
+  EXPECT_TRUE(make_emulator_backend("mps").ok());
+  auto mock = make_emulator_backend("mps-mock");
+  ASSERT_TRUE(mock.ok());
+  EXPECT_EQ(mock.value()->name(), "emu-mps-chi1");
+  auto chi32 = make_emulator_backend("mps:32");
+  ASSERT_TRUE(chi32.ok());
+  EXPECT_EQ(chi32.value()->name(), "emu-mps-chi32");
+}
+
+TEST(BackendFactory, RejectsUnknownAndMalformed) {
+  EXPECT_FALSE(make_emulator_backend("gpu").ok());
+  EXPECT_FALSE(make_emulator_backend("mps:zero").ok());
+  EXPECT_FALSE(make_emulator_backend("mps:0").ok());
+}
+
+TEST(MockBackend, RunsVeryWideRegister) {
+  // The chi=1 mock accepts registers far beyond dense reach; the paper uses
+  // this to mock the QPU in end-to-end tests.
+  auto mock = make_emulator_backend("mps-mock");
+  ASSERT_TRUE(mock.ok());
+  AtomRegister reg = AtomRegister::linear_chain(200, 6.0);
+  Sequence seq(reg);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(100, 2.0),
+                               Waveform::constant(100, 0.0), 0.0});
+  RunOptions options;
+  options.sample_dt_ns = 20;
+  options.max_substep_ns = 20;
+  auto samples = mock.value()->run(Payload::from_sequence(seq, 25), options);
+  ASSERT_TRUE(samples.ok()) << samples.error().to_string();
+  EXPECT_EQ(samples.value().num_qubits(), 200u);
+}
+
+}  // namespace
+}  // namespace qcenv::emulator

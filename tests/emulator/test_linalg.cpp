@@ -1,0 +1,177 @@
+// Dense linear algebra: matmul/kron identities and SVD reconstruction,
+// including randomized property sweeps.
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "emulator/linalg.hpp"
+
+namespace qcenv::emulator {
+namespace {
+
+CMatrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist;
+  CMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = Complex(dist(rng), dist(rng));
+    }
+  }
+  return m;
+}
+
+CMatrix reconstruct(const SvdResult& svd_result) {
+  const std::size_t k = svd_result.s.size();
+  CMatrix us(svd_result.u.rows(), k);
+  for (std::size_t r = 0; r < us.rows(); ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      us.at(r, c) = svd_result.u.at(r, c) * svd_result.s[c];
+    }
+  }
+  return matmul(us, svd_result.vh);
+}
+
+TEST(Linalg, MatmulIdentity) {
+  const CMatrix a = random_matrix(4, 4, 1);
+  const CMatrix i = CMatrix::identity(4);
+  EXPECT_LT(max_abs_diff(matmul(a, i), a), 1e-14);
+  EXPECT_LT(max_abs_diff(matmul(i, a), a), 1e-14);
+}
+
+TEST(Linalg, MatmulAssociativity) {
+  const CMatrix a = random_matrix(3, 4, 2);
+  const CMatrix b = random_matrix(4, 5, 3);
+  const CMatrix c = random_matrix(5, 2, 4);
+  EXPECT_LT(max_abs_diff(matmul(matmul(a, b), c), matmul(a, matmul(b, c))),
+            1e-12);
+}
+
+TEST(Linalg, AdjointInvolution) {
+  const CMatrix a = random_matrix(3, 5, 5);
+  EXPECT_LT(max_abs_diff(a.adjoint().adjoint(), a), 1e-15);
+}
+
+TEST(Linalg, KronDimensions) {
+  const CMatrix a = random_matrix(2, 3, 6);
+  const CMatrix b = random_matrix(4, 5, 7);
+  const CMatrix k = kron(a, b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_EQ(k.cols(), 15u);
+  // Spot-check an element: K[(ar*bR+br),(ac*bC+bc)] = A[ar,ac]*B[br,bc].
+  EXPECT_NEAR(std::abs(k.at(5, 7) - a.at(1, 1) * b.at(1, 2)), 0.0, 1e-15);
+}
+
+TEST(Linalg, GateMatricesAreUnitary) {
+  const CMatrix gates2[] = {gate_x(),  gate_y(),   gate_z(),  gate_h(),
+                            gate_s(),  gate_sdg(), gate_t(),  gate_tdg(),
+                            gate_rx(0.7), gate_ry(-1.2), gate_rz(2.9),
+                            gate_phase(0.4)};
+  for (const auto& g : gates2) {
+    EXPECT_LT(max_abs_diff(matmul(g.adjoint(), g), CMatrix::identity(2)),
+              1e-14);
+  }
+  const CMatrix gates4[] = {gate_cz(), gate_cx(), gate_swap()};
+  for (const auto& g : gates4) {
+    EXPECT_LT(max_abs_diff(matmul(g.adjoint(), g), CMatrix::identity(4)),
+              1e-14);
+  }
+}
+
+TEST(Linalg, HadamardSquaresToIdentity) {
+  EXPECT_LT(max_abs_diff(matmul(gate_h(), gate_h()), CMatrix::identity(2)),
+            1e-14);
+}
+
+TEST(Linalg, RzComposition) {
+  const CMatrix a = gate_rz(0.3);
+  const CMatrix b = gate_rz(0.9);
+  EXPECT_LT(max_abs_diff(matmul(a, b), gate_rz(1.2)), 1e-14);
+}
+
+struct SvdCase {
+  std::size_t rows;
+  std::size_t cols;
+  unsigned seed;
+};
+
+class SvdProperty : public ::testing::TestWithParam<SvdCase> {};
+
+TEST_P(SvdProperty, ReconstructsAndIsOrthonormal) {
+  const auto& param = GetParam();
+  const CMatrix a = random_matrix(param.rows, param.cols, param.seed);
+  const SvdResult result = svd(a);
+  const std::size_t k = std::min(param.rows, param.cols);
+  ASSERT_EQ(result.s.size(), k);
+  // Non-increasing, non-negative singular values.
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    EXPECT_GE(result.s[i], result.s[i + 1] - 1e-12);
+  }
+  for (const double s : result.s) EXPECT_GE(s, 0.0);
+  // A == U S Vh.
+  EXPECT_LT(max_abs_diff(reconstruct(result), a), 1e-10);
+  // U^h U == I and Vh Vh^h == I.
+  EXPECT_LT(max_abs_diff(matmul(result.u.adjoint(), result.u),
+                         CMatrix::identity(k)),
+            1e-10);
+  EXPECT_LT(max_abs_diff(matmul(result.vh, result.vh.adjoint()),
+                         CMatrix::identity(k)),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdProperty,
+    ::testing::Values(SvdCase{2, 2, 11}, SvdCase{4, 4, 12}, SvdCase{8, 8, 13},
+                      SvdCase{16, 16, 14}, SvdCase{6, 3, 15},
+                      SvdCase{3, 6, 16}, SvdCase{32, 8, 17},
+                      SvdCase{8, 32, 18}, SvdCase{1, 5, 19},
+                      SvdCase{5, 1, 20}));
+
+TEST(Svd, RankDeficientMatrix) {
+  // Outer product => rank 1.
+  CMatrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      a.at(r, c) = Complex(static_cast<double>(r + 1), 0) *
+                   Complex(static_cast<double>(c + 1), 0);
+    }
+  }
+  const SvdResult result = svd(a);
+  EXPECT_GT(result.s[0], 1.0);
+  for (std::size_t i = 1; i < result.s.size(); ++i) {
+    EXPECT_LT(result.s[i], 1e-10);
+  }
+  EXPECT_LT(max_abs_diff(reconstruct(result), a), 1e-10);
+}
+
+TEST(Svd, TruncationKeepsLeadingValuesAndReportsWeight) {
+  const CMatrix a = random_matrix(8, 8, 42);
+  SvdResult result = svd(a);
+  const auto full = result.s;
+  double expected_discard = 0;
+  double total = 0;
+  for (const double s : full) total += s * s;
+  for (std::size_t i = 4; i < full.size(); ++i) {
+    expected_discard += full[i] * full[i];
+  }
+  const double weight = truncate_svd(result, 4, 0.0);
+  ASSERT_EQ(result.s.size(), 4u);
+  EXPECT_EQ(result.u.cols(), 4u);
+  EXPECT_EQ(result.vh.rows(), 4u);
+  EXPECT_NEAR(weight, expected_discard / total, 1e-12);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(result.s[i], full[i]);
+}
+
+TEST(Svd, CutoffDropsTinyValues) {
+  CMatrix a(3, 3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 1e-3;
+  a.at(2, 2) = 1e-14;
+  SvdResult result = svd(a);
+  truncate_svd(result, 10, 1e-10);
+  EXPECT_EQ(result.s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qcenv::emulator

@@ -1,0 +1,221 @@
+// MPS emulator: validated against the dense state vector on small systems,
+// plus bond-dimension and mock-mode behaviour.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "emulator/mps.hpp"
+#include "emulator/statevector.hpp"
+
+namespace qcenv::emulator {
+namespace {
+
+using quantum::AtomRegister;
+using quantum::Sequence;
+using quantum::Waveform;
+
+constexpr double kPi = std::numbers::pi;
+
+MpsOptions chi(std::size_t bond) {
+  MpsOptions options;
+  options.max_bond = bond;
+  return options;
+}
+
+TEST(Mps, InitialStateIsGround) {
+  Mps psi(4);
+  for (std::size_t q = 0; q < 4; ++q) {
+    EXPECT_DOUBLE_EQ(psi.z_expectation(q), 1.0);
+  }
+  EXPECT_EQ(psi.max_bond_dim(), 1u);
+}
+
+TEST(Mps, SingleQubitGatesMatchStateVector) {
+  Mps mps(3);
+  StateVector sv(3);
+  mps.apply_1q(gate_h(), 0);
+  sv.apply_1q(gate_h(), 0);
+  mps.apply_1q(gate_rx(0.8), 1);
+  sv.apply_1q(gate_rx(0.8), 1);
+  mps.apply_1q(gate_t(), 2);
+  sv.apply_1q(gate_t(), 2);
+  EXPECT_NEAR(mps.to_statevector().fidelity(sv), 1.0, 1e-12);
+}
+
+TEST(Mps, BellStateViaAdjacentCx) {
+  Mps psi(2);
+  psi.apply_1q(gate_h(), 0);
+  psi.apply_2q_adjacent(gate_cx(), 0, chi(4));
+  EXPECT_EQ(psi.bond_dim(0), 2u);
+  EXPECT_NEAR(psi.entanglement_entropy(0), std::log(2.0), 1e-10);
+  StateVector sv(2);
+  sv.apply_1q(gate_h(), 0);
+  sv.apply_2q(gate_cx(), 0, 1);
+  EXPECT_NEAR(psi.to_statevector().fidelity(sv), 1.0, 1e-12);
+}
+
+TEST(Mps, NonAdjacentGateSwapRouting) {
+  Mps psi(4);
+  psi.apply_1q(gate_h(), 0);
+  psi.apply_2q(gate_cx(), 0, 3, chi(8));
+  StateVector sv(4);
+  sv.apply_1q(gate_h(), 0);
+  sv.apply_2q(gate_cx(), 0, 3);
+  EXPECT_NEAR(psi.to_statevector().fidelity(sv), 1.0, 1e-10);
+}
+
+TEST(Mps, ReversedOperandOrder) {
+  // CX with control above target index.
+  Mps psi(3);
+  psi.apply_1q(gate_x(), 2);
+  psi.apply_2q(gate_cx(), 2, 0, chi(8));  // control 2, target 0
+  StateVector sv(3);
+  sv.apply_1q(gate_x(), 2);
+  sv.apply_2q(gate_cx(), 2, 0);
+  EXPECT_NEAR(psi.to_statevector().fidelity(sv), 1.0, 1e-10);
+}
+
+TEST(Mps, RandomCircuitMatchesStateVectorExactly) {
+  // chi = 2^(n/2) is enough for exact representation of n = 6.
+  common::Rng rng(99);
+  Mps mps(6);
+  StateVector sv(6);
+  for (int layer = 0; layer < 4; ++layer) {
+    for (std::size_t q = 0; q < 6; ++q) {
+      const double angle = rng.uniform(-kPi, kPi);
+      mps.apply_1q(gate_ry(angle), q);
+      sv.apply_1q(gate_ry(angle), q);
+    }
+    for (std::size_t q = layer % 2; q + 1 < 6; q += 2) {
+      mps.apply_2q_adjacent(gate_cz(), q, chi(8));
+      sv.apply_2q(gate_cz(), q, q + 1);
+    }
+  }
+  EXPECT_NEAR(mps.to_statevector().fidelity(sv), 1.0, 1e-9);
+  EXPECT_LT(mps.truncation_weight(), 1e-12);
+}
+
+TEST(Mps, TruncationDegradesFidelityGracefully) {
+  // The same circuit with chi = 2 must lose fidelity but stay normalized.
+  common::Rng rng(99);
+  Mps truncated(6);
+  StateVector sv(6);
+  for (int layer = 0; layer < 4; ++layer) {
+    for (std::size_t q = 0; q < 6; ++q) {
+      const double angle = rng.uniform(-kPi, kPi);
+      truncated.apply_1q(gate_ry(angle), q);
+      sv.apply_1q(gate_ry(angle), q);
+    }
+    for (std::size_t q = layer % 2; q + 1 < 6; q += 2) {
+      truncated.apply_2q_adjacent(gate_cz(), q, chi(2));
+      sv.apply_2q(gate_cz(), q, q + 1);
+    }
+  }
+  const double f = truncated.to_statevector().fidelity(sv);
+  EXPECT_LT(f, 1.0);
+  EXPECT_GT(f, 0.3);  // graceful, not catastrophic
+  EXPECT_GT(truncated.truncation_weight(), 0.0);
+  // State stays normalized after truncation (up to accumulated roundoff
+  // from the guarded lambda inversions).
+  EXPECT_NEAR(truncated.to_statevector().norm(), 1.0, 1e-6);
+}
+
+TEST(Mps, SamplingMatchesDistribution) {
+  Mps psi(2);
+  psi.apply_1q(gate_h(), 0);
+  psi.apply_2q_adjacent(gate_cx(), 0, chi(4));
+  common::Rng rng(5);
+  const auto samples = psi.sample(20000, rng);
+  EXPECT_NEAR(samples.probability("00"), 0.5, 0.02);
+  EXPECT_NEAR(samples.probability("11"), 0.5, 0.02);
+  EXPECT_NEAR(samples.probability("01") + samples.probability("10"), 0.0,
+              1e-12);
+}
+
+TEST(Mps, ProductStateMockNeverEntangles) {
+  // chi = 1: the paper's end-to-end mock mode. Entangling gates execute but
+  // the state remains a product state.
+  Mps psi(8);
+  for (std::size_t q = 0; q < 8; ++q) psi.apply_1q(gate_h(), q);
+  for (std::size_t q = 0; q + 1 < 8; ++q) {
+    psi.apply_2q_adjacent(gate_cz(), q, chi(1));
+  }
+  EXPECT_EQ(psi.max_bond_dim(), 1u);
+  for (std::size_t b = 0; b + 1 < 8; ++b) {
+    EXPECT_NEAR(psi.entanglement_entropy(b), 0.0, 1e-12);
+  }
+  common::Rng rng(11);
+  EXPECT_EQ(psi.sample_bits(rng).size(), 8u);
+}
+
+// ---- TEBD analog evolution vs dense integration --------------------------
+
+TEST(MpsEvolve, MatchesStateVectorOnChain) {
+  // 6-atom chain, adiabatic-ish ramp; chain interactions dominate so the
+  // range-2 TEBD should track the dense solution closely.
+  AtomRegister reg = AtomRegister::linear_chain(6, 6.0);
+  Sequence seq(reg);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(300, 2.0 * kPi),
+                               Waveform::ramp(300, -4.0, 8.0), 0.0});
+  const auto grid = seq.sample(4);
+
+  StateVector sv(6);
+  AnalogEvolveOptions sv_options;
+  sv_options.max_substep_ns = 1;
+  evolve_analog(sv, reg, grid, 5420503.0, sv_options);
+
+  Mps mps(6);
+  MpsEvolveOptions mps_options;
+  mps_options.max_substep_ns = 1;
+  mps_options.mps = chi(32);
+  mps_options.interaction_range = 3;
+  evolve_analog_mps(mps, reg, grid, 5420503.0, mps_options);
+
+  EXPECT_GT(mps.to_statevector().fidelity(sv), 0.995);
+}
+
+TEST(MpsEvolve, SingleQubitRabiExact) {
+  AtomRegister reg = AtomRegister::linear_chain(1, 10.0);
+  Sequence seq(reg);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(500, 2.0 * kPi),
+                               Waveform::constant(500, 0.0), 0.0});
+  Mps psi(1);
+  evolve_analog_mps(psi, reg, seq.sample(2), 0.0, {});
+  EXPECT_NEAR(psi.z_expectation(0), -1.0, 1e-5);
+}
+
+TEST(MpsEvolve, BondDimensionOneIsProductEvolution) {
+  AtomRegister reg = AtomRegister::linear_chain(4, 5.0);
+  Sequence seq(reg);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(200, 2.0 * kPi),
+                               Waveform::constant(200, 1.0), 0.0});
+  Mps psi(4);
+  MpsEvolveOptions options;
+  options.mps = chi(1);
+  evolve_analog_mps(psi, reg, seq.sample(4), 5420503.0, options);
+  EXPECT_EQ(psi.max_bond_dim(), 1u);
+  // Still a valid normalized state that can be sampled.
+  common::Rng rng(3);
+  const auto samples = psi.sample(100, rng);
+  EXPECT_EQ(samples.total_shots(), 100u);
+}
+
+TEST(MpsEvolve, WideRegisterRunsWhereDenseCannot) {
+  // 40 qubits: far beyond dense reach; chi-limited TEBD must complete.
+  AtomRegister reg = AtomRegister::linear_chain(40, 6.0);
+  Sequence seq(reg);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(100, 2.0 * kPi),
+                               Waveform::constant(100, 2.0), 0.0});
+  Mps psi(40);
+  MpsEvolveOptions options;
+  options.mps = chi(4);
+  options.max_substep_ns = 10;
+  evolve_analog_mps(psi, reg, seq.sample(10), 5420503.0, options);
+  common::Rng rng(17);
+  EXPECT_EQ(psi.sample_bits(rng).size(), 40u);
+  EXPECT_LE(psi.max_bond_dim(), 4u);
+}
+
+}  // namespace
+}  // namespace qcenv::emulator

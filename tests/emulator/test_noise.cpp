@@ -1,0 +1,112 @@
+// Noise model: trajectory draws and readout corruption statistics.
+#include <gtest/gtest.h>
+
+#include "emulator/noise.hpp"
+
+namespace qcenv::emulator {
+namespace {
+
+using quantum::CalibrationSnapshot;
+using quantum::Samples;
+
+TEST(NoiseModel, DisabledByDefault) {
+  NoiseModel model;
+  EXPECT_FALSE(model.enabled());
+  EXPECT_FALSE(model.stochastic());
+  common::Rng rng(1);
+  const auto traj = model.draw_trajectory(4, rng);
+  EXPECT_TRUE(traj.delta_disorder.empty());
+  EXPECT_TRUE(traj.active.empty());
+  EXPECT_DOUBLE_EQ(traj.rabi_scale, 1.0);
+}
+
+TEST(NoiseModel, DeterministicTermsOnlyAreNotStochastic) {
+  CalibrationSnapshot cal;
+  cal.rabi_scale = 0.95;
+  cal.detuning_offset = 0.4;
+  cal.dephasing_rate = 0.0;
+  cal.fill_success = 1.0;
+  NoiseModel model(cal);
+  EXPECT_TRUE(model.enabled());
+  EXPECT_FALSE(model.stochastic());
+  common::Rng rng(1);
+  const auto traj = model.draw_trajectory(3, rng);
+  EXPECT_DOUBLE_EQ(traj.rabi_scale, 0.95);
+  EXPECT_DOUBLE_EQ(traj.detuning_offset, 0.4);
+}
+
+TEST(NoiseModel, DisorderScalesWithDephasingRate) {
+  CalibrationSnapshot cal;
+  cal.dephasing_rate = 0.5;
+  NoiseModel model(cal);
+  EXPECT_TRUE(model.stochastic());
+  common::Rng rng(123);
+  double acc = 0;
+  const int draws = 4000;
+  for (int i = 0; i < draws; ++i) {
+    const auto traj = model.draw_trajectory(1, rng);
+    ASSERT_EQ(traj.delta_disorder.size(), 1u);
+    acc += traj.delta_disorder[0] * traj.delta_disorder[0];
+  }
+  const double sigma = std::sqrt(acc / draws);
+  EXPECT_NEAR(sigma, std::sqrt(2.0) * 0.5, 0.03);
+}
+
+TEST(NoiseModel, FillFailureRateMatchesProbability) {
+  CalibrationSnapshot cal;
+  cal.fill_success = 0.9;
+  NoiseModel model(cal);
+  common::Rng rng(55);
+  int loaded = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto traj = model.draw_trajectory(10, rng);
+    for (const bool a : traj.active) {
+      ++total;
+      loaded += a ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(loaded) / total, 0.9, 0.02);
+}
+
+TEST(NoiseModel, ReadoutErrorRates) {
+  CalibrationSnapshot cal;
+  cal.readout_p01 = 0.1;
+  cal.readout_p10 = 0.2;
+  NoiseModel model(cal);
+  Samples clean(1);
+  clean.record("0", 10000);
+  clean.record("1", 10000);
+  common::Rng rng(9);
+  const Samples corrupted = model.apply_readout_errors(clean, rng);
+  EXPECT_EQ(corrupted.total_shots(), 20000u);
+  // Of the 10000 zeros, ~10% flip to 1; of the 10000 ones, ~20% flip to 0:
+  // expected ones = 10000 * 0.1 + 10000 * 0.8 = 9000.
+  const auto& counts = corrupted.counts();
+  const double ones = static_cast<double>(counts.at("1"));
+  EXPECT_NEAR(ones, 10000 * 0.1 + 10000 * 0.8, 300);
+}
+
+TEST(NoiseModel, ZeroRatesLeaveSamplesUntouched) {
+  CalibrationSnapshot cal;
+  cal.readout_p01 = 0.0;
+  cal.readout_p10 = 0.0;
+  NoiseModel model(cal);
+  Samples clean(2);
+  clean.record("01", 5);
+  clean.record("10", 7);
+  common::Rng rng(1);
+  const Samples out = model.apply_readout_errors(clean, rng);
+  EXPECT_EQ(out.counts(), clean.counts());
+}
+
+TEST(NoiseModel, MaskInactiveForcesZeros) {
+  Samples samples(3);
+  samples.record("111", 4);
+  samples.record("101", 2);
+  const Samples masked = NoiseModel::mask_inactive(samples, {true, false, true});
+  EXPECT_EQ(masked.counts().at("101"), 6u);
+  EXPECT_EQ(masked.total_shots(), 6u);
+}
+
+}  // namespace
+}  // namespace qcenv::emulator

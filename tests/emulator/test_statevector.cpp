@@ -1,0 +1,285 @@
+// State-vector simulator: gate algebra, sampling, and analog evolution
+// validated against closed-form quantum mechanics.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "emulator/statevector.hpp"
+#include "quantum/observable.hpp"
+
+namespace qcenv::emulator {
+namespace {
+
+using quantum::AtomRegister;
+using quantum::Observable;
+using quantum::Sequence;
+using quantum::SequenceSamples;
+using quantum::Waveform;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(StateVector, InitializesToGroundState) {
+  StateVector psi(3);
+  EXPECT_EQ(psi.dimension(), 8u);
+  EXPECT_DOUBLE_EQ(std::norm(psi.amplitudes()[0]), 1.0);
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(psi.z_expectation(0), 1.0);
+}
+
+TEST(StateVector, XGateFlipsQubit) {
+  StateVector psi(2);
+  psi.apply_1q(gate_x(), 0);
+  EXPECT_NEAR(std::norm(psi.amplitudes()[1]), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(psi.z_expectation(0), -1.0);
+  EXPECT_DOUBLE_EQ(psi.z_expectation(1), 1.0);
+}
+
+TEST(StateVector, HadamardCreatesUniformSuperposition) {
+  StateVector psi(1);
+  psi.apply_1q(gate_h(), 0);
+  EXPECT_NEAR(psi.excitation_probability(0), 0.5, 1e-12);
+  psi.apply_1q(gate_h(), 0);
+  EXPECT_NEAR(psi.excitation_probability(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, CxProducesBellState) {
+  StateVector psi(2);
+  psi.apply_1q(gate_h(), 0);
+  psi.apply_2q(gate_cx(), 0, 1);  // control qubit 0
+  // |00> + |11> (up to normalization)
+  EXPECT_NEAR(std::norm(psi.amplitudes()[0]), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(psi.amplitudes()[3]), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(psi.amplitudes()[1]), 0.0, 1e-12);
+  EXPECT_NEAR(std::norm(psi.amplitudes()[2]), 0.0, 1e-12);
+}
+
+TEST(StateVector, TwoQubitGateRespectsOperandOrder) {
+  // CX with control=1, target=0 acting on |01> (qubit0=1): control clear,
+  // nothing happens; acting on |10> flips qubit 0.
+  StateVector psi(2);
+  psi.apply_1q(gate_x(), 1);  // |10> in (q1,q0) = index 2
+  psi.apply_2q(gate_cx(), 1, 0);
+  EXPECT_NEAR(std::norm(psi.amplitudes()[3]), 1.0, 1e-12);
+}
+
+TEST(StateVector, GateApplicationPreservesNorm) {
+  StateVector psi(5);
+  for (std::size_t q = 0; q < 5; ++q) psi.apply_1q(gate_h(), q);
+  psi.apply_2q(gate_cz(), 0, 3);
+  psi.apply_2q(gate_cx(), 2, 4);
+  psi.apply_1q(gate_t(), 1);
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, ParallelAndSerialGateAgree) {
+  common::ThreadPool pool(2);
+  StateVector serial(15);
+  StateVector parallel(15);
+  for (std::size_t q = 0; q < 15; ++q) {
+    serial.apply_1q(gate_h(), q);
+    parallel.apply_1q(gate_h(), q, &pool);
+  }
+  serial.apply_2q(gate_cz(), 3, 11);
+  parallel.apply_2q(gate_cz(), 3, 11, &pool);
+  EXPECT_NEAR(serial.fidelity(parallel), 1.0, 1e-10);
+}
+
+TEST(StateVector, SamplingMatchesAmplitudes) {
+  StateVector psi(2);
+  psi.apply_1q(gate_h(), 0);  // (|00> + |01>)/sqrt2 in bit order q0
+  common::Rng rng(7);
+  const auto samples = psi.sample(20000, rng);
+  EXPECT_EQ(samples.total_shots(), 20000u);
+  EXPECT_NEAR(samples.probability("00"), 0.5, 0.02);
+  EXPECT_NEAR(samples.probability("10"), 0.5, 0.02);
+  EXPECT_NEAR(samples.probability("01"), 0.0, 1e-12);
+}
+
+TEST(StateVector, ExpectationOfPauliStrings) {
+  StateVector psi(2);
+  psi.apply_1q(gate_h(), 0);
+  psi.apply_2q(gate_cx(), 0, 1);  // Bell state
+  Observable zz(2);
+  ASSERT_TRUE(zz.add_term(1.0, "ZZ").ok());
+  auto value = psi.expectation(zz);
+  ASSERT_TRUE(value.ok());
+  EXPECT_NEAR(value.value(), 1.0, 1e-12);
+
+  Observable xx(2);
+  ASSERT_TRUE(xx.add_term(1.0, "XX").ok());
+  value = psi.expectation(xx);
+  ASSERT_TRUE(value.ok());
+  EXPECT_NEAR(value.value(), 1.0, 1e-12);
+
+  Observable yy(2);
+  ASSERT_TRUE(yy.add_term(1.0, "YY").ok());
+  value = psi.expectation(yy);
+  ASSERT_TRUE(value.ok());
+  EXPECT_NEAR(value.value(), -1.0, 1e-12);
+
+  Observable zi(2);
+  ASSERT_TRUE(zi.add_term(1.0, "ZI").ok());
+  value = psi.expectation(zi);
+  ASSERT_TRUE(value.ok());
+  EXPECT_NEAR(value.value(), 0.0, 1e-12);
+}
+
+// ---- Analog evolution against closed-form results ------------------------
+
+SequenceSamples resonant_drive(double omega, double duration_us,
+                               quantum::DurationNsQ dt_ns = 2) {
+  Sequence seq(AtomRegister::linear_chain(1, 10.0));
+  seq.add_pulse(quantum::Pulse{
+      Waveform::constant(static_cast<quantum::DurationNsQ>(duration_us * 1e3),
+                         omega),
+      Waveform::constant(static_cast<quantum::DurationNsQ>(duration_us * 1e3),
+                         0.0),
+      0.0});
+  return seq.sample(dt_ns);
+}
+
+TEST(AnalogEvolution, SingleQubitRabiOscillation) {
+  // P1(t) = sin^2(Omega t / 2); pick Omega*t = pi => full inversion.
+  const double omega = 2.0 * kPi;  // rad/us
+  const double t_pi = kPi / omega;  // 0.5 us
+  AtomRegister reg = AtomRegister::linear_chain(1, 10.0);
+  StateVector psi(1);
+  evolve_analog(psi, reg, resonant_drive(omega, t_pi), 0.0, {});
+  EXPECT_NEAR(psi.excitation_probability(0), 1.0, 1e-6);
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(AnalogEvolution, HalfPiPulseGivesEqualSuperposition) {
+  const double omega = 2.0 * kPi;
+  const double t_half = kPi / (2.0 * omega);
+  AtomRegister reg = AtomRegister::linear_chain(1, 10.0);
+  StateVector psi(1);
+  evolve_analog(psi, reg, resonant_drive(omega, t_half), 0.0, {});
+  EXPECT_NEAR(psi.excitation_probability(0), 0.5, 1e-6);
+}
+
+TEST(AnalogEvolution, DetunedRabiReducedContrast) {
+  // Generalized Rabi: P1_max = Omega^2 / (Omega^2 + delta^2).
+  const double omega = 2.0 * kPi;
+  const double delta = 2.0 * kPi;  // equal detuning => contrast 1/2
+  const double omega_eff = std::sqrt(omega * omega + delta * delta);
+  const double t_peak = kPi / omega_eff;
+  Sequence seq(AtomRegister::linear_chain(1, 10.0));
+  const auto dur = static_cast<quantum::DurationNsQ>(t_peak * 1e3);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(dur, omega),
+                               Waveform::constant(dur, delta), 0.0});
+  StateVector psi(1);
+  evolve_analog(psi, seq.atom_register(), seq.sample(1), 0.0, {});
+  EXPECT_NEAR(psi.excitation_probability(0), 0.5, 5e-3);
+}
+
+TEST(AnalogEvolution, RydbergBlockadeEnhancedRabi) {
+  // Two atoms well inside the blockade radius driven resonantly: the pair
+  // oscillates between |00> and (|01>+|10>)/sqrt2 at sqrt(2)*Omega, and
+  // |11> stays empty.
+  const double omega = 2.0 * kPi;
+  const double t_collective_pi = kPi / (std::sqrt(2.0) * omega);
+  AtomRegister reg = AtomRegister::linear_chain(2, 4.0);  // 4 um: U >> Omega
+  Sequence seq(reg);
+  const auto dur = static_cast<quantum::DurationNsQ>(t_collective_pi * 1e3);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(dur, omega),
+                               Waveform::constant(dur, 0.0), 0.0});
+  StateVector psi(2);
+  AnalogEvolveOptions options;
+  options.max_substep_ns = 1;
+  evolve_analog(psi, reg, seq.sample(1), 5420503.0, options);
+  // One excitation shared, double excitation blockaded.
+  EXPECT_NEAR(std::norm(psi.amplitudes()[3]), 0.0, 1e-3);
+  const double p_single =
+      std::norm(psi.amplitudes()[1]) + std::norm(psi.amplitudes()[2]);
+  EXPECT_NEAR(p_single, 1.0, 5e-3);
+}
+
+TEST(AnalogEvolution, FarSeparatedAtomsEvolveIndependently) {
+  // 30 um apart: U ~ C6/30^6 = 7.4e-3 rad/us, negligible over 0.5 us.
+  const double omega = 2.0 * kPi;
+  const double t_pi = kPi / omega;
+  AtomRegister reg = AtomRegister::linear_chain(2, 30.0);
+  Sequence seq(reg);
+  const auto dur = static_cast<quantum::DurationNsQ>(t_pi * 1e3);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(dur, omega),
+                               Waveform::constant(dur, 0.0), 0.0});
+  StateVector psi(2);
+  evolve_analog(psi, reg, seq.sample(1), 5420503.0, {});
+  EXPECT_NEAR(std::norm(psi.amplitudes()[3]), 1.0, 5e-3);
+}
+
+TEST(AnalogEvolution, InactiveAtomStaysInGroundState) {
+  const double omega = 2.0 * kPi;
+  const double t_pi = kPi / omega;
+  AtomRegister reg = AtomRegister::linear_chain(2, 30.0);
+  Sequence seq(reg);
+  const auto dur = static_cast<quantum::DurationNsQ>(t_pi * 1e3);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(dur, omega),
+                               Waveform::constant(dur, 0.0), 0.0});
+  StateVector psi(2);
+  AnalogEvolveOptions options;
+  options.active = {true, false};  // atom 1 failed to load
+  evolve_analog(psi, reg, seq.sample(1), 5420503.0, options);
+  EXPECT_NEAR(psi.excitation_probability(0), 1.0, 5e-3);
+  EXPECT_NEAR(psi.excitation_probability(1), 0.0, 1e-12);
+}
+
+TEST(AnalogEvolution, RabiScaleErrorShiftsRotationAngle) {
+  // With rabi_scale = 0.5, a nominal pi pulse becomes pi/2.
+  const double omega = 2.0 * kPi;
+  const double t_pi = kPi / omega;
+  AtomRegister reg = AtomRegister::linear_chain(1, 10.0);
+  StateVector psi(1);
+  AnalogEvolveOptions options;
+  options.rabi_scale = 0.5;
+  evolve_analog(psi, reg, resonant_drive(omega, t_pi), 0.0, options);
+  EXPECT_NEAR(psi.excitation_probability(0), 0.5, 1e-6);
+}
+
+TEST(AnalogEvolution, DetuningDisorderDephasesSuperposition) {
+  // Static disorder rotates the superposition phase; the excitation
+  // probability after a second half-pi pulse depends on that phase.
+  const double omega = 2.0 * kPi;
+  const double t_half = kPi / (2.0 * omega);
+  AtomRegister reg = AtomRegister::linear_chain(1, 10.0);
+  StateVector with_noise(1);
+  AnalogEvolveOptions options;
+  options.delta_disorder = {3.0};  // rad/us
+  evolve_analog(with_noise, reg, resonant_drive(omega, t_half), 0.0, options);
+  StateVector clean(1);
+  evolve_analog(clean, reg, resonant_drive(omega, t_half), 0.0, {});
+  EXPECT_LT(with_noise.fidelity(clean), 1.0 - 1e-4);
+}
+
+TEST(AnalogEvolution, NormPreservedUnderStrongInteractions) {
+  AtomRegister reg = AtomRegister::linear_chain(4, 4.0);
+  Sequence seq(reg);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(400, 4.0 * kPi),
+                               Waveform::ramp(400, -6.0, 6.0), 0.3});
+  StateVector psi(4);
+  evolve_analog(psi, reg, seq.sample(2), 5420503.0, {});
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-10);
+}
+
+TEST(AnalogEvolution, LocalDetuningMapBiasesMarkedQubit) {
+  // A strong negative local detuning on qubit 0 shifts it out of resonance,
+  // suppressing its excitation relative to the unbiased qubit.
+  const double omega = 2.0 * kPi;
+  AtomRegister reg = AtomRegister::linear_chain(2, 30.0);
+  Sequence seq(reg);
+  seq.add_pulse(quantum::Pulse{Waveform::constant(500, omega),
+                               Waveform::constant(500, 0.0), 0.0});
+  quantum::DetuningMap map;
+  map.weights = {1.0, 0.0};
+  map.detuning = Waveform::constant(500, -40.0);
+  seq.set_detuning_map(map);
+  StateVector psi(2);
+  evolve_analog(psi, reg, seq.sample(1), 5420503.0, {});
+  EXPECT_LT(psi.excitation_probability(0), 0.1);
+  EXPECT_GT(psi.excitation_probability(1), 0.9);
+}
+
+}  // namespace
+}  // namespace qcenv::emulator

@@ -1,0 +1,204 @@
+// End-to-end integration: the complete Figure-2 path in one process —
+// Slurm SPANK env -> runtime -> daemon REST -> QRMI -> QPU simulator —
+// plus the cloud path and the emulator<->QPU agreement property.
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_service.hpp"
+#include "daemon/daemon.hpp"
+#include "qpu/controller.hpp"
+#include "qrmi/cloud_client.hpp"
+#include "qrmi/direct_qpu.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "runtime/runtime.hpp"
+#include "sdk/pulser.hpp"
+#include "slurm/scheduler.hpp"
+
+namespace qcenv {
+namespace {
+
+using quantum::Payload;
+using quantum::Samples;
+
+Payload blockade_payload(std::uint64_t shots) {
+  sdk::pulser::SequenceBuilder builder(
+      quantum::AtomRegister::linear_chain(3, 5.0),
+      quantum::DeviceSpec::analog_default());
+  (void)builder.declare_channel("g",
+                                sdk::pulser::ChannelKind::kRydbergGlobal);
+  (void)builder.add(sdk::pulser::constant_pulse(
+                        400, 2.0 * std::numbers::pi, 0.5, 0.0),
+                    "g");
+  return builder.to_payload(shots).value();
+}
+
+class FullStack : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    qpu::QpuOptions qpu_options;
+    qpu_options.time_scale = 1e9;  // no real-time pacing in tests
+    qpu_options.drift.dephasing_sigma = 0;  // keep the device clean
+    qpu_options.drift.rabi_scale_sigma = 0;
+    qpu_options.drift.detuning_offset_sigma = 0;
+    qpu_options.drift.readout_sigma = 0;
+    qpu_options.drift.fill_sigma = 0;
+    qpu_options.drift.dephasing_degradation_per_hour = 0;
+    device_ = std::make_unique<qpu::QpuDevice>(qpu_options, &device_clock_);
+    controller_ =
+        std::make_unique<qpu::QpuController>(device_.get(), &device_clock_);
+    qpu_resource_ = std::make_shared<qrmi::DirectQpuQrmi>(
+        "fresnel", device_.get(), controller_.get());
+
+    daemon::DaemonOptions daemon_options;
+    daemon_options.queue_policy.non_production_batch_shots = 20;
+    middleware_ = std::make_unique<daemon::MiddlewareDaemon>(
+        daemon_options, qpu_resource_, device_.get(), &wall_);
+    auto port = middleware_->start();
+    ASSERT_TRUE(port.ok());
+    port_ = port.value();
+  }
+
+  common::ManualClock device_clock_;
+  common::WallClock wall_;
+  std::unique_ptr<qpu::QpuDevice> device_;
+  std::unique_ptr<qpu::QpuController> controller_;
+  qrmi::QrmiPtr qpu_resource_;
+  std::unique_ptr<daemon::MiddlewareDaemon> middleware_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(FullStack, SlurmEnvDrivesRuntimeToQpuThroughDaemon) {
+  // 1. Slurm job submission with --qpu=fresnel; the SPANK plugin injects
+  //    QRMI_* env vars including the daemon endpoint.
+  qrmi::ResourceRegistry registry;
+  registry.add("fresnel", qpu_resource_);
+  simkit::Simulator sim;
+  slurm::ClusterConfig cluster;
+  cluster.nodes = {{"n0", 8, 0}};
+  cluster.partitions = {{"dev", 100, false, 24LL * 3600 * common::kSecond}};
+  slurm::SlurmScheduler slurm_ctl(cluster, &sim);
+  slurm_ctl.register_plugin(
+      std::make_unique<slurm::QrmiSpankPlugin>(&registry, port_));
+  slurm::JobSubmission submission;
+  submission.name = "hybrid";
+  submission.user = "alice";
+  submission.partition = "dev";
+  submission.qpu_resource = "fresnel";
+  submission.duration = common::kSecond;
+  auto job_id = slurm_ctl.submit(submission);
+  ASSERT_TRUE(job_id.ok());
+  const auto env = slurm_ctl.query(job_id.value()).value().env;
+  sim.run();
+
+  // 2. Inside the job: the runtime reads the injected environment.
+  common::Config config;
+  for (const auto& [key, value] : env) config.set(key, value);
+  ASSERT_EQ(config.get_or("QRMI_RESOURCE_ID", ""), "fresnel");
+  const auto daemon_port = static_cast<std::uint16_t>(
+      config.get_int_or("QRMI_DAEMON_PORT", 0));
+  ASSERT_EQ(daemon_port, port_);
+
+  runtime::RuntimeOptions options;
+  options.user = "alice";
+  options.job_class = daemon::JobClass::kTest;
+  options.poll_interval = common::kMillisecond;
+  auto rt = runtime::HybridRuntime::connect_daemon(daemon_port, options);
+  ASSERT_TRUE(rt.ok()) << rt.error().to_string();
+
+  // 3. Validate against live device state, run, and check provenance.
+  const Payload payload = blockade_payload(60);
+  auto report = rt.value()->validate(payload);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().compatible);
+  auto samples = rt.value()->run(payload);
+  ASSERT_TRUE(samples.ok()) << samples.error().to_string();
+  EXPECT_EQ(samples.value().total_shots(), 60u);
+  EXPECT_EQ(samples.value().metadata().at_or_null("backend").as_string(),
+            "qpu:sim-analog");
+  EXPECT_TRUE(samples.value().metadata().contains("calibration"));
+  EXPECT_GE(device_->counters().jobs_executed, 1u);
+}
+
+TEST_F(FullStack, ProductionOvertakesDevelopmentAtBatchBoundary) {
+  runtime::RuntimeOptions dev_options;
+  dev_options.user = "dave";
+  dev_options.job_class = daemon::JobClass::kDevelopment;
+  dev_options.poll_interval = common::kMillisecond;
+  auto dev_rt = runtime::HybridRuntime::connect_daemon(port_, dev_options);
+  ASSERT_TRUE(dev_rt.ok());
+
+  runtime::RuntimeOptions prod_options = dev_options;
+  prod_options.user = "carol";
+  prod_options.job_class = daemon::JobClass::kProduction;
+  auto prod_rt = runtime::HybridRuntime::connect_daemon(port_, prod_options);
+  ASSERT_TRUE(prod_rt.ok());
+
+  // A long development job (many 20-shot batches), then a production job.
+  auto dev_handle = dev_rt.value()->submit(blockade_payload(200));
+  ASSERT_TRUE(dev_handle.ok());
+  auto prod_handle = prod_rt.value()->submit(blockade_payload(40));
+  ASSERT_TRUE(prod_handle.ok());
+
+  auto prod_samples = prod_rt.value()->wait(prod_handle.value());
+  ASSERT_TRUE(prod_samples.ok());
+  // When production completes, the dev job must still be working.
+  auto dev_job = middleware_->dispatcher().query(
+      std::strtoull(dev_handle.value().id.c_str(), nullptr, 10));
+  ASSERT_TRUE(dev_job.ok());
+  EXPECT_NE(dev_job.value().state, daemon::DaemonJobState::kCompleted);
+  auto dev_samples = dev_rt.value()->wait(dev_handle.value());
+  ASSERT_TRUE(dev_samples.ok());
+  EXPECT_EQ(dev_samples.value().total_shots(), 200u);
+}
+
+TEST_F(FullStack, EmulatorPredictsQpuDistribution) {
+  // Development-to-production agreement: the ideal emulator and the
+  // freshly calibrated QPU produce statistically compatible samples.
+  device_->recalibrate();
+  auto emulator = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  const Payload payload = blockade_payload(3000);
+  auto ideal = emulator->run_sync(payload);
+  auto real = qpu_resource_->run_sync(payload, common::kMillisecond);
+  ASSERT_TRUE(ideal.ok());
+  ASSERT_TRUE(real.ok());
+  // The QPU still applies readout errors (~1-3%), so allow a modest gap.
+  EXPECT_LT(Samples::total_variation_distance(ideal.value(), real.value()),
+            0.12);
+}
+
+TEST(CloudChain, DaemonFrontsCloudResource) {
+  // Daemon whose execution resource is a *cloud* emulator: the HPC-to-cloud
+  // configuration of the paper (§3.3 "interoperability between the on-prem
+  // QPUs and cloud-based resources").
+  auto backend = qrmi::LocalEmulatorQrmi::create("cloud-backend", "sv").value();
+  cloud::CloudServiceOptions cloud_options;
+  cloud_options.api_key = "key";
+  cloud_options.latency.base = common::kMillisecond;
+  cloud_options.latency.jitter = 0;
+  cloud::CloudService cloud_service(backend, cloud_options);
+  const auto cloud_port = cloud_service.start().value();
+
+  auto cloud_resource = std::make_shared<qrmi::CloudQrmi>(
+      "pasqal-cloud", qrmi::ResourceType::kCloudEmulator, cloud_port, "key");
+
+  common::WallClock wall;
+  daemon::DaemonOptions daemon_options;
+  daemon::MiddlewareDaemon middleware(daemon_options, cloud_resource, nullptr,
+                                      &wall);
+  const auto port = middleware.start().value();
+
+  runtime::RuntimeOptions options;
+  options.user = "alice";
+  options.job_class = daemon::JobClass::kTest;
+  options.poll_interval = common::kMillisecond;
+  auto rt = runtime::HybridRuntime::connect_daemon(port, options);
+  ASSERT_TRUE(rt.ok());
+  auto samples = rt.value()->run(blockade_payload(30));
+  ASSERT_TRUE(samples.ok()) << samples.error().to_string();
+  EXPECT_EQ(samples.value().total_shots(), 30u);
+  EXPECT_GE(cloud_service.requests_served(), 3u);  // submit+poll+result
+}
+
+}  // namespace
+}  // namespace qcenv

@@ -1,0 +1,140 @@
+// Readout mitigation: recovery of corrupted distributions and expectation
+// values, metadata-driven construction, edge cases.
+#include <gtest/gtest.h>
+
+#include "emulator/noise.hpp"
+#include "mitigation/readout.hpp"
+
+namespace qcenv::mitigation {
+namespace {
+
+using emulator::NoiseModel;
+using quantum::CalibrationSnapshot;
+using quantum::Samples;
+
+/// Ideal samples corrupted by known readout rates.
+Samples corrupted(const Samples& ideal, double p01, double p10,
+                  std::uint64_t seed = 5) {
+  CalibrationSnapshot cal;
+  cal.readout_p01 = p01;
+  cal.readout_p10 = p10;
+  NoiseModel model(cal);
+  common::Rng rng(seed);
+  return model.apply_readout_errors(ideal, rng);
+}
+
+TEST(ReadoutMitigator, RecoversZExpectation) {
+  Samples ideal(1);
+  ideal.record("1", 50000);  // <Z> = -1
+  const Samples noisy = corrupted(ideal, 0.02, 0.10);
+  // Measured <Z> drifts toward +1 by ~2*p10.
+  EXPECT_GT(noisy.z_expectation(0), -0.85);
+  ReadoutMitigator mitigator(0.02, 0.10);
+  EXPECT_NEAR(mitigator.mitigate_z_expectation(noisy, 0), -1.0, 0.02);
+}
+
+TEST(ReadoutMitigator, RecoversDistribution) {
+  Samples ideal(2);
+  ideal.record("00", 30000);
+  ideal.record("11", 30000);  // GHZ-like
+  const Samples noisy = corrupted(ideal, 0.03, 0.08);
+  EXPECT_GT(Samples::total_variation_distance(ideal, noisy), 0.05);
+
+  ReadoutMitigator mitigator(0.03, 0.08);
+  auto mitigated = mitigator.mitigate(noisy);
+  ASSERT_TRUE(mitigated.ok());
+  EXPECT_EQ(mitigated.value().total_shots(), noisy.total_shots());
+  const double tv_after =
+      Samples::total_variation_distance(ideal, mitigated.value());
+  const double tv_before = Samples::total_variation_distance(ideal, noisy);
+  EXPECT_LT(tv_after, tv_before / 3.0);
+}
+
+TEST(ReadoutMitigator, MitigatedDistributionIsNormalized) {
+  Samples ideal(3);
+  ideal.record("101", 500);
+  ideal.record("010", 300);
+  ideal.record("111", 200);
+  const Samples noisy = corrupted(ideal, 0.05, 0.05);
+  ReadoutMitigator mitigator(0.05, 0.05);
+  auto p = mitigator.mitigate_distribution(noisy);
+  ASSERT_TRUE(p.ok());
+  double total = 0;
+  for (const double v : p.value()) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ReadoutMitigator, ZeroErrorIsIdentity) {
+  Samples ideal(2);
+  ideal.record("01", 700);
+  ideal.record("10", 300);
+  ReadoutMitigator mitigator(0.0, 0.0);
+  auto mitigated = mitigator.mitigate(ideal);
+  ASSERT_TRUE(mitigated.ok());
+  EXPECT_EQ(mitigated.value().counts(), ideal.counts());
+  EXPECT_DOUBLE_EQ(mitigator.mitigate_z_expectation(ideal, 0),
+                   ideal.z_expectation(0));
+}
+
+TEST(ReadoutMitigator, ObservableMitigation) {
+  Samples ideal(2);
+  ideal.record("11", 40000);  // <ZZ> = +1
+  const Samples noisy = corrupted(ideal, 0.02, 0.12);
+  quantum::Observable zz(2);
+  ASSERT_TRUE(zz.add_term(1.0, "ZZ").ok());
+  const double raw = zz.expectation_from_samples(noisy).value();
+  EXPECT_LT(raw, 0.85);
+  ReadoutMitigator mitigator(0.02, 0.12);
+  auto fixed = mitigator.mitigate_observable(noisy, zz);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_NEAR(fixed.value(), 1.0, 0.03);
+}
+
+TEST(ReadoutMitigator, RejectsNonDiagonalObservable) {
+  Samples samples(1);
+  samples.record("0", 10);
+  quantum::Observable x(1);
+  ASSERT_TRUE(x.add_term(1.0, "X").ok());
+  ReadoutMitigator mitigator(0.01, 0.01);
+  EXPECT_FALSE(mitigator.mitigate_observable(samples, x).ok());
+}
+
+TEST(ReadoutMitigator, FromMetadataUsesPerJobCalibration) {
+  Samples samples(1);
+  samples.record("1", 1000);
+  CalibrationSnapshot cal;
+  cal.readout_p01 = 0.04;
+  cal.readout_p10 = 0.07;
+  common::Json meta = common::Json::object();
+  meta["calibration"] = cal.to_json();
+  samples.set_metadata(meta);
+  auto mitigator = ReadoutMitigator::from_metadata(samples);
+  ASSERT_TRUE(mitigator.ok());
+  EXPECT_DOUBLE_EQ(mitigator.value().p01(), 0.04);
+  EXPECT_DOUBLE_EQ(mitigator.value().p10(), 0.07);
+
+  Samples bare(1);
+  bare.record("0", 1);
+  EXPECT_FALSE(ReadoutMitigator::from_metadata(bare).ok());
+}
+
+TEST(ReadoutMitigator, WidthGuard) {
+  Samples wide(20);
+  wide.record(std::string(20, '0'), 10);
+  ReadoutMitigator mitigator(0.01, 0.01);
+  EXPECT_FALSE(mitigator.mitigate_distribution(wide, 16).ok());
+  // The closed-form Z path still works at any width.
+  EXPECT_NEAR(mitigator.mitigate_z_expectation(wide, 3), 1.0, 0.05);
+}
+
+TEST(ReadoutMitigator, ExtremeRatesAreClamped) {
+  ReadoutMitigator mitigator(0.9, 0.9);  // nonsense rates clamp below 0.5
+  EXPECT_LT(mitigator.p01(), 0.5);
+  EXPECT_LT(mitigator.p10(), 0.5);
+}
+
+}  // namespace
+}  // namespace qcenv::mitigation

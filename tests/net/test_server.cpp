@@ -1,0 +1,135 @@
+// Live HTTP server + client over loopback sockets.
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/http_client.hpp"
+#include "net/http_server.hpp"
+
+namespace qcenv::net {
+namespace {
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.router().add("GET", "/ping",
+                         [](const HttpRequest&, const PathParams&) {
+                           return HttpResponse::json(200, R"({"pong":true})");
+                         });
+    server_.router().add("POST", "/echo",
+                         [](const HttpRequest& request, const PathParams&) {
+                           return HttpResponse::json(200, request.body);
+                         });
+    server_.router().add(
+        "GET", "/items/:id",
+        [](const HttpRequest&, const PathParams& params) {
+          return HttpResponse::json(200, params.at("id"));
+        });
+    auto port = server_.start();
+    ASSERT_TRUE(port.ok()) << port.error().to_string();
+    port_ = port.value();
+  }
+
+  HttpServer server_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(ServerFixture, GetRoundTrip) {
+  HttpClient client(port_);
+  auto response = client.get("/ping");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, R"({"pong":true})");
+}
+
+TEST_F(ServerFixture, PostEchoesBody) {
+  HttpClient client(port_);
+  const std::string body(10000, 'x');  // multi-read body
+  auto response = client.post("/echo", body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().body, body);
+}
+
+TEST_F(ServerFixture, PathParamsReachHandler) {
+  HttpClient client(port_);
+  auto response = client.get("/items/abc-123");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().body, "abc-123");
+}
+
+TEST_F(ServerFixture, UnknownRouteIs404) {
+  HttpClient client(port_);
+  auto response = client.get("/nope");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 404);
+}
+
+TEST_F(ServerFixture, ConcurrentClients) {
+  std::atomic<int> ok_count{0};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      HttpClient client(port_);
+      for (int i = 0; i < 10; ++i) {
+        auto response = client.get("/ping");
+        if (response.ok() && response.value().status == 200) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(ok_count.load(), 80);
+  EXPECT_GE(server_.requests_served(), 80u);
+}
+
+TEST_F(ServerFixture, MiddlewareShortCircuits) {
+  server_.set_middleware(
+      [](const HttpRequest& request) -> std::optional<HttpResponse> {
+        if (request.headers.find("X-Auth") == request.headers.end()) {
+          return HttpResponse::json(401, R"({"error":"no auth"})");
+        }
+        return std::nullopt;
+      });
+  HttpClient anonymous(port_);
+  auto denied = anonymous.get("/ping");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied.value().status, 401);
+
+  HttpClient authed(port_);
+  authed.set_default_header("X-Auth", "yes");
+  auto allowed = authed.get("/ping");
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_EQ(allowed.value().status, 200);
+}
+
+TEST_F(ServerFixture, StopThenConnectFails) {
+  server_.stop();
+  HttpClient client(port_, 200 * common::kMillisecond);
+  auto response = client.get("/ping");
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(ServerLifecycle, EphemeralPortsAreDistinct) {
+  HttpServer a, b;
+  auto pa = a.start();
+  auto pb = b.start();
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  EXPECT_NE(pa.value(), pb.value());
+}
+
+TEST(ServerLifecycle, MalformedRequestGets400) {
+  HttpServer server;
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  auto socket = connect_local(port.value());
+  ASSERT_TRUE(socket.ok());
+  ASSERT_TRUE(socket.value().send_all("GARBAGE\r\n\r\n").ok());
+  auto reply = socket.value().recv_some();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply.value().find("400"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qcenv::net

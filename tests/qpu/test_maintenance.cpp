@@ -1,0 +1,98 @@
+// Maintenance scheduler: periodic QA cadence and threshold-triggered
+// recalibration on a drifting device.
+#include <gtest/gtest.h>
+
+#include "qpu/maintenance.hpp"
+
+namespace qcenv::qpu {
+namespace {
+
+using common::kSecond;
+using common::ManualClock;
+
+QpuOptions drifting_options() {
+  QpuOptions options;
+  options.time_scale = 1e9;
+  // Aggressive degradation so quality visibly decays within hours.
+  options.drift.dephasing_degradation_per_hour = 0.05;
+  options.drift.detuning_offset_sigma = 0.8;
+  options.seed = 11;
+  return options;
+}
+
+TEST(Maintenance, QaRunsOnFirstTickThenRespectsInterval) {
+  ManualClock clock;
+  QpuDevice device(drifting_options(), &clock);
+  MaintenancePolicy policy;
+  policy.qa_interval = 3600 * kSecond;
+  policy.quality_threshold = 0.0;  // never trigger recalibration
+  MaintenanceScheduler scheduler(&device, policy);
+
+  auto first = scheduler.tick(clock.now());
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().qa_ran);
+  EXPECT_EQ(scheduler.counters().qa_runs, 1u);
+
+  // Too early: no QA.
+  clock.advance(600 * kSecond);
+  auto early = scheduler.tick(clock.now());
+  ASSERT_TRUE(early.ok());
+  EXPECT_FALSE(early.value().qa_ran);
+  EXPECT_EQ(scheduler.counters().qa_runs, 1u);
+
+  // Past the interval: QA again.
+  clock.advance(3600 * kSecond);
+  auto due = scheduler.tick(clock.now());
+  ASSERT_TRUE(due.ok());
+  EXPECT_TRUE(due.value().qa_ran);
+  EXPECT_EQ(scheduler.counters().qa_runs, 2u);
+}
+
+TEST(Maintenance, BadQualityTriggersRecalibrationAndRecovers) {
+  ManualClock clock;
+  QpuDevice device(drifting_options(), &clock);
+  MaintenancePolicy policy;
+  policy.qa_interval = 3600 * kSecond;
+  policy.quality_threshold = 0.9;
+  policy.max_calibration_age = 0;
+  MaintenanceScheduler scheduler(&device, policy);
+
+  // Let the device degrade for a simulated day, ticking hourly.
+  bool triggered = false;
+  for (int hour = 1; hour <= 48 && !triggered; ++hour) {
+    clock.advance(3600 * kSecond);
+    auto outcome = scheduler.tick(clock.now());
+    ASSERT_TRUE(outcome.ok());
+    triggered = outcome.value().recalibrated;
+    if (triggered) {
+      // Post-recalibration confirmation QA must look healthy again.
+      EXPECT_GT(outcome.value().quality, 0.9);
+    }
+  }
+  EXPECT_TRUE(triggered);
+  EXPECT_GE(scheduler.counters().quality_triggers, 1u);
+}
+
+TEST(Maintenance, StaleCalibrationForcesRecalibration) {
+  ManualClock clock;
+  QpuOptions options = drifting_options();
+  options.drift.dephasing_degradation_per_hour = 0.0;  // quality stays fine
+  QpuDevice device(options, &clock);
+  MaintenancePolicy policy;
+  policy.qa_interval = 3600 * kSecond;
+  policy.quality_threshold = 0.0;
+  policy.max_calibration_age = 10 * 3600 * kSecond;
+  MaintenanceScheduler scheduler(&device, policy);
+
+  ASSERT_TRUE(scheduler.tick(clock.now()).ok());  // baseline (arms age)
+  EXPECT_EQ(scheduler.counters().recalibrations, 0u);
+  clock.advance(11LL * 3600 * kSecond);  // past max_calibration_age
+  auto outcome = scheduler.tick(clock.now());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.value().recalibrated);
+  EXPECT_EQ(scheduler.counters().recalibrations, 1u);
+  EXPECT_EQ(scheduler.counters().quality_triggers, 0u);
+}
+
+}  // namespace
+}  // namespace qcenv::qpu

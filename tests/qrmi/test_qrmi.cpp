@@ -1,0 +1,246 @@
+// QRMI resources: local emulator, direct QPU, registry, and the cloud
+// client against a live CloudService.
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_service.hpp"
+#include "qrmi/cloud_client.hpp"
+#include "qrmi/direct_qpu.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "qrmi/registry.hpp"
+
+namespace qcenv::qrmi {
+namespace {
+
+using quantum::AtomRegister;
+using quantum::Payload;
+using quantum::Sequence;
+using quantum::Waveform;
+
+Payload small_payload(std::uint64_t shots = 50) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{Waveform::constant(200, 2.0),
+                               Waveform::constant(200, 0.0), 0.0});
+  return Payload::from_sequence(seq, shots);
+}
+
+TEST(LocalEmulatorQrmiTest, FullTaskLifecycle) {
+  auto resource = LocalEmulatorQrmi::create("emu", "sv");
+  ASSERT_TRUE(resource.ok());
+  Qrmi& qrmi = *resource.value();
+  EXPECT_EQ(qrmi.type(), ResourceType::kLocalEmulator);
+  EXPECT_TRUE(qrmi.is_accessible().value());
+
+  auto token = qrmi.acquire();
+  ASSERT_TRUE(token.ok());
+  auto task = qrmi.task_start(small_payload());
+  ASSERT_TRUE(task.ok());
+  auto samples = qrmi.task_result(task.value());  // waits for completion
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.value().total_shots(), 50u);
+  EXPECT_EQ(qrmi.task_status(task.value()).value(), TaskStatus::kCompleted);
+  EXPECT_TRUE(qrmi.release(token.value()).ok());
+}
+
+TEST(LocalEmulatorQrmiTest, RunSyncConvenience) {
+  auto resource = LocalEmulatorQrmi::create("emu", "mps:8");
+  ASSERT_TRUE(resource.ok());
+  auto samples = resource.value()->run_sync(small_payload(30));
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.value().total_shots(), 30u);
+}
+
+TEST(LocalEmulatorQrmiTest, UnknownTaskAndBackend) {
+  EXPECT_FALSE(LocalEmulatorQrmi::create("x", "quantum-annealer").ok());
+  auto resource = LocalEmulatorQrmi::create("emu", "sv");
+  ASSERT_TRUE(resource.ok());
+  EXPECT_FALSE(resource.value()->task_status("local-999").ok());
+  EXPECT_FALSE(resource.value()->task_result("local-999").ok());
+}
+
+TEST(LocalEmulatorQrmiTest, TargetReportsEmulatorSpec) {
+  auto resource = LocalEmulatorQrmi::create("emu", "sv");
+  ASSERT_TRUE(resource.ok());
+  auto spec = resource.value()->target();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().supports_digital);
+  EXPECT_EQ(resource.value()->metadata().at_or_null("engine").as_string(),
+            "sv");
+}
+
+TEST(DirectQpuQrmiTest, ExclusiveLease) {
+  common::ManualClock clock;
+  qpu::QpuOptions options;
+  options.time_scale = 1e9;
+  qpu::QpuDevice device(options, &clock);
+  qpu::QpuController controller(&device, &clock);
+  DirectQpuQrmi qrmi("fresnel", &device, &controller);
+
+  auto lease = qrmi.acquire();
+  ASSERT_TRUE(lease.ok());
+  auto second = qrmi.acquire();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code(), common::ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(qrmi.release("wrong-token").ok());
+  EXPECT_TRUE(qrmi.release(lease.value()).ok());
+  EXPECT_TRUE(qrmi.acquire().ok());
+}
+
+TEST(DirectQpuQrmiTest, ExecutesThroughController) {
+  common::ManualClock clock;
+  qpu::QpuOptions options;
+  options.time_scale = 1e9;
+  qpu::QpuDevice device(options, &clock);
+  qpu::QpuController controller(&device, &clock);
+  DirectQpuQrmi qrmi("fresnel", &device, &controller);
+
+  auto samples = qrmi.run_sync(small_payload(20), common::kMillisecond);
+  ASSERT_TRUE(samples.ok()) << samples.error().to_string();
+  EXPECT_EQ(samples.value().total_shots(), 20u);
+  auto spec = qrmi.target();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().name, "sim-analog");
+  EXPECT_FALSE(qrmi.task_status("not-a-number").ok());
+}
+
+TEST(RegistryTest, LookupAndNames) {
+  ResourceRegistry registry;
+  registry.add("emu", LocalEmulatorQrmi::create("emu", "sv").value());
+  registry.add("mock", LocalEmulatorQrmi::create("mock", "mps-mock").value());
+  EXPECT_TRUE(registry.contains("emu"));
+  EXPECT_FALSE(registry.contains("qpu"));
+  EXPECT_EQ(registry.names().size(), 2u);
+  auto missing = registry.lookup("qpu");
+  ASSERT_FALSE(missing.ok());
+  // Error message lists available resources to help users.
+  EXPECT_NE(missing.error().message().find("emu"), std::string::npos);
+}
+
+TEST(RegistryTest, LoadFromConfig) {
+  common::Config config;
+  ASSERT_TRUE(config
+                  .load_string(
+                      "QRMI_RESOURCES=dev-emu, big-mps\n"
+                      "QRMI_DEV_EMU_TYPE=local-emulator\n"
+                      "QRMI_DEV_EMU_ENGINE=sv\n"
+                      "QRMI_BIG_MPS_TYPE=local-emulator\n"
+                      "QRMI_BIG_MPS_ENGINE=mps:32\n")
+                  .ok());
+  ResourceRegistry registry;
+  ASSERT_TRUE(registry.load_from_config(config).ok());
+  EXPECT_TRUE(registry.contains("dev-emu"));
+  EXPECT_TRUE(registry.contains("big-mps"));
+  EXPECT_EQ(registry.lookup("big-mps").value()->metadata()
+                .at_or_null("engine").as_string(),
+            "mps:32");
+}
+
+TEST(RegistryTest, ConfigErrors) {
+  ResourceRegistry registry;
+  common::Config missing_type;
+  ASSERT_TRUE(missing_type.load_string("QRMI_RESOURCES=x\n").ok());
+  EXPECT_FALSE(registry.load_from_config(missing_type).ok());
+
+  common::Config bad_type;
+  ASSERT_TRUE(bad_type
+                  .load_string("QRMI_RESOURCES=x\nQRMI_X_TYPE=teleport\n")
+                  .ok());
+  EXPECT_FALSE(registry.load_from_config(bad_type).ok());
+
+  common::Config direct;
+  ASSERT_TRUE(direct
+                  .load_string("QRMI_RESOURCES=x\nQRMI_X_TYPE=direct-access\n")
+                  .ok());
+  EXPECT_FALSE(registry.load_from_config(direct).ok());
+
+  common::Config cloud_no_port;
+  ASSERT_TRUE(cloud_no_port
+                  .load_string("QRMI_RESOURCES=x\nQRMI_X_TYPE=cloud-qpu\n")
+                  .ok());
+  EXPECT_FALSE(registry.load_from_config(cloud_no_port).ok());
+}
+
+TEST(RegistryTest, ConfigKeyNameMangling) {
+  EXPECT_EQ(config_key_name("dev-emu"), "DEV_EMU");
+  EXPECT_EQ(config_key_name("Fresnel2"), "FRESNEL2");
+}
+
+// ---- Cloud client against a live service ---------------------------------
+
+class CloudFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto backend = LocalEmulatorQrmi::create("cloud-backend", "sv");
+    ASSERT_TRUE(backend.ok());
+    cloud::CloudServiceOptions options;
+    options.api_key = "secret";
+    options.latency.base = 0;  // keep tests fast
+    options.latency.jitter = 0;
+    service_ = std::make_unique<cloud::CloudService>(backend.value(), options);
+    auto port = service_->start();
+    ASSERT_TRUE(port.ok());
+    port_ = port.value();
+  }
+
+  std::unique_ptr<cloud::CloudService> service_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(CloudFixture, EndToEndJob) {
+  CloudQrmi qrmi("cloud-emu", ResourceType::kCloudEmulator, port_, "secret");
+  EXPECT_TRUE(qrmi.is_accessible().value());
+  auto samples = qrmi.run_sync(small_payload(25), common::kMillisecond);
+  ASSERT_TRUE(samples.ok()) << samples.error().to_string();
+  EXPECT_EQ(samples.value().total_shots(), 25u);
+}
+
+TEST_F(CloudFixture, DeviceSpecFetch) {
+  CloudQrmi qrmi("cloud-emu", ResourceType::kCloudEmulator, port_, "secret");
+  auto spec = qrmi.target();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().supports_digital);
+}
+
+TEST_F(CloudFixture, WrongApiKeyRejected) {
+  CloudQrmi qrmi("cloud-emu", ResourceType::kCloudEmulator, port_, "wrong");
+  auto task = qrmi.task_start(small_payload());
+  ASSERT_FALSE(task.ok());
+  EXPECT_EQ(task.error().code(), common::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CloudFixture, UnknownJobIs404) {
+  CloudQrmi qrmi("cloud-emu", ResourceType::kCloudEmulator, port_, "secret");
+  auto status = qrmi.task_status("local-424242");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(CloudFixture, MalformedPayloadIs400) {
+  net::HttpClient client(port_);
+  client.set_default_header("Authorization", "Bearer secret");
+  auto response = client.post("/api/v1/jobs", "{\"not\":\"a payload\"}");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 400);
+}
+
+TEST_F(CloudFixture, UnreachableEndpointIsUnavailable) {
+  service_->stop();
+  CloudQrmi qrmi("cloud-emu", ResourceType::kCloudEmulator, port_, "secret");
+  auto task = qrmi.task_start(small_payload());
+  ASSERT_FALSE(task.ok());
+  EXPECT_EQ(task.error().code(), common::ErrorCode::kUnavailable);
+}
+
+TEST(ResourceTypeNames, RoundTrip) {
+  const ResourceType types[] = {
+      ResourceType::kLocalEmulator, ResourceType::kDirectAccess,
+      ResourceType::kCloudQpu, ResourceType::kCloudEmulator};
+  for (const auto type : types) {
+    auto back = resource_type_from_string(to_string(type));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), type);
+  }
+  EXPECT_FALSE(resource_type_from_string("fpga").ok());
+}
+
+}  // namespace
+}  // namespace qcenv::qrmi

@@ -1,0 +1,186 @@
+// Atom registers, lattices and waveform algebra.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "quantum/register.hpp"
+#include "quantum/waveform.hpp"
+
+namespace qcenv::quantum {
+namespace {
+
+TEST(Register, LinearChainGeometry) {
+  const auto reg = AtomRegister::linear_chain(5, 6.0);
+  ASSERT_EQ(reg.size(), 5u);
+  EXPECT_DOUBLE_EQ(reg.distance(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(reg.distance(0, 4), 24.0);
+  EXPECT_DOUBLE_EQ(reg.min_distance(), 6.0);
+}
+
+TEST(Register, RingHasUniformNeighbourSpacing) {
+  const auto reg = AtomRegister::ring(8, 5.0);
+  ASSERT_EQ(reg.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(reg.distance(i, (i + 1) % 8), 5.0, 1e-9);
+  }
+  EXPECT_NEAR(reg.min_distance(), 5.0, 1e-9);
+}
+
+TEST(Register, SquareLattice) {
+  const auto reg = AtomRegister::square_lattice(3, 4, 5.0);
+  ASSERT_EQ(reg.size(), 12u);
+  EXPECT_DOUBLE_EQ(reg.min_distance(), 5.0);
+  // Diagonal neighbours are sqrt(2) * spacing apart.
+  EXPECT_NEAR(reg.distance(0, 5), 5.0 * std::numbers::sqrt2, 1e-9);
+}
+
+TEST(Register, TriangularLatticeEquilateral) {
+  const auto reg = AtomRegister::triangular_lattice(2, 2, 4.0);
+  ASSERT_EQ(reg.size(), 4u);
+  // Nearest neighbours in adjacent rows are also at the lattice spacing.
+  EXPECT_NEAR(reg.distance(0, 2), 4.0, 1e-9);
+}
+
+TEST(Register, CentroidRadius) {
+  const auto reg = AtomRegister::linear_chain(3, 10.0);  // x = 0, 10, 20
+  EXPECT_NEAR(reg.max_radius_from_centroid(), 10.0, 1e-9);
+}
+
+TEST(Register, JsonRoundTrip) {
+  const auto reg = AtomRegister::triangular_lattice(2, 3, 5.5);
+  auto parsed = AtomRegister::from_json(reg.to_json());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), reg);
+}
+
+TEST(Register, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(AtomRegister::from_json(common::Json("x")).ok());
+  auto bad = common::Json::array({common::Json::array({1.0})});
+  EXPECT_FALSE(AtomRegister::from_json(bad).ok());
+}
+
+TEST(Register, EmptyRegisterEdgeCases) {
+  AtomRegister reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_TRUE(std::isinf(reg.min_distance()));
+  EXPECT_DOUBLE_EQ(reg.max_radius_from_centroid(), 0.0);
+}
+
+// ---- Waveforms ------------------------------------------------------------
+
+TEST(WaveformTest, ConstantValue) {
+  const auto wf = Waveform::constant(100, 2.5);
+  EXPECT_EQ(wf.duration(), 100);
+  EXPECT_DOUBLE_EQ(wf.value_at(0), 2.5);
+  EXPECT_DOUBLE_EQ(wf.value_at(99), 2.5);
+  EXPECT_DOUBLE_EQ(wf.max_value(), 2.5);
+  EXPECT_DOUBLE_EQ(wf.min_value(), 2.5);
+}
+
+TEST(WaveformTest, RampEndpoints) {
+  const auto wf = Waveform::ramp(1000, -4.0, 8.0);
+  EXPECT_DOUBLE_EQ(wf.value_at(0), -4.0);
+  EXPECT_NEAR(wf.value_at(500), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(wf.value_at(1000), 8.0);
+  EXPECT_DOUBLE_EQ(wf.max_value(), 8.0);
+  EXPECT_DOUBLE_EQ(wf.min_value(), -4.0);
+}
+
+TEST(WaveformTest, BlackmanVanishesAtEdgesPeaksAtCenter) {
+  const auto wf = Waveform::blackman(1000, std::numbers::pi);
+  EXPECT_NEAR(wf.value_at(0), 0.0, 1e-9);
+  EXPECT_NEAR(wf.value_at(1000), 0.0, 1e-9);
+  EXPECT_GT(wf.value_at(500), wf.value_at(250));
+  EXPECT_NEAR(wf.integral(), std::numbers::pi, 1e-9);
+}
+
+TEST(WaveformTest, InterpolatedHitsNodes) {
+  const auto wf = Waveform::interpolated(300, {0.0, 6.0, 3.0});
+  EXPECT_DOUBLE_EQ(wf.value_at(0), 0.0);
+  EXPECT_NEAR(wf.value_at(150), 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(wf.value_at(300), 3.0);
+  EXPECT_DOUBLE_EQ(wf.max_value(), 6.0);
+}
+
+TEST(WaveformTest, CompositeConcatenates) {
+  const auto wf = Waveform::composite(
+      {Waveform::constant(100, 1.0), Waveform::constant(200, 2.0)});
+  EXPECT_EQ(wf.duration(), 300);
+  EXPECT_DOUBLE_EQ(wf.value_at(50), 1.0);
+  EXPECT_DOUBLE_EQ(wf.value_at(150), 2.0);
+  EXPECT_NEAR(wf.integral(), 1.0 * 0.1 + 2.0 * 0.2, 1e-12);
+}
+
+TEST(WaveformTest, SampleCountAndMidpoints) {
+  const auto wf = Waveform::ramp(100, 0.0, 1.0);
+  const auto samples = wf.sample(10);
+  ASSERT_EQ(samples.size(), 10u);
+  EXPECT_NEAR(samples[0], 0.05, 1e-9);  // midpoint of first bin
+  EXPECT_NEAR(samples[9], 0.95, 1e-9);
+}
+
+TEST(WaveformTest, EmptyWaveformIsSafe) {
+  Waveform wf;
+  EXPECT_EQ(wf.duration(), 0);
+  EXPECT_TRUE(wf.sample(10).empty());
+  EXPECT_DOUBLE_EQ(wf.integral(), 0.0);
+}
+
+struct WaveformCase {
+  const char* name;
+  Waveform wf;
+};
+
+class WaveformProperty : public ::testing::TestWithParam<WaveformCase> {};
+
+TEST_P(WaveformProperty, IntegralMatchesNumericQuadrature) {
+  const Waveform& wf = GetParam().wf;
+  const auto samples = wf.sample(1);
+  double numeric = 0;
+  for (const double v : samples) numeric += v * 1e-3;  // 1 ns in us
+  EXPECT_NEAR(wf.integral(), numeric, 1e-2 * std::max(1.0, std::abs(numeric)));
+}
+
+TEST_P(WaveformProperty, JsonRoundTrip) {
+  const Waveform& wf = GetParam().wf;
+  auto parsed = Waveform::from_json(wf.to_json());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), wf);
+  EXPECT_EQ(parsed.value().duration(), wf.duration());
+  for (DurationNsQ t = 0; t <= wf.duration(); t += wf.duration() / 7 + 1) {
+    EXPECT_DOUBLE_EQ(parsed.value().value_at(t), wf.value_at(t));
+  }
+}
+
+TEST_P(WaveformProperty, ExtremesBoundSamples) {
+  const Waveform& wf = GetParam().wf;
+  for (const double v : wf.sample(3)) {
+    EXPECT_LE(v, wf.max_value() + 1e-9);
+    EXPECT_GE(v, wf.min_value() - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WaveformProperty,
+    ::testing::Values(
+        WaveformCase{"constant", Waveform::constant(500, 3.0)},
+        WaveformCase{"ramp", Waveform::ramp(400, -2.0, 5.0)},
+        WaveformCase{"blackman", Waveform::blackman(600, 2.2)},
+        WaveformCase{"interp",
+                     Waveform::interpolated(350, {0.0, 1.0, -1.0, 2.0})},
+        WaveformCase{"composite",
+                     Waveform::composite({Waveform::ramp(100, 0, 1),
+                                          Waveform::constant(150, 1.0),
+                                          Waveform::ramp(100, 1, 0)})}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(WaveformTest, FromJsonRejectsUnknownKind) {
+  auto json = common::Json::object();
+  json["kind"] = "sinusoid";
+  json["duration_ns"] = 10;
+  EXPECT_FALSE(Waveform::from_json(json).ok());
+}
+
+}  // namespace
+}  // namespace qcenv::quantum

@@ -1,0 +1,266 @@
+// Samples statistics, observables, device specs, payload round-trips.
+#include <gtest/gtest.h>
+
+#include "quantum/device.hpp"
+#include "quantum/observable.hpp"
+#include "quantum/payload.hpp"
+#include "quantum/samples.hpp"
+
+namespace qcenv::quantum {
+namespace {
+
+Samples make_samples() {
+  Samples s(2);
+  s.record("00", 400);
+  s.record("11", 400);
+  s.record("01", 100);
+  s.record("10", 100);
+  return s;
+}
+
+TEST(SamplesTest, CountsAndProbabilities) {
+  const Samples s = make_samples();
+  EXPECT_EQ(s.total_shots(), 1000u);
+  EXPECT_DOUBLE_EQ(s.probability("00"), 0.4);
+  EXPECT_DOUBLE_EQ(s.probability("umm"), 0.0);
+}
+
+TEST(SamplesTest, Marginals) {
+  const Samples s = make_samples();
+  EXPECT_DOUBLE_EQ(s.marginal(0), 0.5);  // qubit 0 is '1' in "11"+"10"
+  EXPECT_DOUBLE_EQ(s.marginal(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.z_expectation(0), 0.0);
+}
+
+TEST(SamplesTest, ZZCorrelation) {
+  const Samples s = make_samples();
+  // P(same) - P(diff) = 0.8 - 0.2.
+  EXPECT_NEAR(s.zz_correlation(0, 1), 0.6, 1e-12);
+}
+
+TEST(SamplesTest, MeanExcitationFraction) {
+  Samples s(2);
+  s.record("11", 10);
+  s.record("00", 10);
+  EXPECT_DOUBLE_EQ(s.mean_excitation_fraction(), 0.5);
+}
+
+TEST(SamplesTest, TotalVariationDistance) {
+  Samples a(1), b(1);
+  a.record("0", 100);
+  b.record("1", 100);
+  EXPECT_DOUBLE_EQ(Samples::total_variation_distance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Samples::total_variation_distance(a, a), 0.0);
+  Samples c(1);
+  c.record("0", 50);
+  c.record("1", 50);
+  EXPECT_DOUBLE_EQ(Samples::total_variation_distance(a, c), 0.5);
+}
+
+TEST(SamplesTest, MergeAccumulates) {
+  Samples a(2), b(2);
+  a.record("00", 5);
+  b.record("00", 3);
+  b.record("11", 2);
+  ASSERT_TRUE(a.merge(b).ok());
+  EXPECT_EQ(a.total_shots(), 10u);
+  EXPECT_EQ(a.counts().at("00"), 8u);
+}
+
+TEST(SamplesTest, MergeRejectsWidthMismatch) {
+  Samples a(2), b(3);
+  a.record("00", 1);
+  b.record("000", 1);
+  EXPECT_FALSE(a.merge(b).ok());
+}
+
+TEST(SamplesTest, JsonRoundTripWithMetadata) {
+  Samples s = make_samples();
+  common::Json meta = common::Json::object();
+  meta["backend"] = "qpu:test";
+  s.set_metadata(meta);
+  auto parsed = Samples::from_json(s.to_json());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().counts(), s.counts());
+  EXPECT_EQ(parsed.value().metadata().at_or_null("backend").as_string(),
+            "qpu:test");
+}
+
+// ---- Observables ------------------------------------------------------------
+
+TEST(ObservableTest, DiagonalDetection) {
+  Observable obs(3);
+  ASSERT_TRUE(obs.add_term(1.0, "ZIZ").ok());
+  EXPECT_TRUE(obs.is_diagonal());
+  ASSERT_TRUE(obs.add_term(0.5, "XII").ok());
+  EXPECT_FALSE(obs.is_diagonal());
+}
+
+TEST(ObservableTest, RejectsBadTerms) {
+  Observable obs(2);
+  EXPECT_FALSE(obs.add_term(1.0, "Z").ok());     // wrong length
+  EXPECT_FALSE(obs.add_term(1.0, "ZQ").ok());    // bad character
+}
+
+TEST(ObservableTest, ExpectationFromSamples) {
+  Observable zz(2);
+  ASSERT_TRUE(zz.add_term(1.0, "ZZ").ok());
+  auto value = zz.expectation_from_samples(make_samples());
+  ASSERT_TRUE(value.ok());
+  EXPECT_NEAR(value.value(), 0.6, 1e-12);
+}
+
+TEST(ObservableTest, NonDiagonalNeedsStateBackend) {
+  Observable xx(2);
+  ASSERT_TRUE(xx.add_term(1.0, "XX").ok());
+  EXPECT_FALSE(xx.expectation_from_samples(make_samples()).ok());
+}
+
+TEST(ObservableTest, StaggeredMagnetization) {
+  const Observable obs = Observable::staggered_magnetization(4);
+  Samples neel(4);
+  neel.record("1010", 100);  // qubits 0,2 excited
+  auto value = obs.expectation_from_samples(neel);
+  ASSERT_TRUE(value.ok());
+  // qubit 0: +w * (-1) [excited], qubit1: -w * (+1), qubit2: +w*(-1),
+  // qubit3: -w*(+1) => sum = -1.
+  EXPECT_NEAR(value.value(), -1.0, 1e-12);
+}
+
+// ---- Device specs -----------------------------------------------------------
+
+TEST(DeviceSpecTest, AnalogDefaultIsSane) {
+  const DeviceSpec spec = DeviceSpec::analog_default();
+  EXPECT_FALSE(spec.supports_digital);
+  EXPECT_DOUBLE_EQ(spec.shot_rate_hz, 1.0);
+  // Blockade radius for C6=5420503, Omega=4pi: (C6/Omega)^(1/6) ~ 8.7 um.
+  EXPECT_NEAR(spec.blockade_radius(), 8.69, 0.05);
+}
+
+TEST(DeviceSpecTest, ValidateSequenceLimits) {
+  const DeviceSpec spec = DeviceSpec::analog_default();
+
+  Sequence ok_seq(AtomRegister::linear_chain(4, 6.0));
+  ok_seq.add_pulse(Pulse{Waveform::constant(500, 3.0),
+                         Waveform::constant(500, 0.0), 0.0});
+  EXPECT_TRUE(spec.validate(ok_seq).ok());
+
+  Sequence too_close(AtomRegister::linear_chain(2, 2.0));
+  too_close.add_pulse(Pulse{Waveform::constant(500, 3.0),
+                            Waveform::constant(500, 0.0), 0.0});
+  EXPECT_FALSE(spec.validate(too_close).ok());
+
+  Sequence too_strong(AtomRegister::linear_chain(2, 6.0));
+  too_strong.add_pulse(Pulse{Waveform::constant(500, 100.0),
+                             Waveform::constant(500, 0.0), 0.0});
+  EXPECT_FALSE(spec.validate(too_strong).ok());
+
+  Sequence too_long(AtomRegister::linear_chain(2, 6.0));
+  too_long.add_pulse(Pulse{Waveform::constant(200'000, 3.0),
+                           Waveform::constant(200'000, 0.0), 0.0});
+  EXPECT_FALSE(spec.validate(too_long).ok());
+
+  Sequence too_wide(AtomRegister::linear_chain(30, 6.0));  // radius 87 um
+  too_wide.add_pulse(Pulse{Waveform::constant(500, 3.0),
+                           Waveform::constant(500, 0.0), 0.0});
+  EXPECT_FALSE(spec.validate(too_wide).ok());
+}
+
+TEST(DeviceSpecTest, AnalogDeviceRejectsCircuits) {
+  const DeviceSpec spec = DeviceSpec::analog_default();
+  Circuit c(2);
+  c.h(0);
+  EXPECT_FALSE(spec.validate(c).ok());
+  EXPECT_TRUE(DeviceSpec::emulator_default().validate(c).ok());
+}
+
+TEST(DeviceSpecTest, JsonRoundTrip) {
+  DeviceSpec spec = DeviceSpec::analog_default();
+  spec.calibration.rabi_scale = 0.97;
+  spec.calibration.timestamp_ns = 12345;
+  auto parsed = DeviceSpec::from_json(spec.to_json());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().name, spec.name);
+  EXPECT_DOUBLE_EQ(parsed.value().calibration.rabi_scale, 0.97);
+  EXPECT_EQ(parsed.value().calibration.timestamp_ns, 12345);
+}
+
+TEST(CalibrationTest, FidelityDegradesWithErrors) {
+  CalibrationSnapshot nominal;
+  CalibrationSnapshot bad = nominal;
+  bad.rabi_scale = 0.9;
+  bad.dephasing_rate = 0.05;
+  bad.readout_p10 = 0.1;
+  EXPECT_GT(nominal.fidelity_estimate(), bad.fidelity_estimate());
+  EXPECT_GT(bad.fidelity_estimate(), 0.0);
+  EXPECT_LE(nominal.fidelity_estimate(), 1.0);
+}
+
+// ---- Payloads ---------------------------------------------------------------
+
+TEST(PayloadTest, AnalogRoundTrip) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(Pulse{Waveform::constant(100, 1.0),
+                      Waveform::constant(100, 0.0), 0.0});
+  Payload payload = Payload::from_sequence(seq, 250);
+  payload.metadata()["sdk"] = "pulser";
+  auto parsed = Payload::deserialize(payload.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().kind(), PayloadKind::kAnalog);
+  EXPECT_EQ(parsed.value().shots(), 250u);
+  EXPECT_EQ(parsed.value().num_qubits(), 2u);
+  EXPECT_EQ(parsed.value().sequence().value(), seq);
+  EXPECT_EQ(parsed.value().metadata().at_or_null("sdk").as_string(), "pulser");
+}
+
+TEST(PayloadTest, DigitalRoundTrip) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2);
+  const Payload payload = Payload::from_circuit(c, 99);
+  auto parsed = Payload::deserialize(payload.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().kind(), PayloadKind::kDigital);
+  EXPECT_EQ(parsed.value().circuit().value(), c);
+}
+
+TEST(PayloadTest, HashInvariantToShotsAndMetadata) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(Pulse{Waveform::constant(100, 1.0),
+                      Waveform::constant(100, 0.0), 0.0});
+  Payload a = Payload::from_sequence(seq, 100);
+  Payload b = Payload::from_sequence(seq, 5000);
+  b.metadata()["note"] = "different metadata";
+  EXPECT_EQ(a.program_hash(), b.program_hash());
+
+  Sequence other(AtomRegister::linear_chain(2, 7.0));
+  other.add_pulse(Pulse{Waveform::constant(100, 1.0),
+                        Waveform::constant(100, 0.0), 0.0});
+  EXPECT_NE(a.program_hash(),
+            Payload::from_sequence(other, 100).program_hash());
+}
+
+TEST(PayloadTest, KindMismatchErrors) {
+  Circuit c(1);
+  c.x(0);
+  const Payload payload = Payload::from_circuit(c, 10);
+  EXPECT_FALSE(payload.sequence().ok());
+  EXPECT_TRUE(payload.circuit().ok());
+}
+
+TEST(PayloadTest, DeserializeRejectsCorruptInput) {
+  EXPECT_FALSE(Payload::deserialize("not json").ok());
+  EXPECT_FALSE(Payload::deserialize(R"({"version":"other.v9"})").ok());
+  // Valid envelope, corrupt body.
+  EXPECT_FALSE(Payload::deserialize(
+                   R"({"version":"qcenv.payload.v1","kind":"analog",)"
+                   R"("body":{"bogus":1},"shots":10})")
+                   .ok());
+  // Non-positive shots.
+  EXPECT_FALSE(Payload::deserialize(
+                   R"({"version":"qcenv.payload.v1","kind":"digital",)"
+                   R"("body":{"num_qubits":1,"gates":[]},"shots":0})")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace qcenv::quantum

@@ -1,0 +1,175 @@
+// Analog sequences and gate circuits: validation, sampling, round-trips.
+#include <gtest/gtest.h>
+
+#include "quantum/circuit.hpp"
+#include "quantum/sequence.hpp"
+
+namespace qcenv::quantum {
+namespace {
+
+Sequence valid_sequence() {
+  Sequence seq(AtomRegister::linear_chain(3, 6.0));
+  seq.add_pulse(Pulse{Waveform::constant(200, 3.0),
+                      Waveform::ramp(200, -1.0, 1.0), 0.25});
+  seq.add_pulse(Pulse{Waveform::blackman(300, 2.0),
+                      Waveform::constant(300, 0.5), 0.0});
+  return seq;
+}
+
+TEST(SequenceTest, DurationSumsPulses) {
+  EXPECT_EQ(valid_sequence().duration(), 500);
+}
+
+TEST(SequenceTest, ValidSequencePasses) {
+  EXPECT_TRUE(valid_sequence().validate().ok());
+}
+
+TEST(SequenceTest, RejectsEmptyRegister) {
+  Sequence seq{AtomRegister{}};
+  EXPECT_FALSE(seq.validate().ok());
+}
+
+TEST(SequenceTest, RejectsMismatchedDurations) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(Pulse{Waveform::constant(100, 1.0),
+                      Waveform::constant(200, 0.0), 0.0});
+  EXPECT_FALSE(seq.validate().ok());
+}
+
+TEST(SequenceTest, RejectsNegativeAmplitude) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(Pulse{Waveform::ramp(100, -1.0, 1.0),
+                      Waveform::constant(100, 0.0), 0.0});
+  EXPECT_FALSE(seq.validate().ok());
+}
+
+TEST(SequenceTest, DetuningMapValidation) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(Pulse{Waveform::constant(100, 1.0),
+                      Waveform::constant(100, 0.0), 0.0});
+  DetuningMap map;
+  map.weights = {0.5};  // wrong size
+  map.detuning = Waveform::constant(100, -1.0);
+  seq.set_detuning_map(map);
+  EXPECT_FALSE(seq.validate().ok());
+
+  map.weights = {0.5, 1.5};  // out of range
+  seq.set_detuning_map(map);
+  EXPECT_FALSE(seq.validate().ok());
+
+  map.weights = {0.5, 1.0};
+  map.detuning = Waveform::constant(100, +1.0);  // positive not allowed
+  seq.set_detuning_map(map);
+  EXPECT_FALSE(seq.validate().ok());
+
+  map.detuning = Waveform::constant(100, -1.0);
+  seq.set_detuning_map(map);
+  EXPECT_TRUE(seq.validate().ok());
+}
+
+TEST(SequenceTest, SamplingConcatenatesChannels) {
+  const auto grid = valid_sequence().sample(10);
+  EXPECT_EQ(grid.steps(), 50u);
+  EXPECT_EQ(grid.dt_ns, 10);
+  // First pulse phase then second pulse phase.
+  EXPECT_DOUBLE_EQ(grid.phase[0], 0.25);
+  EXPECT_DOUBLE_EQ(grid.phase[25], 0.0);
+  EXPECT_NEAR(grid.omega[5], 3.0, 1e-9);
+}
+
+TEST(SequenceTest, SamplingWithDetuningMapScalesPerQubit) {
+  Sequence seq(AtomRegister::linear_chain(3, 6.0));
+  seq.add_pulse(Pulse{Waveform::constant(100, 1.0),
+                      Waveform::constant(100, 0.0), 0.0});
+  DetuningMap map;
+  map.weights = {1.0, 0.5, 0.0};
+  map.detuning = Waveform::constant(100, -8.0);
+  seq.set_detuning_map(map);
+  const auto grid = seq.sample(10);
+  ASSERT_EQ(grid.delta_local.size(), 3u);
+  EXPECT_NEAR(grid.delta_local[0][0], -8.0, 1e-9);
+  EXPECT_NEAR(grid.delta_local[1][0], -4.0, 1e-9);
+  EXPECT_NEAR(grid.delta_local[2][0], 0.0, 1e-9);
+}
+
+TEST(SequenceTest, JsonRoundTrip) {
+  Sequence seq = valid_sequence();
+  DetuningMap map;
+  map.weights = {1.0, 0.0, 0.5};
+  map.detuning = Waveform::constant(500, -2.0);
+  seq.set_detuning_map(map);
+  auto parsed = Sequence::from_json(seq.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value(), seq);
+  EXPECT_TRUE(parsed.value().has_detuning_map());
+}
+
+// ---- Circuits -------------------------------------------------------------
+
+TEST(CircuitTest, BuilderChainsGates) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).rz(2, 0.5).cz(1, 2);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.two_qubit_gate_count(), 2u);
+  EXPECT_TRUE(c.validate().ok());
+}
+
+TEST(CircuitTest, DepthComputation) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);          // depth 1 (parallel)
+  c.cx(0, 1);                // depth 2
+  c.cx(1, 2);                // depth 3
+  c.x(0);                    // depth 3 (parallel with cx(1,2))
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(CircuitTest, ValidationCatchesBadOperands) {
+  Circuit out_of_range(2);
+  out_of_range.x(5);
+  EXPECT_FALSE(out_of_range.validate().ok());
+
+  Circuit duplicate(2);
+  duplicate.add(GateKind::kCz, {1, 1});
+  EXPECT_FALSE(duplicate.validate().ok());
+
+  Circuit wrong_arity(2);
+  wrong_arity.add(GateKind::kCx, {0});
+  EXPECT_FALSE(wrong_arity.validate().ok());
+
+  Circuit zero_qubits(0);
+  EXPECT_FALSE(zero_qubits.validate().ok());
+}
+
+TEST(CircuitTest, JsonRoundTrip) {
+  Circuit c(4);
+  c.h(0).t(1).rx(2, 1.25).cx(0, 3).swap(1, 2).phase(3, -0.5);
+  auto parsed = Circuit::from_json(c.to_json());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), c);
+}
+
+TEST(CircuitTest, GateNamesRoundTrip) {
+  const GateKind kinds[] = {GateKind::kI,   GateKind::kX,    GateKind::kY,
+                            GateKind::kZ,   GateKind::kH,    GateKind::kS,
+                            GateKind::kSdg, GateKind::kT,    GateKind::kTdg,
+                            GateKind::kRx,  GateKind::kRy,   GateKind::kRz,
+                            GateKind::kPhase, GateKind::kCz, GateKind::kCx,
+                            GateKind::kSwap};
+  for (const GateKind kind : kinds) {
+    auto back = gate_kind_from_string(to_string(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(gate_kind_from_string("toffoli").ok());
+}
+
+TEST(CircuitTest, ParameterizedGatesKeepParam) {
+  Circuit c(1);
+  c.rx(0, 0.75);
+  auto parsed = Circuit::from_json(c.to_json());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().gates()[0].param, 0.75);
+}
+
+}  // namespace
+}  // namespace qcenv::quantum

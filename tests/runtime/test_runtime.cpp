@@ -1,0 +1,226 @@
+// HybridRuntime: local and daemon modes, portability validation, executor.
+#include <gtest/gtest.h>
+
+#include "daemon/daemon.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/runtime.hpp"
+
+namespace qcenv::runtime {
+namespace {
+
+using common::Config;
+using common::Json;
+using quantum::AtomRegister;
+using quantum::Payload;
+using quantum::Sequence;
+using quantum::Waveform;
+
+Payload small_payload(std::uint64_t shots = 40) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{Waveform::constant(200, 2.0),
+                               Waveform::constant(200, 0.0), 0.0});
+  return Payload::from_sequence(seq, shots);
+}
+
+qrmi::ResourceRegistry make_registry() {
+  qrmi::ResourceRegistry registry;
+  registry.add("emu-sv", qrmi::LocalEmulatorQrmi::create("emu-sv", "sv").value());
+  registry.add("emu-mock",
+               qrmi::LocalEmulatorQrmi::create("emu-mock", "mps-mock").value());
+  return registry;
+}
+
+TEST(ResolveResource, PrecedenceChain) {
+  Config config;
+  ASSERT_TRUE(config.load_string("QCENV_QPU=from-config\n").ok());
+  RuntimeOptions options;
+  EXPECT_EQ(resolve_resource_name(options, config).value(), "from-config");
+  options.resource = "explicit";
+  EXPECT_EQ(resolve_resource_name(options, config).value(), "explicit");
+
+  Config qrmi_only;
+  ASSERT_TRUE(qrmi_only.load_string("QRMI_RESOURCE_ID=via-qrmi\n").ok());
+  options.resource.clear();
+  EXPECT_EQ(resolve_resource_name(options, qrmi_only).value(), "via-qrmi");
+
+  Config empty;
+  EXPECT_FALSE(resolve_resource_name(options, empty).ok());
+}
+
+TEST(HybridRuntimeLocal, RunsOnRegistryResource) {
+  const auto registry = make_registry();
+  RuntimeOptions options;
+  options.resource = "emu-sv";
+  auto runtime = HybridRuntime::connect_local(&registry, options);
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_EQ(runtime.value()->mode(), "local");
+  EXPECT_EQ(runtime.value()->resource_name(), "emu-sv");
+  auto samples = runtime.value()->run(small_payload(33));
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.value().total_shots(), 33u);
+}
+
+TEST(HybridRuntimeLocal, SwitchingResourceIsConfigOnly) {
+  // The Figure-1 property: identical code path, different --qpu value.
+  const auto registry = make_registry();
+  for (const std::string resource : {"emu-sv", "emu-mock"}) {
+    RuntimeOptions options;
+    options.resource = resource;
+    auto runtime = HybridRuntime::connect_local(&registry, options);
+    ASSERT_TRUE(runtime.ok());
+    auto samples = runtime.value()->run(small_payload(10));
+    ASSERT_TRUE(samples.ok()) << resource;
+    EXPECT_EQ(samples.value().total_shots(), 10u);
+  }
+}
+
+TEST(HybridRuntimeLocal, UnknownResourceFailsFast) {
+  const auto registry = make_registry();
+  RuntimeOptions options;
+  options.resource = "fresnel-prod";
+  EXPECT_FALSE(HybridRuntime::connect_local(&registry, options).ok());
+}
+
+TEST(HybridRuntimeLocal, SubmitWaitCancelSurface) {
+  const auto registry = make_registry();
+  RuntimeOptions options;
+  options.resource = "emu-sv";
+  auto runtime = HybridRuntime::connect_local(&registry, options);
+  ASSERT_TRUE(runtime.ok());
+  auto handle = runtime.value()->submit(small_payload(5));
+  ASSERT_TRUE(handle.ok());
+  auto samples = runtime.value()->wait(handle.value());
+  ASSERT_TRUE(samples.ok());
+}
+
+TEST(Portability, ReportCompatibleProgram) {
+  const auto spec = quantum::DeviceSpec::analog_default();
+  const auto report = validate_payload(small_payload(), spec, 0);
+  EXPECT_TRUE(report.compatible);
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.device, "sim-analog");
+}
+
+TEST(Portability, DeviceLimitViolationIsError) {
+  const auto spec = quantum::DeviceSpec::analog_default();
+  Sequence seq(AtomRegister::linear_chain(2, 2.0));  // too close
+  seq.add_pulse(quantum::Pulse{Waveform::constant(200, 2.0),
+                               Waveform::constant(200, 0.0), 0.0});
+  const auto report =
+      validate_payload(Payload::from_sequence(seq, 10), spec, 0);
+  EXPECT_FALSE(report.compatible);
+  EXPECT_GE(report.error_count(), 1u);
+  EXPECT_NE(report.to_string().find("INCOMPATIBLE"), std::string::npos);
+}
+
+TEST(Portability, DegradedCalibrationWarns) {
+  auto spec = quantum::DeviceSpec::analog_default();
+  spec.calibration.dephasing_rate = 0.2;  // badly drifted
+  spec.calibration.readout_p10 = 0.2;
+  const auto report = validate_payload(small_payload(), spec, 0);
+  EXPECT_TRUE(report.compatible);  // warnings only
+  EXPECT_GE(report.warning_count(), 1u);
+}
+
+TEST(Portability, StaleCalibrationWarns) {
+  auto spec = quantum::DeviceSpec::analog_default();
+  spec.calibration.timestamp_ns = common::kSecond;  // ancient snapshot
+  const common::TimeNs now = 10LL * 3600 * common::kSecond;
+  const auto report = validate_payload(small_payload(), spec, now);
+  EXPECT_GE(report.warning_count(), 1u);
+  EXPECT_NE(report.to_string().find("refetch"), std::string::npos);
+}
+
+TEST(HybridRuntimeDaemon, EndToEndThroughRest) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  common::WallClock clock;
+  daemon::DaemonOptions daemon_options;
+  daemon::MiddlewareDaemon middleware(daemon_options, resource, nullptr,
+                                      &clock);
+  auto port = middleware.start();
+  ASSERT_TRUE(port.ok());
+
+  RuntimeOptions options;
+  options.user = "alice";
+  options.job_class = daemon::JobClass::kTest;
+  options.poll_interval = common::kMillisecond;
+  auto runtime = HybridRuntime::connect_daemon(port.value(), options);
+  ASSERT_TRUE(runtime.ok()) << runtime.error().to_string();
+  EXPECT_EQ(runtime.value()->mode(), "daemon");
+
+  auto spec = runtime.value()->device();
+  ASSERT_TRUE(spec.ok());
+  auto report = runtime.value()->validate(small_payload());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().compatible);
+
+  auto samples = runtime.value()->run(small_payload(25));
+  ASSERT_TRUE(samples.ok()) << samples.error().to_string();
+  EXPECT_EQ(samples.value().total_shots(), 25u);
+}
+
+TEST(HybridRuntimeDaemon, ConnectFailsWithoutDaemon) {
+  RuntimeOptions options;
+  auto runtime = HybridRuntime::connect_daemon(1, options);  // port 1: nobody
+  EXPECT_FALSE(runtime.ok());
+}
+
+TEST(HybridExecutorTest, OptimizesSimpleLandscape) {
+  // Cost = excitation probability of qubit 0 after an RX(theta): minimal at
+  // theta = 0 (mod 2pi). Start at 2.0 and let the loop walk down.
+  const auto registry = make_registry();
+  RuntimeOptions options;
+  options.resource = "emu-sv";
+  auto runtime = HybridRuntime::connect_local(&registry, options);
+  ASSERT_TRUE(runtime.ok());
+  HybridExecutor executor(runtime.value().get());
+
+  ParametricProgram program = [](const std::vector<double>& params) {
+    quantum::Circuit c(1);
+    c.rx(0, params[0]);
+    return Payload::from_circuit(c, 400);
+  };
+  CostFunction cost = [](const quantum::Samples& samples) {
+    return samples.marginal(0);
+  };
+  // Simple fixed-pattern strategy: golden-section-ish shrink around best.
+  ParameterStrategy strategy =
+      [](const std::vector<std::vector<double>>& params,
+         const std::vector<double>& costs) -> std::vector<double> {
+    if (params.size() >= 12) return {};
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < costs.size(); ++i) {
+      if (costs[i] < costs[best]) best = i;
+    }
+    const double step = 1.2 / static_cast<double>(params.size());
+    return {params[best][0] - step};
+  };
+
+  auto loop = executor.optimize(program, cost, strategy, {2.0});
+  ASSERT_TRUE(loop.ok());
+  EXPECT_GE(loop.value().iterations.size(), 2u);
+  EXPECT_LT(loop.value().best().cost, 0.3);
+  EXPECT_LT(loop.value().best().parameters[0], 2.0);
+}
+
+TEST(HybridExecutorTest, EvaluateSingleShot) {
+  const auto registry = make_registry();
+  RuntimeOptions options;
+  options.resource = "emu-sv";
+  auto runtime = HybridRuntime::connect_local(&registry, options);
+  ASSERT_TRUE(runtime.ok());
+  HybridExecutor executor(runtime.value().get());
+  auto result = executor.evaluate(
+      [](const std::vector<double>&) {
+        quantum::Circuit c(1);
+        c.x(0);
+        return Payload::from_circuit(c, 100);
+      },
+      [](const quantum::Samples& s) { return 1.0 - s.marginal(0); }, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().cost, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qcenv::runtime

@@ -1,0 +1,301 @@
+// The three SDK front-ends: pulser builder, qgate transpiler (unitary
+// equivalence), kernelq kernels — and cross-SDK agreement through one
+// QRMI resource.
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "emulator/backend.hpp"
+#include "emulator/statevector.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "sdk/kernelq.hpp"
+#include "sdk/pulser.hpp"
+#include "sdk/qgate.hpp"
+
+namespace qcenv::sdk {
+namespace {
+
+using quantum::AtomRegister;
+using quantum::Circuit;
+using quantum::DeviceSpec;
+using quantum::Payload;
+using quantum::Samples;
+
+constexpr double kPi = std::numbers::pi;
+
+// ---- pulser ----------------------------------------------------------------
+
+TEST(PulserSdk, BuildsValidSequence) {
+  pulser::SequenceBuilder builder(AtomRegister::linear_chain(3, 6.0),
+                                  DeviceSpec::analog_default());
+  ASSERT_TRUE(builder.declare_channel("global", pulser::ChannelKind::kRydbergGlobal)
+                  .ok());
+  ASSERT_TRUE(
+      builder.add(pulser::constant_pulse(300, 3.0, 0.5, 0.0), "global").ok());
+  ASSERT_TRUE(
+      builder.add(pulser::blackman_pulse(400, 2.0, 0.0, 0.1), "global").ok());
+  auto sequence = builder.build();
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence.value().duration(), 700);
+  auto payload = builder.to_payload(100);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload.value().metadata().at_or_null("sdk").as_string(),
+            "pulser");
+}
+
+TEST(PulserSdk, ChannelDiscipline) {
+  pulser::SequenceBuilder builder(AtomRegister::linear_chain(2, 6.0),
+                                  DeviceSpec::analog_default());
+  ASSERT_TRUE(builder.declare_channel("g", pulser::ChannelKind::kRydbergGlobal)
+                  .ok());
+  // Second global channel refused (hardware has one).
+  EXPECT_FALSE(
+      builder.declare_channel("g2", pulser::ChannelKind::kRydbergGlobal).ok());
+  // Duplicate name refused.
+  EXPECT_FALSE(
+      builder.declare_channel("g", pulser::ChannelKind::kDetuningMap).ok());
+  // Pulse on undeclared channel refused.
+  EXPECT_FALSE(
+      builder.add(pulser::constant_pulse(100, 1.0, 0.0, 0.0), "nope").ok());
+}
+
+TEST(PulserSdk, DetuningMapChannel) {
+  pulser::SequenceBuilder builder(AtomRegister::linear_chain(2, 6.0),
+                                  DeviceSpec::analog_default());
+  ASSERT_TRUE(builder.declare_channel("g", pulser::ChannelKind::kRydbergGlobal)
+                  .ok());
+  ASSERT_TRUE(
+      builder.declare_channel("dmm", pulser::ChannelKind::kDetuningMap).ok());
+  ASSERT_TRUE(builder.add(pulser::constant_pulse(100, 1.0, 0.0, 0.0), "g")
+                  .ok());
+  ASSERT_TRUE(builder
+                  .add_detuning_map("dmm", {1.0, 0.0},
+                                    quantum::Waveform::constant(100, -5.0))
+                  .ok());
+  // Pulses cannot target the DMM channel; second map refused.
+  EXPECT_FALSE(
+      builder.add(pulser::constant_pulse(100, 1.0, 0.0, 0.0), "dmm").ok());
+  EXPECT_FALSE(builder
+                   .add_detuning_map("dmm", {0.5, 0.5},
+                                     quantum::Waveform::constant(100, -1.0))
+                   .ok());
+  ASSERT_TRUE(builder.build().ok());
+}
+
+TEST(PulserSdk, DeviceValidationAtBuild) {
+  // Amplitude over the device maximum: accepted by the builder, rejected at
+  // build() — matching Pulser's validate-at-build behaviour.
+  pulser::SequenceBuilder builder(AtomRegister::linear_chain(2, 6.0),
+                                  DeviceSpec::analog_default());
+  ASSERT_TRUE(builder.declare_channel("g", pulser::ChannelKind::kRydbergGlobal)
+                  .ok());
+  ASSERT_TRUE(
+      builder.add(pulser::constant_pulse(100, 1000.0, 0.0, 0.0), "g").ok());
+  EXPECT_FALSE(builder.build().ok());
+}
+
+// ---- qgate transpiler -------------------------------------------------------
+
+/// Fidelity between states produced by `a` and `b` from a random-ish input.
+double circuit_agreement(const Circuit& a, const Circuit& b) {
+  using namespace qcenv::emulator;
+  StateVector psi_a(a.num_qubits());
+  StateVector psi_b(b.num_qubits());
+  // Non-trivial input state.
+  for (std::size_t q = 0; q < a.num_qubits(); ++q) {
+    psi_a.apply_1q(gate_ry(0.3 + 0.4 * static_cast<double>(q)), q);
+    psi_b.apply_1q(gate_ry(0.3 + 0.4 * static_cast<double>(q)), q);
+  }
+  const auto apply = [](StateVector& psi, const Circuit& circuit) {
+    for (const auto& gate : circuit.gates()) {
+      if (quantum::arity(gate.kind) == 1) {
+        switch (gate.kind) {
+          case quantum::GateKind::kRx: psi.apply_1q(gate_rx(gate.param), gate.qubits[0]); break;
+          case quantum::GateKind::kRy: psi.apply_1q(gate_ry(gate.param), gate.qubits[0]); break;
+          case quantum::GateKind::kRz: psi.apply_1q(gate_rz(gate.param), gate.qubits[0]); break;
+          case quantum::GateKind::kPhase: psi.apply_1q(gate_phase(gate.param), gate.qubits[0]); break;
+          case quantum::GateKind::kH: psi.apply_1q(gate_h(), gate.qubits[0]); break;
+          case quantum::GateKind::kX: psi.apply_1q(gate_x(), gate.qubits[0]); break;
+          case quantum::GateKind::kY: psi.apply_1q(gate_y(), gate.qubits[0]); break;
+          case quantum::GateKind::kZ: psi.apply_1q(gate_z(), gate.qubits[0]); break;
+          case quantum::GateKind::kS: psi.apply_1q(gate_s(), gate.qubits[0]); break;
+          case quantum::GateKind::kSdg: psi.apply_1q(gate_sdg(), gate.qubits[0]); break;
+          case quantum::GateKind::kT: psi.apply_1q(gate_t(), gate.qubits[0]); break;
+          case quantum::GateKind::kTdg: psi.apply_1q(gate_tdg(), gate.qubits[0]); break;
+          default: break;
+        }
+      } else {
+        switch (gate.kind) {
+          case quantum::GateKind::kCz: psi.apply_2q(gate_cz(), gate.qubits[0], gate.qubits[1]); break;
+          case quantum::GateKind::kCx: psi.apply_2q(gate_cx(), gate.qubits[0], gate.qubits[1]); break;
+          case quantum::GateKind::kSwap: psi.apply_2q(gate_swap(), gate.qubits[0], gate.qubits[1]); break;
+          default: break;
+        }
+      }
+    }
+  };
+  apply(psi_a, a);
+  apply(psi_b, b);
+  return psi_a.fidelity(psi_b);
+}
+
+struct TranspileCase {
+  const char* name;
+  Circuit circuit;
+};
+
+class TranspileProperty : public ::testing::TestWithParam<TranspileCase> {};
+
+TEST_P(TranspileProperty, UnitaryEquivalentUpToGlobalPhase) {
+  const Circuit& original = GetParam().circuit;
+  auto native = qgate::transpile(original);
+  ASSERT_TRUE(native.ok());
+  for (const auto& gate : native.value().gates()) {
+    EXPECT_TRUE(qgate::is_native(gate.kind))
+        << "non-native gate survived: " << quantum::to_string(gate.kind);
+  }
+  EXPECT_NEAR(circuit_agreement(original, native.value()), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Circuits, TranspileProperty,
+    ::testing::Values(
+        TranspileCase{"single_gates",
+                      [] {
+                        Circuit c(2);
+                        c.h(0).x(1).y(0).z(1).s(0).t(1);
+                        c.add(quantum::GateKind::kSdg, {0});
+                        c.add(quantum::GateKind::kTdg, {1});
+                        return c;
+                      }()},
+        TranspileCase{"rotations",
+                      [] {
+                        Circuit c(2);
+                        c.rx(0, 0.3).ry(1, -1.1).rz(0, 2.2).phase(1, 0.7);
+                        return c;
+                      }()},
+        TranspileCase{"bell",
+                      [] {
+                        Circuit c(2);
+                        c.h(0).cx(0, 1);
+                        return c;
+                      }()},
+        TranspileCase{"swap_chain",
+                      [] {
+                        Circuit c(3);
+                        c.h(0).swap(0, 2).cx(2, 1);
+                        return c;
+                      }()},
+        TranspileCase{"ghz4",
+                      [] { return qgate::ghz(4); }()},
+        TranspileCase{"qaoa",
+                      [] {
+                        return qgate::qaoa_maxcut(
+                            4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+                            {0.4, 0.8}, {0.9, 0.2});
+                      }()}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(QgateSdk, TranspileStatsAndPayload) {
+  const Circuit bell = qgate::ghz(2);
+  auto native = qgate::transpile(bell);
+  ASSERT_TRUE(native.ok());
+  const auto stats = qgate::stats(bell, native.value());
+  EXPECT_EQ(stats.input_gates, 2u);
+  EXPECT_GT(stats.output_gates, 2u);
+  EXPECT_EQ(stats.two_qubit_gates, 1u);  // one CZ
+
+  auto payload = qgate::to_payload(bell, 100, /*native_only=*/true);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_TRUE(
+      payload.value().metadata().at_or_null("transpiled").as_bool());
+  auto circuit = payload.value().circuit();
+  ASSERT_TRUE(circuit.ok());
+  for (const auto& gate : circuit.value().gates()) {
+    EXPECT_TRUE(qgate::is_native(gate.kind));
+  }
+}
+
+TEST(QgateSdk, TranspileRejectsInvalidCircuit) {
+  Circuit bad(1);
+  bad.cx(0, 0);  // will fail arity/duplicate validation
+  bad.x(3);
+  EXPECT_FALSE(qgate::transpile(bad).ok());
+}
+
+// ---- kernelq ----------------------------------------------------------------
+
+TEST(KernelqSdk, SampleBellState) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  kernelq::Kernel kernel(2);
+  const auto& q = kernel.qubits();
+  kernel.h(q[0]).cx(q[0], q[1]);
+  auto samples = kernelq::sample(kernel, 2000, *resource);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_NEAR(samples.value().probability("00"), 0.5, 0.05);
+  EXPECT_NEAR(samples.value().probability("11"), 0.5, 0.05);
+  EXPECT_EQ(samples.value().metadata().at_or_null("backend").as_string(),
+            "emu-sv");
+}
+
+TEST(KernelqSdk, ObserveDiagonalObservable) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  kernelq::Kernel kernel(2);
+  const auto& q = kernel.qubits();
+  kernel.x(q[0]).x(q[1]);
+  quantum::Observable zz(2);
+  ASSERT_TRUE(zz.add_term(1.0, "ZZ").ok());
+  auto value = kernelq::observe(kernel, zz, 500, *resource);
+  ASSERT_TRUE(value.ok());
+  EXPECT_NEAR(value.value(), 1.0, 1e-9);  // (-1)*(-1)
+}
+
+TEST(KernelqSdk, ObserveRejectsNonDiagonal) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  kernelq::Kernel kernel(1);
+  quantum::Observable x(1);
+  ASSERT_TRUE(x.add_term(1.0, "X").ok());
+  EXPECT_FALSE(kernelq::observe(kernel, x, 100, *resource).ok());
+}
+
+// ---- Cross-SDK agreement ----------------------------------------------------
+
+TEST(MultiSdk, QgateAndKernelqAgreeThroughOneResource) {
+  // The multi-SDK claim: two different front-ends produce statistically
+  // identical results on the same QRMI resource.
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+
+  kernelq::Kernel kernel(3);
+  const auto& q = kernel.qubits();
+  kernel.h(q[0]).cx(q[0], q[1]).cx(q[1], q[2]);
+  auto from_kernelq = kernelq::sample(kernel, 4000, *resource);
+  ASSERT_TRUE(from_kernelq.ok());
+
+  auto payload = qgate::to_payload(qgate::ghz(3), 4000, true);
+  ASSERT_TRUE(payload.ok());
+  auto from_qgate = resource->run_sync(payload.value());
+  ASSERT_TRUE(from_qgate.ok());
+
+  EXPECT_LT(Samples::total_variation_distance(from_kernelq.value(),
+                                              from_qgate.value()),
+            0.05);
+}
+
+TEST(MultiSdk, PulserPiPulseMatchesTheory) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  pulser::SequenceBuilder builder(AtomRegister::linear_chain(1, 6.0),
+                                  DeviceSpec::analog_default());
+  ASSERT_TRUE(builder.declare_channel("g", pulser::ChannelKind::kRydbergGlobal)
+                  .ok());
+  // pi pulse: Omega = 2pi rad/us for 500 ns.
+  ASSERT_TRUE(
+      builder.add(pulser::constant_pulse(500, 2.0 * kPi, 0.0, 0.0), "g").ok());
+  auto payload = builder.to_payload(300);
+  ASSERT_TRUE(payload.ok());
+  auto samples = resource->run_sync(payload.value());
+  ASSERT_TRUE(samples.ok());
+  EXPECT_GT(samples.value().probability("1"), 0.99);
+}
+
+}  // namespace
+}  // namespace qcenv::sdk

@@ -1,0 +1,122 @@
+// Discrete-event simulator: ordering, cancellation, virtual time.
+#include <gtest/gtest.h>
+
+#include "simkit/simulator.hpp"
+
+namespace qcenv::simkit {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, StableTieBreakAtSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(50, [&] { order.push_back(1); });
+  sim.schedule_at(50, [&] { order.push_back(2); });
+  sim.schedule_at(50, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  common::TimeNs fired_at = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { EXPECT_EQ(sim.now(), 100); });
+  });
+  EXPECT_EQ(sim.run(), 2u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdIsRejected) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(999));
+  EXPECT_FALSE(sim.cancel(0));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(i * 100, [&] { ++count; });
+  }
+  sim.run(500);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 500);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsCanScheduleChains) {
+  // A self-perpetuating process: 100 links.
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 100) sim.schedule_after(10, hop);
+  };
+  sim.schedule_at(0, hop);
+  sim.run();
+  EXPECT_EQ(hops, 100);
+  EXPECT_EQ(sim.now(), 990);
+}
+
+TEST(Simulator, PendingCountTracksLiveEvents) {
+  Simulator sim;
+  EXPECT_TRUE(sim.empty());
+  const auto a = sim.schedule_at(5, [] {});
+  sim.schedule_at(6, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimClockTest, ReflectsSimulatorTime) {
+  Simulator sim;
+  SimClock clock(sim);
+  sim.schedule_at(42, [] {});
+  sim.run();
+  EXPECT_EQ(clock.now(), 42);
+}
+
+}  // namespace
+}  // namespace qcenv::simkit

@@ -1,0 +1,332 @@
+// slurmlite: priority scheduling, backfill, preemption, GRES accounting,
+// SPANK plugins — all in virtual time.
+#include <gtest/gtest.h>
+
+#include "qrmi/local_emulator.hpp"
+#include "slurm/scheduler.hpp"
+
+namespace qcenv::slurm {
+namespace {
+
+using common::kSecond;
+
+ClusterConfig small_cluster() {
+  ClusterConfig config;
+  config.nodes = {{"n0", 8, 0}, {"n1", 8, 0}};
+  config.partitions = {
+      {"production", 300, true, 24LL * 3600 * kSecond},
+      {"dev", 100, false, 24LL * 3600 * kSecond},
+  };
+  config.gres = {{"qpu", 10}};
+  return config;
+}
+
+JobSubmission simple_job(const std::string& partition, DurationNs duration,
+                         int cpus = 4) {
+  JobSubmission submission;
+  submission.name = "job";
+  submission.user = "alice";
+  submission.partition = partition;
+  submission.cpus_per_node = cpus;
+  submission.duration = duration;
+  submission.time_limit = duration * 2;
+  return submission;
+}
+
+TEST(SlurmScheduler, RunsJobToCompletion) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  bool started = false, ended = false;
+  JobCallbacks callbacks;
+  callbacks.on_start = [&](const BatchJob&) { started = true; };
+  callbacks.on_end = [&](const BatchJob& job) {
+    ended = true;
+    EXPECT_EQ(job.state, JobState::kCompleted);
+  };
+  auto id = slurm.submit(simple_job("dev", 60 * kSecond), callbacks);
+  ASSERT_TRUE(id.ok());
+  sim.run();
+  EXPECT_TRUE(started);
+  EXPECT_TRUE(ended);
+  EXPECT_EQ(sim.now(), 60 * kSecond);
+}
+
+TEST(SlurmScheduler, RejectsInvalidSubmissions) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  EXPECT_FALSE(slurm.submit(simple_job("nonexistent", kSecond)).ok());
+
+  JobSubmission too_long = simple_job("dev", kSecond);
+  too_long.time_limit = 100LL * 24 * 3600 * kSecond;
+  EXPECT_FALSE(slurm.submit(too_long).ok());
+
+  JobSubmission too_many_nodes = simple_job("dev", kSecond);
+  too_many_nodes.nodes = 99;
+  EXPECT_FALSE(slurm.submit(too_many_nodes).ok());
+
+  JobSubmission bad_gres = simple_job("dev", kSecond);
+  bad_gres.gres["fpga"] = 1;
+  EXPECT_FALSE(slurm.submit(bad_gres).ok());
+
+  JobSubmission too_much_gres = simple_job("dev", kSecond);
+  too_much_gres.gres["qpu"] = 11;
+  EXPECT_FALSE(slurm.submit(too_much_gres).ok());
+}
+
+TEST(SlurmScheduler, QueuesWhenFullThenRuns) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  // Each node has 8 cpus; 4 jobs of 8 cpus = 2 run, 2 wait.
+  std::vector<common::JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(
+        slurm.submit(simple_job("dev", 100 * kSecond, 8)).value());
+  }
+  EXPECT_EQ(slurm.running_count(), 2u);
+  EXPECT_EQ(slurm.pending_count(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.now(), 200 * kSecond);  // two waves
+  for (const auto id : ids) {
+    EXPECT_EQ(slurm.query(id).value().state, JobState::kCompleted);
+  }
+}
+
+TEST(SlurmScheduler, PriorityOrdersPendingJobs) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  // Fill the cluster.
+  (void)slurm.submit(simple_job("dev", 50 * kSecond, 8)).value();
+  (void)slurm.submit(simple_job("dev", 50 * kSecond, 8)).value();
+  // Queue a dev job first, then production: production must start first.
+  auto dev = slurm.submit(simple_job("dev", 10 * kSecond, 8)).value();
+  auto prod = slurm.submit(simple_job("production", 10 * kSecond, 8)).value();
+  sim.run();
+  const auto dev_job = slurm.query(dev).value();
+  const auto prod_job = slurm.query(prod).value();
+  EXPECT_LT(prod_job.start_time, dev_job.start_time);
+}
+
+TEST(SlurmScheduler, ProductionPreemptsLowerPartition) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  // Fill both nodes with dev work.
+  auto victim1 = slurm.submit(simple_job("dev", 1000 * kSecond, 8)).value();
+  auto victim2 = slurm.submit(simple_job("dev", 1000 * kSecond, 8)).value();
+  EXPECT_EQ(slurm.running_count(), 2u);
+  // Production job arrives needing a full node.
+  auto prod = slurm.submit(simple_job("production", 10 * kSecond, 8)).value();
+  // Preemption happens synchronously at submit.
+  EXPECT_EQ(slurm.query(prod).value().state, JobState::kRunning);
+  const bool v1_preempted =
+      slurm.query(victim1).value().preempt_count > 0;
+  const bool v2_preempted =
+      slurm.query(victim2).value().preempt_count > 0;
+  EXPECT_TRUE(v1_preempted || v2_preempted);
+  sim.run();
+  EXPECT_GT(slurm.stats().jobs_preempted, 0u);
+  // Everyone eventually completes (victims were requeued).
+  EXPECT_EQ(slurm.query(victim1).value().state, JobState::kCompleted);
+  EXPECT_EQ(slurm.query(victim2).value().state, JobState::kCompleted);
+}
+
+TEST(SlurmScheduler, EasyBackfillRunsShortJobsAround) {
+  simkit::Simulator sim;
+  ClusterConfig config = small_cluster();
+  SlurmScheduler slurm(config, &sim);
+  // One node busy for 100s with 8 cpus; node 2 free with 8.
+  (void)slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  (void)slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  // Head job needs 2 nodes: blocked, reserves t=200 (time limits).
+  JobSubmission wide = simple_job("dev", 50 * kSecond, 8);
+  wide.nodes = 2;
+  auto blocked = slurm.submit(wide).value();
+  // Short job fits the backfill window (ends before the reservation).
+  JobSubmission shorty = simple_job("dev", 10 * kSecond, 8);
+  shorty.time_limit = 20 * kSecond;
+  auto backfilled = slurm.submit(shorty).value();
+  EXPECT_EQ(slurm.query(blocked).value().state, JobState::kPending);
+  sim.run();
+  // The backfilled job must have started before the wide job.
+  EXPECT_LT(slurm.query(backfilled).value().start_time,
+            slurm.query(blocked).value().start_time);
+}
+
+TEST(SlurmScheduler, BackfillNeverDelaysReservedHead) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  (void)slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  (void)slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  JobSubmission wide = simple_job("dev", 50 * kSecond, 8);
+  wide.nodes = 2;
+  auto head = slurm.submit(wide).value();
+  // Long job that would push past the reservation must NOT backfill.
+  JobSubmission long_job = simple_job("dev", 500 * kSecond, 8);
+  long_job.time_limit = 1000 * kSecond;
+  auto hopeful = slurm.submit(long_job).value();
+  sim.run();
+  // Head starts exactly when the first wave ends.
+  EXPECT_EQ(slurm.query(head).value().start_time, 100 * kSecond);
+  EXPECT_GE(slurm.query(hopeful).value().start_time,
+            slurm.query(head).value().start_time);
+}
+
+TEST(SlurmScheduler, GresSerializesQpuJobs) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  JobSubmission qpu_job = simple_job("dev", 50 * kSecond, 2);
+  qpu_job.gres["qpu"] = 10;
+  auto a = slurm.submit(qpu_job).value();
+  auto b = slurm.submit(qpu_job).value();
+  EXPECT_EQ(slurm.running_count(), 1u);  // only one holds the QPU
+  sim.run();
+  EXPECT_EQ(slurm.query(b).value().start_time, 50 * kSecond);
+  (void)a;
+}
+
+TEST(SlurmScheduler, FractionalGresSharesCoexist) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  JobSubmission half = simple_job("dev", 50 * kSecond, 2);
+  half.gres["qpu"] = 5;  // 50% timeshare (paper §3.5)
+  (void)slurm.submit(half).value();
+  (void)slurm.submit(half).value();
+  EXPECT_EQ(slurm.running_count(), 2u);  // both fit in 10 units
+}
+
+TEST(SlurmScheduler, TimeoutEnforced) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  JobSubmission runaway = simple_job("dev", 100 * kSecond);
+  runaway.time_limit = 30 * kSecond;
+  auto id = slurm.submit(runaway).value();
+  sim.run();
+  EXPECT_EQ(slurm.query(id).value().state, JobState::kTimeout);
+  EXPECT_EQ(sim.now(), 30 * kSecond);
+}
+
+TEST(SlurmScheduler, CancelPendingAndRunning) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  auto running = slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  (void)slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  auto pending = slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  EXPECT_TRUE(slurm.cancel(pending).ok());
+  EXPECT_TRUE(slurm.cancel(running).ok());
+  EXPECT_FALSE(slurm.cancel(pending).ok());  // already cancelled
+  EXPECT_EQ(slurm.query(pending).value().state, JobState::kCancelled);
+  sim.run();
+}
+
+TEST(SlurmScheduler, ExternalCompletionJobs) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  JobSubmission external = simple_job("dev", 0);
+  external.external_completion = true;
+  external.time_limit = 1000 * kSecond;
+  common::JobId id;
+  JobCallbacks callbacks;
+  callbacks.on_start = [&](const BatchJob& job) {
+    // Finish it 42 seconds after start via an external event.
+    sim.schedule_after(42 * kSecond, [&slurm, id = job.id] {
+      EXPECT_TRUE(slurm.complete(id).ok());
+    });
+  };
+  id = slurm.submit(external, callbacks).value();
+  sim.run();
+  const auto job = slurm.query(id).value();
+  EXPECT_EQ(job.state, JobState::kCompleted);
+  EXPECT_EQ(job.end_time - job.start_time, 42 * kSecond);
+}
+
+TEST(SlurmScheduler, UtilizationAccounting) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);  // 16 cpus total
+  (void)slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  sim.run();
+  const auto stats = slurm.finish_accounting();
+  // 8 cpus busy for 100 s out of 16 * 100.
+  EXPECT_NEAR(stats.cpu_busy_seconds, 800.0, 1e-6);
+  EXPECT_NEAR(stats.cpu_capacity_seconds, 1600.0, 1e-6);
+  EXPECT_NEAR(stats.cpu_utilization(), 0.5, 1e-9);
+}
+
+TEST(SpankPlugins, QrmiPluginInjectsEnv) {
+  qrmi::ResourceRegistry registry;
+  registry.add("emu",
+               qrmi::LocalEmulatorQrmi::create("emu", "sv").value());
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  slurm.register_plugin(std::make_unique<QrmiSpankPlugin>(&registry, 8765));
+  slurm.register_plugin(std::make_unique<HintSpankPlugin>());
+
+  JobSubmission hybrid = simple_job("dev", 10 * kSecond);
+  hybrid.qpu_resource = "emu";
+  hybrid.hint = "qc-balanced";
+  auto id = slurm.submit(hybrid).value();
+  const auto job = slurm.query(id).value();
+  EXPECT_EQ(job.env.at("QRMI_RESOURCE_ID"), "emu");
+  EXPECT_EQ(job.env.at("QRMI_RESOURCE_TYPE"), "local-emulator");
+  EXPECT_EQ(job.env.at("QRMI_DAEMON_PORT"), "8765");
+  EXPECT_EQ(job.env.at("QCENV_WORKLOAD_HINT"), "qc-balanced");
+  sim.run();
+}
+
+TEST(SpankPlugins, RejectsUnknownResourceAndHint) {
+  qrmi::ResourceRegistry registry;
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  slurm.register_plugin(std::make_unique<QrmiSpankPlugin>(&registry));
+  slurm.register_plugin(std::make_unique<HintSpankPlugin>());
+
+  JobSubmission unknown_resource = simple_job("dev", kSecond);
+  unknown_resource.qpu_resource = "missing-qpu";
+  EXPECT_FALSE(slurm.submit(unknown_resource).ok());
+
+  JobSubmission bad_hint = simple_job("dev", kSecond);
+  bad_hint.hint = "qc-sometimes";
+  EXPECT_FALSE(slurm.submit(bad_hint).ok());
+}
+
+
+TEST(SlurmScheduler, LicensePoolsGateJobs) {
+  simkit::Simulator sim;
+  ClusterConfig config = small_cluster();
+  config.licenses = {{"qpu_license", 2}};
+  SlurmScheduler slurm(config, &sim);
+  JobSubmission licensed = simple_job("dev", 50 * kSecond, 2);
+  licensed.licenses["qpu_license"] = 1;
+  (void)slurm.submit(licensed).value();
+  (void)slurm.submit(licensed).value();
+  auto third = slurm.submit(licensed).value();
+  // Two licenses: third job must wait even though cpus are free.
+  EXPECT_EQ(slurm.running_count(), 2u);
+  sim.run();
+  EXPECT_EQ(slurm.query(third).value().start_time, 50 * kSecond);
+}
+
+TEST(SlurmScheduler, UnknownLicensePoolRejectedAtAllocation) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  JobSubmission bad = simple_job("dev", kSecond, 2);
+  bad.licenses["imaginary"] = 1;
+  // Unknown license pools never allocate; the job stays pending forever
+  // rather than crashing the scheduler.
+  auto id = slurm.submit(bad).value();
+  sim.run();
+  EXPECT_EQ(slurm.query(id).value().state, JobState::kPending);
+}
+
+TEST(SlurmScheduler, WaitStatsByPartition) {
+  simkit::Simulator sim;
+  SlurmScheduler slurm(small_cluster(), &sim);
+  (void)slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  (void)slurm.submit(simple_job("dev", 100 * kSecond, 8)).value();
+  (void)slurm.submit(simple_job("dev", 10 * kSecond, 8)).value();  // waits
+  sim.run();
+  const auto waits = slurm.mean_wait_seconds_by_partition();
+  ASSERT_TRUE(waits.count("dev"));
+  EXPECT_GT(waits.at("dev"), 0.0);
+}
+
+}  // namespace
+}  // namespace qcenv::slurm

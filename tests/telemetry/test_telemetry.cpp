@@ -1,0 +1,317 @@
+// Metrics registry, Prometheus exposition, TSDB, drift detection, alerts,
+// collector and dashboard.
+#include <gtest/gtest.h>
+
+#include "qpu/qpu_device.hpp"
+#include "telemetry/alerts.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/dashboard.hpp"
+#include "telemetry/drift.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace qcenv::telemetry {
+namespace {
+
+using common::kSecond;
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry registry;
+  auto& counter = registry.counter("jobs_total", {{"class", "prod"}});
+  counter.increment();
+  counter.increment(2.5);
+  EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+  // Same name+labels returns the same instance.
+  EXPECT_DOUBLE_EQ(registry.counter("jobs_total", {{"class", "prod"}}).value(),
+                   3.5);
+  // Different labels are distinct series.
+  EXPECT_DOUBLE_EQ(registry.counter("jobs_total", {{"class", "dev"}}).value(),
+                   0.0);
+}
+
+TEST(Metrics, GaugeSetsAndAdds) {
+  MetricsRegistry registry;
+  auto& gauge = registry.gauge("queue_depth");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("requests_total", {{"method", "GET"}}, "total requests")
+      .increment(5);
+  registry.gauge("temperature", {}, "device temp").set(1.5);
+  auto& h = registry.histogram("latency_seconds", {0.1, 1.0}, {}, "latency");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = registry.expose();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{method=\"GET\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# HELP temperature device temp"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3"), std::string::npos);
+}
+
+TEST(Metrics, CollectFlattensSamples) {
+  MetricsRegistry registry;
+  registry.counter("a").increment();
+  registry.gauge("b", {{"x", "1"}}).set(2);
+  registry.histogram("c", {1.0}).observe(0.5);
+  const auto samples = registry.collect();
+  // a, b, c_count, c_sum.
+  EXPECT_EQ(samples.size(), 4u);
+}
+
+TEST(Metrics, LabelFormatting) {
+  EXPECT_EQ(format_labels({}), "");
+  EXPECT_EQ(format_labels({{"b", "2"}, {"a", "1"}}), "{a=\"1\",b=\"2\"}");
+}
+
+TEST(Tsdb, WriteAndQueryRange) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"qpu_fidelity", {{"device", "fresnel"}}};
+  for (int i = 0; i < 10; ++i) {
+    tsdb.write(key, Point{i * kSecond, static_cast<double>(i)});
+  }
+  const auto points = tsdb.query_range(key, 3 * kSecond, 6 * kSecond);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points.front().value, 3.0);
+  EXPECT_DOUBLE_EQ(tsdb.last(key).value().value, 9.0);
+}
+
+TEST(Tsdb, OutOfOrderWritesAreSorted) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"m", {}};
+  tsdb.write(key, Point{100, 1});
+  tsdb.write(key, Point{50, 2});
+  tsdb.write(key, Point{75, 3});
+  const auto points = tsdb.query_range(key, 0, 200);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].time, 50);
+  EXPECT_EQ(points[1].time, 75);
+  EXPECT_EQ(points[2].time, 100);
+}
+
+TEST(Tsdb, RetentionDropsOldest) {
+  TimeSeriesDb tsdb(5);
+  const SeriesKey key{"m", {}};
+  for (int i = 0; i < 10; ++i) tsdb.write(key, Point{i, 1.0 * i});
+  EXPECT_EQ(tsdb.point_count(key), 5u);
+  const auto points = tsdb.query_range(key, 0, 100);
+  EXPECT_EQ(points.front().time, 5);
+}
+
+TEST(Tsdb, LineProtocolRoundTrip) {
+  TimeSeriesDb tsdb;
+  ASSERT_TRUE(
+      tsdb.write_line("qpu_rabi,device=fresnel value=0.98 123456789").ok());
+  const SeriesKey key{"qpu_rabi", {{"device", "fresnel"}}};
+  ASSERT_EQ(tsdb.point_count(key), 1u);
+  auto dump = tsdb.dump_series(key);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump.value(),
+            "qpu_rabi,device=fresnel value=0.98 123456789\n");
+}
+
+TEST(Tsdb, LineProtocolErrors) {
+  TimeSeriesDb tsdb;
+  EXPECT_FALSE(tsdb.write_line("too few").ok());
+  EXPECT_FALSE(tsdb.write_line("m novalue=1 123").ok());
+  EXPECT_FALSE(tsdb.write_line("m value=abc 123").ok());
+  EXPECT_FALSE(tsdb.write_line("m value=1 notatime").ok());
+  EXPECT_FALSE(tsdb.write_line(",tag=1 value=1 5").ok());
+}
+
+TEST(Tsdb, WindowedAggregation) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"m", {}};
+  // Two points per 10s window: values (0,1), (2,3), ...
+  for (int i = 0; i < 8; ++i) {
+    tsdb.write(key, Point{i * 5 * kSecond, static_cast<double>(i)});
+  }
+  const auto mean =
+      tsdb.aggregate(key, 0, 40 * kSecond, 10 * kSecond, Aggregation::kMean);
+  ASSERT_EQ(mean.size(), 4u);
+  EXPECT_DOUBLE_EQ(mean[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(mean[3].value, 6.5);
+  const auto maxes =
+      tsdb.aggregate(key, 0, 40 * kSecond, 10 * kSecond, Aggregation::kMax);
+  EXPECT_DOUBLE_EQ(maxes[1].value, 3.0);
+  const auto counts =
+      tsdb.aggregate(key, 0, 40 * kSecond, 10 * kSecond, Aggregation::kCount);
+  EXPECT_DOUBLE_EQ(counts[2].value, 2.0);
+}
+
+TEST(Drift, EwmaDetectsLevelShift) {
+  EwmaDetector detector(0.3, 4.0, 30);
+  common::Rng rng(5);
+  // Stable baseline.
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_FALSE(detector.update(1.0 + 0.01 * rng.normal()).has_value());
+  }
+  // Shifted regime: must fire within a few samples.
+  bool fired = false;
+  for (int i = 0; i < 20 && !fired; ++i) {
+    fired = detector.update(1.2 + 0.01 * rng.normal()).has_value();
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(Drift, EwmaLowFalsePositiveRate) {
+  common::Rng rng(11);
+  int false_positives = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    EwmaDetector detector(0.2, 4.0, 30);
+    for (int i = 0; i < 300; ++i) {
+      if (detector.update(5.0 + 0.1 * rng.normal()).has_value()) {
+        ++false_positives;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(false_positives, 3);  // <= ~6% of stationary runs
+}
+
+TEST(Drift, CusumCatchesSlowDrift) {
+  CusumDetector detector(0.5, 5.0, 30);
+  common::Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    (void)detector.update(1.0 + 0.05 * rng.normal());
+  }
+  // Slow upward creep of 0.5 sigma per step equivalent.
+  bool fired = false;
+  int steps = 0;
+  for (int i = 0; i < 100 && !fired; ++i, ++steps) {
+    fired = detector
+                .update(1.0 + 0.002 * i * 20 + 0.05 * rng.normal())
+                .has_value();
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_LT(steps, 60);
+}
+
+TEST(Drift, ResetClearsState) {
+  EwmaDetector detector(0.3, 3.0, 5);
+  for (int i = 0; i < 10; ++i) (void)detector.update(1.0);
+  detector.reset();
+  EXPECT_FALSE(detector.warmed_up());
+}
+
+TEST(Alerts, ManagerFiresAndNotifies) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"qpu_dephasing", {}};
+  AlertManager manager;
+  AlertRule rule;
+  rule.name = "dephasing-drift";
+  rule.series = key;
+  rule.severity = AlertSeverity::kCritical;
+  rule.detector = EwmaDetector(0.3, 4.0, 20);
+  manager.add_rule(std::move(rule));
+  int notified = 0;
+  manager.add_sink([&](const FiredAlert& alert) {
+    ++notified;
+    EXPECT_EQ(alert.rule, "dephasing-drift");
+    EXPECT_EQ(alert.severity, AlertSeverity::kCritical);
+  });
+
+  common::Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    tsdb.write(key, Point{i * kSecond, 0.008 + 0.0001 * rng.normal()});
+  }
+  EXPECT_TRUE(manager.evaluate(tsdb).empty());
+  for (int i = 40; i < 60; ++i) {
+    tsdb.write(key, Point{i * kSecond, 0.02 + 0.0001 * rng.normal()});
+  }
+  const auto fired = manager.evaluate(tsdb);
+  EXPECT_FALSE(fired.empty());
+  EXPECT_GT(notified, 0);
+  EXPECT_EQ(manager.history().size(), fired.size());
+}
+
+TEST(Alerts, HighWaterMarkAvoidsReprocessing) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"m", {}};
+  AlertManager manager;
+  AlertRule rule;
+  rule.name = "r";
+  rule.series = key;
+  rule.detector = CusumDetector(0.5, 5.0, 5);
+  manager.add_rule(std::move(rule));
+  for (int i = 0; i < 10; ++i) tsdb.write(key, Point{i, 1.0});
+  (void)manager.evaluate(tsdb);
+  // Re-evaluating without new data must feed nothing new.
+  EXPECT_TRUE(manager.evaluate(tsdb).empty());
+}
+
+TEST(CollectorTest, ScrapesRegistryIntoTsdb) {
+  MetricsRegistry registry;
+  TimeSeriesDb tsdb;
+  common::ManualClock clock(5 * kSecond);
+  Collector collector(&registry, &tsdb, &clock);
+  registry.gauge("qpu_fidelity", {{"device", "d"}}).set(0.99);
+  EXPECT_EQ(collector.scrape_once(), 1u);
+  const SeriesKey key{"qpu_fidelity", {{"device", "d"}}};
+  ASSERT_EQ(tsdb.point_count(key), 1u);
+  EXPECT_EQ(tsdb.last(key).value().time, 5 * kSecond);
+  EXPECT_DOUBLE_EQ(tsdb.last(key).value().value, 0.99);
+}
+
+TEST(QpuTelemetrySourceTest, PublishesDeviceState) {
+  common::ManualClock clock;
+  qpu::QpuOptions options;
+  options.time_scale = 1e9;
+  qpu::QpuDevice device(options, &clock);
+  MetricsRegistry registry;
+  QpuTelemetrySource source(&device, &registry);
+  source.update();
+  const auto samples = registry.collect();
+  bool found_fidelity = false;
+  for (const auto& sample : samples) {
+    if (sample.name == "qpu_fidelity_estimate") {
+      found_fidelity = true;
+      EXPECT_GT(sample.value, 0.5);
+    }
+  }
+  EXPECT_TRUE(found_fidelity);
+}
+
+TEST(DashboardTest, RendersSparklines) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"m", {}};
+  for (int i = 0; i < 60; ++i) {
+    tsdb.write(key, Point{i * kSecond, std::sin(i * 0.2)});
+  }
+  Dashboard dashboard(&tsdb);
+  dashboard.add_panel(Panel{"sine wave", key, 30});
+  const std::string out = dashboard.render(0, 60 * kSecond);
+  EXPECT_NE(out.find("sine wave"), std::string::npos);
+  EXPECT_NE(out.find("min="), std::string::npos);
+  // Sparkline glyphs present.
+  EXPECT_NE(out.find("█"), std::string::npos);
+}
+
+TEST(DashboardTest, EmptySeriesSaysNoData) {
+  TimeSeriesDb tsdb;
+  Dashboard dashboard(&tsdb);
+  dashboard.add_panel(Panel{"empty", SeriesKey{"none", {}}, 10});
+  EXPECT_NE(dashboard.render(0, kSecond).find("(no data)"),
+            std::string::npos);
+}
+
+TEST(SparklineTest, MapsRange) {
+  const std::string line = sparkline({0.0, 0.5, 1.0});
+  EXPECT_EQ(line, "▁▅█");
+  EXPECT_EQ(sparkline({}), "");
+  // Constant series sits mid-scale.
+  EXPECT_EQ(sparkline({2.0, 2.0}), "▅▅");
+}
+
+}  // namespace
+}  // namespace qcenv::telemetry

@@ -1,0 +1,76 @@
+// Timeline recording and Gantt rendering, including co-sim integration.
+#include <gtest/gtest.h>
+
+#include "workload/cosim.hpp"
+#include "workload/trace.hpp"
+
+namespace qcenv::workload {
+namespace {
+
+TEST(TimelineTest, RecordsAndAggregates) {
+  Timeline timeline;
+  timeline.record("job-a", PhaseKind::kClassical, 0.0, 10.0);
+  timeline.record("job-a", PhaseKind::kQuantumWait, 10.0, 12.0);
+  timeline.record("job-a", PhaseKind::kQuantumRun, 12.0, 20.0);
+  timeline.record("job-b", PhaseKind::kQuantumRun, 20.0, 30.0);
+  EXPECT_EQ(timeline.size(), 4u);
+  EXPECT_DOUBLE_EQ(timeline.total_seconds(PhaseKind::kQuantumRun), 18.0);
+  EXPECT_DOUBLE_EQ(timeline.total_seconds(PhaseKind::kQuantumWait), 2.0);
+}
+
+TEST(TimelineTest, GanttLayout) {
+  Timeline timeline;
+  timeline.record("alpha", PhaseKind::kClassical, 0.0, 50.0);
+  timeline.record("alpha", PhaseKind::kQuantumRun, 50.0, 100.0);
+  timeline.record("beta", PhaseKind::kQuantumWait, 0.0, 100.0);
+  const std::string gantt = timeline.render_gantt(20);
+  // One row per job, first-seen order, correct glyphs in halves.
+  const auto alpha_pos = gantt.find("alpha");
+  const auto beta_pos = gantt.find("beta");
+  ASSERT_NE(alpha_pos, std::string::npos);
+  ASSERT_NE(beta_pos, std::string::npos);
+  EXPECT_LT(alpha_pos, beta_pos);
+  EXPECT_NE(gantt.find("CCCCCCCCCCQQQQQQQQQQ"), std::string::npos);
+  EXPECT_NE(gantt.find("wwwwwwwwwwwwwwwwwwww"), std::string::npos);
+  EXPECT_NE(gantt.find("legend"), std::string::npos);
+}
+
+TEST(TimelineTest, EmptyAndDegenerate) {
+  Timeline timeline;
+  EXPECT_EQ(timeline.render_gantt(10), "(empty timeline)\n");
+  timeline.record("x", PhaseKind::kQuantumRun, 5.0, 5.0);  // zero length
+  const std::string gantt = timeline.render_gantt(10);
+  EXPECT_NE(gantt.find("x"), std::string::npos);
+  // Reversed interval is normalized.
+  timeline.record("y", PhaseKind::kClassical, 9.0, 3.0);
+  EXPECT_DOUBLE_EQ(timeline.total_seconds(PhaseKind::kClassical), 6.0);
+}
+
+TEST(TimelineTest, CosimIntegrationCoversAllPhaseKinds) {
+  common::Rng rng(5);
+  PatternOptions pattern_options;
+  pattern_options.count = 6;
+  pattern_options.arrival_window_seconds = 10.0;
+  const auto jobs = generate(Pattern::kBalanced, pattern_options, rng);
+  Timeline timeline;
+  CosimOptions options;
+  options.access = QpuAccess::kDaemonShared;
+  options.queue_policy.non_production_batch_shots = 0;
+  options.timeline = &timeline;
+  const auto metrics = run_cosim(options, jobs);
+  EXPECT_EQ(metrics.jobs_completed, 6u);
+  EXPECT_GT(timeline.total_seconds(PhaseKind::kClassical), 0.0);
+  EXPECT_GT(timeline.total_seconds(PhaseKind::kQuantumRun), 0.0);
+  // Recorded QPU service must equal the metric.
+  EXPECT_NEAR(timeline.total_seconds(PhaseKind::kQuantumRun),
+              metrics.qpu_busy_seconds, 1e-6);
+  // Six jobs contending for one QPU: someone must have waited.
+  EXPECT_GT(timeline.total_seconds(PhaseKind::kQuantumWait), 0.0);
+  const std::string gantt = timeline.render_gantt(60);
+  for (const auto& job : jobs) {
+    EXPECT_NE(gantt.find(job.name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qcenv::workload

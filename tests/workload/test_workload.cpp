@@ -1,0 +1,344 @@
+// Optimizers, pattern generators and the scheduling co-simulation.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workload/cosim.hpp"
+#include "workload/optimizer.hpp"
+#include "workload/patterns.hpp"
+
+namespace qcenv::workload {
+namespace {
+
+using daemon::JobClass;
+using daemon::QueuePolicy;
+
+// ---- Optimizers -------------------------------------------------------------
+
+/// Drives a ParameterStrategy directly against an analytic cost function.
+std::pair<std::vector<double>, double> drive(
+    runtime::ParameterStrategy strategy, std::vector<double> initial,
+    const std::function<double(const std::vector<double>&)>& cost,
+    std::size_t max_evals = 300) {
+  std::vector<std::vector<double>> params{initial};
+  std::vector<double> costs{cost(initial)};
+  for (std::size_t i = 0; i < max_evals; ++i) {
+    auto next = strategy(params, costs);
+    if (next.empty()) break;
+    costs.push_back(cost(next));
+    params.push_back(std::move(next));
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < costs.size(); ++i) {
+    if (costs[i] < costs[best]) best = i;
+  }
+  return {params[best], costs[best]};
+}
+
+TEST(NelderMeadTest, MinimizesQuadraticBowl) {
+  NelderMead optimizer(2);
+  const auto [best, cost] = drive(
+      optimizer.strategy(), {3.0, -2.0},
+      [](const std::vector<double>& x) {
+        return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 0.5) * (x[1] + 0.5);
+      });
+  EXPECT_NEAR(best[0], 1.0, 0.05);
+  EXPECT_NEAR(best[1], -0.5, 0.05);
+  EXPECT_LT(cost, 1e-2);
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrockish) {
+  NelderMead::Options options;
+  options.max_evaluations = 400;
+  options.tolerance = 1e-8;
+  NelderMead optimizer(2, options);
+  const auto [best, cost] = drive(
+      optimizer.strategy(), {0.0, 0.0},
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 5.0 * b * b;
+      },
+      400);
+  EXPECT_LT(cost, 0.05);
+  (void)best;
+}
+
+TEST(NelderMeadTest, RespectsEvaluationBudget) {
+  NelderMead::Options options;
+  options.max_evaluations = 20;
+  NelderMead optimizer(3, options);
+  std::size_t evals = 1;
+  std::vector<std::vector<double>> params{{0, 0, 0}};
+  std::vector<double> costs{1.0};
+  while (true) {
+    auto next = optimizer.strategy()(params, costs);
+    if (next.empty()) break;
+    ++evals;
+    params.push_back(next);
+    costs.push_back(static_cast<double>(evals));
+    ASSERT_LE(evals, 21u);
+  }
+  EXPECT_LE(evals, 21u);
+}
+
+TEST(SpsaTest, ConvergesOnNoisyQuadratic) {
+  common::Rng noise(3);
+  Spsa::Options options;
+  options.max_iterations = 80;
+  Spsa optimizer(2, /*seed=*/42, options);
+  const auto [best, cost] = drive(
+      optimizer.strategy(), {2.0, 2.0},
+      [&](const std::vector<double>& x) {
+        return x[0] * x[0] + x[1] * x[1] + 0.01 * noise.normal();
+      },
+      400);
+  EXPECT_LT(std::abs(best[0]), 0.5);
+  EXPECT_LT(std::abs(best[1]), 0.5);
+  (void)cost;
+}
+
+TEST(GridSearchTest, CoversTheGrid) {
+  auto strategy = grid_search(2, 0.0, 1.0, 3);
+  std::vector<std::vector<double>> params{{0.0, 0.0}};
+  std::vector<double> costs{0.0};
+  std::size_t proposals = 0;
+  while (true) {
+    auto next = strategy(params, costs);
+    if (next.empty()) break;
+    ++proposals;
+    params.push_back(next);
+    costs.push_back(0.0);
+  }
+  EXPECT_EQ(proposals, 8u);  // 3^2 - 1 (initial point counts as first)
+}
+
+// ---- Patterns ---------------------------------------------------------------
+
+TEST(Patterns, ShapesMatchTaxonomy) {
+  common::Rng rng(1);
+  PatternOptions options;
+  options.count = 40;
+  const auto a = generate(Pattern::kHighQcLowCc, options, rng);
+  const auto b = generate(Pattern::kLowQcHighCc, options, rng);
+  const auto c = generate(Pattern::kBalanced, options, rng);
+  ASSERT_EQ(a.size(), 40u);
+
+  double qa = 0, ca = 0, qb = 0, cb = 0, qc = 0, cc = 0;
+  for (const auto& job : a) { qa += job.quantum_seconds(); ca += job.classical_seconds(); }
+  for (const auto& job : b) { qb += job.quantum_seconds(); cb += job.classical_seconds(); }
+  for (const auto& job : c) { qc += job.quantum_seconds(); cc += job.classical_seconds(); }
+  EXPECT_GT(qa, 3.0 * ca);       // pattern A: quantum dominant
+  EXPECT_GT(cb, 5.0 * qb);       // pattern B: classical dominant
+  EXPECT_LT(std::abs(qc - cc) / (qc + cc), 0.5);  // pattern C: comparable
+}
+
+TEST(Patterns, ArrivalsAreOrderedAndSpread) {
+  common::Rng rng(2);
+  PatternOptions options;
+  options.count = 30;
+  options.arrival_window_seconds = 300;
+  const auto jobs = generate(Pattern::kBalanced, options, rng);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_at_seconds, jobs[i - 1].submit_at_seconds);
+  }
+  EXPECT_GT(jobs.back().submit_at_seconds, 50.0);
+}
+
+TEST(Patterns, MixedClassesSortedByArrival) {
+  common::Rng rng(3);
+  const auto jobs =
+      generate_mixed_classes(Pattern::kBalanced, 5, 5, 5, 100.0, rng);
+  ASSERT_EQ(jobs.size(), 15u);
+  std::size_t production = 0;
+  for (const auto& job : jobs) {
+    if (job.job_class == JobClass::kProduction) ++production;
+  }
+  EXPECT_EQ(production, 5u);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_at_seconds, jobs[i - 1].submit_at_seconds);
+  }
+}
+
+TEST(Patterns, HintsMatchTable1) {
+  EXPECT_STREQ(scheduler_hint(Pattern::kHighQcLowCc), "sequential QPU queue");
+  EXPECT_STREQ(scheduler_hint(Pattern::kLowQcHighCc),
+               "interleave to kill QPU idle");
+  EXPECT_STREQ(scheduler_hint(Pattern::kBalanced),
+               "fine-grained orchestration");
+}
+
+// ---- Co-simulation ----------------------------------------------------------
+
+CosimOptions shared_options() {
+  CosimOptions options;
+  options.access = QpuAccess::kDaemonShared;
+  options.queue_policy.non_production_batch_shots = 0;
+  return options;
+}
+
+TEST(Cosim, CompletesAllJobs) {
+  common::Rng rng(7);
+  PatternOptions pattern_options;
+  pattern_options.count = 10;
+  const auto jobs = generate(Pattern::kBalanced, pattern_options, rng);
+  const auto metrics = run_cosim(shared_options(), jobs);
+  EXPECT_EQ(metrics.jobs_completed, 10u);
+  EXPECT_GT(metrics.makespan_seconds, 0.0);
+  EXPECT_GT(metrics.qpu_busy_seconds, 0.0);
+  EXPECT_LE(metrics.qpu_utilization, 1.0 + 1e-9);
+}
+
+TEST(Cosim, SharedModeBeatsExclusiveOnClassicalHeavyLoad) {
+  // The headline claim (E1): the second scheduling layer removes the QPU
+  // idle time that exclusive allocation wastes on CC-heavy jobs.
+  common::Rng rng(11);
+  PatternOptions pattern_options;
+  pattern_options.count = 12;
+  pattern_options.arrival_window_seconds = 100;
+  const auto jobs = generate(Pattern::kLowQcHighCc, pattern_options, rng);
+
+  CosimOptions exclusive = shared_options();
+  exclusive.access = QpuAccess::kExclusiveSlurm;
+  const auto one_level = run_cosim(exclusive, jobs);
+  const auto two_level = run_cosim(shared_options(), jobs);
+
+  EXPECT_EQ(one_level.jobs_completed, 12u);
+  EXPECT_EQ(two_level.jobs_completed, 12u);
+  // Two-level finishes sooner and keeps the QPU busier relative to its
+  // exposure window.
+  EXPECT_LT(two_level.makespan_seconds, one_level.makespan_seconds);
+}
+
+TEST(Cosim, QpuBusyAccountingIsConsistent) {
+  common::Rng rng(13);
+  PatternOptions pattern_options;
+  pattern_options.count = 6;
+  const auto jobs = generate(Pattern::kHighQcLowCc, pattern_options, rng);
+  const auto metrics = run_cosim(shared_options(), jobs);
+  // Busy time = quantum seconds + setup per dispatch.
+  double quantum_total = 0;
+  for (const auto& job : jobs) quantum_total += job.quantum_seconds();
+  const double expected =
+      quantum_total + 2.0 * static_cast<double>(metrics.qpu_dispatches);
+  EXPECT_NEAR(metrics.qpu_busy_seconds, expected,
+              1.0 + static_cast<double>(jobs.size()));  // shot rounding
+}
+
+TEST(Cosim, PriorityPolicyProtectsProduction) {
+  // Production quantum waits must shrink when class priority + small
+  // batches are on (E2).
+  common::Rng rng(17);
+  const auto jobs = generate_mixed_classes(Pattern::kHighQcLowCc,
+                                           4, 6, 10, 60.0, rng);
+  CosimOptions fifo = shared_options();
+  fifo.queue_policy.class_priority = false;
+  fifo.queue_policy.non_production_batch_shots = 0;
+  const auto baseline = run_cosim(fifo, jobs);
+
+  CosimOptions priority = shared_options();
+  priority.queue_policy.class_priority = true;
+  priority.queue_policy.non_production_batch_shots = 10;
+  const auto protected_run = run_cosim(priority, jobs);
+
+  const auto base_wait =
+      baseline.by_class.at(JobClass::kProduction).mean_quantum_wait_seconds;
+  const auto prio_wait = protected_run.by_class.at(JobClass::kProduction)
+                             .mean_quantum_wait_seconds;
+  EXPECT_LT(prio_wait, base_wait);
+}
+
+TEST(Cosim, MalleabilityImprovesUsefulCpuShare) {
+  // E6: releasing CPUs during quantum waits lets other jobs use them.
+  common::Rng rng(19);
+  PatternOptions pattern_options;
+  pattern_options.count = 16;
+  pattern_options.arrival_window_seconds = 50;
+  const auto jobs = generate(Pattern::kBalanced, pattern_options, rng);
+
+  CosimOptions rigid = shared_options();
+  rigid.nodes = 2;  // scarce classical nodes so holding them hurts
+  rigid.cpus_per_node = 16;
+  const auto fixed = run_cosim(rigid, jobs);
+
+  CosimOptions malleable = rigid;
+  malleable.malleable = true;
+  const auto shrunk = run_cosim(malleable, jobs);
+
+  EXPECT_EQ(fixed.jobs_completed, shrunk.jobs_completed);
+  // Malleable jobs hold fewer cpu-seconds for the same useful work.
+  const double fixed_efficiency =
+      fixed.cpu_useful_seconds / std::max(fixed.cpu_held_seconds, 1e-9);
+  const double malleable_efficiency =
+      shrunk.cpu_useful_seconds / std::max(shrunk.cpu_held_seconds, 1e-9);
+  EXPECT_GT(malleable_efficiency, fixed_efficiency);
+}
+
+TEST(Cosim, ShotRateSpeedsUpQuantumService) {
+  common::Rng rng(23);
+  PatternOptions pattern_options;
+  pattern_options.count = 8;
+  const auto jobs = generate(Pattern::kHighQcLowCc, pattern_options, rng);
+  CosimOptions slow = shared_options();
+  slow.shot_rate_hz = 1.0;
+  CosimOptions fast = shared_options();
+  fast.shot_rate_hz = 100.0;
+  const auto at_1hz = run_cosim(slow, jobs);
+  const auto at_100hz = run_cosim(fast, jobs);
+  // At 100 Hz the same shot counts take ~1/100 the service time.
+  EXPECT_LT(at_100hz.qpu_busy_seconds, at_1hz.qpu_busy_seconds);
+  EXPECT_LE(at_100hz.makespan_seconds, at_1hz.makespan_seconds);
+}
+
+
+TEST(Cosim, NetworkLatencyDelaysJobsNotTheQpu) {
+  // Loose coupling: WAN RTT stretches per-job turnaround but the QPU keeps
+  // serving other jobs during the gaps, so busy time is unchanged.
+  common::Rng rng(29);
+  PatternOptions pattern_options;
+  pattern_options.count = 8;
+  const auto jobs = generate(Pattern::kBalanced, pattern_options, rng);
+  CosimOptions local = shared_options();
+  CosimOptions remote = shared_options();
+  remote.network_roundtrip_seconds = 5.0;
+  const auto near = run_cosim(local, jobs);
+  const auto far = run_cosim(remote, jobs);
+  EXPECT_EQ(near.jobs_completed, far.jobs_completed);
+  EXPECT_NEAR(near.qpu_busy_seconds, far.qpu_busy_seconds, 1e-6);
+  const double near_turnaround =
+      near.by_class.at(JobClass::kProduction).mean_turnaround_seconds;
+  const double far_turnaround =
+      far.by_class.at(JobClass::kProduction).mean_turnaround_seconds;
+  EXPECT_GT(far_turnaround, near_turnaround + 5.0);
+}
+
+TEST(Cosim, ExclusiveModeCountsSlurmWaitAsQuantumWait) {
+  // In one-level mode the QPU wait IS the Slurm pending wait; the metric
+  // must reflect it so one-level and two-level waits are comparable.
+  common::Rng rng(31);
+  PatternOptions pattern_options;
+  pattern_options.count = 10;
+  pattern_options.arrival_window_seconds = 1.0;  // all at once: contention
+  const auto jobs = generate(Pattern::kHighQcLowCc, pattern_options, rng);
+  CosimOptions exclusive = shared_options();
+  exclusive.access = QpuAccess::kExclusiveSlurm;
+  const auto metrics = run_cosim(exclusive, jobs);
+  EXPECT_GT(metrics.by_class.at(JobClass::kProduction)
+                .mean_quantum_wait_seconds,
+            10.0);
+}
+
+TEST(Cosim, DeterministicForFixedSeed) {
+  common::Rng rng_a(31), rng_b(31);
+  PatternOptions pattern_options;
+  pattern_options.count = 5;
+  const auto jobs_a = generate(Pattern::kBalanced, pattern_options, rng_a);
+  const auto jobs_b = generate(Pattern::kBalanced, pattern_options, rng_b);
+  const auto m_a = run_cosim(shared_options(), jobs_a);
+  const auto m_b = run_cosim(shared_options(), jobs_b);
+  EXPECT_DOUBLE_EQ(m_a.makespan_seconds, m_b.makespan_seconds);
+  EXPECT_DOUBLE_EQ(m_a.qpu_busy_seconds, m_b.qpu_busy_seconds);
+}
+
+}  // namespace
+}  // namespace qcenv::workload
