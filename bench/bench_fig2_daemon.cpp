@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/histogram.hpp"
@@ -34,7 +35,13 @@ double now_ms() {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const int calls = quick ? 50 : 500;
+  const int jobs_per_user = quick ? 2 : 6;
+  const std::vector<int> user_counts =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8, 16};
+
   auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
   common::WallClock clock;
   daemon::DaemonOptions daemon_options;
@@ -45,15 +52,15 @@ int main() {
   // ---- (a) request latency: direct QRMI vs through the daemon ------------
   print_title(
       "F2a | Mediation overhead: device-spec fetch, direct in-process QRMI "
-      "vs daemon REST round-trip (500 calls)");
+      "vs daemon REST round-trip (" + std::to_string(calls) + " calls)");
   common::QuantileRecorder direct_ms, rest_ms;
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < calls; ++i) {
     const double t0 = now_ms();
     (void)resource->target();
     direct_ms.record(now_ms() - t0);
   }
   net::HttpClient client(port);
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < calls; ++i) {
     const double t0 = now_ms();
     (void)client.get("/v1/device");
     rest_ms.record(now_ms() - t0);
@@ -75,11 +82,12 @@ int main() {
 
   // ---- (b) multi-user scaling --------------------------------------------
   print_title(
-      "F2b | Multi-user mediation: N concurrent sessions, 6 jobs each "
-      "(30 shots) through one daemon");
+      "F2b | Multi-user mediation: N concurrent sessions, " +
+      std::to_string(jobs_per_user) + " jobs each (30 shots) through one "
+      "daemon");
   Table scaling({"sessions", "jobs_done", "wall", "throughput",
                  "jain_fairness"});
-  for (const int users : {1, 2, 4, 8, 16}) {
+  for (const int users : user_counts) {
     std::vector<std::size_t> completed(static_cast<std::size_t>(users), 0);
     const double t0 = now_ms();
     {
@@ -92,7 +100,7 @@ int main() {
           options.poll_interval = common::kMillisecond;
           auto rt = runtime::HybridRuntime::connect_daemon(port, options);
           if (!rt.ok()) return;
-          for (int j = 0; j < 6; ++j) {
+          for (int j = 0; j < jobs_per_user; ++j) {
             auto samples = rt.value()->run(tiny_payload(30));
             if (samples.ok()) ++completed[static_cast<std::size_t>(u)];
           }

@@ -2,11 +2,22 @@
 // paper-style rows; EXPERIMENTS.md records the expected shapes.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace qcenv::bench {
+
+/// True when the bench was invoked with --quick: run a shrunken workload so
+/// CI smoke steps can execute the binary in seconds instead of minutes.
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
 
 inline void print_title(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -52,10 +52,22 @@ Result<std::string> LocalEmulatorQrmi::task_start(const Payload& payload) {
   // while the resource-level seed keeps whole experiments reproducible.
   options.seed =
       run_options_.seed ^ (seed_counter_.fetch_add(1) * 0x9E3779B9ull);
-  task->completion =
-      common::default_pool().submit([this, task, payload, options] {
-        auto outcome = backend_->run(payload, options);
-        std::scoped_lock lock(mutex_);
+  // Both captures are weak on purpose. The future below lives inside the
+  // Task, and a packaged_task's shared state keeps its callable alive, so a
+  // strong Task capture would create a Task -> future -> callable -> Task
+  // cycle that leaks every completed task. And the pool is process-wide, so
+  // a strong (or raw `this`) resource capture would let a queued job run
+  // against a destroyed resource; locking `self` first keeps backend_ and
+  // mutex_ alive for the duration of the job.
+  task->completion = common::default_pool().submit(
+      [self = weak_from_this(), weak = std::weak_ptr<Task>(task), payload,
+       options] {
+        const auto resource = self.lock();
+        if (!resource) return;  // resource torn down while the job was queued
+        auto outcome = resource->backend_->run(payload, options);
+        const auto task = weak.lock();
+        if (!task) return;
+        std::scoped_lock lock(resource->mutex_);
         if (outcome.ok()) {
           task->samples = std::move(outcome).value();
           task->status = TaskStatus::kCompleted;

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -15,7 +16,9 @@
 
 namespace qcenv::qrmi {
 
-class LocalEmulatorQrmi final : public Qrmi {
+class LocalEmulatorQrmi final
+    : public Qrmi,
+      public std::enable_shared_from_this<LocalEmulatorQrmi> {
  public:
   /// `backend_kind` as accepted by make_emulator_backend ("sv", "mps",
   /// "mps:<chi>", "mps-mock").

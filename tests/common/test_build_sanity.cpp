@@ -1,0 +1,40 @@
+// Asserts the CMake configure_file → compiled-code pipeline: version and
+// feature macros generated into qcenv/version.hpp must be visible and
+// consistent here, proving the build graph propagates options correctly.
+#include "qcenv/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+TEST(BuildSanity, VersionMacrosPresent) {
+  EXPECT_GE(QCENV_VERSION_MAJOR, 0);
+  EXPECT_GE(QCENV_VERSION_MINOR, 0);
+  EXPECT_GE(QCENV_VERSION_PATCH, 0);
+}
+
+TEST(BuildSanity, VersionConstantsMatchMacros) {
+  EXPECT_EQ(qcenv::kVersionMajor, QCENV_VERSION_MAJOR);
+  EXPECT_EQ(qcenv::kVersionMinor, QCENV_VERSION_MINOR);
+  EXPECT_EQ(qcenv::kVersionPatch, QCENV_VERSION_PATCH);
+}
+
+TEST(BuildSanity, VersionStringMatchesComponents) {
+  const std::string expected = std::to_string(QCENV_VERSION_MAJOR) + "." +
+                               std::to_string(QCENV_VERSION_MINOR) + "." +
+                               std::to_string(QCENV_VERSION_PATCH);
+  EXPECT_EQ(std::string(qcenv::kVersionString), expected);
+}
+
+TEST(BuildSanity, CxxStandardIsAtLeast20) {
+  EXPECT_GE(QCENV_CXX_STANDARD, 20);
+  EXPECT_GE(__cplusplus, 202002L);
+}
+
+TEST(BuildSanity, FeatureMacrosAreBooleans) {
+  // This translation unit only builds when tests are enabled.
+  EXPECT_EQ(QCENV_BUILD_TESTS, 1);
+  EXPECT_TRUE(QCENV_BUILD_BENCH == 0 || QCENV_BUILD_BENCH == 1);
+  EXPECT_TRUE(QCENV_BUILD_EXAMPLES == 0 || QCENV_BUILD_EXAMPLES == 1);
+  EXPECT_TRUE(QCENV_SANITIZE == 0 || QCENV_SANITIZE == 1);
+}

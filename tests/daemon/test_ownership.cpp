@@ -22,8 +22,9 @@ class OwnershipFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     resource_ = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
-    daemon_ = std::make_unique<MiddlewareDaemon>(DaemonOptions{}, resource_,
-                                                 nullptr, &clock_);
+    DaemonOptions options;
+    daemon_ = std::make_unique<MiddlewareDaemon>(options, resource_, nullptr,
+                                                 &clock_);
     port_ = daemon_->start().value();
   }
 
