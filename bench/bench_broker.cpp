@@ -1,0 +1,184 @@
+// Experiment B1 — the multi-QPU resource broker.
+// Quantifies what fleet dispatch buys and what failover costs:
+//   (a) throughput: one shared priority queue drained by 1 vs 3 emulator
+//       resources at an equal shot budget (acceptance: fleet > 1.5x single),
+//   (b) failover: a resource dies mid-run; all jobs must finish on the
+//       survivors with zero lost shots.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "broker/broker.hpp"
+#include "daemon/dispatcher.hpp"
+#include "qrmi/local_emulator.hpp"
+
+namespace {
+using namespace qcenv;
+using namespace qcenv::bench;
+using quantum::Payload;
+
+Payload work_payload(std::uint64_t shots) {
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(6, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(400, 2.0),
+                               quantum::Waveform::constant(400, 0.5), 0.0});
+  return Payload::from_sequence(seq, shots);
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct FleetRun {
+  double wall_s = 0;
+  std::uint64_t shots = 0;
+  std::vector<broker::ResourceStatus> fleet;
+};
+
+FleetRun run_fleet(std::size_t resources, int jobs,
+                   std::uint64_t shots_per_job) {
+  common::WallClock clock;
+  broker::BrokerOptions options;
+  options.default_policy = broker::SchedulingPolicy::kRoundRobin;
+  auto fleet =
+      std::make_shared<broker::ResourceBroker>(options, &clock, nullptr);
+  for (std::size_t i = 0; i < resources; ++i) {
+    const std::string name = "emu" + std::to_string(i);
+    (void)fleet->add(name,
+                     qrmi::LocalEmulatorQrmi::create(name, "sv").value());
+  }
+  daemon::QueuePolicy queue_policy;
+  queue_policy.non_production_batch_shots = 50;
+  daemon::Dispatcher dispatcher(fleet, queue_policy, &clock, nullptr);
+
+  const double t0 = now_ms();
+  std::vector<std::uint64_t> ids;
+  for (int j = 0; j < jobs; ++j) {
+    ids.push_back(dispatcher.submit(common::SessionId{1}, "bench",
+                                    daemon::JobClass::kDevelopment,
+                                    work_payload(shots_per_job)));
+  }
+  std::uint64_t shots = 0;
+  for (const auto id : ids) {
+    auto samples = dispatcher.wait(id, 300 * common::kSecond);
+    if (samples.ok()) shots += samples.value().total_shots();
+  }
+  FleetRun run;
+  run.wall_s = (now_ms() - t0) / 1000.0;
+  run.shots = shots;
+  run.fleet = fleet->snapshot();
+  return run;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const int jobs = quick ? 9 : 30;
+  const std::uint64_t shots_per_job = quick ? 150 : 400;
+
+  // ---- (a) fleet throughput ----------------------------------------------
+  print_title("B1a | Fleet throughput: " + std::to_string(jobs) + " jobs x " +
+              std::to_string(shots_per_job) +
+              " shots through one queue, 1 vs 3 emulator resources");
+  const FleetRun single = run_fleet(1, jobs, shots_per_job);
+  const FleetRun fleet = run_fleet(3, jobs, shots_per_job);
+  Table throughput({"fleet", "shots", "wall", "throughput", "speedup"});
+  throughput.add_row({"1 resource", std::to_string(single.shots),
+                      fmt("%.2f s", single.wall_s),
+                      fmt("%.0f shots/s",
+                          static_cast<double>(single.shots) / single.wall_s),
+                      "1.00x"});
+  const double speedup = single.wall_s / fleet.wall_s;
+  throughput.add_row({"3 resources", std::to_string(fleet.shots),
+                      fmt("%.2f s", fleet.wall_s),
+                      fmt("%.0f shots/s",
+                          static_cast<double>(fleet.shots) / fleet.wall_s),
+                      fmt("%.2fx", speedup)});
+  throughput.print();
+  if (speedup <= 1.5) {
+    print_note(fmt("\nFAIL: fleet speedup %.2fx <= 1.5x acceptance floor",
+                   speedup));
+  }
+  Table utilization({"resource", "batches", "shots"});
+  for (const auto& status : fleet.fleet) {
+    utilization.add_row({status.name, std::to_string(status.batches_done),
+                         std::to_string(status.shots_done)});
+  }
+  utilization.print();
+  print_note(
+      "\nExpected shape: near-linear speedup (> 1.5x required) — the broker\n"
+      "turns idle fleet members into throughput without touching the\n"
+      "user-facing queue semantics.");
+
+  // ---- (b) failover ------------------------------------------------------
+  print_title(
+      "B1b | Failover: one of 2 resources dies mid-run; jobs must finish on "
+      "the survivor with zero lost shots");
+  common::WallClock clock;
+  broker::BrokerOptions broker_options;
+  broker_options.default_policy = broker::SchedulingPolicy::kRoundRobin;
+  broker_options.initial_backoff = 50 * common::kMillisecond;
+  auto duo = std::make_shared<broker::ResourceBroker>(broker_options, &clock,
+                                                      nullptr);
+  auto doomed = qrmi::LocalEmulatorQrmi::create("doomed", "sv").value();
+  (void)duo->add("doomed", doomed);
+  (void)duo->add("survivor",
+                 qrmi::LocalEmulatorQrmi::create("survivor", "sv").value());
+  daemon::QueuePolicy queue_policy;
+  queue_policy.non_production_batch_shots = 25;
+  daemon::Dispatcher dispatcher(duo, queue_policy, &clock, nullptr);
+
+  const int failover_jobs = quick ? 6 : 16;
+  const std::uint64_t failover_shots = quick ? 100 : 200;
+  std::vector<std::uint64_t> ids;
+  const double t0 = now_ms();
+  for (int j = 0; j < failover_jobs; ++j) {
+    ids.push_back(dispatcher.submit(common::SessionId{1}, "bench",
+                                    daemon::JobClass::kDevelopment,
+                                    work_payload(failover_shots)));
+  }
+  // Let the run get going, then pull the plug on half the fleet.
+  while (true) {
+    std::uint64_t done = 0;
+    for (const auto id : ids) done += dispatcher.query(id).value().shots_done;
+    if (done >= failover_shots) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  doomed->set_offline(true);
+  const double kill_ms = now_ms() - t0;
+
+  std::uint64_t completed = 0, shots = 0;
+  for (const auto id : ids) {
+    auto samples = dispatcher.wait(id, 300 * common::kSecond);
+    if (samples.ok()) {
+      ++completed;
+      shots += samples.value().total_shots();
+    }
+  }
+  const double wall_s = (now_ms() - t0) / 1000.0;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(failover_jobs) * failover_shots;
+  Table failover({"metric", "value"});
+  failover.add_row({"jobs completed", std::to_string(completed) + "/" +
+                                          std::to_string(failover_jobs)});
+  failover.add_row({"shots delivered", std::to_string(shots) + "/" +
+                                           std::to_string(expected)});
+  failover.add_row({"resource killed after", fmt("%.0f ms", kill_ms)});
+  failover.add_row({"total wall", fmt("%.2f s", wall_s)});
+  failover.print();
+  Table per_resource({"resource", "healthy", "batches", "shots"});
+  for (const auto& status : duo->snapshot()) {
+    per_resource.add_row({status.name, status.healthy ? "yes" : "no",
+                          std::to_string(status.batches_done),
+                          std::to_string(status.shots_done)});
+  }
+  per_resource.print();
+  print_note(
+      "\nExpected shape: all jobs complete and shots delivered == expected —\n"
+      "in-flight batches from the dead resource are requeued, queued jobs\n"
+      "fail over, and no shot is lost or double-counted.");
+  return (shots == expected && speedup > 1.5) ? 0 : 1;
+}

@@ -1,0 +1,344 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+#define QCENV_LOG_COMPONENT "broker"
+#include "common/logging.hpp"
+
+namespace qcenv::broker {
+
+using common::Result;
+using common::Status;
+
+common::Json ResourceStatus::to_json() const {
+  common::Json out = common::Json::object();
+  out["name"] = name;
+  out["type"] = qrmi::to_string(type);
+  out["healthy"] = healthy;
+  out["draining"] = draining;
+  out["bound_jobs"] = static_cast<long long>(bound_jobs);
+  out["inflight_batches"] = static_cast<long long>(inflight_batches);
+  out["batches_done"] = static_cast<long long>(batches_done);
+  out["shots_done"] = static_cast<long long>(shots_done);
+  out["failures"] = static_cast<long long>(failures);
+  out["score"] = score;
+  return out;
+}
+
+ResourceBroker::ResourceBroker(BrokerOptions options, common::Clock* clock,
+                               telemetry::MetricsRegistry* metrics)
+    : options_(options), clock_(clock), metrics_(metrics) {}
+
+Status ResourceBroker::add(const std::string& name, qrmi::QrmiPtr resource) {
+  if (name.empty()) {
+    return common::err::invalid_argument("resource name must not be empty");
+  }
+  if (resource == nullptr) {
+    return common::err::invalid_argument("resource '" + name + "' is null");
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    if (fleet_.count(name) > 0) {
+      return common::err::already_exists("resource '" + name +
+                                         "' is already in the fleet");
+    }
+    Managed managed;
+    managed.resource = resource;
+    managed.status.name = name;
+    managed.status.type = resource->type();
+    managed.backoff = options_.initial_backoff;
+    order_.push_back(name);
+    fleet_.emplace(name, std::move(managed));
+  }
+  // Initial probe (outside the lock) settles health and the score.
+  (void)probe(name);
+  return Status::ok_status();
+}
+
+Status ResourceBroker::add_all(const qrmi::ResourceRegistry& registry) {
+  for (const auto& name : registry.names()) {
+    auto resource = registry.lookup(name);
+    if (!resource.ok()) return resource.error();
+    QCENV_RETURN_IF_ERROR(add(name, std::move(resource).value()));
+  }
+  return Status::ok_status();
+}
+
+std::size_t ResourceBroker::size() const {
+  std::scoped_lock lock(mutex_);
+  return fleet_.size();
+}
+
+std::vector<std::string> ResourceBroker::names() const {
+  std::scoped_lock lock(mutex_);
+  return order_;
+}
+
+Result<qrmi::QrmiPtr> ResourceBroker::resource(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return unknown_locked(name);
+  return it->second.resource;
+}
+
+common::Error ResourceBroker::unknown_locked(const std::string& name) const {
+  return common::err::not_found("unknown fleet resource '" + name +
+                                "'; available: " +
+                                common::join(order_, ", "));
+}
+
+std::string ResourceBroker::fleet_summary_locked() const {
+  std::vector<std::string> parts;
+  parts.reserve(order_.size());
+  for (const auto& name : order_) {
+    const Managed& managed = fleet_.at(name);
+    const char* state = !managed.status.healthy ? "down"
+                        : managed.status.draining ? "draining"
+                                                  : "up";
+    parts.push_back(name + "=" + state);
+  }
+  return common::join(parts, ", ");
+}
+
+void ResourceBroker::set_health_gauge_locked(const Managed& managed) {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->gauge("broker_resource_healthy",
+              {{"resource", managed.status.name}},
+              "1 when the fleet resource passes its accessibility probe")
+      .set(managed.status.healthy ? 1.0 : 0.0);
+}
+
+void ResourceBroker::set_inflight_gauge_locked(const Managed& managed) {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->gauge("broker_resource_inflight",
+              {{"resource", managed.status.name}},
+              "batches currently executing on the resource")
+      .set(static_cast<double>(managed.status.inflight_batches));
+}
+
+Result<std::string> ResourceBroker::pick(const PlacementRequest& request) {
+  std::scoped_lock lock(mutex_);
+  if (fleet_.empty()) {
+    return common::err::failed_precondition("the broker fleet is empty");
+  }
+
+  const bool pinned =
+      !request.resource_hint.empty() && request.resource_hint != request.exclude;
+  if (pinned) {
+    const auto it = fleet_.find(request.resource_hint);
+    if (it == fleet_.end()) return unknown_locked(request.resource_hint);
+    Managed& managed = it->second;
+    if (!managed.status.healthy || managed.status.draining) {
+      return common::err::unavailable(
+          "resource '" + request.resource_hint + "' is " +
+          (managed.status.draining ? "draining" : "unhealthy") +
+          " (fleet: " + fleet_summary_locked() + ")");
+    }
+    ++managed.status.bound_jobs;
+    return request.resource_hint;
+  }
+
+  std::vector<Managed*> candidates;
+  candidates.reserve(order_.size());
+  for (const auto& name : order_) {
+    Managed& managed = fleet_.at(name);
+    if (name == request.exclude) continue;
+    if (!managed.status.healthy || managed.status.draining) continue;
+    candidates.push_back(&managed);
+  }
+  if (candidates.empty()) {
+    return common::err::unavailable(
+        "no healthy QRMI resource available (fleet: " +
+        fleet_summary_locked() + ")");
+  }
+
+  Managed* chosen = nullptr;
+  switch (request.policy.value_or(options_.default_policy)) {
+    case SchedulingPolicy::kRoundRobin:
+      chosen = candidates[round_robin_cursor_++ % candidates.size()];
+      break;
+    case SchedulingPolicy::kLeastLoaded:
+      chosen = *std::min_element(
+          candidates.begin(), candidates.end(),
+          [](const Managed* a, const Managed* b) {
+            if (a->status.bound_jobs != b->status.bound_jobs) {
+              return a->status.bound_jobs < b->status.bound_jobs;
+            }
+            return a->status.shots_done < b->status.shots_done;
+          });
+      break;
+    case SchedulingPolicy::kCalibrationAware:
+      chosen = *std::max_element(candidates.begin(), candidates.end(),
+                                 [](const Managed* a, const Managed* b) {
+                                   return a->status.score < b->status.score;
+                                 });
+      break;
+  }
+  ++chosen->status.bound_jobs;
+  return chosen->status.name;
+}
+
+void ResourceBroker::unbind(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return;
+  if (it->second.status.bound_jobs > 0) --it->second.status.bound_jobs;
+}
+
+void ResourceBroker::on_dispatch(const std::string& name,
+                                 std::uint64_t shots) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return;
+  ++it->second.status.inflight_batches;
+  set_inflight_gauge_locked(it->second);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("broker_shots_dispatched_total", {{"resource", name}},
+                  "shots handed to the resource")
+        .increment(static_cast<double>(shots));
+  }
+}
+
+void ResourceBroker::on_success(const std::string& name, std::uint64_t shots) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return;
+  Managed& managed = it->second;
+  if (managed.status.inflight_batches > 0) --managed.status.inflight_batches;
+  ++managed.status.batches_done;
+  managed.status.shots_done += shots;
+  // A completed batch is positive evidence: reset the failure backoff.
+  managed.backoff = options_.initial_backoff;
+  set_inflight_gauge_locked(managed);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("broker_batches_completed_total", {{"resource", name}},
+                  "batches completed on the resource")
+        .increment();
+  }
+}
+
+void ResourceBroker::on_failure(const std::string& name,
+                                const common::Error& error) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return;
+  Managed& managed = it->second;
+  if (managed.status.inflight_batches > 0) --managed.status.inflight_batches;
+  ++managed.status.failures;
+  managed.status.healthy = false;
+  managed.next_probe = clock_->now() + managed.backoff;
+  managed.backoff = std::min(managed.backoff * 2, options_.max_backoff);
+  set_health_gauge_locked(managed);
+  set_inflight_gauge_locked(managed);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("broker_failures_total", {{"resource", name}},
+                  "batch executions that failed on the resource")
+        .increment();
+  }
+  QCENV_LOG(Warn) << "resource " << name
+                  << " marked unhealthy: " << error.to_string();
+}
+
+void ResourceBroker::on_rejected(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return;
+  Managed& managed = it->second;
+  if (managed.status.inflight_batches > 0) --managed.status.inflight_batches;
+  set_inflight_gauge_locked(managed);
+}
+
+bool ResourceBroker::probe(const std::string& name) {
+  qrmi::QrmiPtr resource;
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = fleet_.find(name);
+    if (it == fleet_.end()) return false;
+    resource = it->second.resource;
+    // Provisional re-arm so concurrent callers do not stampede the probe.
+    it->second.next_probe = clock_->now() + options_.probe_interval;
+  }
+  auto accessible = resource->is_accessible();
+  const bool up = accessible.ok() && accessible.value();
+  double score = 0.0;
+  if (up) {
+    auto spec = resource->target();
+    if (spec.ok()) score = calibration_score(spec.value());
+  }
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return false;
+  Managed& managed = it->second;
+  const bool was_healthy = managed.status.healthy;
+  managed.status.healthy = up;
+  if (up) {
+    managed.status.score = score;
+    managed.backoff = options_.initial_backoff;
+    managed.next_probe = clock_->now() + options_.probe_interval;
+    if (!was_healthy) {
+      QCENV_LOG(Info) << "resource " << name << " recovered";
+    }
+  } else {
+    managed.next_probe = clock_->now() + managed.backoff;
+    managed.backoff = std::min(managed.backoff * 2, options_.max_backoff);
+  }
+  set_health_gauge_locked(managed);
+  return up;
+}
+
+bool ResourceBroker::check_health(const std::string& name) {
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = fleet_.find(name);
+    if (it == fleet_.end()) return false;
+    if (clock_->now() < it->second.next_probe) {
+      return it->second.status.healthy;
+    }
+  }
+  return probe(name);
+}
+
+bool ResourceBroker::healthy(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  return it != fleet_.end() && it->second.status.healthy;
+}
+
+Status ResourceBroker::drain(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return unknown_locked(name);
+  it->second.status.draining = true;
+  return Status::ok_status();
+}
+
+Status ResourceBroker::resume(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return unknown_locked(name);
+  it->second.status.draining = false;
+  return Status::ok_status();
+}
+
+bool ResourceBroker::draining(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  return it != fleet_.end() && it->second.status.draining;
+}
+
+std::vector<ResourceStatus> ResourceBroker::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<ResourceStatus> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) out.push_back(fleet_.at(name).status);
+  return out;
+}
+
+}  // namespace qcenv::broker

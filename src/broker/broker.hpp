@@ -1,0 +1,151 @@
+// ResourceBroker: fleet management over QRMI resources.
+//
+// One broker owns a set of named QRMI resources (usually seeded from a
+// ResourceRegistry) and answers the question the single-resource daemon
+// never had to ask: *which* backend should run the next job? It tracks
+//   - health: cached is_accessible() probes, re-checked on an exponential
+//     backoff after failures so a dead endpoint is not hammered,
+//   - load: jobs currently bound to each resource and batches in flight,
+//   - quality: a calibration score refreshed from target() on each probe,
+// and routes placements through pluggable SchedulingPolicy values. Dispatch
+// lanes report per-batch outcomes back (on_dispatch/on_success/on_failure)
+// which keeps the load and health views live and feeds per-resource
+// telemetry gauges and counters.
+//
+// Thread safety: all public methods are safe to call concurrently. Probes
+// and target() fetches run outside the broker lock, so a slow endpoint can
+// not stall placement decisions for the rest of the fleet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/policy.hpp"
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "qrmi/qrmi.hpp"
+#include "qrmi/registry.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::broker {
+
+struct BrokerOptions {
+  SchedulingPolicy default_policy = SchedulingPolicy::kLeastLoaded;
+  /// How often a healthy resource is re-probed (and its score refreshed).
+  common::DurationNs probe_interval = 5 * common::kSecond;
+  /// Backoff before the first re-probe of a failed resource; doubles on
+  /// every further failure up to max_backoff.
+  common::DurationNs initial_backoff = 250 * common::kMillisecond;
+  common::DurationNs max_backoff = 30 * common::kSecond;
+};
+
+/// Point-in-time view of one fleet member (the /v1/resources payload).
+struct ResourceStatus {
+  std::string name;
+  qrmi::ResourceType type = qrmi::ResourceType::kLocalEmulator;
+  bool healthy = true;
+  bool draining = false;
+  std::size_t bound_jobs = 0;        // jobs currently placed on the resource
+  std::size_t inflight_batches = 0;  // batches executing right now
+  std::uint64_t batches_done = 0;
+  std::uint64_t shots_done = 0;
+  std::uint64_t failures = 0;
+  double score = 0.0;  // calibration_score at the last refresh
+
+  common::Json to_json() const;
+};
+
+class ResourceBroker {
+ public:
+  ResourceBroker(BrokerOptions options, common::Clock* clock,
+                 telemetry::MetricsRegistry* metrics);
+
+  /// Registers a resource; probes it once (synchronously — a dead cloud
+  /// endpoint delays add() by one connect timeout, the price of a
+  /// deterministic initial health/score view) and computes its initial
+  /// score. Errors on duplicate names. Resources added after a Dispatcher
+  /// was built on this broker get no dispatch lane until a new Dispatcher
+  /// is created.
+  common::Status add(const std::string& name, qrmi::QrmiPtr resource);
+  /// Registers every resource of `registry` under its registry name.
+  common::Status add_all(const qrmi::ResourceRegistry& registry);
+
+  std::size_t size() const;
+  /// Names in registration order (the round-robin cycle order).
+  std::vector<std::string> names() const;
+  common::Result<qrmi::QrmiPtr> resource(const std::string& name) const;
+  SchedulingPolicy default_policy() const {
+    return options_.default_policy;
+  }
+
+  struct PlacementRequest {
+    /// Policy override for this placement (nullopt = broker default).
+    std::optional<SchedulingPolicy> policy;
+    /// Pin to a named resource; placement fails if it cannot take jobs.
+    std::string resource_hint;
+    /// Resource to avoid, e.g. the one that just failed (failover repick).
+    /// A matching resource_hint is ignored rather than honoured.
+    std::string exclude;
+  };
+
+  /// Chooses a healthy, non-draining resource and binds one job to it.
+  /// Every successful pick must be paired with unbind() when the job leaves
+  /// the resource (terminal state or failover reassignment).
+  common::Result<std::string> pick(const PlacementRequest& request = {});
+  void unbind(const std::string& name);
+
+  // Per-batch accounting, called by dispatch lanes.
+  void on_dispatch(const std::string& name, std::uint64_t shots);
+  void on_success(const std::string& name, std::uint64_t shots);
+  /// Marks the resource unhealthy and arms the probe backoff.
+  void on_failure(const std::string& name, const common::Error& error);
+  /// The batch was rejected (bad payload) but the resource itself is fine:
+  /// releases the in-flight slot without touching health.
+  void on_rejected(const std::string& name);
+
+  /// Health with lazy re-probe: returns the cached flag until the probe
+  /// interval (healthy) or current backoff (unhealthy) elapses, then calls
+  /// is_accessible() and refreshes the calibration score.
+  bool check_health(const std::string& name);
+  /// Cached health flag only — never probes.
+  bool healthy(const std::string& name) const;
+
+  common::Status drain(const std::string& name);
+  common::Status resume(const std::string& name);
+  bool draining(const std::string& name) const;
+
+  std::vector<ResourceStatus> snapshot() const;
+
+ private:
+  struct Managed {
+    qrmi::QrmiPtr resource;
+    ResourceStatus status;
+    common::TimeNs next_probe = 0;
+    common::DurationNs backoff = 0;
+  };
+
+  /// One-line fleet summary ("emu0=up, emu1=down, emu2=draining").
+  std::string fleet_summary_locked() const;
+  /// not_found error for a name absent from the fleet, listing what exists.
+  common::Error unknown_locked(const std::string& name) const;
+  void set_health_gauge_locked(const Managed& managed);
+  void set_inflight_gauge_locked(const Managed& managed);
+  /// Probes `name` outside the lock and folds the outcome back in.
+  bool probe(const std::string& name);
+
+  BrokerOptions options_;
+  common::Clock* clock_;
+  telemetry::MetricsRegistry* metrics_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> order_;
+  std::map<std::string, Managed> fleet_;
+  std::uint64_t round_robin_cursor_ = 0;
+};
+
+}  // namespace qcenv::broker

@@ -1,0 +1,33 @@
+#include "broker/policy.hpp"
+
+#include <algorithm>
+
+namespace qcenv::broker {
+
+const char* to_string(SchedulingPolicy policy) noexcept {
+  switch (policy) {
+    case SchedulingPolicy::kRoundRobin: return "round_robin";
+    case SchedulingPolicy::kLeastLoaded: return "least_loaded";
+    case SchedulingPolicy::kCalibrationAware: return "calibration_aware";
+  }
+  return "?";
+}
+
+common::Result<SchedulingPolicy> policy_from_string(const std::string& text) {
+  if (text == "round_robin") return SchedulingPolicy::kRoundRobin;
+  if (text == "least_loaded") return SchedulingPolicy::kLeastLoaded;
+  if (text == "calibration_aware") return SchedulingPolicy::kCalibrationAware;
+  return common::err::invalid_argument(
+      "unknown broker policy '" + text +
+      "'; expected round_robin, least_loaded or calibration_aware");
+}
+
+double calibration_score(const quantum::DeviceSpec& spec) {
+  const double fidelity = spec.calibration.fidelity_estimate();
+  const double capacity =
+      std::min(1.0, static_cast<double>(spec.max_qubits) / 64.0);
+  const double speed = std::min(1.0, spec.shot_rate_hz / 100.0);
+  return 0.7 * fidelity + 0.2 * capacity + 0.1 * speed;
+}
+
+}  // namespace qcenv::broker

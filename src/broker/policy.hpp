@@ -1,0 +1,32 @@
+// Fleet scheduling policies for the multi-QPU resource broker.
+//
+// The paper treats local emulators, HPC emulators and QPUs as interchangeable
+// QRMI resources; once a site runs more than one of them, every job needs a
+// placement decision. Three policies cover the spectrum explored by related
+// work (multi-QPU scheduling, arXiv:2508.16297; calibration-aware hybrid
+// scheduling, arXiv:2505.19267):
+//   round_robin        spread jobs evenly regardless of state
+//   least_loaded       place on the resource with the fewest bound jobs
+//   calibration_aware  place on the resource whose live device spec scores
+//                      best (fidelity, capacity, shot rate)
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "quantum/device.hpp"
+
+namespace qcenv::broker {
+
+enum class SchedulingPolicy { kRoundRobin, kLeastLoaded, kCalibrationAware };
+
+const char* to_string(SchedulingPolicy policy) noexcept;
+common::Result<SchedulingPolicy> policy_from_string(const std::string& text);
+
+/// Placement score in (0, 1] for calibration-aware scheduling. Dominated by
+/// the live calibration fidelity, with capacity (qubit count) and speed
+/// (shot rate) as secondary terms so a pristine-but-tiny device does not
+/// always beat a large production machine.
+double calibration_score(const quantum::DeviceSpec& spec);
+
+}  // namespace qcenv::broker

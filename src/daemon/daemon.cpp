@@ -54,29 +54,51 @@ Json job_to_json(const DaemonJob& job) {
   out["submit_time_ns"] = job.submit_time;
   out["first_dispatch_time_ns"] = job.first_dispatch_time;
   out["finish_time_ns"] = job.finish_time;
+  out["resource"] = job.resource;
   if (!job.error.empty()) out["error"] = job.error;
   return out;
+}
+
+qrmi::ResourceRegistry single_resource_fleet(const qrmi::QrmiPtr& resource) {
+  qrmi::ResourceRegistry fleet;
+  fleet.add(resource->resource_id(), resource);
+  return fleet;
 }
 
 }  // namespace
 
 MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
-                                   qrmi::QrmiPtr resource,
+                                   const qrmi::ResourceRegistry& fleet,
                                    qpu::QpuDevice* device,
                                    common::Clock* clock)
     : options_(std::move(options)),
-      resource_(std::move(resource)),
       device_(device),
       clock_(clock),
       sessions_(options_.sessions, clock),
       admission_(options_.admission),
-      dispatcher_(std::make_unique<Dispatcher>(resource_,
-                                               options_.queue_policy, clock,
-                                               &metrics_)),
+      broker_(std::make_shared<broker::ResourceBroker>(options_.broker,
+                                                       clock, &metrics_)),
       server_(net::HttpServerOptions{options_.port, 4,
                                      10 * common::kSecond}) {
+  auto seeded = broker_->add_all(fleet);
+  if (!seeded.ok()) {
+    QCENV_LOG(Error) << "fleet seeding failed: " << seeded.to_string();
+  }
+  const auto names = broker_->names();
+  if (!names.empty()) {
+    primary_ = broker_->resource(names.front()).value();
+  }
+  dispatcher_ = std::make_unique<Dispatcher>(broker_, options_.queue_policy,
+                                             clock, &metrics_);
   install_routes();
 }
+
+MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
+                                   qrmi::QrmiPtr resource,
+                                   qpu::QpuDevice* device,
+                                   common::Clock* clock)
+    : MiddlewareDaemon(std::move(options), single_resource_fleet(resource),
+                       device, clock) {}
 
 MiddlewareDaemon::~MiddlewareDaemon() { stop(); }
 
@@ -161,9 +183,22 @@ void MiddlewareDaemon::install_routes() {
 
   router.add("GET", "/v1/device",
              [this](const HttpRequest&, const PathParams&) {
-               auto spec = resource_->target();
+               if (primary_ == nullptr) {
+                 return error_response(common::err::failed_precondition(
+                     "no resources registered with this daemon"));
+               }
+               auto spec = primary_->target();
                if (!spec.ok()) return error_response(spec.error());
                return HttpResponse::json(200, spec.value().to_json().dump());
+             });
+
+  router.add("GET", "/v1/resources",
+             [this](const HttpRequest&, const PathParams&) {
+               Json out = Json::array();
+               for (const auto& status : broker_->snapshot()) {
+                 out.push_back(status.to_json());
+               }
+               return HttpResponse::json(200, out.dump());
              });
 
   router.add(
@@ -176,25 +211,56 @@ void MiddlewareDaemon::install_routes() {
         auto payload =
             quantum::Payload::from_json(body.value().at_or_null("payload"));
         if (!payload.ok()) return error_response(payload.error());
-        const std::string partition =
-            body.value().contains("partition")
-                ? body.value().at_or_null("partition").as_string()
-                : "";
+        std::string partition;
+        if (body.value().contains("partition")) {
+          auto parsed = body.value().get_string("partition");
+          if (!parsed.ok()) return error_response(parsed.error());
+          partition = std::move(parsed).value();
+        }
         const JobClass cls =
             resolve_class(partition, session.value().job_class);
-        auto spec = resource_->target();
+        // Optional fleet placement hints.
+        Dispatcher::SubmitOptions hints;
+        if (body.value().contains("resource")) {
+          auto parsed = body.value().get_string("resource");
+          if (!parsed.ok()) return error_response(parsed.error());
+          hints.resource = std::move(parsed).value();
+        }
+        if (body.value().contains("policy")) {
+          auto name = body.value().get_string("policy");
+          if (!name.ok()) return error_response(name.error());
+          auto parsed = broker::policy_from_string(name.value());
+          if (!parsed.ok()) return error_response(parsed.error());
+          hints.policy = parsed.value();
+        }
+        // Validate against the spec of the resource the job is pinned to
+        // (or the primary when the broker places it freely).
+        qrmi::QrmiPtr spec_source = primary_;
+        if (!hints.resource.empty()) {
+          auto pinned = broker_->resource(hints.resource);
+          if (!pinned.ok()) return error_response(pinned.error());
+          spec_source = std::move(pinned).value();
+        }
+        if (spec_source == nullptr) {
+          return error_response(common::err::failed_precondition(
+              "no resources registered with this daemon"));
+        }
+        auto spec = spec_source->target();
         if (!spec.ok()) return error_response(spec.error());
         std::size_t depth = 0;
         for (const auto& [_, d] : dispatcher_->queue_depths()) depth += d;
         auto admitted = admission_.validate(payload.value(), cls,
                                             spec.value(), depth);
         if (!admitted.ok()) return error_response(admitted.error());
-        const std::uint64_t id =
-            dispatcher_->submit(session.value().id, session.value().user, cls,
-                                std::move(payload).value());
+        auto id = dispatcher_->submit(session.value().id,
+                                      session.value().user, cls,
+                                      std::move(payload).value(), hints);
+        if (!id.ok()) return error_response(id.error());
+        auto job = dispatcher_->query(id.value());
         Json out = Json::object();
-        out["job_id"] = static_cast<long long>(id);
+        out["job_id"] = static_cast<long long>(id.value());
         out["class"] = to_string(cls);
+        if (job.ok()) out["resource"] = job.value().resource;
         return HttpResponse::json(201, out.dump());
       });
 
@@ -357,6 +423,32 @@ void MiddlewareDaemon::install_routes() {
                if (!admin.ok()) return error_response(admin.error());
                dispatcher_->resume();
                return HttpResponse::json(200, R"({"draining":false})");
+             });
+
+  router.add("POST", "/admin/resources/:name/drain",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams& params) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               auto status = dispatcher_->drain_resource(params.at("name"));
+               if (!status.ok()) return error_response(status.error());
+               Json out = Json::object();
+               out["resource"] = params.at("name");
+               out["draining"] = true;
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("POST", "/admin/resources/:name/resume",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams& params) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               auto status = dispatcher_->resume_resource(params.at("name"));
+               if (!status.ok()) return error_response(status.error());
+               Json out = Json::object();
+               out["resource"] = params.at("name");
+               out["draining"] = false;
+               return HttpResponse::json(200, out.dump());
              });
 
   router.add("POST", "/admin/recalibrate",

@@ -1,13 +1,16 @@
 // MiddlewareDaemon: the standalone REST service on the quantum access node
-// (Figure 2). Composition root wiring sessions, admission, the dispatcher,
-// telemetry and the admin/low-level surface behind one HTTP server.
+// (Figure 2). Composition root wiring sessions, admission, the resource
+// broker, the dispatcher, telemetry and the admin/low-level surface behind
+// one HTTP server.
 //
 // REST surface (user endpoints authenticate with X-Session-Token; admin
 // endpoints with X-Admin-Key):
 //   POST   /v1/sessions               {user, class}        -> session+token
 //   DELETE /v1/sessions               (token header)       -> close session
 //   GET    /v1/device                                      -> device spec
-//   POST   /v1/jobs                   {payload, partition?} -> {job_id}
+//   GET    /v1/resources                                   -> fleet status
+//   POST   /v1/jobs                   {payload, partition?,
+//                                      resource?, policy?} -> {job_id}
 //   GET    /v1/jobs/:id                                     -> job status
 //   GET    /v1/jobs/:id/result                              -> samples
 //   DELETE /v1/jobs/:id                                     -> cancel
@@ -16,6 +19,7 @@
 //   GET    /admin/status
 //   GET    /admin/sessions
 //   POST   /admin/drain | /admin/resume
+//   POST   /admin/resources/:name/drain | .../resume  (rolling maintenance)
 //   POST   /admin/recalibrate
 //   POST   /admin/qa
 //   POST   /admin/lowlevel/shot_rate  {value}   (safeguarded bounds)
@@ -25,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "broker/broker.hpp"
 #include "common/clock.hpp"
 #include "common/config.hpp"
 #include "daemon/admission.hpp"
@@ -33,6 +38,7 @@
 #include "net/http_server.hpp"
 #include "qpu/qpu_device.hpp"
 #include "qrmi/qrmi.hpp"
+#include "qrmi/registry.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qcenv::daemon {
@@ -41,6 +47,8 @@ struct DaemonOptions {
   std::uint16_t port = 0;  // 0 = ephemeral
   std::string admin_key = "admin-key";
   QueuePolicy queue_policy;
+  /// Fleet behaviour: default placement policy, probe cadence, backoff.
+  broker::BrokerOptions broker;
   AdmissionPolicy admission;
   SessionManagerOptions sessions;
   /// Slurm partition -> job class ("the daemon retrieves the job's priority
@@ -57,9 +65,15 @@ struct DaemonOptions {
 
 class MiddlewareDaemon {
  public:
-  /// `resource` executes jobs (usually the direct-access QPU). `device` is
+  /// Multi-resource daemon: every resource of `fleet` becomes a broker
+  /// member with its own dispatch lane. The first registered resource is
+  /// the "primary" whose device spec backs `GET /v1/device` and admission
+  /// checks (per-resource specs are on `GET /v1/resources`). `device` is
   /// optional and enables the admin/low-level endpoints that act on the
-  /// physical device; pass nullptr when fronting a cloud resource.
+  /// physical device; pass nullptr when fronting emulators.
+  MiddlewareDaemon(DaemonOptions options, const qrmi::ResourceRegistry& fleet,
+                   qpu::QpuDevice* device, common::Clock* clock);
+  /// Single-resource convenience (a fleet of one).
   MiddlewareDaemon(DaemonOptions options, qrmi::QrmiPtr resource,
                    qpu::QpuDevice* device, common::Clock* clock);
   ~MiddlewareDaemon();
@@ -70,6 +84,7 @@ class MiddlewareDaemon {
 
   SessionManager& sessions() noexcept { return sessions_; }
   Dispatcher& dispatcher() noexcept { return *dispatcher_; }
+  broker::ResourceBroker& broker() noexcept { return *broker_; }
   telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
   const DaemonOptions& options() const noexcept { return options_; }
 
@@ -82,12 +97,13 @@ class MiddlewareDaemon {
   void install_routes();
 
   DaemonOptions options_;
-  qrmi::QrmiPtr resource_;
   qpu::QpuDevice* device_;
   common::Clock* clock_;
   telemetry::MetricsRegistry metrics_;
   SessionManager sessions_;
   AdmissionController admission_;
+  std::shared_ptr<broker::ResourceBroker> broker_;
+  qrmi::QrmiPtr primary_;  // first fleet member; backs /v1/device
   std::unique_ptr<Dispatcher> dispatcher_;
   net::HttpServer server_;
 };

@@ -1,5 +1,7 @@
 #include "daemon/dispatcher.hpp"
 
+#include <chrono>
+
 #define QCENV_LOG_COMPONENT "daemon.dispatch"
 #include "common/logging.hpp"
 
@@ -9,6 +11,35 @@ using common::Result;
 using common::Status;
 using quantum::Payload;
 using quantum::Samples;
+
+namespace {
+
+/// How long an idle lane sleeps between queue checks; bounds the latency of
+/// noticing an unhealthy resource recovering.
+constexpr auto kLaneTick = std::chrono::milliseconds(20);
+
+/// Poll interval for synchronous batch execution through QRMI.
+constexpr common::DurationNs kRunPoll = common::kMillisecond;
+
+/// Failover budget per job: a batch returned by batch_failed() more often
+/// than this fails the job instead of requeueing, so a payload that times
+/// out on *every* resource cannot bounce around the fleet forever.
+constexpr std::uint32_t kMaxBatchFailovers = 8;
+
+/// Errors that indict the resource (node loss, endpoint down) rather than
+/// the payload: these trigger failover instead of failing the job.
+bool is_resource_failure(const common::Error& error) {
+  switch (error.code()) {
+    case common::ErrorCode::kUnavailable:
+    case common::ErrorCode::kIo:
+    case common::ErrorCode::kTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 const char* to_string(DaemonJobState state) noexcept {
   switch (state) {
@@ -21,26 +52,71 @@ const char* to_string(DaemonJobState state) noexcept {
   return "?";
 }
 
+Dispatcher::Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
+                       QueuePolicy policy, common::Clock* clock,
+                       telemetry::MetricsRegistry* metrics)
+    : broker_(std::move(broker)),
+      clock_(clock),
+      metrics_(metrics),
+      core_(policy) {
+  start_lanes();
+}
+
 Dispatcher::Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
                        common::Clock* clock,
                        telemetry::MetricsRegistry* metrics)
-    : resource_(std::move(resource)),
+    : broker_(std::make_shared<broker::ResourceBroker>(broker::BrokerOptions{},
+                                                       clock, metrics)),
       clock_(clock),
       metrics_(metrics),
-      core_(policy),
-      worker_([this](const std::stop_token& stop) { worker_loop(stop); }) {}
+      core_(policy) {
+  const Status added = broker_->add(resource->resource_id(), resource);
+  (void)added;  // resource_id collisions are impossible in a fresh fleet
+  start_lanes();
+}
+
+void Dispatcher::start_lanes() {
+  for (const auto& name : broker_->names()) {
+    lanes_.emplace_back([this, name](const std::stop_token& stop) {
+      lane_loop(stop, name);
+    });
+  }
+}
 
 Dispatcher::~Dispatcher() {
-  worker_.request_stop();
+  for (auto& lane : lanes_) lane.request_stop();
   cv_.notify_all();
 }
 
 std::uint64_t Dispatcher::submit(common::SessionId session,
                                  const std::string& user, JobClass cls,
                                  Payload payload) {
+  return submit(session, user, cls, std::move(payload), SubmitOptions{})
+      .value();
+}
+
+Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
+                                         const std::string& user,
+                                         JobClass cls, Payload payload,
+                                         const SubmitOptions& options) {
   std::uint64_t id = 0;
   {
     std::scoped_lock lock(mutex_);
+    std::string placed;
+    if (!options.resource.empty()) {
+      auto picked = broker_->pick({.policy = options.policy,
+                                   .resource_hint = options.resource,
+                                   .exclude = {}});
+      if (!picked.ok()) return picked.error();
+      placed = std::move(picked).value();
+    } else {
+      auto picked =
+          broker_->pick({.policy = options.policy, .resource_hint = {},
+                         .exclude = {}});
+      // No healthy resource right now: accept the job unplaced; a lane
+      // claims it once its resource recovers.
+      if (picked.ok()) placed = std::move(picked).value();
+    }
     id = next_job_id_++;
     Record record;
     record.job.id = id;
@@ -49,6 +125,9 @@ std::uint64_t Dispatcher::submit(common::SessionId session,
     record.job.job_class = cls;
     record.job.total_shots = payload.shots();
     record.job.submit_time = clock_->now();
+    record.job.resource = std::move(placed);
+    record.pinned = !options.resource.empty();
+    record.policy_hint = options.policy;
     record.samples = Samples(payload.num_qubits());
     record.payload = std::move(payload);
     core_.enqueue(id, cls, record.job.total_shots, record.job.submit_time);
@@ -93,18 +172,34 @@ Result<Samples> Dispatcher::result(std::uint64_t job_id) const {
 }
 
 Result<Samples> Dispatcher::wait(std::uint64_t job_id) {
+  return wait(job_id, -1);
+}
+
+Result<Samples> Dispatcher::wait(std::uint64_t job_id,
+                                 common::DurationNs timeout) {
   {
     std::unique_lock lock(mutex_);
     const auto it = records_.find(job_id);
     if (it == records_.end()) {
       return common::err::not_found("unknown job " + std::to_string(job_id));
     }
-    cv_.wait(lock, [&] {
+    const auto terminal = [&] {
       const auto& state = records_.at(job_id).job.state;
       return state == DaemonJobState::kCompleted ||
              state == DaemonJobState::kFailed ||
              state == DaemonJobState::kCancelled;
-    });
+    };
+    if (timeout < 0) {
+      cv_.wait(lock, terminal);
+    } else if (!cv_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                             terminal)) {
+      const DaemonJob& job = records_.at(job_id).job;
+      return common::err::timeout(
+          "job " + std::to_string(job_id) + " still " +
+          to_string(job.state) + " after " +
+          std::to_string(timeout / common::kMillisecond) + " ms (resource: " +
+          (job.resource.empty() ? "<unplaced>" : job.resource) + ")");
+    }
   }
   return result(job_id);
 }
@@ -141,6 +236,19 @@ void Dispatcher::resume() {
   cv_.notify_all();
 }
 
+Status Dispatcher::drain_resource(const std::string& name) {
+  QCENV_RETURN_IF_ERROR(broker_->drain(name));
+  // Rolling maintenance: queued work leaves the drained resource now.
+  reassign_from(name);
+  return Status::ok_status();
+}
+
+Status Dispatcher::resume_resource(const std::string& name) {
+  QCENV_RETURN_IF_ERROR(broker_->resume(name));
+  cv_.notify_all();
+  return Status::ok_status();
+}
+
 std::map<JobClass, std::size_t> Dispatcher::queue_depths() const {
   std::scoped_lock lock(mutex_);
   return {
@@ -168,6 +276,9 @@ void Dispatcher::finish_locked(Record& record, DaemonJobState state,
   record.job.state = state;
   record.job.error = error;
   record.job.finish_time = clock_->now();
+  if (!record.job.resource.empty()) {
+    broker_->unbind(record.job.resource);
+  }
   if (metrics_ != nullptr) {
     metrics_
         ->counter("daemon_jobs_finished_total",
@@ -188,20 +299,98 @@ void Dispatcher::finish_locked(Record& record, DaemonJobState state,
   }
 }
 
-void Dispatcher::worker_loop(const std::stop_token& stop) {
+bool Dispatcher::has_eligible_locked(const std::string& lane) const {
+  return core_.any_pending([&](std::uint64_t job_id) {
+    const std::string& placed = records_.at(job_id).job.resource;
+    return placed == lane || placed.empty();
+  });
+}
+
+void Dispatcher::reassign_from(const std::string& lane) {
+  std::size_t moved = 0;
+  std::size_t stranded = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [_, record] : records_) {
+      if (record.job.resource != lane) continue;
+      if (record.job.state != DaemonJobState::kQueued &&
+          record.job.state != DaemonJobState::kRunning) {
+        continue;
+      }
+      broker_->unbind(lane);
+      auto repick = broker_->pick({.policy = record.policy_hint,
+                                   .resource_hint = {},
+                                   .exclude = lane});
+      if (repick.ok()) {
+        record.job.resource = std::move(repick).value();
+        ++moved;
+      } else {
+        // Nothing healthy: the job waits unplaced for any lane to recover.
+        record.job.resource.clear();
+        ++stranded;
+      }
+    }
+  }
+  if (moved > 0 && metrics_ != nullptr) {
+    metrics_
+        ->counter("daemon_failovers_total", {{"resource", lane}},
+                  "jobs moved off a failed or draining resource")
+        .increment(static_cast<double>(moved));
+  }
+  if (moved + stranded > 0) {
+    QCENV_LOG(Warn) << "moved " << moved << " job(s) off " << lane
+                    << (stranded > 0
+                            ? " (" + std::to_string(stranded) +
+                                  " waiting for a healthy resource)"
+                            : "");
+    cv_.notify_all();
+  }
+}
+
+void Dispatcher::lane_loop(const std::stop_token& stop,
+                           const std::string& lane) {
+  auto handle = broker_->resource(lane);
+  if (!handle.ok()) return;
+  const qrmi::QrmiPtr resource = std::move(handle).value();
+
+  bool was_healthy = true;
   while (!stop.stop_requested()) {
+    // Probe outside the queue lock: a hung endpoint must not block peers.
+    const bool healthy = broker_->check_health(lane);
+    // Move placed jobs away once per down transition (the batch-failure
+    // path below covers failures detected mid-dispatch); placement never
+    // selects an unhealthy resource, so no new jobs land here meanwhile.
+    if (!healthy && was_healthy) reassign_from(lane);
+    was_healthy = healthy;
+
     std::optional<Batch> batch;
     Payload slice;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] {
+      cv_.wait_for(lock, kLaneTick, [&] {
         return stop.stop_requested() ||
-               (!draining_.load() && core_.depth() > 0);
+               (!draining_.load() && healthy && !broker_->draining(lane) &&
+                has_eligible_locked(lane));
       });
       if (stop.stop_requested()) return;
-      batch = core_.next_batch(clock_->now());
+      if (draining_.load() || !healthy || broker_->draining(lane)) continue;
+      batch = core_.next_batch(clock_->now(), [&](std::uint64_t job_id) {
+        const std::string& placed = records_.at(job_id).job.resource;
+        return placed == lane || placed.empty();
+      });
       if (!batch.has_value()) continue;
       Record& record = records_.at(batch->job_id);
+      if (record.job.resource.empty()) {
+        // Unplaced job (fleet was down at submit): claim it for this lane.
+        auto claimed = broker_->pick({.policy = record.policy_hint,
+                                      .resource_hint = lane,
+                                      .exclude = {}});
+        if (!claimed.ok()) {
+          core_.batch_failed(*batch);
+          continue;
+        }
+        record.job.resource = lane;
+      }
       if (record.cancel_requested) {
         core_.batch_done(*batch);
         core_.remove(batch->job_id);
@@ -211,25 +400,81 @@ void Dispatcher::worker_loop(const std::stop_token& stop) {
       }
       if (record.job.state == DaemonJobState::kQueued) {
         record.job.state = DaemonJobState::kRunning;
-        record.job.first_dispatch_time = clock_->now();
+        // Keep the first dispatch time across failover requeues.
+        if (record.job.first_dispatch_time == 0) {
+          record.job.first_dispatch_time = clock_->now();
+        }
       }
       slice = record.payload;
       slice.set_shots(batch->shots);
     }
 
-    auto outcome = resource_->run_sync(slice);
+    broker_->on_dispatch(lane, batch->shots);
+    auto outcome = resource->run_sync(slice, kRunPoll);
     if (metrics_ != nullptr) {
       metrics_
           ->counter("daemon_batches_dispatched_total",
-                    {{"class", to_string(batch->cls)}},
+                    {{"class", to_string(batch->cls)}, {"resource", lane}},
                     "QPU batches dispatched")
           .increment();
     }
 
-    std::scoped_lock lock(mutex_);
-    Record& record = records_.at(batch->job_id);
-    core_.batch_done(*batch);
+    if (!outcome.ok() && is_resource_failure(outcome.error())) {
+      // The resource, not the payload, failed: give the shots back and move
+      // every job placed here onto a healthy peer.
+      broker_->on_failure(lane, outcome.error());
+      {
+        std::scoped_lock lock(mutex_);
+        core_.batch_failed(*batch);
+        // The batch never executed: the job is queued again, which keeps
+        // status reporting honest and lets cancel() act immediately while
+        // no resource can take it.
+        Record& record = records_.at(batch->job_id);
+        if (record.job.state == DaemonJobState::kRunning) {
+          record.job.state = DaemonJobState::kQueued;
+        }
+        if (++record.failovers > kMaxBatchFailovers) {
+          core_.remove(batch->job_id);
+          finish_locked(record, DaemonJobState::kFailed,
+                        "gave up after " +
+                            std::to_string(record.failovers) +
+                            " resource failures (last on '" + lane +
+                            "'): " + outcome.error().to_string());
+          cv_.notify_all();
+          continue;
+        }
+      }
+      reassign_from(lane);
+      continue;
+    }
+
     if (!outcome.ok()) {
+      broker_->on_rejected(lane);
+      std::scoped_lock lock(mutex_);
+      Record& record = records_.at(batch->job_id);
+      // A spec rejection of a broker-placed job may just mean a bad fit in
+      // a heterogeneous fleet: re-place it on another resource (within the
+      // failover budget) before giving up. Pinned jobs fail immediately —
+      // the user chose the resource.
+      if (!record.pinned && ++record.failovers <= kMaxBatchFailovers) {
+        auto repick = broker_->pick({.policy = record.policy_hint,
+                                     .resource_hint = {},
+                                     .exclude = lane});
+        if (repick.ok()) {
+          core_.batch_failed(*batch);
+          if (record.job.state == DaemonJobState::kRunning) {
+            record.job.state = DaemonJobState::kQueued;
+          }
+          broker_->unbind(lane);
+          record.job.resource = std::move(repick).value();
+          QCENV_LOG(Warn) << "job " << batch->job_id << " rejected by "
+                          << lane << " (" << outcome.error().to_string()
+                          << "), re-placing on " << record.job.resource;
+          cv_.notify_all();
+          continue;
+        }
+      }
+      core_.batch_done(*batch);
       core_.remove(batch->job_id);
       finish_locked(record, DaemonJobState::kFailed,
                     outcome.error().to_string());
@@ -238,6 +483,11 @@ void Dispatcher::worker_loop(const std::stop_token& stop) {
       cv_.notify_all();
       continue;
     }
+
+    broker_->on_success(lane, batch->shots);
+    std::scoped_lock lock(mutex_);
+    Record& record = records_.at(batch->job_id);
+    core_.batch_done(*batch);
     record.job.shots_done += batch->shots;
     // Keep the last batch's metadata (most recent calibration).
     auto merged_metadata = outcome.value().metadata();

@@ -1,21 +1,28 @@
-// Live dispatcher: drives the PriorityQueueCore against a QRMI resource.
+// Live dispatcher: drives the PriorityQueueCore against a fleet of QRMI
+// resources managed by a ResourceBroker.
 //
-// One worker thread pulls batches from the policy core, slices the job's
-// payload to the batch shot count, executes it synchronously through QRMI,
-// merges samples into the job record and re-queues remainders. This is the
-// daemon's "second level of scheduling logic that allows multiple users to
-// share the QPU" (§3.3).
+// One worker lane per resource pulls batches from the shared policy core,
+// slices the job's payload to the batch shot count, executes it
+// synchronously through QRMI, merges samples into the job record and
+// re-queues remainders. This is the daemon's "second level of scheduling
+// logic that allows multiple users to share the QPU" (§3.3), extended to
+// multi-resource dispatch: jobs are placed on a resource by the broker's
+// scheduling policy, lanes drain the one queue concurrently, and when a
+// resource fails its in-flight batch and queued jobs fail over to healthy
+// resources with no shots lost.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "broker/broker.hpp"
 #include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
@@ -46,11 +53,32 @@ struct DaemonJob {
   common::TimeNs submit_time = 0;
   common::TimeNs first_dispatch_time = 0;
   common::TimeNs finish_time = 0;
+  /// Fleet resource the job is currently placed on. Empty while no healthy
+  /// resource can take it; updated when failover moves the job.
+  std::string resource;
   std::string error;
 };
 
 class Dispatcher {
  public:
+  /// Per-job placement preferences (the REST `resource`/`policy` hints).
+  struct SubmitOptions {
+    /// Pin the initial placement to this fleet resource. Submission fails
+    /// if it is unknown, unhealthy or draining. Failover may still move the
+    /// job if the resource dies afterwards.
+    std::string resource;
+    /// Placement policy override for this job (initial pick and failover
+    /// repicks); nullopt uses the broker default.
+    std::optional<broker::SchedulingPolicy> policy;
+  };
+
+  /// Multi-resource dispatcher: one worker lane per resource registered in
+  /// `broker` at construction time.
+  Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
+             QueuePolicy policy, common::Clock* clock,
+             telemetry::MetricsRegistry* metrics);
+  /// Single-resource convenience: wraps `resource` in a one-member fleet
+  /// (named after its resource_id).
   Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
              common::Clock* clock, telemetry::MetricsRegistry* metrics);
   ~Dispatcher();
@@ -60,18 +88,36 @@ class Dispatcher {
   /// Enqueues a validated payload; returns the daemon job id.
   std::uint64_t submit(common::SessionId session, const std::string& user,
                        JobClass cls, quantum::Payload payload);
+  /// Same with placement preferences; fails on an unusable resource pin.
+  common::Result<std::uint64_t> submit(common::SessionId session,
+                                       const std::string& user, JobClass cls,
+                                       quantum::Payload payload,
+                                       const SubmitOptions& options);
 
   common::Result<DaemonJob> query(std::uint64_t job_id) const;
   /// Samples of a completed job.
   common::Result<quantum::Samples> result(std::uint64_t job_id) const;
   /// Blocks until the job reaches a terminal state.
   common::Result<quantum::Samples> wait(std::uint64_t job_id);
+  /// Same with a deadline: errs with kTimeout once `timeout` elapses, so
+  /// clients and tests cannot block forever on a wedged resource. Negative
+  /// timeout blocks indefinitely.
+  common::Result<quantum::Samples> wait(std::uint64_t job_id,
+                                        common::DurationNs timeout);
   common::Status cancel(std::uint64_t job_id);
 
-  /// Admin: pause/resume batch dispatch (maintenance windows).
+  /// Admin: pause/resume batch dispatch globally (maintenance windows).
   void drain();
   void resume();
   bool draining() const noexcept { return draining_.load(); }
+
+  /// Admin: drain one fleet resource — stop placing work on it and move its
+  /// queued jobs to healthy peers (rolling maintenance).
+  common::Status drain_resource(const std::string& name);
+  common::Status resume_resource(const std::string& name);
+
+  broker::ResourceBroker& broker() noexcept { return *broker_; }
+  const broker::ResourceBroker& broker() const noexcept { return *broker_; }
 
   std::map<JobClass, std::size_t> queue_depths() const;
   std::vector<DaemonJob> jobs_snapshot() const;
@@ -84,13 +130,21 @@ class Dispatcher {
     quantum::Payload payload;
     quantum::Samples samples;
     bool cancel_requested = false;
+    bool pinned = false;  // submitted with an explicit resource hint
+    std::optional<broker::SchedulingPolicy> policy_hint;
+    std::uint32_t failovers = 0;  // batches returned by resource failures
   };
 
-  void worker_loop(const std::stop_token& stop);
+  void lane_loop(const std::stop_token& stop, const std::string& lane);
+  void start_lanes();
+  bool has_eligible_locked(const std::string& lane) const;
+  /// Moves every non-terminal job placed on `lane` to a healthy resource
+  /// (or unplaces it when none is available right now).
+  void reassign_from(const std::string& lane);
   void finish_locked(Record& record, DaemonJobState state,
                      const std::string& error);
 
-  qrmi::QrmiPtr resource_;
+  std::shared_ptr<broker::ResourceBroker> broker_;
   common::Clock* clock_;
   telemetry::MetricsRegistry* metrics_;
 
@@ -100,7 +154,7 @@ class Dispatcher {
   std::map<std::uint64_t, Record> records_;
   std::uint64_t next_job_id_ = 1;
   std::atomic<bool> draining_{false};
-  std::jthread worker_;
+  std::vector<std::jthread> lanes_;
 };
 
 }  // namespace qcenv::daemon

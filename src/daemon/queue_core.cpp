@@ -61,8 +61,20 @@ std::vector<const PriorityQueueCore::Entry*> PriorityQueueCore::ordered(
 }
 
 std::optional<Batch> PriorityQueueCore::next_batch(common::TimeNs now) {
+  return next_batch(now, [](std::uint64_t) { return true; });
+}
+
+std::optional<Batch> PriorityQueueCore::next_batch(
+    common::TimeNs now, const EligibleFn& eligible) {
   if (entries_.empty()) return std::nullopt;
-  const Entry* head = ordered(now).front();
+  const Entry* head = nullptr;
+  for (const Entry* entry : ordered(now)) {
+    if (eligible(entry->job_id)) {
+      head = entry;
+      break;
+    }
+  }
+  if (head == nullptr) return std::nullopt;
 
   Batch batch;
   batch.job_id = head->job_id;
@@ -93,6 +105,23 @@ void PriorityQueueCore::batch_done(const Batch& batch) {
     // Keep the original seq: the job resumes its place within its class.
     entries_.emplace(entry.job_id, entry);
   }
+}
+
+bool PriorityQueueCore::any_pending(const EligibleFn& eligible) const {
+  for (const auto& [job_id, _] : entries_) {
+    if (eligible(job_id)) return true;
+  }
+  return false;
+}
+
+void PriorityQueueCore::batch_failed(const Batch& batch) {
+  const auto it = in_flight_.find(batch.job_id);
+  assert(it != in_flight_.end() && "batch_failed for unknown dispatch");
+  Entry entry = it->second;
+  in_flight_.erase(it);
+  // The shots were never executed: the entry returns untouched, keeping its
+  // seq so the job resumes its place once a healthy resource claims it.
+  entries_.emplace(entry.job_id, entry);
 }
 
 bool PriorityQueueCore::remove(std::uint64_t job_id) {

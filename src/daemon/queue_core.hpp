@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -67,15 +68,32 @@ class PriorityQueueCore {
   void enqueue(std::uint64_t job_id, JobClass cls, std::uint64_t total_shots,
                common::TimeNs now);
 
+  /// Jobs a dispatch lane may serve (multi-resource dispatch: each lane
+  /// passes the jobs placed on — or placeable on — its resource).
+  using EligibleFn = std::function<bool(std::uint64_t job_id)>;
+
   /// Pops the next batch to dispatch, honouring class priority, aging and
   /// the small-batch policy. The job leaves the pending set until
   /// batch_done() re-queues any remainder.
   std::optional<Batch> next_batch(common::TimeNs now);
+  /// Same, restricted to the highest-priority job satisfying `eligible` —
+  /// lower-priority eligible jobs may overtake ineligible ones, which is
+  /// what lets several resource lanes drain one queue concurrently.
+  std::optional<Batch> next_batch(common::TimeNs now,
+                                  const EligibleFn& eligible);
+
+  /// True when at least one pending job satisfies `eligible`.
+  bool any_pending(const EligibleFn& eligible) const;
 
   /// Reports a dispatched batch finished; re-queues the remainder (if any)
   /// at its original queue position so a job's batches stay contiguous
   /// unless something more important arrived.
   void batch_done(const Batch& batch);
+
+  /// Reports a dispatched batch as NOT executed (resource failure): the
+  /// batch's shots return to the job's remaining count and the job re-joins
+  /// the pending set at its original position, so failover loses no shots.
+  void batch_failed(const Batch& batch);
 
   /// Removes a pending job (cancellation). False if not pending here.
   bool remove(std::uint64_t job_id);

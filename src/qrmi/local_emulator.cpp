@@ -39,6 +39,10 @@ Status LocalEmulatorQrmi::release(const std::string&) {
 }
 
 Result<std::string> LocalEmulatorQrmi::task_start(const Payload& payload) {
+  if (offline_.load()) {
+    return common::err::unavailable("resource '" + resource_id_ +
+                                    "' is offline");
+  }
   const std::string id =
       "local-" + std::to_string(next_task_.fetch_add(1));
   auto task = std::make_shared<Task>();

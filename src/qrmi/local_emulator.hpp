@@ -28,7 +28,13 @@ class LocalEmulatorQrmi final
 
   std::string resource_id() const override { return resource_id_; }
   ResourceType type() const override { return ResourceType::kLocalEmulator; }
-  common::Result<bool> is_accessible() override { return true; }
+  common::Result<bool> is_accessible() override { return !offline_.load(); }
+
+  /// Ops/test hook: simulates the node hosting this emulator going down.
+  /// While offline, is_accessible() reports false and task_start() fails
+  /// with kUnavailable; tasks already running are allowed to finish.
+  void set_offline(bool offline) { offline_.store(offline); }
+  bool offline() const { return offline_.load(); }
 
   common::Result<std::string> acquire() override;
   common::Status release(const std::string& token) override;
@@ -61,6 +67,7 @@ class LocalEmulatorQrmi final
   emulator::RunOptions run_options_;
   std::atomic<std::uint64_t> next_task_{1};
   std::atomic<std::uint64_t> seed_counter_{1};
+  std::atomic<bool> offline_{false};
 
   std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Task>> tasks_;

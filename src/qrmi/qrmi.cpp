@@ -40,7 +40,12 @@ common::Result<quantum::Samples> Qrmi::run_sync(
   const std::string& id = task.value();
   while (true) {
     auto status = task_status(id);
-    if (!status.ok()) return status.error();
+    if (!status.ok()) {
+      // Best-effort cancel so a task we can no longer observe does not keep
+      // consuming the resource (the caller will re-dispatch elsewhere).
+      (void)task_stop(id);
+      return status.error();
+    }
     if (is_terminal(status.value())) break;
     std::this_thread::sleep_for(std::chrono::nanoseconds(poll_interval));
   }

@@ -12,12 +12,19 @@ using common::Result;
 using common::Status;
 
 void ResourceRegistry::add(const std::string& name, QrmiPtr resource) {
+  if (resources_.count(name) == 0) order_.push_back(name);
   resources_[name] = std::move(resource);
 }
 
 Result<QrmiPtr> ResourceRegistry::lookup(const std::string& name) const {
   const auto it = resources_.find(name);
   if (it == resources_.end()) {
+    if (resources_.empty()) {
+      return common::err::not_found(
+          "unknown QRMI resource '" + name +
+          "': the registry is empty — declare resources via QRMI_RESOURCES "
+          "or ResourceRegistry::add()");
+    }
     return common::err::not_found(
         "unknown QRMI resource '" + name + "'; available: " +
         common::join(names(), ", "));
@@ -29,12 +36,7 @@ bool ResourceRegistry::contains(const std::string& name) const {
   return resources_.count(name) > 0;
 }
 
-std::vector<std::string> ResourceRegistry::names() const {
-  std::vector<std::string> out;
-  out.reserve(resources_.size());
-  for (const auto& [name, _] : resources_) out.push_back(name);
-  return out;
-}
+std::vector<std::string> ResourceRegistry::names() const { return order_; }
 
 std::string config_key_name(const std::string& resource_name) {
   std::string out;
@@ -55,10 +57,20 @@ Status ResourceRegistry::load_from_config(const common::Config& config,
     const std::string name(common::trim(raw_name));
     if (name.empty()) continue;
     const std::string key_base = prefix + config_key_name(name) + "_";
+    // Every error below names the offending resource and config key so a
+    // user can fix their environment without reading this code.
     auto type_text = config.require(key_base + "TYPE");
-    if (!type_text.ok()) return type_text.error();
+    if (!type_text.ok()) {
+      return common::err::invalid_argument(
+          "resource '" + name + "': missing config key " + key_base +
+          "TYPE (expected local-emulator, cloud-qpu or cloud-emulator)");
+    }
     auto type = resource_type_from_string(type_text.value());
-    if (!type.ok()) return type.error();
+    if (!type.ok()) {
+      return common::err::invalid_argument(
+          "resource '" + name + "' (" + key_base + "TYPE=" +
+          type_text.value() + "): " + type.error().message());
+    }
 
     switch (type.value()) {
       case ResourceType::kLocalEmulator: {
@@ -68,7 +80,11 @@ Status ResourceRegistry::load_from_config(const common::Config& config,
         options.seed = static_cast<std::uint64_t>(
             config.get_int_or(key_base + "SEED", 1234));
         auto resource = LocalEmulatorQrmi::create(name, engine, options);
-        if (!resource.ok()) return resource.error();
+        if (!resource.ok()) {
+          return common::err::invalid_argument(
+              "resource '" + name + "' (" + key_base + "ENGINE=" + engine +
+              "): " + resource.error().message());
+        }
         add(name, std::move(resource).value());
         break;
       }
@@ -77,7 +93,9 @@ Status ResourceRegistry::load_from_config(const common::Config& config,
         const long long port = config.get_int_or(key_base + "PORT", 0);
         if (port <= 0 || port > 65535) {
           return common::err::invalid_argument(
-              "resource '" + name + "' needs a valid " + key_base + "PORT");
+              "resource '" + name + "': config key " + key_base +
+              "PORT must be a port in [1, 65535], got '" +
+              config.get_or(key_base + "PORT", "<unset>") + "'");
         }
         const std::string api_key =
             config.get_or(key_base + "API_KEY", "dev-key");
@@ -88,9 +106,9 @@ Status ResourceRegistry::load_from_config(const common::Config& config,
       }
       case ResourceType::kDirectAccess:
         return common::err::invalid_argument(
-            "resource '" + name +
-            "': direct-access resources are registered by the hosting "
-            "site's daemon, not from user configuration");
+            "resource '" + name + "' (" + key_base +
+            "TYPE=direct-access): direct-access resources are registered "
+            "by the hosting site's daemon, not from user configuration");
     }
   }
   return Status::ok_status();

@@ -11,9 +11,11 @@
 //   QRMI_RESOURCES=frontend-emu,cloud-emu         # comma-separated names
 //   QRMI_<NAME>_TYPE=local-emulator|cloud-qpu|cloud-emulator
 //   QRMI_<NAME>_ENGINE=sv|mps|mps:<chi>|mps-mock  # local-emulator only
+//   QRMI_<NAME>_SEED=<int>                        # local-emulator only
 //   QRMI_<NAME>_PORT=<port>                       # cloud types
 //   QRMI_<NAME>_API_KEY=<key>                     # cloud types
 // <NAME> is the resource name uppercased with '-' replaced by '_'.
+// Errors name the offending resource and config key.
 #pragma once
 
 #include <map>
@@ -28,11 +30,15 @@ namespace qcenv::qrmi {
 
 class ResourceRegistry {
  public:
-  /// Registers (or replaces) a named resource.
+  /// Registers (or replaces) a named resource. Replacement keeps the
+  /// original registration position.
   void add(const std::string& name, QrmiPtr resource);
 
   common::Result<QrmiPtr> lookup(const std::string& name) const;
   bool contains(const std::string& name) const;
+  /// Names in registration order (== QRMI_RESOURCES declaration order when
+  /// loaded from config); consumers like the broker fleet preserve it, so
+  /// the first declared resource is the daemon's "primary".
   std::vector<std::string> names() const;
   std::size_t size() const { return resources_.size(); }
 
@@ -43,6 +49,7 @@ class ResourceRegistry {
 
  private:
   std::map<std::string, QrmiPtr> resources_;
+  std::vector<std::string> order_;  // registration order for names()
 };
 
 /// "frontend-emu" -> "FRONTEND_EMU" (for config key derivation).

@@ -358,6 +358,156 @@ TEST_F(DaemonFixture, LowLevelEndpointsNeedDevice) {
   EXPECT_EQ(recal.value().status, 409);
 }
 
+// ---- Multi-resource fleet over REST ----------------------------------------
+
+class FleetDaemonFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    qrmi::ResourceRegistry fleet;
+    fleet.add("emu-a", qrmi::LocalEmulatorQrmi::create("emu-a", "sv").value());
+    fleet.add("emu-b",
+              qrmi::LocalEmulatorQrmi::create("emu-b", "mps-mock").value());
+    DaemonOptions options;
+    options.admin_key = "root";
+    options.broker.default_policy = broker::SchedulingPolicy::kRoundRobin;
+    daemon_ = std::make_unique<MiddlewareDaemon>(options, fleet, nullptr,
+                                                 &clock_);
+    auto port = daemon_->start();
+    ASSERT_TRUE(port.ok());
+    client_ = std::make_unique<net::HttpClient>(port.value());
+  }
+
+  std::string open_session(const std::string& user) {
+    Json body = Json::object();
+    body["user"] = user;
+    body["class"] = "test";
+    auto response = client_->post("/v1/sessions", body.dump());
+    EXPECT_TRUE(response.ok());
+    return Json::parse(response.value().body)
+        .value()
+        .get_string("token")
+        .value();
+  }
+
+  common::WallClock clock_;
+  std::unique_ptr<MiddlewareDaemon> daemon_;
+  std::unique_ptr<net::HttpClient> client_;
+};
+
+TEST_F(FleetDaemonFixture, ResourcesEndpointListsFleet) {
+  auto response = client_->get("/v1/resources");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200);
+  auto parsed = Json::parse(response.value().body);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 2u);
+  const auto& first = parsed.value().as_array().front();
+  EXPECT_EQ(first.at_or_null("name").as_string(), "emu-a");
+  EXPECT_TRUE(first.at_or_null("healthy").as_bool());
+  EXPECT_TRUE(first.contains("score"));
+}
+
+TEST_F(FleetDaemonFixture, ResourceHintPinsJobAndIsReported) {
+  const std::string token = open_session("alice");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+
+  Json body = Json::object();
+  body["payload"] = small_payload(20).to_json();
+  body["resource"] = "emu-b";
+  auto submitted = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted.value().status, 201) << submitted.value().body;
+  auto parsed = Json::parse(submitted.value().body).value();
+  EXPECT_EQ(parsed.get_string("resource").value(), "emu-b");
+  const auto job_id = parsed.get_int("job_id").value();
+
+  auto samples = daemon_->dispatcher().wait(
+      static_cast<std::uint64_t>(job_id), 30 * common::kSecond);
+  ASSERT_TRUE(samples.ok()) << samples.error().to_string();
+  auto job = authed.get("/v1/jobs/" + std::to_string(job_id));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(Json::parse(job.value().body)
+                .value()
+                .get_string("resource")
+                .value(),
+            "emu-b");
+}
+
+TEST_F(FleetDaemonFixture, BadPlacementHintsAreRejected) {
+  const std::string token = open_session("bob");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+
+  Json body = Json::object();
+  body["payload"] = small_payload(20).to_json();
+  body["resource"] = "emu-z";
+  auto unknown = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown.value().status, 404);
+  // User-centric diagnostics: the error lists the available resources.
+  EXPECT_NE(unknown.value().body.find("emu-a"), std::string::npos);
+
+  body = Json::object();
+  body["payload"] = small_payload(20).to_json();
+  body["policy"] = "best_effort";
+  auto bad_policy = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(bad_policy.ok());
+  EXPECT_EQ(bad_policy.value().status, 400);
+
+  // Wrong JSON types must come back as 400s, not dropped connections.
+  body = Json::object();
+  body["payload"] = small_payload(20).to_json();
+  body["resource"] = static_cast<long long>(123);
+  auto non_string = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(non_string.ok());
+  EXPECT_EQ(non_string.value().status, 400);
+}
+
+TEST_F(FleetDaemonFixture, PolicyHintAccepted) {
+  const std::string token = open_session("carol");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(20).to_json();
+  body["policy"] = "calibration_aware";
+  auto submitted = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted.value().status, 201) << submitted.value().body;
+  EXPECT_FALSE(Json::parse(submitted.value().body)
+                   .value()
+                   .get_string("resource")
+                   .value()
+                   .empty());
+}
+
+TEST_F(FleetDaemonFixture, PerResourceDrainAndResume) {
+  auto denied = client_->post("/admin/resources/emu-a/drain", "{}");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied.value().status, 401);
+
+  net::HttpClient admin(client_->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  auto drained = admin.post("/admin/resources/emu-a/drain", "{}");
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(drained.value().status, 200);
+  EXPECT_TRUE(daemon_->broker().draining("emu-a"));
+
+  auto listed = client_->get("/v1/resources");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_NE(listed.value().body.find("\"draining\":true"),
+            std::string::npos);
+
+  auto resumed = admin.post("/admin/resources/emu-a/resume", "{}");
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_EQ(resumed.value().status, 200);
+  EXPECT_FALSE(daemon_->broker().draining("emu-a"));
+
+  auto unknown = admin.post("/admin/resources/nope/drain", "{}");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown.value().status, 404);
+}
+
 TEST(DaemonWithDevice, AdminControlsActOnQpu) {
   common::ManualClock clock;
   qpu::QpuOptions qpu_options;

@@ -115,6 +115,18 @@ TEST(RegistryTest, LookupAndNames) {
   EXPECT_NE(missing.error().message().find("emu"), std::string::npos);
 }
 
+TEST(RegistryTest, NamesPreserveRegistrationOrder) {
+  // Fleet consumers treat the first declared resource as the primary, so
+  // names() must not be alphabetised.
+  ResourceRegistry registry;
+  registry.add("zeta", LocalEmulatorQrmi::create("zeta", "sv").value());
+  registry.add("alpha", LocalEmulatorQrmi::create("alpha", "sv").value());
+  registry.add("zeta", LocalEmulatorQrmi::create("zeta2", "sv").value());
+  EXPECT_EQ(registry.names(),
+            (std::vector<std::string>{"zeta", "alpha"}));
+  EXPECT_EQ(registry.lookup("zeta").value()->resource_id(), "zeta2");
+}
+
 TEST(RegistryTest, LoadFromConfig) {
   common::Config config;
   ASSERT_TRUE(config
@@ -135,28 +147,70 @@ TEST(RegistryTest, LoadFromConfig) {
 }
 
 TEST(RegistryTest, ConfigErrors) {
+  // Every config error must name the offending resource and config key so
+  // users can fix their environment without reading the loader code.
   ResourceRegistry registry;
   common::Config missing_type;
   ASSERT_TRUE(missing_type.load_string("QRMI_RESOURCES=x\n").ok());
-  EXPECT_FALSE(registry.load_from_config(missing_type).ok());
+  auto status = registry.load_from_config(missing_type);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("resource 'x'"), std::string::npos);
+  EXPECT_NE(status.error().message().find("QRMI_X_TYPE"), std::string::npos);
 
   common::Config bad_type;
   ASSERT_TRUE(bad_type
                   .load_string("QRMI_RESOURCES=x\nQRMI_X_TYPE=teleport\n")
                   .ok());
-  EXPECT_FALSE(registry.load_from_config(bad_type).ok());
+  status = registry.load_from_config(bad_type);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("QRMI_X_TYPE=teleport"),
+            std::string::npos);
+
+  common::Config bad_engine;
+  ASSERT_TRUE(bad_engine
+                  .load_string("QRMI_RESOURCES=x\n"
+                               "QRMI_X_TYPE=local-emulator\n"
+                               "QRMI_X_ENGINE=quantum-annealer\n")
+                  .ok());
+  status = registry.load_from_config(bad_engine);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("resource 'x'"), std::string::npos);
+  EXPECT_NE(status.error().message().find("QRMI_X_ENGINE=quantum-annealer"),
+            std::string::npos);
 
   common::Config direct;
   ASSERT_TRUE(direct
                   .load_string("QRMI_RESOURCES=x\nQRMI_X_TYPE=direct-access\n")
                   .ok());
-  EXPECT_FALSE(registry.load_from_config(direct).ok());
+  status = registry.load_from_config(direct);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("resource 'x'"), std::string::npos);
 
   common::Config cloud_no_port;
   ASSERT_TRUE(cloud_no_port
                   .load_string("QRMI_RESOURCES=x\nQRMI_X_TYPE=cloud-qpu\n")
                   .ok());
-  EXPECT_FALSE(registry.load_from_config(cloud_no_port).ok());
+  status = registry.load_from_config(cloud_no_port);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("resource 'x'"), std::string::npos);
+  EXPECT_NE(status.error().message().find("QRMI_X_PORT"), std::string::npos);
+
+  common::Config bad_port;
+  ASSERT_TRUE(bad_port
+                  .load_string("QRMI_RESOURCES=x\nQRMI_X_TYPE=cloud-qpu\n"
+                               "QRMI_X_PORT=99999\n")
+                  .ok());
+  status = registry.load_from_config(bad_port);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("99999"), std::string::npos);
+}
+
+TEST(RegistryTest, EmptyRegistryLookupPointsAtConfiguration) {
+  ResourceRegistry registry;
+  auto missing = registry.lookup("anything");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().message().find("QRMI_RESOURCES"),
+            std::string::npos);
 }
 
 TEST(RegistryTest, ConfigKeyNameMangling) {
