@@ -31,6 +31,16 @@ class IdGenerator {
     return StrongId<Tag>(counter_.fetch_add(1, std::memory_order_relaxed));
   }
 
+  /// Never hand out ids at or below `value` again (recovery floors the
+  /// allocator past every restored id so old and new ids cannot alias).
+  void reserve_through(std::uint64_t value) {
+    std::uint64_t current = counter_.load(std::memory_order_relaxed);
+    while (current <= value &&
+           !counter_.compare_exchange_weak(current, value + 1,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::atomic<std::uint64_t> counter_{1};
 };

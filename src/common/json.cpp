@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace qcenv::common {
 
@@ -401,6 +402,84 @@ std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_byte(std::uint64_t& hash, unsigned char byte) {
+  hash ^= byte;
+  hash *= kFnvPrime;
+}
+
+/// Word-wise mix (splitmix64 finalizer): one multiply chain per 64-bit
+/// value instead of eight FNV rounds — numbers dominate payload bodies.
+void mix_word(std::uint64_t& hash, std::uint64_t word) {
+  std::uint64_t x = hash ^ word;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  hash = x;
+}
+
+void fnv_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) fnv_byte(hash, bytes[i]);
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void hash_value(std::uint64_t& hash, const Json& value) {
+  // Tag every node with its type so e.g. 0, false and "" differ, and
+  // length-prefix strings and containers so element-boundary shifts
+  // ([[1,2],3] vs [[1],2,3], "ab"+"c" vs "a"+"bc") cannot collide.
+  fnv_byte(hash, static_cast<unsigned char>(value.type()));
+  switch (value.type()) {
+    case Json::Type::kNull:
+      break;
+    case Json::Type::kBool:
+      fnv_byte(hash, value.as_bool() ? 1 : 0);
+      break;
+    case Json::Type::kInt:
+      mix_word(hash, static_cast<std::uint64_t>(value.as_int()));
+      break;
+    case Json::Type::kDouble:
+      mix_word(hash, double_bits(value.as_double()));
+      break;
+    case Json::Type::kString:
+      mix_word(hash, value.as_string().size());
+      fnv_bytes(hash, value.as_string().data(), value.as_string().size());
+      break;
+    case Json::Type::kArray:
+      mix_word(hash, value.as_array().size());
+      for (const auto& item : value.as_array()) hash_value(hash, item);
+      break;
+    case Json::Type::kObject:
+      mix_word(hash, value.as_object().size());
+      for (const auto& [key, item] : value.as_object()) {
+        mix_word(hash, key.size());
+        fnv_bytes(hash, key.data(), key.size());
+        hash_value(hash, item);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::uint64_t Json::hash() const noexcept {
+  std::uint64_t hash = kFnvBasis;
+  hash_value(hash, *this);
+  return hash;
 }
 
 Result<Json> Json::parse(std::string_view text) {

@@ -100,6 +100,12 @@ class Json {
 
   bool operator==(const Json& other) const { return value_ == other.value_; }
 
+  /// Structural FNV-1a content hash: equal values hash equally (object
+  /// keys are stored sorted, so order is canonical). Walks the tree
+  /// directly — no serialization — which makes it cheap enough for
+  /// content-addressing large payloads on hot paths.
+  std::uint64_t hash() const noexcept;
+
   /// Serializes to compact JSON; `indent > 0` pretty-prints.
   std::string dump(int indent = 0) const;
 

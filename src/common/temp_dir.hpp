@@ -1,0 +1,42 @@
+// TempDir: RAII mkdtemp wrapper for tests and benches that need a scratch
+// directory on disk (journal/snapshot files, data dirs). Not used by the
+// library itself.
+#pragma once
+
+#include <cstdlib>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+namespace qcenv::common {
+
+class TempDir {
+ public:
+  /// Creates `<tmp>/<prefix>XXXXXX`. On failure path() is empty, so the
+  /// first use of the directory fails loudly instead of writing to "".
+  explicit TempDir(const std::string& prefix = "qcenv-") {
+    auto pattern =
+        (std::filesystem::temp_directory_path() / (prefix + "XXXXXX"))
+            .string();
+    const char* created = ::mkdtemp(pattern.data());
+    if (created != nullptr) path_ = created;
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace qcenv::common

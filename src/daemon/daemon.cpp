@@ -1,5 +1,7 @@
 #include "daemon/daemon.hpp"
 
+#include <filesystem>
+
 #include "common/strings.hpp"
 
 #define QCENV_LOG_COMPONENT "daemon"
@@ -36,13 +38,6 @@ HttpResponse error_response(const common::Error& error) {
   return HttpResponse::json(http_status_for(error.code()), body.dump());
 }
 
-Result<JobClass> job_class_from_string(const std::string& text) {
-  if (text == "production") return JobClass::kProduction;
-  if (text == "test") return JobClass::kTest;
-  if (text == "development" || text == "dev") return JobClass::kDevelopment;
-  return common::err::invalid_argument("unknown job class: " + text);
-}
-
 Json job_to_json(const DaemonJob& job) {
   Json out = Json::object();
   out["id"] = static_cast<long long>(job.id);
@@ -63,6 +58,28 @@ qrmi::ResourceRegistry single_resource_fleet(const qrmi::QrmiPtr& resource) {
   qrmi::ResourceRegistry fleet;
   fleet.add(resource->resource_id(), resource);
   return fleet;
+}
+
+store::SessionRecord to_session_record(const Session& session) {
+  store::SessionRecord record;
+  record.id = session.id.value;
+  record.user = session.user;
+  record.token = session.token;
+  record.job_class = session.job_class;
+  record.created = session.created;
+  record.last_active = session.last_active;
+  return record;
+}
+
+Session from_session_record(const store::SessionRecord& record) {
+  Session session;
+  session.id = common::SessionId{record.id};
+  session.user = record.user;
+  session.token = record.token;
+  session.job_class = record.job_class;
+  session.created = record.created;
+  session.last_active = record.last_active;
+  return session;
 }
 
 }  // namespace
@@ -88,9 +105,79 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
   if (!names.empty()) {
     primary_ = broker_->resource(names.front()).value();
   }
+  // Recover durable state BEFORE the dispatcher exists, so restored jobs
+  // are queued before any lane or client can race them.
+  std::uint64_t next_job_id = 1;
+  std::vector<store::JobRecord> recovered_jobs;
+  if (options_.store.enabled()) {
+    recovered_jobs = open_store(next_job_id);
+  }
   dispatcher_ = std::make_unique<Dispatcher>(broker_, options_.queue_policy,
-                                             clock, &metrics_);
+                                             clock, &metrics_, store_.get());
+  if (store_ != nullptr) {
+    dispatcher_->restore(recovered_jobs, next_job_id);
+    store_->set_snapshot_provider([this] { return build_snapshot(); });
+  }
   install_routes();
+}
+
+std::vector<store::JobRecord> MiddlewareDaemon::open_store(
+    std::uint64_t& next_job_id) {
+  store_ = std::make_unique<store::StateStore>(options_.store, clock_,
+                                               &metrics_);
+  auto recovered = store_->open();
+  if (!recovered.ok()) {
+    // Refusing to start would take the whole access node down with the
+    // store; running in-memory keeps users working and screams in the log.
+    // Quarantine the data-dir so a LATER restart cannot replay state that
+    // went stale during the in-memory period (resurrecting closed
+    // sessions' tokens and re-running old jobs).
+    QCENV_LOG(Error) << "store unusable, continuing WITHOUT durability: "
+                     << recovered.error().to_string();
+    store_.reset();
+    const std::string quarantine = options_.store.data_dir + ".unusable-" +
+                                   std::to_string(clock_->now());
+    std::error_code ec;
+    std::filesystem::rename(options_.store.data_dir, quarantine, ec);
+    if (ec) {
+      QCENV_LOG(Error) << "could not quarantine '"
+                       << options_.store.data_dir << "': " << ec.message();
+    } else {
+      QCENV_LOG(Warn) << "quarantined unusable store data-dir to '"
+                      << quarantine << "'";
+    }
+    return {};
+  }
+  for (const auto& session : recovered.value().sessions) {
+    sessions_.restore(from_session_record(session));
+  }
+  next_job_id = recovered.value().next_job_id;
+  return std::move(recovered).value().jobs;
+}
+
+store::StoreSnapshot MiddlewareDaemon::build_snapshot() {
+  // Job state carries its own exact watermark (read under the dispatcher
+  // lock). For sessions, read the watermark BEFORE listing: any session
+  // event at or below it committed its mutation first, so the list below
+  // reflects it; later events replay idempotently on top.
+  store::StoreSnapshot snapshot = dispatcher_->durable_snapshot();
+  snapshot.sessions_seq = store_->journal().last_seq();
+  for (const auto& session : sessions_.list()) {
+    snapshot.sessions.push_back(to_session_record(session));
+  }
+  return snapshot;
+}
+
+std::size_t MiddlewareDaemon::session_removed(const Session& session) {
+  const std::size_t cancelled =
+      dispatcher_->cancel_for_session(session.id);
+  if (store_ != nullptr) store_->session_closed(session.token);
+  if (cancelled > 0) {
+    QCENV_LOG(Info) << "session " << session.id.to_string() << " of '"
+                    << session.user << "' closed; cancelled " << cancelled
+                    << " orphaned job(s)";
+  }
+  return cancelled;
 }
 
 MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
@@ -110,7 +197,12 @@ Result<std::uint16_t> MiddlewareDaemon::start() {
   return port;
 }
 
-void MiddlewareDaemon::stop() { server_.stop(); }
+void MiddlewareDaemon::stop() {
+  server_.stop();
+  // Stop the compaction thread while the dispatcher (whose state the
+  // snapshot provider reads) is still alive, and make the journal durable.
+  if (store_ != nullptr) store_->shutdown();
+}
 
 JobClass MiddlewareDaemon::resolve_class(const std::string& partition,
                                          JobClass session_default) const {
@@ -164,6 +256,10 @@ void MiddlewareDaemon::install_routes() {
                }
                auto session = sessions_.create(user.value(), cls);
                if (!session.ok()) return error_response(session.error());
+               if (store_ != nullptr) {
+                 store_->session_created(
+                     to_session_record(session.value()));
+               }
                Json out = Json::object();
                out["session_id"] = session.value().id.to_string();
                out["token"] = session.value().token;
@@ -178,7 +274,13 @@ void MiddlewareDaemon::install_routes() {
                if (!session.ok()) return error_response(session.error());
                auto status = sessions_.close(session.value().token);
                if (!status.ok()) return error_response(status.error());
-               return HttpResponse::json(200, R"({"closed":true})");
+               // A closed session must not leave orphans in the queue.
+               const std::size_t cancelled =
+                   session_removed(session.value());
+               Json out = Json::object();
+               out["closed"] = true;
+               out["cancelled_jobs"] = static_cast<long long>(cancelled);
+               return HttpResponse::json(200, out.dump());
              });
 
   router.add("GET", "/v1/device",
@@ -256,6 +358,14 @@ void MiddlewareDaemon::install_routes() {
                                       session.value().user, cls,
                                       std::move(payload).value(), hints);
         if (!id.ok()) return error_response(id.error());
+        // Close the submit/close race: if the session died between the
+        // authenticate above and this submit, its cancel sweep may have
+        // run before the job existed — sweep it ourselves.
+        if (!sessions_.authenticate(session.value().token).ok()) {
+          (void)dispatcher_->cancel_for_session(session.value().id);
+          return error_response(common::err::permission_denied(
+              "session closed during submission"));
+        }
         auto job = dispatcher_->query(id.value());
         Json out = Json::object();
         out["job_id"] = static_cast<long long>(id.value());
@@ -344,6 +454,23 @@ void MiddlewareDaemon::install_routes() {
                  order.push_back(static_cast<long long>(id));
                }
                out["order"] = std::move(order);
+               // Per-resource lane view: queued/running jobs per lane plus
+               // the broker's live in-flight batch count.
+               std::map<std::string, std::size_t> inflight;
+               for (const auto& status : broker_->snapshot()) {
+                 inflight[status.name] = status.inflight_batches;
+               }
+               Json lanes = Json::object();
+               for (const auto& [name, depth] : dispatcher_->lane_depths()) {
+                 Json lane = Json::object();
+                 lane["queued"] = static_cast<long long>(depth.queued);
+                 lane["running"] = static_cast<long long>(depth.running);
+                 const auto it = inflight.find(name);
+                 lane["inflight_batches"] = static_cast<long long>(
+                     it != inflight.end() ? it->second : 0);
+                 lanes[name] = std::move(lane);
+               }
+               out["lanes"] = std::move(lanes);
                out["draining"] = dispatcher_->draining();
                return HttpResponse::json(200, out.dump());
              });
@@ -401,9 +528,14 @@ void MiddlewareDaemon::install_routes() {
                                    const PathParams&) {
                auto admin = require_admin(request);
                if (!admin.ok()) return error_response(admin.error());
+               const auto expired = sessions_.expire_idle();
+               std::size_t cancelled = 0;
+               for (const auto& session : expired) {
+                 cancelled += session_removed(session);
+               }
                Json out = Json::object();
-               out["expired"] =
-                   static_cast<long long>(sessions_.expire_idle());
+               out["expired"] = static_cast<long long>(expired.size());
+               out["cancelled_jobs"] = static_cast<long long>(cancelled);
                return HttpResponse::json(200, out.dump());
              });
 
@@ -448,6 +580,42 @@ void MiddlewareDaemon::install_routes() {
                Json out = Json::object();
                out["resource"] = params.at("name");
                out["draining"] = false;
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("GET", "/admin/store",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               Json out = Json::object();
+               out["enabled"] = store_ != nullptr;
+               if (store_ != nullptr) {
+                 const auto status = store_->status();
+                 Json detail = status.to_json();
+                 // Flatten the toggle into the same object for clients.
+                 for (auto& [key, value] : detail.as_object()) {
+                   out[key] = std::move(value);
+                 }
+               }
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("POST", "/admin/store/compact",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               if (store_ == nullptr) {
+                 return error_response(common::err::failed_precondition(
+                     "daemon runs without a durable store (no data_dir)"));
+               }
+               auto status = store_->compact();
+               if (!status.ok()) return error_response(status.error());
+               Json out = Json::object();
+               out["compacted"] = true;
+               out["journal_bytes"] = store_->journal().size_bytes();
+               out["journal_events"] = store_->journal().event_count();
                return HttpResponse::json(200, out.dump());
              });
 

@@ -14,20 +14,24 @@
 //   GET    /v1/jobs/:id                                     -> job status
 //   GET    /v1/jobs/:id/result                              -> samples
 //   DELETE /v1/jobs/:id                                     -> cancel
-//   GET    /v1/queue                                        -> depths/order
+//   GET    /v1/queue                             -> depths/order/lanes
 //   GET    /metrics                                         -> Prometheus
 //   GET    /admin/status
 //   GET    /admin/sessions
 //   POST   /admin/drain | /admin/resume
 //   POST   /admin/resources/:name/drain | .../resume  (rolling maintenance)
+//   GET    /admin/store                    (journal/snapshot/replay stats)
+//   POST   /admin/store/compact
 //   POST   /admin/recalibrate
 //   POST   /admin/qa
 //   POST   /admin/lowlevel/shot_rate  {value}   (safeguarded bounds)
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "broker/broker.hpp"
 #include "common/clock.hpp"
@@ -39,6 +43,7 @@
 #include "qpu/qpu_device.hpp"
 #include "qrmi/qrmi.hpp"
 #include "qrmi/registry.hpp"
+#include "store/state_store.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qcenv::daemon {
@@ -61,6 +66,10 @@ struct DaemonOptions {
   /// Low-level control safeguards.
   double min_shot_rate_hz = 0.1;
   double max_shot_rate_hz = 1000.0;
+  /// Durable state store. An empty `store.data_dir` (the default) keeps
+  /// today's purely in-memory behaviour; with a data-dir the daemon
+  /// journals every job/session event and recovers them all on restart.
+  store::StoreOptions store;
 };
 
 class MiddlewareDaemon {
@@ -87,6 +96,8 @@ class MiddlewareDaemon {
   broker::ResourceBroker& broker() noexcept { return *broker_; }
   telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
   const DaemonOptions& options() const noexcept { return options_; }
+  /// Durable store; nullptr when running purely in memory.
+  store::StateStore* state_store() noexcept { return store_.get(); }
 
   /// Resolves a job class from an explicit partition name or session
   /// default.
@@ -95,6 +106,14 @@ class MiddlewareDaemon {
 
  private:
   void install_routes();
+  /// Opens the store, replays it, and seeds the session manager. Returns
+  /// the jobs to hand to the dispatcher once it exists.
+  std::vector<store::JobRecord> open_store(std::uint64_t& next_job_id);
+  /// Compaction callback: full durable image of sessions + jobs.
+  store::StoreSnapshot build_snapshot();
+  /// Shared cleanup when a session goes away (close or idle expiry):
+  /// cancels its queued jobs and journals the closure.
+  std::size_t session_removed(const Session& session);
 
   DaemonOptions options_;
   qpu::QpuDevice* device_;
@@ -104,6 +123,10 @@ class MiddlewareDaemon {
   AdmissionController admission_;
   std::shared_ptr<broker::ResourceBroker> broker_;
   qrmi::QrmiPtr primary_;  // first fleet member; backs /v1/device
+  // The store must outlive the dispatcher (its lanes journal events);
+  // the daemon stops the store's compaction thread before tearing the
+  // dispatcher down (see stop()).
+  std::unique_ptr<store::StateStore> store_;
   std::unique_ptr<Dispatcher> dispatcher_;
   net::HttpServer server_;
 };

@@ -54,21 +54,25 @@ const char* to_string(DaemonJobState state) noexcept {
 
 Dispatcher::Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
                        QueuePolicy policy, common::Clock* clock,
-                       telemetry::MetricsRegistry* metrics)
+                       telemetry::MetricsRegistry* metrics,
+                       store::StateStore* store)
     : broker_(std::move(broker)),
       clock_(clock),
       metrics_(metrics),
+      store_(store),
       core_(policy) {
   start_lanes();
 }
 
 Dispatcher::Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
                        common::Clock* clock,
-                       telemetry::MetricsRegistry* metrics)
+                       telemetry::MetricsRegistry* metrics,
+                       store::StateStore* store)
     : broker_(std::make_shared<broker::ResourceBroker>(broker::BrokerOptions{},
                                                        clock, metrics)),
       clock_(clock),
       metrics_(metrics),
+      store_(store),
       core_(policy) {
   const Status added = broker_->add(resource->resource_id(), resource);
   (void)added;  // resource_id collisions are impossible in a fresh fleet
@@ -129,9 +133,16 @@ Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
     record.pinned = !options.resource.empty();
     record.policy_hint = options.policy;
     record.samples = Samples(payload.num_qubits());
-    record.payload = std::move(payload);
+    record.payload = std::make_shared<const Payload>(std::move(payload));
     core_.enqueue(id, cls, record.job.total_shots, record.job.submit_time);
-    records_.emplace(id, std::move(record));
+    const auto inserted = records_.emplace(id, std::move(record));
+    active_.insert(id);
+    if (store_ != nullptr) {
+      // Deferred payload serialization keeps the submit path O(metadata).
+      store_->job_submitted(
+          to_record_locked(inserted.first->second),
+          inserted.first->second.payload);
+    }
   }
   if (metrics_ != nullptr) {
     metrics_
@@ -217,8 +228,10 @@ Status Dispatcher::cancel(std::uint64_t job_id) {
       finish_locked(record, DaemonJobState::kCancelled, "");
       return Status::ok_status();
     case DaemonJobState::kRunning:
-      // Honoured at the next batch boundary (shot-batch granularity).
+      // Honoured at the next batch boundary (shot-batch granularity);
+      // journaled so a crash before that boundary cannot resurrect it.
       record.cancel_requested = true;
+      if (store_ != nullptr) store_->job_cancel_requested(job_id);
       return Status::ok_status();
     default:
       return common::err::failed_precondition(
@@ -271,13 +284,263 @@ std::vector<std::uint64_t> Dispatcher::queue_order() const {
   return core_.snapshot(clock_->now());
 }
 
+std::map<std::string, Dispatcher::LaneDepth> Dispatcher::lane_depths()
+    const {
+  std::map<std::string, LaneDepth> out;
+  for (const auto& name : broker_->names()) out[name];
+  std::scoped_lock lock(mutex_);
+  // O(live jobs), not O(all jobs ever): records_ keeps terminal jobs for
+  // result serving, but only active_ members can sit on a lane.
+  for (const std::uint64_t id : active_) {
+    const Record& record = records_.at(id);
+    const std::string& key = record.job.resource.empty()
+                                 ? std::string("(unplaced)")
+                                 : record.job.resource;
+    if (record.job.state == DaemonJobState::kQueued) {
+      ++out[key].queued;
+    } else if (record.job.state == DaemonJobState::kRunning) {
+      ++out[key].running;
+    }
+  }
+  return out;
+}
+
+std::size_t Dispatcher::cancel_for_session(common::SessionId session) {
+  std::size_t affected = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    // Copy: finish_locked below erases from active_ as we cancel.
+    const std::vector<std::uint64_t> live(active_.begin(), active_.end());
+    for (const std::uint64_t id : live) {
+      Record& record = records_.at(id);
+      if (record.job.session != session) continue;
+      switch (record.job.state) {
+        case DaemonJobState::kQueued:
+          core_.remove(id);
+          finish_locked(record, DaemonJobState::kCancelled,
+                        "session closed");
+          ++affected;
+          break;
+        case DaemonJobState::kRunning:
+          if (!record.cancel_requested) {
+            record.cancel_requested = true;
+            if (store_ != nullptr) store_->job_cancel_requested(id);
+            ++affected;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (affected > 0) cv_.notify_all();
+  return affected;
+}
+
+store::JobRecord Dispatcher::to_record_locked(const Record& record) const {
+  store::JobRecord out;
+  out.id = record.job.id;
+  out.session = record.job.session.value;
+  out.user = record.job.user;
+  out.job_class = record.job.job_class;
+  switch (record.job.state) {
+    case DaemonJobState::kQueued: out.phase = store::JobPhase::kQueued; break;
+    case DaemonJobState::kRunning:
+      out.phase = store::JobPhase::kRunning;
+      break;
+    case DaemonJobState::kCompleted:
+      out.phase = store::JobPhase::kCompleted;
+      break;
+    case DaemonJobState::kFailed: out.phase = store::JobPhase::kFailed; break;
+    case DaemonJobState::kCancelled:
+      out.phase = store::JobPhase::kCancelled;
+      break;
+  }
+  out.total_shots = record.job.total_shots;
+  out.shots_done = record.job.shots_done;
+  out.submit_time = record.job.submit_time;
+  out.first_dispatch_time = record.job.first_dispatch_time;
+  out.finish_time = record.job.finish_time;
+  out.resource = record.job.resource;
+  out.cancel_requested = record.cancel_requested;
+  out.pinned = record.pinned;
+  if (record.policy_hint.has_value()) {
+    out.policy = broker::to_string(*record.policy_hint);
+  }
+  out.error = record.job.error;
+  return out;
+}
+
+store::StoreSnapshot Dispatcher::durable_snapshot() const {
+  // Copy cheap metadata (plus shared payload handles and counts maps)
+  // under the lock; serialize the heavy JSON outside it, so a compaction
+  // over a large job table does not stall submits and dispatch lanes.
+  struct Staged {
+    store::JobRecord meta;
+    std::shared_ptr<const quantum::Payload> payload;
+    std::shared_ptr<std::atomic<std::uint64_t>> payload_fp;
+    std::optional<quantum::Samples> samples;
+  };
+  std::vector<Staged> staged;
+  store::StoreSnapshot snapshot;
+  {
+    std::scoped_lock lock(mutex_);
+    // Watermark first: every job event at or below it was appended under
+    // this mutex, so it is reflected in the records copied below.
+    snapshot.jobs_seq =
+        store_ != nullptr ? store_->journal().last_seq() : 0;
+    snapshot.next_job_id = next_job_id_;
+    staged.reserve(records_.size());
+    for (const auto& [_, record] : records_) {
+      Staged entry;
+      entry.meta = to_record_locked(record);
+      entry.payload = record.payload;
+      entry.payload_fp = record.payload_fp;
+      if (record.job.shots_done > 0) entry.samples = record.samples;
+      staged.push_back(std::move(entry));
+    }
+  }
+  snapshot.jobs.reserve(staged.size());
+  for (auto& entry : staged) {
+    if (entry.payload != nullptr) {
+      // Same content-dedup scheme as the journal: each distinct program
+      // is serialized once into the snapshot's payload table, and jobs
+      // reference it by fingerprint (memoized per record — hashed at
+      // most once per job, not once per compaction).
+      std::uint64_t fp = entry.payload_fp->load(std::memory_order_relaxed);
+      if (fp == 0) {
+        fp = store::payload_fingerprint(*entry.payload);
+        entry.payload_fp->store(fp, std::memory_order_relaxed);
+      }
+      entry.meta.payload_hash = fp;
+      const std::string key = entry.meta.user + "|" +
+                              std::to_string(entry.meta.payload_hash);
+      const auto table = snapshot.payloads.find(key);
+      if (table == snapshot.payloads.end()) {
+        snapshot.payloads.emplace(key, entry.payload->to_json());
+      }
+    }
+    if (entry.samples.has_value()) {
+      entry.meta.samples = entry.samples->to_json();
+    }
+    snapshot.jobs.push_back(std::move(entry.meta));
+  }
+  return snapshot;
+}
+
+void Dispatcher::restore(const std::vector<store::JobRecord>& jobs,
+                         std::uint64_t next_job_id) {
+  std::scoped_lock lock(mutex_);
+  for (const auto& recovered : jobs) {
+    if (records_.count(recovered.id) > 0) continue;  // defensive
+    Record record;
+    record.job.id = recovered.id;
+    record.job.session = common::SessionId{recovered.session};
+    record.job.user = recovered.user;
+    record.job.job_class = recovered.job_class;
+    record.job.total_shots = recovered.total_shots;
+    record.job.shots_done = recovered.shots_done;
+    record.job.submit_time = recovered.submit_time;
+    record.job.first_dispatch_time = recovered.first_dispatch_time;
+    record.job.finish_time = recovered.finish_time;
+    record.job.resource = recovered.resource;  // "" for requeued jobs
+    record.job.error = recovered.error;
+    record.cancel_requested = recovered.cancel_requested;
+    record.pinned = recovered.pinned;
+    if (!recovered.policy.empty()) {
+      auto policy = broker::policy_from_string(recovered.policy);
+      if (policy.ok()) record.policy_hint = policy.value();
+    }
+    switch (recovered.phase) {
+      case store::JobPhase::kQueued:
+      case store::JobPhase::kRunning:  // replay folds running -> queued
+        record.job.state = DaemonJobState::kQueued;
+        break;
+      case store::JobPhase::kCompleted:
+        record.job.state = DaemonJobState::kCompleted;
+        break;
+      case store::JobPhase::kFailed:
+        record.job.state = DaemonJobState::kFailed;
+        break;
+      case store::JobPhase::kCancelled:
+        record.job.state = DaemonJobState::kCancelled;
+        break;
+    }
+    auto payload = quantum::Payload::from_json(recovered.payload);
+    if (payload.ok()) {
+      record.payload =
+          std::make_shared<const Payload>(std::move(payload).value());
+      // Keep the store's original fingerprint: re-hashing the decoded
+      // payload could differ after a JSON round-trip (whole-number
+      // doubles re-dump as ints), which would break dedup-key stability
+      // across restarts.
+      record.payload_fp->store(recovered.payload_hash,
+                               std::memory_order_relaxed);
+    } else if (record.job.state == DaemonJobState::kQueued) {
+      // Cannot re-run what we cannot decode; fail loudly instead of
+      // silently dropping the job.
+      record.job.state = DaemonJobState::kFailed;
+      record.job.error = "payload could not be restored from the store: " +
+                         payload.error().message();
+    }
+    if (!recovered.samples.is_null()) {
+      auto samples = quantum::Samples::from_json(recovered.samples);
+      if (samples.ok()) record.samples = std::move(samples).value();
+    } else {
+      record.samples = Samples(
+          record.payload != nullptr ? record.payload->num_qubits() : 0);
+    }
+    if (record.job.state == DaemonJobState::kQueued) {
+      if (!record.job.resource.empty()) {
+        // A recovered pin: re-bind through the broker so load accounting
+        // and health checks hold; if the resource is gone or unusable,
+        // unplace — the same treatment live failover gives a dead pin.
+        auto bound = broker_->pick({.policy = record.policy_hint,
+                                    .resource_hint = record.job.resource,
+                                    .exclude = {}});
+        if (bound.ok()) {
+          record.job.resource = std::move(bound).value();
+        } else {
+          record.job.resource.clear();
+        }
+      }
+      const std::uint64_t remaining =
+          record.job.total_shots -
+          std::min(record.job.shots_done, record.job.total_shots);
+      core_.enqueue(recovered.id, recovered.job_class, remaining,
+                    recovered.submit_time);
+      active_.insert(recovered.id);
+    }
+    next_job_id_ = std::max(next_job_id_, recovered.id + 1);
+    records_.emplace(recovered.id, std::move(record));
+  }
+  next_job_id_ = std::max(next_job_id_, next_job_id);
+  cv_.notify_all();
+}
+
 void Dispatcher::finish_locked(Record& record, DaemonJobState state,
                                const std::string& error) {
   record.job.state = state;
   record.job.error = error;
   record.job.finish_time = clock_->now();
+  active_.erase(record.job.id);
   if (!record.job.resource.empty()) {
     broker_->unbind(record.job.resource);
+  }
+  if (store_ != nullptr) {
+    switch (state) {
+      case DaemonJobState::kCompleted:
+        store_->job_completed(record.job.id);
+        break;
+      case DaemonJobState::kFailed:
+        store_->job_failed(record.job.id, error);
+        break;
+      case DaemonJobState::kCancelled:
+        store_->job_cancelled(record.job.id);
+        break;
+      default:
+        break;
+    }
   }
   if (metrics_ != nullptr) {
     metrics_
@@ -311,7 +574,8 @@ void Dispatcher::reassign_from(const std::string& lane) {
   std::size_t stranded = 0;
   {
     std::scoped_lock lock(mutex_);
-    for (auto& [_, record] : records_) {
+    for (const std::uint64_t id : active_) {
+      Record& record = records_.at(id);
       if (record.job.resource != lane) continue;
       if (record.job.state != DaemonJobState::kQueued &&
           record.job.state != DaemonJobState::kRunning) {
@@ -328,6 +592,9 @@ void Dispatcher::reassign_from(const std::string& lane) {
         // Nothing healthy: the job waits unplaced for any lane to recover.
         record.job.resource.clear();
         ++stranded;
+      }
+      if (store_ != nullptr) {
+        store_->job_placed(record.job.id, record.job.resource);
       }
     }
   }
@@ -390,6 +657,7 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
           continue;
         }
         record.job.resource = lane;
+        if (store_ != nullptr) store_->job_placed(batch->job_id, lane);
       }
       if (record.cancel_requested) {
         core_.batch_done(*batch);
@@ -405,8 +673,11 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
           record.job.first_dispatch_time = clock_->now();
         }
       }
-      slice = record.payload;
+      slice = *record.payload;
       slice.set_shots(batch->shots);
+      if (store_ != nullptr) {
+        store_->batch_dispatched(batch->job_id, lane, batch->shots);
+      }
     }
 
     broker_->on_dispatch(lane, batch->shots);
@@ -432,6 +703,19 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
         Record& record = records_.at(batch->job_id);
         if (record.job.state == DaemonJobState::kRunning) {
           record.job.state = DaemonJobState::kQueued;
+        }
+        if (store_ != nullptr) {
+          store_->batch_failed(batch->job_id, lane, batch->shots,
+                               outcome.error().to_string());
+        }
+        // A cancel that raced the in-flight batch must win over failover:
+        // with no healthy resource left the requeued job would otherwise
+        // sit queued-with-cancel-requested forever.
+        if (record.cancel_requested) {
+          core_.remove(batch->job_id);
+          finish_locked(record, DaemonJobState::kCancelled, "");
+          cv_.notify_all();
+          continue;
         }
         if (++record.failovers > kMaxBatchFailovers) {
           core_.remove(batch->job_id);
@@ -467,6 +751,11 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
           }
           broker_->unbind(lane);
           record.job.resource = std::move(repick).value();
+          if (store_ != nullptr) {
+            store_->batch_failed(batch->job_id, lane, batch->shots,
+                                 outcome.error().to_string());
+            store_->job_placed(batch->job_id, record.job.resource);
+          }
           QCENV_LOG(Warn) << "job " << batch->job_id << " rejected by "
                           << lane << " (" << outcome.error().to_string()
                           << "), re-placing on " << record.job.resource;
@@ -493,6 +782,13 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
     auto merged_metadata = outcome.value().metadata();
     (void)record.samples.merge(outcome.value());
     record.samples.set_metadata(std::move(merged_metadata));
+    if (store_ != nullptr) {
+      // The executed shots become durable BEFORE any terminal event, so a
+      // crash between the two replays them as done, never re-runs them.
+      // Serialization is deferred to the journal's writer thread.
+      store_->batch_done(batch->job_id, batch->shots, batch->final_batch,
+                         outcome.value());
+    }
 
     if (record.cancel_requested) {
       core_.remove(batch->job_id);

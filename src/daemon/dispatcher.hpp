@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "broker/broker.hpp"
@@ -28,6 +29,7 @@
 #include "common/result.hpp"
 #include "daemon/queue_core.hpp"
 #include "qrmi/qrmi.hpp"
+#include "store/state_store.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qcenv::daemon {
@@ -73,14 +75,17 @@ class Dispatcher {
   };
 
   /// Multi-resource dispatcher: one worker lane per resource registered in
-  /// `broker` at construction time.
+  /// `broker` at construction time. `store` (optional, must outlive the
+  /// dispatcher) receives a journal event for every job state change.
   Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
              QueuePolicy policy, common::Clock* clock,
-             telemetry::MetricsRegistry* metrics);
+             telemetry::MetricsRegistry* metrics,
+             store::StateStore* store = nullptr);
   /// Single-resource convenience: wraps `resource` in a one-member fleet
   /// (named after its resource_id).
   Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
-             common::Clock* clock, telemetry::MetricsRegistry* metrics);
+             common::Clock* clock, telemetry::MetricsRegistry* metrics,
+             store::StateStore* store = nullptr);
   ~Dispatcher();
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
@@ -106,6 +111,26 @@ class Dispatcher {
                                         common::DurationNs timeout);
   common::Status cancel(std::uint64_t job_id);
 
+  /// Cancels every non-terminal job of `session` (queued jobs immediately,
+  /// running jobs at the next batch boundary). Used when a session is
+  /// closed or expires so its work does not linger in the queue as an
+  /// orphan. Returns how many jobs were affected.
+  std::size_t cancel_for_session(common::SessionId session);
+
+  /// Re-installs jobs recovered from the durable store (must run before
+  /// any new submission): terminal jobs re-serve their stored samples,
+  /// non-terminal jobs re-enter the queue with exactly their un-executed
+  /// shots. `next_job_id` floors the id allocator so recovered ids are
+  /// never reused.
+  void restore(const std::vector<store::JobRecord>& jobs,
+               std::uint64_t next_job_id);
+
+  /// Full durable image of the dispatcher's state for compaction. Reads
+  /// the journal watermark before copying records (both under the queue
+  /// lock, where every job event is appended), so the snapshot's jobs_seq
+  /// is exact.
+  store::StoreSnapshot durable_snapshot() const;
+
   /// Admin: pause/resume batch dispatch globally (maintenance windows).
   void drain();
   void resume();
@@ -124,10 +149,27 @@ class Dispatcher {
   /// Pending ids in dispatch order.
   std::vector<std::uint64_t> queue_order() const;
 
+  /// Per-resource view of the queue for GET /v1/queue: how many jobs are
+  /// queued on / running on each dispatch lane. Jobs awaiting any healthy
+  /// resource appear under "(unplaced)".
+  struct LaneDepth {
+    std::size_t queued = 0;
+    std::size_t running = 0;
+  };
+  std::map<std::string, LaneDepth> lane_depths() const;
+
  private:
   struct Record {
     DaemonJob job;
-    quantum::Payload payload;
+    /// Shared and immutable: lanes copy it per batch slice, and the store's
+    /// journal writer serializes it off-thread without a deep copy.
+    std::shared_ptr<const quantum::Payload> payload;
+    /// Memoized store::payload_fingerprint(*payload), 0 = not yet
+    /// computed. Shared with snapshot staging, which fills it outside the
+    /// queue lock — without the memo every compaction re-hashes every
+    /// payload body ever submitted.
+    std::shared_ptr<std::atomic<std::uint64_t>> payload_fp =
+        std::make_shared<std::atomic<std::uint64_t>>(0);
     quantum::Samples samples;
     bool cancel_requested = false;
     bool pinned = false;  // submitted with an explicit resource hint
@@ -143,15 +185,24 @@ class Dispatcher {
   void reassign_from(const std::string& lane);
   void finish_locked(Record& record, DaemonJobState state,
                      const std::string& error);
+  /// Durable image of one record's metadata only — the (expensive)
+  /// payload and samples serialization is always done later, by the
+  /// journal's deferred serializer or durable_snapshot(), outside the
+  /// queue lock.
+  store::JobRecord to_record_locked(const Record& record) const;
 
   std::shared_ptr<broker::ResourceBroker> broker_;
   common::Clock* clock_;
   telemetry::MetricsRegistry* metrics_;
+  store::StateStore* store_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   PriorityQueueCore core_;
   std::map<std::uint64_t, Record> records_;
+  /// Non-terminal job ids: keeps per-lane queue reporting O(live jobs)
+  /// while records_ retains every terminal job for result serving.
+  std::unordered_set<std::uint64_t> active_;
   std::uint64_t next_job_id_ = 1;
   std::atomic<bool> draining_{false};
   std::vector<std::jthread> lanes_;

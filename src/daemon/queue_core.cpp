@@ -14,6 +14,13 @@ const char* to_string(JobClass cls) noexcept {
   return "?";
 }
 
+common::Result<JobClass> job_class_from_string(const std::string& text) {
+  if (text == "production") return JobClass::kProduction;
+  if (text == "test") return JobClass::kTest;
+  if (text == "development" || text == "dev") return JobClass::kDevelopment;
+  return common::err::invalid_argument("unknown job class: " + text);
+}
+
 void PriorityQueueCore::enqueue(std::uint64_t job_id, JobClass cls,
                                 std::uint64_t total_shots,
                                 common::TimeNs now) {

@@ -19,15 +19,19 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/result.hpp"
 
 namespace qcenv::daemon {
 
 enum class JobClass { kProduction = 0, kTest = 1, kDevelopment = 2 };
 
 const char* to_string(JobClass cls) noexcept;
+/// Parses "production" / "test" / "development" (or "dev").
+common::Result<JobClass> job_class_from_string(const std::string& text);
 /// Smaller = more important.
 constexpr int class_rank(JobClass cls) noexcept {
   return static_cast<int>(cls);

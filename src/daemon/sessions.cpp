@@ -1,5 +1,7 @@
 #include "daemon/sessions.hpp"
 
+#include <algorithm>
+
 #include "common/strings.hpp"
 
 namespace qcenv::daemon {
@@ -53,14 +55,27 @@ Status SessionManager::close(const std::string& token) {
   return Status::ok_status();
 }
 
-std::size_t SessionManager::expire_idle() {
+void SessionManager::restore(const Session& session) {
+  std::scoped_lock lock(mutex_);
+  // New sessions must never reuse a restored id: cancel_for_session and
+  // job ownership key on it.
+  ids_.reserve_through(session.id.value);
+  Session restored = session;
+  // Activity between the last journaled event and the crash is unknown;
+  // assume active-now so a routine expiry sweep right after recovery
+  // cannot invalidate tokens (and cancel jobs) that were in live use.
+  restored.last_active = std::max(restored.last_active, clock_->now());
+  by_token_[restored.token] = restored;
+}
+
+std::vector<Session> SessionManager::expire_idle() {
   std::scoped_lock lock(mutex_);
   const common::TimeNs now = clock_->now();
-  std::size_t removed = 0;
+  std::vector<Session> removed;
   for (auto it = by_token_.begin(); it != by_token_.end();) {
     if (now - it->second.last_active > options_.idle_expiry) {
+      removed.push_back(it->second);
       it = by_token_.erase(it);
-      ++removed;
     } else {
       ++it;
     }

@@ -39,13 +39,18 @@ class SessionManager {
 
   common::Result<Session> create(const std::string& user, JobClass cls);
 
+  /// Re-installs a session recovered from the durable store with its token
+  /// intact (bypasses the per-user limits: the session already existed).
+  void restore(const Session& session);
+
   /// Token -> session; refreshes last_active.
   common::Result<Session> authenticate(const std::string& token);
 
   common::Status close(const std::string& token);
 
-  /// Drops sessions idle beyond the expiry; returns how many were removed.
-  std::size_t expire_idle();
+  /// Drops and returns sessions idle beyond the expiry, so callers can
+  /// clean up what the sessions owned (queued jobs, journal entries).
+  std::vector<Session> expire_idle();
 
   std::size_t count() const;
   std::vector<Session> list() const;

@@ -48,6 +48,12 @@ class Payload {
   /// metadata, so the same physics program hashes equally across runs).
   std::uint64_t program_hash() const;
 
+  /// Read-only view of the opaque program body, for consumers that need
+  /// to content-address a payload without re-serializing it (e.g. the
+  /// durable store's journal dedup). The body never changes after
+  /// construction.
+  const common::Json& body() const noexcept { return body_; }
+
   std::string serialize() const;
   common::Json to_json() const;
   static common::Result<Payload> from_json(const common::Json& json);

@@ -1,0 +1,67 @@
+#include "store/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qcenv::store {
+
+using common::Status;
+
+namespace {
+
+common::Error io_failure(const std::string& what, const std::string& path) {
+  return common::err::io(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return io_failure("cannot open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return io_failure("fsync failed on directory", dir);
+  return Status::ok_status();
+}
+
+Status write_file_atomic(const std::string& path,
+                         std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0600);
+  if (fd < 0) return io_failure("cannot create", tmp);
+  const char* data = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ssize_t wrote = ::write(fd, data, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      const auto error = io_failure("cannot write", tmp);
+      ::close(fd);
+      return error;
+    }
+    data += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    const auto error = io_failure("fsync failed on", tmp);
+    ::close(fd);
+    return error;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return io_failure("cannot swap into", path);
+  }
+  // Make the rename itself durable: without this, a crash can persist a
+  // journal truncation but lose the snapshot rename that justified it.
+  return fsync_parent_dir(path);
+}
+
+}  // namespace qcenv::store

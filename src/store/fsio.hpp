@@ -1,0 +1,22 @@
+// Small durable-file-IO helpers shared by the journal and snapshot code.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace qcenv::store {
+
+/// Fsyncs the directory containing `path`, making renames/creations of
+/// entries inside it durable (POSIX gives no ordering otherwise).
+common::Status fsync_parent_dir(const std::string& path);
+
+/// Writes `contents` to `path` atomically: `<path>.tmp` + fsync + rename +
+/// parent-dir fsync, so a crash leaves either the old file or the new one,
+/// never a partial mix. Files are created 0600 — store files carry session
+/// bearer tokens and user payloads.
+common::Status write_file_atomic(const std::string& path,
+                                 std::string_view contents);
+
+}  // namespace qcenv::store

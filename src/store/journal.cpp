@@ -1,0 +1,572 @@
+#include "store/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "store/fsio.hpp"
+
+#define QCENV_LOG_COMPONENT "store.journal"
+#include "common/logging.hpp"
+
+namespace qcenv::store {
+
+using common::Json;
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// One journal line. `type` is a controlled identifier and `data_dump` is
+/// already-serialized JSON, so the line can be assembled without another
+/// Json tree — this is the submit hot path.
+std::string encode_line(std::uint64_t seq, common::TimeNs time,
+                        const std::string& type,
+                        const std::string& data_dump) {
+  std::string line;
+  line.reserve(48 + type.size() + data_dump.size());
+  line += "{\"seq\":";
+  line += std::to_string(seq);
+  line += ",\"t\":";
+  line += std::to_string(time);
+  line += ",\"e\":\"";
+  line += type;
+  line += "\",\"d\":";
+  line += data_dump;
+  line += "}\n";
+  return line;
+}
+
+common::Error make_io_error(const std::string& what, const std::string& path) {
+  return common::err::io(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+const char* to_string(SyncMode mode) noexcept {
+  switch (mode) {
+    case SyncMode::kNone: return "none";
+    case SyncMode::kAlways: return "always";
+    case SyncMode::kGroupCommit: return "group_commit";
+  }
+  return "?";
+}
+
+JobJournal::JobJournal(JournalOptions options, common::Clock* clock,
+                       telemetry::MetricsRegistry* metrics)
+    : options_(options), clock_(clock), metrics_(metrics) {}
+
+JobJournal::~JobJournal() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+    flush_requested_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status JobJournal::open(const std::string& path) {
+  // Scan any existing tail first so sequence numbers keep increasing
+  // across restarts (snapshot watermarks compare against them).
+  std::uint64_t prefix_bytes = 0;
+  auto existing = read_file(path, &prefix_bytes);
+  if (!existing.ok()) return existing.error();
+  return open(path, existing.value(), prefix_bytes);
+}
+
+Status JobJournal::open(const std::string& path,
+                        const std::vector<JournalEntry>& preparsed,
+                        std::uint64_t complete_prefix_bytes) {
+  if (fd_ >= 0) {
+    return common::err::failed_precondition("journal already open");
+  }
+  // 0600: the journal carries session bearer tokens and user payloads.
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC,
+               0600);
+  if (fd_ < 0) return make_io_error("cannot open journal", path);
+  // Make the file's directory entry itself durable before acknowledging
+  // any append as such.
+  QCENV_RETURN_IF_ERROR(fsync_parent_dir(path));
+  path_ = path;
+  if (metrics_ != nullptr) {
+    appends_counter_ =
+        &metrics_->counter("store_journal_appends_total", {},
+                           "events appended to the job journal");
+    fsyncs_counter_ =
+        &metrics_->counter("store_fsyncs_total", {},
+                           "group-commit fsyncs issued by the journal");
+    failed_gauge_ = &metrics_->gauge(
+        "store_journal_failed", {},
+        "1 once the journal has fail-stopped on a write/fsync error "
+        "(new events are no longer durable)");
+  }
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  file_bytes_ = size > 0 ? static_cast<std::uint64_t>(size) : 0;
+  // Cut any torn tail fragment off NOW: appending after it would splice
+  // the first new event onto garbage and poison the file for replay.
+  const std::uint64_t valid_bytes = complete_prefix_bytes;
+  if (valid_bytes < file_bytes_) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) {
+      return make_io_error("cannot truncate torn journal tail of", path);
+    }
+    QCENV_LOG(Warn) << "truncated torn tail: " << (file_bytes_ - valid_bytes)
+                    << " byte(s) after the last complete line of '" << path
+                    << "'";
+    file_bytes_ = valid_bytes;
+  }
+  file_events_ = preparsed.size();
+  if (!preparsed.empty()) {
+    const std::uint64_t tail = preparsed.back().seq;
+    next_seq_ = tail + 1;
+    written_seq_ = durable_seq_ = last_append_seq_ = tail;
+  }
+  if (options_.sync != SyncMode::kAlways) {
+    writer_ = std::thread([this] { writer_loop(); });
+  }
+  return Status::ok_status();
+}
+
+std::uint64_t JobJournal::append(const std::string& type, Json data) {
+  PendingEvent event;
+  event.data = std::move(data);
+  return enqueue(type, std::move(event));
+}
+
+std::uint64_t JobJournal::append_deferred(
+    const std::string& type, std::function<Json()> build) {
+  PendingEvent event;
+  event.build = std::move(build);
+  return enqueue(type, std::move(event));
+}
+
+std::uint64_t JobJournal::append_job_submitted(
+    JobRecord meta, std::shared_ptr<const quantum::Payload> payload) {
+  PendingEvent event;
+  event.submit_meta = std::move(meta);
+  event.submit_payload = std::move(payload);
+  return enqueue("job_submitted", std::move(event));
+}
+
+Json JobJournal::build_pending(const PendingEvent& event) {
+  if (event.submit_meta.has_value()) {
+    Json job = event.submit_meta->to_json();
+    if (event.submit_payload != nullptr) {
+      // Content-addressed dedup: only the first submission of a program
+      // in this journal segment embeds its (large) body; repeats — the
+      // common shape for parameter sweeps and multi-user production
+      // programs — reference the fingerprint instead.
+      const std::uint64_t hash = payload_fingerprint(*event.submit_payload);
+      job["payload_hash"] = static_cast<long long>(hash);
+      // Dedup is scoped per user (see embedded_payloads_).
+      std::string key = event.submit_meta->user;
+      key += '|';
+      key += std::to_string(hash);
+      bool first_sighting = false;
+      {
+        std::scoped_lock lock(payload_mutex_);
+        first_sighting = embedded_payloads_.insert(std::move(key)).second;
+      }
+      if (first_sighting) job["payload"] = event.submit_payload->to_json();
+    }
+    Json data = Json::object();
+    data["job"] = std::move(job);
+    return data;
+  }
+  if (event.build) return event.build();
+  return event.data;
+}
+
+std::uint64_t JobJournal::enqueue(const std::string& type,
+                                  PendingEvent event) {
+  const common::TimeNs now = clock_->now();
+  std::uint64_t seq = 0;
+  {
+    std::unique_lock lock(mutex_);
+    seq = next_seq_++;
+    last_append_seq_ = seq;
+    ++appends_;
+    event.seq = seq;
+    event.time = now;
+    event.type = type;
+    if (io_error_.has_value()) {
+      // Fail-stop: writing past the first failure would interleave new
+      // lines with a torn fragment and poison the whole file for replay.
+      return seq;
+    }
+    if (options_.sync == SyncMode::kAlways) {
+      const std::string line =
+          encode_line(seq, now, type, build_pending(event).dump());
+      Status wrote = Status::ok_status();
+      {
+        std::scoped_lock io(io_mutex_);
+        wrote = write_block(line, /*sync=*/true);
+      }
+      if (!wrote.ok()) {
+        QCENV_LOG(Error) << "journal write failed: " << wrote.to_string();
+        fail_locked(wrote.error());
+        durable_cv_.notify_all();
+        return seq;
+      }
+      file_bytes_ += line.size();
+      ++file_events_;
+      ++fsyncs_;
+      written_seq_ = durable_seq_ = seq;
+      if (fsyncs_counter_ != nullptr) fsyncs_counter_->increment();
+    } else {
+      pending_.push_back(std::move(event));
+      if (pending_.size() >= options_.group_commit_max_batch) {
+        work_cv_.notify_one();
+      }
+    }
+  }
+  if (appends_counter_ != nullptr) appends_counter_->increment();
+  return seq;
+}
+
+Status JobJournal::flush() {
+  if (fd_ < 0) return common::err::failed_precondition("journal not open");
+  std::unique_lock lock(mutex_);
+  if (io_error_.has_value()) return *io_error_;
+  // Target what was appended, not the raw counter: reserve_through() may
+  // have advanced next_seq_ past anything that will ever hit the disk.
+  const std::uint64_t target = last_append_seq_;
+  if (durable_seq_ >= target) return Status::ok_status();
+  if (options_.sync == SyncMode::kAlways) return Status::ok_status();
+  flush_requested_ = true;
+  work_cv_.notify_all();
+  durable_cv_.wait(lock, [&] {
+    return durable_seq_ >= target || io_error_.has_value() || stop_;
+  });
+  if (io_error_.has_value()) return *io_error_;
+  return Status::ok_status();
+}
+
+std::optional<common::Error> JobJournal::io_error() const {
+  std::scoped_lock lock(mutex_);
+  return io_error_;
+}
+
+void JobJournal::fail_locked(common::Error error) {
+  if (io_error_.has_value()) return;
+  io_error_ = std::move(error);
+  if (failed_gauge_ != nullptr) failed_gauge_->set(1);
+}
+
+void JobJournal::reserve_through(std::uint64_t seq) {
+  std::scoped_lock lock(mutex_);
+  if (next_seq_ <= seq) next_seq_ = seq + 1;
+}
+
+std::uint64_t JobJournal::last_seq() const {
+  std::scoped_lock lock(mutex_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t JobJournal::event_count() const {
+  std::scoped_lock lock(mutex_);
+  return file_events_ + pending_.size();
+}
+
+std::uint64_t JobJournal::appends_total() const {
+  std::scoped_lock lock(mutex_);
+  return appends_;
+}
+
+std::uint64_t JobJournal::fsyncs_total() const {
+  std::scoped_lock lock(mutex_);
+  return fsyncs_;
+}
+
+std::uint64_t JobJournal::size_bytes() const {
+  std::scoped_lock lock(mutex_);
+  // Pending events are not serialized yet; estimate their footprint.
+  return file_bytes_ + pending_.size() * 128;
+}
+
+Status JobJournal::write_block(const std::string& block, bool sync) {
+  const char* data = block.data();
+  std::size_t remaining = block.size();
+  while (remaining > 0) {
+    const ssize_t wrote = ::write(fd_, data, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return make_io_error("cannot append to journal", path_);
+    }
+    data += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+  if (sync && ::fsync(fd_) != 0) {
+    return make_io_error("fsync failed on journal", path_);
+  }
+  return Status::ok_status();
+}
+
+void JobJournal::writer_loop() {
+  const auto interval =
+      std::chrono::nanoseconds(options_.group_commit_interval);
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_cv_.wait_for(lock, interval, [&] {
+      return stop_ || flush_requested_ ||
+             pending_.size() >= options_.group_commit_max_batch;
+    });
+    if (pending_.empty()) {
+      if (flush_requested_) {
+        // Everything is written; make it durable.
+        const std::uint64_t target = written_seq_;
+        flush_requested_ = false;
+        lock.unlock();
+        bool synced = false;
+        {
+          std::scoped_lock io(io_mutex_);
+          synced = fd_ >= 0 && ::fsync(fd_) == 0;
+        }
+        lock.lock();
+        if (synced) {
+          ++fsyncs_;
+          if (fsyncs_counter_ != nullptr) fsyncs_counter_->increment();
+          if (durable_seq_ < target) durable_seq_ = target;
+        } else {
+          fail_locked(make_io_error("fsync failed on journal", path_));
+          QCENV_LOG(Error) << "journal failed: " << io_error_->to_string();
+        }
+        durable_cv_.notify_all();
+      }
+      if (stop_) return;
+      continue;
+    }
+    if (io_error_.has_value()) {
+      // Fail-stop: drop the batch rather than splice lines after a torn
+      // fragment; waiters are told via flush().
+      pending_.clear();
+      durable_cv_.notify_all();
+      if (stop_) return;
+      continue;
+    }
+
+    // Drain the whole pending batch into one write (and one fsync).
+    // Serialization happens here, off every appender's hot path.
+    const std::uint64_t target = last_append_seq_;
+    const std::uint64_t epoch = rewrite_epoch_;
+    std::deque<PendingEvent> batch;
+    batch.swap(pending_);
+    const std::uint64_t batch_events = batch.size();
+    const bool want_sync =
+        options_.sync == SyncMode::kGroupCommit || flush_requested_;
+    flush_requested_ = false;
+    lock.unlock();
+    std::string block;
+    block.reserve(batch_events * 128);
+    for (const auto& event : batch) {
+      block += encode_line(event.seq, event.time, event.type,
+                           build_pending(event).dump());
+    }
+    batch.clear();
+    Status wrote = Status::ok_status();
+    {
+      std::scoped_lock io(io_mutex_);
+      wrote = write_block(block, want_sync);
+    }
+    lock.lock();
+    if (!wrote.ok()) {
+      QCENV_LOG(Error) << "journal group write failed: " << wrote.to_string();
+      // Nothing past this point is acknowledged: the block may be torn on
+      // disk and no further writes will follow it.
+      fail_locked(wrote.error());
+      durable_cv_.notify_all();
+      if (stop_) return;
+      continue;
+    }
+    written_seq_ = target;
+    if (rewrite_epoch_ == epoch) {
+      file_bytes_ += block.size();
+      file_events_ += batch_events;
+    } else {
+      // A drop_through rewrite raced this block (either side of it):
+      // its totals may or may not include us. Bytes re-sync from the
+      // file; the event count self-corrects at the next rewrite.
+      const off_t size = ::lseek(fd_, 0, SEEK_END);
+      if (size >= 0) file_bytes_ = static_cast<std::uint64_t>(size);
+    }
+    if (want_sync) {
+      ++fsyncs_;
+      if (fsyncs_counter_ != nullptr) fsyncs_counter_->increment();
+      durable_seq_ = target;
+      durable_cv_.notify_all();
+    }
+    if (stop_) return;
+  }
+}
+
+namespace {
+
+/// Sequence number of one encoded journal line (format fixed by
+/// encode_line: `{"seq":N,...`). nullopt for anything else.
+std::optional<std::uint64_t> line_seq(const std::string& line) {
+  constexpr const char* kPrefix = "{\"seq\":";
+  constexpr std::size_t kPrefixLen = 7;
+  if (line.compare(0, kPrefixLen, kPrefix) != 0) return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t seq = std::strtoull(line.c_str() + kPrefixLen, &end, 10);
+  if (end == line.c_str() + kPrefixLen || *end != ',') return std::nullopt;
+  return seq;
+}
+
+/// Reads `[offset, offset + max_bytes)` of `path` (short read at EOF).
+std::string read_range(const std::string& path, std::uint64_t offset,
+                       std::uint64_t max_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open() || max_bytes == 0) return {};
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string out(max_bytes, '\0');
+  in.read(out.data(), static_cast<std::streamsize>(max_bytes));
+  out.resize(static_cast<std::size_t>(std::max<std::streamsize>(
+      in.gcount(), 0)));
+  return out;
+}
+
+/// Appends every complete line of `content` with seq > watermark to
+/// `kept` — raw seq-prefix filter, no JSON parse or re-encode.
+void filter_journal_lines(const std::string& content, std::uint64_t watermark,
+                          std::string& kept, std::uint64_t& kept_events) {
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t newline = content.find('\n', start);
+    if (newline == std::string::npos) break;  // torn tail
+    if (newline > start) {
+      const std::string line = content.substr(start, newline - start);
+      const auto seq = line_seq(line);
+      if (seq.has_value() && *seq > watermark) {
+        kept += line;
+        kept += '\n';
+        ++kept_events;
+      }
+    }
+    start = newline + 1;
+  }
+}
+
+}  // namespace
+
+Status JobJournal::drop_through(std::uint64_t watermark) {
+  QCENV_RETURN_IF_ERROR(flush());
+  // Phase 1 — no locks held: filter everything currently in the file.
+  // The journal is append-only between compactions (drop_through calls
+  // are serialized by StateStore's compact mutex, and fail-stop means an
+  // errored fd is never written again), and the writer only writes whole
+  // blocks of complete lines under io_mutex_, so the size sampled here is
+  // a stable line boundary. Appends keep flowing while we filter.
+  std::uint64_t stable_bytes = 0;
+  {
+    std::scoped_lock io(io_mutex_);
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    stable_bytes = size > 0 ? static_cast<std::uint64_t>(size) : 0;
+  }
+  std::string kept;
+  std::uint64_t kept_events = 0;
+  filter_journal_lines(read_range(path_, 0, stable_bytes), watermark, kept,
+                       kept_events);
+
+  // Phase 2 — under the locks: fold in the (small) suffix appended while
+  // phase 1 ran, then swap the compacted file in. Appenders block only
+  // for this delta, not for the full-journal rewrite.
+  std::scoped_lock lock(mutex_);
+  std::scoped_lock io(io_mutex_);
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  const std::uint64_t total_bytes =
+      end > 0 ? static_cast<std::uint64_t>(end) : 0;
+  if (total_bytes > stable_bytes) {
+    filter_journal_lines(
+        read_range(path_, stable_bytes, total_bytes - stable_bytes),
+        watermark, kept, kept_events);
+  }
+
+  QCENV_RETURN_IF_ERROR(write_file_atomic(path_, kept));
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC, 0600);
+  if (fd_ < 0) return make_io_error("cannot reopen compacted journal", path_);
+  ++fsyncs_;
+  // Invalidate any writer-thread counter update that raced this rewrite:
+  // a block written just before we took io_mutex_ is already included in
+  // `kept`, and the writer must not add it again after we release.
+  ++rewrite_epoch_;
+  file_bytes_ = kept.size();
+  file_events_ = kept_events;
+  {
+    // The dropped prefix may have held payload-defining events; the
+    // snapshot that justified this truncation carries those payloads, so
+    // future submissions must re-embed on first sighting.
+    std::scoped_lock payloads(payload_mutex_);
+    embedded_payloads_.clear();
+  }
+  return Status::ok_status();
+}
+
+Result<std::vector<JournalEntry>> JobJournal::read_file(
+    const std::string& path, std::uint64_t* complete_prefix_bytes) {
+  if (complete_prefix_bytes != nullptr) *complete_prefix_bytes = 0;
+  std::vector<JournalEntry> entries;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return entries;  // absent = empty journal
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  // Only newline-terminated lines are complete — the exact rule open()
+  // uses to truncate torn tails, so replayed state always matches what
+  // stays on disk.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t newline = content.find('\n', start);
+    if (newline == std::string::npos) {
+      QCENV_LOG(Warn) << "dropping torn journal tail ("
+                      << (content.size() - start) << " byte(s)) of '"
+                      << path << "'";
+      break;
+    }
+    if (newline > start) {
+      lines.push_back(content.substr(start, newline - start));
+    }
+    start = newline + 1;
+  }
+  // `start` now sits just past the last newline: the complete-line prefix
+  // open() keeps when truncating a torn tail.
+  if (complete_prefix_bytes != nullptr) *complete_prefix_bytes = start;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto parsed = Json::parse(lines[i]);
+    if (!parsed.ok()) {
+      return common::err::protocol(
+          "corrupt journal line " + std::to_string(i + 1) + " of '" + path +
+          "': " + parsed.error().message());
+    }
+    JournalEntry entry;
+    auto seq = parsed.value().get_int("seq");
+    auto type = parsed.value().get_string("e");
+    if (!seq.ok() || !type.ok()) {
+      return common::err::protocol("journal line " + std::to_string(i + 1) +
+                                   " of '" + path +
+                                   "' lacks seq/event fields");
+    }
+    entry.seq = static_cast<std::uint64_t>(seq.value());
+    entry.type = std::move(type).value();
+    const Json& t = parsed.value().at_or_null("t");
+    entry.time = t.is_number() ? t.as_int() : 0;
+    entry.data = parsed.value().at_or_null("d");
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace qcenv::store

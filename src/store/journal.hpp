@@ -1,0 +1,209 @@
+// JobJournal: append-only write-ahead log of job/session lifecycle events.
+//
+// Each event is one JSON line `{"seq":N,"t":<ns>,"e":"<type>", ...}` with a
+// strictly increasing sequence number, so the log is human-greppable and a
+// torn final line (crash mid-write) is detected and dropped on replay.
+//
+// Durability modes:
+//   kAlways       write + fsync inline on every append (slow baseline),
+//   kGroupCommit  appends buffer in memory and return immediately; a writer
+//                 thread flushes the batch and issues ONE fsync per group
+//                 (at most every `group_commit_interval`, sooner when
+//                 `group_commit_max_batch` events pile up). This is the
+//                 classic group-commit trade: the hot submit path pays a
+//                 buffered string append, and the crash-loss window is
+//                 bounded by the interval,
+//   kNone         writes are batched like kGroupCommit but never fsynced
+//                 except on explicit flush() (tests, benches).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "quantum/payload.hpp"
+#include "store/records.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::store {
+
+enum class SyncMode { kNone, kAlways, kGroupCommit };
+
+const char* to_string(SyncMode mode) noexcept;
+
+struct JournalOptions {
+  SyncMode sync = SyncMode::kGroupCommit;
+  /// Longest an appended event sits in memory before the group fsync —
+  /// i.e. the crash-loss window. 5 ms is noise next to a QPU batch but
+  /// keeps fsync duty low even on slow disks.
+  common::DurationNs group_commit_interval = 5 * common::kMillisecond;
+  /// Flush earlier once this many events are pending.
+  std::size_t group_commit_max_batch = 512;
+};
+
+/// One decoded journal line.
+struct JournalEntry {
+  std::uint64_t seq = 0;
+  common::TimeNs time = 0;
+  std::string type;
+  common::Json data;
+};
+
+class JobJournal {
+ public:
+  JobJournal(JournalOptions options, common::Clock* clock,
+             telemetry::MetricsRegistry* metrics);
+  ~JobJournal();
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Opens (creating if absent) the journal file and scans it so new
+  /// sequence numbers continue after the existing tail.
+  common::Status open(const std::string& path);
+  /// Same, reusing what the caller already decoded via read_file — the
+  /// entries plus the newline-terminated prefix length it reports — so
+  /// the recovery path reads and parses the journal exactly once at
+  /// startup (everything past the prefix is a torn tail to truncate).
+  common::Status open(const std::string& path,
+                      const std::vector<JournalEntry>& preparsed,
+                      std::uint64_t complete_prefix_bytes);
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Appends one event; returns its sequence number. Durability depends on
+  /// the sync mode (see header comment). Serialization happens on the
+  /// writer thread (except kAlways), so appending is cheap for callers
+  /// holding hot-path locks.
+  std::uint64_t append(const std::string& type, common::Json data);
+
+  /// Same, but even *building* the event body is deferred to the writer
+  /// thread. `build` must be safe to call from another thread later (own
+  /// its data or reference only immutable state). This keeps large bodies
+  /// — a submitted job's full payload — entirely off the submit path.
+  std::uint64_t append_deferred(const std::string& type,
+                                std::function<common::Json()> build);
+
+  /// Specialized zero-type-erasure variant of append_deferred for the
+  /// hottest event: a submitted job. The writer thread fingerprints the
+  /// payload and embeds its body only on its first sighting in the
+  /// current journal segment (compaction resets the sighting set — the
+  /// snapshot carries every payload whose defining event it swallowed).
+  /// The submit path pays one deque push, nothing more.
+  std::uint64_t append_job_submitted(
+      JobRecord meta, std::shared_ptr<const quantum::Payload> payload);
+
+  /// Blocks until every event appended so far is written AND fsynced.
+  /// Errs once the journal has failed (see io_error()).
+  common::Status flush();
+
+  /// Fail-stop: after the first write/fsync failure the journal stops
+  /// writing (so the file keeps at most one torn tail line and replay
+  /// recovers the durable prefix), acknowledges nothing further, and
+  /// reports the sticky error here and from every flush().
+  std::optional<common::Error> io_error() const;
+
+  /// Rewrites the journal keeping only events with seq > `watermark`
+  /// (compaction: everything at or below the watermark is covered by a
+  /// snapshot). Pending events are flushed first; appends continue with
+  /// their sequence numbers unchanged.
+  common::Status drop_through(std::uint64_t watermark);
+
+  /// Never hand out sequence numbers at or below `seq` (used after loading
+  /// a snapshot whose watermark outruns a truncated journal).
+  void reserve_through(std::uint64_t seq);
+
+  std::uint64_t last_seq() const;
+  /// Events currently in the journal file + pending buffer.
+  std::uint64_t event_count() const;
+  std::uint64_t appends_total() const;
+  std::uint64_t fsyncs_total() const;
+  /// Bytes in the journal file (pending events contribute an estimate —
+  /// they are not serialized until the writer thread picks them up).
+  std::uint64_t size_bytes() const;
+
+  /// Decodes every well-formed line of a journal file, in order. A torn
+  /// final line is dropped silently; a torn middle line is an error. A
+  /// non-null `complete_prefix_bytes` receives the byte length of the
+  /// newline-terminated prefix the entries came from (for the preparsed
+  /// open() — no second read of the file).
+  static common::Result<std::vector<JournalEntry>> read_file(
+      const std::string& path,
+      std::uint64_t* complete_prefix_bytes = nullptr);
+
+ private:
+  /// One event waiting for the writer thread. Exactly one of data/build/
+  /// submit_payload-with-meta is meaningful (see encode_pending).
+  struct PendingEvent {
+    std::uint64_t seq = 0;
+    common::TimeNs time = 0;
+    std::string type;
+    common::Json data;
+    std::function<common::Json()> build;
+    std::optional<JobRecord> submit_meta;
+    std::shared_ptr<const quantum::Payload> submit_payload;
+  };
+
+  std::uint64_t enqueue(const std::string& type, PendingEvent event);
+  /// Records the first (sticky) I/O failure and flips the failure gauge
+  /// so /metrics shows the fail-stop. Caller must hold mutex_.
+  void fail_locked(common::Error error);
+  /// Builds the event body (writer thread / kAlways inline path).
+  common::Json build_pending(const PendingEvent& event);
+  void writer_loop();
+  /// Writes `block` to the file and optionally fsyncs. Caller must hold
+  /// io_mutex_; returns bytes written.
+  common::Status write_block(const std::string& block, bool sync);
+
+  JournalOptions options_;
+  common::Clock* clock_;
+  telemetry::MetricsRegistry* metrics_;
+  // Cached handles: registry lookups take a mutex, appends must not.
+  telemetry::Counter* appends_counter_ = nullptr;
+  telemetry::Counter* fsyncs_counter_ = nullptr;
+  telemetry::Gauge* failed_gauge_ = nullptr;
+
+  std::string path_;
+  int fd_ = -1;
+
+  mutable std::mutex mutex_;           // pending buffer + counters
+  std::condition_variable work_cv_;    // appenders -> writer
+  std::condition_variable durable_cv_; // writer -> flush() waiters
+  std::deque<PendingEvent> pending_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t last_append_seq_ = 0;  // highest seq actually appended
+  std::uint64_t durable_seq_ = 0;   // highest seq written + fsynced
+  std::uint64_t written_seq_ = 0;   // highest seq written to the fd
+  std::uint64_t file_bytes_ = 0;
+  std::uint64_t file_events_ = 0;
+  /// Bumped by drop_through; the writer skips its byte/event counter
+  /// increments when a rewrite already accounted for its block.
+  std::uint64_t rewrite_epoch_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  std::optional<common::Error> io_error_;  // sticky first write failure
+  bool flush_requested_ = false;
+  bool stop_ = false;
+
+  std::mutex io_mutex_;  // serializes file writes vs. compaction rewrite
+  /// Payloads already embedded in the current journal segment, keyed by
+  /// "<user>|<fingerprint>" (writer-thread dedup); cleared by
+  /// drop_through(). Scoping by user means a crafted fingerprint
+  /// collision can only ever alias a user's own programs, never swap
+  /// another user's circuit in at recovery.
+  std::mutex payload_mutex_;
+  std::unordered_set<std::string> embedded_payloads_;
+  std::thread writer_;
+};
+
+}  // namespace qcenv::store

@@ -1,0 +1,169 @@
+#include "store/records.hpp"
+
+namespace qcenv::store {
+
+using common::Json;
+using common::Result;
+
+std::int64_t int_or(const Json& json, const std::string& key,
+                    std::int64_t fallback) {
+  const Json& value = json.at_or_null(key);
+  return value.is_number() ? value.as_int() : fallback;
+}
+
+std::string string_or(const Json& json, const std::string& key) {
+  const Json& value = json.at_or_null(key);
+  return value.is_string() ? value.as_string() : std::string();
+}
+
+namespace {
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t word) {
+  for (std::size_t i = 0; i < sizeof(word); ++i) {
+    hash ^= (word >> (8 * i)) & 0xff;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+}
+
+}  // namespace
+
+std::uint64_t payload_fingerprint(const quantum::Payload& payload) {
+  // Covers the payload's FULL identity — kind, program body, shots, and
+  // metadata — not just the program. Dedup keyed on this fingerprint
+  // stores one payload body per key and recovery reproduces a job's
+  // payload from that body verbatim, so two submissions differing only
+  // in shots or metadata must never share a key.
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  hash ^= static_cast<unsigned char>(payload.kind());
+  hash *= 1099511628211ull;  // FNV prime
+  fnv_mix(hash, payload.body().hash());
+  fnv_mix(hash, payload.shots());
+  fnv_mix(hash, payload.metadata().hash());
+  return hash;
+}
+
+const char* to_string(JobPhase phase) noexcept {
+  switch (phase) {
+    case JobPhase::kQueued: return "queued";
+    case JobPhase::kRunning: return "running";
+    case JobPhase::kCompleted: return "completed";
+    case JobPhase::kFailed: return "failed";
+    case JobPhase::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Result<JobPhase> phase_from_string(const std::string& text) {
+  if (text == "queued") return JobPhase::kQueued;
+  if (text == "running") return JobPhase::kRunning;
+  if (text == "completed") return JobPhase::kCompleted;
+  if (text == "failed") return JobPhase::kFailed;
+  if (text == "cancelled") return JobPhase::kCancelled;
+  return common::err::invalid_argument("unknown job phase: " + text);
+}
+
+Json JobRecord::to_json() const {
+  Json out = Json::object();
+  out["id"] = id;
+  out["session"] = session;
+  out["user"] = user;
+  out["class"] = daemon::to_string(job_class);
+  out["phase"] = to_string(phase);
+  out["total_shots"] = total_shots;
+  out["shots_done"] = shots_done;
+  out["submit_time"] = submit_time;
+  out["first_dispatch_time"] = first_dispatch_time;
+  out["finish_time"] = finish_time;
+  out["resource"] = resource;
+  if (cancel_requested) out["cancel_requested"] = true;
+  out["pinned"] = pinned;
+  out["policy"] = policy;
+  out["error"] = error;
+  if (payload_hash != 0) {
+    out["payload_hash"] = static_cast<long long>(payload_hash);
+  }
+  out["payload"] = payload;
+  out["samples"] = samples;
+  return out;
+}
+
+Result<JobRecord> JobRecord::from_json(const Json& json) {
+  if (!json.is_object()) {
+    return common::err::protocol("job record must be a JSON object");
+  }
+  JobRecord record;
+  auto id = json.get_int("id");
+  if (!id.ok()) return id.error();
+  record.id = static_cast<std::uint64_t>(id.value());
+  record.session = static_cast<std::uint64_t>(int_or(json, "session", 0));
+  auto user = json.get_string("user");
+  if (!user.ok()) return user.error();
+  record.user = std::move(user).value();
+  const std::string cls_name = string_or(json, "class");
+  auto cls = daemon::job_class_from_string(
+      cls_name.empty() ? "development" : cls_name);
+  if (!cls.ok()) return cls.error();
+  record.job_class = cls.value();
+  const std::string phase_name = string_or(json, "phase");
+  auto phase = phase_from_string(phase_name.empty() ? "queued" : phase_name);
+  if (!phase.ok()) return phase.error();
+  record.phase = phase.value();
+  record.total_shots =
+      static_cast<std::uint64_t>(int_or(json, "total_shots", 0));
+  record.shots_done =
+      static_cast<std::uint64_t>(int_or(json, "shots_done", 0));
+  record.submit_time = int_or(json, "submit_time", 0);
+  record.first_dispatch_time = int_or(json, "first_dispatch_time", 0);
+  record.finish_time = int_or(json, "finish_time", 0);
+  record.resource = string_or(json, "resource");
+  if (json.at_or_null("cancel_requested").is_bool()) {
+    record.cancel_requested = json.at_or_null("cancel_requested").as_bool();
+  }
+  if (json.at_or_null("pinned").is_bool()) {
+    record.pinned = json.at_or_null("pinned").as_bool();
+  }
+  record.policy = string_or(json, "policy");
+  record.error = string_or(json, "error");
+  record.payload_hash =
+      static_cast<std::uint64_t>(int_or(json, "payload_hash", 0));
+  record.payload = json.at_or_null("payload");
+  record.samples = json.at_or_null("samples");
+  return record;
+}
+
+Json SessionRecord::to_json() const {
+  Json out = Json::object();
+  out["id"] = id;
+  out["user"] = user;
+  out["token"] = token;
+  out["class"] = daemon::to_string(job_class);
+  out["created"] = created;
+  out["last_active"] = last_active;
+  return out;
+}
+
+Result<SessionRecord> SessionRecord::from_json(const Json& json) {
+  if (!json.is_object()) {
+    return common::err::protocol("session record must be a JSON object");
+  }
+  SessionRecord record;
+  auto id = json.get_int("id");
+  if (!id.ok()) return id.error();
+  record.id = static_cast<std::uint64_t>(id.value());
+  auto user = json.get_string("user");
+  if (!user.ok()) return user.error();
+  record.user = std::move(user).value();
+  auto token = json.get_string("token");
+  if (!token.ok()) return token.error();
+  record.token = std::move(token).value();
+  const std::string cls_name = string_or(json, "class");
+  auto cls = daemon::job_class_from_string(
+      cls_name.empty() ? "development" : cls_name);
+  if (!cls.ok()) return cls.error();
+  record.job_class = cls.value();
+  record.created = int_or(json, "created", 0);
+  record.last_active = int_or(json, "last_active", 0);
+  return record;
+}
+
+}  // namespace qcenv::store

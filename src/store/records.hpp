@@ -1,0 +1,91 @@
+// Durable record types shared by the journal, snapshots and recovery.
+//
+// JobRecord and SessionRecord are the on-disk shape of the daemon's state:
+// plain structs with exact JSON round-trips. They deliberately carry the
+// payload and accumulated samples as opaque Json so the store never needs
+// to understand program semantics — it persists exactly what the daemon
+// would otherwise hold in RAM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "daemon/queue_core.hpp"
+#include "quantum/payload.hpp"
+
+namespace qcenv::store {
+
+/// Content address used for journal/snapshot payload dedup: structural
+/// hash of the payload's FULL identity (kind, body, shots, metadata),
+/// computed without serializing. Recovery reproduces a deduped job's
+/// payload verbatim from the first sighting's body, so submissions that
+/// differ in anything — even annotations — must never share a key.
+std::uint64_t payload_fingerprint(const quantum::Payload& payload);
+
+/// Tolerant field access for journal/snapshot decoding: older files may
+/// lack newer optional fields, so absence (or a wrong type) yields the
+/// fallback instead of an error.
+std::int64_t int_or(const common::Json& json, const std::string& key,
+                    std::int64_t fallback);
+std::string string_or(const common::Json& json, const std::string& key);
+
+/// Durable job lifecycle phase. Mirrors daemon::DaemonJobState except that
+/// "running" only ever appears transiently inside a journal: recovery folds
+/// it back to queued (the un-executed shots of the in-flight batch were
+/// never confirmed done, so they are requeued exactly).
+enum class JobPhase { kQueued, kRunning, kCompleted, kFailed, kCancelled };
+
+const char* to_string(JobPhase phase) noexcept;
+common::Result<JobPhase> phase_from_string(const std::string& text);
+
+/// Everything needed to reconstruct one daemon job after a restart.
+struct JobRecord {
+  std::uint64_t id = 0;
+  std::uint64_t session = 0;
+  std::string user;
+  daemon::JobClass job_class = daemon::JobClass::kDevelopment;
+  JobPhase phase = JobPhase::kQueued;
+  std::uint64_t total_shots = 0;
+  std::uint64_t shots_done = 0;
+  common::TimeNs submit_time = 0;
+  common::TimeNs first_dispatch_time = 0;
+  common::TimeNs finish_time = 0;
+  /// Fleet resource at the time of the event/snapshot. Recovery clears it:
+  /// the restarted daemon re-places jobs on its (possibly different) fleet.
+  std::string resource;
+  /// A cancel landed while a batch was in flight; recovery must not
+  /// resurrect the job even though no terminal event was journaled yet.
+  bool cancel_requested = false;
+  bool pinned = false;
+  /// Placement policy override name ("" = broker default); stored as a
+  /// string so the store does not depend on broker enums.
+  std::string policy;
+  std::string error;
+  /// Content address of the payload (payload_fingerprint; 0 = unknown).
+  /// The journal dedupes payload bodies by this hash: only the first
+  /// submission of a payload embeds `payload`, repeats reference the hash.
+  std::uint64_t payload_hash = 0;
+  common::Json payload;  // quantum::Payload::to_json (null when deduped)
+  common::Json samples;  // accumulated quantum::Samples::to_json (or null)
+
+  common::Json to_json() const;
+  static common::Result<JobRecord> from_json(const common::Json& json);
+};
+
+/// A user session with its authentication token, resumed verbatim.
+struct SessionRecord {
+  std::uint64_t id = 0;
+  std::string user;
+  std::string token;
+  daemon::JobClass job_class = daemon::JobClass::kDevelopment;
+  common::TimeNs created = 0;
+  common::TimeNs last_active = 0;
+
+  common::Json to_json() const;
+  static common::Result<SessionRecord> from_json(const common::Json& json);
+};
+
+}  // namespace qcenv::store

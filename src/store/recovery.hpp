@@ -1,0 +1,70 @@
+// RecoveryReplayer: rebuilds daemon state from snapshot + journal.
+//
+// Replay is deterministic and tolerant: it loads the most recent snapshot
+// (if any), then applies every journal event above the snapshot's
+// watermarks. Jobs that were mid-dispatch when the daemon died come back
+// as queued with exactly their un-executed shots remaining (an in-flight
+// batch whose batch_done was never journaled simply re-runs — the same
+// return-shots rule the dispatcher applies on resource failover), finished
+// jobs keep their accumulated samples so results are re-served without
+// touching a QPU, and sessions resume with their tokens intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "store/journal.hpp"
+#include "store/records.hpp"
+#include "store/snapshot.hpp"
+
+namespace qcenv::store {
+
+struct ReplayStats {
+  std::uint64_t snapshot_jobs = 0;
+  std::uint64_t snapshot_sessions = 0;
+  std::uint64_t journal_events = 0;
+  std::uint64_t applied_events = 0;
+  /// Events at or below a snapshot watermark (already folded in).
+  std::uint64_t skipped_events = 0;
+  std::uint64_t unknown_events = 0;
+  std::uint64_t recovered_jobs = 0;
+  std::uint64_t recovered_sessions = 0;
+  /// Non-terminal jobs put back in the queue with their remaining shots.
+  std::uint64_t requeued_jobs = 0;
+  double replay_seconds = 0;
+
+  common::Json to_json() const;
+};
+
+struct RecoveredState {
+  std::vector<SessionRecord> sessions;
+  std::vector<JobRecord> jobs;
+  std::uint64_t next_job_id = 1;
+  /// Highest journal/snapshot sequence seen; new appends must start above.
+  std::uint64_t last_seq = 0;
+  ReplayStats stats;
+};
+
+class RecoveryReplayer {
+ public:
+  /// Loads `snapshot_path` (optional) and `journal_path` (optional) and
+  /// replays. Both files absent yields an empty state, not an error.
+  /// Non-null `parsed_entries` / `parsed_prefix_bytes` receive the
+  /// decoded journal and its complete-line prefix length so the caller
+  /// can hand both to JobJournal's preparsed open() — startup then reads
+  /// and parses the journal exactly once.
+  static common::Result<RecoveredState> replay(
+      const std::string& journal_path, const std::string& snapshot_path,
+      std::vector<JournalEntry>* parsed_entries = nullptr,
+      std::uint64_t* parsed_prefix_bytes = nullptr);
+
+  /// Pure replay over in-memory inputs (unit-testable core).
+  static RecoveredState apply(std::optional<StoreSnapshot> snapshot,
+                              const std::vector<JournalEntry>& entries);
+};
+
+}  // namespace qcenv::store

@@ -1,0 +1,105 @@
+#include "store/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "store/fsio.hpp"
+
+namespace qcenv::store {
+
+using common::Json;
+using common::Result;
+using common::Status;
+
+Json StoreSnapshot::to_json() const {
+  Json out = Json::object();
+  out["version"] = kVersion;
+  out["jobs_seq"] = jobs_seq;
+  out["sessions_seq"] = sessions_seq;
+  out["next_job_id"] = next_job_id;
+  out["created"] = created;
+  Json session_array = Json::array();
+  for (const auto& session : sessions) {
+    session_array.push_back(session.to_json());
+  }
+  out["sessions"] = std::move(session_array);
+  Json job_array = Json::array();
+  for (const auto& job : jobs) job_array.push_back(job.to_json());
+  out["jobs"] = std::move(job_array);
+  if (!payloads.empty()) {
+    Json table = Json::object();
+    for (const auto& [key, body] : payloads) table[key] = body;
+    out["payloads"] = std::move(table);
+  }
+  return out;
+}
+
+Result<StoreSnapshot> StoreSnapshot::from_json(const Json& json) {
+  if (!json.is_object()) {
+    return common::err::protocol("snapshot must be a JSON object");
+  }
+  auto version = json.get_string("version");
+  if (!version.ok()) return version.error();
+  if (version.value() != kVersion) {
+    return common::err::protocol("unsupported snapshot version '" +
+                                 version.value() + "' (expected " +
+                                 kVersion + ")");
+  }
+  StoreSnapshot snapshot;
+  auto jobs_seq = json.get_int("jobs_seq");
+  if (!jobs_seq.ok()) return jobs_seq.error();
+  snapshot.jobs_seq = static_cast<std::uint64_t>(jobs_seq.value());
+  auto sessions_seq = json.get_int("sessions_seq");
+  if (!sessions_seq.ok()) return sessions_seq.error();
+  snapshot.sessions_seq = static_cast<std::uint64_t>(sessions_seq.value());
+  auto next_job_id = json.get_int("next_job_id");
+  if (!next_job_id.ok()) return next_job_id.error();
+  snapshot.next_job_id = static_cast<std::uint64_t>(next_job_id.value());
+  const Json& created = json.at_or_null("created");
+  snapshot.created = created.is_number() ? created.as_int() : 0;
+  const Json& sessions = json.at_or_null("sessions");
+  if (sessions.is_array()) {
+    for (const auto& item : sessions.as_array()) {
+      auto session = SessionRecord::from_json(item);
+      if (!session.ok()) return session.error();
+      snapshot.sessions.push_back(std::move(session).value());
+    }
+  }
+  const Json& jobs = json.at_or_null("jobs");
+  if (jobs.is_array()) {
+    for (const auto& item : jobs.as_array()) {
+      auto job = JobRecord::from_json(item);
+      if (!job.ok()) return job.error();
+      snapshot.jobs.push_back(std::move(job).value());
+    }
+  }
+  const Json& payloads = json.at_or_null("payloads");
+  if (payloads.is_object()) {
+    for (const auto& [key, body] : payloads.as_object()) {
+      snapshot.payloads[key] = body;
+    }
+  }
+  return snapshot;
+}
+
+Status StoreSnapshot::write_atomic(const std::string& path) const {
+  return write_file_atomic(path, to_json().dump());
+}
+
+Result<std::optional<StoreSnapshot>> StoreSnapshot::load(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::optional<StoreSnapshot>();
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Json::parse(buffer.str());
+  if (!parsed.ok()) {
+    return common::err::protocol("corrupt snapshot '" + path +
+                                 "': " + parsed.error().message());
+  }
+  auto snapshot = StoreSnapshot::from_json(parsed.value());
+  if (!snapshot.ok()) return snapshot.error();
+  return std::optional<StoreSnapshot>(std::move(snapshot).value());
+}
+
+}  // namespace qcenv::store

@@ -1,0 +1,53 @@
+// StoreSnapshot: a point-in-time image of the daemon's durable state.
+//
+// Snapshots bound journal growth: compaction writes the full current state
+// (sessions + jobs, including accumulated samples) atomically and then
+// drops every journal event the snapshot already covers. The two
+// watermarks record which journal prefix is folded in — job events are
+// appended under the dispatcher lock so `jobs_seq` is exact, while session
+// events are applied idempotently on replay so `sessions_seq` only needs
+// the read-watermark-before-list ordering guarantee.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "store/records.hpp"
+
+namespace qcenv::store {
+
+struct StoreSnapshot {
+  static constexpr const char* kVersion = "qcenv.store.v1";
+
+  /// Journal events with seq <= jobs_seq are reflected in `jobs`.
+  std::uint64_t jobs_seq = 0;
+  /// Journal events with seq <= sessions_seq are reflected in `sessions`.
+  std::uint64_t sessions_seq = 0;
+  /// Next daemon job id to allocate after recovery.
+  std::uint64_t next_job_id = 1;
+  common::TimeNs created = 0;
+  std::vector<SessionRecord> sessions;
+  std::vector<JobRecord> jobs;
+  /// Content-deduped payload bodies keyed "<user>|<fingerprint>" (the
+  /// same scope the journal uses): a 10k-job parameter sweep snapshots
+  /// its program once, and jobs reference it via payload_hash.
+  std::map<std::string, common::Json> payloads;
+
+  common::Json to_json() const;
+  static common::Result<StoreSnapshot> from_json(const common::Json& json);
+
+  /// Writes tmp-file + fsync + rename so a crash never leaves a partial
+  /// snapshot in place of a good one.
+  common::Status write_atomic(const std::string& path) const;
+  /// Loads a snapshot; nullopt when no snapshot exists yet.
+  static common::Result<std::optional<StoreSnapshot>> load(
+      const std::string& path);
+};
+
+}  // namespace qcenv::store

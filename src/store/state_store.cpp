@@ -1,0 +1,349 @@
+#include "store/state_store.hpp"
+
+#include <filesystem>
+
+#define QCENV_LOG_COMPONENT "store"
+#include "common/logging.hpp"
+
+namespace qcenv::store {
+
+using common::Json;
+using common::Result;
+using common::Status;
+
+Json StoreStatus::to_json() const {
+  Json out = Json::object();
+  out["data_dir"] = data_dir;
+  out["sync"] = to_string(sync);
+  Json journal = Json::object();
+  journal["bytes"] = journal_bytes;
+  journal["events"] = journal_events;
+  journal["last_seq"] = journal_last_seq;
+  journal["appends_total"] = appends_total;
+  journal["fsyncs_total"] = fsyncs_total;
+  if (!journal_error.empty()) journal["error"] = journal_error;
+  out["journal"] = std::move(journal);
+  Json snapshot = Json::object();
+  snapshot["jobs"] = snapshot_jobs;
+  snapshot["sessions"] = snapshot_sessions;
+  snapshot["created_ns"] = snapshot_created;
+  snapshot["compactions_total"] = compactions_total;
+  snapshot["events_since_compact"] = events_since_compact;
+  out["snapshot"] = std::move(snapshot);
+  out["replay"] = replay.to_json();
+  return out;
+}
+
+StateStore::StateStore(StoreOptions options, common::Clock* clock,
+                       telemetry::MetricsRegistry* metrics)
+    : options_(std::move(options)), clock_(clock), metrics_(metrics) {}
+
+StateStore::~StateStore() { shutdown(); }
+
+std::string StateStore::journal_path() const {
+  return options_.data_dir + "/journal.log";
+}
+
+std::string StateStore::snapshot_path() const {
+  return options_.data_dir + "/snapshot.json";
+}
+
+Result<RecoveredState> StateStore::open() {
+  if (!options_.enabled()) {
+    return common::err::failed_precondition(
+        "store has no data_dir configured");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.data_dir, ec);
+  if (ec) {
+    return common::err::io("cannot create store data dir '" +
+                           options_.data_dir + "': " + ec.message());
+  }
+  std::vector<JournalEntry> entries;
+  std::uint64_t prefix_bytes = 0;
+  auto recovered = RecoveryReplayer::replay(journal_path(), snapshot_path(),
+                                            &entries, &prefix_bytes);
+  if (!recovered.ok()) return recovered.error();
+
+  journal_ = std::make_unique<JobJournal>(options_.journal, clock_, metrics_);
+  QCENV_RETURN_IF_ERROR(
+      journal_->open(journal_path(), entries, prefix_bytes));
+  // A snapshot watermark can outrun a freshly-truncated journal; never
+  // reuse sequence numbers the snapshot already covers.
+  journal_->reserve_through(recovered.value().last_seq);
+
+  {
+    std::scoped_lock lock(mutex_);
+    replay_ = recovered.value().stats;
+    snapshot_jobs_ = recovered.value().stats.snapshot_jobs;
+    snapshot_sessions_ = recovered.value().stats.snapshot_sessions;
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("store_recovery_replayed_jobs", {},
+                  "jobs rebuilt from the store at daemon start")
+        .increment(
+            static_cast<double>(recovered.value().stats.recovered_jobs));
+  }
+  if (options_.compact_every_events > 0) {
+    compactor_ = std::thread([this] { compactor_loop(); });
+  }
+  QCENV_LOG(Info) << "store open at '" << options_.data_dir << "': "
+                  << recovered.value().stats.recovered_jobs << " job(s), "
+                  << recovered.value().stats.recovered_sessions
+                  << " session(s) recovered in "
+                  << recovered.value().stats.replay_seconds << " s";
+  return recovered;
+}
+
+void StateStore::set_snapshot_provider(SnapshotProvider provider) {
+  std::scoped_lock lock(mutex_);
+  provider_ = std::move(provider);
+}
+
+void StateStore::append(const std::string& type, Json data) {
+  if (journal_ == nullptr) return;
+  journal_->append(type, std::move(data));
+  note_append();
+}
+
+void StateStore::note_append() {
+  // Lock-free window accounting: only the append that crosses the
+  // threshold wakes the compactor (it re-checks under its own lock).
+  const std::uint64_t count =
+      events_since_compact_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.compact_every_events > 0 &&
+      count == options_.compact_every_events) {
+    compact_cv_.notify_one();
+  }
+}
+
+void StateStore::session_created(const SessionRecord& session) {
+  Json data = Json::object();
+  data["session"] = session.to_json();
+  append("session_created", std::move(data));
+}
+
+void StateStore::session_closed(const std::string& token) {
+  Json data = Json::object();
+  data["token"] = token;
+  append("session_closed", std::move(data));
+}
+
+void StateStore::job_submitted(const JobRecord& job) {
+  Json data = Json::object();
+  data["job"] = job.to_json();
+  append("job_submitted", std::move(data));
+}
+
+void StateStore::job_submitted(
+    JobRecord meta, std::shared_ptr<const quantum::Payload> payload) {
+  if (journal_ == nullptr) return;
+  journal_->append_job_submitted(std::move(meta), std::move(payload));
+  note_append();
+}
+
+void StateStore::job_placed(std::uint64_t id, const std::string& resource) {
+  Json data = Json::object();
+  data["id"] = id;
+  data["resource"] = resource;
+  append("job_placed", std::move(data));
+}
+
+void StateStore::batch_dispatched(std::uint64_t id,
+                                  const std::string& resource,
+                                  std::uint64_t shots) {
+  Json data = Json::object();
+  data["id"] = id;
+  data["resource"] = resource;
+  data["shots"] = shots;
+  append("batch_dispatched", std::move(data));
+}
+
+void StateStore::batch_done(std::uint64_t id, std::uint64_t shots,
+                            bool final_batch, Json samples) {
+  Json data = Json::object();
+  data["id"] = id;
+  data["shots"] = shots;
+  data["final"] = final_batch;
+  data["samples"] = std::move(samples);
+  append("batch_done", std::move(data));
+}
+
+void StateStore::batch_done(std::uint64_t id, std::uint64_t shots,
+                            bool final_batch, quantum::Samples samples) {
+  if (journal_ == nullptr) return;
+  journal_->append_deferred(
+      "batch_done",
+      [id, shots, final_batch, samples = std::move(samples)]() {
+        Json data = Json::object();
+        data["id"] = id;
+        data["shots"] = shots;
+        data["final"] = final_batch;
+        data["samples"] = samples.to_json();
+        return data;
+      });
+  note_append();
+}
+
+void StateStore::batch_failed(std::uint64_t id, const std::string& resource,
+                              std::uint64_t shots,
+                              const std::string& error) {
+  Json data = Json::object();
+  data["id"] = id;
+  data["resource"] = resource;
+  data["shots"] = shots;
+  data["error"] = error;
+  append("batch_failed", std::move(data));
+}
+
+void StateStore::job_completed(std::uint64_t id) {
+  Json data = Json::object();
+  data["id"] = id;
+  append("job_completed", std::move(data));
+}
+
+void StateStore::job_failed(std::uint64_t id, const std::string& error) {
+  Json data = Json::object();
+  data["id"] = id;
+  data["error"] = error;
+  append("job_failed", std::move(data));
+}
+
+void StateStore::job_cancelled(std::uint64_t id) {
+  Json data = Json::object();
+  data["id"] = id;
+  append("job_cancelled", std::move(data));
+}
+
+void StateStore::job_cancel_requested(std::uint64_t id) {
+  Json data = Json::object();
+  data["id"] = id;
+  append("cancel_requested", std::move(data));
+}
+
+Status StateStore::flush() {
+  if (journal_ == nullptr) {
+    return common::err::failed_precondition("store not open");
+  }
+  return journal_->flush();
+}
+
+Status StateStore::compact() {
+  // One compaction at a time: concurrent snapshot writes would interleave
+  // on the same tmp file and both would then truncate the journal.
+  std::scoped_lock compaction(compact_mutex_);
+  SnapshotProvider provider;
+  {
+    std::scoped_lock lock(mutex_);
+    provider = provider_;
+  }
+  if (!provider) {
+    return common::err::failed_precondition(
+        "store has no snapshot provider");
+  }
+  if (journal_ == nullptr) {
+    return common::err::failed_precondition("store not open");
+  }
+  // The provider takes the daemon's subsystem locks; we hold none.
+  StoreSnapshot snapshot = provider();
+  snapshot.created = clock_->now();
+  QCENV_RETURN_IF_ERROR(journal_->flush());
+  QCENV_RETURN_IF_ERROR(snapshot.write_atomic(snapshot_path()));
+  QCENV_RETURN_IF_ERROR(journal_->drop_through(
+      std::min(snapshot.jobs_seq, snapshot.sessions_seq)));
+  {
+    std::scoped_lock lock(mutex_);
+    ++compactions_;
+    // Events appended while the snapshot was being captured are still in
+    // the journal; count them so the next window triggers on schedule.
+    events_since_compact_.store(journal_->event_count(),
+                                std::memory_order_relaxed);
+    snapshot_jobs_ = snapshot.jobs.size();
+    snapshot_sessions_ = snapshot.sessions.size();
+    snapshot_created_ = snapshot.created;
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("store_compactions_total", {},
+                  "snapshot+truncate compaction cycles")
+        .increment();
+  }
+  QCENV_LOG(Info) << "compacted: snapshot holds " << snapshot.jobs.size()
+                  << " job(s), " << snapshot.sessions.size()
+                  << " session(s); journal now "
+                  << journal_->size_bytes() << " bytes";
+  return Status::ok_status();
+}
+
+void StateStore::shutdown() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  compact_cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
+  if (journal_ != nullptr) {
+    const Status flushed = journal_->flush();
+    if (!flushed.ok()) {
+      QCENV_LOG(Error) << "final flush failed: " << flushed.to_string();
+    }
+  }
+}
+
+void StateStore::compactor_loop() {
+  while (true) {
+    {
+      std::unique_lock lock(mutex_);
+      // Bounded wait rather than a pure notify: the threshold-crossing
+      // append signals without holding this mutex, so a wakeup can race
+      // the predicate check; the timeout re-arms it.
+      compact_cv_.wait_for(lock, std::chrono::milliseconds(500), [&] {
+        return stop_ ||
+               (provider_ != nullptr &&
+                events_since_compact_.load(std::memory_order_relaxed) >=
+                    options_.compact_every_events);
+      });
+      if (stop_) return;
+      if (provider_ == nullptr ||
+          events_since_compact_.load(std::memory_order_relaxed) <
+              options_.compact_every_events) {
+        continue;
+      }
+    }
+    const Status compacted = compact();
+    if (!compacted.ok()) {
+      QCENV_LOG(Error) << "auto-compaction failed: "
+                       << compacted.to_string();
+      // Avoid a hot failure loop: swallow this window's trigger.
+      events_since_compact_.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+StoreStatus StateStore::status() const {
+  StoreStatus out;
+  out.data_dir = options_.data_dir;
+  out.sync = options_.journal.sync;
+  if (journal_ != nullptr) {
+    out.journal_bytes = journal_->size_bytes();
+    out.journal_events = journal_->event_count();
+    out.journal_last_seq = journal_->last_seq();
+    out.appends_total = journal_->appends_total();
+    out.fsyncs_total = journal_->fsyncs_total();
+    const auto error = journal_->io_error();
+    if (error.has_value()) out.journal_error = error->to_string();
+  }
+  std::scoped_lock lock(mutex_);
+  out.compactions_total = compactions_;
+  out.events_since_compact =
+      events_since_compact_.load(std::memory_order_relaxed);
+  out.snapshot_jobs = snapshot_jobs_;
+  out.snapshot_sessions = snapshot_sessions_;
+  out.snapshot_created = snapshot_created_;
+  out.replay = replay_;
+  return out;
+}
+
+}  // namespace qcenv::store

@@ -1,0 +1,171 @@
+// StateStore: the daemon-facing durability facade.
+//
+// Owns the data directory (journal + snapshot), exposes typed append
+// methods for every job/session lifecycle event, and runs a compaction
+// thread that periodically folds the journal into a fresh snapshot so the
+// journal's size stays bounded no matter how long the daemon runs.
+//
+// Layout of `data_dir`:
+//   journal.log     append-only JSON-lines WAL (see journal.hpp)
+//   snapshot.json   latest atomic full-state snapshot (see snapshot.hpp)
+//
+// Lock discipline: appenders call into the journal while holding their own
+// subsystem lock (the dispatcher appends under its queue mutex so journal
+// order matches state-mutation order). Compaction NEVER holds a store/
+// journal lock while asking the daemon for a snapshot, so the provider may
+// freely take subsystem locks — the reverse edge of the append path —
+// without deadlocking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "quantum/payload.hpp"
+#include "quantum/samples.hpp"
+#include "store/journal.hpp"
+#include "store/records.hpp"
+#include "store/recovery.hpp"
+#include "store/snapshot.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::store {
+
+struct StoreOptions {
+  /// Directory holding journal + snapshot. Empty disables durability (the
+  /// daemon behaves exactly as before this subsystem existed).
+  std::string data_dir;
+  JournalOptions journal;
+  /// Compact (snapshot + journal truncation) after this many appended
+  /// events; 0 = only on explicit compact() calls.
+  std::uint64_t compact_every_events = 20000;
+
+  bool enabled() const noexcept { return !data_dir.empty(); }
+};
+
+/// Point-in-time store health for GET /admin/store.
+struct StoreStatus {
+  std::string data_dir;
+  SyncMode sync = SyncMode::kGroupCommit;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t journal_events = 0;
+  std::uint64_t journal_last_seq = 0;
+  std::uint64_t appends_total = 0;
+  std::uint64_t fsyncs_total = 0;
+  /// Non-empty once the journal has fail-stopped on a write error.
+  std::string journal_error;
+  std::uint64_t compactions_total = 0;
+  std::uint64_t events_since_compact = 0;
+  std::uint64_t snapshot_jobs = 0;
+  std::uint64_t snapshot_sessions = 0;
+  common::TimeNs snapshot_created = 0;
+  ReplayStats replay;
+
+  common::Json to_json() const;
+};
+
+class StateStore {
+ public:
+  /// Builds a StoreSnapshot of live daemon state. Called by the compaction
+  /// thread with no store locks held; implementations take the dispatcher/
+  /// session locks and MUST read the journal watermark (last_seq) BEFORE
+  /// listing state, so every event at or below the watermark is reflected.
+  using SnapshotProvider = std::function<StoreSnapshot()>;
+
+  StateStore(StoreOptions options, common::Clock* clock,
+             telemetry::MetricsRegistry* metrics);
+  ~StateStore();
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  /// Replays any existing snapshot + journal, then opens the journal for
+  /// appending (new sequence numbers continue above everything replayed)
+  /// and starts the compaction thread.
+  common::Result<RecoveredState> open();
+
+  void set_snapshot_provider(SnapshotProvider provider);
+
+  // ---- journal events (names match the replayer's) -----------------------
+  void session_created(const SessionRecord& session);
+  void session_closed(const std::string& token);
+  void job_submitted(const JobRecord& job);
+  /// Hot-path variant: `meta` travels without its payload field; the
+  /// (expensive) payload serialization runs on the journal's writer
+  /// thread against the immutable shared payload.
+  void job_submitted(JobRecord meta,
+                     std::shared_ptr<const quantum::Payload> payload);
+  void job_placed(std::uint64_t id, const std::string& resource);
+  void batch_dispatched(std::uint64_t id, const std::string& resource,
+                        std::uint64_t shots);
+  void batch_done(std::uint64_t id, std::uint64_t shots, bool final_batch,
+                  common::Json samples);
+  /// Hot-path variant: copies the counts map now (cheap) and serializes
+  /// it on the journal's writer thread, so dispatch lanes never build
+  /// JSON under the dispatcher lock.
+  void batch_done(std::uint64_t id, std::uint64_t shots, bool final_batch,
+                  quantum::Samples samples);
+  void batch_failed(std::uint64_t id, const std::string& resource,
+                    std::uint64_t shots, const std::string& error);
+  void job_completed(std::uint64_t id);
+  void job_failed(std::uint64_t id, const std::string& error);
+  void job_cancelled(std::uint64_t id);
+  /// Cancel landed while a batch was in flight (the terminal
+  /// job_cancelled follows at the batch boundary — unless the daemon
+  /// dies first, in which case replay honours this intent).
+  void job_cancel_requested(std::uint64_t id);
+
+  /// Blocks until every appended event is durable on disk.
+  common::Status flush();
+
+  /// Snapshot + journal truncation. Requires a snapshot provider.
+  common::Status compact();
+
+  /// Stops the compaction thread and flushes. Called before the subsystems
+  /// the snapshot provider reads from are torn down; idempotent.
+  void shutdown();
+
+  StoreStatus status() const;
+  JobJournal& journal() noexcept { return *journal_; }
+  const StoreOptions& options() const noexcept { return options_; }
+  std::string journal_path() const;
+  std::string snapshot_path() const;
+
+ private:
+  void append(const std::string& type, common::Json data);
+  /// Compaction-window accounting shared by every append path.
+  void note_append();
+  void compactor_loop();
+
+  StoreOptions options_;
+  common::Clock* clock_;
+  telemetry::MetricsRegistry* metrics_;
+  std::unique_ptr<JobJournal> journal_;
+
+  mutable std::mutex mutex_;
+  /// Serializes whole compaction cycles: the auto-compactor thread and
+  /// POST /admin/store/compact must never interleave snapshot writes and
+  /// journal truncations.
+  std::mutex compact_mutex_;
+  std::condition_variable compact_cv_;
+  SnapshotProvider provider_;
+  /// Appends since the last compaction; atomic so the hot append path
+  /// never takes the store mutex.
+  std::atomic<std::uint64_t> events_since_compact_{0};
+  std::uint64_t compactions_ = 0;
+  std::uint64_t snapshot_jobs_ = 0;
+  std::uint64_t snapshot_sessions_ = 0;
+  common::TimeNs snapshot_created_ = 0;
+  ReplayStats replay_;
+  bool stop_ = false;
+  std::thread compactor_;
+};
+
+}  // namespace qcenv::store

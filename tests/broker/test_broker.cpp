@@ -395,10 +395,14 @@ TEST(BrokerDispatchTest, RejectedUnpinnedJobRePlacesInsteadOfFailing) {
           .ok());
   daemon::Dispatcher dispatcher(broker, {}, &clock, nullptr);
 
+  // Freeze dispatch while asserting the initial placement: otherwise the
+  // lane can reject and re-place the job before the query runs.
+  dispatcher.drain();
   const auto id = dispatcher.submit(common::SessionId{1}, "u",
                                     daemon::JobClass::kDevelopment,
                                     small_payload(20));
   ASSERT_EQ(dispatcher.query(id).value().resource, "picky");
+  dispatcher.resume();
   auto samples = dispatcher.wait(id, 30 * common::kSecond);
   ASSERT_TRUE(samples.ok()) << samples.error().to_string();
   EXPECT_EQ(samples.value().total_shots(), 20u);

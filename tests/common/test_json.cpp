@@ -133,5 +133,26 @@ TEST(Json, ObjectKeysSortedDeterministically) {
   EXPECT_EQ(a.dump(), b.dump());
 }
 
+TEST(Json, StructuralHashEqualValuesAgree) {
+  auto first = Json::parse(R"({"a":[1,2.5,"x"],"b":null})").value();
+  auto second = Json::parse(R"({"b":null,"a":[1,2.5,"x"]})").value();
+  EXPECT_EQ(first.hash(), second.hash());
+  EXPECT_NE(first.hash(), Json::parse(R"({"a":[1,2.5,"y"]})").value().hash());
+}
+
+TEST(Json, StructuralHashSeesContainerBoundaries) {
+  // Element-boundary shifts must not collide: containers and strings are
+  // length-prefixed in the hash stream.
+  EXPECT_NE(Json::parse("[[1,2],3]").value().hash(),
+            Json::parse("[[1],2,3]").value().hash());
+  EXPECT_NE(Json::parse(R"(["ab","c"])").value().hash(),
+            Json::parse(R"(["a","bc"])").value().hash());
+  EXPECT_NE(Json::parse("[]").value().hash(),
+            Json::parse("[[]]").value().hash());
+  // Type tags: 0, false, "" and null all differ.
+  EXPECT_NE(Json(0).hash(), Json(false).hash());
+  EXPECT_NE(Json("").hash(), Json(nullptr).hash());
+}
+
 }  // namespace
 }  // namespace qcenv::common

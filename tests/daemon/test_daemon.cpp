@@ -68,7 +68,9 @@ TEST(SessionManagerTest, IdleExpiry) {
   clock.advance(8 * kSecond);
   ASSERT_TRUE(manager.authenticate(fresh.token).ok());  // refresh alice
   clock.advance(5 * kSecond);
-  EXPECT_EQ(manager.expire_idle(), 1u);  // bob expired at 13s idle
+  const auto expired = manager.expire_idle();  // bob expired at 13s idle
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front().user, "bob");
   EXPECT_TRUE(manager.authenticate(fresh.token).ok());
   EXPECT_FALSE(manager.authenticate(stale.token).ok());
 }
@@ -161,6 +163,63 @@ TEST(DispatcherTest, DrainPausesDispatch) {
   EXPECT_EQ(dispatcher.query(id).value().state, DaemonJobState::kQueued);
   dispatcher.resume();
   EXPECT_TRUE(dispatcher.wait(id).ok());
+}
+
+TEST(DispatcherTest, CancelRacingFailoverBatch) {
+  // A cancel that lands while the job's in-flight batch is failing over
+  // (resource died mid-dispatch) must terminate the job even though no
+  // healthy resource is left to serve the requeued work.
+  auto doomed = qrmi::LocalEmulatorQrmi::create("doomed", "sv").value();
+  common::WallClock clock;
+  broker::BrokerOptions broker_options;
+  broker_options.initial_backoff = 50 * common::kMillisecond;
+  auto fleet = std::make_shared<broker::ResourceBroker>(broker_options,
+                                                        &clock, nullptr);
+  ASSERT_TRUE(fleet->add("doomed", doomed).ok());
+  QueuePolicy policy;
+  policy.non_production_batch_shots = 10;
+  Dispatcher dispatcher(fleet, policy, &clock, nullptr);
+  const auto id = dispatcher.submit(common::SessionId{1}, "dev",
+                                    JobClass::kDevelopment,
+                                    small_payload(1000));
+  for (int i = 0; i < 5000; ++i) {
+    const auto job = dispatcher.query(id).value();
+    if (job.state == DaemonJobState::kRunning && job.shots_done > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  doomed->set_offline(true);  // next batch dispatch fails: kUnavailable
+  ASSERT_TRUE(dispatcher.cancel(id).ok());
+  auto result = dispatcher.wait(id, 30 * common::kSecond);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), common::ErrorCode::kCancelled)
+      << result.error().to_string();
+  const auto job = dispatcher.query(id).value();
+  EXPECT_EQ(job.state, DaemonJobState::kCancelled);
+  EXPECT_LT(job.shots_done, 1000u);  // the failed batch was not counted
+}
+
+TEST(DispatcherTest, SessionCancelSweepsQueuedJobs) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  common::WallClock clock;
+  Dispatcher dispatcher(resource, QueuePolicy{}, &clock, nullptr);
+  dispatcher.drain();  // keep everything queued
+  const auto mine_a = dispatcher.submit(common::SessionId{7}, "alice",
+                                        JobClass::kDevelopment,
+                                        small_payload());
+  const auto mine_b = dispatcher.submit(common::SessionId{7}, "alice",
+                                        JobClass::kDevelopment,
+                                        small_payload());
+  const auto other = dispatcher.submit(common::SessionId{8}, "bob",
+                                       JobClass::kDevelopment,
+                                       small_payload());
+  EXPECT_EQ(dispatcher.cancel_for_session(common::SessionId{7}), 2u);
+  EXPECT_EQ(dispatcher.query(mine_a).value().state,
+            DaemonJobState::kCancelled);
+  EXPECT_EQ(dispatcher.query(mine_b).value().state,
+            DaemonJobState::kCancelled);
+  EXPECT_EQ(dispatcher.query(other).value().state, DaemonJobState::kQueued);
+  dispatcher.resume();
+  EXPECT_TRUE(dispatcher.wait(other).ok());
 }
 
 TEST(DispatcherTest, MetricsRecorded) {
@@ -297,6 +356,15 @@ TEST_F(DaemonFixture, QueueAndMetricsEndpoints) {
   auto parsed = Json::parse(queue.value().body);
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed.value().contains("depths"));
+  // Multi-lane view: every fleet resource reports its queue + in-flight
+  // batches (this daemon has the single "emu" lane).
+  const Json& lanes = parsed.value().at_or_null("lanes");
+  ASSERT_TRUE(lanes.is_object());
+  const Json& lane = lanes.at_or_null("emu");
+  ASSERT_TRUE(lane.is_object());
+  EXPECT_TRUE(lane.contains("queued"));
+  EXPECT_TRUE(lane.contains("running"));
+  EXPECT_TRUE(lane.contains("inflight_batches"));
 
   auto metrics = client_->get("/metrics");
   ASSERT_TRUE(metrics.ok());
@@ -332,6 +400,80 @@ TEST_F(DaemonFixture, AdminEndpointsRequireKey) {
   auto resumed = admin.post("/admin/resume", "{}");
   ASSERT_TRUE(resumed.ok());
   EXPECT_FALSE(daemon_->dispatcher().draining());
+}
+
+TEST_F(DaemonFixture, ClosingSessionCancelsItsQueuedJobs) {
+  const std::string token = open_session("alice", "test");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  net::HttpClient admin(client_->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  ASSERT_TRUE(admin.post("/admin/drain", "{}").ok());  // keep jobs queued
+
+  Json body = Json::object();
+  body["payload"] = small_payload(30).to_json();
+  auto first = authed.post("/v1/jobs", body.dump());
+  ASSERT_EQ(first.value().status, 201);
+  const auto first_id =
+      Json::parse(first.value().body).value().get_int("job_id").value();
+  auto second = authed.post("/v1/jobs", body.dump());
+  ASSERT_EQ(second.value().status, 201);
+
+  auto closed = authed.del("/v1/sessions");
+  ASSERT_TRUE(closed.ok());
+  ASSERT_EQ(closed.value().status, 200);
+  // No orphans: both queued jobs died with the session.
+  EXPECT_EQ(Json::parse(closed.value().body)
+                .value()
+                .get_int("cancelled_jobs")
+                .value(),
+            2);
+  const auto job = daemon_->dispatcher().query(
+      static_cast<std::uint64_t>(first_id));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job.value().state, DaemonJobState::kCancelled);
+  ASSERT_TRUE(admin.post("/admin/resume", "{}").ok());
+}
+
+TEST(DaemonExpiry, IdleExpiryCancelsOrphanedJobs) {
+  // ManualClock daemon: advance time past the idle window and check the
+  // expired session's queued work is swept with it.
+  common::ManualClock clock;
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  DaemonOptions options;
+  options.admin_key = "root";
+  options.sessions.idle_expiry = 10 * kSecond;
+  MiddlewareDaemon daemon(options, resource, nullptr, &clock);
+  ASSERT_TRUE(daemon.start().ok());
+  daemon.dispatcher().drain();
+
+  net::HttpClient client(daemon.port());
+  auto opened =
+      client.post("/v1/sessions", R"({"user":"sleepy","class":"test"})");
+  ASSERT_EQ(opened.value().status, 201);
+  const std::string token =
+      Json::parse(opened.value().body).value().get_string("token").value();
+  net::HttpClient authed(daemon.port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(30).to_json();
+  auto submitted = authed.post("/v1/jobs", body.dump());
+  ASSERT_EQ(submitted.value().status, 201);
+  const auto job_id = static_cast<std::uint64_t>(
+      Json::parse(submitted.value().body).value().get_int("job_id").value());
+
+  clock.advance(60 * kSecond);
+  net::HttpClient admin(daemon.port());
+  admin.set_default_header("X-Admin-Key", "root");
+  auto expired = admin.post("/admin/expire_sessions", "{}");
+  ASSERT_TRUE(expired.ok());
+  ASSERT_EQ(expired.value().status, 200);
+  auto parsed = Json::parse(expired.value().body).value();
+  EXPECT_EQ(parsed.get_int("expired").value(), 1);
+  EXPECT_EQ(parsed.get_int("cancelled_jobs").value(), 1);
+  EXPECT_EQ(daemon.dispatcher().query(job_id).value().state,
+            DaemonJobState::kCancelled);
+  EXPECT_FALSE(daemon.sessions().authenticate(token).ok());
 }
 
 TEST_F(DaemonFixture, AdminExpireSessions) {
