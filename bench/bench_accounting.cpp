@@ -1,0 +1,243 @@
+// Experiment A1 — multi-tenant accounting & fair-share.
+// Quantifies what per-tenant accounting costs and what fair-share buys:
+//   (a) ledger charge throughput (the dispatcher pays one charge per
+//       executed batch; acceptance in --quick: > 100k charges/s),
+//   (b) queue-core dispatch throughput with the fair-share hook attached
+//       vs. plain FIFO tiers (the hook's scheduling overhead),
+//   (c) fair-share convergence in virtual time: 3 users at 50/30/20 shares
+//       hammering one QPU — the unfairness ratio
+//       max_u(served_u/share_u) / min_u(served_u/share_u) must approach
+//       1.0; acceptance (gates the CI smoke step): within 10% after 30
+//       virtual minutes.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accounting/accounting.hpp"
+#include "bench_util.hpp"
+#include "common/clock.hpp"
+#include "daemon/queue_core.hpp"
+
+namespace {
+using namespace qcenv;
+using namespace qcenv::bench;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- (a) ledger charge throughput ------------------------------------------
+
+double bench_charges(int charges, int users) {
+  accounting::LedgerOptions options;
+  options.half_life = 3600 * common::kSecond;
+  accounting::UsageLedger ledger(options);
+  const double t0 = now_ms();
+  for (int i = 0; i < charges; ++i) {
+    ledger.charge("user-" + std::to_string(i % users), 100,
+                  common::kMillisecond, 0,
+                  static_cast<common::TimeNs>(i) * common::kMillisecond);
+  }
+  const double wall_s = (now_ms() - t0) / 1e3;
+  return static_cast<double>(charges) / wall_s;
+}
+
+// ---- (b) dispatch throughput with/without the fair-share hook --------------
+
+double bench_dispatch(int jobs, bool with_hook) {
+  common::ManualClock clock;
+  accounting::AccountingOptions options;
+  accounting::AccountingManager manager(options, &clock, nullptr);
+  daemon::QueuePolicy policy;
+  policy.non_production_batch_shots = 0;
+  daemon::PriorityQueueCore core(policy);
+  std::vector<std::string> user_of(static_cast<std::size_t>(jobs) + 1);
+  for (int i = 1; i <= jobs; ++i) {
+    user_of[static_cast<std::size_t>(i)] = "user-" + std::to_string(i % 8);
+    core.enqueue(static_cast<std::uint64_t>(i), daemon::JobClass::kTest, 100,
+                 i);
+  }
+  if (with_hook) {
+    // Same per-pass memo the dispatcher uses: one fair-share computation
+    // per distinct user per ordering pass, not per pending job.
+    core.set_priority_hook(
+        [&, memo_now = common::TimeNs{-1},
+         memo = std::map<std::string, double>{}](
+            std::uint64_t id, common::TimeNs now) mutable {
+          if (now != memo_now) {
+            memo.clear();
+            memo_now = now;
+          }
+          const std::string& user = user_of[static_cast<std::size_t>(id)];
+          auto it = memo.find(user);
+          if (it == memo.end()) {
+            it = memo.emplace(user, manager.priority(user, now)).first;
+          }
+          return it->second;
+        });
+  }
+  const double t0 = now_ms();
+  int served = 0;
+  while (auto batch = core.next_batch(served)) {
+    core.batch_done(*batch);
+    manager.charge_batch(user_of[static_cast<std::size_t>(batch->job_id)],
+                         batch->shots, 0);
+    ++served;
+  }
+  const double wall_s = (now_ms() - t0) / 1e3;
+  return served / wall_s;
+}
+
+// ---- (c) fair-share convergence in virtual time ----------------------------
+
+struct ConvergenceRow {
+  double minutes = 0;
+  std::map<std::string, double> fraction;
+  double unfairness = 0;
+};
+
+std::vector<ConvergenceRow> run_convergence(
+    common::TimeNs horizon, const std::map<std::string, double>& shares,
+    common::TimeNs window) {
+  common::ManualClock clock;
+  accounting::AccountingOptions aopts;
+  aopts.ledger.half_life = 120 * common::kSecond;
+  for (const auto& [user, share] : shares) {
+    aopts.fair_share.user_shares[user] = {"default", share};
+  }
+  accounting::AccountingManager manager(aopts, &clock, nullptr);
+  daemon::QueuePolicy policy;
+  policy.non_production_batch_shots = 100;
+  daemon::PriorityQueueCore core(policy);
+  std::map<std::uint64_t, std::string> user_of;
+  std::uint64_t next_id = 1;
+  const auto submit = [&](const std::string& user) {
+    user_of[next_id] = user;
+    core.enqueue(next_id, daemon::JobClass::kDevelopment, 10'000,
+                 clock.now());
+    ++next_id;
+  };
+  core.set_priority_hook([&](std::uint64_t id, common::TimeNs now) {
+    return manager.priority(user_of.at(id), now);
+  });
+  for (const auto& [user, _] : shares) {
+    submit(user);
+    submit(user);
+  }
+
+  constexpr double kRate = 1000.0;  // emulated QPU shots/second
+  std::map<std::string, std::uint64_t> served;
+  std::vector<ConvergenceRow> rows;
+  common::TimeNs next_report = window;
+  while (clock.now() < horizon) {
+    auto batch = core.next_batch(clock.now());
+    if (!batch.has_value()) break;
+    const std::string user = user_of.at(batch->job_id);
+    const common::DurationNs elapsed =
+        common::from_seconds(static_cast<double>(batch->shots) / kRate);
+    clock.advance(elapsed);
+    manager.charge_batch(user, batch->shots, elapsed);
+    served[user] += batch->shots;
+    core.batch_done(*batch);
+    if (batch->final_batch) {
+      user_of.erase(batch->job_id);
+      submit(user);
+    }
+    if (clock.now() >= next_report) {
+      next_report += window;
+      ConvergenceRow row;
+      row.minutes = common::to_seconds(clock.now()) / 60.0;
+      double total = 0;
+      for (const auto& [_, shots] : served) total += shots;
+      double total_share = 0;
+      for (const auto& [_, share] : shares) total_share += share;
+      double lo = 1e30;
+      double hi = 0;
+      for (const auto& [u, share] : shares) {
+        const double fraction = served.count(u) ? served[u] / total : 0.0;
+        row.fraction[u] = fraction;
+        const double normalized = fraction / (share / total_share);
+        lo = std::min(lo, normalized);
+        hi = std::max(hi, normalized);
+      }
+      row.unfairness = lo > 0 ? hi / lo : 1e30;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+
+  print_title(
+      "A1 | Multi-tenant accounting: ledger throughput, fair-share hook "
+      "overhead, 50/30/20 convergence");
+
+  const int charges = quick ? 200'000 : 2'000'000;
+  const double charges_per_s = bench_charges(charges, 64);
+  std::printf("\nledger charge throughput: %.0f charges/s (%d charges, 64 "
+              "users)\n",
+              charges_per_s, charges);
+
+  const int jobs = quick ? 5'000 : 50'000;
+  const double fifo = bench_dispatch(jobs, false);
+  const double fair = bench_dispatch(jobs, true);
+  std::printf("dispatch throughput:      %.0f batches/s FIFO, %.0f batches/s "
+              "with fair-share hook (%.1fx overhead)\n",
+              fifo, fair, fifo / fair);
+
+  const std::map<std::string, double> shares = {
+      {"alice", 50.0}, {"bob", 30.0}, {"carol", 20.0}};
+  const common::TimeNs horizon =
+      (quick ? 30 : 120) * 60 * common::kSecond;
+  const auto rows = run_convergence(horizon, shares,
+                                    5 * 60 * common::kSecond);
+  Table table({"virtual_min", "alice (50%)", "bob (30%)", "carol (20%)",
+               "unfairness"});
+  for (const auto& row : rows) {
+    table.add_row({fmt("%.0f", row.minutes),
+                   pct(row.fraction.at("alice")), pct(row.fraction.at("bob")),
+                   pct(row.fraction.at("carol")),
+                   fmt("%.3f", row.unfairness)});
+  }
+  std::printf("\n");
+  table.print();
+  print_note(
+      "\nExpected shape: served fractions start wherever FIFO seq left them\n"
+      "and converge onto 50/30/20 as decayed usage feeds back into the\n"
+      "2^(-usage/share) priority; unfairness (max/min normalized service)\n"
+      "falls toward 1.0 within a couple of ledger half-lives.");
+
+  // Acceptance gates (CI runs --quick and fails on the exit code).
+  bool ok = true;
+  if (charges_per_s < 100'000) {
+    std::printf("FAIL: ledger charge throughput %.0f/s < 100k/s\n",
+                charges_per_s);
+    ok = false;
+  }
+  if (rows.empty()) {
+    std::printf("FAIL: convergence produced no samples\n");
+    ok = false;
+  } else {
+    const auto& final_row = rows.back();
+    for (const auto& [user, share] : shares) {
+      const double normalized = final_row.fraction.at(user) / (share / 100.0);
+      if (std::abs(normalized - 1.0) > 0.10) {
+        std::printf("FAIL: %s served %.1f%% of the QPU vs %.0f%% share "
+                    "(off by > 10%%)\n",
+                    user.c_str(), final_row.fraction.at(user) * 100.0,
+                    share);
+        ok = false;
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -297,8 +297,8 @@ int main(int argc, char** argv) {
       job.payload = payload_json;
       generator.job_submitted(job);
       for (int b = 0; b < batches_per_job; ++b) {
-        generator.batch_done(job.id, 100, b + 1 == batches_per_job,
-                             samples);
+        generator.batch_done(job.id, 100, common::kMillisecond,
+                             b + 1 == batches_per_job, samples);
       }
       generator.job_completed(job.id);
     }

@@ -1,0 +1,192 @@
+#include "accounting/accounting.hpp"
+
+#include <algorithm>
+
+namespace qcenv::accounting {
+
+using common::Json;
+using common::Status;
+
+AccountingManager::AccountingManager(AccountingOptions options,
+                                     common::Clock* clock,
+                                     telemetry::MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      clock_(clock),
+      metrics_(metrics),
+      ledger_(options_.ledger),
+      fair_share_(options_.fair_share, &ledger_),
+      rate_limiter_(options_.rate_limit) {}
+
+Status AccountingManager::admit_submission(const std::string& user,
+                                           std::uint64_t shots) {
+  const Status admitted = rate_limiter_.admit(user, shots, clock_->now());
+  if (!admitted.ok() && metrics_ != nullptr) {
+    const bool rate = admitted.error().message().find("rate limit") !=
+                      std::string::npos;
+    metrics_
+        ->counter("accounting_rejections_total",
+                  {{"reason", rate ? "submit_rate" : "inflight_shots"}},
+                  "submissions rejected by per-user rate limits")
+        .increment();
+  }
+  return admitted;
+}
+
+void AccountingManager::release_submission(const std::string& user,
+                                           std::uint64_t shots) {
+  rate_limiter_.release(user, shots);
+}
+
+void AccountingManager::charge_batch(const std::string& user,
+                                     std::uint64_t shots,
+                                     common::DurationNs qpu_ns) {
+  ledger_.charge(user, shots, qpu_ns, 0, clock_->now());
+  rate_limiter_.release(user, shots);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("accounting_charged_shots_total", {{"user", user}},
+                  "executed shots charged to the usage ledger")
+        .increment(static_cast<double>(shots));
+  }
+  update_usage_metrics(user);
+}
+
+void AccountingManager::job_finished(const std::string& user,
+                                     std::uint64_t unexecuted_shots,
+                                     bool completed) {
+  rate_limiter_.release(user, unexecuted_shots);
+  if (completed) {
+    ledger_.charge(user, 0, 0, 1, clock_->now());
+    update_usage_metrics(user);
+  }
+}
+
+double AccountingManager::priority(const std::string& user,
+                                   common::TimeNs now) const {
+  return fair_share_.priority(user, now);
+}
+
+std::map<std::string, double> AccountingManager::priorities(
+    common::TimeNs now) const {
+  return fair_share_.priorities(now);
+}
+
+void AccountingManager::set_shares(const std::string& user,
+                                   const std::string& account,
+                                   double shares) {
+  fair_share_.set_user(user, account, shares);
+}
+
+void AccountingManager::set_rate_limit(const std::string& user,
+                                       RateLimitOptions options) {
+  rate_limiter_.set_override(user, options);
+}
+
+void AccountingManager::set_pending_limit(const std::string& user,
+                                          std::uint64_t limit) {
+  std::scoped_lock lock(mutex_);
+  // 0 is stored, not erased: it means "unlimited for this user" and must
+  // beat a non-zero global policy default.
+  pending_limits_[user] = limit;
+}
+
+void AccountingManager::clear_pending_limit(const std::string& user) {
+  std::scoped_lock lock(mutex_);
+  pending_limits_.erase(user);
+}
+
+std::optional<std::uint64_t> AccountingManager::pending_limit(
+    const std::string& user) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = pending_limits_.find(user);
+  if (it == pending_limits_.end()) return std::nullopt;
+  return it->second;
+}
+
+void AccountingManager::update_usage_metrics(const std::string& user) {
+  if (metrics_ == nullptr) return;
+  const common::TimeNs now = clock_->now();
+  metrics_
+      ->gauge("accounting_usage_units", {{"user", user}},
+              "decayed weighted usage units per user")
+      .set(ledger_.units(user, now));
+  metrics_
+      ->gauge("accounting_fairshare_priority", {{"user", user}},
+              "fair-share priority factor per user (1 = untouched)")
+      .set(fair_share_.priority(user, now));
+  metrics_
+      ->gauge("accounting_inflight_shots", {{"user", user}},
+              "admitted-but-unfinished shots per user")
+      .set(static_cast<double>(rate_limiter_.inflight_shots(user)));
+}
+
+Json AccountingManager::usage_json(const std::string& user,
+                                   std::size_t pending_jobs) const {
+  const common::TimeNs now = clock_->now();
+  const UserUsage usage = ledger_.usage(user, now);
+  const auto grant = fair_share_.share_of(user);
+  Json out = Json::object();
+  out["user"] = user;
+  out["as_of_ns"] = now;
+  Json decayed = Json::object();
+  decayed["shots"] = usage.shots;
+  decayed["qpu_seconds"] = usage.qpu_seconds;
+  decayed["jobs"] = usage.jobs;
+  decayed["units"] = ledger_.units(user, now);
+  out["decayed"] = std::move(decayed);
+  Json raw = Json::object();
+  raw["shots"] = usage.raw_shots;
+  raw["jobs"] = usage.raw_jobs;
+  raw["qpu_seconds"] = common::to_seconds(usage.raw_qpu_ns);
+  out["raw"] = std::move(raw);
+  Json share = Json::object();
+  share["account"] = grant.account;
+  share["shares"] = grant.shares;
+  out["share"] = std::move(share);
+  out["fairshare_priority"] = fair_share_.priority(user, now);
+  out["pending_jobs"] = static_cast<long long>(pending_jobs);
+  out["rate_limit"] = rate_limiter_.to_json(user, now);
+  out["half_life_seconds"] =
+      common::to_seconds(ledger_.options().half_life);
+  return out;
+}
+
+Json AccountingManager::fairshare_json() const {
+  return fair_share_.to_json(clock_->now());
+}
+
+Json AccountingManager::quota_json(const std::string& user) const {
+  const auto grant = fair_share_.share_of(user);
+  Json out = Json::object();
+  out["user"] = user;
+  out["account"] = grant.account;
+  out["shares"] = grant.shares;
+  out["rate_limit"] = rate_limiter_.to_json(user, clock_->now());
+  const auto pending = pending_limit(user);
+  if (pending.has_value()) {
+    out["max_pending_jobs"] = *pending;
+  }
+  return out;
+}
+
+std::vector<store::UsageRecord> AccountingManager::usage_records(
+    common::TimeNs now) const {
+  return ledger_.records(now);
+}
+
+void AccountingManager::restore(
+    const std::vector<store::UsageRecord>& records,
+    const std::vector<store::UsageDelta>& deltas) {
+  ledger_.restore(records);
+  for (const auto& delta : deltas) {
+    ledger_.charge(delta.user, delta.shots, delta.qpu_ns, delta.jobs,
+                   delta.time);
+  }
+}
+
+void AccountingManager::restore_inflight(const std::string& user,
+                                         std::uint64_t shots) {
+  rate_limiter_.reserve(user, shots);
+}
+
+}  // namespace qcenv::accounting

@@ -1,0 +1,125 @@
+// AccountingManager: the daemon's one stop for multi-tenant accounting —
+// composes the UsageLedger, FairShareIndex and RateLimiter, exports
+// accounting_* telemetry, and owns the durable restore path.
+//
+// Wiring (all callers hold their own locks; the manager's components lock
+// internally and never call back out, so the dispatcher may invoke any of
+// this under its queue mutex):
+//   admission boundary  -> admit_submission / release_submission
+//   dispatch lanes      -> charge_batch (per executed batch),
+//                          job_finished (terminal state)
+//   PriorityQueueCore   -> priority(user, now) via the queue's hook
+//   REST surface        -> usage_json / fairshare_json / quota setters
+//   StateStore recovery -> restore(snapshot records, journal deltas)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accounting/fair_share.hpp"
+#include "accounting/rate_limiter.hpp"
+#include "accounting/usage_ledger.hpp"
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "store/recovery.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::accounting {
+
+struct AccountingOptions {
+  LedgerOptions ledger;
+  FairShareOptions fair_share;
+  /// Default per-user rate limits (permissive unless configured).
+  RateLimitOptions rate_limit;
+};
+
+class AccountingManager {
+ public:
+  AccountingManager(AccountingOptions options, common::Clock* clock,
+                    telemetry::MetricsRegistry* metrics);
+
+  // ---- admission boundary -------------------------------------------------
+  /// Rate-limit + in-flight-cap check; reserves the shots on success.
+  /// Rejections are kResourceExhausted (HTTP 429) naming the fired limit.
+  common::Status admit_submission(const std::string& user,
+                                  std::uint64_t shots);
+  /// Rolls back a reservation whose submission failed downstream.
+  void release_submission(const std::string& user, std::uint64_t shots);
+
+  // ---- dispatch side ------------------------------------------------------
+  /// An executed batch: charges the ledger and releases the shots.
+  void charge_batch(const std::string& user, std::uint64_t shots,
+                    common::DurationNs qpu_ns);
+  /// Terminal state: releases the never-executed remainder; completed jobs
+  /// additionally charge one job to the ledger.
+  void job_finished(const std::string& user, std::uint64_t unexecuted_shots,
+                    bool completed);
+
+  // ---- scheduling ---------------------------------------------------------
+  /// Fair-share priority factor for the queue core's hook (higher = more
+  /// under-served; deterministic in `now`).
+  double priority(const std::string& user, common::TimeNs now) const;
+  /// Every known user's factor in one population traversal — what the
+  /// dispatcher's per-pass memo seeds itself with, so an ordering pass
+  /// costs one table build instead of one per distinct user.
+  std::map<std::string, double> priorities(common::TimeNs now) const;
+
+  // ---- admin quotas -------------------------------------------------------
+  void set_shares(const std::string& user, const std::string& account,
+                  double shares);
+  void set_rate_limit(const std::string& user, RateLimitOptions options);
+  /// Per-user pending-job cap override (admission falls back to the global
+  /// AdmissionPolicy::max_pending_per_user when unset). An override of 0
+  /// means "unlimited for this user" — it beats a non-zero global policy.
+  void set_pending_limit(const std::string& user, std::uint64_t limit);
+  void clear_pending_limit(const std::string& user);
+  std::optional<std::uint64_t> pending_limit(const std::string& user) const;
+
+  // ---- REST views ---------------------------------------------------------
+  /// GET /v1/usage body for one user (`pending_jobs` comes from the
+  /// dispatcher, which owns the queue).
+  common::Json usage_json(const std::string& user,
+                          std::size_t pending_jobs) const;
+  /// GET /admin/fairshare body.
+  common::Json fairshare_json() const;
+  /// Effective quota view for one user (POST /admin/quotas response).
+  common::Json quota_json(const std::string& user) const;
+
+  // ---- durability ---------------------------------------------------------
+  /// Durable per-user usage for the store snapshot. Called by the
+  /// dispatcher under its queue lock so the records are exactly consistent
+  /// with the snapshot's journal watermark.
+  std::vector<store::UsageRecord> usage_records(common::TimeNs now) const;
+  /// Re-installs snapshot usage, then re-applies journal deltas (batches
+  /// newer than the snapshot watermark) in order.
+  void restore(const std::vector<store::UsageRecord>& records,
+               const std::vector<store::UsageDelta>& deltas);
+  /// Re-reserves a restored queued job's un-executed shots (no token, no
+  /// cap check: the work was already admitted in a previous life).
+  void restore_inflight(const std::string& user, std::uint64_t shots);
+
+  UsageLedger& ledger() noexcept { return ledger_; }
+  const UsageLedger& ledger() const noexcept { return ledger_; }
+  FairShareIndex& fair_share() noexcept { return fair_share_; }
+  RateLimiter& rate_limiter() noexcept { return rate_limiter_; }
+  common::Clock* clock() const noexcept { return clock_; }
+
+ private:
+  void update_usage_metrics(const std::string& user);
+
+  AccountingOptions options_;
+  common::Clock* clock_;
+  telemetry::MetricsRegistry* metrics_;
+  UsageLedger ledger_;
+  FairShareIndex fair_share_;
+  RateLimiter rate_limiter_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> pending_limits_;
+};
+
+}  // namespace qcenv::accounting

@@ -1,0 +1,152 @@
+#include "accounting/fair_share.hpp"
+
+#include <cmath>
+
+namespace qcenv::accounting {
+
+using common::Json;
+
+namespace {
+
+/// Shares can be configured as 0 ("parked" user); keep the math finite.
+constexpr double kMinShare = 1e-9;
+
+double fair_factor(double normalized_usage, double normalized_share) {
+  return std::exp2(-normalized_usage / std::max(normalized_share, kMinShare));
+}
+
+}  // namespace
+
+void FairShareIndex::set_user(const std::string& user,
+                              const std::string& account, double shares) {
+  std::scoped_lock lock(mutex_);
+  options_.user_shares[user] = {account, shares};
+}
+
+void FairShareIndex::set_account(const std::string& account, double shares) {
+  std::scoped_lock lock(mutex_);
+  options_.account_shares[account] = shares;
+}
+
+FairShareOptions::UserShare FairShareIndex::share_of(
+    const std::string& user) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = options_.user_shares.find(user);
+  if (it != options_.user_shares.end()) return it->second;
+  return {options_.default_account, options_.default_user_shares};
+}
+
+FairShareIndex::Population FairShareIndex::population_locked(
+    const std::string& extra_user) const {
+  Population population = options_.user_shares;
+  const FairShareOptions::UserShare fallback{options_.default_account,
+                                             options_.default_user_shares};
+  for (const std::string& user : ledger_->users()) {
+    population.emplace(user, fallback);
+  }
+  if (!extra_user.empty()) population.emplace(extra_user, fallback);
+  return population;
+}
+
+FairShareIndex::PopulationState FairShareIndex::state_locked(
+    const std::string& extra_user, common::TimeNs now) const {
+  PopulationState state;
+  state.population = population_locked(extra_user);
+  for (const auto& [name, grant] : state.population) {
+    AccountState& account = state.accounts[grant.account];
+    const auto configured = options_.account_shares.find(grant.account);
+    account.shares = configured != options_.account_shares.end()
+                         ? configured->second
+                         : options_.default_account_shares;
+    account.user_shares += grant.shares;
+    const double units = ledger_->units(name, now);
+    state.user_units[name] = units;
+    account.units += units;
+    state.total_units += units;
+  }
+  for (const auto& [_, account] : state.accounts) {
+    state.total_account_shares += account.shares;
+  }
+  return state;
+}
+
+double FairShareIndex::priority_locked(const std::string& user,
+                                       const PopulationState& state) const {
+  const auto grant_it = state.population.find(user);
+  const FairShareOptions::UserShare grant =
+      grant_it != state.population.end()
+          ? grant_it->second
+          : FairShareOptions::UserShare{options_.default_account,
+                                        options_.default_user_shares};
+  const auto account_it = state.accounts.find(grant.account);
+  const AccountState account = account_it != state.accounts.end()
+                                   ? account_it->second
+                                   : AccountState{};
+
+  const double account_share =
+      state.total_account_shares > 0
+          ? account.shares / state.total_account_shares
+          : 1.0;
+  const double account_usage =
+      state.total_units > 0 ? account.units / state.total_units : 0.0;
+  const double user_share =
+      account.user_shares > 0 ? grant.shares / account.user_shares : 1.0;
+  const auto units_it = state.user_units.find(user);
+  const double own_units =
+      units_it != state.user_units.end() ? units_it->second : 0.0;
+  const double user_usage =
+      account.units > 0 ? own_units / account.units : 0.0;
+  return fair_factor(account_usage, account_share) *
+         fair_factor(user_usage, user_share);
+}
+
+double FairShareIndex::priority(const std::string& user,
+                                common::TimeNs now) const {
+  std::scoped_lock lock(mutex_);
+  return priority_locked(user, state_locked(user, now));
+}
+
+std::map<std::string, double> FairShareIndex::priorities(
+    common::TimeNs now) const {
+  std::scoped_lock lock(mutex_);
+  const PopulationState state = state_locked("", now);
+  std::map<std::string, double> out;
+  for (const auto& [user, _] : state.population) {
+    out.emplace(user, priority_locked(user, state));
+  }
+  return out;
+}
+
+Json FairShareIndex::to_json(common::TimeNs now) const {
+  std::scoped_lock lock(mutex_);
+  const PopulationState state = state_locked("", now);
+
+  Json users = Json::object();
+  for (const auto& [name, grant] : state.population) {
+    Json entry = Json::object();
+    entry["account"] = grant.account;
+    entry["shares"] = grant.shares;
+    entry["usage_units"] = state.user_units.at(name);
+    entry["priority"] = priority_locked(name, state);
+    users[name] = std::move(entry);
+  }
+
+  Json accounts = Json::object();
+  for (const auto& [name, account] : state.accounts) {
+    Json entry = Json::object();
+    entry["shares"] = account.shares;
+    entry["usage_units"] = account.units;
+    entry["normalized_usage"] =
+        state.total_units > 0 ? account.units / state.total_units : 0.0;
+    accounts[name] = std::move(entry);
+  }
+
+  Json out = Json::object();
+  out["as_of_ns"] = now;
+  out["total_usage_units"] = state.total_units;
+  out["accounts"] = std::move(accounts);
+  out["users"] = std::move(users);
+  return out;
+}
+
+}  // namespace qcenv::accounting

@@ -1,0 +1,101 @@
+// FairShareIndex: hierarchical (account -> user) fair-share priority from
+// decayed usage vs. configured shares, Slurm-fair-tree style.
+//
+// Each account holds a share of the machine; each user holds a share of
+// their account. A user's priority factor is
+//
+//   F = 2^(-U_acct / S_acct) * 2^(-U_user|acct / S_user|acct)
+//
+// where S terms are shares normalized among siblings and U terms are
+// decayed usage normalized against the same population (account usage over
+// total usage; user usage over account usage). F is 1.0 for an untouched
+// user and decays toward 0 as the user (or their whole account) consumes
+// more than their share — exactly Slurm's classic fair-share factor, with
+// the parent level multiplied in so an over-served account depresses all
+// of its users.
+//
+// Deterministic: priorities are pure functions of (config, ledger, now),
+// so the queue core's hook replays identically in virtual time.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "accounting/usage_ledger.hpp"
+#include "common/clock.hpp"
+#include "common/json.hpp"
+
+namespace qcenv::accounting {
+
+struct FairShareOptions {
+  /// Account a user lands in when not explicitly configured.
+  std::string default_account = "default";
+  /// Shares granted to unconfigured users / accounts.
+  double default_user_shares = 1.0;
+  double default_account_shares = 1.0;
+  /// Explicit grants (both maps may be empty: everyone is then equal).
+  std::map<std::string, double> account_shares;
+  struct UserShare {
+    std::string account;
+    double shares = 1.0;
+  };
+  std::map<std::string, UserShare> user_shares;
+};
+
+class FairShareIndex {
+ public:
+  /// `ledger` must outlive the index (the AccountingManager owns both).
+  FairShareIndex(FairShareOptions options, const UsageLedger* ledger)
+      : options_(std::move(options)), ledger_(ledger) {}
+
+  /// Admin: (re)grant a user's account membership and shares.
+  void set_user(const std::string& user, const std::string& account,
+                double shares);
+  void set_account(const std::string& account, double shares);
+
+  /// The share grant that applies to `user` (explicit or defaults).
+  FairShareOptions::UserShare share_of(const std::string& user) const;
+
+  /// Fair-share priority factor in (0, 1]; higher = more under-served.
+  double priority(const std::string& user, common::TimeNs now) const;
+  /// Every known user's factor in ONE population traversal — schedulers
+  /// that rank many users at the same instant (the queue core's ordering
+  /// pass) seed their memo from this instead of paying a full
+  /// normalization per user.
+  std::map<std::string, double> priorities(common::TimeNs now) const;
+
+  /// Full table for GET /admin/fairshare: accounts and users with shares,
+  /// decayed usage units and priority factors.
+  common::Json to_json(common::TimeNs now) const;
+
+ private:
+  using Population = std::map<std::string, FairShareOptions::UserShare>;
+  /// Shares/usage sums the factor formula normalizes against, built once
+  /// per pass.
+  struct AccountState {
+    double shares = 0;       // the account's own grant
+    double user_shares = 0;  // sum of member user shares
+    double units = 0;        // sum of member decayed usage
+  };
+  struct PopulationState {
+    Population population;
+    std::map<std::string, AccountState> accounts;
+    std::map<std::string, double> user_units;
+    double total_units = 0;
+    double total_account_shares = 0;
+  };
+
+  /// All users the normalization ranges over: configured ∪ charged ∪ extra.
+  Population population_locked(const std::string& extra_user) const;
+  PopulationState state_locked(const std::string& extra_user,
+                               common::TimeNs now) const;
+  double priority_locked(const std::string& user,
+                         const PopulationState& state) const;
+
+  FairShareOptions options_;
+  const UsageLedger* ledger_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace qcenv::accounting

@@ -1,0 +1,117 @@
+#include "accounting/rate_limiter.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace qcenv::accounting {
+
+using common::Json;
+using common::Status;
+
+void RateLimiter::set_override(const std::string& user,
+                               RateLimitOptions options) {
+  std::scoped_lock lock(mutex_);
+  overrides_[user] = options;
+  // The bucket re-primes against the new burst on its next refill.
+  auto bucket = buckets_.find(user);
+  if (bucket != buckets_.end()) {
+    bucket->second.tokens =
+        std::min(bucket->second.tokens, options.submit_burst);
+  }
+}
+
+RateLimitOptions RateLimiter::effective_locked(
+    const std::string& user) const {
+  const auto it = overrides_.find(user);
+  return it != overrides_.end() ? it->second : defaults_;
+}
+
+RateLimitOptions RateLimiter::effective(const std::string& user) const {
+  std::scoped_lock lock(mutex_);
+  return effective_locked(user);
+}
+
+void RateLimiter::refill_locked(Bucket& bucket,
+                                const RateLimitOptions& options,
+                                common::TimeNs now) const {
+  if (!bucket.primed) {
+    bucket.tokens = options.submit_burst;
+    bucket.primed = true;
+    bucket.last_refill = now;
+    return;
+  }
+  if (now <= bucket.last_refill) return;
+  bucket.tokens = std::min(
+      options.submit_burst,
+      bucket.tokens + options.submit_per_sec *
+                          common::to_seconds(now - bucket.last_refill));
+  bucket.last_refill = now;
+}
+
+Status RateLimiter::admit(const std::string& user, std::uint64_t shots,
+                          common::TimeNs now) {
+  std::scoped_lock lock(mutex_);
+  const RateLimitOptions options = effective_locked(user);
+  Bucket& bucket = buckets_[user];
+  refill_locked(bucket, options, now);
+  if (options.submit_per_sec > 0 && bucket.tokens < 1.0) {
+    return common::err::resource_exhausted(common::format(
+        "user '%s' exceeded the submit rate limit (%.2f jobs/s, burst "
+        "%.0f); retry later",
+        user.c_str(), options.submit_per_sec, options.submit_burst));
+  }
+  if (options.max_inflight_shots > 0 &&
+      bucket.inflight_shots + shots > options.max_inflight_shots) {
+    return common::err::resource_exhausted(common::format(
+        "user '%s' would have %llu shots in flight, above the per-user cap "
+        "of %llu",
+        user.c_str(),
+        static_cast<unsigned long long>(bucket.inflight_shots + shots),
+        static_cast<unsigned long long>(options.max_inflight_shots)));
+  }
+  if (options.submit_per_sec > 0) bucket.tokens -= 1.0;
+  bucket.inflight_shots += shots;
+  return Status::ok_status();
+}
+
+void RateLimiter::reserve(const std::string& user, std::uint64_t shots) {
+  std::scoped_lock lock(mutex_);
+  buckets_[user].inflight_shots += shots;
+}
+
+void RateLimiter::release(const std::string& user, std::uint64_t shots) {
+  std::scoped_lock lock(mutex_);
+  const auto it = buckets_.find(user);
+  if (it == buckets_.end()) return;
+  it->second.inflight_shots -= std::min(it->second.inflight_shots, shots);
+}
+
+std::uint64_t RateLimiter::inflight_shots(const std::string& user) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = buckets_.find(user);
+  return it != buckets_.end() ? it->second.inflight_shots : 0;
+}
+
+Json RateLimiter::to_json(const std::string& user,
+                          common::TimeNs now) const {
+  std::scoped_lock lock(mutex_);
+  const RateLimitOptions options = effective_locked(user);
+  Json out = Json::object();
+  out["submit_per_sec"] = options.submit_per_sec;
+  out["submit_burst"] = options.submit_burst;
+  out["max_inflight_shots"] = options.max_inflight_shots;
+  const auto it = buckets_.find(user);
+  if (it != buckets_.end()) {
+    Bucket bucket = it->second;
+    refill_locked(bucket, options, now);
+    out["tokens"] = bucket.tokens;
+    out["inflight_shots"] = bucket.inflight_shots;
+  } else {
+    out["tokens"] = options.submit_burst;
+    out["inflight_shots"] = 0;
+  }
+  return out;
+}
+
+}  // namespace qcenv::accounting

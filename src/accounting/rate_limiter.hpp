@@ -1,0 +1,79 @@
+// RateLimiter: per-user token-bucket submit limiting plus in-flight shot
+// caps — the admission boundary's "you specifically are going too fast"
+// answer (HTTP 429), as opposed to the global queue-depth backpressure.
+//
+// Clock-free like the ledger: `admit` takes an explicit `now`, making the
+// bucket deterministic under virtual time. Defaults are permissive (0 =
+// unlimited) so single-tenant deployments see no behaviour change; admins
+// tighten per user via POST /admin/quotas/:user.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace qcenv::accounting {
+
+struct RateLimitOptions {
+  /// Token-bucket refill rate for job submissions (0 = unlimited).
+  double submit_per_sec = 0.0;
+  /// Bucket capacity: how many submissions may burst at once.
+  double submit_burst = 8.0;
+  /// Ceiling on a user's admitted-but-unfinished shots (0 = unlimited).
+  std::uint64_t max_inflight_shots = 0;
+};
+
+class RateLimiter {
+ public:
+  explicit RateLimiter(RateLimitOptions defaults = {})
+      : defaults_(defaults) {}
+
+  /// Admin override for one user (replaces the defaults wholesale).
+  void set_override(const std::string& user, RateLimitOptions options);
+  RateLimitOptions effective(const std::string& user) const;
+
+  /// Checks the submit bucket and the in-flight shot cap; on success
+  /// consumes one token and reserves `shots`. Rejections are
+  /// kResourceExhausted (HTTP 429) and name the limit that fired.
+  common::Status admit(const std::string& user, std::uint64_t shots,
+                       common::TimeNs now);
+  /// Returns reserved shots to the user's budget as batches execute or the
+  /// job terminates. Clamped at zero so dispatch paths that bypassed
+  /// admit() (direct dispatcher use in tests/benches) stay harmless.
+  void release(const std::string& user, std::uint64_t shots);
+
+  /// Re-installs a reservation without consuming a token or checking caps:
+  /// recovery re-reserves the un-executed shots of restored queued jobs so
+  /// their eventual releases cannot drain reservations they never made.
+  void reserve(const std::string& user, std::uint64_t shots);
+
+  std::uint64_t inflight_shots(const std::string& user) const;
+
+  /// Per-user limiter state for /v1/usage and /admin/fairshare.
+  common::Json to_json(const std::string& user, common::TimeNs now) const;
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    bool primed = false;  // tokens start at burst on first sighting
+    common::TimeNs last_refill = 0;
+    std::uint64_t inflight_shots = 0;
+  };
+
+  RateLimitOptions effective_locked(const std::string& user) const;
+  void refill_locked(Bucket& bucket, const RateLimitOptions& options,
+                     common::TimeNs now) const;
+
+  RateLimitOptions defaults_;
+  mutable std::mutex mutex_;
+  std::map<std::string, RateLimitOptions> overrides_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace qcenv::accounting

@@ -1,0 +1,149 @@
+#include "accounting/usage_ledger.hpp"
+
+#include <cmath>
+
+namespace qcenv::accounting {
+
+double UsageLedger::decay_factor(common::DurationNs dt) const {
+  if (options_.half_life <= 0 || dt <= 0) return 1.0;
+  return std::exp2(-static_cast<double>(dt) /
+                   static_cast<double>(options_.half_life));
+}
+
+void UsageLedger::roll_forward(Entry& entry, common::TimeNs now) const {
+  if (now <= entry.as_of) return;
+  const double factor = decay_factor(now - entry.as_of);
+  entry.shots *= factor;
+  entry.qpu_seconds *= factor;
+  entry.jobs *= factor;
+  entry.as_of = now;
+}
+
+void UsageLedger::charge(const std::string& user, std::uint64_t shots,
+                         common::DurationNs qpu_ns, std::uint64_t jobs,
+                         common::TimeNs now) {
+  std::scoped_lock lock(mutex_);
+  Entry& entry = entries_[user];
+  double delta_scale = 1.0;
+  if (now >= entry.as_of) {
+    roll_forward(entry, now);
+  } else {
+    // Replay of a charge older than the restored snapshot: decay the delta
+    // to the entry's (newer) time instead of rewinding the entry.
+    delta_scale = decay_factor(entry.as_of - now);
+  }
+  entry.shots += static_cast<double>(shots) * delta_scale;
+  entry.qpu_seconds += common::to_seconds(qpu_ns) * delta_scale;
+  entry.jobs += static_cast<double>(jobs) * delta_scale;
+  entry.raw_shots += shots;
+  entry.raw_jobs += jobs;
+  entry.raw_qpu_ns += qpu_ns;
+}
+
+UsageLedger::Entry UsageLedger::decayed(const Entry& entry,
+                                        common::TimeNs now) const {
+  Entry copy = entry;
+  roll_forward(copy, now);
+  return copy;
+}
+
+UserUsage UsageLedger::to_usage(const std::string& user, const Entry& entry,
+                                common::TimeNs as_of) {
+  UserUsage out;
+  out.user = user;
+  out.shots = entry.shots;
+  out.qpu_seconds = entry.qpu_seconds;
+  out.jobs = entry.jobs;
+  out.raw_shots = entry.raw_shots;
+  out.raw_jobs = entry.raw_jobs;
+  out.raw_qpu_ns = entry.raw_qpu_ns;
+  out.as_of = as_of;
+  return out;
+}
+
+UserUsage UsageLedger::usage(const std::string& user,
+                             common::TimeNs now) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) return to_usage(user, Entry{}, now);
+  return to_usage(user, decayed(it->second, now), now);
+}
+
+double UsageLedger::units_locked(const Entry& entry,
+                                 common::TimeNs now) const {
+  const Entry current = decayed(entry, now);
+  return options_.shot_weight * current.shots +
+         options_.qpu_second_weight * current.qpu_seconds +
+         options_.job_weight * current.jobs;
+}
+
+double UsageLedger::units(const std::string& user, common::TimeNs now) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) return 0.0;
+  return units_locked(it->second, now);
+}
+
+double UsageLedger::total_units(common::TimeNs now) const {
+  std::scoped_lock lock(mutex_);
+  double total = 0;
+  for (const auto& [_, entry] : entries_) {
+    total += units_locked(entry, now);
+  }
+  return total;
+}
+
+std::vector<std::string> UsageLedger::users() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [user, _] : entries_) out.push_back(user);
+  return out;
+}
+
+std::vector<UserUsage> UsageLedger::list(common::TimeNs now) const {
+  std::vector<UserUsage> out;
+  std::scoped_lock lock(mutex_);
+  out.reserve(entries_.size());
+  for (const auto& [user, stored] : entries_) {
+    out.push_back(to_usage(user, decayed(stored, now), now));
+  }
+  return out;
+}
+
+std::vector<store::UsageRecord> UsageLedger::records(
+    common::TimeNs now) const {
+  std::vector<store::UsageRecord> out;
+  std::scoped_lock lock(mutex_);
+  out.reserve(entries_.size());
+  for (const auto& [user, stored] : entries_) {
+    const Entry entry = decayed(stored, now);
+    store::UsageRecord record;
+    record.user = user;
+    record.shots = entry.shots;
+    record.qpu_seconds = entry.qpu_seconds;
+    record.jobs = entry.jobs;
+    record.raw_shots = entry.raw_shots;
+    record.raw_jobs = entry.raw_jobs;
+    record.raw_qpu_ns = entry.raw_qpu_ns;
+    record.as_of = entry.as_of;
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+void UsageLedger::restore(const std::vector<store::UsageRecord>& records) {
+  std::scoped_lock lock(mutex_);
+  for (const auto& record : records) {
+    Entry& entry = entries_[record.user];
+    entry.shots = record.shots;
+    entry.qpu_seconds = record.qpu_seconds;
+    entry.jobs = record.jobs;
+    entry.raw_shots = record.raw_shots;
+    entry.raw_jobs = record.raw_jobs;
+    entry.raw_qpu_ns = record.raw_qpu_ns;
+    entry.as_of = record.as_of;
+  }
+}
+
+}  // namespace qcenv::accounting

@@ -1,0 +1,112 @@
+// UsageLedger: per-user consumed QPU work with exponential half-life decay.
+//
+// The multi-tenant substrate the paper's user-centric premise needs: every
+// executed batch charges its user with shots, QPU wall time and (on
+// completion) a job count. Charges decay with a configurable half-life —
+// Slurm's classic decayed-usage model — so fair-share reacts to *recent*
+// consumption instead of punishing a user forever for last month's sweep.
+//
+// Deterministic and clock-free: every operation takes an explicit `now`,
+// so the exact same ledger runs under the live daemon's wall clock and the
+// virtual-time benches' ManualClock with bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "store/records.hpp"
+
+namespace qcenv::accounting {
+
+struct LedgerOptions {
+  /// Usage halves after this long without new charges (0 = never decays;
+  /// usage then accumulates forever, Slurm's FairShare=parent mode).
+  common::DurationNs half_life = 3600 * common::kSecond;
+  /// Weights folding (shots, QPU seconds, jobs) into one scalar "usage
+  /// units" figure the fair-share index ranks against. Shots dominate by
+  /// default: they are the commodity the admission quotas meter.
+  double shot_weight = 1.0;
+  double qpu_second_weight = 0.0;
+  double job_weight = 0.0;
+};
+
+/// Point-in-time view of one user's consumption.
+struct UserUsage {
+  std::string user;
+  /// Half-life-decayed figures as of `as_of`.
+  double shots = 0;
+  double qpu_seconds = 0;
+  double jobs = 0;
+  /// Lifetime raw totals (never decayed; for billing-style reporting).
+  std::uint64_t raw_shots = 0;
+  std::uint64_t raw_jobs = 0;
+  common::DurationNs raw_qpu_ns = 0;
+  common::TimeNs as_of = 0;
+};
+
+class UsageLedger {
+ public:
+  explicit UsageLedger(LedgerOptions options = {}) : options_(options) {}
+
+  const LedgerOptions& options() const noexcept { return options_; }
+
+  /// Charges `user` for executed work. `now` may lag the newest charge
+  /// (replay of journal events older than a restored snapshot): the delta
+  /// is then pre-decayed to the entry's own time instead of rewinding it.
+  void charge(const std::string& user, std::uint64_t shots,
+              common::DurationNs qpu_ns, std::uint64_t jobs,
+              common::TimeNs now);
+
+  /// Decayed + raw usage of one user at `now` (all zero when unknown).
+  UserUsage usage(const std::string& user, common::TimeNs now) const;
+
+  /// Weighted decayed usage units of one user / of everybody at `now`.
+  double units(const std::string& user, common::TimeNs now) const;
+  double total_units(common::TimeNs now) const;
+
+  /// Every user with ledger state, sorted (deterministic iteration for
+  /// fair-share normalization and REST listings).
+  std::vector<std::string> users() const;
+  std::vector<UserUsage> list(common::TimeNs now) const;
+
+  /// Durable image: one record per user, decayed to `now`. The store's
+  /// snapshot embeds these so accounting survives restarts without
+  /// replaying all history.
+  std::vector<store::UsageRecord> records(common::TimeNs now) const;
+  /// Re-installs snapshot records (journal deltas newer than the snapshot
+  /// watermark replay on top via charge()).
+  void restore(const std::vector<store::UsageRecord>& records);
+
+ private:
+  struct Entry {
+    double shots = 0;
+    double qpu_seconds = 0;
+    double jobs = 0;
+    std::uint64_t raw_shots = 0;
+    std::uint64_t raw_jobs = 0;
+    common::DurationNs raw_qpu_ns = 0;
+    /// The decayed figures are exact at this instant.
+    common::TimeNs as_of = 0;
+  };
+
+  /// 2^(-dt / half_life); 1.0 when decay is disabled or dt <= 0.
+  double decay_factor(common::DurationNs dt) const;
+  /// Decays `entry` forward to `now` (no-op when now <= as_of).
+  void roll_forward(Entry& entry, common::TimeNs now) const;
+  /// Decayed copy of `entry` at `now` — the one place every read-side
+  /// view (usage/list/records/units) gets its numbers from.
+  Entry decayed(const Entry& entry, common::TimeNs now) const;
+  double units_locked(const Entry& entry, common::TimeNs now) const;
+  static UserUsage to_usage(const std::string& user, const Entry& entry,
+                            common::TimeNs as_of);
+
+  LedgerOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace qcenv::accounting

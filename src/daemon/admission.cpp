@@ -7,9 +7,20 @@ using common::Status;
 Status AdmissionController::validate(const quantum::Payload& payload,
                                      JobClass cls,
                                      const quantum::DeviceSpec& spec,
-                                     std::size_t current_depth) const {
-  if (current_depth >= policy_.max_queue_depth) {
-    return common::err::resource_exhausted("daemon queue is full");
+                                     const AdmissionContext& context) const {
+  if (context.queue_depth >= policy_.max_queue_depth) {
+    return common::err::resource_exhausted(
+        "daemon queue is full (global max_queue_depth=" +
+        std::to_string(policy_.max_queue_depth) + ")");
+  }
+  const std::size_t pending_limit =
+      context.user_pending_limit.value_or(policy_.max_pending_per_user);
+  if (pending_limit > 0 && context.user_pending >= pending_limit) {
+    return common::err::resource_exhausted(
+        "user '" + context.user + "' already has " +
+        std::to_string(context.user_pending) +
+        " job(s) pending (per-user limit " + std::to_string(pending_limit) +
+        ")");
   }
   const auto quota = policy_.max_shots.find(cls);
   if (quota != policy_.max_shots.end() && payload.shots() > quota->second) {

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <string>
 
 #include "common/result.hpp"
 #include "daemon/queue_core.hpp"
@@ -21,7 +23,24 @@ struct AdmissionPolicy {
       {JobClass::kTest, 20'000},
       {JobClass::kDevelopment, 2'000},
   };
+  /// Global backpressure across all tenants.
   std::size_t max_queue_depth = 10'000;
+  /// Ceiling on any one user's queued jobs (0 = unlimited); bounds the
+  /// slice of the global queue a single tenant can occupy. Overridable per
+  /// user via POST /admin/quotas/:user.
+  std::size_t max_pending_per_user = 0;
+};
+
+/// Queue occupancy at the admission boundary. Rejections name which limit
+/// fired (global vs. per-user) so a 429'd user knows whether to wait for
+/// the site or for their own backlog.
+struct AdmissionContext {
+  std::string user;
+  std::size_t queue_depth = 0;
+  /// This user's currently queued jobs.
+  std::size_t user_pending = 0;
+  /// Per-user override of max_pending_per_user (nullopt = policy default).
+  std::optional<std::size_t> user_pending_limit;
 };
 
 class AdmissionController {
@@ -32,10 +51,10 @@ class AdmissionController {
   const AdmissionPolicy& policy() const noexcept { return policy_; }
 
   /// Validates a payload for the given class against the device spec and
-  /// current queue depth.
+  /// the global + per-user queue occupancy in `context`.
   common::Status validate(const quantum::Payload& payload, JobClass cls,
                           const quantum::DeviceSpec& spec,
-                          std::size_t current_depth) const;
+                          const AdmissionContext& context) const;
 
  private:
   AdmissionPolicy policy_;

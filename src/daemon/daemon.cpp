@@ -93,6 +93,7 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
       clock_(clock),
       sessions_(options_.sessions, clock),
       admission_(options_.admission),
+      accounting_(options_.accounting, clock, &metrics_),
       broker_(std::make_shared<broker::ResourceBroker>(options_.broker,
                                                        clock, &metrics_)),
       server_(net::HttpServerOptions{options_.port, 4,
@@ -113,7 +114,10 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
     recovered_jobs = open_store(next_job_id);
   }
   dispatcher_ = std::make_unique<Dispatcher>(broker_, options_.queue_policy,
-                                             clock, &metrics_, store_.get());
+                                             clock, &metrics_, store_.get(),
+                                             &accounting_);
+  dispatcher_->set_terminal_retention(options_.store.terminal_job_retention,
+                                      options_.store.terminal_job_cap);
   if (store_ != nullptr) {
     dispatcher_->restore(recovered_jobs, next_job_id);
     store_->set_snapshot_provider([this] { return build_snapshot(); });
@@ -151,6 +155,12 @@ std::vector<store::JobRecord> MiddlewareDaemon::open_store(
   for (const auto& session : recovered.value().sessions) {
     sessions_.restore(from_session_record(session));
   }
+  // Rebuild the usage ledger: snapshot records first, then the journal's
+  // newer batch/completion charges on top — decayed usage survives the
+  // restart exactly, so post-recovery fair-share ordering matches a run
+  // that never crashed.
+  accounting_.restore(recovered.value().usage,
+                      recovered.value().usage_deltas);
   next_job_id = recovered.value().next_job_id;
   return std::move(recovered).value().jobs;
 }
@@ -349,15 +359,37 @@ void MiddlewareDaemon::install_routes() {
         }
         auto spec = spec_source->target();
         if (!spec.ok()) return error_response(spec.error());
-        std::size_t depth = 0;
-        for (const auto& [_, d] : dispatcher_->queue_depths()) depth += d;
+        AdmissionContext context;
+        context.user = session.value().user;
+        for (const auto& [_, d] : dispatcher_->queue_depths()) {
+          context.queue_depth += d;
+        }
+        context.user_pending = dispatcher_->pending_for_user(context.user);
+        const auto pending_override = accounting_.pending_limit(context.user);
+        if (pending_override.has_value()) {
+          context.user_pending_limit =
+              static_cast<std::size_t>(*pending_override);
+        }
         auto admitted = admission_.validate(payload.value(), cls,
-                                            spec.value(), depth);
+                                            spec.value(), context);
         if (!admitted.ok()) return error_response(admitted.error());
+        // Per-user rate limits and in-flight shot caps (HTTP 429). Consumes
+        // a token and reserves the shots; released as batches execute or if
+        // the submission fails below.
+        const std::uint64_t shots = payload.value().shots();
+        auto throttled = accounting_.admit_submission(context.user, shots);
+        if (!throttled.ok()) return error_response(throttled.error());
+        // The dispatcher re-checks the pending cap under its own lock —
+        // the only race-free enforcement point for concurrent submits.
+        hints.user_pending_limit = context.user_pending_limit.value_or(
+            options_.admission.max_pending_per_user);
         auto id = dispatcher_->submit(session.value().id,
                                       session.value().user, cls,
                                       std::move(payload).value(), hints);
-        if (!id.ok()) return error_response(id.error());
+        if (!id.ok()) {
+          accounting_.release_submission(context.user, shots);
+          return error_response(id.error());
+        }
         // Close the submit/close race: if the session died between the
         // authenticate above and this submit, its cancel sweep may have
         // run before the job existed — sweep it ourselves.
@@ -471,8 +503,29 @@ void MiddlewareDaemon::install_routes() {
                  lanes[name] = std::move(lane);
                }
                out["lanes"] = std::move(lanes);
+               // Per-tenant view: queued jobs per user, so a 429'd client
+               // can see whose backlog is occupying the queue.
+               Json users = Json::object();
+               for (const auto& [user, count] :
+                    dispatcher_->user_pending_counts()) {
+                 users[user] = static_cast<long long>(count);
+               }
+               out["users"] = std::move(users);
                out["draining"] = dispatcher_->draining();
                return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("GET", "/v1/usage",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams&) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               const std::string& user = session.value().user;
+               return HttpResponse::json(
+                   200,
+                   accounting_
+                       .usage_json(user, dispatcher_->pending_for_user(user))
+                       .dump());
              });
 
   router.add("GET", "/metrics",
@@ -538,6 +591,95 @@ void MiddlewareDaemon::install_routes() {
                out["cancelled_jobs"] = static_cast<long long>(cancelled);
                return HttpResponse::json(200, out.dump());
              });
+
+  router.add("GET", "/admin/fairshare",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               return HttpResponse::json(200,
+                                         accounting_.fairshare_json().dump());
+             });
+
+  router.add(
+      "POST", "/admin/quotas/:user",
+      [this, require_admin](const HttpRequest& request,
+                            const PathParams& params) {
+        auto admin = require_admin(request);
+        if (!admin.ok()) return error_response(admin.error());
+        const std::string& user = params.at("user");
+        auto body = Json::parse(request.body);
+        if (!body.ok()) return error_response(body.error());
+        const Json& quota = body.value();
+        // Shares: account membership and weight (either field optional;
+        // the other keeps its current value).
+        if (quota.contains("shares") || quota.contains("account")) {
+          const auto current = accounting_.fair_share().share_of(user);
+          const Json& shares = quota.at_or_null("shares");
+          const Json& account = quota.at_or_null("account");
+          if (quota.contains("shares") && !shares.is_number()) {
+            return error_response(common::err::invalid_argument(
+                "'shares' must be a number"));
+          }
+          if (quota.contains("account") && !account.is_string()) {
+            return error_response(common::err::invalid_argument(
+                "'account' must be a string"));
+          }
+          accounting_.set_shares(
+              user, account.is_string() ? account.as_string()
+                                        : current.account,
+              shares.is_number() ? shares.as_double() : current.shares);
+        }
+        // Rate limits: any field present replaces that knob, the rest keep
+        // the user's current effective values. Negative limits are typos,
+        // not requests — reject instead of wrapping to huge uint64s.
+        const auto non_negative =
+            [&quota](const char* key) -> common::Status {
+          const Json& value = quota.at_or_null(key);
+          if (value.is_number() && value.as_double() < 0) {
+            return common::err::invalid_argument(
+                std::string("'") + key + "' must be >= 0");
+          }
+          return common::Status::ok_status();
+        };
+        for (const char* key : {"submit_per_sec", "submit_burst",
+                                "max_inflight_shots", "max_pending_jobs"}) {
+          auto checked = non_negative(key);
+          if (!checked.ok()) return error_response(checked.error());
+        }
+        if (quota.contains("submit_per_sec") ||
+            quota.contains("submit_burst") ||
+            quota.contains("max_inflight_shots")) {
+          accounting::RateLimitOptions limits =
+              accounting_.rate_limiter().effective(user);
+          const Json& per_sec = quota.at_or_null("submit_per_sec");
+          if (per_sec.is_number()) limits.submit_per_sec = per_sec.as_double();
+          const Json& burst = quota.at_or_null("submit_burst");
+          if (burst.is_number()) limits.submit_burst = burst.as_double();
+          const Json& inflight = quota.at_or_null("max_inflight_shots");
+          if (inflight.is_number()) {
+            limits.max_inflight_shots =
+                static_cast<std::uint64_t>(inflight.as_int());
+          }
+          accounting_.set_rate_limit(user, limits);
+        }
+        // max_pending_jobs: a number sets the override (0 = unlimited for
+        // this user, beating the global policy); null clears it back to
+        // the policy default.
+        if (quota.contains("max_pending_jobs")) {
+          const Json& pending = quota.at_or_null("max_pending_jobs");
+          if (pending.is_number()) {
+            accounting_.set_pending_limit(
+                user, static_cast<std::uint64_t>(pending.as_int()));
+          } else if (pending.is_null()) {
+            accounting_.clear_pending_limit(user);
+          } else {
+            return error_response(common::err::invalid_argument(
+                "'max_pending_jobs' must be a number or null"));
+          }
+        }
+        return HttpResponse::json(200, accounting_.quota_json(user).dump());
+      });
 
   router.add("POST", "/admin/drain",
              [this, require_admin](const HttpRequest& request,

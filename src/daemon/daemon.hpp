@@ -14,10 +14,16 @@
 //   GET    /v1/jobs/:id                                     -> job status
 //   GET    /v1/jobs/:id/result                              -> samples
 //   DELETE /v1/jobs/:id                                     -> cancel
-//   GET    /v1/queue                             -> depths/order/lanes
+//   GET    /v1/queue                  -> depths/order/lanes/per-user counts
+//   GET    /v1/usage                  -> caller's decayed usage, share,
+//                                        fair-share priority, rate limits
 //   GET    /metrics                                         -> Prometheus
 //   GET    /admin/status
 //   GET    /admin/sessions
+//   GET    /admin/fairshare            (accounts/users: shares vs usage)
+//   POST   /admin/quotas/:user         {shares?, account?, submit_per_sec?,
+//                                       submit_burst?, max_inflight_shots?,
+//                                       max_pending_jobs?}
 //   POST   /admin/drain | /admin/resume
 //   POST   /admin/resources/:name/drain | .../resume  (rolling maintenance)
 //   GET    /admin/store                    (journal/snapshot/replay stats)
@@ -33,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "accounting/accounting.hpp"
 #include "broker/broker.hpp"
 #include "common/clock.hpp"
 #include "common/config.hpp"
@@ -55,6 +62,10 @@ struct DaemonOptions {
   /// Fleet behaviour: default placement policy, probe cadence, backoff.
   broker::BrokerOptions broker;
   AdmissionPolicy admission;
+  /// Multi-tenant accounting: usage decay half-life, account/user shares
+  /// and default rate limits. Fair-share ordering engages automatically
+  /// once users accumulate usage; defaults keep single-tenant behaviour.
+  accounting::AccountingOptions accounting;
   SessionManagerOptions sessions;
   /// Slurm partition -> job class ("the daemon retrieves the job's priority
   /// from Slurm", §3.3): submissions may carry their partition name.
@@ -93,6 +104,9 @@ class MiddlewareDaemon {
 
   SessionManager& sessions() noexcept { return sessions_; }
   Dispatcher& dispatcher() noexcept { return *dispatcher_; }
+  accounting::AccountingManager& accounting() noexcept {
+    return accounting_;
+  }
   broker::ResourceBroker& broker() noexcept { return *broker_; }
   telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
   const DaemonOptions& options() const noexcept { return options_; }
@@ -121,6 +135,8 @@ class MiddlewareDaemon {
   telemetry::MetricsRegistry metrics_;
   SessionManager sessions_;
   AdmissionController admission_;
+  // Must outlive the dispatcher: its lanes charge the ledger.
+  accounting::AccountingManager accounting_;
   std::shared_ptr<broker::ResourceBroker> broker_;
   qrmi::QrmiPtr primary_;  // first fleet member; backs /v1/device
   // The store must outlive the dispatcher (its lanes journal events);

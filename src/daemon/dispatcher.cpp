@@ -1,5 +1,6 @@
 #include "daemon/dispatcher.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #define QCENV_LOG_COMPONENT "daemon.dispatch"
@@ -55,28 +56,60 @@ const char* to_string(DaemonJobState state) noexcept {
 Dispatcher::Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
                        QueuePolicy policy, common::Clock* clock,
                        telemetry::MetricsRegistry* metrics,
-                       store::StateStore* store)
+                       store::StateStore* store,
+                       accounting::AccountingManager* accounting)
     : broker_(std::move(broker)),
       clock_(clock),
       metrics_(metrics),
       store_(store),
+      accounting_(accounting),
       core_(policy) {
+  install_priority_hook();
   start_lanes();
 }
 
 Dispatcher::Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
                        common::Clock* clock,
                        telemetry::MetricsRegistry* metrics,
-                       store::StateStore* store)
+                       store::StateStore* store,
+                       accounting::AccountingManager* accounting)
     : broker_(std::make_shared<broker::ResourceBroker>(broker::BrokerOptions{},
                                                        clock, metrics)),
       clock_(clock),
       metrics_(metrics),
       store_(store),
+      accounting_(accounting),
       core_(policy) {
   const Status added = broker_->add(resource->resource_id(), resource);
   (void)added;  // resource_id collisions are impossible in a fresh fleet
+  install_priority_hook();
   start_lanes();
+}
+
+void Dispatcher::install_priority_hook() {
+  if (accounting_ == nullptr) return;
+  // Runs under mutex_ (every core_ call site holds it), so records_ access
+  // and the lambda's memo are safe; the accounting side locks internally
+  // and never calls back. The memo is seeded with the whole fair-share
+  // table in ONE population traversal per ordering pass (the core
+  // evaluates a whole pass at a single `now`), so a pass costs O(users)
+  // accounting work instead of O(users) per pending job.
+  core_.set_priority_hook(
+      [this, memo_now = common::TimeNs{-1},
+       memo = std::map<std::string, double>{}](
+          std::uint64_t job_id, common::TimeNs now) mutable {
+        if (now != memo_now) {
+          memo = accounting_->priorities(now);
+          memo_now = now;
+        }
+        const std::string& user = records_.at(job_id).job.user;
+        auto it = memo.find(user);
+        if (it == memo.end()) {
+          // A user outside the known population (no usage, no grant yet).
+          it = memo.emplace(user, accounting_->priority(user, now)).first;
+        }
+        return it->second;
+      });
 }
 
 void Dispatcher::start_lanes() {
@@ -106,6 +139,22 @@ Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
   std::uint64_t id = 0;
   {
     std::scoped_lock lock(mutex_);
+    if (options.user_pending_limit > 0) {
+      std::size_t pending = 0;
+      for (const std::uint64_t live : active_) {
+        const Record& record = records_.at(live);
+        if (record.job.user == user &&
+            record.job.state == DaemonJobState::kQueued) {
+          ++pending;
+        }
+      }
+      if (pending >= options.user_pending_limit) {
+        return common::err::resource_exhausted(
+            "user '" + user + "' already has " + std::to_string(pending) +
+            " job(s) pending (per-user limit " +
+            std::to_string(options.user_pending_limit) + ")");
+      }
+    }
     std::string placed;
     if (!options.resource.empty()) {
       auto picked = broker_->pick({.policy = options.policy,
@@ -143,6 +192,9 @@ Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
           to_record_locked(inserted.first->second),
           inserted.first->second.payload);
     }
+    // Amortized terminal-job GC: each submission pays for the sweep that
+    // keeps records_ bounded.
+    (void)sweep_terminal_locked(inserted.first->second.job.submit_time);
   }
   if (metrics_ != nullptr) {
     metrics_
@@ -284,6 +336,73 @@ std::vector<std::uint64_t> Dispatcher::queue_order() const {
   return core_.snapshot(clock_->now());
 }
 
+std::map<std::string, std::size_t> Dispatcher::user_pending_counts() const {
+  std::scoped_lock lock(mutex_);
+  std::map<std::string, std::size_t> out;
+  for (const std::uint64_t id : active_) {
+    const Record& record = records_.at(id);
+    if (record.job.state == DaemonJobState::kQueued) {
+      ++out[record.job.user];
+    }
+  }
+  return out;
+}
+
+std::size_t Dispatcher::pending_for_user(const std::string& user) const {
+  std::scoped_lock lock(mutex_);
+  std::size_t count = 0;
+  for (const std::uint64_t id : active_) {
+    const Record& record = records_.at(id);
+    if (record.job.user == user &&
+        record.job.state == DaemonJobState::kQueued) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Dispatcher::set_terminal_retention(common::DurationNs retention,
+                                        std::size_t cap) {
+  std::scoped_lock lock(mutex_);
+  terminal_retention_ = retention;
+  terminal_cap_ = cap;
+}
+
+std::size_t Dispatcher::sweep_terminal() {
+  std::scoped_lock lock(mutex_);
+  return sweep_terminal_locked(clock_->now());
+}
+
+std::size_t Dispatcher::sweep_terminal_locked(common::TimeNs now) {
+  if (terminal_retention_ <= 0 && terminal_cap_ == 0) return 0;
+  std::size_t evicted = 0;
+  while (!terminal_order_.empty()) {
+    const std::uint64_t id = terminal_order_.front();
+    const bool over_cap =
+        terminal_cap_ > 0 && terminal_order_.size() > terminal_cap_;
+    const auto it = records_.find(id);
+    if (it == records_.end()) {  // defensive: already gone
+      terminal_order_.pop_front();
+      continue;
+    }
+    const bool expired =
+        terminal_retention_ > 0 &&
+        it->second.job.finish_time + terminal_retention_ <= now;
+    if (!over_cap && !expired) break;  // front is oldest: nothing further
+    terminal_order_.pop_front();
+    records_.erase(it);
+    if (store_ != nullptr) store_->job_evicted(id);
+    ++evicted;
+  }
+  if (evicted > 0 && metrics_ != nullptr) {
+    metrics_
+        ->counter("daemon_jobs_evicted_total", {},
+                  "terminal job records dropped by retention/cap GC")
+        .increment(static_cast<double>(evicted));
+  }
+  return evicted;
+}
+
 std::map<std::string, Dispatcher::LaneDepth> Dispatcher::lane_depths()
     const {
   std::map<std::string, LaneDepth> out;
@@ -390,6 +509,13 @@ store::StoreSnapshot Dispatcher::durable_snapshot() const {
     snapshot.jobs_seq =
         store_ != nullptr ? store_->journal().last_seq() : 0;
     snapshot.next_job_id = next_job_id_;
+    if (accounting_ != nullptr) {
+      // Ledger charges happen under this mutex (charge_batch in the lane
+      // loop), so reading the ledger here is exactly consistent with the
+      // watermark above: usage events <= jobs_seq are in these records,
+      // later ones replay on top.
+      snapshot.usage = accounting_->usage_records(clock_->now());
+    }
     staged.reserve(records_.size());
     for (const auto& [_, record] : records_) {
       Staged entry;
@@ -510,11 +636,30 @@ void Dispatcher::restore(const std::vector<store::JobRecord>& jobs,
       core_.enqueue(recovered.id, recovered.job_class, remaining,
                     recovered.submit_time);
       active_.insert(recovered.id);
+      if (accounting_ != nullptr) {
+        // The previous life reserved these shots at admission; re-reserve
+        // them so this job's releases cannot drain reservations that
+        // newly admitted work legitimately holds.
+        accounting_->restore_inflight(record.job.user, remaining);
+      }
     }
     next_job_id_ = std::max(next_job_id_, recovered.id + 1);
     records_.emplace(recovered.id, std::move(record));
   }
   next_job_id_ = std::max(next_job_id_, next_job_id);
+  // Rebuild the GC's LRU: terminal records in finish order, oldest first,
+  // so retention keeps expiring across restarts.
+  std::vector<std::uint64_t> terminal;
+  for (const auto& [id, record] : records_) {
+    if (active_.count(id) == 0) terminal.push_back(id);
+  }
+  std::sort(terminal.begin(), terminal.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              const auto ta = records_.at(a).job.finish_time;
+              const auto tb = records_.at(b).job.finish_time;
+              return ta != tb ? ta < tb : a < b;
+            });
+  terminal_order_.assign(terminal.begin(), terminal.end());
   cv_.notify_all();
 }
 
@@ -524,8 +669,18 @@ void Dispatcher::finish_locked(Record& record, DaemonJobState state,
   record.job.error = error;
   record.job.finish_time = clock_->now();
   active_.erase(record.job.id);
+  terminal_order_.push_back(record.job.id);
   if (!record.job.resource.empty()) {
     broker_->unbind(record.job.resource);
+  }
+  if (accounting_ != nullptr) {
+    // The never-executed remainder leaves the user's in-flight budget;
+    // completions additionally charge one job to the ledger.
+    const std::uint64_t unexecuted =
+        record.job.total_shots -
+        std::min(record.job.shots_done, record.job.total_shots);
+    accounting_->job_finished(record.job.user, unexecuted,
+                              state == DaemonJobState::kCompleted);
   }
   if (store_ != nullptr) {
     switch (state) {
@@ -681,7 +836,9 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
     }
 
     broker_->on_dispatch(lane, batch->shots);
+    const common::TimeNs run_start = clock_->now();
     auto outcome = resource->run_sync(slice, kRunPoll);
+    const common::DurationNs qpu_ns = clock_->now() - run_start;
     if (metrics_ != nullptr) {
       metrics_
           ->counter("daemon_batches_dispatched_total",
@@ -786,8 +943,14 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
       // The executed shots become durable BEFORE any terminal event, so a
       // crash between the two replays them as done, never re-runs them.
       // Serialization is deferred to the journal's writer thread.
-      store_->batch_done(batch->job_id, batch->shots, batch->final_batch,
-                         outcome.value());
+      store_->batch_done(batch->job_id, batch->shots, qpu_ns,
+                         batch->final_batch, outcome.value());
+    }
+    if (accounting_ != nullptr) {
+      // Charged in the same critical section as the journal append, so a
+      // compaction snapshot (which reads the watermark and the ledger
+      // under this mutex) can never tear the two apart.
+      accounting_->charge_batch(record.job.user, batch->shots, qpu_ns);
     }
 
     if (record.cancel_requested) {

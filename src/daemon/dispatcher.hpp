@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "accounting/accounting.hpp"
 #include "broker/broker.hpp"
 #include "common/clock.hpp"
 #include "common/ids.hpp"
@@ -72,20 +74,30 @@ class Dispatcher {
     /// Placement policy override for this job (initial pick and failover
     /// repicks); nullopt uses the broker default.
     std::optional<broker::SchedulingPolicy> policy;
+    /// Per-user queued-job ceiling enforced ATOMICALLY under the queue
+    /// lock (0 = none). The admission boundary pre-checks the same limit
+    /// for a friendly early error, but only this check cannot be raced by
+    /// concurrent submissions of the same user.
+    std::size_t user_pending_limit = 0;
   };
 
   /// Multi-resource dispatcher: one worker lane per resource registered in
   /// `broker` at construction time. `store` (optional, must outlive the
   /// dispatcher) receives a journal event for every job state change.
+  /// `accounting` (optional, must outlive the dispatcher) is charged for
+  /// every executed batch and plugs fair-share ordering into the queue
+  /// core: within a class, the most under-served user's jobs go first.
   Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
              QueuePolicy policy, common::Clock* clock,
              telemetry::MetricsRegistry* metrics,
-             store::StateStore* store = nullptr);
+             store::StateStore* store = nullptr,
+             accounting::AccountingManager* accounting = nullptr);
   /// Single-resource convenience: wraps `resource` in a one-member fleet
   /// (named after its resource_id).
   Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
              common::Clock* clock, telemetry::MetricsRegistry* metrics,
-             store::StateStore* store = nullptr);
+             store::StateStore* store = nullptr,
+             accounting::AccountingManager* accounting = nullptr);
   ~Dispatcher();
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
@@ -158,6 +170,18 @@ class Dispatcher {
   };
   std::map<std::string, LaneDepth> lane_depths() const;
 
+  /// Queued (not yet running) jobs per user, for the admission boundary's
+  /// per-user depth limit and the /v1/queue per-tenant view.
+  std::map<std::string, std::size_t> user_pending_counts() const;
+  std::size_t pending_for_user(const std::string& user) const;
+
+  /// Terminal-job GC: completed/failed/cancelled records older than
+  /// `retention` (or beyond the newest `cap`, LRU by finish time) are
+  /// dropped so records_ stops growing with uptime. 0 disables either
+  /// bound. The sweep runs on every submit; sweep_terminal() forces one.
+  void set_terminal_retention(common::DurationNs retention, std::size_t cap);
+  std::size_t sweep_terminal();
+
  private:
   struct Record {
     DaemonJob job;
@@ -179,6 +203,9 @@ class Dispatcher {
 
   void lane_loop(const std::stop_token& stop, const std::string& lane);
   void start_lanes();
+  void install_priority_hook();
+  /// Evicts terminal records per the retention/cap policy; returns count.
+  std::size_t sweep_terminal_locked(common::TimeNs now);
   bool has_eligible_locked(const std::string& lane) const;
   /// Moves every non-terminal job placed on `lane` to a healthy resource
   /// (or unplaces it when none is available right now).
@@ -195,6 +222,7 @@ class Dispatcher {
   common::Clock* clock_;
   telemetry::MetricsRegistry* metrics_;
   store::StateStore* store_;
+  accounting::AccountingManager* accounting_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -203,6 +231,10 @@ class Dispatcher {
   /// Non-terminal job ids: keeps per-lane queue reporting O(live jobs)
   /// while records_ retains every terminal job for result serving.
   std::unordered_set<std::uint64_t> active_;
+  /// Terminal job ids in finish order (oldest first) — the GC's LRU.
+  std::deque<std::uint64_t> terminal_order_;
+  common::DurationNs terminal_retention_ = 0;
+  std::size_t terminal_cap_ = 0;
   std::uint64_t next_job_id_ = 1;
   std::atomic<bool> draining_{false};
   std::vector<std::jthread> lanes_;

@@ -53,11 +53,25 @@ std::vector<const PriorityQueueCore::Entry*> PriorityQueueCore::ordered(
   std::vector<const Entry*> order;
   order.reserve(entries_.size());
   for (const auto& [_, entry] : entries_) order.push_back(&entry);
+  // Evaluate the hook once per entry, not once per comparison: the hook
+  // may consult the accounting subsystem, and the sort must see one
+  // consistent priority per job for the whole pass.
+  std::map<std::uint64_t, double> hook_priority;
+  if (priority_hook_) {
+    for (const Entry* entry : order) {
+      hook_priority[entry->job_id] = priority_hook_(entry->job_id, now);
+    }
+  }
   std::sort(order.begin(), order.end(),
             [&](const Entry* a, const Entry* b) {
               const int ra = effective_rank(*a, now);
               const int rb = effective_rank(*b, now);
               if (ra != rb) return ra < rb;
+              if (priority_hook_) {
+                const double pa = hook_priority.at(a->job_id);
+                const double pb = hook_priority.at(b->job_id);
+                if (pa != pb) return pa > pb;  // under-served first
+              }
               if (policy_.shortest_first_within_class &&
                   a->remaining_shots != b->remaining_shots) {
                 return a->remaining_shots < b->remaining_shots;

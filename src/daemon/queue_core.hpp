@@ -68,6 +68,19 @@ class PriorityQueueCore {
 
   const QueuePolicy& policy() const noexcept { return policy_; }
 
+  /// Pluggable per-job priority within an effective-rank tier: jobs whose
+  /// hook value is HIGHER dispatch first (ties fall through to
+  /// shortest-first, then FIFO seq). The fair-share scheduler hands the
+  /// under-served user's jobs forward through this. The hook must be a
+  /// deterministic function of (job_id, now) — it is evaluated once per
+  /// pending job per ordering pass, under the caller's lock — so
+  /// virtual-time benches replay identically. Unset = pure FIFO tiers.
+  using PriorityHook =
+      std::function<double(std::uint64_t job_id, common::TimeNs now)>;
+  void set_priority_hook(PriorityHook hook) {
+    priority_hook_ = std::move(hook);
+  }
+
   /// Adds a job with `total_shots` still to execute.
   void enqueue(std::uint64_t job_id, JobClass cls, std::uint64_t total_shots,
                common::TimeNs now);
@@ -119,10 +132,12 @@ class PriorityQueueCore {
   };
 
   int effective_rank(const Entry& entry, common::TimeNs now) const;
-  /// Dispatch order: (effective rank asc, seq asc).
+  /// Dispatch order: (effective rank asc, hook priority desc, optional
+  /// shortest-first, seq asc).
   std::vector<const Entry*> ordered(common::TimeNs now) const;
 
   QueuePolicy policy_;
+  PriorityHook priority_hook_;
   std::uint64_t next_seq_ = 0;
   std::map<std::uint64_t, Entry> entries_;           // job_id -> entry
   std::map<std::uint64_t, Entry> in_flight_;         // dispatched, awaiting done

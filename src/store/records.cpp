@@ -11,6 +11,11 @@ std::int64_t int_or(const Json& json, const std::string& key,
   return value.is_number() ? value.as_int() : fallback;
 }
 
+double double_or(const Json& json, const std::string& key, double fallback) {
+  const Json& value = json.at_or_null(key);
+  return value.is_number() ? value.as_double() : fallback;
+}
+
 std::string string_or(const Json& json, const std::string& key) {
   const Json& value = json.at_or_null(key);
   return value.is_string() ? value.as_string() : std::string();
@@ -128,6 +133,37 @@ Result<JobRecord> JobRecord::from_json(const Json& json) {
       static_cast<std::uint64_t>(int_or(json, "payload_hash", 0));
   record.payload = json.at_or_null("payload");
   record.samples = json.at_or_null("samples");
+  return record;
+}
+
+Json UsageRecord::to_json() const {
+  Json out = Json::object();
+  out["user"] = user;
+  out["shots"] = shots;
+  out["qpu_seconds"] = qpu_seconds;
+  out["jobs"] = jobs;
+  out["raw_shots"] = raw_shots;
+  out["raw_jobs"] = raw_jobs;
+  out["raw_qpu_ns"] = raw_qpu_ns;
+  out["as_of"] = as_of;
+  return out;
+}
+
+Result<UsageRecord> UsageRecord::from_json(const Json& json) {
+  if (!json.is_object()) {
+    return common::err::protocol("usage record must be a JSON object");
+  }
+  UsageRecord record;
+  auto user = json.get_string("user");
+  if (!user.ok()) return user.error();
+  record.user = std::move(user).value();
+  record.shots = double_or(json, "shots", 0);
+  record.qpu_seconds = double_or(json, "qpu_seconds", 0);
+  record.jobs = double_or(json, "jobs", 0);
+  record.raw_shots = static_cast<std::uint64_t>(int_or(json, "raw_shots", 0));
+  record.raw_jobs = static_cast<std::uint64_t>(int_or(json, "raw_jobs", 0));
+  record.raw_qpu_ns = int_or(json, "raw_qpu_ns", 0);
+  record.as_of = int_or(json, "as_of", 0);
   return record;
 }
 

@@ -30,6 +30,8 @@ std::uint64_t payload_fingerprint(const quantum::Payload& payload);
 /// fallback instead of an error.
 std::int64_t int_or(const common::Json& json, const std::string& key,
                     std::int64_t fallback);
+double double_or(const common::Json& json, const std::string& key,
+                 double fallback);
 std::string string_or(const common::Json& json, const std::string& key);
 
 /// Durable job lifecycle phase. Mirrors daemon::DaemonJobState except that
@@ -73,6 +75,26 @@ struct JobRecord {
 
   common::Json to_json() const;
   static common::Result<JobRecord> from_json(const common::Json& json);
+};
+
+/// One user's decayed ledger usage at `as_of`: snapshots embed these so
+/// fair-share accounting survives restarts without replaying all history
+/// (journal batch_done/job_completed events newer than the snapshot
+/// watermark re-charge the ledger on top during recovery).
+struct UsageRecord {
+  std::string user;
+  /// Half-life-decayed figures, exact at `as_of`.
+  double shots = 0;
+  double qpu_seconds = 0;
+  double jobs = 0;
+  /// Lifetime raw totals (never decayed).
+  std::uint64_t raw_shots = 0;
+  std::uint64_t raw_jobs = 0;
+  common::DurationNs raw_qpu_ns = 0;
+  common::TimeNs as_of = 0;
+
+  common::Json to_json() const;
+  static common::Result<UsageRecord> from_json(const common::Json& json);
 };
 
 /// A user session with its authentication token, resumed verbatim.

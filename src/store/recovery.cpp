@@ -59,6 +59,7 @@ Json ReplayStats::to_json() const {
   out["recovered_jobs"] = recovered_jobs;
   out["recovered_sessions"] = recovered_sessions;
   out["requeued_jobs"] = requeued_jobs;
+  out["evicted_jobs"] = evicted_jobs;
   out["replay_seconds"] = replay_seconds;
   return out;
 }
@@ -105,6 +106,7 @@ RecoveredState RecoveryReplayer::apply(
     state.last_seq = std::max(jobs_seq, sessions_seq);
     state.stats.snapshot_jobs = snapshot->jobs.size();
     state.stats.snapshot_sessions = snapshot->sessions.size();
+    state.usage = std::move(snapshot->usage);
     for (auto& [key, body] : snapshot->payloads) {
       payload_bodies[key] = std::move(body);
     }
@@ -198,6 +200,12 @@ RecoveredState RecoveryReplayer::apply(
       } else if (entry.type == "batch_done") {
         job.shots_done += uint_field(entry.data, "shots");
         merge_samples(job, entry.data.at_or_null("samples"));
+        // Executed work newer than the snapshot's usage records: the
+        // accounting ledger re-charges it during restore.
+        state.usage_deltas.push_back({job.user,
+                                      uint_field(entry.data, "shots"),
+                                      int_or(entry.data, "qpu_ns", 0), 0,
+                                      entry.time});
       } else if (entry.type == "batch_failed") {
         // The shots were never executed: the job returns to the queue.
         job.phase = JobPhase::kQueued;
@@ -208,6 +216,7 @@ RecoveredState RecoveryReplayer::apply(
       } else if (entry.type == "job_completed") {
         job.phase = JobPhase::kCompleted;
         job.finish_time = entry.time;
+        state.usage_deltas.push_back({job.user, 0, 0, 1, entry.time});
       } else if (entry.type == "job_failed") {
         job.phase = JobPhase::kFailed;
         job.finish_time = entry.time;
@@ -215,6 +224,11 @@ RecoveredState RecoveryReplayer::apply(
       } else if (entry.type == "job_cancelled") {
         job.phase = JobPhase::kCancelled;
         job.finish_time = entry.time;
+      } else if (entry.type == "job_evicted") {
+        // The GC dropped this terminal job; its usage stays charged (the
+        // deltas above already captured it) but the record is gone.
+        jobs.erase(it);
+        ++state.stats.evicted_jobs;
       } else {
         ++state.stats.unknown_events;
         continue;

@@ -35,14 +35,31 @@ struct ReplayStats {
   std::uint64_t recovered_sessions = 0;
   /// Non-terminal jobs put back in the queue with their remaining shots.
   std::uint64_t requeued_jobs = 0;
+  /// Terminal jobs the GC had evicted (their records stay dropped).
+  std::uint64_t evicted_jobs = 0;
   double replay_seconds = 0;
 
   common::Json to_json() const;
 };
 
+/// One executed batch (or completed job) the ledger must be re-charged
+/// with: journal events newer than the snapshot's usage records.
+struct UsageDelta {
+  std::string user;
+  std::uint64_t shots = 0;
+  common::DurationNs qpu_ns = 0;
+  std::uint64_t jobs = 0;
+  common::TimeNs time = 0;
+};
+
 struct RecoveredState {
   std::vector<SessionRecord> sessions;
   std::vector<JobRecord> jobs;
+  /// Snapshot-time decayed usage per user, plus the journal charges to
+  /// replay on top (in journal order) — together they rebuild the
+  /// accounting ledger exactly.
+  std::vector<UsageRecord> usage;
+  std::vector<UsageDelta> usage_deltas;
   std::uint64_t next_job_id = 1;
   /// Highest journal/snapshot sequence seen; new appends must start above.
   std::uint64_t last_seq = 0;

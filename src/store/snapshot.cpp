@@ -31,6 +31,11 @@ Json StoreSnapshot::to_json() const {
     for (const auto& [key, body] : payloads) table[key] = body;
     out["payloads"] = std::move(table);
   }
+  if (!usage.empty()) {
+    Json usage_array = Json::array();
+    for (const auto& record : usage) usage_array.push_back(record.to_json());
+    out["usage"] = std::move(usage_array);
+  }
   return out;
 }
 
@@ -77,6 +82,15 @@ Result<StoreSnapshot> StoreSnapshot::from_json(const Json& json) {
   if (payloads.is_object()) {
     for (const auto& [key, body] : payloads.as_object()) {
       snapshot.payloads[key] = body;
+    }
+  }
+  // Absent in pre-accounting snapshots: tolerate, usage starts empty.
+  const Json& usage = json.at_or_null("usage");
+  if (usage.is_array()) {
+    for (const auto& item : usage.as_array()) {
+      auto record = UsageRecord::from_json(item);
+      if (!record.ok()) return record.error();
+      snapshot.usage.push_back(std::move(record).value());
     }
   }
   return snapshot;

@@ -38,6 +38,9 @@ struct StoreSnapshot {
   /// same scope the journal uses): a 10k-job parameter sweep snapshots
   /// its program once, and jobs reference it via payload_hash.
   std::map<std::string, common::Json> payloads;
+  /// Per-user decayed accounting usage, consistent with jobs_seq (captured
+  /// under the dispatcher lock, where batches charge the ledger).
+  std::vector<UsageRecord> usage;
 
   common::Json to_json() const;
   static common::Result<StoreSnapshot> from_json(const common::Json& json);

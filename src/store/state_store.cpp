@@ -161,24 +161,28 @@ void StateStore::batch_dispatched(std::uint64_t id,
 }
 
 void StateStore::batch_done(std::uint64_t id, std::uint64_t shots,
-                            bool final_batch, Json samples) {
+                            common::DurationNs qpu_ns, bool final_batch,
+                            Json samples) {
   Json data = Json::object();
   data["id"] = id;
   data["shots"] = shots;
+  data["qpu_ns"] = qpu_ns;
   data["final"] = final_batch;
   data["samples"] = std::move(samples);
   append("batch_done", std::move(data));
 }
 
 void StateStore::batch_done(std::uint64_t id, std::uint64_t shots,
-                            bool final_batch, quantum::Samples samples) {
+                            common::DurationNs qpu_ns, bool final_batch,
+                            quantum::Samples samples) {
   if (journal_ == nullptr) return;
   journal_->append_deferred(
       "batch_done",
-      [id, shots, final_batch, samples = std::move(samples)]() {
+      [id, shots, qpu_ns, final_batch, samples = std::move(samples)]() {
         Json data = Json::object();
         data["id"] = id;
         data["shots"] = shots;
+        data["qpu_ns"] = qpu_ns;
         data["final"] = final_batch;
         data["samples"] = samples.to_json();
         return data;
@@ -220,6 +224,12 @@ void StateStore::job_cancel_requested(std::uint64_t id) {
   Json data = Json::object();
   data["id"] = id;
   append("cancel_requested", std::move(data));
+}
+
+void StateStore::job_evicted(std::uint64_t id) {
+  Json data = Json::object();
+  data["id"] = id;
+  append("job_evicted", std::move(data));
 }
 
 Status StateStore::flush() {

@@ -47,6 +47,14 @@ struct StoreOptions {
   /// Compact (snapshot + journal truncation) after this many appended
   /// events; 0 = only on explicit compact() calls.
   std::uint64_t compact_every_events = 20000;
+  /// Result eviction/GC for the terminal-job table: completed/failed/
+  /// cancelled jobs older than this are dropped from the dispatcher's
+  /// records (their results stop being servable) with a journal-visible
+  /// `job_evicted` event. 0 = keep forever (the pre-GC behaviour). The
+  /// dispatcher honours these fields even when no data_dir is set.
+  common::DurationNs terminal_job_retention = 0;
+  /// Hard cap on retained terminal jobs (LRU by finish time; 0 = no cap).
+  std::size_t terminal_job_cap = 0;
 
   bool enabled() const noexcept { return !data_dir.empty(); }
 };
@@ -105,12 +113,16 @@ class StateStore {
   void job_placed(std::uint64_t id, const std::string& resource);
   void batch_dispatched(std::uint64_t id, const std::string& resource,
                         std::uint64_t shots);
-  void batch_done(std::uint64_t id, std::uint64_t shots, bool final_batch,
+  /// `qpu_ns` is the batch's measured QPU wall time; recovery re-charges
+  /// it (with the shots) to the usage ledger.
+  void batch_done(std::uint64_t id, std::uint64_t shots,
+                  common::DurationNs qpu_ns, bool final_batch,
                   common::Json samples);
   /// Hot-path variant: copies the counts map now (cheap) and serializes
   /// it on the journal's writer thread, so dispatch lanes never build
   /// JSON under the dispatcher lock.
-  void batch_done(std::uint64_t id, std::uint64_t shots, bool final_batch,
+  void batch_done(std::uint64_t id, std::uint64_t shots,
+                  common::DurationNs qpu_ns, bool final_batch,
                   quantum::Samples samples);
   void batch_failed(std::uint64_t id, const std::string& resource,
                     std::uint64_t shots, const std::string& error);
@@ -121,6 +133,9 @@ class StateStore {
   /// job_cancelled follows at the batch boundary — unless the daemon
   /// dies first, in which case replay honours this intent).
   void job_cancel_requested(std::uint64_t id);
+  /// Terminal-job GC dropped this job's record (retention/cap policy);
+  /// replay forgets the job the same way.
+  void job_evicted(std::uint64_t id);
 
   /// Blocks until every appended event is durable on disk.
   common::Status flush();

@@ -1,0 +1,274 @@
+// UsageLedger decay, FairShareIndex priority math and RateLimiter buckets —
+// the deterministic core of the multi-tenant accounting subsystem.
+#include <gtest/gtest.h>
+
+#include "accounting/accounting.hpp"
+#include "common/clock.hpp"
+
+namespace qcenv::accounting {
+namespace {
+
+using common::kSecond;
+using common::ManualClock;
+
+TEST(UsageLedger, ChargesAndDecaysWithHalfLife) {
+  LedgerOptions options;
+  options.half_life = 60 * kSecond;
+  UsageLedger ledger(options);
+  ledger.charge("alice", 1000, 2 * kSecond, 0, 0);
+  EXPECT_DOUBLE_EQ(ledger.units("alice", 0), 1000.0);
+  EXPECT_DOUBLE_EQ(ledger.usage("alice", 0).qpu_seconds, 2.0);
+  // One half-life later: half the decayed usage, raw totals untouched.
+  EXPECT_NEAR(ledger.units("alice", 60 * kSecond), 500.0, 1e-6);
+  EXPECT_NEAR(ledger.units("alice", 120 * kSecond), 250.0, 1e-6);
+  EXPECT_EQ(ledger.usage("alice", 120 * kSecond).raw_shots, 1000u);
+}
+
+TEST(UsageLedger, DecayDisabledAccumulatesForever) {
+  LedgerOptions options;
+  options.half_life = 0;
+  UsageLedger ledger(options);
+  ledger.charge("bob", 100, 0, 0, 0);
+  ledger.charge("bob", 100, 0, 0, 1000 * kSecond);
+  EXPECT_DOUBLE_EQ(ledger.units("bob", 2000 * kSecond), 200.0);
+}
+
+TEST(UsageLedger, WeightsFoldTimeAndJobsIntoUnits) {
+  LedgerOptions options;
+  options.half_life = 0;
+  options.shot_weight = 1.0;
+  options.qpu_second_weight = 10.0;
+  options.job_weight = 5.0;
+  UsageLedger ledger(options);
+  ledger.charge("carol", 100, 3 * kSecond, 2, 0);
+  EXPECT_DOUBLE_EQ(ledger.units("carol", 0), 100 + 30 + 10);
+}
+
+TEST(UsageLedger, UnknownUserIsZero) {
+  UsageLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.units("nobody", 123), 0.0);
+  EXPECT_EQ(ledger.usage("nobody", 123).raw_shots, 0u);
+  EXPECT_DOUBLE_EQ(ledger.total_units(123), 0.0);
+}
+
+TEST(UsageLedger, RecordsRestoreRoundTripIsExact) {
+  LedgerOptions options;
+  options.half_life = 60 * kSecond;
+  UsageLedger ledger(options);
+  ledger.charge("alice", 1000, kSecond, 1, 0);
+  ledger.charge("bob", 300, 0, 0, 30 * kSecond);
+  const auto records = ledger.records(45 * kSecond);
+
+  UsageLedger revived(options);
+  revived.restore(records);
+  for (const char* user : {"alice", "bob"}) {
+    EXPECT_NEAR(revived.units(user, 200 * kSecond),
+                ledger.units(user, 200 * kSecond), 1e-9)
+        << user;
+    EXPECT_EQ(revived.usage(user, 0).raw_shots,
+              ledger.usage(user, 0).raw_shots);
+  }
+}
+
+TEST(UsageLedger, ReplayedChargeOlderThanSnapshotIsPreDecayed) {
+  // A journal delta with a timestamp before the restored snapshot's as_of
+  // must contribute its *decayed* value, not rewind the clock.
+  LedgerOptions options;
+  options.half_life = 60 * kSecond;
+  UsageLedger continuous(options);
+  continuous.charge("alice", 1000, 0, 0, 0);
+  continuous.charge("alice", 500, 0, 0, 30 * kSecond);
+
+  UsageLedger restored(options);
+  // Snapshot taken at t=60s reflecting only the first charge...
+  UsageLedger first_only(options);
+  first_only.charge("alice", 1000, 0, 0, 0);
+  restored.restore(first_only.records(60 * kSecond));
+  // ...then the t=30s delta replays on top.
+  restored.charge("alice", 500, 0, 0, 30 * kSecond);
+  EXPECT_NEAR(restored.units("alice", 120 * kSecond),
+              continuous.units("alice", 120 * kSecond), 1e-6);
+}
+
+TEST(FairShare, UntouchedUsersHaveMaxPriority) {
+  UsageLedger ledger;
+  FairShareIndex index({}, &ledger);
+  EXPECT_DOUBLE_EQ(index.priority("anyone", 0), 1.0);
+}
+
+TEST(FairShare, UsageDepressesPriority) {
+  UsageLedger ledger;
+  FairShareIndex index({}, &ledger);
+  ledger.charge("greedy", 1000, 0, 0, 0);
+  EXPECT_LT(index.priority("greedy", 0), index.priority("frugal", 0));
+}
+
+TEST(FairShare, LargerShareToleratesMoreUsage) {
+  UsageLedger ledger;
+  FairShareOptions options;
+  options.user_shares["alice"] = {"default", 50};
+  options.user_shares["bob"] = {"default", 10};
+  FairShareIndex index(options, &ledger);
+  // Identical decayed usage: the larger share is less over-served.
+  ledger.charge("alice", 500, 0, 0, 0);
+  ledger.charge("bob", 500, 0, 0, 0);
+  EXPECT_GT(index.priority("alice", 0), index.priority("bob", 0));
+}
+
+TEST(FairShare, OverservedAccountDepressesItsIdleUsers) {
+  UsageLedger ledger;
+  FairShareOptions options;
+  options.account_shares["physics"] = 1.0;
+  options.account_shares["chem"] = 1.0;
+  options.user_shares["phys-hog"] = {"physics", 1.0};
+  options.user_shares["phys-idle"] = {"physics", 1.0};
+  options.user_shares["chem-idle"] = {"chem", 1.0};
+  FairShareIndex index(options, &ledger);
+  ledger.charge("phys-hog", 10000, 0, 0, 0);
+  // Fair tree: the idle chem user outranks the idle physics user, because
+  // physics as an account has consumed everything.
+  EXPECT_GT(index.priority("chem-idle", 0), index.priority("phys-idle", 0));
+  // And within physics the hog still ranks below their idle colleague.
+  EXPECT_GT(index.priority("phys-idle", 0), index.priority("phys-hog", 0));
+}
+
+TEST(FairShare, AdminCanRegrantShares) {
+  UsageLedger ledger;
+  FairShareIndex index({}, &ledger);
+  index.set_user("alice", "hpc", 42.0);
+  const auto grant = index.share_of("alice");
+  EXPECT_EQ(grant.account, "hpc");
+  EXPECT_DOUBLE_EQ(grant.shares, 42.0);
+  const auto table = index.to_json(0);
+  EXPECT_TRUE(table.at_or_null("users").contains("alice"));
+  EXPECT_TRUE(table.at_or_null("accounts").contains("hpc"));
+}
+
+TEST(RateLimiter, UnlimitedByDefault) {
+  RateLimiter limiter;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(limiter.admit("alice", 1000, 0).ok());
+  }
+}
+
+TEST(RateLimiter, TokenBucketThrottlesAndRefills) {
+  RateLimitOptions options;
+  options.submit_per_sec = 1.0;
+  options.submit_burst = 2.0;
+  RateLimiter limiter(options);
+  EXPECT_TRUE(limiter.admit("bob", 10, 0).ok());
+  EXPECT_TRUE(limiter.admit("bob", 10, 0).ok());
+  const auto rejected = limiter.admit("bob", 10, 0);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code(), common::ErrorCode::kResourceExhausted);
+  EXPECT_NE(rejected.error().message().find("rate limit"),
+            std::string::npos);
+  // One second later one token has refilled.
+  EXPECT_TRUE(limiter.admit("bob", 10, kSecond).ok());
+  EXPECT_FALSE(limiter.admit("bob", 10, kSecond).ok());
+}
+
+TEST(RateLimiter, InflightShotCap) {
+  RateLimitOptions options;
+  options.max_inflight_shots = 100;
+  RateLimiter limiter(options);
+  EXPECT_TRUE(limiter.admit("carol", 60, 0).ok());
+  const auto rejected = limiter.admit("carol", 60, 0);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error().message().find("per-user cap"),
+            std::string::npos);
+  limiter.release("carol", 60);
+  EXPECT_TRUE(limiter.admit("carol", 60, 0).ok());
+  EXPECT_EQ(limiter.inflight_shots("carol"), 60u);
+  // Releases clamp at zero (paths that bypassed admit stay harmless).
+  limiter.release("carol", 1000);
+  EXPECT_EQ(limiter.inflight_shots("carol"), 0u);
+}
+
+TEST(RateLimiter, PerUserOverrides) {
+  RateLimiter limiter;  // permissive defaults
+  RateLimitOptions strict;
+  strict.submit_per_sec = 0.1;
+  strict.submit_burst = 1.0;
+  limiter.set_override("noisy", strict);
+  EXPECT_TRUE(limiter.admit("noisy", 1, 0).ok());
+  EXPECT_FALSE(limiter.admit("noisy", 1, 0).ok());
+  EXPECT_TRUE(limiter.admit("quiet", 1, 0).ok());
+  EXPECT_TRUE(limiter.admit("quiet", 1, 0).ok());
+  EXPECT_DOUBLE_EQ(limiter.effective("noisy").submit_per_sec, 0.1);
+  EXPECT_DOUBLE_EQ(limiter.effective("quiet").submit_per_sec, 0.0);
+}
+
+TEST(AccountingManager, ChargesReleaseInflightAndExportMetrics) {
+  ManualClock clock;
+  telemetry::MetricsRegistry metrics;
+  AccountingOptions options;
+  options.rate_limit.max_inflight_shots = 100;
+  AccountingManager manager(options, &clock, &metrics);
+  ASSERT_TRUE(manager.admit_submission("alice", 80).ok());
+  EXPECT_FALSE(manager.admit_submission("alice", 80).ok());
+  manager.charge_batch("alice", 50, common::kMillisecond);
+  // 50 executed shots left the in-flight budget; 30 remain reserved.
+  EXPECT_EQ(manager.rate_limiter().inflight_shots("alice"), 30u);
+  manager.job_finished("alice", 30, true);
+  EXPECT_EQ(manager.rate_limiter().inflight_shots("alice"), 0u);
+  EXPECT_DOUBLE_EQ(manager.ledger().usage("alice", clock.now()).jobs, 1.0);
+  const std::string exposition = metrics.expose();
+  EXPECT_NE(exposition.find("accounting_usage_units"), std::string::npos);
+  EXPECT_NE(exposition.find("accounting_charged_shots_total"),
+            std::string::npos);
+}
+
+TEST(AccountingManager, PendingLimitOverrides) {
+  ManualClock clock;
+  AccountingManager manager({}, &clock, nullptr);
+  EXPECT_FALSE(manager.pending_limit("alice").has_value());
+  manager.set_pending_limit("alice", 5);
+  ASSERT_TRUE(manager.pending_limit("alice").has_value());
+  EXPECT_EQ(*manager.pending_limit("alice"), 5u);
+  // 0 is a real override meaning "unlimited for this user" — it must beat
+  // a non-zero global policy, so it is stored, not erased.
+  manager.set_pending_limit("alice", 0);
+  ASSERT_TRUE(manager.pending_limit("alice").has_value());
+  EXPECT_EQ(*manager.pending_limit("alice"), 0u);
+  manager.clear_pending_limit("alice");  // back to the policy default
+  EXPECT_FALSE(manager.pending_limit("alice").has_value());
+}
+
+TEST(AccountingManager, RestoreInflightReinstallsReservations) {
+  // Recovery re-reserves a restored queued job's un-executed shots so its
+  // later releases cannot drain reservations newly admitted work holds.
+  ManualClock clock;
+  AccountingOptions options;
+  options.rate_limit.max_inflight_shots = 1000;
+  AccountingManager manager(options, &clock, nullptr);
+  manager.restore_inflight("alice", 800);  // recovered job, no token spent
+  EXPECT_EQ(manager.rate_limiter().inflight_shots("alice"), 800u);
+  // Only 200 shots of headroom remain under the cap.
+  EXPECT_FALSE(manager.admit_submission("alice", 300).ok());
+  EXPECT_TRUE(manager.admit_submission("alice", 200).ok());
+  // The recovered job executing releases exactly what it reserved.
+  manager.charge_batch("alice", 800, 0);
+  EXPECT_EQ(manager.rate_limiter().inflight_shots("alice"), 200u);
+}
+
+TEST(AccountingManager, UsageJsonShape) {
+  ManualClock clock;
+  AccountingOptions options;
+  options.fair_share.user_shares["alice"] = {"hpc", 50.0};
+  AccountingManager manager(options, &clock, nullptr);
+  manager.charge_batch("alice", 100, 2 * common::kMillisecond);
+  const auto json = manager.usage_json("alice", 3);
+  EXPECT_EQ(json.at_or_null("user").as_string(), "alice");
+  EXPECT_DOUBLE_EQ(json.at_or_null("decayed").at_or_null("shots").as_double(),
+                   100.0);
+  EXPECT_EQ(json.at_or_null("raw").at_or_null("shots").as_int(), 100);
+  EXPECT_EQ(json.at_or_null("share").at_or_null("account").as_string(),
+            "hpc");
+  EXPECT_EQ(json.at_or_null("pending_jobs").as_int(), 3);
+  EXPECT_TRUE(json.contains("fairshare_priority"));
+  EXPECT_TRUE(json.contains("rate_limit"));
+}
+
+}  // namespace
+}  // namespace qcenv::accounting

@@ -1,0 +1,363 @@
+// Multi-tenant accounting over the full REST daemon: /v1/usage,
+// /admin/fairshare, /admin/quotas/:user, 429-style rate limiting, per-user
+// queue reporting, and usage surviving a kill-and-restart.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/temp_dir.hpp"
+#include "daemon/daemon.hpp"
+#include "net/http_client.hpp"
+#include "qrmi/local_emulator.hpp"
+
+namespace qcenv::daemon {
+namespace {
+
+using common::Json;
+using common::kSecond;
+using common::TempDir;
+
+quantum::Payload small_payload(std::uint64_t shots = 40) {
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                               quantum::Waveform::constant(200, 0.0), 0.0});
+  return quantum::Payload::from_sequence(seq, shots);
+}
+
+class AccountingDaemonFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DaemonOptions options;
+    options.admin_key = "root";
+    options.accounting.fair_share.user_shares["alice"] = {"default", 50.0};
+    options.accounting.fair_share.user_shares["bob"] = {"default", 30.0};
+    options.admission.max_pending_per_user = 2;
+    daemon_ = std::make_unique<MiddlewareDaemon>(
+        options, qrmi::LocalEmulatorQrmi::create("emu", "sv").value(),
+        nullptr, &clock_);
+    auto port = daemon_->start();
+    ASSERT_TRUE(port.ok());
+    port_ = port.value();
+  }
+
+  net::HttpClient session_client(const std::string& user) {
+    net::HttpClient plain(port_);
+    Json body = Json::object();
+    body["user"] = user;
+    body["class"] = "test";
+    auto opened = plain.post("/v1/sessions", body.dump());
+    EXPECT_EQ(opened.value().status, 201);
+    net::HttpClient authed(port_);
+    authed.set_default_header(
+        "X-Session-Token",
+        Json::parse(opened.value().body).value().get_string("token").value());
+    return authed;
+  }
+
+  net::HttpClient admin_client() {
+    net::HttpClient admin(port_);
+    admin.set_default_header("X-Admin-Key", "root");
+    return admin;
+  }
+
+  std::uint64_t submit(net::HttpClient& client, std::uint64_t shots,
+                       int expect_status = 201) {
+    Json body = Json::object();
+    body["payload"] = small_payload(shots).to_json();
+    auto response = client.post("/v1/jobs", body.dump());
+    EXPECT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, expect_status)
+        << response.value().body;
+    if (response.value().status != 201) return 0;
+    return static_cast<std::uint64_t>(Json::parse(response.value().body)
+                                          .value()
+                                          .get_int("job_id")
+                                          .value());
+  }
+
+  common::WallClock clock_;
+  std::unique_ptr<MiddlewareDaemon> daemon_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(AccountingDaemonFixture, UsageEndpointReportsCharges) {
+  auto alice = session_client("alice");
+  const auto id = submit(alice, 30);
+  ASSERT_TRUE(daemon_->dispatcher().wait(id, 60 * kSecond).ok());
+
+  auto usage = alice.get("/v1/usage");
+  ASSERT_TRUE(usage.ok());
+  ASSERT_EQ(usage.value().status, 200);
+  const Json body = Json::parse(usage.value().body).value();
+  EXPECT_EQ(body.at_or_null("user").as_string(), "alice");
+  EXPECT_EQ(body.at_or_null("raw").at_or_null("shots").as_int(), 30);
+  EXPECT_GT(body.at_or_null("decayed").at_or_null("shots").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      body.at_or_null("share").at_or_null("shares").as_double(), 50.0);
+  const double priority = body.at_or_null("fairshare_priority").as_double();
+  EXPECT_GT(priority, 0.0);
+  EXPECT_LT(priority, 1.0);  // alice consumed; no longer untouched
+
+  // Unauthenticated access is refused.
+  net::HttpClient plain(port_);
+  auto denied = plain.get("/v1/usage");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied.value().status, 401);
+}
+
+TEST_F(AccountingDaemonFixture, FairshareAdminTable) {
+  auto alice = session_client("alice");
+  const auto id = submit(alice, 30);
+  ASSERT_TRUE(daemon_->dispatcher().wait(id, 60 * kSecond).ok());
+
+  net::HttpClient plain(port_);
+  auto denied = plain.get("/admin/fairshare");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied.value().status, 401);
+
+  auto admin = admin_client();
+  auto table = admin.get("/admin/fairshare");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().status, 200);
+  const Json body = Json::parse(table.value().body).value();
+  ASSERT_TRUE(body.at_or_null("users").contains("alice"));
+  const Json& row = body.at_or_null("users").at_or_null("alice");
+  EXPECT_DOUBLE_EQ(row.at_or_null("shares").as_double(), 50.0);
+  EXPECT_GT(row.at_or_null("usage_units").as_double(), 0.0);
+  // bob is configured but idle: full priority, zero usage.
+  ASSERT_TRUE(body.at_or_null("users").contains("bob"));
+  EXPECT_GT(body.at_or_null("users")
+                .at_or_null("bob")
+                .at_or_null("priority")
+                .as_double(),
+            row.at_or_null("priority").as_double());
+}
+
+TEST_F(AccountingDaemonFixture, QuotaRateLimitYields429) {
+  auto admin = admin_client();
+  auto quota = admin.post("/admin/quotas/bob",
+                          R"({"submit_per_sec": 0.001, "submit_burst": 1})");
+  ASSERT_TRUE(quota.ok());
+  ASSERT_EQ(quota.value().status, 200);
+  const Json applied = Json::parse(quota.value().body).value();
+  EXPECT_DOUBLE_EQ(applied.at_or_null("rate_limit")
+                       .at_or_null("submit_per_sec")
+                       .as_double(),
+                   0.001);
+
+  auto bob = session_client("bob");
+  (void)submit(bob, 10);  // consumes the single burst token
+  Json body = Json::object();
+  body["payload"] = small_payload(10).to_json();
+  auto throttled = bob.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(throttled.ok());
+  EXPECT_EQ(throttled.value().status, 429);
+  EXPECT_NE(throttled.value().body.find("rate limit"), std::string::npos);
+  // Other users are unaffected.
+  auto alice = session_client("alice");
+  (void)submit(alice, 10);
+}
+
+TEST_F(AccountingDaemonFixture, InflightShotCapYields429) {
+  auto admin = admin_client();
+  auto quota =
+      admin.post("/admin/quotas/alice", R"({"max_inflight_shots": 50})");
+  ASSERT_EQ(quota.value().status, 200);
+  daemon_->dispatcher().drain();  // keep reservations in flight
+  auto alice = session_client("alice");
+  (void)submit(alice, 40);
+  Json body = Json::object();
+  body["payload"] = small_payload(20).to_json();
+  auto rejected = alice.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().status, 429);
+  EXPECT_NE(rejected.value().body.find("per-user cap"), std::string::npos);
+  daemon_->dispatcher().resume();
+}
+
+TEST_F(AccountingDaemonFixture, PerUserPendingLimitAndQueueCounts) {
+  daemon_->dispatcher().drain();
+  auto alice = session_client("alice");
+  (void)submit(alice, 10);
+  (void)submit(alice, 10);
+  // Third queued job trips max_pending_per_user=2 with a 429 naming alice.
+  Json body = Json::object();
+  body["payload"] = small_payload(10).to_json();
+  auto rejected = alice.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().status, 429);
+  EXPECT_NE(rejected.value().body.find("user 'alice'"), std::string::npos);
+  EXPECT_NE(rejected.value().body.find("per-user limit 2"),
+            std::string::npos);
+  // Another tenant still gets in: the limit is per user, not global.
+  auto bob = session_client("bob");
+  (void)submit(bob, 10);
+
+  // /v1/queue exposes the per-user pending counts.
+  net::HttpClient plain(port_);
+  auto queue = plain.get("/v1/queue");
+  ASSERT_TRUE(queue.ok());
+  const Json parsed = Json::parse(queue.value().body).value();
+  EXPECT_EQ(parsed.at_or_null("users").at_or_null("alice").as_int(), 2);
+  EXPECT_EQ(parsed.at_or_null("users").at_or_null("bob").as_int(), 1);
+  daemon_->dispatcher().resume();
+}
+
+TEST_F(AccountingDaemonFixture, QuotaEndpointValidatesInput) {
+  auto admin = admin_client();
+  auto bad = admin.post("/admin/quotas/alice", R"({"shares": "lots"})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().status, 400);
+  // Negative limits are typos, not requests for huge uint64 wraparounds.
+  auto negative =
+      admin.post("/admin/quotas/alice", R"({"max_pending_jobs": -1})");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative.value().status, 400);
+  auto reshared =
+      admin.post("/admin/quotas/alice", R"({"shares": 75, "account": "hpc"})");
+  ASSERT_EQ(reshared.value().status, 200);
+  const Json body = Json::parse(reshared.value().body).value();
+  EXPECT_EQ(body.at_or_null("account").as_string(), "hpc");
+  EXPECT_DOUBLE_EQ(body.at_or_null("shares").as_double(), 75.0);
+  // 0 = unlimited for this user (beats the fixture's global limit of 2);
+  // null clears the override back to the policy default.
+  ASSERT_EQ(admin.post("/admin/quotas/alice", R"({"max_pending_jobs": 0})")
+                .value()
+                .status,
+            200);
+  ASSERT_TRUE(daemon_->accounting().pending_limit("alice").has_value());
+  EXPECT_EQ(*daemon_->accounting().pending_limit("alice"), 0u);
+  daemon_->dispatcher().drain();
+  auto alice = session_client("alice");
+  for (int i = 0; i < 4; ++i) (void)submit(alice, 10);  // over the global 2
+  daemon_->dispatcher().resume();
+  ASSERT_EQ(admin.post("/admin/quotas/alice", R"({"max_pending_jobs": null})")
+                .value()
+                .status,
+            200);
+  EXPECT_FALSE(daemon_->accounting().pending_limit("alice").has_value());
+}
+
+TEST(DispatcherPendingCap, EnforcedAtomicallyUnderTheQueueLock) {
+  // The admission boundary's read-then-submit can be raced by concurrent
+  // submissions; the dispatcher's own check cannot.
+  common::WallClock clock;
+  Dispatcher dispatcher(qrmi::LocalEmulatorQrmi::create("emu", "sv").value(),
+                        QueuePolicy{}, &clock, nullptr);
+  dispatcher.drain();  // keep everything queued
+  Dispatcher::SubmitOptions hints;
+  hints.user_pending_limit = 2;
+  ASSERT_TRUE(dispatcher
+                  .submit(common::SessionId{1}, "alice", JobClass::kTest,
+                          small_payload(10), hints)
+                  .ok());
+  ASSERT_TRUE(dispatcher
+                  .submit(common::SessionId{1}, "alice", JobClass::kTest,
+                          small_payload(10), hints)
+                  .ok());
+  auto rejected = dispatcher.submit(common::SessionId{1}, "alice",
+                                    JobClass::kTest, small_payload(10),
+                                    hints);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code(), common::ErrorCode::kResourceExhausted);
+  EXPECT_NE(rejected.error().message().find("per-user limit 2"),
+            std::string::npos);
+  // Another user is not affected by alice's cap.
+  EXPECT_TRUE(dispatcher
+                  .submit(common::SessionId{2}, "bob", JobClass::kTest,
+                          small_payload(10), hints)
+                  .ok());
+  dispatcher.resume();
+}
+
+TEST(AccountingRestart, UsageSurvivesKillAndRestart) {
+  // Daemon-level acceptance: decayed usage journals through the store, so
+  // a restarted daemon ranks tenants exactly as the dead one did.
+  TempDir dir;
+  common::WallClock clock;
+  const auto make_daemon = [&] {
+    DaemonOptions options;
+    options.admin_key = "root";
+    options.store.data_dir = dir.path();
+    options.accounting.fair_share.user_shares["alice"] = {"default", 50.0};
+    options.accounting.fair_share.user_shares["bob"] = {"default", 50.0};
+    auto daemon = std::make_unique<MiddlewareDaemon>(
+        options, qrmi::LocalEmulatorQrmi::create("emu", "sv").value(),
+        nullptr, &clock);
+    EXPECT_TRUE(daemon->start().ok());
+    return daemon;
+  };
+  const auto run_job = [](MiddlewareDaemon& daemon, const std::string& user,
+                          std::uint64_t shots) {
+    net::HttpClient plain(daemon.port());
+    Json open = Json::object();
+    open["user"] = user;
+    open["class"] = "test";
+    auto session = plain.post("/v1/sessions", open.dump());
+    ASSERT_EQ(session.value().status, 201);
+    net::HttpClient authed(daemon.port());
+    authed.set_default_header(
+        "X-Session-Token",
+        Json::parse(session.value().body).value().get_string("token").value());
+    Json body = Json::object();
+    body["payload"] = small_payload(shots).to_json();
+    auto submitted = authed.post("/v1/jobs", body.dump());
+    ASSERT_EQ(submitted.value().status, 201) << submitted.value().body;
+    const auto id = static_cast<std::uint64_t>(
+        Json::parse(submitted.value().body).value().get_int("job_id").value());
+    ASSERT_TRUE(daemon.dispatcher().wait(id, 60 * kSecond).ok());
+  };
+
+  double alice_units = 0;
+  double bob_units = 0;
+  {
+    auto daemon = make_daemon();
+    run_job(*daemon, "alice", 200);
+    run_job(*daemon, "bob", 40);
+    const auto now = clock.now();
+    alice_units = daemon->accounting().ledger().units("alice", now);
+    bob_units = daemon->accounting().ledger().units("bob", now);
+    EXPECT_GT(alice_units, bob_units);
+  }  // destructor = kill
+
+  auto revived = make_daemon();
+  const auto now = clock.now();
+  // Decay between the two reads is negligible (default 1h half-life, the
+  // restart takes milliseconds): recovered usage matches what died.
+  EXPECT_NEAR(revived->accounting().ledger().units("alice", now),
+              alice_units, alice_units * 0.01 + 1e-9);
+  EXPECT_NEAR(revived->accounting().ledger().units("bob", now), bob_units,
+              bob_units * 0.01 + 1e-9);
+  EXPECT_EQ(revived->accounting().ledger().usage("alice", now).raw_shots,
+            200u);
+  // Post-recovery ordering: with equal shares, the under-served tenant's
+  // job dispatches first — the same decision the dead daemon would make.
+  revived->dispatcher().drain();
+  {
+    net::HttpClient plain(revived->port());
+    for (const std::string user : {"alice", "bob"}) {
+      Json open = Json::object();
+      open["user"] = user;
+      open["class"] = "test";
+      auto session = plain.post("/v1/sessions", open.dump());
+      ASSERT_EQ(session.value().status, 201);
+      net::HttpClient authed(revived->port());
+      authed.set_default_header("X-Session-Token",
+                                Json::parse(session.value().body)
+                                    .value()
+                                    .get_string("token")
+                                    .value());
+      Json body = Json::object();
+      body["payload"] = small_payload(10).to_json();
+      ASSERT_EQ(authed.post("/v1/jobs", body.dump()).value().status, 201);
+    }
+  }
+  const auto order = revived->dispatcher().queue_order();
+  ASSERT_EQ(order.size(), 2u);
+  // Alice submitted first but consumed 5x bob's shots: bob goes first.
+  EXPECT_EQ(revived->dispatcher().query(order.front()).value().user, "bob");
+  revived->dispatcher().resume();
+}
+
+}  // namespace
+}  // namespace qcenv::daemon

@@ -80,11 +80,11 @@ TEST(AdmissionTest, EnforcesClassShotQuotas) {
   const auto spec = quantum::DeviceSpec::analog_default();
   EXPECT_FALSE(admission
                    .validate(small_payload(5000), JobClass::kDevelopment,
-                             spec, 0)
+                             spec, AdmissionContext{})
                    .ok());
   EXPECT_TRUE(admission
                   .validate(small_payload(5000), JobClass::kProduction, spec,
-                            0)
+                            AdmissionContext{})
                   .ok());
 }
 
@@ -93,15 +93,47 @@ TEST(AdmissionTest, EnforcesDeviceLimitsAndQueueDepth) {
   policy.max_queue_depth = 2;
   AdmissionController admission(policy);
   const auto spec = quantum::DeviceSpec::analog_default();
-  EXPECT_FALSE(
-      admission.validate(small_payload(), JobClass::kProduction, spec, 2)
-          .ok());
+  AdmissionContext full;
+  full.queue_depth = 2;
+  auto rejected =
+      admission.validate(small_payload(), JobClass::kProduction, spec, full);
+  ASSERT_FALSE(rejected.ok());
+  // The rejection names the limit that fired (global, not per-user).
+  EXPECT_NE(rejected.error().message().find("global max_queue_depth=2"),
+            std::string::npos)
+      << rejected.error().message();
   quantum::Circuit c(2);
   c.h(0);
   EXPECT_FALSE(admission
                    .validate(Payload::from_circuit(c, 10),
-                             JobClass::kProduction, spec, 0)
+                             JobClass::kProduction, spec, AdmissionContext{})
                    .ok());  // analog device rejects digital
+}
+
+TEST(AdmissionTest, PerUserPendingLimitNamesTheUser) {
+  AdmissionPolicy policy;
+  policy.max_pending_per_user = 3;
+  AdmissionController admission(policy);
+  const auto spec = quantum::DeviceSpec::analog_default();
+  AdmissionContext context;
+  context.user = "alice";
+  context.queue_depth = 5;  // well under the global limit
+  context.user_pending = 3;
+  auto rejected =
+      admission.validate(small_payload(), JobClass::kProduction, spec,
+                         context);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code(), common::ErrorCode::kResourceExhausted);
+  EXPECT_NE(rejected.error().message().find("user 'alice'"),
+            std::string::npos);
+  EXPECT_NE(rejected.error().message().find("per-user limit 3"),
+            std::string::npos);
+  // A per-user override from /admin/quotas wins over the policy default.
+  context.user_pending_limit = 10;
+  EXPECT_TRUE(admission
+                  .validate(small_payload(), JobClass::kProduction, spec,
+                            context)
+                  .ok());
 }
 
 TEST(DispatcherTest, RunsJobsInClassOrder) {

@@ -1,0 +1,147 @@
+// Terminal-job GC: records_ must stop growing with uptime. Retention and
+// LRU-cap eviction at the dispatcher, journal-visible job_evicted events,
+// and replay agreeing that evicted jobs stay gone.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/temp_dir.hpp"
+#include "daemon/daemon.hpp"
+#include "net/http_client.hpp"
+#include "qrmi/local_emulator.hpp"
+
+namespace qcenv::daemon {
+namespace {
+
+using common::Json;
+using common::kSecond;
+using common::ManualClock;
+using common::TempDir;
+
+quantum::Payload small_payload(std::uint64_t shots = 30) {
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                               quantum::Waveform::constant(200, 0.0), 0.0});
+  return quantum::Payload::from_sequence(seq, shots);
+}
+
+std::uint64_t run_to_completion(Dispatcher& dispatcher, std::uint64_t shots,
+                                const std::string& user = "alice") {
+  const auto id = dispatcher.submit(common::SessionId{1}, user,
+                                    JobClass::kTest, small_payload(shots));
+  EXPECT_TRUE(dispatcher.wait(id, 60 * kSecond).ok());
+  return id;
+}
+
+TEST(TerminalJobGc, RetentionEvictsOldTerminalRecords) {
+  ManualClock clock;
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  Dispatcher dispatcher(resource, QueuePolicy{}, &clock, nullptr);
+  dispatcher.set_terminal_retention(100 * kSecond, 0);
+
+  const auto old_id = run_to_completion(dispatcher, 30);
+  EXPECT_TRUE(dispatcher.result(old_id).ok());
+
+  clock.advance(200 * kSecond);
+  // The next submission pays for the sweep.
+  const auto fresh_id = run_to_completion(dispatcher, 30);
+  auto evicted = dispatcher.query(old_id);
+  ASSERT_FALSE(evicted.ok());
+  EXPECT_EQ(evicted.error().code(), common::ErrorCode::kNotFound);
+  EXPECT_FALSE(dispatcher.result(old_id).ok());
+  // The fresh job is inside its retention window.
+  EXPECT_TRUE(dispatcher.result(fresh_id).ok());
+}
+
+TEST(TerminalJobGc, CapEvictsOldestFirst) {
+  ManualClock clock;
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  Dispatcher dispatcher(resource, QueuePolicy{}, &clock, nullptr);
+  dispatcher.set_terminal_retention(0, 2);
+
+  const auto first = run_to_completion(dispatcher, 30);
+  clock.advance(kSecond);
+  const auto second = run_to_completion(dispatcher, 30);
+  clock.advance(kSecond);
+  const auto third = run_to_completion(dispatcher, 30);
+  EXPECT_EQ(dispatcher.sweep_terminal(), 1u);
+  EXPECT_FALSE(dispatcher.query(first).ok());
+  EXPECT_TRUE(dispatcher.result(second).ok());
+  EXPECT_TRUE(dispatcher.result(third).ok());
+}
+
+TEST(TerminalJobGc, DisabledKeepsEverything) {
+  ManualClock clock;
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu", "sv").value();
+  Dispatcher dispatcher(resource, QueuePolicy{}, &clock, nullptr);
+  const auto id = run_to_completion(dispatcher, 30);
+  clock.advance(365LL * 24 * 3600 * kSecond);
+  EXPECT_EQ(dispatcher.sweep_terminal(), 0u);
+  EXPECT_TRUE(dispatcher.result(id).ok());
+}
+
+TEST(TerminalJobGc, EvictionIsJournaledAndSurvivesRestart) {
+  TempDir dir;
+  ManualClock clock;
+  std::uint64_t old_id = 0;
+  std::uint64_t kept_id = 0;
+  {
+    DaemonOptions options;
+    options.admin_key = "root";
+    options.store.data_dir = dir.path();
+    options.store.terminal_job_retention = 100 * kSecond;
+    MiddlewareDaemon daemon(
+        options, qrmi::LocalEmulatorQrmi::create("emu", "sv").value(),
+        nullptr, &clock);
+    ASSERT_TRUE(daemon.start().ok());
+    net::HttpClient client(daemon.port());
+    auto opened =
+        client.post("/v1/sessions", R"({"user":"alice","class":"test"})");
+    ASSERT_EQ(opened.value().status, 201);
+    net::HttpClient authed(daemon.port());
+    authed.set_default_header(
+        "X-Session-Token",
+        Json::parse(opened.value().body).value().get_string("token").value());
+    const auto submit = [&](std::uint64_t shots) {
+      Json body = Json::object();
+      body["payload"] = small_payload(shots).to_json();
+      auto response = authed.post("/v1/jobs", body.dump());
+      EXPECT_EQ(response.value().status, 201);
+      return static_cast<std::uint64_t>(Json::parse(response.value().body)
+                                            .value()
+                                            .get_int("job_id")
+                                            .value());
+    };
+    old_id = submit(30);
+    ASSERT_TRUE(daemon.dispatcher().wait(old_id, 60 * kSecond).ok());
+    clock.advance(200 * kSecond);
+    kept_id = submit(30);  // triggers the sweep that evicts old_id
+    ASSERT_TRUE(daemon.dispatcher().wait(kept_id, 60 * kSecond).ok());
+    ASSERT_FALSE(daemon.dispatcher().query(old_id).ok());
+    ASSERT_TRUE(daemon.state_store()->flush().ok());
+    // The eviction is journal-visible, not a silent in-memory drop.
+    std::ifstream journal(daemon.state_store()->journal_path());
+    std::ostringstream text;
+    text << journal.rdbuf();
+    EXPECT_NE(text.str().find("job_evicted"), std::string::npos);
+  }  // kill
+
+  DaemonOptions options;
+  options.admin_key = "root";
+  options.store.data_dir = dir.path();
+  options.store.terminal_job_retention = 100 * kSecond;
+  MiddlewareDaemon revived(
+      options, qrmi::LocalEmulatorQrmi::create("emu", "sv").value(), nullptr,
+      &clock);
+  ASSERT_TRUE(revived.start().ok());
+  // Replay agrees: the evicted record stays gone, the kept one survives.
+  EXPECT_FALSE(revived.dispatcher().query(old_id).ok());
+  ASSERT_TRUE(revived.dispatcher().query(kept_id).ok());
+  EXPECT_TRUE(revived.dispatcher().result(kept_id).ok());
+  EXPECT_GE(revived.state_store()->status().replay.evicted_jobs, 1u);
+}
+
+}  // namespace
+}  // namespace qcenv::daemon

@@ -435,7 +435,8 @@ TEST(StateStoreTest, OpenReplayAndCompactCycle) {
     session.token = "tok";
     store.session_created(session);
     store.job_submitted(make_job(1, 100));
-    store.batch_done(1, 40, false, samples_json(40, 0));
+    store.batch_done(1, 40, 2 * common::kMillisecond, false,
+                     samples_json(40, 0));
     store.job_submitted(make_job(2, 10));
     store.job_cancelled(2);
     ASSERT_TRUE(store.flush().ok());
