@@ -1,0 +1,92 @@
+// Experiment S1 — deterministic simulation throughput.
+// The sweep's value is proportional to how many fault schedules it can
+// explore per unit of real time. This bench measures seeds/second and the
+// virtual:real time compression across scenario shapes, and gates the CI
+// smoke on the quick sweep finishing inside its budget (a regression that
+// reintroduces real sleeps into the virtual-time path shows up here as a
+// collapse of the compression ratio).
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "simtest/scenario.hpp"
+#include "simtest/sweep.hpp"
+
+namespace {
+using namespace qcenv;
+using namespace qcenv::bench;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Shape {
+  const char* name;
+  simtest::ScenarioOptions options;
+};
+
+simtest::ScenarioOptions base_options(std::uint64_t seed) {
+  simtest::ScenarioOptions options;
+  options.seed = seed;
+  options.jobs = 14;
+  options.horizon = 20 * common::kSecond;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  print_title("S1. Deterministic simulation harness throughput");
+  print_note(
+      "Each row: N seeded full-stack scenarios (real daemon, virtual "
+      "time).\nCompression = virtual time simulated / real time spent.");
+
+  Shape shapes[4];
+  shapes[0] = {"in-memory flaps+storms", base_options(1)};
+  shapes[0].options.durable = false;
+  shapes[1] = {"durable restarts", base_options(1)};
+  shapes[1].options.faults.restarts = 2;
+  shapes[2] = {"durable disk faults", base_options(1)};
+  shapes[2].options.faults.disk_fault = true;
+  shapes[3] = {"latency jitter", base_options(1)};
+  shapes[3].options.latency = true;
+
+  const int seeds = quick ? 8 : 50;
+  Table table({"scenario shape", "seeds", "seeds/s", "virtual ms/seed",
+               "compression"});
+  bool all_green = true;
+  for (const auto& shape : shapes) {
+    const double start = now_s();
+    double virtual_s = 0;
+    std::size_t failures = 0;
+    for (int i = 0; i < seeds; ++i) {
+      auto options = shape.options;
+      options.seed = static_cast<std::uint64_t>(i + 1);
+      const auto result = simtest::run_scenario(options);
+      virtual_s += common::to_seconds(result.stats.virtual_end);
+      if (!result.ok()) {
+        ++failures;
+        std::printf("  FAILED %s\n",
+                    simtest::summary_line(result).c_str());
+      }
+    }
+    const double wall = now_s() - start;
+    all_green = all_green && failures == 0;
+    char rate[32], per_seed[32], compression[32];
+    std::snprintf(rate, sizeof(rate), "%.1f", seeds / wall);
+    std::snprintf(per_seed, sizeof(per_seed), "%.0f",
+                  1000.0 * virtual_s / seeds);
+    std::snprintf(compression, sizeof(compression), "%.0fx",
+                  virtual_s / wall);
+    table.add_row({shape.name, std::to_string(seeds), rate, per_seed,
+                   compression});
+  }
+  table.print();
+  print_note(all_green ? "all scenarios upheld every invariant"
+                       : "INVARIANT VIOLATIONS — see above");
+  return all_green ? 0 : 1;
+}

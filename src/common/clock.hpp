@@ -84,6 +84,21 @@ class ManualClock final : public Clock {
     cv_.notify_all();
   }
 
+  /// Monotonic catch-up: moves time forward to `t` if (and only if) it is
+  /// ahead of now. Safe against concurrent advance() callers — a racing
+  /// advance past `t` simply wins — which set() is not; simulation
+  /// drivers use this to jump to the next scheduled event while worker
+  /// threads nudge the clock through Clock::sleep_for.
+  void advance_to(TimeNs t) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (t > now_.load(std::memory_order_acquire)) {
+        now_.store(t, std::memory_order_release);
+      }
+    }
+    cv_.notify_all();
+  }
+
   /// Sets the absolute time (must not move backwards).
   void set(TimeNs t) {
     {

@@ -221,6 +221,91 @@ JobClass MiddlewareDaemon::resolve_class(const std::string& partition,
   return it != options_.partition_class.end() ? it->second : session_default;
 }
 
+Result<Session> MiddlewareDaemon::open_session(const std::string& user,
+                                               JobClass cls) {
+  auto session = sessions_.create(user, cls);
+  if (!session.ok()) return session.error();
+  if (store_ != nullptr) {
+    store_->session_created(to_session_record(session.value()));
+  }
+  return session;
+}
+
+Result<std::size_t> MiddlewareDaemon::close_session(
+    const std::string& token) {
+  auto session = sessions_.authenticate(token);
+  if (!session.ok()) return session.error();
+  QCENV_RETURN_IF_ERROR(sessions_.close(token));
+  // A closed session must not leave orphans in the queue.
+  return session_removed(session.value());
+}
+
+Result<MiddlewareDaemon::Submitted> MiddlewareDaemon::submit_job(
+    const std::string& token, quantum::Payload payload,
+    const SubmitHints& hints) {
+  auto session = sessions_.authenticate(token);
+  if (!session.ok()) return session.error();
+  const JobClass cls =
+      resolve_class(hints.partition, session.value().job_class);
+  Dispatcher::SubmitOptions placement;
+  placement.resource = hints.resource;
+  placement.policy = hints.policy;
+  // Validate against the spec of the resource the job is pinned to (or
+  // the primary when the broker places it freely).
+  qrmi::QrmiPtr spec_source = primary_;
+  if (!placement.resource.empty()) {
+    auto pinned = broker_->resource(placement.resource);
+    if (!pinned.ok()) return pinned.error();
+    spec_source = std::move(pinned).value();
+  }
+  if (spec_source == nullptr) {
+    return common::err::failed_precondition(
+        "no resources registered with this daemon");
+  }
+  auto spec = spec_source->target();
+  if (!spec.ok()) return spec.error();
+  AdmissionContext context;
+  context.user = session.value().user;
+  for (const auto& [_, d] : dispatcher_->queue_depths()) {
+    context.queue_depth += d;
+  }
+  context.user_pending = dispatcher_->pending_for_user(context.user);
+  const auto pending_override = accounting_.pending_limit(context.user);
+  if (pending_override.has_value()) {
+    context.user_pending_limit = static_cast<std::size_t>(*pending_override);
+  }
+  QCENV_RETURN_IF_ERROR(admission_.validate(payload, cls, spec.value(),
+                                            context));
+  // Per-user rate limits and in-flight shot caps (HTTP 429). Consumes a
+  // token and reserves the shots; released as batches execute or if the
+  // submission fails below.
+  const std::uint64_t shots = payload.shots();
+  QCENV_RETURN_IF_ERROR(accounting_.admit_submission(context.user, shots));
+  // The dispatcher re-checks the pending cap under its own lock — the
+  // only race-free enforcement point for concurrent submits.
+  placement.user_pending_limit = context.user_pending_limit.value_or(
+      options_.admission.max_pending_per_user);
+  auto id = dispatcher_->submit(session.value().id, session.value().user,
+                                cls, std::move(payload), placement);
+  if (!id.ok()) {
+    accounting_.release_submission(context.user, shots);
+    return id.error();
+  }
+  // Close the submit/close race: if the session died between the
+  // authenticate above and this submit, its cancel sweep may have run
+  // before the job existed — sweep it ourselves.
+  if (!sessions_.authenticate(token).ok()) {
+    (void)dispatcher_->cancel_for_session(session.value().id);
+    return common::err::permission_denied("session closed during submission");
+  }
+  Submitted submitted;
+  submitted.id = id.value();
+  submitted.job_class = cls;
+  auto job = dispatcher_->query(id.value());
+  if (job.ok()) submitted.resource = job.value().resource;
+  return submitted;
+}
+
 void MiddlewareDaemon::install_routes() {
   // Instrumentation middleware: count requests per path prefix.
   server_.set_middleware(
@@ -264,12 +349,8 @@ void MiddlewareDaemon::install_routes() {
                  if (!parsed.ok()) return error_response(parsed.error());
                  cls = parsed.value();
                }
-               auto session = sessions_.create(user.value(), cls);
+               auto session = open_session(user.value(), cls);
                if (!session.ok()) return error_response(session.error());
-               if (store_ != nullptr) {
-                 store_->session_created(
-                     to_session_record(session.value()));
-               }
                Json out = Json::object();
                out["session_id"] = session.value().id.to_string();
                out["token"] = session.value().token;
@@ -277,19 +358,28 @@ void MiddlewareDaemon::install_routes() {
                return HttpResponse::json(201, out.dump());
              });
 
+  // Extracts the session token header; the programmatic helpers
+  // authenticate it themselves (one lookup, not two).
+  const auto session_token =
+      [](const HttpRequest& request) -> Result<std::string> {
+    const auto it = request.headers.find("X-Session-Token");
+    if (it == request.headers.end()) {
+      return common::err::permission_denied("missing X-Session-Token header");
+    }
+    return it->second;
+  };
+
   router.add("DELETE", "/v1/sessions",
-             [this, authenticate](const HttpRequest& request,
-                                  const PathParams&) {
-               auto session = authenticate(request);
-               if (!session.ok()) return error_response(session.error());
-               auto status = sessions_.close(session.value().token);
-               if (!status.ok()) return error_response(status.error());
-               // A closed session must not leave orphans in the queue.
-               const std::size_t cancelled =
-                   session_removed(session.value());
+             [this, session_token](const HttpRequest& request,
+                                   const PathParams&) {
+               auto token = session_token(request);
+               if (!token.ok()) return error_response(token.error());
+               auto cancelled = close_session(token.value());
+               if (!cancelled.ok()) return error_response(cancelled.error());
                Json out = Json::object();
                out["closed"] = true;
-               out["cancelled_jobs"] = static_cast<long long>(cancelled);
+               out["cancelled_jobs"] =
+                   static_cast<long long>(cancelled.value());
                return HttpResponse::json(200, out.dump());
              });
 
@@ -315,24 +405,20 @@ void MiddlewareDaemon::install_routes() {
 
   router.add(
       "POST", "/v1/jobs",
-      [this, authenticate](const HttpRequest& request, const PathParams&) {
-        auto session = authenticate(request);
-        if (!session.ok()) return error_response(session.error());
+      [this, session_token](const HttpRequest& request, const PathParams&) {
+        auto token = session_token(request);
+        if (!token.ok()) return error_response(token.error());
         auto body = Json::parse(request.body);
         if (!body.ok()) return error_response(body.error());
         auto payload =
             quantum::Payload::from_json(body.value().at_or_null("payload"));
         if (!payload.ok()) return error_response(payload.error());
-        std::string partition;
+        SubmitHints hints;
         if (body.value().contains("partition")) {
           auto parsed = body.value().get_string("partition");
           if (!parsed.ok()) return error_response(parsed.error());
-          partition = std::move(parsed).value();
+          hints.partition = std::move(parsed).value();
         }
-        const JobClass cls =
-            resolve_class(partition, session.value().job_class);
-        // Optional fleet placement hints.
-        Dispatcher::SubmitOptions hints;
         if (body.value().contains("resource")) {
           auto parsed = body.value().get_string("resource");
           if (!parsed.ok()) return error_response(parsed.error());
@@ -345,64 +431,13 @@ void MiddlewareDaemon::install_routes() {
           if (!parsed.ok()) return error_response(parsed.error());
           hints.policy = parsed.value();
         }
-        // Validate against the spec of the resource the job is pinned to
-        // (or the primary when the broker places it freely).
-        qrmi::QrmiPtr spec_source = primary_;
-        if (!hints.resource.empty()) {
-          auto pinned = broker_->resource(hints.resource);
-          if (!pinned.ok()) return error_response(pinned.error());
-          spec_source = std::move(pinned).value();
-        }
-        if (spec_source == nullptr) {
-          return error_response(common::err::failed_precondition(
-              "no resources registered with this daemon"));
-        }
-        auto spec = spec_source->target();
-        if (!spec.ok()) return error_response(spec.error());
-        AdmissionContext context;
-        context.user = session.value().user;
-        for (const auto& [_, d] : dispatcher_->queue_depths()) {
-          context.queue_depth += d;
-        }
-        context.user_pending = dispatcher_->pending_for_user(context.user);
-        const auto pending_override = accounting_.pending_limit(context.user);
-        if (pending_override.has_value()) {
-          context.user_pending_limit =
-              static_cast<std::size_t>(*pending_override);
-        }
-        auto admitted = admission_.validate(payload.value(), cls,
-                                            spec.value(), context);
-        if (!admitted.ok()) return error_response(admitted.error());
-        // Per-user rate limits and in-flight shot caps (HTTP 429). Consumes
-        // a token and reserves the shots; released as batches execute or if
-        // the submission fails below.
-        const std::uint64_t shots = payload.value().shots();
-        auto throttled = accounting_.admit_submission(context.user, shots);
-        if (!throttled.ok()) return error_response(throttled.error());
-        // The dispatcher re-checks the pending cap under its own lock —
-        // the only race-free enforcement point for concurrent submits.
-        hints.user_pending_limit = context.user_pending_limit.value_or(
-            options_.admission.max_pending_per_user);
-        auto id = dispatcher_->submit(session.value().id,
-                                      session.value().user, cls,
-                                      std::move(payload).value(), hints);
-        if (!id.ok()) {
-          accounting_.release_submission(context.user, shots);
-          return error_response(id.error());
-        }
-        // Close the submit/close race: if the session died between the
-        // authenticate above and this submit, its cancel sweep may have
-        // run before the job existed — sweep it ourselves.
-        if (!sessions_.authenticate(session.value().token).ok()) {
-          (void)dispatcher_->cancel_for_session(session.value().id);
-          return error_response(common::err::permission_denied(
-              "session closed during submission"));
-        }
-        auto job = dispatcher_->query(id.value());
+        auto submitted =
+            submit_job(token.value(), std::move(payload).value(), hints);
+        if (!submitted.ok()) return error_response(submitted.error());
         Json out = Json::object();
-        out["job_id"] = static_cast<long long>(id.value());
-        out["class"] = to_string(cls);
-        if (job.ok()) out["resource"] = job.value().resource;
+        out["job_id"] = static_cast<long long>(submitted.value().id);
+        out["class"] = to_string(submitted.value().job_class);
+        out["resource"] = submitted.value().resource;
         return HttpResponse::json(201, out.dump());
       });
 

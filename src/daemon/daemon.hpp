@@ -118,6 +118,40 @@ class MiddlewareDaemon {
   JobClass resolve_class(const std::string& partition,
                          JobClass session_default) const;
 
+  // ---- programmatic surface ------------------------------------------------
+  // The REST routes parse JSON and delegate to these 1:1, and the simtest
+  // harness calls them directly — so every simulated submission walks the
+  // exact session/admission/accounting/rollback pipeline production
+  // requests do, without an HTTP round-trip per simulated event.
+
+  /// POST /v1/sessions: creates (and journals) a session.
+  common::Result<Session> open_session(const std::string& user,
+                                       JobClass cls);
+  /// DELETE /v1/sessions: closes the session, cancels its queued jobs.
+  /// Returns how many jobs were cancelled.
+  common::Result<std::size_t> close_session(const std::string& token);
+
+  /// Optional placement/class preferences of one submission (the REST
+  /// `partition`/`resource`/`policy` body fields).
+  struct SubmitHints {
+    std::string partition;
+    std::string resource;
+    std::optional<broker::SchedulingPolicy> policy;
+  };
+  /// What a successful submission settled on (the 201 response body).
+  struct Submitted {
+    std::uint64_t id = 0;
+    JobClass job_class = JobClass::kDevelopment;
+    /// Initial placement; empty while no healthy resource could take it.
+    std::string resource;
+  };
+  /// POST /v1/jobs: authenticates, validates against the target device
+  /// spec, applies admission + per-user rate limits (reservations are
+  /// rolled back if anything downstream fails) and enqueues the payload.
+  common::Result<Submitted> submit_job(const std::string& token,
+                                       quantum::Payload payload,
+                                       const SubmitHints& hints = {});
+
  private:
   void install_routes();
   /// Opens the store, replays it, and seeds the session manager. Returns

@@ -15,10 +15,6 @@ using quantum::Samples;
 
 namespace {
 
-/// How long an idle lane sleeps between queue checks; bounds the latency of
-/// noticing an unhealthy resource recovering.
-constexpr auto kLaneTick = std::chrono::milliseconds(20);
-
 /// Poll interval for synchronous batch execution through QRMI.
 constexpr common::DurationNs kRunPoll = common::kMillisecond;
 
@@ -139,6 +135,14 @@ Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
   std::uint64_t id = 0;
   {
     std::scoped_lock lock(mutex_);
+    // A fail-stopped journal can acknowledge nothing: accepting work it
+    // cannot journal would hand out jobs a restart silently forgets.
+    if (store_ != nullptr && store_->journal().io_error().has_value()) {
+      return common::err::io(
+          "durable store has failed (" +
+          store_->journal().io_error()->message() +
+          "); submissions are rejected until the daemon is restarted");
+    }
     if (options.user_pending_limit > 0) {
       std::size_t pending = 0;
       for (const std::uint64_t live : active_) {
@@ -191,6 +195,25 @@ Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
       store_->job_submitted(
           to_record_locked(inserted.first->second),
           inserted.first->second.payload);
+      // In kAlways mode the append above ran inline; if it just failed,
+      // the line is not on disk (failed writes never land; a written-but-
+      // unfsynced line is sheared back off by write_block's compensating
+      // truncate), so a restart cannot resurrect this job. Unwind the
+      // admission instead of acking a submission that is not durable:
+      // the caller releases its accounting reservation on this error,
+      // leaving ledger and rate limiter exactly as before the request.
+      if (store_->journal().io_error().has_value()) {
+        core_.remove(id);
+        active_.erase(id);
+        if (!inserted.first->second.job.resource.empty()) {
+          broker_->unbind(inserted.first->second.job.resource);
+        }
+        records_.erase(inserted.first);
+        return common::err::io(
+            "journal append failed (" +
+            store_->journal().io_error()->message() +
+            "); submission rejected");
+      }
     }
     // Amortized terminal-job GC: each submission pays for the sweep that
     // keeps records_ bounded.
@@ -289,6 +312,11 @@ Status Dispatcher::cancel(std::uint64_t job_id) {
       return common::err::failed_precondition(
           "job already " + std::string(to_string(record.job.state)));
   }
+}
+
+void Dispatcher::set_idle_tick(common::DurationNs tick) {
+  idle_tick_.store(tick > 0 ? tick : common::kMillisecond);
+  cv_.notify_all();
 }
 
 void Dispatcher::drain() {
@@ -789,7 +817,7 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
     Payload slice;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait_for(lock, kLaneTick, [&] {
+      cv_.wait_for(lock, std::chrono::nanoseconds(idle_tick_.load()), [&] {
         return stop.stop_requested() ||
                (!draining_.load() && healthy && !broker_->draining(lane) &&
                 has_eligible_locked(lane));
@@ -837,7 +865,7 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
 
     broker_->on_dispatch(lane, batch->shots);
     const common::TimeNs run_start = clock_->now();
-    auto outcome = resource->run_sync(slice, kRunPoll);
+    auto outcome = resource->run_sync(slice, kRunPoll, clock_);
     const common::DurationNs qpu_ns = clock_->now() - run_start;
     if (metrics_ != nullptr) {
       metrics_

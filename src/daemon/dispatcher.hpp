@@ -143,6 +143,13 @@ class Dispatcher {
   /// is exact.
   store::StoreSnapshot durable_snapshot() const;
 
+  /// How long an idle lane sleeps between queue checks (default 20 ms).
+  /// Submissions and failovers wake lanes immediately; the tick only
+  /// bounds how fast a lane notices its resource recovering. The simtest
+  /// harness shrinks it so flap-recovery scenarios spend no real time
+  /// waiting. Takes effect on each lane's next wait.
+  void set_idle_tick(common::DurationNs tick);
+
   /// Admin: pause/resume batch dispatch globally (maintenance windows).
   void drain();
   void resume();
@@ -237,6 +244,7 @@ class Dispatcher {
   std::size_t terminal_cap_ = 0;
   std::uint64_t next_job_id_ = 1;
   std::atomic<bool> draining_{false};
+  std::atomic<common::DurationNs> idle_tick_{20 * common::kMillisecond};
   std::vector<std::jthread> lanes_;
 };
 

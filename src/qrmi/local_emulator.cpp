@@ -38,10 +38,37 @@ Status LocalEmulatorQrmi::release(const std::string&) {
   return Status::ok_status();
 }
 
+void LocalEmulatorQrmi::set_fault_hooks(EmulatorFaultHooks hooks,
+                                        common::Clock* clock) {
+  std::scoped_lock lock(mutex_);
+  fault_hooks_ = std::move(hooks);
+  fault_clock_ = clock;
+}
+
+bool LocalEmulatorQrmi::ready_locked(const Task& task) const {
+  return fault_clock_ == nullptr || task.ready_at <= 0 ||
+         fault_clock_->now() >= task.ready_at;
+}
+
 Result<std::string> LocalEmulatorQrmi::task_start(const Payload& payload) {
   if (offline_.load()) {
     return common::err::unavailable("resource '" + resource_id_ +
                                     "' is offline");
+  }
+  std::function<std::optional<common::Error>(const quantum::Payload&)>
+      on_start;
+  common::DurationNs latency = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    on_start = fault_hooks_.on_start;
+    if (fault_hooks_.latency && fault_clock_ != nullptr) {
+      latency = fault_hooks_.latency(payload.shots());
+    }
+  }
+  if (on_start) {
+    if (auto injected = on_start(payload); injected.has_value()) {
+      return *injected;
+    }
   }
   const std::string id =
       "local-" + std::to_string(next_task_.fetch_add(1));
@@ -50,6 +77,9 @@ Result<std::string> LocalEmulatorQrmi::task_start(const Payload& payload) {
   {
     std::scoped_lock lock(mutex_);
     tasks_[id] = task;
+    if (latency > 0 && fault_clock_ != nullptr) {
+      task->ready_at = fault_clock_->now() + latency;
+    }
   }
   emulator::RunOptions options = run_options_;
   // Each task gets a distinct seed so repeated runs differ like hardware,
@@ -89,6 +119,11 @@ Result<TaskStatus> LocalEmulatorQrmi::task_status(const std::string& task_id) {
   if (it == tasks_.end()) {
     return common::err::not_found("unknown task: " + task_id);
   }
+  // A finished task behind its virtual completion gate is still "running"
+  // from the caller's point of view: injected latency in virtual time.
+  if (is_terminal(it->second->status) && !ready_locked(*it->second)) {
+    return TaskStatus::kRunning;
+  }
   return it->second->status;
 }
 
@@ -105,7 +140,11 @@ Result<Samples> LocalEmulatorQrmi::task_result(const std::string& task_id) {
   if (task->completion.valid()) task->completion.wait();
   std::scoped_lock lock(mutex_);
   switch (task->status) {
-    case TaskStatus::kCompleted: return *task->samples;
+    case TaskStatus::kCompleted:
+      if (fault_hooks_.corrupt_result) {
+        return fault_hooks_.corrupt_result(*task->samples);
+      }
+      return *task->samples;
     case TaskStatus::kFailed: return *task->error;
     case TaskStatus::kCancelled:
       return common::err::cancelled("task cancelled: " + task_id);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -11,10 +12,34 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/clock.hpp"
 #include "emulator/backend.hpp"
 #include "qrmi/qrmi.hpp"
 
 namespace qcenv::qrmi {
+
+/// Injection hooks for the simulation harness (src/simtest) and fault
+/// tests: per-task start failures (node brownouts between the broker's
+/// health probes), virtual-time execution latency, and — strictly for
+/// proving that invariant sweeps catch real bugs — result corruption.
+/// All hooks are optional; unset hooks cost nothing on the task path.
+struct EmulatorFaultHooks {
+  /// Consulted at task_start; a returned error fails the start with that
+  /// error (kUnavailable/kIo/kTimeout trigger the dispatcher's failover
+  /// path, anything else its spec-rejection path).
+  std::function<std::optional<common::Error>(const quantum::Payload&)>
+      on_start;
+  /// Virtual execution time for a task of `shots` shots. With a clock
+  /// installed via set_fault_hooks the task reports kRunning until
+  /// clock->now() passes start + latency — so batch durations (and the
+  /// QPU time the accounting ledger charges) follow injected virtual
+  /// time, never the host's scheduling noise.
+  std::function<common::DurationNs(std::uint64_t shots)> latency;
+  /// Applied to completed samples on fetch. Used ONLY to plant deliberate
+  /// invariant violations (e.g. silently dropping shots) and prove the
+  /// simtest sweep detects them.
+  std::function<quantum::Samples(quantum::Samples)> corrupt_result;
+};
 
 class LocalEmulatorQrmi final
     : public Qrmi,
@@ -35,6 +60,12 @@ class LocalEmulatorQrmi final
   /// with kUnavailable; tasks already running are allowed to finish.
   void set_offline(bool offline) { offline_.store(offline); }
   bool offline() const { return offline_.load(); }
+
+  /// Installs (or, with an empty struct, clears) the fault hooks. `clock`
+  /// is required for the latency hook (virtual completion gating) and may
+  /// be null otherwise. Thread-safe; applies to tasks started afterwards.
+  void set_fault_hooks(EmulatorFaultHooks hooks,
+                       common::Clock* clock = nullptr);
 
   common::Result<std::string> acquire() override;
   common::Status release(const std::string& token) override;
@@ -59,7 +90,14 @@ class LocalEmulatorQrmi final
     std::optional<quantum::Samples> samples;
     std::optional<common::Error> error;
     std::future<void> completion;
+    /// Virtual completion gate (latency hook): while the injected clock
+    /// reads earlier than this, a finished task still reports kRunning.
+    common::TimeNs ready_at = 0;
   };
+
+  /// True once `task`'s virtual completion gate has passed (always true
+  /// without a latency clock). Caller must hold mutex_.
+  bool ready_locked(const Task& task) const;
 
   std::string resource_id_;
   std::string backend_kind_;
@@ -71,6 +109,8 @@ class LocalEmulatorQrmi final
 
   std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Task>> tasks_;
+  EmulatorFaultHooks fault_hooks_;
+  common::Clock* fault_clock_ = nullptr;
 };
 
 }  // namespace qcenv::qrmi

@@ -34,7 +34,8 @@ const char* to_string(TaskStatus status) noexcept {
 }
 
 common::Result<quantum::Samples> Qrmi::run_sync(
-    const quantum::Payload& payload, common::DurationNs poll_interval) {
+    const quantum::Payload& payload, common::DurationNs poll_interval,
+    common::Clock* clock) {
   auto task = task_start(payload);
   if (!task.ok()) return task.error();
   const std::string& id = task.value();
@@ -47,7 +48,15 @@ common::Result<quantum::Samples> Qrmi::run_sync(
       return status.error();
     }
     if (is_terminal(status.value())) break;
-    std::this_thread::sleep_for(std::chrono::nanoseconds(poll_interval));
+    if (clock != nullptr) {
+      clock->sleep_for(poll_interval);
+      // A virtual clock may return instantly (auto-advancing manual
+      // clocks do): hand the core to the worker actually running the
+      // task instead of spinning on task_status.
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(poll_interval));
+    }
   }
   return task_result(id);
 }

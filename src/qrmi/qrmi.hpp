@@ -79,10 +79,14 @@ class Qrmi {
   virtual common::Json metadata() = 0;
 
   /// Convenience: start, poll until terminal, and return the result.
-  /// `poll_interval` applies to asynchronous resource types.
+  /// `poll_interval` applies to asynchronous resource types. When `clock`
+  /// is provided the poll pacing goes through it instead of a raw
+  /// std::this_thread sleep — identical under WallClock, and the seam
+  /// that lets virtual-time harnesses drive dispatch with no real sleeps.
   common::Result<quantum::Samples> run_sync(
       const quantum::Payload& payload,
-      common::DurationNs poll_interval = 20 * common::kMillisecond);
+      common::DurationNs poll_interval = 20 * common::kMillisecond,
+      common::Clock* clock = nullptr);
 };
 
 using QrmiPtr = std::shared_ptr<Qrmi>;

@@ -1,0 +1,83 @@
+// FaultPlan: a seeded, virtual-time schedule of adversities for the
+// deterministic simulation harness (see scenario.hpp). One seed expands to
+// one plan — QPU flaps, rolling drains, daemon kill-and-restarts, disk
+// deaths at arbitrary journal offsets, torn journal tails, compaction
+// cycles, tenant submit storms, cancels and session churn — so a failing
+// sweep seed replays the exact same schedule from the command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace qcenv::simtest {
+
+enum class FaultOp {
+  kQpuOffline,       // target resource's node goes down (health + starts)
+  kQpuOnline,        // target resource recovers
+  kDrainResource,    // rolling maintenance: admin-drain target resource
+  kResumeResource,
+  kDrainAll,         // global dispatch pause (maintenance window)
+  kResumeAll,
+  kCancelJob,        // cancel a live job (param picks deterministically)
+  kCloseSession,     // close target user's session (cancels queued jobs)
+  kKillRestart,      // daemon process dies; restarts on the same data dir
+  kJournalFailStop,  // the disk under the journal dies after `param` more
+                     // writes (journal fail-stops; acked state stays)
+  kTornTail,         // next journal write tears after `param` bytes, then
+                     // the disk is dead (the classic crash-mid-append)
+  kCompact,          // force a snapshot + journal-truncation cycle
+  kSubmitStorm,      // target user bursts `param` submissions at once
+};
+
+const char* to_string(FaultOp op) noexcept;
+
+struct FaultEvent {
+  common::DurationNs at = 0;  // virtual time from scenario start
+  FaultOp op = FaultOp::kQpuOffline;
+  /// Resource index (QPU/drain ops) or user index (storm/session ops).
+  std::size_t target = 0;
+  /// Op-specific parameter (burst size, journal-offset delta, tear bytes,
+  /// deterministic cancel pick).
+  std::uint64_t param = 0;
+
+  std::string to_string() const;
+};
+
+struct FaultPlanOptions {
+  std::size_t fleet_size = 2;
+  std::size_t users = 3;
+  /// Virtual span faults are scheduled across (recoveries land well
+  /// before the end so every scenario can quiesce).
+  common::DurationNs horizon = 30 * common::kSecond;
+  std::size_t flaps = 2;        // offline/online pairs
+  std::size_t drains = 1;       // per-resource drain/resume pairs
+  bool global_drain = false;    // one full maintenance window
+  std::size_t cancels = 3;
+  std::size_t session_churns = 1;
+  std::size_t restarts = 1;     // clean kill-and-restart cycles
+  bool disk_fault = false;      // one fail-stop OR torn tail + restart
+  std::size_t compactions = 1;
+  std::size_t storms = 1;
+  /// Probability that any one task_start transiently fails with an I/O
+  /// error (exercises mid-dispatch failover, distinct from flaps). Applied
+  /// by the scenario's emulator hooks, not as discrete events.
+  double brownout_prob = 0.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by `at`, stable
+  /// Human-readable, replay-friendly schedule (one event per line).
+  std::string to_string() const;
+};
+
+/// Expands `rng` into a concrete schedule. Guarantees: every kQpuOffline /
+/// kDrainResource / kDrainAll has its matching recovery before `horizon`,
+/// at most one disk fault per plan, and a disk fault is always followed by
+/// a kKillRestart (the journal is dead — only a new life can heal it).
+FaultPlan make_fault_plan(common::Rng& rng, const FaultPlanOptions& options);
+
+}  // namespace qcenv::simtest

@@ -1,0 +1,122 @@
+#include "simtest/invariants.hpp"
+
+namespace qcenv::simtest {
+
+using daemon::DaemonJobState;
+
+namespace {
+
+bool terminal(DaemonJobState state) {
+  return state == DaemonJobState::kCompleted ||
+         state == DaemonJobState::kFailed ||
+         state == DaemonJobState::kCancelled;
+}
+
+std::string job_tag(const TrackedJob& tracked) {
+  return "job " + std::to_string(tracked.id) + " (user " + tracked.user +
+         ", " + std::to_string(tracked.shots) + " shots)";
+}
+
+}  // namespace
+
+std::vector<std::string> check_invariants(const InvariantInput& input) {
+  std::vector<std::string> violations;
+  std::map<std::string, std::uint64_t> executed_by_user;
+
+  for (const auto& tracked : input.tracked) {
+    const auto it = input.jobs.find(tracked.id);
+    if (it == input.jobs.end()) {
+      // Under GC a missing record means the job was evicted, and eviction
+      // only ever takes terminal records — including cancelled ones, so a
+      // binding cancel may legitimately have been honoured and then aged
+      // out before the harness could observe it. Without GC nothing may
+      // ever vanish.
+      if (!input.gc_enabled) {
+        violations.push_back(job_tag(tracked) +
+                             " vanished from the job table");
+      }
+      continue;
+    }
+    const daemon::DaemonJob& job = it->second;
+
+    if (!terminal(job.state)) {
+      violations.push_back(job_tag(tracked) + " never reached a terminal "
+                           "state (stuck " +
+                           daemon::to_string(job.state) + " on '" +
+                           (job.resource.empty() ? "<unplaced>"
+                                                 : job.resource) +
+                           "')");
+      continue;
+    }
+    if (job.shots_done > job.total_shots) {
+      violations.push_back(job_tag(tracked) + " over-executed: " +
+                           std::to_string(job.shots_done) + "/" +
+                           std::to_string(job.total_shots) + " shots");
+    }
+    if (job.state == DaemonJobState::kCompleted) {
+      if (job.shots_done != job.total_shots) {
+        violations.push_back(
+            job_tag(tracked) + " completed with " +
+            std::to_string(job.shots_done) + "/" +
+            std::to_string(job.total_shots) + " shots executed");
+      }
+      const auto result = input.result_shots.find(tracked.id);
+      if (result != input.result_shots.end() &&
+          result->second != job.total_shots) {
+        violations.push_back(job_tag(tracked) + " result holds " +
+                             std::to_string(result->second) + "/" +
+                             std::to_string(job.total_shots) +
+                             " shots (lost or duplicated shots)");
+      }
+    }
+    if (tracked.must_cancel && job.state != DaemonJobState::kCancelled) {
+      violations.push_back(job_tag(tracked) +
+                           " resurrected past an acknowledged cancel "
+                           "(final state " +
+                           daemon::to_string(job.state) + ")");
+    }
+    if (tracked.durable_terminal.has_value() &&
+        job.state != *tracked.durable_terminal) {
+      violations.push_back(
+          job_tag(tracked) + " changed terminal state across restart: " +
+          daemon::to_string(*tracked.durable_terminal) + " -> " +
+          daemon::to_string(job.state));
+    }
+    executed_by_user[tracked.user] += job.shots_done;
+  }
+
+  if (input.check_ledger_balance && !input.gc_enabled) {
+    for (const auto& [user, executed] : executed_by_user) {
+      const auto it = input.ledger_raw_shots.find(user);
+      const std::uint64_t charged =
+          it != input.ledger_raw_shots.end() ? it->second : 0;
+      if (charged != executed) {
+        violations.push_back(
+            "ledger imbalance for " + user + ": charged " +
+            std::to_string(charged) + " shots, executed " +
+            std::to_string(executed));
+      }
+    }
+  }
+  for (const auto& [user, inflight] : input.inflight_shots) {
+    if (inflight != 0) {
+      violations.push_back("rate limiter leaked " +
+                           std::to_string(inflight) +
+                           " in-flight shot(s) for " + user);
+    }
+  }
+  if (input.queue_depth != 0) {
+    violations.push_back("queue not empty after quiescence: depth " +
+                         std::to_string(input.queue_depth));
+  }
+  if (input.gc_enabled && input.records_cap > 0 &&
+      input.records_count > input.records_cap) {
+    violations.push_back("records_ unbounded under GC: " +
+                         std::to_string(input.records_count) +
+                         " records retained, cap " +
+                         std::to_string(input.records_cap));
+  }
+  return violations;
+}
+
+}  // namespace qcenv::simtest

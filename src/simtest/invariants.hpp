@@ -1,0 +1,64 @@
+// Global invariants every fault schedule must preserve, checked after the
+// scenario quiesces. Kept as a pure function over collected state so the
+// checkers are unit-testable on synthetic inputs (including deliberately
+// corrupted ones — the sweep is only trustworthy if planted violations are
+// provably caught).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daemon/dispatcher.hpp"
+
+namespace qcenv::simtest {
+
+/// What the harness knows about one admitted job, accumulated as the
+/// scenario runs.
+struct TrackedJob {
+  std::uint64_t id = 0;
+  std::string user;
+  std::uint64_t shots = 0;
+  /// A cancel was acknowledged while the journal was healthy: the job must
+  /// end kCancelled and stay kCancelled across every later restart.
+  bool must_cancel = false;
+  /// Terminal state observed while the journal was healthy (hence durable):
+  /// later lives must report exactly this state again.
+  std::optional<daemon::DaemonJobState> durable_terminal;
+};
+
+/// Scenario end-state handed to the checkers.
+struct InvariantInput {
+  std::vector<TrackedJob> tracked;
+  /// Final job table (dispatcher jobs_snapshot, keyed by id).
+  std::map<std::uint64_t, daemon::DaemonJob> jobs;
+  /// Completed job id -> total shots in its fetched samples.
+  std::map<std::uint64_t, std::uint64_t> result_shots;
+  /// Per-user raw (undecayed) ledger shot totals.
+  std::map<std::string, std::uint64_t> ledger_raw_shots;
+  /// Per-user rate-limiter in-flight shot reservations.
+  std::map<std::string, std::uint64_t> inflight_shots;
+  std::size_t queue_depth = 0;
+  /// Terminal-job GC: when enabled, evicted jobs may legitimately be
+  /// missing from `jobs` and exact ledger balancing is waived (the ledger
+  /// outlives evicted records by design).
+  bool gc_enabled = false;
+  std::size_t records_count = 0;
+  std::size_t records_cap = 0;  // 0 = unbounded (no cap check)
+  bool check_ledger_balance = true;
+};
+
+/// Returns one message per violated invariant (empty = all hold):
+///   - every admitted job is present and in exactly one terminal state,
+///   - completed jobs lost no shots and executed none twice (shots_done
+///     and fetched samples both equal the submitted total),
+///   - cancelled jobs never resurrect (durably observed terminal states
+///     are final; acknowledged cancels end cancelled),
+///   - per-user ledger totals equal the shots their jobs actually
+///     executed, and in-flight reservations drained to zero,
+///   - the queue is empty and, under GC, records_ stays within its cap.
+std::vector<std::string> check_invariants(const InvariantInput& input);
+
+}  // namespace qcenv::simtest

@@ -1,0 +1,633 @@
+#include "simtest/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/temp_dir.hpp"
+#include "daemon/daemon.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "store/fault_injector.hpp"
+
+#define QCENV_LOG_COMPONENT "simtest"
+#include "common/logging.hpp"
+
+namespace qcenv::simtest {
+
+using common::DurationNs;
+using common::TimeNs;
+using daemon::DaemonJobState;
+using daemon::JobClass;
+
+namespace {
+
+/// Tiny 2-qubit analog program — execution cost is irrelevant to the
+/// scenarios; shot bookkeeping is everything.
+quantum::Payload make_payload(std::uint64_t shots) {
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                               quantum::Waveform::constant(200, 0.0), 0.0});
+  return quantum::Payload::from_sequence(seq, shots);
+}
+
+const char* partition_for(JobClass cls) {
+  switch (cls) {
+    case JobClass::kProduction: return "production";
+    case JobClass::kTest: return "test";
+    case JobClass::kDevelopment: return "dev";
+  }
+  return "dev";
+}
+
+struct Submission {
+  DurationNs at = 0;
+  std::size_t user = 0;
+  JobClass cls = JobClass::kDevelopment;
+  std::uint64_t shots = 0;
+};
+
+std::vector<Submission> make_workload(common::Rng& rng,
+                                      const ScenarioOptions& options) {
+  std::vector<Submission> load;
+  load.reserve(options.jobs);
+  for (std::size_t i = 0; i < options.jobs; ++i) {
+    Submission submission;
+    submission.at = static_cast<DurationNs>(
+        static_cast<double>(options.horizon) * 0.85 * rng.uniform());
+    submission.user = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(options.users) - 1));
+    const std::size_t cls = rng.discrete({0.2, 0.3, 0.5});
+    submission.cls = cls == 0   ? JobClass::kProduction
+                     : cls == 1 ? JobClass::kTest
+                                : JobClass::kDevelopment;
+    submission.shots = static_cast<std::uint64_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options.min_shots),
+        static_cast<std::int64_t>(options.max_shots)));
+    load.push_back(submission);
+  }
+  std::sort(load.begin(), load.end(),
+            [](const Submission& a, const Submission& b) {
+              return a.at < b.at;
+            });
+  return load;
+}
+
+/// Latency/brownout model behind the emulator fault hooks. Hooks fire on
+/// dispatch lanes concurrently, and Rng is not thread-safe.
+struct EmuModel {
+  std::mutex mutex;
+  common::Rng rng{0};
+  bool latency = false;
+  double brownout = 0.0;
+};
+
+/// The world one scenario lives in: fleet, daemon, clock, disk, tenants,
+/// and the per-job expectations the invariants are checked against.
+class SimWorld {
+ public:
+  SimWorld(const ScenarioOptions& options, ScenarioResult& result)
+      : options_(options),
+        result_(result),
+        clock_(0, /*auto_advance=*/true),
+        storm_rng_(common::Rng(options.seed).fork(3)) {
+    for (std::size_t i = 0; i < options_.fleet_size; ++i) {
+      auto emu = qrmi::LocalEmulatorQrmi::create(
+                     "emu" + std::to_string(i), "sv")
+                     .value();
+      auto model = std::make_shared<EmuModel>();
+      model->rng = common::Rng(options_.seed).fork(100 + i);
+      model->latency = options_.latency;
+      model->brownout = options_.faults.brownout_prob;
+      qrmi::EmulatorFaultHooks hooks;
+      if (model->latency || model->brownout > 0.0) {
+        hooks.on_start =
+            [model](const quantum::Payload&)
+            -> std::optional<common::Error> {
+          std::scoped_lock lock(model->mutex);
+          if (model->brownout > 0.0 &&
+              model->rng.bernoulli(model->brownout)) {
+            return common::err::io("injected transient node brownout");
+          }
+          return std::nullopt;
+        };
+        hooks.latency = [model](std::uint64_t shots) -> DurationNs {
+          std::scoped_lock lock(model->mutex);
+          if (!model->latency) return 0;
+          // ~1 ms floor plus tail jitter plus per-shot cost, all virtual.
+          return common::kMillisecond +
+                 common::from_seconds(model->rng.exponential_mean(0.002)) +
+                 static_cast<DurationNs>(shots) * 10 * common::kMicrosecond;
+        };
+      }
+      if (options_.plant_shot_loss) {
+        // The deliberate bug: silently drop one count from every result.
+        hooks.corrupt_result = [](quantum::Samples samples) {
+          quantum::Samples corrupted(samples.num_qubits());
+          bool dropped = false;
+          for (const auto& [bits, count] : samples.counts()) {
+            const std::uint64_t keep =
+                !dropped && count > 0 ? count - 1 : count;
+            dropped = dropped || keep != count;
+            if (keep > 0) corrupted.record(bits, keep);
+          }
+          corrupted.set_metadata(samples.metadata());
+          return corrupted;
+        };
+      }
+      emu->set_fault_hooks(std::move(hooks), &clock_);
+      emus_.push_back(std::move(emu));
+      models_.push_back(std::move(model));
+    }
+    store::set_fault_injector(&injector_);
+    daemon_ = make_daemon();
+    for (std::size_t u = 0; u < options_.users; ++u) {
+      open_session(u);
+    }
+  }
+
+  ~SimWorld() {
+    daemon_.reset();
+    store::set_fault_injector(nullptr);
+  }
+
+  common::ManualClock& clock() { return clock_; }
+  daemon::MiddlewareDaemon& daemon() { return *daemon_; }
+
+  bool journal_healthy() const {
+    if (disk_dead_) return false;
+    auto* store = daemon_->state_store();
+    return store == nullptr || !store->journal().io_error().has_value();
+  }
+
+  void submit(std::size_t user, JobClass cls, std::uint64_t shots) {
+    daemon::MiddlewareDaemon::SubmitHints hints;
+    hints.partition = partition_for(cls);
+    auto submitted = daemon_->submit_job(tokens_[user],
+                                         make_payload(shots), hints);
+    if (submitted.ok()) {
+      const std::uint64_t id = submitted.value().id;
+      tracked_.emplace(id, TrackedJob{id, user_name(user), shots, false,
+                                      std::nullopt});
+      ++result_.stats.submitted;
+      return;
+    }
+    ++result_.stats.rejected;
+    switch (submitted.error().code()) {
+      case common::ErrorCode::kResourceExhausted:  // rate/pending limits
+      case common::ErrorCode::kUnavailable:        // fleet entirely down
+      case common::ErrorCode::kIo:                 // journal fail-stopped
+        break;
+      case common::ErrorCode::kPermissionDenied:
+        // Session lost to a crash that outran its journal event; open a
+        // fresh one so this tenant keeps participating.
+        open_session(user);
+        break;
+      default:
+        violation("unexpected submit rejection for " + user_name(user) +
+                  ": " + submitted.error().to_string());
+        break;
+    }
+  }
+
+  void apply(const FaultEvent& event) {
+    switch (event.op) {
+      case FaultOp::kQpuOffline:
+        ++result_.stats.flaps;
+        emu_of(event.target)->set_offline(true);
+        break;
+      case FaultOp::kQpuOnline:
+        emu_of(event.target)->set_offline(false);
+        break;
+      case FaultOp::kDrainResource:
+        (void)daemon_->dispatcher().drain_resource(emu_name(event.target));
+        break;
+      case FaultOp::kResumeResource:
+        (void)daemon_->dispatcher().resume_resource(emu_name(event.target));
+        break;
+      case FaultOp::kDrainAll:
+        daemon_->dispatcher().drain();
+        break;
+      case FaultOp::kResumeAll:
+        daemon_->dispatcher().resume();
+        break;
+      case FaultOp::kCancelJob:
+        cancel_one(event.param);
+        break;
+      case FaultOp::kCloseSession:
+        close_session(event.target % options_.users);
+        break;
+      case FaultOp::kKillRestart:
+        restart();
+        break;
+      case FaultOp::kJournalFailStop:
+        if (daemon_->state_store() == nullptr) break;
+        ++result_.stats.disk_faults;
+        capture_durable_terminals();
+        injector_.fail_journal_writes_after(injector_.journal_writes() +
+                                            event.param);
+        disk_dead_ = true;
+        break;
+      case FaultOp::kTornTail:
+        if (daemon_->state_store() == nullptr) break;
+        ++result_.stats.disk_faults;
+        capture_durable_terminals();
+        injector_.tear_journal_write_after(injector_.journal_writes(),
+                                           event.param);
+        disk_dead_ = true;
+        break;
+      case FaultOp::kCompact:
+        if (daemon_->state_store() != nullptr) {
+          ++result_.stats.compactions;
+          (void)daemon_->state_store()->compact();
+        }
+        break;
+      case FaultOp::kSubmitStorm: {
+        ++result_.stats.storms;
+        const std::size_t user = event.target % options_.users;
+        for (std::uint64_t i = 0; i < event.param; ++i) {
+          submit(user, JobClass::kDevelopment,
+                 static_cast<std::uint64_t>(
+                     storm_rng_.uniform_int(8, 40)));
+        }
+        break;
+      }
+    }
+  }
+
+  /// Advances virtual time until every tracked job is terminal. The
+  /// stall decision is a VIRTUAL-time budget past the last event — a
+  /// fixed number of 2 ms advances, identical on a laptop and a loaded
+  /// CI runner — so a stalled seed replays as stalled anywhere. A far
+  /// larger real-time backstop only guards against true deadlock.
+  void drive_to_quiescence() {
+    const TimeNs virtual_deadline =
+        clock_.now() + 2 * 60 * common::kSecond;
+    const auto started = std::chrono::steady_clock::now();
+    while (true) {
+      const auto jobs = job_table();
+      bool pending = false;
+      for (const auto& [id, tracked] : tracked_) {
+        const auto it = jobs.find(id);
+        if (it == jobs.end()) continue;  // GC'd: terminal by definition
+        const auto state = it->second.state;
+        if (state != DaemonJobState::kCompleted &&
+            state != DaemonJobState::kFailed &&
+            state != DaemonJobState::kCancelled) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending) break;
+      if (clock_.now() > virtual_deadline ||
+          std::chrono::steady_clock::now() - started >
+              std::chrono::seconds(120)) {
+        std::string stuck;
+        for (const auto& [id, job] : jobs) {
+          if (tracked_.count(id) == 0) continue;
+          if (job.state == DaemonJobState::kQueued ||
+              job.state == DaemonJobState::kRunning) {
+            stuck += " job " + std::to_string(id) + "=" +
+                     daemon::to_string(job.state) + "@" +
+                     (job.resource.empty() ? "<unplaced>" : job.resource);
+          }
+        }
+        violation("scenario stalled: work never quiesced:" + stuck);
+        break;
+      }
+      clock_.advance(2 * common::kMillisecond);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  InvariantInput gather() {
+    InvariantInput input;
+    if (options_.gc) (void)daemon_->dispatcher().sweep_terminal();
+    input.jobs = job_table();
+    for (const auto& [id, tracked] : tracked_) {
+      input.tracked.push_back(tracked);
+      const auto it = input.jobs.find(id);
+      if (it != input.jobs.end() &&
+          it->second.state == DaemonJobState::kCompleted) {
+        auto samples = daemon_->dispatcher().result(id);
+        if (samples.ok()) {
+          input.result_shots[id] = samples.value().total_shots();
+        }
+      }
+    }
+    const TimeNs now = clock_.now();
+    for (std::size_t u = 0; u < options_.users; ++u) {
+      const std::string user = user_name(u);
+      input.ledger_raw_shots[user] =
+          daemon_->accounting().ledger().usage(user, now).raw_shots;
+      input.inflight_shots[user] =
+          daemon_->accounting().rate_limiter().inflight_shots(user);
+    }
+    for (const auto& [_, depth] : daemon_->dispatcher().queue_depths()) {
+      input.queue_depth += depth;
+    }
+    input.gc_enabled = options_.gc;
+    input.records_count = daemon_->dispatcher().jobs_snapshot().size();
+    input.records_cap = options_.gc ? kGcCap : 0;
+    input.check_ledger_balance = !options_.gc;
+    // Final per-state tally for the sweep's summary line.
+    for (const auto& [id, job] : input.jobs) {
+      if (tracked_.count(id) == 0) continue;
+      if (job.state == DaemonJobState::kCompleted) {
+        ++result_.stats.completed;
+      } else if (job.state == DaemonJobState::kFailed) {
+        ++result_.stats.failed;
+      } else if (job.state == DaemonJobState::kCancelled) {
+        ++result_.stats.cancelled;
+      }
+    }
+    result_.stats.virtual_end = now;
+    return input;
+  }
+
+ private:
+  static constexpr std::size_t kGcCap = 12;
+
+  std::string user_name(std::size_t u) const {
+    return "u" + std::to_string(u);
+  }
+  std::string emu_name(std::size_t i) const {
+    return "emu" + std::to_string(i % options_.fleet_size);
+  }
+  std::shared_ptr<qrmi::LocalEmulatorQrmi> emu_of(std::size_t i) {
+    return emus_[i % emus_.size()];
+  }
+
+  void violation(std::string message) {
+    result_.violations.push_back(std::move(message));
+  }
+
+  void open_session(std::size_t user) {
+    auto session =
+        daemon_->open_session(user_name(user), JobClass::kTest);
+    if (!session.ok()) {
+      violation("could not open session for " + user_name(user) + ": " +
+                session.error().to_string());
+      return;
+    }
+    tokens_[user] = session.value().token;
+  }
+
+  void close_session(std::size_t user) {
+    const auto token = tokens_.find(user);
+    if (token == tokens_.end()) return;
+    (void)daemon_->close_session(token->second);
+    // Queued jobs of that session just went terminal; bind the ones whose
+    // cancellation is already durable so a later life cannot revive them.
+    if (journal_healthy()) capture_durable_terminals();
+    open_session(user);
+  }
+
+  void cancel_one(std::uint64_t pick) {
+    const auto jobs = job_table();
+    std::vector<std::uint64_t> live;
+    for (const auto& [id, tracked] : tracked_) {
+      const auto it = jobs.find(id);
+      if (it == jobs.end()) continue;
+      if (it->second.state == DaemonJobState::kQueued ||
+          it->second.state == DaemonJobState::kRunning) {
+        live.push_back(id);
+      }
+    }
+    if (live.empty()) return;
+    const std::uint64_t id = live[pick % live.size()];
+    auto status = daemon_->dispatcher().cancel(id);
+    if (status.ok() && journal_healthy()) {
+      // The ack is durable (kAlways journal): this job must end — and
+      // forever stay — cancelled, across any number of restarts.
+      tracked_.at(id).must_cancel = true;
+    }
+  }
+
+  void capture_durable_terminals() {
+    const auto jobs = job_table();
+    for (auto& [id, tracked] : tracked_) {
+      if (tracked.durable_terminal.has_value()) continue;
+      const auto it = jobs.find(id);
+      if (it == jobs.end()) continue;
+      const auto state = it->second.state;
+      if (state == DaemonJobState::kCompleted ||
+          state == DaemonJobState::kFailed ||
+          state == DaemonJobState::kCancelled) {
+        tracked.durable_terminal = state;
+      }
+    }
+  }
+
+  void restart() {
+    if (daemon_->state_store() == nullptr) return;  // nothing to recover
+    ++result_.stats.restarts;
+    if (journal_healthy()) capture_durable_terminals();
+    // Teardown stands in for the kill: with a dead disk the final flushes
+    // fail and everything after the fail point is simply gone — exactly
+    // the on-disk image a crash would leave.
+    daemon_.reset();
+    injector_.heal();
+    disk_dead_ = false;
+    daemon_ = make_daemon();
+    // Durably-terminal jobs must come back exactly as they died.
+    const auto jobs = job_table();
+    for (const auto& [id, tracked] : tracked_) {
+      if (!tracked.durable_terminal.has_value()) continue;
+      const auto it = jobs.find(id);
+      if (it == jobs.end()) {
+        if (!options_.gc) {
+          violation("job " + std::to_string(id) +
+                    " lost across restart despite a durable terminal "
+                    "state");
+        }
+        continue;
+      }
+      if (it->second.state != *tracked.durable_terminal) {
+        violation("job " + std::to_string(id) +
+                  " changed state across restart: " +
+                  daemon::to_string(*tracked.durable_terminal) + " -> " +
+                  daemon::to_string(it->second.state));
+      }
+    }
+    // Session tokens normally survive; ones lost to the dead journal are
+    // reopened so their tenants keep submitting.
+    for (std::size_t u = 0; u < options_.users; ++u) {
+      const auto token = tokens_.find(u);
+      if (token == tokens_.end() ||
+          !daemon_->sessions().authenticate(token->second).ok()) {
+        open_session(u);
+      }
+    }
+  }
+
+  std::map<std::uint64_t, daemon::DaemonJob> job_table() const {
+    std::map<std::uint64_t, daemon::DaemonJob> out;
+    for (const auto& job : daemon_->dispatcher().jobs_snapshot()) {
+      out.emplace(job.id, job);
+    }
+    return out;
+  }
+
+  std::unique_ptr<daemon::MiddlewareDaemon> make_daemon() {
+    daemon::DaemonOptions options;
+    options.admin_key = "simtest";
+    options.queue_policy.non_production_batch_shots = options_.batch_shots;
+    // Probe cadence scaled to the scenario horizon so flapped resources
+    // re-probe (in virtual time) well before quiescence.
+    options.broker.probe_interval = common::kSecond;
+    options.broker.initial_backoff = 100 * common::kMillisecond;
+    options.broker.max_backoff = 2 * common::kSecond;
+    for (std::size_t u = 0; u < options_.users; ++u) {
+      // Descending shares: u0 the best-funded tenant, the tail shares 10.
+      const double shares = u == 0 ? 50.0 : u == 1 ? 30.0 : u == 2 ? 20.0
+                                                                   : 10.0;
+      options.accounting.fair_share.user_shares[user_name(u)] = {"sim",
+                                                                 shares};
+    }
+    if (options_.rate_limits) {
+      options.accounting.rate_limit.submit_per_sec = 25.0;
+      options.accounting.rate_limit.submit_burst = 6.0;
+      options.accounting.rate_limit.max_inflight_shots =
+          options_.max_shots * 64;
+    }
+    if (options_.durable) {
+      options.store.data_dir = dir_.path();
+      options.store.journal.sync = store::SyncMode::kAlways;
+      // Compaction is a scheduled fault event, not a background race.
+      options.store.compact_every_events = 0;
+    }
+    if (options_.gc) options.store.terminal_job_cap = kGcCap;
+    qrmi::ResourceRegistry fleet;
+    for (std::size_t i = 0; i < emus_.size(); ++i) {
+      fleet.add(emu_name(i), emus_[i]);
+    }
+    auto daemon = std::make_unique<daemon::MiddlewareDaemon>(
+        options, fleet, nullptr, &clock_);
+    // Idle lanes re-check queues every 0.5 ms of real time: recovery from
+    // flaps is bounded by microseconds, not the production 20 ms tick.
+    daemon->dispatcher().set_idle_tick(common::kMillisecond / 2);
+    return daemon;
+  }
+
+  const ScenarioOptions& options_;
+  ScenarioResult& result_;
+  common::ManualClock clock_;
+  common::TempDir dir_{"qcenv-simtest-"};
+  store::CountingFaultInjector injector_;
+  bool disk_dead_ = false;
+  std::vector<std::shared_ptr<qrmi::LocalEmulatorQrmi>> emus_;
+  std::vector<std::shared_ptr<EmuModel>> models_;
+  std::unique_ptr<daemon::MiddlewareDaemon> daemon_;
+  std::map<std::size_t, std::string> tokens_;
+  std::map<std::uint64_t, TrackedJob> tracked_;
+  common::Rng storm_rng_;
+};
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioOptions& options) {
+  ScenarioResult result;
+  result.seed = options.seed;
+
+  common::Rng root(options.seed);
+  common::Rng fault_rng = root.fork(1);
+  common::Rng load_rng = root.fork(2);
+
+  FaultPlanOptions fault_options = options.faults;
+  fault_options.fleet_size = options.fleet_size;
+  fault_options.users = options.users;
+  fault_options.horizon = options.horizon;
+  if (!options.durable) {
+    fault_options.restarts = 0;
+    fault_options.disk_fault = false;
+    fault_options.compactions = 0;
+  }
+  const FaultPlan plan = make_fault_plan(fault_rng, fault_options);
+  result.plan = plan.to_string();
+  const std::vector<Submission> load = make_workload(load_rng, options);
+
+  // One timeline: submissions and faults interleaved by virtual time.
+  struct Step {
+    DurationNs at;
+    bool is_fault;
+    std::size_t index;
+  };
+  std::vector<Step> timeline;
+  timeline.reserve(load.size() + plan.events.size());
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    timeline.push_back({load[i].at, false, i});
+  }
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    timeline.push_back({plan.events[i].at, true, i});
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const Step& a, const Step& b) { return a.at < b.at; });
+
+  SimWorld world(options, result);
+  for (const auto& step : timeline) {
+    // Catch-up jump (lanes may already have nudged virtual time past the
+    // step through their poll sleeps — events then fire back-to-back, in
+    // order, which preserves the schedule's semantics).
+    world.clock().advance_to(step.at);
+    if (step.is_fault) {
+      world.apply(plan.events[step.index]);
+    } else {
+      const Submission& submission = load[step.index];
+      world.submit(submission.user, submission.cls, submission.shots);
+    }
+  }
+  world.drive_to_quiescence();
+  auto input = world.gather();
+  auto violations = check_invariants(input);
+  result.violations.insert(result.violations.end(), violations.begin(),
+                           violations.end());
+  return result;
+}
+
+ScenarioOptions scenario_for_seed(std::uint64_t seed, bool quick) {
+  common::Rng rng(seed ^ 0xC0FFEE5EEDull);
+  ScenarioOptions options;
+  options.seed = seed;
+  options.fleet_size =
+      static_cast<std::size_t>(rng.uniform_int(1, 3));
+  options.users = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  options.jobs = static_cast<std::size_t>(
+      quick ? rng.uniform_int(10, 18) : rng.uniform_int(18, 40));
+  options.min_shots = 20;
+  options.max_shots =
+      static_cast<std::uint64_t>(quick ? 100 : rng.uniform_int(100, 240));
+  const std::int64_t batch = rng.uniform_int(0, 2);
+  options.batch_shots = batch == 0 ? 8 : batch == 1 ? 16 : 32;
+  options.durable = rng.bernoulli(0.75);
+  options.gc = rng.bernoulli(0.2);
+  options.latency = rng.bernoulli(0.3);
+  options.rate_limits = rng.bernoulli(0.8);
+  options.horizon = static_cast<DurationNs>(
+      rng.uniform_int(20, 40) * common::kSecond);
+  options.faults.flaps = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  options.faults.drains =
+      static_cast<std::size_t>(rng.uniform_int(0, 1));
+  options.faults.global_drain = rng.bernoulli(0.25);
+  options.faults.cancels =
+      static_cast<std::size_t>(rng.uniform_int(1, 4));
+  options.faults.session_churns =
+      static_cast<std::size_t>(rng.uniform_int(0, 1));
+  options.faults.restarts = options.durable
+                                ? static_cast<std::size_t>(
+                                      rng.uniform_int(0, 2))
+                                : 0;
+  options.faults.disk_fault = options.durable && rng.bernoulli(0.35);
+  options.faults.compactions = options.durable
+                                   ? static_cast<std::size_t>(
+                                         rng.uniform_int(0, 2))
+                                   : 0;
+  options.faults.storms =
+      static_cast<std::size_t>(rng.uniform_int(0, 2));
+  options.faults.brownout_prob = rng.bernoulli(0.3) ? 0.01 : 0.0;
+  return options;
+}
+
+}  // namespace qcenv::simtest

@@ -1,0 +1,67 @@
+#include "simtest/sweep.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace qcenv::simtest {
+
+std::string summary_line(const ScenarioResult& result) {
+  const ScenarioStats& stats = result.stats;
+  std::string out = "seed " + std::to_string(result.seed) + ": " +
+                    std::to_string(stats.submitted) + " jobs (" +
+                    std::to_string(stats.completed) + " completed, " +
+                    std::to_string(stats.failed) + " failed, " +
+                    std::to_string(stats.cancelled) + " cancelled, " +
+                    std::to_string(stats.rejected) + " rejected), " +
+                    std::to_string(stats.restarts) + " restart(s), " +
+                    std::to_string(stats.flaps) + " flap(s), " +
+                    std::to_string(stats.disk_faults) + " disk fault(s), " +
+                    std::to_string(stats.virtual_end /
+                                   common::kMillisecond) +
+                    " virtual ms";
+  if (!result.ok()) {
+    out += " — " + std::to_string(result.violations.size()) +
+           " VIOLATION(S)";
+  }
+  return out;
+}
+
+namespace {
+
+void report_failure(const ScenarioResult& result, std::ostream& out) {
+  out << "FAILED " << summary_line(result) << "\n";
+  out << "  replay: simtest_sweep --seed " << result.seed << "\n";
+  out << "  fault schedule:\n" << result.plan;
+  for (const auto& violation : result.violations) {
+    out << "  violation: " << violation << "\n";
+  }
+}
+
+}  // namespace
+
+SweepOutcome run_sweep(const SweepOptions& options, std::ostream& log) {
+  SweepOutcome outcome;
+  for (std::size_t i = 0; i < options.seeds; ++i) {
+    const std::uint64_t seed = options.first_seed + i;
+    ScenarioResult result =
+        run_scenario(scenario_for_seed(seed, options.quick));
+    ++outcome.ran;
+    if (result.ok()) {
+      if (options.verbose) log << summary_line(result) << "\n";
+      continue;
+    }
+    report_failure(result, log);
+    outcome.failures.push_back(std::move(result));
+  }
+  if (!outcome.failures.empty() && !options.artifact_path.empty()) {
+    std::ofstream artifact(options.artifact_path, std::ios::app);
+    for (const auto& failure : outcome.failures) {
+      report_failure(failure, artifact);
+    }
+  }
+  log << "sweep: " << outcome.ran << " seed(s), "
+      << outcome.failures.size() << " failure(s)\n";
+  return outcome;
+}
+
+}  // namespace qcenv::simtest

@@ -1,0 +1,41 @@
+// Seed sweep: runs N seeded scenarios back to back and reports every
+// failure with its seed and expanded fault schedule, so any red sweep is
+// one `simtest_sweep --seed <N>` away from a local replay. CI runs 200
+// quick seeds per push and a larger sweep nightly; every future PR gets a
+// regression sweep over crash/flap/tenant-storm scenarios for free.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simtest/scenario.hpp"
+
+namespace qcenv::simtest {
+
+struct SweepOptions {
+  std::uint64_t first_seed = 1;
+  std::size_t seeds = 200;
+  /// Smaller workloads per seed (the CI budget); nightly runs without.
+  bool quick = true;
+  /// Log every seed's summary line, not just failures.
+  bool verbose = false;
+  /// When non-empty, failing seeds + schedules are appended here (CI
+  /// uploads the file as a build artifact).
+  std::string artifact_path;
+};
+
+struct SweepOutcome {
+  std::size_t ran = 0;
+  std::vector<ScenarioResult> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the sweep, streaming progress to `log`.
+SweepOutcome run_sweep(const SweepOptions& options, std::ostream& log);
+
+/// One-line scenario summary ("seed 17: 14 jobs, 12 completed, ...").
+std::string summary_line(const ScenarioResult& result);
+
+}  // namespace qcenv::simtest

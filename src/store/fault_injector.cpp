@@ -1,0 +1,51 @@
+#include "store/fault_injector.hpp"
+
+namespace qcenv::store {
+
+namespace {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace
+
+const char* to_string(FsOp op) noexcept {
+  switch (op) {
+    case FsOp::kJournalWrite: return "journal_write";
+    case FsOp::kJournalFsync: return "journal_fsync";
+    case FsOp::kAtomicWrite: return "atomic_write";
+    case FsOp::kAtomicFsync: return "atomic_fsync";
+  }
+  return "?";
+}
+
+void set_fault_injector(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* fault_injector() noexcept {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+FaultDecision CountingFaultInjector::on_write(FsOp op, const std::string&,
+                                              std::size_t size) {
+  std::scoped_lock lock(mutex_);
+  if (op == FsOp::kAtomicWrite) {
+    return fail_snapshots_ ? FaultDecision::fail() : FaultDecision::pass();
+  }
+  if (op != FsOp::kJournalWrite) return FaultDecision::pass();
+  const std::uint64_t index = journal_writes_++;
+  if (index < fail_after_) return FaultDecision::pass();
+  if (short_write_ && index == fail_after_ && size > 0) {
+    // A short write is strictly short: a "tear" that keeps every byte
+    // would leave a complete line behind a failure report.
+    return FaultDecision::short_write(
+        keep_bytes_ < size ? keep_bytes_ : size - 1);
+  }
+  return FaultDecision::fail();
+}
+
+bool CountingFaultInjector::on_fsync(FsOp op, const std::string&) {
+  std::scoped_lock lock(mutex_);
+  if (op == FsOp::kAtomicFsync) return fail_snapshots_;
+  return fail_fsyncs_;
+}
+
+}  // namespace qcenv::store

@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "store/fault_injector.hpp"
+
 namespace qcenv::store {
 
 using common::Status;
@@ -34,6 +36,21 @@ Status fsync_parent_dir(const std::string& path) {
 Status write_file_atomic(const std::string& path,
                          std::string_view contents) {
   const std::string tmp = path + ".tmp";
+  if (FaultInjector* injector = fault_injector()) {
+    const FaultDecision decision =
+        injector->on_write(FsOp::kAtomicWrite, path, contents.size());
+    if (decision.kind != FaultDecision::Kind::kPass) {
+      // Atomic writes are all-or-nothing by construction: a failed or
+      // short tmp-file write never replaces the destination, so both
+      // injected kinds collapse to "the write failed, old file intact".
+      errno = EIO;
+      return io_failure("cannot write", tmp);
+    }
+    if (injector->on_fsync(FsOp::kAtomicFsync, path)) {
+      errno = EIO;
+      return io_failure("fsync failed on", tmp);
+    }
+  }
   const int fd =
       ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0600);
   if (fd < 0) return io_failure("cannot create", tmp);

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "store/fault_injector.hpp"
 #include "store/fsio.hpp"
 
 #define QCENV_LOG_COMPONENT "store.journal"
@@ -298,6 +299,42 @@ std::uint64_t JobJournal::size_bytes() const {
 Status JobJournal::write_block(const std::string& block, bool sync) {
   const char* data = block.data();
   std::size_t remaining = block.size();
+  // Where this block starts: if the fsync below fails, the bytes were
+  // written but their durability is unknown — a restart would replay a
+  // line the caller is about to be told failed. Compensate by truncating
+  // back to this offset (best effort: on a truly dead disk the truncate
+  // fails too and the ambiguity is inherent).
+  const off_t block_start = ::lseek(fd_, 0, SEEK_END);
+  if (FaultInjector* injector = fault_injector()) {
+    const FaultDecision decision =
+        injector->on_write(FsOp::kJournalWrite, path_, block.size());
+    switch (decision.kind) {
+      case FaultDecision::Kind::kPass:
+        break;
+      case FaultDecision::Kind::kFail:
+        errno = EIO;
+        return make_io_error("cannot append to journal", path_);
+      case FaultDecision::Kind::kShortWrite:
+        // The torn-tail crash model: part of the block reaches the disk,
+        // then the device dies. Whatever lands must really land so replay
+        // sees exactly what a crashed daemon would have left behind.
+        remaining = decision.bytes;
+        break;
+    }
+    if (decision.kind == FaultDecision::Kind::kShortWrite) {
+      while (remaining > 0) {
+        const ssize_t wrote = ::write(fd_, data, remaining);
+        if (wrote < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        data += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
+      }
+      errno = EIO;
+      return make_io_error("cannot append to journal", path_);
+    }
+  }
   while (remaining > 0) {
     const ssize_t wrote = ::write(fd_, data, remaining);
     if (wrote < 0) {
@@ -307,8 +344,20 @@ Status JobJournal::write_block(const std::string& block, bool sync) {
     data += wrote;
     remaining -= static_cast<std::size_t>(wrote);
   }
-  if (sync && ::fsync(fd_) != 0) {
-    return make_io_error("fsync failed on journal", path_);
+  if (sync) {
+    FaultInjector* injector = fault_injector();
+    const bool injected_failure =
+        injector != nullptr && injector->on_fsync(FsOp::kJournalFsync, path_);
+    if (injected_failure || ::fsync(fd_) != 0) {
+      if (injected_failure) errno = EIO;
+      const auto error = make_io_error("fsync failed on journal", path_);
+      // The block is fully written but not durable: shear it back off so
+      // the file cannot resurrect events whose append was reported
+      // failed. (Failed/short write()s are left as-is — that is the
+      // disk-died-mid-write crash model, and replay drops the torn tail.)
+      if (block_start >= 0) (void)::ftruncate(fd_, block_start);
+      return error;
+    }
   }
   return Status::ok_status();
 }
@@ -331,7 +380,12 @@ void JobJournal::writer_loop() {
         bool synced = false;
         {
           std::scoped_lock io(io_mutex_);
-          synced = fd_ >= 0 && ::fsync(fd_) == 0;
+          FaultInjector* injector = fault_injector();
+          const bool injected_failure =
+              injector != nullptr &&
+              injector->on_fsync(FsOp::kJournalFsync, path_);
+          if (injected_failure) errno = EIO;
+          synced = !injected_failure && fd_ >= 0 && ::fsync(fd_) == 0;
         }
         lock.lock();
         if (synced) {

@@ -1,7 +1,6 @@
 #include "store/recovery.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 
 #include "quantum/samples.hpp"
@@ -67,17 +66,17 @@ Json ReplayStats::to_json() const {
 Result<RecoveredState> RecoveryReplayer::replay(
     const std::string& journal_path, const std::string& snapshot_path,
     std::vector<JournalEntry>* parsed_entries,
-    std::uint64_t* parsed_prefix_bytes) {
-  const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t* parsed_prefix_bytes, common::Clock* clock) {
+  common::WallClock wall;
+  if (clock == nullptr) clock = &wall;
+  const common::TimeNs t0 = clock->now();
   auto snapshot = StoreSnapshot::load(snapshot_path);
   if (!snapshot.ok()) return snapshot.error();
   auto entries = JobJournal::read_file(journal_path, parsed_prefix_bytes);
   if (!entries.ok()) return entries.error();
   RecoveredState state =
       apply(std::move(snapshot).value(), entries.value());
-  state.stats.replay_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  state.stats.replay_seconds = common::to_seconds(clock->now() - t0);
   if (parsed_entries != nullptr) {
     *parsed_entries = std::move(entries).value();
   }

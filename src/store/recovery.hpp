@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/json.hpp"
 #include "common/result.hpp"
 #include "store/journal.hpp"
@@ -73,11 +74,15 @@ class RecoveryReplayer {
   /// Non-null `parsed_entries` / `parsed_prefix_bytes` receive the
   /// decoded journal and its complete-line prefix length so the caller
   /// can hand both to JobJournal's preparsed open() — startup then reads
-  /// and parses the journal exactly once.
+  /// and parses the journal exactly once. `clock` times the replay for
+  /// ReplayStats — injected (never std::chrono directly) so virtual-time
+  /// harnesses see zero wall-clock reads anywhere in the stack; nullptr
+  /// falls back to a local WallClock.
   static common::Result<RecoveredState> replay(
       const std::string& journal_path, const std::string& snapshot_path,
       std::vector<JournalEntry>* parsed_entries = nullptr,
-      std::uint64_t* parsed_prefix_bytes = nullptr);
+      std::uint64_t* parsed_prefix_bytes = nullptr,
+      common::Clock* clock = nullptr);
 
   /// Pure replay over in-memory inputs (unit-testable core).
   static RecoveredState apply(std::optional<StoreSnapshot> snapshot,

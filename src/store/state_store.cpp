@@ -62,7 +62,7 @@ Result<RecoveredState> StateStore::open() {
   std::vector<JournalEntry> entries;
   std::uint64_t prefix_bytes = 0;
   auto recovered = RecoveryReplayer::replay(journal_path(), snapshot_path(),
-                                            &entries, &prefix_bytes);
+                                            &entries, &prefix_bytes, clock_);
   if (!recovered.ok()) return recovered.error();
 
   journal_ = std::make_unique<JobJournal>(options_.journal, clock_, metrics_);

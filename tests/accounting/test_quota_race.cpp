@@ -1,0 +1,109 @@
+// Quota changes racing live dispatch: POST /admin/quotas/:user may shrink
+// max_inflight_shots below what the user already has in flight while
+// batches are executing and releasing reservations concurrently. The
+// bucket accounting must never underflow (a wrapped uint64 would lock the
+// tenant out forever) and must drain to exactly zero once the work lands.
+// Runs under ASan/UBSan in CI via the accounting\. test regex.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "daemon/daemon.hpp"
+#include "net/http_client.hpp"
+#include "qrmi/local_emulator.hpp"
+
+namespace qcenv::accounting {
+namespace {
+
+using common::Json;
+
+quantum::Payload small_payload(std::uint64_t shots) {
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                               quantum::Waveform::constant(200, 0.0), 0.0});
+  return quantum::Payload::from_sequence(seq, shots);
+}
+
+TEST(QuotaRace, ShrinkBelowInflightNeverUnderflowsBucketAccounting) {
+  common::WallClock clock;
+  daemon::DaemonOptions options;
+  options.admin_key = "root";
+  options.queue_policy.non_production_batch_shots = 10;
+  auto daemon = std::make_unique<daemon::MiddlewareDaemon>(
+      options, qrmi::LocalEmulatorQrmi::create("emu", "sv").value(),
+      nullptr, &clock);
+  ASSERT_TRUE(daemon->start().ok());
+
+  net::HttpClient plain(daemon->port());
+  auto opened =
+      plain.post("/v1/sessions", R"({"user":"alice","class":"test"})");
+  ASSERT_EQ(opened.value().status, 201);
+  net::HttpClient alice(daemon->port());
+  alice.set_default_header(
+      "X-Session-Token",
+      Json::parse(opened.value().body).value().get_string("token").value());
+
+  // Queue a pile of work while drained so reservations are held, then let
+  // dispatch race the quota churn.
+  daemon->dispatcher().drain();
+  std::vector<std::uint64_t> jobs;
+  for (int i = 0; i < 8; ++i) {
+    Json body = Json::object();
+    body["payload"] = small_payload(60).to_json();
+    auto accepted = alice.post("/v1/jobs", body.dump());
+    ASSERT_EQ(accepted.value().status, 201) << accepted.value().body;
+    jobs.push_back(static_cast<std::uint64_t>(
+        Json::parse(accepted.value().body).value().get_int("job_id")
+            .value()));
+  }
+  ASSERT_EQ(daemon->accounting().rate_limiter().inflight_shots("alice"),
+            8u * 60u);
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    net::HttpClient admin(daemon->port());
+    admin.set_default_header("X-Admin-Key", "root");
+    bool shrink = true;
+    while (!stop.load()) {
+      // Alternate between far below current in-flight and unlimited.
+      auto response = admin.post(
+          "/admin/quotas/alice",
+          shrink ? R"({"max_inflight_shots": 5})"
+                 : R"({"max_inflight_shots": 0})");
+      EXPECT_EQ(response.value().status, 200);
+      shrink = !shrink;
+    }
+  });
+
+  daemon->dispatcher().resume();
+  for (const auto id : jobs) {
+    auto done = daemon->dispatcher().wait(id, 120 * common::kSecond);
+    EXPECT_TRUE(done.ok()) << done.error().to_string();
+  }
+  stop.store(true);
+  churn.join();
+
+  // Everything released exactly once: no residue, and — the underflow
+  // failure mode — no wrapped-around astronomical reservation either.
+  EXPECT_EQ(daemon->accounting().rate_limiter().inflight_shots("alice"),
+            0u);
+
+  // The tenant is still serviceable under a sane final quota.
+  net::HttpClient admin(daemon->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  ASSERT_EQ(admin.post("/admin/quotas/alice",
+                       R"({"max_inflight_shots": 1000})")
+                .value()
+                .status,
+            200);
+  Json body = Json::object();
+  body["payload"] = small_payload(20).to_json();
+  auto accepted = alice.post("/v1/jobs", body.dump());
+  EXPECT_EQ(accepted.value().status, 201) << accepted.value().body;
+}
+
+}  // namespace
+}  // namespace qcenv::accounting

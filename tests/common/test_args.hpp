@@ -1,0 +1,62 @@
+// Shared --seed / --verbose handling for randomized tests. Tests that link
+// test_args_main.cpp (the SEEDED flavour of qcenv_add_test) accept
+//   <test> --seed=12345 [--verbose]
+// and print the active seed at startup, so any stochastic failure
+// reproduces deterministically from the seed in the log. The environment
+// variable QCENV_TEST_SEED works everywhere (including under plain ctest,
+// which does not forward flags).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace qcenv::testargs {
+
+namespace detail {
+inline std::uint64_t g_seed = 0;
+inline bool g_seed_explicit = false;
+inline bool g_verbose = false;
+}  // namespace detail
+
+/// Parses --seed=N / --seed N and --verbose (called by the shared main
+/// after InitGoogleTest has stripped gtest's own flags).
+inline void parse(int argc, char** argv) {
+  const char* env = std::getenv("QCENV_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    detail::g_seed = std::strtoull(env, nullptr, 10);
+    detail::g_seed_explicit = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      detail::g_seed = std::strtoull(arg + 7, nullptr, 10);
+      detail::g_seed_explicit = true;
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      detail::g_seed = std::strtoull(argv[++i], nullptr, 10);
+      detail::g_seed_explicit = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      detail::g_verbose = true;
+    }
+  }
+}
+
+/// The run's seed: explicit (--seed / QCENV_TEST_SEED) or `fallback`.
+/// Every randomized test derives all of its randomness from this one
+/// value and prints it, so the log always carries the replay recipe.
+inline std::uint64_t seed(std::uint64_t fallback = 0x5EEDF00Dull) {
+  return detail::g_seed_explicit ? detail::g_seed : fallback;
+}
+
+inline bool verbose() { return detail::g_verbose; }
+
+/// Announces the seed in the test log ("seed = N (replay: --seed=N)").
+inline void announce(std::uint64_t active_seed) {
+  std::printf("seed = %llu (replay: --seed=%llu)\n",
+              static_cast<unsigned long long>(active_seed),
+              static_cast<unsigned long long>(active_seed));
+}
+
+}  // namespace qcenv::testargs

@@ -1,0 +1,11 @@
+// Custom gtest main for seeded tests: InitGoogleTest strips gtest flags,
+// then the remaining --seed/--verbose are ours (see test_args.hpp).
+#include <gtest/gtest.h>
+
+#include "test_args.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  qcenv::testargs::parse(argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,200 @@
+// Fault-injection seams of the durable store, and the admission-rollback
+// contract they enforce: a submission that passes the rate limiter but
+// fails its journal append must come back as a 500 with every reservation
+// released — ledger, rate limiter and queue exactly as if the request had
+// never arrived — because the ack'd alternative would be a job a restart
+// silently forgets.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/temp_dir.hpp"
+#include "daemon/daemon.hpp"
+#include "net/http_client.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "store/fault_injector.hpp"
+
+namespace qcenv::store {
+namespace {
+
+using common::Json;
+using common::TempDir;
+
+quantum::Payload small_payload(std::uint64_t shots) {
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                               quantum::Waveform::constant(200, 0.0), 0.0});
+  return quantum::Payload::from_sequence(seq, shots);
+}
+
+TEST(FaultInjector, CountingSchedulesFailAndTearDeterministically) {
+  CountingFaultInjector injector;
+  injector.fail_journal_writes_after(2);
+  EXPECT_EQ(injector.on_write(FsOp::kJournalWrite, "j", 100).kind,
+            FaultDecision::Kind::kPass);
+  EXPECT_EQ(injector.on_write(FsOp::kJournalWrite, "j", 100).kind,
+            FaultDecision::Kind::kPass);
+  EXPECT_EQ(injector.on_write(FsOp::kJournalWrite, "j", 100).kind,
+            FaultDecision::Kind::kFail);
+  // Snapshot writes are independent of the journal schedule.
+  EXPECT_EQ(injector.on_write(FsOp::kAtomicWrite, "s", 100).kind,
+            FaultDecision::Kind::kPass);
+  injector.heal();
+  EXPECT_EQ(injector.on_write(FsOp::kJournalWrite, "j", 100).kind,
+            FaultDecision::Kind::kPass);
+
+  CountingFaultInjector tearing;
+  tearing.tear_journal_write_after(0, 7);
+  const auto torn = tearing.on_write(FsOp::kJournalWrite, "j", 100);
+  EXPECT_EQ(torn.kind, FaultDecision::Kind::kShortWrite);
+  EXPECT_EQ(torn.bytes, 7u);
+  // After the tear the disk is dead.
+  EXPECT_EQ(tearing.on_write(FsOp::kJournalWrite, "j", 100).kind,
+            FaultDecision::Kind::kFail);
+}
+
+class JournalFaultDaemon : public ::testing::Test {
+ protected:
+  std::unique_ptr<daemon::MiddlewareDaemon> make_daemon() {
+    daemon::DaemonOptions options;
+    options.admin_key = "root";
+    options.store.data_dir = dir_.path();
+    // Inline appends: a failed write surfaces on the submit that did it.
+    options.store.journal.sync = SyncMode::kAlways;
+    auto daemon = std::make_unique<daemon::MiddlewareDaemon>(
+        options, qrmi::LocalEmulatorQrmi::create("emu", "sv").value(),
+        nullptr, &clock_);
+    EXPECT_TRUE(daemon->start().ok());
+    return daemon;
+  }
+
+  net::HttpClient session_client(daemon::MiddlewareDaemon& daemon,
+                                 const std::string& user) {
+    net::HttpClient plain(daemon.port());
+    Json body = Json::object();
+    body["user"] = user;
+    body["class"] = "test";
+    auto opened = plain.post("/v1/sessions", body.dump());
+    EXPECT_EQ(opened.value().status, 201);
+    net::HttpClient authed(daemon.port());
+    authed.set_default_header(
+        "X-Session-Token",
+        Json::parse(opened.value().body).value().get_string("token").value());
+    return authed;
+  }
+
+  TempDir dir_;
+  common::WallClock clock_;
+};
+
+TEST_F(JournalFaultDaemon, FailedJournalAppendRollsBackAdmission) {
+  auto daemon = make_daemon();
+  auto alice = session_client(*daemon, "alice");
+
+  // Baseline: a healthy submit runs to completion and charges the ledger.
+  Json body = Json::object();
+  body["payload"] = small_payload(30).to_json();
+  auto accepted = alice.post("/v1/jobs", body.dump());
+  ASSERT_EQ(accepted.value().status, 201) << accepted.value().body;
+  const auto id = static_cast<std::uint64_t>(
+      Json::parse(accepted.value().body).value().get_int("job_id").value());
+  ASSERT_TRUE(daemon->dispatcher().wait(id, 60 * common::kSecond).ok());
+
+  const auto now = clock_.now();
+  const auto raw_before =
+      daemon->accounting().ledger().usage("alice", now).raw_shots;
+  ASSERT_EQ(
+      daemon->accounting().rate_limiter().inflight_shots("alice"), 0u);
+
+  // The disk dies; the next submit passes admission and the rate limiter,
+  // reserves its shots — and must hand every reservation back with the
+  // 500 when the journal append fails.
+  CountingFaultInjector injector;
+  injector.fail_journal_writes_after(0);
+  ScopedFaultInjector guard(&injector);
+  Json doomed = Json::object();
+  doomed["payload"] = small_payload(500).to_json();
+  auto rejected = alice.post("/v1/jobs", doomed.dump());
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().status, 500) << rejected.value().body;
+  EXPECT_NE(rejected.value().body.find("journal"), std::string::npos);
+
+  // Ledger, limiter and queue exactly as before the doomed request.
+  EXPECT_EQ(
+      daemon->accounting().rate_limiter().inflight_shots("alice"), 0u);
+  EXPECT_EQ(
+      daemon->accounting().ledger().usage("alice", clock_.now()).raw_shots,
+      raw_before);
+  EXPECT_EQ(daemon->dispatcher().pending_for_user("alice"), 0u);
+  for (const auto& [_, depth] : daemon->dispatcher().queue_depths()) {
+    EXPECT_EQ(depth, 0u);
+  }
+  // The fail-stop is sticky: later submissions are refused up front (the
+  // daemon cannot promise durability it does not have) and roll back too.
+  auto refused = alice.post("/v1/jobs", doomed.dump());
+  EXPECT_EQ(refused.value().status, 500);
+  EXPECT_EQ(
+      daemon->accounting().rate_limiter().inflight_shots("alice"), 0u);
+  // /admin/store names the durability loss.
+  net::HttpClient admin(daemon->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  auto status = admin.get("/admin/store");
+  ASSERT_EQ(status.value().status, 200);
+  const Json error = Json::parse(status.value().body)
+                         .value()
+                         .at_or_null("journal")
+                         .at_or_null("error");
+  ASSERT_TRUE(error.is_string());
+  EXPECT_NE(error.as_string().find("journal"), std::string::npos);
+}
+
+TEST_F(JournalFaultDaemon, TornTailIsDroppedAndDurablePrefixRecovers) {
+  std::string token;
+  std::uint64_t completed_id = 0;
+  {
+    auto daemon = make_daemon();
+    auto alice = session_client(*daemon, "alice");
+    Json body = Json::object();
+    body["payload"] = small_payload(40).to_json();
+    auto accepted = alice.post("/v1/jobs", body.dump());
+    ASSERT_EQ(accepted.value().status, 201);
+    completed_id = static_cast<std::uint64_t>(Json::parse(
+                                                  accepted.value().body)
+                                                  .value()
+                                                  .get_int("job_id")
+                                                  .value());
+    ASSERT_TRUE(
+        daemon->dispatcher().wait(completed_id, 60 * common::kSecond).ok());
+
+    // The disk tears the very next journal line mid-write and dies: the
+    // next submission is rolled back, and the file now ends in garbage a
+    // restart must shear off.
+    CountingFaultInjector injector;
+    injector.tear_journal_write_after(0, 9);
+    ScopedFaultInjector guard(&injector);
+    auto doomed = alice.post("/v1/jobs", body.dump());
+    EXPECT_EQ(doomed.value().status, 500);
+  }  // kill
+
+  auto revived = make_daemon();
+  net::HttpClient admin(revived->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  auto status = admin.get("/admin/store");
+  ASSERT_EQ(status.value().status, 200);
+  const Json parsed = Json::parse(status.value().body).value();
+  // The new life's journal is healthy again: no error field.
+  EXPECT_TRUE(
+      parsed.at_or_null("journal").at_or_null("error").is_null());
+  // Exactly the durable prefix came back: the completed job (re-served
+  // result included), no trace of the torn submission.
+  EXPECT_EQ(
+      parsed.at_or_null("replay").at_or_null("recovered_jobs").as_int(), 1);
+  auto job = revived->dispatcher().query(completed_id);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job.value().state, daemon::DaemonJobState::kCompleted);
+  EXPECT_EQ(revived->dispatcher().result(completed_id).value().total_shots(),
+            40u);
+}
+
+}  // namespace
+}  // namespace qcenv::store

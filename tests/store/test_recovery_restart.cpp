@@ -9,6 +9,8 @@
 #include <memory>
 #include <thread>
 
+#include "../common/test_args.hpp"
+#include "common/rng.hpp"
 #include "common/temp_dir.hpp"
 #include "daemon/daemon.hpp"
 #include "net/http_client.hpp"
@@ -61,13 +63,23 @@ class RecoveryRestartTest : public ::testing::Test {
 };
 
 TEST_F(RecoveryRestartTest, KillAndRestartRecoversAllState) {
+  // Shot counts (and hence which batch boundary the kill lands on) derive
+  // from one printed seed: any failure replays with --seed=N.
+  const std::uint64_t seed = testargs::seed(0x5EEDC0DEull);
+  testargs::announce(seed);
+  common::Rng rng(seed);
   std::string token;
   std::uint64_t completed_id = 0;
   std::uint64_t partial_id = 0;
   std::uint64_t queued_id = 0;
   std::string completed_result_body;
   std::uint64_t partial_shots_at_kill = 0;
-  constexpr std::uint64_t kPartialShots = 2000;
+  const std::uint64_t kPartialShots =
+      static_cast<std::uint64_t>(rng.uniform_int(1200, 3000));
+  const std::uint64_t completed_shots =
+      static_cast<std::uint64_t>(rng.uniform_int(20, 60));
+  const std::uint64_t queued_shots =
+      static_cast<std::uint64_t>(rng.uniform_int(30, 80));
 
   // ---- First life: build up queued + in-flight + completed state ----------
   {
@@ -85,7 +97,7 @@ TEST_F(RecoveryRestartTest, KillAndRestartRecoversAllState) {
     authed.set_default_header("X-Session-Token", token);
 
     // Job 1 runs to completion; its result must survive the restart.
-    completed_id = submit(authed, 30);
+    completed_id = submit(authed, completed_shots);
     ASSERT_TRUE(
         daemon->dispatcher().wait(completed_id, 60 * common::kSecond).ok());
     auto result = authed.get("/v1/jobs/" + std::to_string(completed_id) +
@@ -118,7 +130,7 @@ TEST_F(RecoveryRestartTest, KillAndRestartRecoversAllState) {
     ASSERT_LT(partial_shots_at_kill, kPartialShots);
 
     // Job 3 is submitted while dispatch is frozen: purely queued.
-    queued_id = submit(authed, 40);
+    queued_id = submit(authed, queued_shots);
     EXPECT_EQ(daemon->dispatcher().query(queued_id).value().shots_done, 0u);
     // "Kill": tear the daemon down mid-dispatch with work outstanding.
   }
@@ -164,7 +176,7 @@ TEST_F(RecoveryRestartTest, KillAndRestartRecoversAllState) {
             kPartialShots);
   auto queued = daemon->dispatcher().wait(queued_id, 120 * common::kSecond);
   ASSERT_TRUE(queued.ok());
-  EXPECT_EQ(queued.value().total_shots(), 40u);
+  EXPECT_EQ(queued.value().total_shots(), queued_shots);
 
   // Replay progress is visible on /metrics, and new ids never collide
   // with recovered ones.
