@@ -11,25 +11,27 @@ using common::Status;
 
 void RateLimiter::set_override(const std::string& user,
                                RateLimitOptions options) {
-  std::scoped_lock lock(mutex_);
-  overrides_[user] = options;
+  Stripe& stripe = stripe_for(user);
+  std::scoped_lock lock(stripe.mutex);
+  stripe.overrides[user] = options;
   // The bucket re-primes against the new burst on its next refill.
-  auto bucket = buckets_.find(user);
-  if (bucket != buckets_.end()) {
+  auto bucket = stripe.buckets.find(user);
+  if (bucket != stripe.buckets.end()) {
     bucket->second.tokens =
         std::min(bucket->second.tokens, options.submit_burst);
   }
 }
 
 RateLimitOptions RateLimiter::effective_locked(
-    const std::string& user) const {
-  const auto it = overrides_.find(user);
-  return it != overrides_.end() ? it->second : defaults_;
+    const Stripe& stripe, const std::string& user) const {
+  const auto it = stripe.overrides.find(user);
+  return it != stripe.overrides.end() ? it->second : defaults_;
 }
 
 RateLimitOptions RateLimiter::effective(const std::string& user) const {
-  std::scoped_lock lock(mutex_);
-  return effective_locked(user);
+  const Stripe& stripe = stripe_for(user);
+  std::scoped_lock lock(stripe.mutex);
+  return effective_locked(stripe, user);
 }
 
 void RateLimiter::refill_locked(Bucket& bucket,
@@ -51,9 +53,10 @@ void RateLimiter::refill_locked(Bucket& bucket,
 
 Status RateLimiter::admit(const std::string& user, std::uint64_t shots,
                           common::TimeNs now) {
-  std::scoped_lock lock(mutex_);
-  const RateLimitOptions options = effective_locked(user);
-  Bucket& bucket = buckets_[user];
+  Stripe& stripe = stripe_for(user);
+  std::scoped_lock lock(stripe.mutex);
+  const RateLimitOptions options = effective_locked(stripe, user);
+  Bucket& bucket = stripe.buckets[user];
   refill_locked(bucket, options, now);
   if (options.submit_per_sec > 0 && bucket.tokens < 1.0) {
     return common::err::resource_exhausted(common::format(
@@ -76,33 +79,37 @@ Status RateLimiter::admit(const std::string& user, std::uint64_t shots,
 }
 
 void RateLimiter::reserve(const std::string& user, std::uint64_t shots) {
-  std::scoped_lock lock(mutex_);
-  buckets_[user].inflight_shots += shots;
+  Stripe& stripe = stripe_for(user);
+  std::scoped_lock lock(stripe.mutex);
+  stripe.buckets[user].inflight_shots += shots;
 }
 
 void RateLimiter::release(const std::string& user, std::uint64_t shots) {
-  std::scoped_lock lock(mutex_);
-  const auto it = buckets_.find(user);
-  if (it == buckets_.end()) return;
+  Stripe& stripe = stripe_for(user);
+  std::scoped_lock lock(stripe.mutex);
+  const auto it = stripe.buckets.find(user);
+  if (it == stripe.buckets.end()) return;
   it->second.inflight_shots -= std::min(it->second.inflight_shots, shots);
 }
 
 std::uint64_t RateLimiter::inflight_shots(const std::string& user) const {
-  std::scoped_lock lock(mutex_);
-  const auto it = buckets_.find(user);
-  return it != buckets_.end() ? it->second.inflight_shots : 0;
+  const Stripe& stripe = stripe_for(user);
+  std::scoped_lock lock(stripe.mutex);
+  const auto it = stripe.buckets.find(user);
+  return it != stripe.buckets.end() ? it->second.inflight_shots : 0;
 }
 
 Json RateLimiter::to_json(const std::string& user,
                           common::TimeNs now) const {
-  std::scoped_lock lock(mutex_);
-  const RateLimitOptions options = effective_locked(user);
+  const Stripe& stripe = stripe_for(user);
+  std::scoped_lock lock(stripe.mutex);
+  const RateLimitOptions options = effective_locked(stripe, user);
   Json out = Json::object();
   out["submit_per_sec"] = options.submit_per_sec;
   out["submit_burst"] = options.submit_burst;
   out["max_inflight_shots"] = options.max_inflight_shots;
-  const auto it = buckets_.find(user);
-  if (it != buckets_.end()) {
+  const auto it = stripe.buckets.find(user);
+  if (it != stripe.buckets.end()) {
     Bucket bucket = it->second;
     refill_locked(bucket, options, now);
     out["tokens"] = bucket.tokens;

@@ -6,9 +6,16 @@
 // bucket deterministic under virtual time. Defaults are permissive (0 =
 // unlimited) so single-tenant deployments see no behaviour change; admins
 // tighten per user via POST /admin/quotas/:user.
+//
+// Internally lock-striped by user hash: every operation is keyed by one
+// user, and users sharing a stripe is only a contention concern, never a
+// correctness one, so the admission hot path of N concurrent tenants
+// takes N (almost always distinct) stripe mutexes instead of one global.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -66,14 +73,25 @@ class RateLimiter {
     std::uint64_t inflight_shots = 0;
   };
 
-  RateLimitOptions effective_locked(const std::string& user) const;
+  /// One stripe owns every user hashing onto it: bucket AND override live
+  /// together, so each operation locks exactly one stripe mutex.
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::map<std::string, RateLimitOptions> overrides;
+    std::map<std::string, Bucket> buckets;
+  };
+  static constexpr std::size_t kStripes = 16;
+
+  Stripe& stripe_for(const std::string& user) const {
+    return stripes_[std::hash<std::string>{}(user) % kStripes];
+  }
+  RateLimitOptions effective_locked(const Stripe& stripe,
+                                    const std::string& user) const;
   void refill_locked(Bucket& bucket, const RateLimitOptions& options,
                      common::TimeNs now) const;
 
   RateLimitOptions defaults_;
-  mutable std::mutex mutex_;
-  std::map<std::string, RateLimitOptions> overrides_;
-  std::map<std::string, Bucket> buckets_;
+  mutable std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace qcenv::accounting

@@ -266,9 +266,9 @@ Result<MiddlewareDaemon::Submitted> MiddlewareDaemon::submit_job(
   if (!spec.ok()) return spec.error();
   AdmissionContext context;
   context.user = session.value().user;
-  for (const auto& [_, d] : dispatcher_->queue_depths()) {
-    context.queue_depth += d;
-  }
+  // One relaxed atomic load — the submit hot path must not walk (and
+  // lock) every queue shard just to read the global depth.
+  context.queue_depth = dispatcher_->queued_total();
   context.user_pending = dispatcher_->pending_for_user(context.user);
   const auto pending_override = accounting_.pending_limit(context.user);
   if (pending_override.has_value()) {

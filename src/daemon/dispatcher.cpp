@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 
 #define QCENV_LOG_COMPONENT "daemon.dispatch"
 #include "common/logging.hpp"
@@ -22,6 +23,11 @@ constexpr common::DurationNs kRunPoll = common::kMillisecond;
 /// than this fails the job instead of requeueing, so a payload that times
 /// out on *every* resource cannot bounce around the fleet forever.
 constexpr std::uint32_t kMaxBatchFailovers = 8;
+
+/// Default submit-shard count when QueuePolicy::submit_shards is 0. A
+/// fixed constant (not hardware-derived) so seeded simulations replay
+/// identically everywhere.
+constexpr std::size_t kDefaultShards = 8;
 
 /// Errors that indict the resource (node loss, endpoint down) rather than
 /// the payload: these trigger failover instead of failing the job.
@@ -58,8 +64,15 @@ Dispatcher::Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
       clock_(clock),
       metrics_(metrics),
       store_(store),
-      accounting_(accounting),
-      core_(policy) {
+      accounting_(accounting) {
+  const std::size_t count =
+      policy.submit_shards > 0 ? policy.submit_shards : kDefaultShards;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->core = PriorityQueueCore(policy);
+    shards_.push_back(std::move(shard));
+  }
   install_priority_hook();
   start_lanes();
 }
@@ -69,43 +82,45 @@ Dispatcher::Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
                        telemetry::MetricsRegistry* metrics,
                        store::StateStore* store,
                        accounting::AccountingManager* accounting)
-    : broker_(std::make_shared<broker::ResourceBroker>(broker::BrokerOptions{},
-                                                       clock, metrics)),
-      clock_(clock),
-      metrics_(metrics),
-      store_(store),
-      accounting_(accounting),
-      core_(policy) {
-  const Status added = broker_->add(resource->resource_id(), resource);
-  (void)added;  // resource_id collisions are impossible in a fresh fleet
-  install_priority_hook();
-  start_lanes();
-}
+    : Dispatcher(
+          [&] {
+            auto broker = std::make_shared<broker::ResourceBroker>(
+                broker::BrokerOptions{}, clock, metrics);
+            const Status added =
+                broker->add(resource->resource_id(), resource);
+            (void)added;  // collisions impossible in a fresh fleet
+            return broker;
+          }(),
+          policy, clock, metrics, store, accounting) {}
 
 void Dispatcher::install_priority_hook() {
   if (accounting_ == nullptr) return;
-  // Runs under mutex_ (every core_ call site holds it), so records_ access
-  // and the lambda's memo are safe; the accounting side locks internally
-  // and never calls back. The memo is seeded with the whole fair-share
-  // table in ONE population traversal per ordering pass (the core
-  // evaluates a whole pass at a single `now`), so a pass costs O(users)
-  // accounting work instead of O(users) per pending job.
-  core_.set_priority_hook(
-      [this, memo_now = common::TimeNs{-1},
-       memo = std::map<std::string, double>{}](
-          std::uint64_t job_id, common::TimeNs now) mutable {
-        if (now != memo_now) {
-          memo = accounting_->priorities(now);
-          memo_now = now;
-        }
-        const std::string& user = records_.at(job_id).job.user;
-        auto it = memo.find(user);
-        if (it == memo.end()) {
-          // A user outside the known population (no usage, no grant yet).
-          it = memo.emplace(user, accounting_->priority(user, now)).first;
-        }
-        return it->second;
-      });
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    // Runs under shard->mutex (every core call site holds it), so the
+    // shard's records and the lambda's memo are safe; the accounting side
+    // locks internally and never calls back. The memo is seeded with the
+    // whole fair-share table in ONE population traversal per ordering
+    // pass (the core evaluates a whole pass at a single `now`), so a
+    // pass costs O(users) accounting work instead of O(users) per
+    // pending job.
+    shard->core.set_priority_hook(
+        [this, shard, memo_now = common::TimeNs{-1},
+         memo = std::map<std::string, double>{}](
+            std::uint64_t job_id, common::TimeNs now) mutable {
+          if (now != memo_now) {
+            memo = accounting_->priorities(now);
+            memo_now = now;
+          }
+          const std::string& user = shard->records.at(job_id).job.user;
+          auto it = memo.find(user);
+          if (it == memo.end()) {
+            // A user outside the known population (no usage/grant yet).
+            it = memo.emplace(user, accounting_->priority(user, now)).first;
+          }
+          return it->second;
+        });
+  }
 }
 
 void Dispatcher::start_lanes() {
@@ -118,7 +133,74 @@ void Dispatcher::start_lanes() {
 
 Dispatcher::~Dispatcher() {
   for (auto& lane : lanes_) lane.request_stop();
-  cv_.notify_all();
+  wake_lanes_all();
+}
+
+Dispatcher::Shard& Dispatcher::shard_for_user(const std::string& user) const {
+  return *shards_[std::hash<std::string>{}(user) % shards_.size()];
+}
+
+Dispatcher::Shard* Dispatcher::find_shard(std::uint64_t job_id) const {
+  const IndexStripe& stripe = index_[job_id % kIndexStripes];
+  std::scoped_lock lock(stripe.mutex);
+  const auto it = stripe.shard_of.find(job_id);
+  if (it == stripe.shard_of.end()) return nullptr;
+  return shards_[it->second].get();
+}
+
+void Dispatcher::index_insert(std::uint64_t job_id, std::uint32_t shard) {
+  IndexStripe& stripe = index_[job_id % kIndexStripes];
+  std::scoped_lock lock(stripe.mutex);
+  stripe.shard_of.emplace(job_id, shard);
+}
+
+void Dispatcher::index_erase(std::uint64_t job_id) {
+  IndexStripe& stripe = index_[job_id % kIndexStripes];
+  std::scoped_lock lock(stripe.mutex);
+  stripe.shard_of.erase(job_id);
+}
+
+std::vector<std::unique_lock<std::mutex>> Dispatcher::lock_all_shards()
+    const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  return locks;
+}
+
+void Dispatcher::wake_lanes() {
+  // seq_cst on both sides pairs with the waiter registration in
+  // lane_loop: either this bump is ordered before the lane's epoch read
+  // (the lane sees new work and skips the sleep) or the registration is
+  // ordered before the load below (this thread sees the waiter and
+  // notifies) — never neither. When no lane is registered the submit
+  // hot path pays one atomic load here instead of a mutex handoff and a
+  // futex wake per submission.
+  dispatch_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (dispatch_waiters_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    // Empty critical section: orders the epoch bump against a lane that
+    // evaluated its wait predicate but has not gone to sleep yet.
+    std::scoped_lock lock(dispatch_mutex_);
+  }
+  dispatch_cv_.notify_all();
+}
+
+void Dispatcher::wake_lanes_all() {
+  dispatch_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::scoped_lock lock(dispatch_mutex_);
+  }
+  // Unconditional: parked lanes (global drain) deliberately do not
+  // register as epoch waiters, so state flips that end a park — resume,
+  // stop, tick changes — must not be gated on the waiter count.
+  dispatch_cv_.notify_all();
+}
+
+void Dispatcher::drop_user_pending(Shard& shard, const std::string& user) {
+  const auto it = shard.user_pending.find(user);
+  if (it == shard.user_pending.end()) return;  // defensive
+  if (--it->second == 0) shard.user_pending.erase(it);
 }
 
 std::uint64_t Dispatcher::submit(common::SessionId session,
@@ -132,26 +214,38 @@ Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
                                          const std::string& user,
                                          JobClass cls, Payload payload,
                                          const SubmitOptions& options) {
+  return submit(session, user, cls,
+                std::make_shared<const Payload>(std::move(payload)),
+                options);
+}
+
+Result<std::uint64_t> Dispatcher::submit(
+    common::SessionId session, const std::string& user, JobClass cls,
+    std::shared_ptr<const Payload> payload, const SubmitOptions& options) {
+  Shard& shard = shard_for_user(user);
+  const std::uint32_t shard_index = static_cast<std::uint32_t>(
+      std::hash<std::string>{}(user) % shards_.size());
   std::uint64_t id = 0;
+  common::TimeNs submit_time = 0;
   {
-    std::scoped_lock lock(mutex_);
+    std::scoped_lock lock(shard.mutex);
     // A fail-stopped journal can acknowledge nothing: accepting work it
     // cannot journal would hand out jobs a restart silently forgets.
-    if (store_ != nullptr && store_->journal().io_error().has_value()) {
+    // has_failed() is one atomic load; the (rare) failure branch may then
+    // take the journal mutex to fetch the sticky error's message.
+    if (store_ != nullptr && store_->journal().has_failed()) {
       return common::err::io(
           "durable store has failed (" +
           store_->journal().io_error()->message() +
           "); submissions are rejected until the daemon is restarted");
     }
     if (options.user_pending_limit > 0) {
-      std::size_t pending = 0;
-      for (const std::uint64_t live : active_) {
-        const Record& record = records_.at(live);
-        if (record.job.user == user &&
-            record.job.state == DaemonJobState::kQueued) {
-          ++pending;
-        }
-      }
+      // O(1): the shard tracks queued-job counts per user (a user's jobs
+      // all live in this one shard, so this count is exact and the check
+      // is atomic with the enqueue below).
+      const auto it = shard.user_pending.find(user);
+      const std::size_t pending =
+          it != shard.user_pending.end() ? it->second : 0;
       if (pending >= options.user_pending_limit) {
         return common::err::resource_exhausted(
             "user '" + user + "' already has " + std::to_string(pending) +
@@ -174,50 +268,75 @@ Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
       // claims it once its resource recovers.
       if (picked.ok()) placed = std::move(picked).value();
     }
-    id = next_job_id_++;
+    id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
     Record record;
     record.job.id = id;
     record.job.session = session;
     record.job.user = user;
     record.job.job_class = cls;
-    record.job.total_shots = payload.shots();
+    record.job.total_shots = payload->shots();
     record.job.submit_time = clock_->now();
     record.job.resource = std::move(placed);
     record.pinned = !options.resource.empty();
     record.policy_hint = options.policy;
-    record.samples = Samples(payload.num_qubits());
-    record.payload = std::make_shared<const Payload>(std::move(payload));
-    core_.enqueue(id, cls, record.job.total_shots, record.job.submit_time);
-    const auto inserted = records_.emplace(id, std::move(record));
-    active_.insert(id);
+    record.samples = Samples(payload->num_qubits());
+    record.payload = std::move(payload);
+    submit_time = record.job.submit_time;
+    // The job id doubles as the queue seq: one global allocator keeps
+    // cross-shard FIFO order identical to a single shared queue.
+    shard.core.enqueue(id, cls, record.job.total_shots,
+                       record.job.submit_time, id);
+    total_queued_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.user_pending[user];
+    const auto inserted = shard.records.emplace(id, std::move(record));
+    shard.active.insert(id);
+    index_insert(id, shard_index);
     if (store_ != nullptr) {
       // Deferred payload serialization keeps the submit path O(metadata).
-      store_->job_submitted(
-          to_record_locked(inserted.first->second),
-          inserted.first->second.payload);
-      // In kAlways mode the append above ran inline; if it just failed,
-      // the line is not on disk (failed writes never land; a written-but-
-      // unfsynced line is sheared back off by write_block's compensating
-      // truncate), so a restart cannot resurrect this job. Unwind the
-      // admission instead of acking a submission that is not durable:
-      // the caller releases its accounting reservation on this error,
-      // leaving ledger and rate limiter exactly as before the request.
-      if (store_->journal().io_error().has_value()) {
-        core_.remove(id);
-        active_.erase(id);
+      const std::uint64_t seq =
+          store_->job_submitted(to_record_locked(inserted.first->second),
+                                inserted.first->second.payload);
+      // If THIS append did not become durable the frame is not on disk
+      // (failed writes never land; a written-but-unfsynced frame is
+      // sheared back off by write_block's compensating truncate), so a
+      // restart cannot resurrect this job. Unwind the admission instead
+      // of acking a submission that is not durable: the caller releases
+      // its accounting reservation on this error, leaving ledger and
+      // rate limiter exactly as before the request. The per-seq check
+      // matters: a lane on another shard can fail-stop the journal right
+      // after our frame was fsynced, and unwinding THEN would reject a
+      // job a restart will replay — a zombie no client knows it owns.
+      if (store_->journal().has_failed() &&
+          !store_->journal().is_durable(seq)) {
+        shard.core.remove(id);
+        total_queued_.fetch_sub(1, std::memory_order_relaxed);
+        drop_user_pending(shard, user);
+        shard.active.erase(id);
         if (!inserted.first->second.job.resource.empty()) {
           broker_->unbind(inserted.first->second.job.resource);
         }
-        records_.erase(inserted.first);
+        shard.records.erase(inserted.first);
+        index_erase(id);
         return common::err::io(
             "journal append failed (" +
             store_->journal().io_error()->message() +
             "); submission rejected");
       }
     }
-    // Amortized terminal-job GC: each submission pays for the sweep that
-    // keeps records_ bounded.
-    (void)sweep_terminal_locked(inserted.first->second.job.submit_time);
+  }
+  // Amortized terminal-job GC: each submission pays for the sweep that
+  // keeps record tables bounded — but only the one atomic precheck
+  // unless something is actually evictable (the sweep itself locks every
+  // shard, which must not happen per submit on the hot path).
+  const std::size_t cap = terminal_cap_.load(std::memory_order_relaxed);
+  const common::DurationNs retention =
+      terminal_retention_.load(std::memory_order_relaxed);
+  const std::size_t terminal = terminal_count_.load(std::memory_order_relaxed);
+  if ((cap > 0 && terminal > cap) ||
+      (retention > 0 && terminal > 0 &&
+       earliest_terminal_.load(std::memory_order_relaxed) + retention <=
+           submit_time)) {
+    (void)sweep_terminal_all(submit_time);
   }
   if (metrics_ != nullptr) {
     metrics_
@@ -225,23 +344,31 @@ Result<std::uint64_t> Dispatcher::submit(common::SessionId session,
                   {{"class", to_string(cls)}}, "jobs accepted by the daemon")
         .increment();
   }
-  cv_.notify_all();
+  wake_lanes();
   return id;
 }
 
 Result<DaemonJob> Dispatcher::query(std::uint64_t job_id) const {
-  std::scoped_lock lock(mutex_);
-  const auto it = records_.find(job_id);
-  if (it == records_.end()) {
+  Shard* shard = find_shard(job_id);
+  if (shard == nullptr) {
+    return common::err::not_found("unknown job " + std::to_string(job_id));
+  }
+  std::scoped_lock lock(shard->mutex);
+  const auto it = shard->records.find(job_id);
+  if (it == shard->records.end()) {
     return common::err::not_found("unknown job " + std::to_string(job_id));
   }
   return it->second.job;
 }
 
 Result<Samples> Dispatcher::result(std::uint64_t job_id) const {
-  std::scoped_lock lock(mutex_);
-  const auto it = records_.find(job_id);
-  if (it == records_.end()) {
+  Shard* shard = find_shard(job_id);
+  if (shard == nullptr) {
+    return common::err::not_found("unknown job " + std::to_string(job_id));
+  }
+  std::scoped_lock lock(shard->mutex);
+  const auto it = shard->records.find(job_id);
+  if (it == shard->records.end()) {
     return common::err::not_found("unknown job " + std::to_string(job_id));
   }
   const Record& record = it->second;
@@ -263,23 +390,29 @@ Result<Samples> Dispatcher::wait(std::uint64_t job_id) {
 
 Result<Samples> Dispatcher::wait(std::uint64_t job_id,
                                  common::DurationNs timeout) {
+  Shard* shard = find_shard(job_id);
+  if (shard == nullptr) {
+    return common::err::not_found("unknown job " + std::to_string(job_id));
+  }
   {
-    std::unique_lock lock(mutex_);
-    const auto it = records_.find(job_id);
-    if (it == records_.end()) {
+    std::unique_lock lock(shard->mutex);
+    const auto it = shard->records.find(job_id);
+    if (it == shard->records.end()) {
       return common::err::not_found("unknown job " + std::to_string(job_id));
     }
     const auto terminal = [&] {
-      const auto& state = records_.at(job_id).job.state;
+      const auto found = shard->records.find(job_id);
+      if (found == shard->records.end()) return true;  // GC'd while waiting
+      const auto& state = found->second.job.state;
       return state == DaemonJobState::kCompleted ||
              state == DaemonJobState::kFailed ||
              state == DaemonJobState::kCancelled;
     };
     if (timeout < 0) {
-      cv_.wait(lock, terminal);
-    } else if (!cv_.wait_for(lock, std::chrono::nanoseconds(timeout),
-                             terminal)) {
-      const DaemonJob& job = records_.at(job_id).job;
+      shard->cv.wait(lock, terminal);
+    } else if (!shard->cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                                   terminal)) {
+      const DaemonJob& job = shard->records.at(job_id).job;
       return common::err::timeout(
           "job " + std::to_string(job_id) + " still " +
           to_string(job.state) + " after " +
@@ -291,16 +424,22 @@ Result<Samples> Dispatcher::wait(std::uint64_t job_id,
 }
 
 Status Dispatcher::cancel(std::uint64_t job_id) {
-  std::scoped_lock lock(mutex_);
-  const auto it = records_.find(job_id);
-  if (it == records_.end()) {
+  Shard* shard = find_shard(job_id);
+  if (shard == nullptr) {
+    return common::err::not_found("unknown job " + std::to_string(job_id));
+  }
+  std::scoped_lock lock(shard->mutex);
+  const auto it = shard->records.find(job_id);
+  if (it == shard->records.end()) {
     return common::err::not_found("unknown job " + std::to_string(job_id));
   }
   Record& record = it->second;
   switch (record.job.state) {
     case DaemonJobState::kQueued:
-      core_.remove(job_id);
-      finish_locked(record, DaemonJobState::kCancelled, "");
+      if (shard->core.remove(job_id)) {
+        total_queued_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      finish_locked(*shard, record, DaemonJobState::kCancelled, "");
       return Status::ok_status();
     case DaemonJobState::kRunning:
       // Honoured at the next batch boundary (shot-batch granularity);
@@ -316,17 +455,17 @@ Status Dispatcher::cancel(std::uint64_t job_id) {
 
 void Dispatcher::set_idle_tick(common::DurationNs tick) {
   idle_tick_.store(tick > 0 ? tick : common::kMillisecond);
-  cv_.notify_all();
+  wake_lanes_all();
 }
 
 void Dispatcher::drain() {
   draining_.store(true);
-  cv_.notify_all();
+  wake_lanes_all();
 }
 
 void Dispatcher::resume() {
   draining_.store(false);
-  cv_.notify_all();
+  wake_lanes_all();
 }
 
 Status Dispatcher::drain_resource(const std::string& name) {
@@ -338,89 +477,153 @@ Status Dispatcher::drain_resource(const std::string& name) {
 
 Status Dispatcher::resume_resource(const std::string& name) {
   QCENV_RETURN_IF_ERROR(broker_->resume(name));
-  cv_.notify_all();
+  wake_lanes();
   return Status::ok_status();
 }
 
 std::map<JobClass, std::size_t> Dispatcher::queue_depths() const {
-  std::scoped_lock lock(mutex_);
-  return {
-      {JobClass::kProduction, core_.depth_of(JobClass::kProduction)},
-      {JobClass::kTest, core_.depth_of(JobClass::kTest)},
-      {JobClass::kDevelopment, core_.depth_of(JobClass::kDevelopment)},
+  std::map<JobClass, std::size_t> out = {
+      {JobClass::kProduction, 0},
+      {JobClass::kTest, 0},
+      {JobClass::kDevelopment, 0},
   };
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    out[JobClass::kProduction] += shard->core.depth_of(JobClass::kProduction);
+    out[JobClass::kTest] += shard->core.depth_of(JobClass::kTest);
+    out[JobClass::kDevelopment] +=
+        shard->core.depth_of(JobClass::kDevelopment);
+  }
+  return out;
 }
 
 std::vector<DaemonJob> Dispatcher::jobs_snapshot() const {
-  std::scoped_lock lock(mutex_);
   std::vector<DaemonJob> out;
-  out.reserve(records_.size());
-  for (const auto& [_, record] : records_) out.push_back(record.job);
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    out.reserve(out.size() + shard->records.size());
+    for (const auto& [_, record] : shard->records) out.push_back(record.job);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DaemonJob& a, const DaemonJob& b) { return a.id < b.id; });
   return out;
 }
 
 std::vector<std::uint64_t> Dispatcher::queue_order() const {
-  std::scoped_lock lock(mutex_);
-  return core_.snapshot(clock_->now());
+  // One `now` for every shard so hook priorities and aging are evaluated
+  // consistently, then a k-way merge with the core's own comparator:
+  // exactly the order the dispatch tournament would drain.
+  const common::TimeNs now = clock_->now();
+  const auto locks = lock_all_shards();
+  std::vector<std::vector<PriorityQueueCore::Head>> heads;
+  heads.reserve(shards_.size());
+  bool shortest_first = false;
+  for (const auto& shard : shards_) {
+    shortest_first = shard->core.policy().shortest_first_within_class;
+    heads.push_back(shard->core.snapshot_heads(now));
+  }
+  std::vector<std::size_t> cursor(heads.size(), 0);
+  std::vector<std::uint64_t> out;
+  while (true) {
+    const PriorityQueueCore::Head* best = nullptr;
+    std::size_t best_list = 0;
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (cursor[i] >= heads[i].size()) continue;
+      const PriorityQueueCore::Head& head = heads[i][cursor[i]];
+      if (best == nullptr ||
+          PriorityQueueCore::head_before(head, *best, shortest_first)) {
+        best = &head;
+        best_list = i;
+      }
+    }
+    if (best == nullptr) break;
+    out.push_back(best->job_id);
+    ++cursor[best_list];
+  }
+  return out;
 }
 
 std::map<std::string, std::size_t> Dispatcher::user_pending_counts() const {
-  std::scoped_lock lock(mutex_);
   std::map<std::string, std::size_t> out;
-  for (const std::uint64_t id : active_) {
-    const Record& record = records_.at(id);
-    if (record.job.state == DaemonJobState::kQueued) {
-      ++out[record.job.user];
-    }
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    // Users never span shards, so this is a disjoint union, not a merge.
+    out.insert(shard->user_pending.begin(), shard->user_pending.end());
   }
   return out;
 }
 
 std::size_t Dispatcher::pending_for_user(const std::string& user) const {
-  std::scoped_lock lock(mutex_);
-  std::size_t count = 0;
-  for (const std::uint64_t id : active_) {
-    const Record& record = records_.at(id);
-    if (record.job.user == user &&
-        record.job.state == DaemonJobState::kQueued) {
-      ++count;
-    }
-  }
-  return count;
+  Shard& shard = shard_for_user(user);
+  std::scoped_lock lock(shard.mutex);
+  const auto it = shard.user_pending.find(user);
+  return it != shard.user_pending.end() ? it->second : 0;
 }
 
 void Dispatcher::set_terminal_retention(common::DurationNs retention,
                                         std::size_t cap) {
-  std::scoped_lock lock(mutex_);
-  terminal_retention_ = retention;
-  terminal_cap_ = cap;
+  terminal_retention_.store(retention);
+  terminal_cap_.store(cap);
 }
 
 std::size_t Dispatcher::sweep_terminal() {
-  std::scoped_lock lock(mutex_);
-  return sweep_terminal_locked(clock_->now());
+  return sweep_terminal_all(clock_->now());
 }
 
-std::size_t Dispatcher::sweep_terminal_locked(common::TimeNs now) {
-  if (terminal_retention_ <= 0 && terminal_cap_ == 0) return 0;
+std::size_t Dispatcher::sweep_terminal_all(common::TimeNs now) {
+  const common::DurationNs retention = terminal_retention_.load();
+  const std::size_t cap = terminal_cap_.load();
+  if (retention <= 0 && cap == 0) return 0;
   std::size_t evicted = 0;
-  while (!terminal_order_.empty()) {
-    const std::uint64_t id = terminal_order_.front();
-    const bool over_cap =
-        terminal_cap_ > 0 && terminal_order_.size() > terminal_cap_;
-    const auto it = records_.find(id);
-    if (it == records_.end()) {  // defensive: already gone
-      terminal_order_.pop_front();
-      continue;
+  {
+    const auto locks = lock_all_shards();
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->terminal_order.size();
+    // Global LRU: repeatedly evict the shard front with the oldest finish
+    // time, so the cap behaves exactly as it did with one record table.
+    while (total > 0) {
+      Shard* victim = nullptr;
+      common::TimeNs victim_finish = 0;
+      std::uint64_t victim_id = 0;
+      for (const auto& shard : shards_) {
+        while (!shard->terminal_order.empty() &&
+               shard->records.count(shard->terminal_order.front()) == 0) {
+          shard->terminal_order.pop_front();  // defensive: already gone
+          --total;
+        }
+        if (shard->terminal_order.empty()) continue;
+        const std::uint64_t id = shard->terminal_order.front();
+        const common::TimeNs finish =
+            shard->records.at(id).job.finish_time;
+        if (victim == nullptr || finish < victim_finish ||
+            (finish == victim_finish && id < victim_id)) {
+          victim = shard.get();
+          victim_finish = finish;
+          victim_id = id;
+        }
+      }
+      if (victim == nullptr) break;
+      const bool over_cap = cap > 0 && total > cap;
+      const bool expired =
+          retention > 0 && victim_finish + retention <= now;
+      if (!over_cap && !expired) break;  // globally oldest: nothing further
+      victim->terminal_order.pop_front();
+      victim->records.erase(victim_id);
+      index_erase(victim_id);
+      if (store_ != nullptr) store_->job_evicted(victim_id);
+      ++evicted;
+      --total;
     }
-    const bool expired =
-        terminal_retention_ > 0 &&
-        it->second.job.finish_time + terminal_retention_ <= now;
-    if (!over_cap && !expired) break;  // front is oldest: nothing further
-    terminal_order_.pop_front();
-    records_.erase(it);
-    if (store_ != nullptr) store_->job_evicted(id);
-    ++evicted;
+    terminal_count_.store(total, std::memory_order_relaxed);
+    // Recompute the exact oldest terminal finish for the next precheck.
+    common::TimeNs earliest = std::numeric_limits<common::TimeNs>::max();
+    for (const auto& shard : shards_) {
+      if (shard->terminal_order.empty()) continue;
+      earliest = std::min(
+          earliest,
+          shard->records.at(shard->terminal_order.front()).job.finish_time);
+    }
+    earliest_terminal_.store(earliest, std::memory_order_relaxed);
   }
   if (evicted > 0 && metrics_ != nullptr) {
     metrics_
@@ -435,18 +638,20 @@ std::map<std::string, Dispatcher::LaneDepth> Dispatcher::lane_depths()
     const {
   std::map<std::string, LaneDepth> out;
   for (const auto& name : broker_->names()) out[name];
-  std::scoped_lock lock(mutex_);
-  // O(live jobs), not O(all jobs ever): records_ keeps terminal jobs for
-  // result serving, but only active_ members can sit on a lane.
-  for (const std::uint64_t id : active_) {
-    const Record& record = records_.at(id);
-    const std::string& key = record.job.resource.empty()
-                                 ? std::string("(unplaced)")
-                                 : record.job.resource;
-    if (record.job.state == DaemonJobState::kQueued) {
-      ++out[key].queued;
-    } else if (record.job.state == DaemonJobState::kRunning) {
-      ++out[key].running;
+  // O(live jobs), not O(all jobs ever): records keep terminal jobs for
+  // result serving, but only active members can sit on a lane.
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    for (const std::uint64_t id : shard->active) {
+      const Record& record = shard->records.at(id);
+      const std::string& key = record.job.resource.empty()
+                                   ? std::string("(unplaced)")
+                                   : record.job.resource;
+      if (record.job.state == DaemonJobState::kQueued) {
+        ++out[key].queued;
+      } else if (record.job.state == DaemonJobState::kRunning) {
+        ++out[key].running;
+      }
     }
   }
   return out;
@@ -454,17 +659,20 @@ std::map<std::string, Dispatcher::LaneDepth> Dispatcher::lane_depths()
 
 std::size_t Dispatcher::cancel_for_session(common::SessionId session) {
   std::size_t affected = 0;
-  {
-    std::scoped_lock lock(mutex_);
-    // Copy: finish_locked below erases from active_ as we cancel.
-    const std::vector<std::uint64_t> live(active_.begin(), active_.end());
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    // Copy: finish_locked below erases from active as we cancel.
+    const std::vector<std::uint64_t> live(shard->active.begin(),
+                                          shard->active.end());
     for (const std::uint64_t id : live) {
-      Record& record = records_.at(id);
+      Record& record = shard->records.at(id);
       if (record.job.session != session) continue;
       switch (record.job.state) {
         case DaemonJobState::kQueued:
-          core_.remove(id);
-          finish_locked(record, DaemonJobState::kCancelled,
+          if (shard->core.remove(id)) {
+            total_queued_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          finish_locked(*shard, record, DaemonJobState::kCancelled,
                         "session closed");
           ++affected;
           break;
@@ -480,7 +688,7 @@ std::size_t Dispatcher::cancel_for_session(common::SessionId session) {
       }
     }
   }
-  if (affected > 0) cv_.notify_all();
+  if (affected > 0) wake_lanes();
   return affected;
 }
 
@@ -520,8 +728,9 @@ store::JobRecord Dispatcher::to_record_locked(const Record& record) const {
 
 store::StoreSnapshot Dispatcher::durable_snapshot() const {
   // Copy cheap metadata (plus shared payload handles and counts maps)
-  // under the lock; serialize the heavy JSON outside it, so a compaction
-  // over a large job table does not stall submits and dispatch lanes.
+  // under the locks; serialize the heavy JSON outside them, so a
+  // compaction over a large job table does not stall submits and
+  // dispatch lanes.
   struct Staged {
     store::JobRecord meta;
     std::shared_ptr<const quantum::Payload> payload;
@@ -531,29 +740,36 @@ store::StoreSnapshot Dispatcher::durable_snapshot() const {
   std::vector<Staged> staged;
   store::StoreSnapshot snapshot;
   {
-    std::scoped_lock lock(mutex_);
-    // Watermark first: every job event at or below it was appended under
-    // this mutex, so it is reflected in the records copied below.
+    // Every job event is appended under its shard's mutex; holding ALL
+    // of them means no event is mid-append, so the watermark read here
+    // is exactly consistent with the records copied below.
+    const auto locks = lock_all_shards();
     snapshot.jobs_seq =
         store_ != nullptr ? store_->journal().last_seq() : 0;
-    snapshot.next_job_id = next_job_id_;
+    snapshot.next_job_id = next_job_id_.load(std::memory_order_relaxed);
     if (accounting_ != nullptr) {
-      // Ledger charges happen under this mutex (charge_batch in the lane
-      // loop), so reading the ledger here is exactly consistent with the
-      // watermark above: usage events <= jobs_seq are in these records,
-      // later ones replay on top.
+      // Ledger charges happen under shard mutexes (charge_batch in the
+      // lane loop), so reading the ledger here is exactly consistent
+      // with the watermark above: usage events <= jobs_seq are in these
+      // records, later ones replay on top.
       snapshot.usage = accounting_->usage_records(clock_->now());
     }
-    staged.reserve(records_.size());
-    for (const auto& [_, record] : records_) {
-      Staged entry;
-      entry.meta = to_record_locked(record);
-      entry.payload = record.payload;
-      entry.payload_fp = record.payload_fp;
-      if (record.job.shots_done > 0) entry.samples = record.samples;
-      staged.push_back(std::move(entry));
+    for (const auto& shard : shards_) {
+      staged.reserve(staged.size() + shard->records.size());
+      for (const auto& [_, record] : shard->records) {
+        Staged entry;
+        entry.meta = to_record_locked(record);
+        entry.payload = record.payload;
+        entry.payload_fp = record.payload_fp;
+        if (record.job.shots_done > 0) entry.samples = record.samples;
+        staged.push_back(std::move(entry));
+      }
     }
   }
+  std::sort(staged.begin(), staged.end(),
+            [](const Staged& a, const Staged& b) {
+              return a.meta.id < b.meta.id;
+            });
   snapshot.jobs.reserve(staged.size());
   for (auto& entry : staged) {
     if (entry.payload != nullptr) {
@@ -584,9 +800,13 @@ store::StoreSnapshot Dispatcher::durable_snapshot() const {
 
 void Dispatcher::restore(const std::vector<store::JobRecord>& jobs,
                          std::uint64_t next_job_id) {
-  std::scoped_lock lock(mutex_);
+  std::uint64_t floor = next_job_id;
   for (const auto& recovered : jobs) {
-    if (records_.count(recovered.id) > 0) continue;  // defensive
+    Shard& shard = shard_for_user(recovered.user);
+    const std::uint32_t shard_index = static_cast<std::uint32_t>(
+        std::hash<std::string>{}(recovered.user) % shards_.size());
+    std::scoped_lock lock(shard.mutex);
+    if (shard.records.count(recovered.id) > 0) continue;  // defensive
     Record record;
     record.job.id = recovered.id;
     record.job.session = common::SessionId{recovered.session};
@@ -661,9 +881,13 @@ void Dispatcher::restore(const std::vector<store::JobRecord>& jobs,
       const std::uint64_t remaining =
           record.job.total_shots -
           std::min(record.job.shots_done, record.job.total_shots);
-      core_.enqueue(recovered.id, recovered.job_class, remaining,
-                    recovered.submit_time);
-      active_.insert(recovered.id);
+      // seq = id, same as live submissions: recovered jobs keep their
+      // original cross-shard FIFO order.
+      shard.core.enqueue(recovered.id, recovered.job_class, remaining,
+                         recovered.submit_time, recovered.id);
+      total_queued_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.user_pending[record.job.user];
+      shard.active.insert(recovered.id);
       if (accounting_ != nullptr) {
         // The previous life reserved these shots at admission; re-reserve
         // them so this job's releases cannot drain reservations that
@@ -671,33 +895,60 @@ void Dispatcher::restore(const std::vector<store::JobRecord>& jobs,
         accounting_->restore_inflight(record.job.user, remaining);
       }
     }
-    next_job_id_ = std::max(next_job_id_, recovered.id + 1);
-    records_.emplace(recovered.id, std::move(record));
+    floor = std::max(floor, recovered.id + 1);
+    shard.records.emplace(recovered.id, std::move(record));
+    index_insert(recovered.id, shard_index);
   }
-  next_job_id_ = std::max(next_job_id_, next_job_id);
-  // Rebuild the GC's LRU: terminal records in finish order, oldest first,
-  // so retention keeps expiring across restarts.
-  std::vector<std::uint64_t> terminal;
-  for (const auto& [id, record] : records_) {
-    if (active_.count(id) == 0) terminal.push_back(id);
+  // Restore runs before traffic, so a plain max-store is race-free.
+  next_job_id_.store(
+      std::max(next_job_id_.load(std::memory_order_relaxed), floor));
+  // Rebuild the GC's LRU per shard: terminal records in finish order,
+  // oldest first, so retention keeps expiring across restarts.
+  std::size_t terminal_total = 0;
+  common::TimeNs earliest = std::numeric_limits<common::TimeNs>::max();
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    std::vector<std::uint64_t> terminal;
+    for (const auto& [id, record] : shard->records) {
+      if (shard->active.count(id) == 0) terminal.push_back(id);
+    }
+    std::sort(terminal.begin(), terminal.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                const auto ta = shard->records.at(a).job.finish_time;
+                const auto tb = shard->records.at(b).job.finish_time;
+                return ta != tb ? ta < tb : a < b;
+              });
+    shard->terminal_order.assign(terminal.begin(), terminal.end());
+    terminal_total += terminal.size();
+    if (!terminal.empty()) {
+      earliest = std::min(
+          earliest, shard->records.at(terminal.front()).job.finish_time);
+    }
   }
-  std::sort(terminal.begin(), terminal.end(),
-            [&](std::uint64_t a, std::uint64_t b) {
-              const auto ta = records_.at(a).job.finish_time;
-              const auto tb = records_.at(b).job.finish_time;
-              return ta != tb ? ta < tb : a < b;
-            });
-  terminal_order_.assign(terminal.begin(), terminal.end());
-  cv_.notify_all();
+  terminal_count_.store(terminal_total, std::memory_order_relaxed);
+  earliest_terminal_.store(earliest, std::memory_order_relaxed);
+  wake_lanes();
 }
 
-void Dispatcher::finish_locked(Record& record, DaemonJobState state,
+void Dispatcher::finish_locked(Shard& shard, Record& record,
+                               DaemonJobState state,
                                const std::string& error) {
+  if (record.job.state == DaemonJobState::kQueued) {
+    drop_user_pending(shard, record.job.user);
+  }
   record.job.state = state;
   record.job.error = error;
   record.job.finish_time = clock_->now();
-  active_.erase(record.job.id);
-  terminal_order_.push_back(record.job.id);
+  shard.active.erase(record.job.id);
+  shard.terminal_order.push_back(record.job.id);
+  terminal_count_.fetch_add(1, std::memory_order_relaxed);
+  // Lower-bound maintenance for the GC precheck; finish times are
+  // monotone, so only the first terminal record can lower the minimum.
+  common::TimeNs seen = earliest_terminal_.load(std::memory_order_relaxed);
+  while (record.job.finish_time < seen &&
+         !earliest_terminal_.compare_exchange_weak(
+             seen, record.job.finish_time, std::memory_order_relaxed)) {
+  }
   if (!record.job.resource.empty()) {
     broker_->unbind(record.job.resource);
   }
@@ -743,22 +994,16 @@ void Dispatcher::finish_locked(Record& record, DaemonJobState state,
                                       record.job.submit_time));
     }
   }
-}
-
-bool Dispatcher::has_eligible_locked(const std::string& lane) const {
-  return core_.any_pending([&](std::uint64_t job_id) {
-    const std::string& placed = records_.at(job_id).job.resource;
-    return placed == lane || placed.empty();
-  });
+  shard.cv.notify_all();
 }
 
 void Dispatcher::reassign_from(const std::string& lane) {
   std::size_t moved = 0;
   std::size_t stranded = 0;
-  {
-    std::scoped_lock lock(mutex_);
-    for (const std::uint64_t id : active_) {
-      Record& record = records_.at(id);
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    for (const std::uint64_t id : shard->active) {
+      Record& record = shard->records.at(id);
       if (record.job.resource != lane) continue;
       if (record.job.state != DaemonJobState::kQueued &&
           record.job.state != DaemonJobState::kRunning) {
@@ -793,8 +1038,240 @@ void Dispatcher::reassign_from(const std::string& lane) {
                             ? " (" + std::to_string(stranded) +
                                   " waiting for a healthy resource)"
                             : "");
-    cv_.notify_all();
+    wake_lanes();
   }
+}
+
+Dispatcher::DispatchOutcome Dispatcher::dispatch_one(
+    const std::string& lane, const qrmi::QrmiPtr& resource) {
+  const common::TimeNs now = clock_->now();
+  const auto eligible_in = [&](Shard& shard) {
+    return [&shard, &lane](std::uint64_t job_id) {
+      const std::string& placed = shard.records.at(job_id).job.resource;
+      return placed == lane || placed.empty();
+    };
+  };
+  // Tournament: peek every shard's best eligible head under that shard's
+  // own lock, then take the global winner. head_before is the core's
+  // exact comparator, so the winner is the job a single shared queue
+  // would have served — and since ANY lane can win ANY shard, an idle
+  // lane steals work no matter which tenant shard it landed in.
+  std::optional<PriorityQueueCore::Head> best;
+  std::size_t best_shard = 0;
+  bool shortest_first = false;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::scoped_lock lock(shard.mutex);
+    shortest_first = shard.core.policy().shortest_first_within_class;
+    const auto head = shard.core.peek_head(now, eligible_in(shard));
+    if (head.has_value() &&
+        (!best.has_value() ||
+         PriorityQueueCore::head_before(*head, *best, shortest_first))) {
+      best = *head;
+      best_shard = i;
+    }
+  }
+  if (!best.has_value()) return DispatchOutcome::kIdle;
+
+  Shard& shard = *shards_[best_shard];
+  std::optional<Batch> batch;
+  Payload slice;
+  {
+    std::scoped_lock lock(shard.mutex);
+    // Revalidate under the winner's lock: another lane may have taken
+    // the head (or a cancel removed it) between peek and take. The exact
+    // winner matters — taking whatever is best NOW without a rescan
+    // could overtake a higher-priority head in a different shard.
+    const auto head = shard.core.peek_head(now, eligible_in(shard));
+    if (!head.has_value() || head->job_id != best->job_id) {
+      return DispatchOutcome::kRetry;
+    }
+    batch = shard.core.take(head->job_id);
+    if (!batch.has_value()) return DispatchOutcome::kRetry;
+    total_queued_.fetch_sub(1, std::memory_order_relaxed);
+    Record& record = shard.records.at(batch->job_id);
+    if (record.job.resource.empty()) {
+      // Unplaced job (fleet was down at submit): claim it for this lane.
+      auto claimed = broker_->pick({.policy = record.policy_hint,
+                                    .resource_hint = lane,
+                                    .exclude = {}});
+      if (!claimed.ok()) {
+        shard.core.batch_failed(*batch);
+        total_queued_.fetch_add(1, std::memory_order_relaxed);
+        return DispatchOutcome::kIdle;  // lane became unusable: back off
+      }
+      record.job.resource = lane;
+      if (store_ != nullptr) store_->job_placed(batch->job_id, lane);
+    }
+    if (record.cancel_requested) {
+      // batch_done re-queues a non-final remainder, which remove() then
+      // takes back out: mirror that in the depth counter or it drifts.
+      if (!batch->final_batch) {
+        total_queued_.fetch_add(1, std::memory_order_relaxed);
+      }
+      shard.core.batch_done(*batch);
+      if (shard.core.remove(batch->job_id)) {
+        total_queued_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      finish_locked(shard, record, DaemonJobState::kCancelled, "");
+      return DispatchOutcome::kRetry;
+    }
+    if (record.job.state == DaemonJobState::kQueued) {
+      record.job.state = DaemonJobState::kRunning;
+      drop_user_pending(shard, record.job.user);
+      // Keep the first dispatch time across failover requeues.
+      if (record.job.first_dispatch_time == 0) {
+        record.job.first_dispatch_time = clock_->now();
+      }
+    }
+    slice = *record.payload;
+    slice.set_shots(batch->shots);
+    if (store_ != nullptr) {
+      store_->batch_dispatched(batch->job_id, lane, batch->shots);
+    }
+  }
+
+  broker_->on_dispatch(lane, batch->shots);
+  const common::TimeNs run_start = clock_->now();
+  auto outcome = resource->run_sync(slice, kRunPoll, clock_);
+  const common::DurationNs qpu_ns = clock_->now() - run_start;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("daemon_batches_dispatched_total",
+                  {{"class", to_string(batch->cls)}, {"resource", lane}},
+                  "QPU batches dispatched")
+        .increment();
+  }
+
+  if (!outcome.ok() && is_resource_failure(outcome.error())) {
+    // The resource, not the payload, failed: give the shots back and move
+    // every job placed here onto a healthy peer.
+    broker_->on_failure(lane, outcome.error());
+    {
+      std::scoped_lock lock(shard.mutex);
+      shard.core.batch_failed(*batch);
+      total_queued_.fetch_add(1, std::memory_order_relaxed);
+      // The batch never executed: the job is queued again, which keeps
+      // status reporting honest and lets cancel() act immediately while
+      // no resource can take it.
+      Record& record = shard.records.at(batch->job_id);
+      if (record.job.state == DaemonJobState::kRunning) {
+        record.job.state = DaemonJobState::kQueued;
+        ++shard.user_pending[record.job.user];
+      }
+      if (store_ != nullptr) {
+        store_->batch_failed(batch->job_id, lane, batch->shots,
+                             outcome.error().to_string());
+      }
+      // A cancel that raced the in-flight batch must win over failover:
+      // with no healthy resource left the requeued job would otherwise
+      // sit queued-with-cancel-requested forever.
+      if (record.cancel_requested) {
+        if (shard.core.remove(batch->job_id)) {
+          total_queued_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        finish_locked(shard, record, DaemonJobState::kCancelled, "");
+      } else if (++record.failovers > kMaxBatchFailovers) {
+        if (shard.core.remove(batch->job_id)) {
+          total_queued_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        finish_locked(shard, record, DaemonJobState::kFailed,
+                      "gave up after " +
+                          std::to_string(record.failovers) +
+                          " resource failures (last on '" + lane +
+                          "'): " + outcome.error().to_string());
+      }
+    }
+    // Outside the shard lock: reassign_from locks every shard in turn.
+    reassign_from(lane);
+    return DispatchOutcome::kDispatched;
+  }
+
+  if (!outcome.ok()) {
+    broker_->on_rejected(lane);
+    std::scoped_lock lock(shard.mutex);
+    Record& record = shard.records.at(batch->job_id);
+    // A spec rejection of a broker-placed job may just mean a bad fit in
+    // a heterogeneous fleet: re-place it on another resource (within the
+    // failover budget) before giving up. Pinned jobs fail immediately —
+    // the user chose the resource.
+    if (!record.pinned && ++record.failovers <= kMaxBatchFailovers) {
+      auto repick = broker_->pick({.policy = record.policy_hint,
+                                   .resource_hint = {},
+                                   .exclude = lane});
+      if (repick.ok()) {
+        shard.core.batch_failed(*batch);
+        total_queued_.fetch_add(1, std::memory_order_relaxed);
+        if (record.job.state == DaemonJobState::kRunning) {
+          record.job.state = DaemonJobState::kQueued;
+          ++shard.user_pending[record.job.user];
+        }
+        broker_->unbind(lane);
+        record.job.resource = std::move(repick).value();
+        if (store_ != nullptr) {
+          store_->batch_failed(batch->job_id, lane, batch->shots,
+                               outcome.error().to_string());
+          store_->job_placed(batch->job_id, record.job.resource);
+        }
+        QCENV_LOG(Warn) << "job " << batch->job_id << " rejected by "
+                        << lane << " (" << outcome.error().to_string()
+                        << "), re-placing on " << record.job.resource;
+        wake_lanes();
+        return DispatchOutcome::kDispatched;
+      }
+    }
+    if (!batch->final_batch) {
+      total_queued_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.core.batch_done(*batch);
+    if (shard.core.remove(batch->job_id)) {
+      total_queued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    finish_locked(shard, record, DaemonJobState::kFailed,
+                  outcome.error().to_string());
+    QCENV_LOG(Warn) << "job " << batch->job_id
+                    << " failed: " << record.job.error;
+    wake_lanes();
+    return DispatchOutcome::kDispatched;
+  }
+
+  broker_->on_success(lane, batch->shots);
+  std::scoped_lock lock(shard.mutex);
+  Record& record = shard.records.at(batch->job_id);
+  if (!batch->final_batch) {
+    // batch_done re-queues the remainder below.
+    total_queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.core.batch_done(*batch);
+  record.job.shots_done += batch->shots;
+  // Keep the last batch's metadata (most recent calibration).
+  auto merged_metadata = outcome.value().metadata();
+  (void)record.samples.merge(outcome.value());
+  record.samples.set_metadata(std::move(merged_metadata));
+  if (store_ != nullptr) {
+    // The executed shots become durable BEFORE any terminal event, so a
+    // crash between the two replays them as done, never re-runs them.
+    // Serialization is deferred to the journal's writer thread.
+    store_->batch_done(batch->job_id, batch->shots, qpu_ns,
+                       batch->final_batch, outcome.value());
+  }
+  if (accounting_ != nullptr) {
+    // Charged in the same critical section as the journal append, so a
+    // compaction snapshot (which reads the watermark and the ledger
+    // under every shard mutex) can never tear the two apart.
+    accounting_->charge_batch(record.job.user, batch->shots, qpu_ns);
+  }
+
+  if (record.cancel_requested) {
+    if (shard.core.remove(batch->job_id)) {
+      total_queued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    finish_locked(shard, record, DaemonJobState::kCancelled, "");
+  } else if (batch->final_batch) {
+    finish_locked(shard, record, DaemonJobState::kCompleted, "");
+  }
+  wake_lanes();
+  return DispatchOutcome::kDispatched;
 }
 
 void Dispatcher::lane_loop(const std::stop_token& stop,
@@ -805,7 +1282,7 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
 
   bool was_healthy = true;
   while (!stop.stop_requested()) {
-    // Probe outside the queue lock: a hung endpoint must not block peers.
+    // Probe outside the queue locks: a hung endpoint must not block peers.
     const bool healthy = broker_->check_health(lane);
     // Move placed jobs away once per down transition (the batch-failure
     // path below covers failures detected mid-dispatch); placement never
@@ -813,181 +1290,34 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
     if (!healthy && was_healthy) reassign_from(lane);
     was_healthy = healthy;
 
-    std::optional<Batch> batch;
-    Payload slice;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait_for(lock, std::chrono::nanoseconds(idle_tick_.load()), [&] {
-        return stop.stop_requested() ||
-               (!draining_.load() && healthy && !broker_->draining(lane) &&
-                has_eligible_locked(lane));
-      });
-      if (stop.stop_requested()) return;
-      if (draining_.load() || !healthy || broker_->draining(lane)) continue;
-      batch = core_.next_batch(clock_->now(), [&](std::uint64_t job_id) {
-        const std::string& placed = records_.at(job_id).job.resource;
-        return placed == lane || placed.empty();
-      });
-      if (!batch.has_value()) continue;
-      Record& record = records_.at(batch->job_id);
-      if (record.job.resource.empty()) {
-        // Unplaced job (fleet was down at submit): claim it for this lane.
-        auto claimed = broker_->pick({.policy = record.policy_hint,
-                                      .resource_hint = lane,
-                                      .exclude = {}});
-        if (!claimed.ok()) {
-          core_.batch_failed(*batch);
-          continue;
-        }
-        record.job.resource = lane;
-        if (store_ != nullptr) store_->job_placed(batch->job_id, lane);
-      }
-      if (record.cancel_requested) {
-        core_.batch_done(*batch);
-        core_.remove(batch->job_id);
-        finish_locked(record, DaemonJobState::kCancelled, "");
-        cv_.notify_all();
-        continue;
-      }
-      if (record.job.state == DaemonJobState::kQueued) {
-        record.job.state = DaemonJobState::kRunning;
-        // Keep the first dispatch time across failover requeues.
-        if (record.job.first_dispatch_time == 0) {
-          record.job.first_dispatch_time = clock_->now();
-        }
-      }
-      slice = *record.payload;
-      slice.set_shots(batch->shots);
-      if (store_ != nullptr) {
-        store_->batch_dispatched(batch->job_id, lane, batch->shots);
-      }
+    // Epoch BEFORE the dispatch attempt: work submitted while this lane
+    // is busy re-triggers the scan instead of being slept through.
+    const std::uint64_t epoch =
+        dispatch_epoch_.load(std::memory_order_acquire);
+    DispatchOutcome outcome = DispatchOutcome::kIdle;
+    if (!draining_.load() && healthy && !broker_->draining(lane)) {
+      outcome = dispatch_one(lane, resource);
     }
-
-    broker_->on_dispatch(lane, batch->shots);
-    const common::TimeNs run_start = clock_->now();
-    auto outcome = resource->run_sync(slice, kRunPoll, clock_);
-    const common::DurationNs qpu_ns = clock_->now() - run_start;
-    if (metrics_ != nullptr) {
-      metrics_
-          ->counter("daemon_batches_dispatched_total",
-                    {{"class", to_string(batch->cls)}, {"resource", lane}},
-                    "QPU batches dispatched")
-          .increment();
-    }
-
-    if (!outcome.ok() && is_resource_failure(outcome.error())) {
-      // The resource, not the payload, failed: give the shots back and move
-      // every job placed here onto a healthy peer.
-      broker_->on_failure(lane, outcome.error());
-      {
-        std::scoped_lock lock(mutex_);
-        core_.batch_failed(*batch);
-        // The batch never executed: the job is queued again, which keeps
-        // status reporting honest and lets cancel() act immediately while
-        // no resource can take it.
-        Record& record = records_.at(batch->job_id);
-        if (record.job.state == DaemonJobState::kRunning) {
-          record.job.state = DaemonJobState::kQueued;
-        }
-        if (store_ != nullptr) {
-          store_->batch_failed(batch->job_id, lane, batch->shots,
-                               outcome.error().to_string());
-        }
-        // A cancel that raced the in-flight batch must win over failover:
-        // with no healthy resource left the requeued job would otherwise
-        // sit queued-with-cancel-requested forever.
-        if (record.cancel_requested) {
-          core_.remove(batch->job_id);
-          finish_locked(record, DaemonJobState::kCancelled, "");
-          cv_.notify_all();
-          continue;
-        }
-        if (++record.failovers > kMaxBatchFailovers) {
-          core_.remove(batch->job_id);
-          finish_locked(record, DaemonJobState::kFailed,
-                        "gave up after " +
-                            std::to_string(record.failovers) +
-                            " resource failures (last on '" + lane +
-                            "'): " + outcome.error().to_string());
-          cv_.notify_all();
-          continue;
-        }
-      }
-      reassign_from(lane);
+    if (stop.stop_requested()) return;
+    if (outcome != DispatchOutcome::kIdle) continue;
+    std::unique_lock wait_lock(dispatch_mutex_);
+    if (draining_.load()) {
+      // Parked: under a global drain no epoch bump can make work
+      // dispatchable here, so the lane does not register as a waiter and
+      // the submit hot path skips the wake entirely. resume()/stop use
+      // the unconditional wake; the idle tick bounds any staleness.
+      dispatch_cv_.wait_for(
+          wait_lock, std::chrono::nanoseconds(idle_tick_.load()),
+          [&] { return stop.stop_requested() || !draining_.load(); });
       continue;
     }
-
-    if (!outcome.ok()) {
-      broker_->on_rejected(lane);
-      std::scoped_lock lock(mutex_);
-      Record& record = records_.at(batch->job_id);
-      // A spec rejection of a broker-placed job may just mean a bad fit in
-      // a heterogeneous fleet: re-place it on another resource (within the
-      // failover budget) before giving up. Pinned jobs fail immediately —
-      // the user chose the resource.
-      if (!record.pinned && ++record.failovers <= kMaxBatchFailovers) {
-        auto repick = broker_->pick({.policy = record.policy_hint,
-                                     .resource_hint = {},
-                                     .exclude = lane});
-        if (repick.ok()) {
-          core_.batch_failed(*batch);
-          if (record.job.state == DaemonJobState::kRunning) {
-            record.job.state = DaemonJobState::kQueued;
-          }
-          broker_->unbind(lane);
-          record.job.resource = std::move(repick).value();
-          if (store_ != nullptr) {
-            store_->batch_failed(batch->job_id, lane, batch->shots,
-                                 outcome.error().to_string());
-            store_->job_placed(batch->job_id, record.job.resource);
-          }
-          QCENV_LOG(Warn) << "job " << batch->job_id << " rejected by "
-                          << lane << " (" << outcome.error().to_string()
-                          << "), re-placing on " << record.job.resource;
-          cv_.notify_all();
-          continue;
-        }
-      }
-      core_.batch_done(*batch);
-      core_.remove(batch->job_id);
-      finish_locked(record, DaemonJobState::kFailed,
-                    outcome.error().to_string());
-      QCENV_LOG(Warn) << "job " << batch->job_id
-                      << " failed: " << record.job.error;
-      cv_.notify_all();
-      continue;
-    }
-
-    broker_->on_success(lane, batch->shots);
-    std::scoped_lock lock(mutex_);
-    Record& record = records_.at(batch->job_id);
-    core_.batch_done(*batch);
-    record.job.shots_done += batch->shots;
-    // Keep the last batch's metadata (most recent calibration).
-    auto merged_metadata = outcome.value().metadata();
-    (void)record.samples.merge(outcome.value());
-    record.samples.set_metadata(std::move(merged_metadata));
-    if (store_ != nullptr) {
-      // The executed shots become durable BEFORE any terminal event, so a
-      // crash between the two replays them as done, never re-runs them.
-      // Serialization is deferred to the journal's writer thread.
-      store_->batch_done(batch->job_id, batch->shots, qpu_ns,
-                         batch->final_batch, outcome.value());
-    }
-    if (accounting_ != nullptr) {
-      // Charged in the same critical section as the journal append, so a
-      // compaction snapshot (which reads the watermark and the ledger
-      // under this mutex) can never tear the two apart.
-      accounting_->charge_batch(record.job.user, batch->shots, qpu_ns);
-    }
-
-    if (record.cancel_requested) {
-      core_.remove(batch->job_id);
-      finish_locked(record, DaemonJobState::kCancelled, "");
-    } else if (batch->final_batch) {
-      finish_locked(record, DaemonJobState::kCompleted, "");
-    }
-    cv_.notify_all();
+    dispatch_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    dispatch_cv_.wait_for(
+        wait_lock, std::chrono::nanoseconds(idle_tick_.load()), [&] {
+          return stop.stop_requested() ||
+                 dispatch_epoch_.load(std::memory_order_acquire) != epoch;
+        });
+    dispatch_waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

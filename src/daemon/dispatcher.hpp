@@ -1,26 +1,44 @@
-// Live dispatcher: drives the PriorityQueueCore against a fleet of QRMI
-// resources managed by a ResourceBroker.
+// Live dispatcher: drives sharded PriorityQueueCores against a fleet of
+// QRMI resources managed by a ResourceBroker.
 //
-// One worker lane per resource pulls batches from the shared policy core,
-// slices the job's payload to the batch shot count, executes it
-// synchronously through QRMI, merges samples into the job record and
-// re-queues remainders. This is the daemon's "second level of scheduling
-// logic that allows multiple users to share the QPU" (§3.3), extended to
-// multi-resource dispatch: jobs are placed on a resource by the broker's
-// scheduling policy, lanes drain the one queue concurrently, and when a
-// resource fails its in-flight batch and queued jobs fail over to healthy
-// resources with no shots lost.
+// The submit path is sharded per tenant: a user hashes onto one of N
+// shards, each with its own mutex, queue core, record table and per-user
+// pending counts, so concurrent tenants stop contending on one lock. Job
+// ids and FIFO sequence numbers come from ONE global atomic allocator,
+// and dispatch runs a tournament — each lane peeks every shard's best
+// eligible head under that shard's lock, then takes the global winner
+// using the queue core's exact comparator — so the dispatch order is
+// bit-identical to what a single shared queue would produce (fair-share
+// convergence and class-priority semantics are shard-count-invariant).
+// Any lane can win any shard's jobs: that IS the work stealing.
+//
+// One worker lane per resource pulls batches this way, slices the job's
+// payload to the batch shot count, executes it synchronously through
+// QRMI, merges samples into the job record and re-queues remainders.
+// This is the daemon's "second level of scheduling logic that allows
+// multiple users to share the QPU" (§3.3), extended to multi-resource
+// dispatch: jobs are placed on a resource by the broker's scheduling
+// policy, lanes drain the shards concurrently, and when a resource fails
+// its in-flight batch and queued jobs fail over to healthy resources
+// with no shots lost.
+//
+// Lock order: shard mutexes in index order (when more than one is
+// needed: snapshot/restore/GC), then dispatch_mutex_ (a leaf — its
+// waiters' predicate reads only atomics, never shard state).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -110,6 +128,16 @@ class Dispatcher {
                                        const std::string& user, JobClass cls,
                                        quantum::Payload payload,
                                        const SubmitOptions& options);
+  /// Zero-copy submission: the job shares `payload` with the caller (and
+  /// with every other job submitted from the same pointer) instead of
+  /// deep-copying its program body. This is the hot-path shape for
+  /// parameter sweeps — one program object, thousands of submissions —
+  /// and lets the journal reuse one payload fingerprint across the run.
+  /// The payload must not be mutated after submission (enforced by const).
+  common::Result<std::uint64_t> submit(
+      common::SessionId session, const std::string& user, JobClass cls,
+      std::shared_ptr<const quantum::Payload> payload,
+      const SubmitOptions& options);
 
   common::Result<DaemonJob> query(std::uint64_t job_id) const;
   /// Samples of a completed job.
@@ -164,8 +192,15 @@ class Dispatcher {
   const broker::ResourceBroker& broker() const noexcept { return *broker_; }
 
   std::map<JobClass, std::size_t> queue_depths() const;
+  /// Jobs currently queued across all shards — one relaxed atomic load,
+  /// for the admission boundary's depth limit on the submit hot path
+  /// (queue_depths() walks every shard and is for status endpoints).
+  std::size_t queued_total() const noexcept {
+    return total_queued_.load(std::memory_order_relaxed);
+  }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
   std::vector<DaemonJob> jobs_snapshot() const;
-  /// Pending ids in dispatch order.
+  /// Pending ids in global dispatch order (k-way merge of shard heads).
   std::vector<std::uint64_t> queue_order() const;
 
   /// Per-resource view of the queue for GET /v1/queue: how many jobs are
@@ -208,17 +243,65 @@ class Dispatcher {
     std::uint32_t failovers = 0;  // batches returned by resource failures
   };
 
+  /// One submit shard: a tenant's entire dispatcher-side state lives in
+  /// exactly one shard (hash of the user name), so the submit hot path
+  /// takes one shard mutex and touches nothing global but atomics.
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Wakes wait(job_id) callers; notified on terminal transitions.
+    std::condition_variable cv;
+    PriorityQueueCore core;
+    std::map<std::uint64_t, Record> records;
+    /// Non-terminal job ids: keeps per-lane queue reporting O(live jobs)
+    /// while records retains every terminal job for result serving.
+    std::unordered_set<std::uint64_t> active;
+    /// Terminal job ids in finish order (oldest first) — the GC's LRU.
+    std::deque<std::uint64_t> terminal_order;
+    /// Jobs in state kQueued per user — O(1) admission pre-checks
+    /// instead of an O(active jobs) scan under a global lock.
+    std::map<std::string, std::size_t> user_pending;
+  };
+
+  enum class DispatchOutcome {
+    kDispatched,  // ran (or terminally resolved) a batch — rescan now
+    kRetry,       // lost a benign race (head taken/cancelled) — rescan now
+    kIdle,        // nothing eligible — wait for work or the idle tick
+  };
+
   void lane_loop(const std::stop_token& stop, const std::string& lane);
+  /// One tournament + at most one batch execution for `lane`.
+  DispatchOutcome dispatch_one(const std::string& lane,
+                               const qrmi::QrmiPtr& resource);
   void start_lanes();
   void install_priority_hook();
-  /// Evicts terminal records per the retention/cap policy; returns count.
-  std::size_t sweep_terminal_locked(common::TimeNs now);
-  bool has_eligible_locked(const std::string& lane) const;
+  Shard& shard_for_user(const std::string& user) const;
+  /// Shard holding `job_id` (via the striped index), or nullptr. The
+  /// mapping is immutable for a job's lifetime; the stripe lock is
+  /// released before any shard lock is taken, so the two never nest.
+  Shard* find_shard(std::uint64_t job_id) const;
+  void index_insert(std::uint64_t job_id, std::uint32_t shard);
+  void index_erase(std::uint64_t job_id);
+  /// Shard locks in index order (global views: snapshot, GC, restore).
+  std::vector<std::unique_lock<std::mutex>> lock_all_shards() const;
+  /// Bumps the dispatch epoch and wakes registered lane waiters. Safe to
+  /// call while holding any shard lock (dispatch_mutex_ is a leaf). When
+  /// every lane is busy (or parked by a global drain) this is one atomic
+  /// load — the submit hot path's common case.
+  void wake_lanes();
+  /// Unconditional wake, ignoring the waiter count: required for state
+  /// flips that end a drain park (resume, stop, idle-tick changes).
+  void wake_lanes_all();
+  /// Evicts terminal records per the retention/cap policy across all
+  /// shards (global LRU merge by finish time); returns eviction count.
+  std::size_t sweep_terminal_all(common::TimeNs now);
   /// Moves every non-terminal job placed on `lane` to a healthy resource
   /// (or unplaces it when none is available right now).
   void reassign_from(const std::string& lane);
-  void finish_locked(Record& record, DaemonJobState state,
+  /// Caller holds `shard.mutex`.
+  void finish_locked(Shard& shard, Record& record, DaemonJobState state,
                      const std::string& error);
+  /// Decrements `shard.user_pending[user]`, erasing the entry at zero.
+  static void drop_user_pending(Shard& shard, const std::string& user);
   /// Durable image of one record's metadata only — the (expensive)
   /// payload and samples serialization is always done later, by the
   /// journal's deferred serializer or durable_snapshot(), outside the
@@ -231,18 +314,45 @@ class Dispatcher {
   store::StateStore* store_;
   accounting::AccountingManager* accounting_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  PriorityQueueCore core_;
-  std::map<std::uint64_t, Record> records_;
-  /// Non-terminal job ids: keeps per-lane queue reporting O(live jobs)
-  /// while records_ retains every terminal job for result serving.
-  std::unordered_set<std::uint64_t> active_;
-  /// Terminal job ids in finish order (oldest first) — the GC's LRU.
-  std::deque<std::uint64_t> terminal_order_;
-  common::DurationNs terminal_retention_ = 0;
-  std::size_t terminal_cap_ = 0;
-  std::uint64_t next_job_id_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// job id -> shard index, striped so concurrent queries of different
+  /// jobs do not serialize. Entries are written once (submit/restore)
+  /// and erased only by terminal-record GC.
+  static constexpr std::size_t kIndexStripes = 16;
+  struct IndexStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::uint32_t> shard_of;
+  };
+  mutable std::array<IndexStripe, kIndexStripes> index_;
+
+  /// Global allocator: job ids double as queue FIFO seqs, so cross-shard
+  /// dispatch order equals single-queue order.
+  std::atomic<std::uint64_t> next_job_id_{1};
+  /// Entries pending across all shard cores (admission depth checks).
+  std::atomic<std::size_t> total_queued_{0};
+  /// Terminal-GC bookkeeping: count + a lower bound on the oldest
+  /// terminal finish time, so the per-submit sweep is one atomic compare
+  /// unless something is actually evictable.
+  std::atomic<std::size_t> terminal_count_{0};
+  std::atomic<common::TimeNs> earliest_terminal_{
+      std::numeric_limits<common::TimeNs>::max()};
+  std::atomic<common::DurationNs> terminal_retention_{0};
+  std::atomic<std::size_t> terminal_cap_{0};
+
+  /// Lanes sleep on dispatch_cv_; the predicate reads ONLY this epoch
+  /// (and the stop token), never shard state, keeping dispatch_mutex_ a
+  /// leaf in the lock order. Every event that could create dispatchable
+  /// work bumps the epoch.
+  std::mutex dispatch_mutex_;
+  std::condition_variable dispatch_cv_;
+  std::atomic<std::uint64_t> dispatch_epoch_{0};
+  /// Lanes currently registered on dispatch_cv_ (incremented under
+  /// dispatch_mutex_ before the wait predicate runs). Gates the
+  /// mutex+notify in wake_lanes(); lanes parked by a global drain stay
+  /// unregistered on purpose.
+  std::atomic<std::uint32_t> dispatch_waiters_{0};
+
   std::atomic<bool> draining_{false};
   std::atomic<common::DurationNs> idle_tick_{20 * common::kMillisecond};
   std::vector<std::jthread> lanes_;

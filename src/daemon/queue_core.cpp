@@ -24,6 +24,12 @@ common::Result<JobClass> job_class_from_string(const std::string& text) {
 void PriorityQueueCore::enqueue(std::uint64_t job_id, JobClass cls,
                                 std::uint64_t total_shots,
                                 common::TimeNs now) {
+  enqueue(job_id, cls, total_shots, now, next_seq_);
+}
+
+void PriorityQueueCore::enqueue(std::uint64_t job_id, JobClass cls,
+                                std::uint64_t total_shots, common::TimeNs now,
+                                std::uint64_t seq) {
   assert(entries_.count(job_id) == 0 && in_flight_.count(job_id) == 0 &&
          "job already queued");
   Entry entry;
@@ -32,7 +38,8 @@ void PriorityQueueCore::enqueue(std::uint64_t job_id, JobClass cls,
   entry.remaining_shots = total_shots;
   entry.total_shots = total_shots;
   entry.enqueue_time = now;
-  entry.seq = next_seq_++;
+  entry.seq = seq;
+  if (next_seq_ <= seq) next_seq_ = seq + 1;
   entries_.emplace(job_id, entry);
 }
 
@@ -96,20 +103,76 @@ std::optional<Batch> PriorityQueueCore::next_batch(
     }
   }
   if (head == nullptr) return std::nullopt;
+  return take(head->job_id);
+}
 
+std::optional<PriorityQueueCore::Head> PriorityQueueCore::peek_head(
+    common::TimeNs now, const EligibleFn& eligible) const {
+  for (const Entry* entry : ordered(now)) {
+    if (!eligible(entry->job_id)) continue;
+    Head head;
+    head.job_id = entry->job_id;
+    head.cls = entry->cls;
+    head.rank = effective_rank(*entry, now);
+    if (priority_hook_) {
+      head.has_hook = true;
+      head.hook = priority_hook_(entry->job_id, now);
+    }
+    head.remaining_shots = entry->remaining_shots;
+    head.seq = entry->seq;
+    return head;
+  }
+  return std::nullopt;
+}
+
+std::vector<PriorityQueueCore::Head> PriorityQueueCore::snapshot_heads(
+    common::TimeNs now) const {
+  std::vector<Head> heads;
+  heads.reserve(entries_.size());
+  for (const Entry* entry : ordered(now)) {
+    Head head;
+    head.job_id = entry->job_id;
+    head.cls = entry->cls;
+    head.rank = effective_rank(*entry, now);
+    if (priority_hook_) {
+      head.has_hook = true;
+      head.hook = priority_hook_(entry->job_id, now);
+    }
+    head.remaining_shots = entry->remaining_shots;
+    head.seq = entry->seq;
+    heads.push_back(head);
+  }
+  return heads;
+}
+
+bool PriorityQueueCore::head_before(const Head& a, const Head& b,
+                                    bool shortest_first) noexcept {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.has_hook && b.has_hook && a.hook != b.hook) {
+    return a.hook > b.hook;  // under-served first
+  }
+  if (shortest_first && a.remaining_shots != b.remaining_shots) {
+    return a.remaining_shots < b.remaining_shots;
+  }
+  return a.seq < b.seq;
+}
+
+std::optional<Batch> PriorityQueueCore::take(std::uint64_t job_id) {
+  const auto it = entries_.find(job_id);
+  if (it == entries_.end()) return std::nullopt;
+  const Entry& head = it->second;
   Batch batch;
-  batch.job_id = head->job_id;
-  batch.cls = head->cls;
+  batch.job_id = head.job_id;
+  batch.cls = head.cls;
   const bool small_batches = policy_.non_production_batch_shots > 0 &&
-                             head->cls != JobClass::kProduction;
+                             head.cls != JobClass::kProduction;
   batch.shots = small_batches
-                    ? std::min(head->remaining_shots,
+                    ? std::min(head.remaining_shots,
                                policy_.non_production_batch_shots)
-                    : head->remaining_shots;
-  batch.final_batch = batch.shots >= head->remaining_shots;
+                    : head.remaining_shots;
+  batch.final_batch = batch.shots >= head.remaining_shots;
 
   // Move the entry to the in-flight set.
-  const auto it = entries_.find(head->job_id);
   in_flight_.emplace(it->first, it->second);
   entries_.erase(it);
   return batch;

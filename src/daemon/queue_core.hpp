@@ -51,6 +51,15 @@ struct QueuePolicy {
   /// "expected time running on the QC hardware" hint the paper proposes;
   /// remaining shots are the proxy.
   bool shortest_first_within_class = false;
+  /// Submit-path sharding: tenants hash onto this many independent queue
+  /// shards, each with its own lock, so concurrent submitters stop
+  /// contending on one mutex. Dispatch order is unchanged — lanes run a
+  /// tournament over the shard heads with the exact global comparator.
+  /// 0 = default (8). 1 = one shared queue (the pre-sharding layout; the
+  /// submit bench uses it as its hardware-normalizing baseline). The
+  /// default is a fixed number, NOT hardware-derived, so seeded
+  /// simulations replay identically on any machine.
+  std::size_t submit_shards = 0;
 };
 
 /// One dispatchable slice of a job.
@@ -85,6 +94,13 @@ class PriorityQueueCore {
   void enqueue(std::uint64_t job_id, JobClass cls, std::uint64_t total_shots,
                common::TimeNs now);
 
+  /// Same, with a caller-supplied FIFO sequence number. The sharded
+  /// dispatcher allocates seqs from ONE global counter so a tournament
+  /// over per-shard heads (peek_head + head_before) reproduces exactly
+  /// the dispatch order a single shared queue would have produced.
+  void enqueue(std::uint64_t job_id, JobClass cls, std::uint64_t total_shots,
+               common::TimeNs now, std::uint64_t seq);
+
   /// Jobs a dispatch lane may serve (multi-resource dispatch: each lane
   /// passes the jobs placed on — or placeable on — its resource).
   using EligibleFn = std::function<bool(std::uint64_t job_id)>;
@@ -101,6 +117,34 @@ class PriorityQueueCore {
 
   /// True when at least one pending job satisfies `eligible`.
   bool any_pending(const EligibleFn& eligible) const;
+
+  /// The ordering keys of the job next_batch would serve right now — the
+  /// per-shard half of the sharded dispatcher's tournament: peek every
+  /// shard's head, pick the globally best via head_before, then take()
+  /// it from the winning shard.
+  struct Head {
+    std::uint64_t job_id = 0;
+    JobClass cls = JobClass::kDevelopment;
+    int rank = 0;            // effective class rank after aging
+    bool has_hook = false;   // hook value below is meaningful
+    double hook = 0.0;       // pluggable priority (higher first)
+    std::uint64_t remaining_shots = 0;
+    std::uint64_t seq = 0;   // global FIFO tie-break
+  };
+  std::optional<Head> peek_head(common::TimeNs now,
+                                const EligibleFn& eligible) const;
+  /// Every pending job's Head, in this core's dispatch order (global
+  /// views k-way-merge several shards' lists with head_before).
+  std::vector<Head> snapshot_heads(common::TimeNs now) const;
+
+  /// Strict-weak-order over Heads matching ordered()'s comparator, so
+  /// tournament selection across shards equals single-queue dispatch.
+  static bool head_before(const Head& a, const Head& b,
+                          bool shortest_first) noexcept;
+
+  /// Dispatches a specific pending job (the tournament winner), applying
+  /// the same batching policy next_batch would. nullopt if not pending.
+  std::optional<Batch> take(std::uint64_t job_id);
 
   /// Reports a dispatched batch finished; re-queues the remainder (if any)
   /// at its original queue position so a job's batches stay contiguous

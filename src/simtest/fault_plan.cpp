@@ -21,6 +21,7 @@ const char* to_string(FaultOp op) noexcept {
     case FaultOp::kJournalFailStop: return "journal_fail_stop";
     case FaultOp::kTornTail: return "torn_tail";
     case FaultOp::kCompact: return "compact";
+    case FaultOp::kCompactCrash: return "compact_crash";
     case FaultOp::kSubmitStorm: return "submit_storm";
   }
   return "?";
@@ -53,6 +54,9 @@ std::string FaultEvent::to_string() const {
       break;
     case FaultOp::kCancelJob:
       out += " pick=" + std::to_string(param);
+      break;
+    case FaultOp::kCompactCrash:
+      out += " atomic_write=" + std::to_string(param);
       break;
     default:
       break;
@@ -134,6 +138,18 @@ FaultPlan make_fault_plan(common::Rng& rng,
   }
   for (std::size_t i = 0; i < options.compactions; ++i) {
     plan.events.push_back({at(0.3, 0.9), FaultOp::kCompact, 0, 0});
+  }
+  for (std::size_t i = 0; i < options.compact_crashes; ++i) {
+    // param picks WHICH atomic rewrite of the compaction dies: 0 is the
+    // snapshot, 1 the journal rewrite (mid-migration when formats
+    // differ). The guaranteed restart checks the pre-crash image.
+    const DurationNs when = at(0.25, 0.7);
+    plan.events.push_back(
+        {when, FaultOp::kCompactCrash, 0,
+         static_cast<std::uint64_t>(rng.uniform_int(0, 1))});
+    plan.events.push_back(
+        {when + static_cast<DurationNs>(horizon * rng.uniform(0.02, 0.08)),
+         FaultOp::kKillRestart, 0, 0});
   }
   for (std::size_t i = 0; i < options.restarts; ++i) {
     plan.events.push_back({at(0.2, 0.85), FaultOp::kKillRestart, 0, 0});

@@ -30,6 +30,10 @@ enum class FaultOp {
   kTornTail,         // next journal write tears after `param` bytes, then
                      // the disk is dead (the classic crash-mid-append)
   kCompact,          // force a snapshot + journal-truncation cycle
+  kCompactCrash,     // a compaction whose `param`-th atomic rewrite dies
+                     // (0 = the snapshot, 1 = the journal rewrite — the
+                     // mid-migration crash when the journal is migrating
+                     // formats); a kKillRestart always follows
   kSubmitStorm,      // target user bursts `param` submissions at once
 };
 
@@ -61,6 +65,11 @@ struct FaultPlanOptions {
   std::size_t restarts = 1;     // clean kill-and-restart cycles
   bool disk_fault = false;      // one fail-stop OR torn tail + restart
   std::size_t compactions = 1;
+  /// Compactions that die on one of their atomic rewrites (snapshot or
+  /// journal — the latter is the mid-format-migration crash). Each is
+  /// followed by a kKillRestart: the next life must find the pre-crash
+  /// journal intact and replay it identically.
+  std::size_t compact_crashes = 0;
   std::size_t storms = 1;
   /// Probability that any one task_start transiently fails with an I/O
   /// error (exercises mid-dispatch failover, distinct from flaps). Applied

@@ -244,6 +244,19 @@ class SimWorld {
           (void)daemon_->state_store()->compact();
         }
         break;
+      case FaultOp::kCompactCrash:
+        // One atomic rewrite of this compaction dies (param 0 = the
+        // snapshot, 1 = the journal rewrite — mid-migration when the
+        // journal is re-encoding formats). The compaction aborts, the
+        // journal keeps appending, and the plan's guaranteed restart
+        // must find the original file intact and replay it.
+        if (daemon_->state_store() != nullptr && journal_healthy()) {
+          ++result_.stats.compact_crashes;
+          injector_.fail_one_atomic_write_after(event.param);
+          (void)daemon_->state_store()->compact();
+          injector_.heal();
+        }
+        break;
       case FaultOp::kSubmitStorm: {
         ++result_.stats.storms;
         const std::size_t user = event.target % options_.users;
@@ -475,6 +488,7 @@ class SimWorld {
     daemon::DaemonOptions options;
     options.admin_key = "simtest";
     options.queue_policy.non_production_batch_shots = options_.batch_shots;
+    options.queue_policy.submit_shards = options_.submit_shards;
     // Probe cadence scaled to the scenario horizon so flapped resources
     // re-probe (in virtual time) well before quiescence.
     options.broker.probe_interval = common::kSecond;
@@ -498,12 +512,19 @@ class SimWorld {
       options.store.journal.sync = store::SyncMode::kAlways;
       // Compaction is a scheduled fault event, not a background race.
       options.store.compact_every_events = 0;
+      // First life of a migration scenario writes the legacy JSON-lines
+      // format; every later life runs with the v2 default and must read,
+      // append to, and (on kCompact) transparently migrate the v1 file.
+      if (options_.journal_v1_start && lives_ == 0) {
+        options.store.journal.format = store::JournalFormat::kJsonV1;
+      }
     }
     if (options_.gc) options.store.terminal_job_cap = kGcCap;
     qrmi::ResourceRegistry fleet;
     for (std::size_t i = 0; i < emus_.size(); ++i) {
       fleet.add(emu_name(i), emus_[i]);
     }
+    ++lives_;
     auto daemon = std::make_unique<daemon::MiddlewareDaemon>(
         options, fleet, nullptr, &clock_);
     // Idle lanes re-check queues every 0.5 ms of real time: recovery from
@@ -518,6 +539,7 @@ class SimWorld {
   common::TempDir dir_{"qcenv-simtest-"};
   store::CountingFaultInjector injector_;
   bool disk_dead_ = false;
+  std::size_t lives_ = 0;  // daemon incarnations (1 = the first boot)
   std::vector<std::shared_ptr<qrmi::LocalEmulatorQrmi>> emus_;
   std::vector<std::shared_ptr<EmuModel>> models_;
   std::unique_ptr<daemon::MiddlewareDaemon> daemon_;
@@ -627,6 +649,22 @@ ScenarioOptions scenario_for_seed(std::uint64_t seed, bool quick) {
   options.faults.storms =
       static_cast<std::size_t>(rng.uniform_int(0, 2));
   options.faults.brownout_prob = rng.bernoulli(0.3) ? 0.01 : 0.0;
+  // Shard topology is part of the seed (1 = the unsharded layout), so
+  // every invariant is exercised against every topology.
+  options.submit_shards = std::size_t{1}
+                          << static_cast<std::size_t>(rng.uniform_int(0, 3));
+  // Format-migration lives: start on a v1 journal, restart into v2, and
+  // guarantee at least one compaction so the migration actually runs;
+  // sometimes crash a compaction mid-rewrite.
+  options.journal_v1_start = options.durable && rng.bernoulli(0.35);
+  if (options.journal_v1_start) {
+    options.faults.compactions = std::max<std::size_t>(
+        options.faults.compactions, 1);
+    options.faults.restarts = std::max<std::size_t>(
+        options.faults.restarts, 1);
+  }
+  options.faults.compact_crashes =
+      options.durable && rng.bernoulli(0.25) ? 1 : 0;
   return options;
 }
 

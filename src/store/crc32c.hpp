@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every v2 journal frame. Chosen over plain CRC32 for
+// its better burst-error detection and because it is the WAL-industry
+// standard (LevelDB/RocksDB block format, iSCSI, ext4 metadata), so frames
+// stay verifiable by off-the-shelf tooling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qcenv::store {
+
+/// One-shot CRC32C of `data` (initial value 0, standard final XOR).
+std::uint32_t crc32c(std::string_view data) noexcept;
+
+/// Streaming form: extends `crc` (a previous return value, or 0 to start)
+/// with `data`, so framing code can checksum header + body without
+/// concatenating them first.
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t size) noexcept;
+
+}  // namespace qcenv::store

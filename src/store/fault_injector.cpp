@@ -28,7 +28,13 @@ FaultDecision CountingFaultInjector::on_write(FsOp op, const std::string&,
                                               std::size_t size) {
   std::scoped_lock lock(mutex_);
   if (op == FsOp::kAtomicWrite) {
-    return fail_snapshots_ ? FaultDecision::fail() : FaultDecision::pass();
+    const std::uint64_t index = atomic_writes_++;
+    if (fail_snapshots_) return FaultDecision::fail();
+    if (index == atomic_fail_at_) {
+      atomic_fail_at_ = kNever;  // one-shot
+      return FaultDecision::fail();
+    }
+    return FaultDecision::pass();
   }
   if (op != FsOp::kJournalWrite) return FaultDecision::pass();
   const std::uint64_t index = journal_writes_++;

@@ -104,6 +104,15 @@ class CountingFaultInjector final : public FaultInjector {
     std::scoped_lock lock(mutex_);
     fail_snapshots_ = fail;
   }
+  /// Exactly ONE atomic rewrite fails: the `skip`-th one from now (0 =
+  /// the very next write_file_atomic). Disarms after firing. This is the
+  /// mid-migration crash model: a compaction that is re-encoding a v1
+  /// journal into v2 dies on the rewrite, the rename never happens, and
+  /// the next life must find the ORIGINAL file intact.
+  void fail_one_atomic_write_after(std::uint64_t skip) {
+    std::scoped_lock lock(mutex_);
+    atomic_fail_at_ = atomic_writes_ + skip;
+  }
   /// Back to a fault-free disk (counters keep running).
   void heal() {
     std::scoped_lock lock(mutex_);
@@ -111,11 +120,16 @@ class CountingFaultInjector final : public FaultInjector {
     short_write_ = false;
     fail_fsyncs_ = false;
     fail_snapshots_ = false;
+    atomic_fail_at_ = kNever;
   }
 
   std::uint64_t journal_writes() const {
     std::scoped_lock lock(mutex_);
     return journal_writes_;
+  }
+  std::uint64_t atomic_writes() const {
+    std::scoped_lock lock(mutex_);
+    return atomic_writes_;
   }
 
   FaultDecision on_write(FsOp op, const std::string& path,
@@ -132,6 +146,8 @@ class CountingFaultInjector final : public FaultInjector {
   std::size_t keep_bytes_ = 0;
   bool fail_fsyncs_ = false;
   bool fail_snapshots_ = false;
+  std::uint64_t atomic_writes_ = 0;
+  std::uint64_t atomic_fail_at_ = kNever;
 };
 
 }  // namespace qcenv::store

@@ -1,8 +1,23 @@
 // JobJournal: append-only write-ahead log of job/session lifecycle events.
 //
-// Each event is one JSON line `{"seq":N,"t":<ns>,"e":"<type>", ...}` with a
-// strictly increasing sequence number, so the log is human-greppable and a
-// torn final line (crash mid-write) is detected and dropped on replay.
+// On-disk formats (the file's own header decides; see JournalFormat):
+//   v2 (default)  8-byte magic "QCWAL2\n", then length-prefixed binary
+//                 frames `[u32 len][u32 crc32c][u64 seq][u64 t][u32 tlen]
+//                 [type][body]` (all little-endian). The CRC covers
+//                 everything after itself, so a torn final frame (crash
+//                 mid-write) OR a bit-rotted tail is detected and dropped
+//                 on replay, while a corrupt frame in the middle of the
+//                 file is rejected at its frame boundary instead of
+//                 poisoning everything after it. The body is either the
+//                 event's JSON dump (first byte '{') or, for
+//                 job_submitted, a flat binary record (first byte 0x01 —
+//                 see journal.cpp) that replay decodes back into the
+//                 identical JSON; both may coexist in one segment.
+//   v1 (legacy)   one JSON line `{"seq":N,"t":<ns>,"e":"<type>", ...}` per
+//                 event. v1 files open, replay and append transparently
+//                 under the new code; the next compaction rewrites them as
+//                 v2 (see drop_through).
+// Sequence numbers are strictly increasing in both formats.
 //
 // Durability modes:
 //   kAlways       write + fsync inline on every append (slow baseline),
@@ -42,8 +57,19 @@ enum class SyncMode { kNone, kAlways, kGroupCommit };
 
 const char* to_string(SyncMode mode) noexcept;
 
+/// On-disk encoding of one journal segment (see the header comment).
+enum class JournalFormat { kJsonV1 = 1, kBinaryV2 = 2 };
+
+const char* to_string(JournalFormat format) noexcept;
+
 struct JournalOptions {
   SyncMode sync = SyncMode::kGroupCommit;
+  /// Format of NEW (empty or absent) journal files and of compaction
+  /// rewrites. An existing non-empty file keeps its detected on-disk
+  /// format for appends — mixing encodings within one segment would be
+  /// unreadable — until drop_through() rewrites the whole segment in this
+  /// format (that rewrite IS the v1 -> v2 migration).
+  JournalFormat format = JournalFormat::kBinaryV2;
   /// Longest an appended event sits in memory before the group fsync —
   /// i.e. the crash-loss window. 5 ms is noise next to a QPU batch but
   /// keeps fsync duty low even on slow disks.
@@ -80,6 +106,9 @@ class JobJournal {
                       std::uint64_t complete_prefix_bytes);
   bool is_open() const noexcept { return fd_ >= 0; }
   const std::string& path() const noexcept { return path_; }
+  /// Encoding appends currently use: the file's detected format, migrated
+  /// to options().format by the next drop_through().
+  JournalFormat active_format() const noexcept { return active_format_; }
 
   /// Appends one event; returns its sequence number. Durability depends on
   /// the sync mode (see header comment). Serialization happens on the
@@ -113,6 +142,21 @@ class JobJournal {
   /// reports the sticky error here and from every flush().
   std::optional<common::Error> io_error() const;
 
+  /// Lock-free equivalent of io_error().has_value(), for per-submission
+  /// health checks on the hot path: one relaxed-ish atomic load instead
+  /// of a global mutex acquisition. Set strictly after io_error_, so a
+  /// true here guarantees io_error() is populated.
+  bool has_failed() const noexcept {
+    return failed_.load(std::memory_order_acquire);
+  }
+
+  /// Whether the event with this append seq is written AND fsynced.
+  /// Distinguishes "my append landed before the journal fail-stopped"
+  /// from "my append was swallowed by the failure" — io_error() alone
+  /// cannot: it is a global flag another thread's append may have set
+  /// right after this one's frame became durable.
+  bool is_durable(std::uint64_t seq) const;
+
   /// Rewrites the journal keeping only events with seq > `watermark`
   /// (compaction: everything at or below the watermark is covered by a
   /// snapshot). Pending events are flushed first; appends continue with
@@ -132,11 +176,13 @@ class JobJournal {
   /// they are not serialized until the writer thread picks them up).
   std::uint64_t size_bytes() const;
 
-  /// Decodes every well-formed line of a journal file, in order. A torn
-  /// final line is dropped silently; a torn middle line is an error. A
+  /// Decodes every well-formed event of a journal file, in order, auto-
+  /// detecting the on-disk format. A torn tail (incomplete final line /
+  /// frame, or a final frame failing its CRC) is dropped silently; a
+  /// corrupt event before the tail is an error naming the frame. A
   /// non-null `complete_prefix_bytes` receives the byte length of the
-  /// newline-terminated prefix the entries came from (for the preparsed
-  /// open() — no second read of the file).
+  /// well-formed prefix the entries came from (for the preparsed open() —
+  /// no second read of the file).
   static common::Result<std::vector<JournalEntry>> read_file(
       const std::string& path,
       std::uint64_t* complete_prefix_bytes = nullptr);
@@ -158,8 +204,12 @@ class JobJournal {
   /// Records the first (sticky) I/O failure and flips the failure gauge
   /// so /metrics shows the fail-stop. Caller must hold mutex_.
   void fail_locked(common::Error error);
-  /// Builds the event body (writer thread / kAlways inline path).
-  common::Json build_pending(const PendingEvent& event);
+  /// Serializes the event body (writer thread / kAlways inline path).
+  /// With `binary_meta` (v2 segment staying v2), a job_submitted event is
+  /// encoded as a flat binary record instead of a JSON dump — the
+  /// dominant per-event cost on the writer thread — and replay decodes it
+  /// back into identical Json. Everything else dumps as JSON text.
+  std::string serialize_pending(const PendingEvent& event, bool binary_meta);
   void writer_loop();
   /// Writes `block` to the file and optionally fsyncs. Caller must hold
   /// io_mutex_; returns bytes written.
@@ -175,6 +225,7 @@ class JobJournal {
 
   std::string path_;
   int fd_ = -1;
+  JournalFormat active_format_ = JournalFormat::kBinaryV2;
 
   mutable std::mutex mutex_;           // pending buffer + counters
   std::condition_variable work_cv_;    // appenders -> writer
@@ -192,6 +243,9 @@ class JobJournal {
   std::uint64_t appends_ = 0;
   std::uint64_t fsyncs_ = 0;
   std::optional<common::Error> io_error_;  // sticky first write failure
+  /// Mirrors io_error_.has_value() for the lock-free has_failed(); the
+  /// release store in fail_locked() happens after io_error_ is set.
+  std::atomic<bool> failed_{false};
   bool flush_requested_ = false;
   bool stop_ = false;
 
@@ -203,6 +257,16 @@ class JobJournal {
   /// another user's circuit in at recovery.
   std::mutex payload_mutex_;
   std::unordered_set<std::string> embedded_payloads_;
+  /// One-entry fingerprint memo for the serialization path: parameter
+  /// sweeps submit thousands of jobs sharing one Payload object (see
+  /// Dispatcher's shared_ptr submit overload), and hashing the identical
+  /// program body per event was the writer's second-largest cost. Keyed
+  /// by object identity; holding the shared_ptr pins the address so it
+  /// cannot be recycled by a new payload while cached. Only touched by
+  /// the serializing thread (writer thread, or the appender under mutex_
+  /// in kAlways mode), so it needs no lock of its own.
+  std::shared_ptr<const quantum::Payload> fp_memo_payload_;
+  std::uint64_t fp_memo_hash_ = 0;
   std::thread writer_;
 };
 

@@ -136,11 +136,13 @@ void StateStore::job_submitted(const JobRecord& job) {
   append("job_submitted", std::move(data));
 }
 
-void StateStore::job_submitted(
+std::uint64_t StateStore::job_submitted(
     JobRecord meta, std::shared_ptr<const quantum::Payload> payload) {
-  if (journal_ == nullptr) return;
-  journal_->append_job_submitted(std::move(meta), std::move(payload));
+  if (journal_ == nullptr) return 0;
+  const std::uint64_t seq =
+      journal_->append_job_submitted(std::move(meta), std::move(payload));
   note_append();
+  return seq;
 }
 
 void StateStore::job_placed(std::uint64_t id, const std::string& resource) {

@@ -107,9 +107,11 @@ class StateStore {
   void job_submitted(const JobRecord& job);
   /// Hot-path variant: `meta` travels without its payload field; the
   /// (expensive) payload serialization runs on the journal's writer
-  /// thread against the immutable shared payload.
-  void job_submitted(JobRecord meta,
-                     std::shared_ptr<const quantum::Payload> payload);
+  /// thread against the immutable shared payload. Returns the journal
+  /// append seq (0 without a journal) so the caller can ask the journal
+  /// whether THIS event became durable when it must unwind on failure.
+  std::uint64_t job_submitted(JobRecord meta,
+                              std::shared_ptr<const quantum::Payload> payload);
   void job_placed(std::uint64_t id, const std::string& resource);
   void batch_dispatched(std::uint64_t id, const std::string& resource,
                         std::uint64_t shots);

@@ -37,4 +37,8 @@ TEST(BuildSanity, FeatureMacrosAreBooleans) {
   EXPECT_TRUE(QCENV_BUILD_BENCH == 0 || QCENV_BUILD_BENCH == 1);
   EXPECT_TRUE(QCENV_BUILD_EXAMPLES == 0 || QCENV_BUILD_EXAMPLES == 1);
   EXPECT_TRUE(QCENV_SANITIZE == 0 || QCENV_SANITIZE == 1);
+  EXPECT_TRUE(QCENV_TSAN == 0 || QCENV_TSAN == 1);
+  // The two sanitizer builds cannot share a process (CMake refuses the
+  // combination at configure time); assert the generated header agrees.
+  EXPECT_FALSE(QCENV_SANITIZE == 1 && QCENV_TSAN == 1);
 }

@@ -1,0 +1,199 @@
+// Sharded submit pipeline: the per-tenant shards must be invisible in
+// every observable ordering — dispatch runs a tournament over shard heads
+// with the queue core's exact comparator, so an 8-shard dispatcher has to
+// behave bit-identically to the single-queue layout — while the per-shard
+// locks keep per-user invariants (pending limits) atomic under
+// concurrent submission.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "common/clock.hpp"
+#include "daemon/dispatcher.hpp"
+#include "qrmi/local_emulator.hpp"
+
+namespace qcenv::daemon {
+namespace {
+
+using quantum::AtomRegister;
+using quantum::Payload;
+using quantum::Sequence;
+using quantum::Waveform;
+
+Payload small_payload(std::uint64_t shots = 20) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{Waveform::constant(200, 2.0),
+                               Waveform::constant(200, 0.0), 0.0});
+  return Payload::from_sequence(seq, shots);
+}
+
+/// Drained dispatcher over one local emulator with `shards` submit shards.
+struct Harness {
+  explicit Harness(std::size_t shards) {
+    auto broker = std::make_shared<broker::ResourceBroker>(
+        broker::BrokerOptions{}, &clock, nullptr);
+    EXPECT_TRUE(
+        broker->add("emu0", qrmi::LocalEmulatorQrmi::create("emu0", "sv")
+                                .value())
+            .ok());
+    QueuePolicy policy;
+    policy.submit_shards = shards;
+    dispatcher = std::make_unique<Dispatcher>(broker, policy, &clock,
+                                              nullptr);
+    dispatcher->drain();  // keep submissions queued: ordering is the test
+  }
+  common::WallClock clock;
+  std::unique_ptr<Dispatcher> dispatcher;
+};
+
+// The same interleaved multi-tenant workload submitted to a 1-shard and
+// an 8-shard dispatcher must produce the same global dispatch order: job
+// ids come from one global allocator, so queue_order() (the k-way merge
+// every lane's tournament replays) is directly comparable.
+TEST(ShardedSubmit, TournamentOrderMatchesSingleQueue) {
+  Harness single(1);
+  Harness sharded(8);
+  ASSERT_EQ(single.dispatcher->shard_count(), 1u);
+  ASSERT_EQ(sharded.dispatcher->shard_count(), 8u);
+
+  const JobClass classes[] = {JobClass::kDevelopment, JobClass::kProduction,
+                              JobClass::kTest};
+  for (int i = 0; i < 24; ++i) {
+    const std::string user = "tenant" + std::to_string(i % 12);
+    const JobClass cls = classes[i % 3];
+    const auto a = single.dispatcher->submit(common::SessionId{1}, user, cls,
+                                             small_payload());
+    const auto b = sharded.dispatcher->submit(common::SessionId{1}, user,
+                                              cls, small_payload());
+    // Same allocator discipline on both sides: ids line up 1:1.
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(single.dispatcher->queue_order(),
+            sharded.dispatcher->queue_order());
+  EXPECT_EQ(sharded.dispatcher->queued_total(), 24u);
+}
+
+// Class priority must hold ACROSS shards: production jobs submitted last,
+// by tenants hashing onto different shards than the earlier development
+// jobs, still head the merged dispatch order.
+TEST(ShardedSubmit, ClassPriorityHoldsAcrossShards) {
+  Harness h(8);
+  std::vector<std::uint64_t> dev_ids;
+  std::vector<std::uint64_t> prod_ids;
+  for (int i = 0; i < 16; ++i) {
+    dev_ids.push_back(h.dispatcher->submit(
+        common::SessionId{1}, "dev-tenant" + std::to_string(i),
+        JobClass::kDevelopment, small_payload()));
+  }
+  for (int i = 0; i < 8; ++i) {
+    prod_ids.push_back(h.dispatcher->submit(
+        common::SessionId{2}, "prod-tenant" + std::to_string(i),
+        JobClass::kProduction, small_payload()));
+  }
+  const auto order = h.dispatcher->queue_order();
+  ASSERT_EQ(order.size(), dev_ids.size() + prod_ids.size());
+  // Every production job outranks every development job, and within each
+  // class the global FIFO seq (== job id) breaks ties.
+  for (std::size_t i = 0; i < prod_ids.size(); ++i) {
+    EXPECT_EQ(order[i], prod_ids[i]) << "position " << i;
+  }
+  for (std::size_t i = 0; i < dev_ids.size(); ++i) {
+    EXPECT_EQ(order[prod_ids.size() + i], dev_ids[i]) << "position " << i;
+  }
+}
+
+// The per-user pending limit is enforced under the user's shard lock, so
+// a burst of concurrent submissions for one user admits EXACTLY the limit
+// — never limit+k from check-then-act races. The dispatcher stays drained
+// so the pending count can only grow.
+TEST(ShardedSubmit, PerUserPendingLimitIsAtomicUnderConcurrency) {
+  Harness h(8);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 16;
+  constexpr std::size_t kLimit = 10;
+  Dispatcher::SubmitOptions options;
+  options.user_pending_limit = kLimit;
+
+  std::atomic<std::size_t> admitted{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t j = 0; j < kPerThread; ++j) {
+        const auto result =
+            h.dispatcher->submit(common::SessionId{1}, "burst-user",
+                                 JobClass::kDevelopment, small_payload(),
+                                 options);
+        if (result.ok()) {
+          admitted.fetch_add(1);
+        } else {
+          EXPECT_EQ(result.error().code(),
+                    common::ErrorCode::kResourceExhausted);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(admitted.load(), kLimit);
+  EXPECT_EQ(rejected.load(), kThreads * kPerThread - kLimit);
+  EXPECT_EQ(h.dispatcher->pending_for_user("burst-user"), kLimit);
+  // Another tenant is not collateral damage of the burst user's ceiling.
+  EXPECT_TRUE(h.dispatcher
+                  ->submit(common::SessionId{2}, "other-user",
+                           JobClass::kDevelopment, small_payload(), options)
+                  .ok());
+}
+
+// One dispatch lane, eight shards: the lane's tournament must steal work
+// from EVERY shard, not just the one its last job came from — jobs from
+// tenants spread across all shards all complete on the single resource.
+TEST(ShardedSubmit, SingleLaneStealsAcrossAllShards) {
+  Harness h(8);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 24; ++i) {
+    ids.push_back(h.dispatcher->submit(
+        common::SessionId{1}, "tenant" + std::to_string(i),
+        JobClass::kDevelopment, small_payload()));
+  }
+  EXPECT_EQ(h.dispatcher->queued_total(), ids.size());
+  h.dispatcher->resume();
+  for (const auto id : ids) {
+    ASSERT_TRUE(h.dispatcher->wait(id, 60 * common::kSecond).ok())
+        << "job " << id;
+    const auto job = h.dispatcher->query(id).value();
+    EXPECT_EQ(job.state, DaemonJobState::kCompleted);
+    EXPECT_EQ(job.resource, "emu0");
+    EXPECT_EQ(job.shots_done, 20u);
+  }
+  EXPECT_EQ(h.dispatcher->queued_total(), 0u);
+}
+
+// Aggregated per-user views must merge the shards: each tenant's pending
+// count survives the hash onto whatever shard it landed in.
+TEST(ShardedSubmit, UserPendingCountsAggregateAcrossShards) {
+  Harness h(8);
+  for (int i = 0; i < 12; ++i) {
+    const std::string user = "tenant" + std::to_string(i % 6);
+    (void)h.dispatcher->submit(common::SessionId{1}, user,
+                               JobClass::kDevelopment, small_payload());
+  }
+  const auto counts = h.dispatcher->user_pending_counts();
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [user, count] : counts) {
+    EXPECT_EQ(count, 2u) << user;
+    EXPECT_EQ(h.dispatcher->pending_for_user(user), 2u) << user;
+  }
+}
+
+}  // namespace
+}  // namespace qcenv::daemon
