@@ -4,25 +4,33 @@
 // the numbers isolate admission + sharded enqueue + journal append +
 // group-commit drain — the path this overhaul rebuilt.
 //
-// Two configurations run back to back on the same machine:
+// Three configurations run back to back on the same machine:
 //   pre-PR   submit_shards=1 + JSON v1 journal: the layout before the
 //            sharding + binary-WAL overhaul
 //   sharded  submit_shards=8 + binary v2 journal: the production default
+//   traced   the sharded config with job tracing + stage histograms on —
+//            every submit opens a trace and records admission/
+//            journal_append spans, exactly the daemon's default
 // Each run's clock stops only after StateStore::flush() returns, so the
 // throughput is SUSTAINED durable submissions per second — a journal
 // writer that cannot drain what the submit path enqueues is charged for
 // its backlog. The sharded/pre-PR throughput ratio ("speedup") is the
 // recorded, hardware-normalized figure: raw submits/s vary per machine,
 // the ratio collapses toward 1.0 the moment the hot path re-serializes.
+// The traced/sharded ratio ("trace_overhead") gates the observability
+// layer: tracing-on must stay within 5% of tracing-off.
 //
 // Usage:
 //   bench_submit_path [--quick] [--out FILE]
-//                     [--check BASELINE [--tolerance FRAC]]
+//                     [--check BASELINE [--tolerance FRAC]
+//                      [--trace-tolerance FRAC]]
 //
 // --out writes the measured numbers as JSON (the committed baseline at
 // the repo root is BENCH_submit.json). --check loads a baseline and FAILS
 // (exit 1) when the measured speedup drops more than --tolerance
-// (default 0.25) below the baseline's — the CI perf-regression gate.
+// (default 0.25) below the baseline's, or when the freshly measured
+// traced/untraced throughput ratio drops below 1 - --trace-tolerance
+// (default 0.05) — the CI perf-regression gate.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -42,6 +50,8 @@
 #include "daemon/dispatcher.hpp"
 #include "qrmi/local_emulator.hpp"
 #include "store/state_store.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 using namespace qcenv;
@@ -60,6 +70,9 @@ struct Config {
   const char* name;
   std::size_t shards;
   store::JournalFormat format;
+  /// Production-default tracing: a TraceStore + stage histograms behind
+  /// the dispatcher, and a trace begun per submission.
+  bool traced = false;
 };
 
 struct RunResult {
@@ -93,7 +106,14 @@ RunResult run_config_once(const Config& config, std::size_t tenants,
                                 .value());
   daemon::QueuePolicy policy;
   policy.submit_shards = config.shards;
-  daemon::Dispatcher dispatcher(broker, policy, &clock, nullptr, &store,
+  // The daemon's default telemetry shape: stage histograms need a metrics
+  // registry, traces live in the default-sized sharded ring (so this run
+  // pays eviction too, exactly like a long-lived daemon).
+  telemetry::MetricsRegistry metrics;
+  telemetry::TraceStore traces;
+  daemon::Dispatcher dispatcher(broker, policy, &clock,
+                                config.traced ? &metrics : nullptr, &store,
+                                nullptr, config.traced ? &traces : nullptr,
                                 nullptr);
   // Park the lanes: execution throughput is bench_shot_rate's problem;
   // this harness measures the submit->journal->fsync path alone.
@@ -121,8 +141,18 @@ RunResult run_config_once(const Config& config, std::size_t tenants,
       }
       for (std::size_t j = 0; j < jobs_per_tenant; ++j) {
         const auto s0 = std::chrono::steady_clock::now();
+        daemon::Dispatcher::SubmitOptions options;
+        if (config.traced) {
+          // What the daemon does per submission: allocate the trace id.
+          // The admission start falls back to the dispatcher's own
+          // submit timestamp (there is no pre-submit admission phase
+          // here); spans and stage histograms materialize off the
+          // submit path, at first claim/finish/read.
+          options.trace_id = traces.allocate();
+        }
         (void)dispatcher.submit(common::SessionId{0}, user,
-                                daemon::JobClass::kDevelopment, payload, {});
+                                daemon::JobClass::kDevelopment, payload,
+                                options);
         samples.push_back(std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - s0)
                               .count());
@@ -174,6 +204,7 @@ Json to_json(const Config& config, const RunResult& result) {
   Json out = Json::object();
   out["shards"] = static_cast<long long>(config.shards);
   out["journal_format"] = std::string(store::to_string(config.format));
+  out["traced"] = config.traced;
   out["submits_per_sec"] = result.submits_per_sec;
   out["p50_ms"] = result.p50_ms;
   out["p99_ms"] = result.p99_ms;
@@ -192,11 +223,16 @@ int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
   const std::size_t tenants = 64;
   const std::size_t jobs_per_tenant = quick ? 150 : 600;
-  const std::size_t reps = quick ? 2 : 3;
+  // Even quick mode earns 3 reps: the tracing gate compares two configs
+  // whose per-run variance (fsync scheduling) exceeds the 5% tolerance,
+  // so best-of-N is what makes the ratio trustworthy.
+  const std::size_t reps = quick ? 3 : 4;
   const Config pre_pr{"pre-PR (1 shard, json-v1)", 1,
                       store::JournalFormat::kJsonV1};
   const Config sharded{"sharded (8 shards, binary-v2)", 8,
                        store::JournalFormat::kBinaryV2};
+  const Config traced{"sharded + tracing on", 8,
+                      store::JournalFormat::kBinaryV2, /*traced=*/true};
 
   print_title("submit-path | " + std::to_string(tenants) +
               " concurrent tenants, " + std::to_string(jobs_per_tenant) +
@@ -206,9 +242,17 @@ int main(int argc, char** argv) {
   // into an inflated ratio; each config gets its own store directory.
   const RunResult before = run_config(pre_pr, tenants, jobs_per_tenant, reps);
   const RunResult after = run_config(sharded, tenants, jobs_per_tenant, reps);
+  const RunResult with_tracing =
+      run_config(traced, tenants, jobs_per_tenant, reps);
   const double speedup = before.submits_per_sec > 0.0
                              ? after.submits_per_sec / before.submits_per_sec
                              : 0.0;
+  // Tracing-on throughput as a fraction of tracing-off (1.0 = free;
+  // the gate holds it above 0.95).
+  const double trace_overhead =
+      after.submits_per_sec > 0.0
+          ? with_tracing.submits_per_sec / after.submits_per_sec
+          : 0.0;
 
   Table table({"config", "submits/s", "p50", "p99"});
   table.add_row({pre_pr.name, fmt("%.0f", before.submits_per_sec),
@@ -216,9 +260,14 @@ int main(int argc, char** argv) {
                  fmt("%.3f ms", before.p99_ms)});
   table.add_row({sharded.name, fmt("%.0f", after.submits_per_sec),
                  fmt("%.3f ms", after.p50_ms), fmt("%.3f ms", after.p99_ms)});
+  table.add_row({traced.name, fmt("%.0f", with_tracing.submits_per_sec),
+                 fmt("%.3f ms", with_tracing.p50_ms),
+                 fmt("%.3f ms", with_tracing.p99_ms)});
   table.print();
   print_note("\nspeedup (sharded binary WAL vs pre-PR path): " +
              fmt("%.2f", speedup) + "x");
+  print_note("tracing-on/off throughput ratio: " +
+             fmt("%.3f", trace_overhead));
 
   Json report = Json::object();
   report["bench"] = std::string("bench_submit_path");
@@ -226,7 +275,9 @@ int main(int argc, char** argv) {
   report["jobs_per_tenant"] = static_cast<long long>(jobs_per_tenant);
   report["pre_pr"] = to_json(pre_pr, before);
   report["sharded"] = to_json(sharded, after);
+  report["traced"] = to_json(traced, with_tracing);
   report["speedup"] = speedup;
+  report["trace_overhead"] = trace_overhead;
 
   if (const char* out = arg_value(argc, argv, "--out")) {
     std::ofstream file(out);
@@ -264,6 +315,23 @@ int main(int argc, char** argv) {
                    "PERF REGRESSION: sharded/pre-PR speedup %.2fx "
                    "fell below %.2fx (baseline %.2fx - %.0f%%)\n",
                    speedup, floor, recorded, tolerance * 100.0);
+      return 1;
+    }
+    // The tracing gate is absolute, not baseline-relative: tracing-on and
+    // tracing-off ran back to back on THIS machine, so the ratio is
+    // already hardware-normalized. 1.0 = tracing is free.
+    double trace_tolerance = 0.05;
+    if (const char* tol = arg_value(argc, argv, "--trace-tolerance")) {
+      trace_tolerance = std::strtod(tol, nullptr);
+    }
+    const double trace_floor = 1.0 - trace_tolerance;
+    print_note("tracing gate: ratio " + fmt("%.3f", trace_overhead) +
+               " vs floor " + fmt("%.3f", trace_floor));
+    if (trace_overhead < trace_floor) {
+      std::fprintf(stderr,
+                   "PERF REGRESSION: tracing-on throughput is %.1f%% of "
+                   "tracing-off (floor %.1f%%)\n",
+                   trace_overhead * 100.0, trace_floor * 100.0);
       return 1;
     }
     print_note("perf gate: OK");

@@ -1,7 +1,15 @@
 // Observability demo (§3.6): the Prometheus -> TSDB -> dashboard/alerting
-// path over a drifting QPU, ending with an admin recalibration through the
-// daemon's guarded REST surface.
+// path over a drifting QPU, an admin recalibration through the daemon's
+// guarded REST surface, and the per-job tracing path: submit a job, then
+// fetch its span timeline from GET /v1/jobs/:id/trace.
+//
+//   observability_demo [--trace-out FILE]   # also write the trace JSON
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
 
 #include "daemon/daemon.hpp"
 #include "net/http_client.hpp"
@@ -13,7 +21,11 @@
 
 using namespace qcenv;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_out = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+  }
   // A QPU whose calibration drifts noticeably over a simulated day.
   common::ManualClock clock;
   qpu::QpuOptions options;
@@ -102,6 +114,44 @@ int main() {
     std::printf(
         "\nper-job metadata (what end-users get back with results):\n%s\n",
         samples.value().metadata().at_or_null("calibration").dump(2).c_str());
+  }
+
+  // The per-job tracing path: submit through the daemon's full pipeline,
+  // then fetch the admission -> journal -> queue -> execute -> finish
+  // timeline exactly as a user would.
+  auto session =
+      middleware.open_session("alice", daemon::JobClass::kDevelopment)
+          .value();
+  quantum::Sequence traced_seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  traced_seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                                      quantum::Waveform::constant(200, 0.0),
+                                      0.0});
+  auto submitted = middleware.submit_job(
+      session.token, quantum::Payload::from_sequence(traced_seq, 50));
+  if (submitted.ok()) {
+    const std::uint64_t id = submitted.value().id;
+    for (int i = 0; i < 1000; ++i) {
+      auto job = middleware.dispatcher().query(id);
+      if (job.ok() && (job.value().state == daemon::DaemonJobState::kCompleted ||
+                       job.value().state == daemon::DaemonJobState::kFailed ||
+                       job.value().state == daemon::DaemonJobState::kCancelled)) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    net::HttpClient user(port);
+    user.set_default_header("X-Session-Token", session.token);
+    auto trace = user.get("/v1/jobs/" + std::to_string(id) + "/trace");
+    if (trace.ok()) {
+      std::printf("\nper-job trace (GET /v1/jobs/%llu/trace):\n%s\n",
+                  static_cast<unsigned long long>(id),
+                  trace.value().body.c_str());
+      if (trace_out != nullptr) {
+        std::ofstream file(trace_out);
+        file << trace.value().body << "\n";
+        std::printf("wrote %s\n", trace_out);
+      }
+    }
   }
   return 0;
 }

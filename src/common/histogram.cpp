@@ -43,6 +43,18 @@ std::uint64_t BucketHistogram::cumulative(std::size_t i) const {
   return total;
 }
 
+void BucketHistogram::merge_counts(
+    const std::vector<std::uint64_t>& bucket_counts, double sum) {
+  assert(bucket_counts.size() == counts_.size() &&
+         "merged bucket layout must match");
+  for (std::size_t i = 0; i < counts_.size() && i < bucket_counts.size();
+       ++i) {
+    counts_[i] += bucket_counts[i];
+    count_ += bucket_counts[i];
+  }
+  sum_ += sum;
+}
+
 void BucketHistogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

@@ -32,6 +32,12 @@ class BucketHistogram {
   /// Cumulative count of observations <= boundaries()[i].
   std::uint64_t cumulative(std::size_t i) const;
 
+  /// Adds pre-aggregated per-bucket counts (size must match
+  /// bucket_counts()) plus their total `sum`. Used to assemble a
+  /// snapshot from the telemetry registry's striped atomic counters.
+  void merge_counts(const std::vector<std::uint64_t>& bucket_counts,
+                    double sum);
+
   void reset();
 
  private:

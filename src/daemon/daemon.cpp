@@ -38,6 +38,18 @@ HttpResponse error_response(const common::Error& error) {
   return HttpResponse::json(http_status_for(error.code()), body.dump());
 }
 
+/// Error response that names the trace which recorded the rejection, so a
+/// 429/500/503 can be correlated with `/metrics` and the event log.
+HttpResponse error_response(const common::Error& error,
+                            telemetry::TraceId trace_id) {
+  if (trace_id == 0) return error_response(error);
+  Json body = Json::object();
+  body["error"] = error.message();
+  body["code"] = common::to_string(error.code());
+  body["trace_id"] = static_cast<long long>(trace_id);
+  return HttpResponse::json(http_status_for(error.code()), body.dump());
+}
+
 Json job_to_json(const DaemonJob& job) {
   Json out = Json::object();
   out["id"] = static_cast<long long>(job.id);
@@ -91,6 +103,12 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
     : options_(std::move(options)),
       device_(device),
       clock_(clock),
+      traces_(options_.telemetry.tracing
+                  ? std::make_unique<telemetry::TraceStore>(
+                        options_.telemetry.trace_capacity,
+                        options_.telemetry.trace_shards)
+                  : nullptr),
+      events_(options_.telemetry.event_capacity),
       sessions_(options_.sessions, clock),
       admission_(options_.admission),
       accounting_(options_.accounting, clock, &metrics_),
@@ -115,9 +133,11 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
   }
   dispatcher_ = std::make_unique<Dispatcher>(broker_, options_.queue_policy,
                                              clock, &metrics_, store_.get(),
-                                             &accounting_);
+                                             &accounting_, traces_.get(),
+                                             &events_);
   dispatcher_->set_terminal_retention(options_.store.terminal_job_retention,
                                       options_.store.terminal_job_cap);
+  dispatcher_->set_slow_job_threshold(options_.telemetry.slow_job_threshold);
   if (store_ != nullptr) {
     dispatcher_->restore(recovered_jobs, next_job_id);
     store_->set_snapshot_provider([this] { return build_snapshot(); });
@@ -129,6 +149,10 @@ std::vector<store::JobRecord> MiddlewareDaemon::open_store(
     std::uint64_t& next_job_id) {
   store_ = std::make_unique<store::StateStore>(options_.store, clock_,
                                                &metrics_);
+  // Before open(): the group-commit writer thread starts there, and its
+  // fail-stop / fsync-stall events must have somewhere to go from the
+  // first batch.
+  store_->set_event_log(&events_);
   auto recovered = store_->open();
   if (!recovered.ok()) {
     // Refusing to start would take the whole access node down with the
@@ -242,30 +266,52 @@ Result<std::size_t> MiddlewareDaemon::close_session(
 
 Result<MiddlewareDaemon::Submitted> MiddlewareDaemon::submit_job(
     const std::string& token, quantum::Payload payload,
-    const SubmitHints& hints) {
+    const SubmitHints& hints, telemetry::TraceId* trace_out) {
   auto session = sessions_.authenticate(token);
   if (!session.ok()) return session.error();
+  const std::string user = session.value().user;
+  // Every traced submission's timeline starts here: the `admission` stage
+  // covers validation and accounting, and it opens BEFORE any check can
+  // reject — so 429/500/503 responses carry a trace id too.
+  telemetry::TraceId trace = 0;
+  const common::TimeNs trace_start = clock_->now();
+  if (traces_ != nullptr) {
+    // One relaxed fetch_add; the trace's spans materialize off the hot
+    // path (at first claim/finish/read, or in `rejected` below).
+    trace = traces_->allocate();
+    if (trace_out != nullptr) *trace_out = trace;
+  }
+  const auto rejected = [&](const common::Error& error) -> common::Error {
+    if (trace != 0) {
+      traces_->record_rejected(trace, user, trace_start, clock_->now());
+    }
+    events_.log(clock_->now(), telemetry::Severity::kWarn,
+                "submit_rejected", error.message(), user, 0, trace);
+    return error;
+  };
   const JobClass cls =
       resolve_class(hints.partition, session.value().job_class);
   Dispatcher::SubmitOptions placement;
   placement.resource = hints.resource;
   placement.policy = hints.policy;
+  placement.trace_id = trace;
+  placement.trace_start = trace_start;
   // Validate against the spec of the resource the job is pinned to (or
   // the primary when the broker places it freely).
   qrmi::QrmiPtr spec_source = primary_;
   if (!placement.resource.empty()) {
     auto pinned = broker_->resource(placement.resource);
-    if (!pinned.ok()) return pinned.error();
+    if (!pinned.ok()) return rejected(pinned.error());
     spec_source = std::move(pinned).value();
   }
   if (spec_source == nullptr) {
-    return common::err::failed_precondition(
-        "no resources registered with this daemon");
+    return rejected(common::err::failed_precondition(
+        "no resources registered with this daemon"));
   }
   auto spec = spec_source->target();
-  if (!spec.ok()) return spec.error();
+  if (!spec.ok()) return rejected(spec.error());
   AdmissionContext context;
-  context.user = session.value().user;
+  context.user = user;
   // One relaxed atomic load — the submit hot path must not walk (and
   // lock) every queue shard just to read the global depth.
   context.queue_depth = dispatcher_->queued_total();
@@ -274,28 +320,33 @@ Result<MiddlewareDaemon::Submitted> MiddlewareDaemon::submit_job(
   if (pending_override.has_value()) {
     context.user_pending_limit = static_cast<std::size_t>(*pending_override);
   }
-  QCENV_RETURN_IF_ERROR(admission_.validate(payload, cls, spec.value(),
-                                            context));
+  auto admitted = admission_.validate(payload, cls, spec.value(), context);
+  if (!admitted.ok()) return rejected(admitted.error());
   // Per-user rate limits and in-flight shot caps (HTTP 429). Consumes a
   // token and reserves the shots; released as batches execute or if the
   // submission fails below.
   const std::uint64_t shots = payload.shots();
-  QCENV_RETURN_IF_ERROR(accounting_.admit_submission(context.user, shots));
+  auto reserved = accounting_.admit_submission(context.user, shots);
+  if (!reserved.ok()) return rejected(reserved.error());
   // The dispatcher re-checks the pending cap under its own lock — the
   // only race-free enforcement point for concurrent submits.
   placement.user_pending_limit = context.user_pending_limit.value_or(
       options_.admission.max_pending_per_user);
-  auto id = dispatcher_->submit(session.value().id, session.value().user,
-                                cls, std::move(payload), placement);
+  auto id = dispatcher_->submit(session.value().id, user, cls,
+                                std::move(payload), placement);
   if (!id.ok()) {
     accounting_.release_submission(context.user, shots);
-    return id.error();
+    return rejected(id.error());
   }
   // Close the submit/close race: if the session died between the
   // authenticate above and this submit, its cancel sweep may have run
-  // before the job existed — sweep it ourselves.
+  // before the job existed — sweep it ourselves. The dispatcher owns the
+  // trace from here (the cancel finishes it), so only log the event.
   if (!sessions_.authenticate(token).ok()) {
     (void)dispatcher_->cancel_for_session(session.value().id);
+    events_.log(clock_->now(), telemetry::Severity::kWarn,
+                "submit_rejected", "session closed during submission",
+                user, id.value(), trace);
     return common::err::permission_denied("session closed during submission");
   }
   Submitted submitted;
@@ -431,13 +482,18 @@ void MiddlewareDaemon::install_routes() {
           if (!parsed.ok()) return error_response(parsed.error());
           hints.policy = parsed.value();
         }
-        auto submitted =
-            submit_job(token.value(), std::move(payload).value(), hints);
-        if (!submitted.ok()) return error_response(submitted.error());
+        telemetry::TraceId trace = 0;
+        auto submitted = submit_job(token.value(),
+                                    std::move(payload).value(), hints,
+                                    &trace);
+        if (!submitted.ok()) {
+          return error_response(submitted.error(), trace);
+        }
         Json out = Json::object();
         out["job_id"] = static_cast<long long>(submitted.value().id);
         out["class"] = to_string(submitted.value().job_class);
         out["resource"] = submitted.value().resource;
+        if (trace != 0) out["trace_id"] = static_cast<long long>(trace);
         return HttpResponse::json(201, out.dump());
       });
 
@@ -455,6 +511,38 @@ void MiddlewareDaemon::install_routes() {
                      "job belongs to another user"));
                }
                return HttpResponse::json(200, job_to_json(job.value()).dump());
+             });
+
+  router.add("GET", "/v1/jobs/:id/trace",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams& params) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               const std::uint64_t id = std::strtoull(
+                   params.at("id").c_str(), nullptr, 10);
+               auto job = dispatcher_->query(id);
+               if (!job.ok()) return error_response(job.error());
+               if (job.value().user != session.value().user) {
+                 return error_response(common::err::permission_denied(
+                     "job belongs to another user"));
+               }
+               if (traces_ == nullptr) {
+                 return error_response(common::err::not_found(
+                     "tracing is disabled on this daemon"));
+               }
+               // Materializes deferred submit spans on demand, so queued
+               // jobs are traceable before their first dispatch.
+               auto trace = dispatcher_->trace(id);
+               if (!trace.ok()) {
+                 if (trace.error().message() == "trace evicted") {
+                   return error_response(common::err::not_found(
+                       "trace evicted (raise telemetry.trace_capacity)"));
+                 }
+                 return error_response(trace.error());
+               }
+               return HttpResponse::json(
+                   200,
+                   telemetry::TraceStore::to_json(trace.value()).dump());
              });
 
   router.add("GET", "/v1/jobs/:id/result",
@@ -591,6 +679,34 @@ void MiddlewareDaemon::install_routes() {
                  out["qpu_fidelity"] =
                      device_->spec().calibration.fidelity_estimate();
                }
+               return HttpResponse::json(200, out.dump());
+             });
+
+  // Structured-event tail: `?since=<seq>` returns events AFTER that
+  // sequence number (0 = from the oldest retained), so operators can poll
+  // incrementally; `last_seq` is the cursor for the next call.
+  router.add("GET", "/admin/events",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               std::uint64_t since = 0;
+               if (const auto raw = request.query_param("since")) {
+                 since = std::strtoull(raw->c_str(), nullptr, 10);
+               }
+               std::size_t max = 256;
+               if (const auto raw = request.query_param("max")) {
+                 max = static_cast<std::size_t>(
+                     std::strtoull(raw->c_str(), nullptr, 10));
+               }
+               Json out = Json::object();
+               Json list = Json::array();
+               for (const auto& event : events_.since(since, max)) {
+                 list.push_back(telemetry::EventLog::to_json(event));
+               }
+               out["events"] = std::move(list);
+               out["last_seq"] =
+                   static_cast<long long>(events_.last_seq());
                return HttpResponse::json(200, out.dump());
              });
 

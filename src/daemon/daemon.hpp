@@ -12,6 +12,7 @@
 //   POST   /v1/jobs                   {payload, partition?,
 //                                      resource?, policy?} -> {job_id}
 //   GET    /v1/jobs/:id                                     -> job status
+//   GET    /v1/jobs/:id/trace          -> per-stage timeline (span tree)
 //   GET    /v1/jobs/:id/result                              -> samples
 //   DELETE /v1/jobs/:id                                     -> cancel
 //   GET    /v1/queue                  -> depths/order/lanes/per-user counts
@@ -19,6 +20,7 @@
 //                                        fair-share priority, rate limits
 //   GET    /metrics                                         -> Prometheus
 //   GET    /admin/status
+//   GET    /admin/events?since=N&max=M  (structured-event tail)
 //   GET    /admin/sessions
 //   GET    /admin/fairshare            (accounts/users: shares vs usage)
 //   POST   /admin/quotas/:user         {shares?, account?, submit_per_sec?,
@@ -51,9 +53,27 @@
 #include "qrmi/qrmi.hpp"
 #include "qrmi/registry.hpp"
 #include "store/state_store.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qcenv::daemon {
+
+/// Tracing and structured-event knobs. Tracing is on by default: the
+/// per-span cost is O(1) under a sharded lock and the submit bench gates
+/// the overhead at 5%, so there is no reason to fly blind.
+struct TelemetryOptions {
+  bool tracing = true;
+  /// Retained traces (ring per shard; oldest evicted on overflow).
+  std::size_t trace_capacity = 4096;
+  std::size_t trace_shards = 64;
+  /// Retained structured events for `GET /admin/events` tailing.
+  std::size_t event_capacity = 4096;
+  /// Completed jobs slower than this emit a `slow_job` event with their
+  /// trace id, so operators can jump straight from the log line to the
+  /// per-stage timeline. 0 disables.
+  common::DurationNs slow_job_threshold = 0;
+};
 
 struct DaemonOptions {
   std::uint16_t port = 0;  // 0 = ephemeral
@@ -81,6 +101,8 @@ struct DaemonOptions {
   /// today's purely in-memory behaviour; with a data-dir the daemon
   /// journals every job/session event and recovers them all on restart.
   store::StoreOptions store;
+  /// Tracing + structured events (see TelemetryOptions).
+  TelemetryOptions telemetry;
 };
 
 class MiddlewareDaemon {
@@ -109,6 +131,9 @@ class MiddlewareDaemon {
   }
   broker::ResourceBroker& broker() noexcept { return *broker_; }
   telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// Job trace store; nullptr when tracing is disabled.
+  telemetry::TraceStore* traces() noexcept { return traces_.get(); }
+  telemetry::EventLog& events() noexcept { return events_; }
   const DaemonOptions& options() const noexcept { return options_; }
   /// Durable store; nullptr when running purely in memory.
   store::StateStore* state_store() noexcept { return store_.get(); }
@@ -148,9 +173,14 @@ class MiddlewareDaemon {
   /// POST /v1/jobs: authenticates, validates against the target device
   /// spec, applies admission + per-user rate limits (reservations are
   /// rolled back if anything downstream fails) and enqueues the payload.
+  /// When tracing is on, `trace_out` (if non-null) receives the trace id
+  /// even for rejected submissions, so 429/500/503 responses can point at
+  /// the timeline that explains them.
   common::Result<Submitted> submit_job(const std::string& token,
                                        quantum::Payload payload,
-                                       const SubmitHints& hints = {});
+                                       const SubmitHints& hints = {},
+                                       telemetry::TraceId* trace_out =
+                                           nullptr);
 
  private:
   void install_routes();
@@ -167,6 +197,10 @@ class MiddlewareDaemon {
   qpu::QpuDevice* device_;
   common::Clock* clock_;
   telemetry::MetricsRegistry metrics_;
+  // Traces/events must outlive the dispatcher and the store (both record
+  // into them from their worker threads).
+  std::unique_ptr<telemetry::TraceStore> traces_;
+  telemetry::EventLog events_;
   SessionManager sessions_;
   AdmissionController admission_;
   // Must outlive the dispatcher: its lanes charge the ledger.

@@ -29,6 +29,20 @@ constexpr std::uint32_t kMaxBatchFailovers = 8;
 /// identically everywhere.
 constexpr std::size_t kDefaultShards = 8;
 
+/// Bucket boundaries (seconds) for the per-stage latency histograms:
+/// journal appends land in the microsecond buckets, queue waits anywhere
+/// from sub-millisecond to minutes under load.
+const std::vector<double>& stage_seconds_boundaries() {
+  static const std::vector<double> kBoundaries = {
+      1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300};
+  return kBoundaries;
+}
+
+constexpr const char* kStageSecondsName = "daemon_stage_seconds";
+constexpr const char* kStageSecondsHelp =
+    "per-stage pipeline latency (admission/journal_append/queue_wait/"
+    "shard_dispatch/qrmi_execute)";
+
 /// Errors that indict the resource (node loss, endpoint down) rather than
 /// the payload: these trigger failover instead of failing the job.
 bool is_resource_failure(const common::Error& error) {
@@ -59,12 +73,16 @@ Dispatcher::Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
                        QueuePolicy policy, common::Clock* clock,
                        telemetry::MetricsRegistry* metrics,
                        store::StateStore* store,
-                       accounting::AccountingManager* accounting)
+                       accounting::AccountingManager* accounting,
+                       telemetry::TraceStore* traces,
+                       telemetry::EventLog* events)
     : broker_(std::move(broker)),
       clock_(clock),
       metrics_(metrics),
       store_(store),
-      accounting_(accounting) {
+      accounting_(accounting),
+      traces_(traces),
+      events_(events) {
   const std::size_t count =
       policy.submit_shards > 0 ? policy.submit_shards : kDefaultShards;
   shards_.reserve(count);
@@ -72,6 +90,23 @@ Dispatcher::Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
     auto shard = std::make_unique<Shard>();
     shard->core = PriorityQueueCore(policy);
     shards_.push_back(std::move(shard));
+  }
+  if (traces_ != nullptr && metrics_ != nullptr) {
+    admission_hist_ = &metrics_->histogram(
+        kStageSecondsName, stage_seconds_boundaries(),
+        {{"stage", "admission"}}, kStageSecondsHelp);
+    journal_append_hist_ = &metrics_->histogram(
+        kStageSecondsName, stage_seconds_boundaries(),
+        {{"stage", "journal_append"}}, kStageSecondsHelp);
+  }
+  if (metrics_ != nullptr) {
+    for (const JobClass cls :
+         {JobClass::kProduction, JobClass::kTest, JobClass::kDevelopment}) {
+      submitted_counter_[static_cast<std::size_t>(class_rank(cls))] =
+          &metrics_->counter("daemon_jobs_submitted_total",
+                             {{"class", to_string(cls)}},
+                             "jobs accepted by the daemon");
+    }
   }
   install_priority_hook();
   start_lanes();
@@ -81,7 +116,9 @@ Dispatcher::Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
                        common::Clock* clock,
                        telemetry::MetricsRegistry* metrics,
                        store::StateStore* store,
-                       accounting::AccountingManager* accounting)
+                       accounting::AccountingManager* accounting,
+                       telemetry::TraceStore* traces,
+                       telemetry::EventLog* events)
     : Dispatcher(
           [&] {
             auto broker = std::make_shared<broker::ResourceBroker>(
@@ -91,7 +128,7 @@ Dispatcher::Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
             (void)added;  // collisions impossible in a fresh fleet
             return broker;
           }(),
-          policy, clock, metrics, store, accounting) {}
+          policy, clock, metrics, store, accounting, traces, events) {}
 
 void Dispatcher::install_priority_hook() {
   if (accounting_ == nullptr) return;
@@ -197,6 +234,67 @@ void Dispatcher::wake_lanes_all() {
   dispatch_cv_.notify_all();
 }
 
+void Dispatcher::observe_stage(const std::string& stage, JobClass cls,
+                               const std::string& resource,
+                               common::DurationNs duration) {
+  if (metrics_ == nullptr || duration < 0) return;
+  // Fast path for the two submit-side stages: pre-resolved handles (see
+  // the constructor) so 64 submitting threads never touch the registry
+  // mutex.
+  if (stage == "admission" && admission_hist_ != nullptr) {
+    admission_hist_->observe(common::to_seconds(duration));
+    return;
+  }
+  if (stage == "journal_append" && journal_append_hist_ != nullptr) {
+    journal_append_hist_->observe(common::to_seconds(duration));
+    return;
+  }
+  telemetry::Labels labels{{"stage", stage}};
+  if (!resource.empty()) labels["resource"] = resource;
+  // Queue waits are the fairness-visible stage: break them down by
+  // priority tier so a starved class is visible per class, not averaged.
+  if (stage == "queue_wait") labels["class"] = to_string(cls);
+  metrics_
+      ->histogram(kStageSecondsName, stage_seconds_boundaries(), labels,
+                  kStageSecondsHelp)
+      .observe(common::to_seconds(duration));
+}
+
+void Dispatcher::materialize_trace_locked(Record& record) {
+  if (traces_ == nullptr || record.job.trace_id == 0 ||
+      record.trace_materialized) {
+    return;
+  }
+  record.trace_materialized = true;
+  // The submit-side stage histograms are deferred along with the spans:
+  // the scalars live in the record, so the observations do not depend on
+  // the trace still being in the ring.
+  if (record.queue_start >= 0) {
+    if (admission_hist_ != nullptr) {
+      admission_hist_->observe(common::to_seconds(record.job.submit_time -
+                                                  record.admission_start));
+    }
+    if (store_ != nullptr && journal_append_hist_ != nullptr) {
+      journal_append_hist_->observe(
+          common::to_seconds(record.queue_start - record.job.submit_time));
+    }
+  }
+  std::string detail = "shard=" + std::to_string(record.shard_index);
+  if (!record.job.resource.empty()) {
+    detail += " resource=" + record.job.resource;
+  }
+  const common::TimeNs admission_start = record.admission_start >= 0
+                                             ? record.admission_start
+                                             : record.job.submit_time;
+  const common::TimeNs queue_start = record.queue_start >= 0
+                                         ? record.queue_start
+                                         : record.job.submit_time;
+  traces_->materialize_submit(
+      record.job.trace_id, record.job.id, record.job.user, admission_start,
+      store_ != nullptr ? record.job.submit_time : -1, queue_start,
+      std::move(detail));
+}
+
 void Dispatcher::drop_user_pending(Shard& shard, const std::string& user) {
   const auto it = shard.user_pending.find(user);
   if (it == shard.user_pending.end()) return;  // defensive
@@ -279,6 +377,8 @@ Result<std::uint64_t> Dispatcher::submit(
     record.job.resource = std::move(placed);
     record.pinned = !options.resource.empty();
     record.policy_hint = options.policy;
+    record.job.trace_id = options.trace_id;
+    record.shard_index = shard_index;
     record.samples = Samples(payload->num_qubits());
     record.payload = std::move(payload);
     submit_time = record.job.submit_time;
@@ -323,6 +423,19 @@ Result<std::uint64_t> Dispatcher::submit(
             "); submission rejected");
       }
     }
+    if (traces_ != nullptr && options.trace_id != 0) {
+      // Deferred tracing: the admission-limited path records two scalar
+      // timestamps in the record it is already writing — no TraceStore
+      // lock, no trace memory traffic, no histogram work.
+      // materialize_trace_locked builds the spans and feeds the two
+      // submit-side stage histograms at first claim/finish/read. (On the
+      // journal-failure unwind above nothing materializes; the daemon
+      // records a rejected trace.)
+      Record& traced = inserted.first->second;
+      traced.admission_start =
+          options.trace_start >= 0 ? options.trace_start : submit_time;
+      traced.queue_start = clock_->now();
+    }
   }
   // Amortized terminal-job GC: each submission pays for the sweep that
   // keeps record tables bounded — but only the one atomic precheck
@@ -339,10 +452,8 @@ Result<std::uint64_t> Dispatcher::submit(
     (void)sweep_terminal_all(submit_time);
   }
   if (metrics_ != nullptr) {
-    metrics_
-        ->counter("daemon_jobs_submitted_total",
-                  {{"class", to_string(cls)}}, "jobs accepted by the daemon")
-        .increment();
+    submitted_counter_[static_cast<std::size_t>(class_rank(cls))]
+        ->increment();
   }
   wake_lanes();
   return id;
@@ -382,6 +493,36 @@ Result<Samples> Dispatcher::result(std::uint64_t job_id) const {
       return common::err::failed_precondition(
           "job is " + std::string(to_string(record.job.state)));
   }
+}
+
+Result<telemetry::JobTrace> Dispatcher::trace(std::uint64_t job_id) {
+  if (traces_ == nullptr) {
+    return common::err::failed_precondition("tracing is disabled");
+  }
+  telemetry::TraceId trace_id = 0;
+  {
+    Shard* shard = find_shard(job_id);
+    if (shard == nullptr) {
+      return common::err::not_found("unknown job " + std::to_string(job_id));
+    }
+    std::scoped_lock lock(shard->mutex);
+    const auto it = shard->records.find(job_id);
+    if (it == shard->records.end()) {
+      return common::err::not_found("unknown job " + std::to_string(job_id));
+    }
+    // Deferred traces materialize on first read, so a still-queued job's
+    // timeline is visible mid-flight.
+    materialize_trace_locked(it->second);
+    trace_id = it->second.job.trace_id;
+  }
+  if (trace_id == 0) {
+    return common::err::not_found("job has no trace");
+  }
+  std::optional<telemetry::JobTrace> found = traces_->find(trace_id);
+  if (!found.has_value()) {
+    return common::err::not_found("trace evicted");
+  }
+  return *std::move(found);
 }
 
 Result<Samples> Dispatcher::wait(std::uint64_t job_id) {
@@ -895,6 +1036,25 @@ void Dispatcher::restore(const std::vector<store::JobRecord>& jobs,
         accounting_->restore_inflight(record.job.user, remaining);
       }
     }
+    if (traces_ != nullptr) {
+      // Pre-crash spans are not journaled: restored jobs get a fresh trace
+      // whose first stage is explicitly `lost`, so timelines stay
+      // well-nested (and honest) across kill-and-restart.
+      record.job.trace_id =
+          traces_->begin(record.job.submit_time, record.job.user, "lost",
+                         "pre-crash spans not recovered");
+      // The eager `lost` trace replaces the deferred submit timeline.
+      record.trace_materialized = true;
+      traces_->bind_job(record.job.trace_id, recovered.id);
+      if (record.job.state == DaemonJobState::kQueued) {
+        (void)traces_->enter(record.job.trace_id, clock_->now(),
+                             "queue_wait", "requeued after restart");
+      } else {
+        (void)traces_->finish(
+            record.job.trace_id,
+            std::max(record.job.finish_time, record.job.submit_time));
+      }
+    }
     floor = std::max(floor, recovered.id + 1);
     shard.records.emplace(recovered.id, std::move(record));
     index_insert(recovered.id, shard_index);
@@ -939,6 +1099,34 @@ void Dispatcher::finish_locked(Shard& shard, Record& record,
   record.job.state = state;
   record.job.error = error;
   record.job.finish_time = clock_->now();
+  if (traces_ != nullptr && record.job.trace_id != 0) {
+    materialize_trace_locked(record);
+    if (auto closed =
+            traces_->finish(record.job.trace_id, record.job.finish_time)) {
+      observe_stage(closed->stage, record.job.job_class,
+                    record.job.resource, closed->duration);
+    }
+  }
+  if (events_ != nullptr) {
+    const common::DurationNs latency =
+        record.job.finish_time - record.job.submit_time;
+    const common::DurationNs slow =
+        slow_job_threshold_.load(std::memory_order_relaxed);
+    if (state == DaemonJobState::kFailed) {
+      events_->log(record.job.finish_time, telemetry::Severity::kError,
+                   "job_failed", error, record.job.user, record.job.id,
+                   record.job.trace_id);
+    } else if (state == DaemonJobState::kCompleted && slow > 0 &&
+               latency > slow) {
+      events_->log(record.job.finish_time, telemetry::Severity::kWarn,
+                   "slow_job",
+                   "completed in " +
+                       std::to_string(latency / common::kMillisecond) +
+                       " ms (threshold " +
+                       std::to_string(slow / common::kMillisecond) + " ms)",
+                   record.job.user, record.job.id, record.job.trace_id);
+    }
+  }
   shard.active.erase(record.job.id);
   shard.terminal_order.push_back(record.job.id);
   terminal_count_.fetch_add(1, std::memory_order_relaxed);
@@ -1024,6 +1212,15 @@ void Dispatcher::reassign_from(const std::string& lane) {
       if (store_ != nullptr) {
         store_->job_placed(record.job.id, record.job.resource);
       }
+      if (traces_ != nullptr && record.job.trace_id != 0) {
+        materialize_trace_locked(record);
+        traces_->annotate(
+            record.job.trace_id, clock_->now(),
+            record.job.resource.empty()
+                ? "unplaced: no healthy resource (was '" + lane + "')"
+                : "failover: '" + lane + "' -> '" + record.job.resource +
+                      "'");
+      }
     }
   }
   if (moved > 0 && metrics_ != nullptr) {
@@ -1031,6 +1228,12 @@ void Dispatcher::reassign_from(const std::string& lane) {
         ->counter("daemon_failovers_total", {{"resource", lane}},
                   "jobs moved off a failed or draining resource")
         .increment(static_cast<double>(moved));
+  }
+  if (events_ != nullptr && moved + stranded > 0) {
+    events_->log(clock_->now(), telemetry::Severity::kWarn, "failover",
+                 "moved " + std::to_string(moved) + " job(s) off '" + lane +
+                     "' (" + std::to_string(stranded) +
+                     " left unplaced)");
   }
   if (moved + stranded > 0) {
     QCENV_LOG(Warn) << "moved " << moved << " job(s) off " << lane
@@ -1076,6 +1279,8 @@ Dispatcher::DispatchOutcome Dispatcher::dispatch_one(
   Shard& shard = *shards_[best_shard];
   std::optional<Batch> batch;
   Payload slice;
+  telemetry::TraceId trace = 0;
+  JobClass trace_cls = JobClass::kDevelopment;
   {
     std::scoped_lock lock(shard.mutex);
     // Revalidate under the winner's lock: another lane may have taken
@@ -1129,12 +1334,41 @@ Dispatcher::DispatchOutcome Dispatcher::dispatch_one(
     if (store_ != nullptr) {
       store_->batch_dispatched(batch->job_id, lane, batch->shots);
     }
+    trace = record.job.trace_id;
+    trace_cls = record.job.job_class;
+    if (traces_ != nullptr && trace != 0) {
+      materialize_trace_locked(record);
+      if (auto closed = traces_->enter(
+              trace, clock_->now(), "shard_dispatch",
+              "resource=" + lane + " shard=" +
+                  std::to_string(best_shard))) {
+        observe_stage(closed->stage, trace_cls, lane, closed->duration);
+      }
+    }
   }
 
   broker_->on_dispatch(lane, batch->shots);
   const common::TimeNs run_start = clock_->now();
-  auto outcome = resource->run_sync(slice, kRunPoll, clock_);
+  const bool traced = traces_ != nullptr && trace != 0;
+  if (traced) {
+    if (auto closed = traces_->enter(trace, run_start, "qrmi_execute",
+                                     "resource=" + lane)) {
+      observe_stage(closed->stage, trace_cls, lane, closed->duration);
+    }
+  }
+  qrmi::Qrmi::RunStats run_stats;
+  auto outcome =
+      resource->run_sync(slice, kRunPoll, clock_, traced ? &run_stats : nullptr);
   const common::DurationNs qpu_ns = clock_->now() - run_start;
+  if (traced && run_stats.polls > 0) {
+    traces_->child(trace, "qrmi_poll", run_stats.poll_start,
+                   run_stats.poll_end,
+                   "polls=" + std::to_string(run_stats.polls));
+    if (run_stats.result_end > run_stats.poll_end) {
+      traces_->child(trace, "result_fetch", run_stats.poll_end,
+                     run_stats.result_end);
+    }
+  }
   if (metrics_ != nullptr) {
     metrics_
         ->counter("daemon_batches_dispatched_total",
@@ -1162,6 +1396,24 @@ Dispatcher::DispatchOutcome Dispatcher::dispatch_one(
       if (store_ != nullptr) {
         store_->batch_failed(batch->job_id, lane, batch->shots,
                              outcome.error().to_string());
+      }
+      if (traced) {
+        const common::TimeNs tnow = clock_->now();
+        traces_->annotate(trace, tnow,
+                          "requeue: resource failure on '" + lane +
+                              "': " + outcome.error().message());
+        if (auto closed =
+                traces_->enter(trace, tnow, "queue_wait",
+                               "requeued after failure on " + lane)) {
+          observe_stage(closed->stage, trace_cls, lane, closed->duration);
+        }
+      }
+      if (events_ != nullptr) {
+        events_->log(clock_->now(), telemetry::Severity::kWarn, "failover",
+                     "batch of job " + std::to_string(batch->job_id) +
+                         " returned by '" + lane +
+                         "': " + outcome.error().message(),
+                     record.job.user, batch->job_id, trace);
       }
       // A cancel that raced the in-flight batch must win over failover:
       // with no healthy resource left the requeued job would otherwise
@@ -1213,6 +1465,25 @@ Dispatcher::DispatchOutcome Dispatcher::dispatch_one(
                                outcome.error().to_string());
           store_->job_placed(batch->job_id, record.job.resource);
         }
+        if (traced) {
+          const common::TimeNs tnow = clock_->now();
+          traces_->annotate(trace, tnow,
+                            "re-placed on '" + record.job.resource +
+                                "' after rejection by '" + lane + "'");
+          if (auto closed =
+                  traces_->enter(trace, tnow, "queue_wait",
+                                 "re-placed on " + record.job.resource)) {
+            observe_stage(closed->stage, trace_cls, lane, closed->duration);
+          }
+        }
+        if (events_ != nullptr) {
+          events_->log(clock_->now(), telemetry::Severity::kWarn,
+                       "rejected_replaced",
+                       "job " + std::to_string(batch->job_id) +
+                           " rejected by '" + lane + "', re-placed on '" +
+                           record.job.resource + "'",
+                       record.job.user, batch->job_id, trace);
+        }
         QCENV_LOG(Warn) << "job " << batch->job_id << " rejected by "
                         << lane << " (" << outcome.error().to_string()
                         << "), re-placing on " << record.job.resource;
@@ -1260,6 +1531,14 @@ Dispatcher::DispatchOutcome Dispatcher::dispatch_one(
     // compaction snapshot (which reads the watermark and the ledger
     // under every shard mutex) can never tear the two apart.
     accounting_->charge_batch(record.job.user, batch->shots, qpu_ns);
+  }
+  if (traced && !batch->final_batch && !record.cancel_requested) {
+    // The remainder re-enters the queue: open a fresh queue_wait stage so
+    // multi-batch jobs show one wait/dispatch/execute cycle per batch.
+    if (auto closed = traces_->enter(trace, clock_->now(), "queue_wait",
+                                     "remainder requeued")) {
+      observe_stage(closed->stage, trace_cls, lane, closed->duration);
+    }
   }
 
   if (record.cancel_requested) {

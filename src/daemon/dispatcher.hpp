@@ -50,7 +50,9 @@
 #include "daemon/queue_core.hpp"
 #include "qrmi/qrmi.hpp"
 #include "store/state_store.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qcenv::daemon {
 
@@ -79,6 +81,8 @@ struct DaemonJob {
   /// resource can take it; updated when failover moves the job.
   std::string resource;
   std::string error;
+  /// Trace correlating this job's pipeline spans (0 = not traced).
+  telemetry::TraceId trace_id = 0;
 };
 
 class Dispatcher {
@@ -97,6 +101,13 @@ class Dispatcher {
     /// for a friendly early error, but only this check cannot be raced by
     /// concurrent submissions of the same user.
     std::size_t user_pending_limit = 0;
+    /// Trace id allocated by the caller (TraceStore::allocate); the
+    /// dispatcher threads it through journal_append/queue_wait/dispatch
+    /// spans. 0 disables tracing for this job.
+    telemetry::TraceId trace_id = 0;
+    /// When the caller's admission span began (its clock reading at
+    /// trace allocation); < 0 falls back to the dispatcher submit time.
+    common::TimeNs trace_start = -1;
   };
 
   /// Multi-resource dispatcher: one worker lane per resource registered in
@@ -105,17 +116,24 @@ class Dispatcher {
   /// `accounting` (optional, must outlive the dispatcher) is charged for
   /// every executed batch and plugs fair-share ordering into the queue
   /// core: within a class, the most under-served user's jobs go first.
+  /// `traces`/`events` (optional, must outlive the dispatcher) receive
+  /// per-job pipeline spans and operator events; nullptr disables tracing
+  /// with zero hot-path cost.
   Dispatcher(std::shared_ptr<broker::ResourceBroker> broker,
              QueuePolicy policy, common::Clock* clock,
              telemetry::MetricsRegistry* metrics,
              store::StateStore* store = nullptr,
-             accounting::AccountingManager* accounting = nullptr);
+             accounting::AccountingManager* accounting = nullptr,
+             telemetry::TraceStore* traces = nullptr,
+             telemetry::EventLog* events = nullptr);
   /// Single-resource convenience: wraps `resource` in a one-member fleet
   /// (named after its resource_id).
   Dispatcher(qrmi::QrmiPtr resource, QueuePolicy policy,
              common::Clock* clock, telemetry::MetricsRegistry* metrics,
              store::StateStore* store = nullptr,
-             accounting::AccountingManager* accounting = nullptr);
+             accounting::AccountingManager* accounting = nullptr,
+             telemetry::TraceStore* traces = nullptr,
+             telemetry::EventLog* events = nullptr);
   ~Dispatcher();
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
@@ -140,6 +158,11 @@ class Dispatcher {
       const SubmitOptions& options);
 
   common::Result<DaemonJob> query(std::uint64_t job_id) const;
+  /// The job's span timeline. Materializes the deferred submit-side spans
+  /// on demand, so mid-flight jobs (still queued, never claimed) have a
+  /// readable trace too. Errors: not_found for unknown/untraced jobs or
+  /// an evicted trace.
+  common::Result<telemetry::JobTrace> trace(std::uint64_t job_id);
   /// Samples of a completed job.
   common::Result<quantum::Samples> result(std::uint64_t job_id) const;
   /// Blocks until the job reaches a terminal state.
@@ -224,6 +247,12 @@ class Dispatcher {
   void set_terminal_retention(common::DurationNs retention, std::size_t cap);
   std::size_t sweep_terminal();
 
+  /// Completed jobs whose submit→finish latency exceeds `threshold` emit a
+  /// warn-severity "slow_job" event (0 disables, the default).
+  void set_slow_job_threshold(common::DurationNs threshold) {
+    slow_job_threshold_.store(threshold, std::memory_order_relaxed);
+  }
+
  private:
   struct Record {
     DaemonJob job;
@@ -241,6 +270,14 @@ class Dispatcher {
     bool pinned = false;  // submitted with an explicit resource hint
     std::optional<broker::SchedulingPolicy> policy_hint;
     std::uint32_t failovers = 0;  // batches returned by resource failures
+    /// Deferred-tracing scalars: the submit hot path records only these
+    /// two timestamps (plus the histogram observations); the trace's
+    /// actual spans are materialized off the admission-limited path by
+    /// materialize_trace_locked — at first claim, finish, or read.
+    common::TimeNs admission_start = -1;
+    common::TimeNs queue_start = -1;
+    std::uint32_t shard_index = 0;
+    bool trace_materialized = false;
   };
 
   /// One submit shard: a tenant's entire dispatcher-side state lives in
@@ -307,12 +344,31 @@ class Dispatcher {
   /// journal's deferred serializer or durable_snapshot(), outside the
   /// queue lock.
   store::JobRecord to_record_locked(const Record& record) const;
+  /// Builds the job's submit-side spans (admission, journal_append, open
+  /// queue_wait) from the scalars the hot path recorded. Idempotent; must
+  /// run before any other TraceStore operation on the job's trace. Caller
+  /// holds the record's shard mutex.
+  void materialize_trace_locked(Record& record);
+  /// Feeds the per-stage latency histogram for a span enter()/finish()
+  /// just closed; queue_wait series carry the job class (priority tier).
+  void observe_stage(const std::string& stage, JobClass cls,
+                     const std::string& resource,
+                     common::DurationNs duration);
 
   std::shared_ptr<broker::ResourceBroker> broker_;
   common::Clock* clock_;
   telemetry::MetricsRegistry* metrics_;
   store::StateStore* store_;
   accounting::AccountingManager* accounting_;
+  telemetry::TraceStore* traces_;
+  telemetry::EventLog* events_;
+  /// Submit-hot-path metric handles, resolved once: the registry lookup
+  /// takes a global mutex and builds a label map, which 64 submitting
+  /// threads must not pay per submission.
+  telemetry::HistogramMetric* admission_hist_ = nullptr;
+  telemetry::HistogramMetric* journal_append_hist_ = nullptr;
+  std::array<telemetry::Counter*, 3> submitted_counter_{};
+  std::atomic<common::DurationNs> slow_job_threshold_{0};
 
   std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -1,5 +1,6 @@
 #include "qrmi/qrmi.hpp"
 
+#include <chrono>
 #include <thread>
 
 namespace qcenv::qrmi {
@@ -33,18 +34,33 @@ const char* to_string(TaskStatus status) noexcept {
   return "?";
 }
 
+namespace {
+common::TimeNs run_sync_now(const common::Clock* clock) {
+  if (clock != nullptr) return clock->now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 common::Result<quantum::Samples> Qrmi::run_sync(
     const quantum::Payload& payload, common::DurationNs poll_interval,
-    common::Clock* clock) {
+    common::Clock* clock, RunStats* stats) {
   auto task = task_start(payload);
   if (!task.ok()) return task.error();
   const std::string& id = task.value();
+  if (stats != nullptr) stats->poll_start = run_sync_now(clock);
   while (true) {
     auto status = task_status(id);
+    if (stats != nullptr) {
+      ++stats->polls;
+      stats->poll_end = run_sync_now(clock);
+    }
     if (!status.ok()) {
       // Best-effort cancel so a task we can no longer observe does not keep
       // consuming the resource (the caller will re-dispatch elsewhere).
       (void)task_stop(id);
+      if (stats != nullptr) stats->result_end = stats->poll_end;
       return status.error();
     }
     if (is_terminal(status.value())) break;
@@ -58,7 +74,9 @@ common::Result<quantum::Samples> Qrmi::run_sync(
       std::this_thread::sleep_for(std::chrono::nanoseconds(poll_interval));
     }
   }
-  return task_result(id);
+  auto result = task_result(id);
+  if (stats != nullptr) stats->result_end = run_sync_now(clock);
+  return result;
 }
 
 }  // namespace qcenv::qrmi

@@ -17,6 +17,7 @@
 // source changes.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -78,15 +79,27 @@ class Qrmi {
   /// Implementation-defined details (engine, endpoint, limits).
   virtual common::Json metadata() = 0;
 
+  /// Timing breakdown of one run_sync() call, for tracing: the poll loop
+  /// and result fetch become child spans of the dispatcher's qrmi_execute
+  /// stage. Timestamps come from the caller's clock when one is provided
+  /// (virtual-time deterministic), else from the wall clock.
+  struct RunStats {
+    common::TimeNs poll_start = 0;    // after task_start returned
+    common::TimeNs poll_end = 0;      // last task_status observation
+    common::TimeNs result_end = 0;    // after task_result returned
+    std::uint64_t polls = 0;          // task_status calls issued
+  };
+
   /// Convenience: start, poll until terminal, and return the result.
   /// `poll_interval` applies to asynchronous resource types. When `clock`
   /// is provided the poll pacing goes through it instead of a raw
   /// std::this_thread sleep — identical under WallClock, and the seam
   /// that lets virtual-time harnesses drive dispatch with no real sleeps.
+  /// `stats`, when non-null, receives the per-phase timing breakdown.
   common::Result<quantum::Samples> run_sync(
       const quantum::Payload& payload,
       common::DurationNs poll_interval = 20 * common::kMillisecond,
-      common::Clock* clock = nullptr);
+      common::Clock* clock = nullptr, RunStats* stats = nullptr);
 };
 
 using QrmiPtr = std::shared_ptr<Qrmi>;

@@ -69,6 +69,20 @@ std::vector<std::string> check_invariants(const InvariantInput& input) {
                              " shots (lost or duplicated shots)");
       }
     }
+    if (input.check_traces) {
+      const auto trace = input.traces.find(tracked.id);
+      if (trace == input.traces.end()) {
+        // The harness sizes the trace store so nothing it submitted can
+        // be evicted; a terminal job without a trace lost its timeline.
+        violations.push_back(job_tag(tracked) + " has no trace");
+      } else {
+        const std::string error = telemetry::trace_nesting_error(
+            trace->second);
+        if (!error.empty()) {
+          violations.push_back(job_tag(tracked) + " trace: " + error);
+        }
+      }
+    }
     if (tracked.must_cancel && job.state != DaemonJobState::kCancelled) {
       violations.push_back(job_tag(tracked) +
                            " resurrected past an acknowledged cancel "

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "daemon/dispatcher.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qcenv::simtest {
 
@@ -48,6 +49,14 @@ struct InvariantInput {
   std::size_t records_count = 0;
   std::size_t records_cap = 0;  // 0 = unbounded (no cap check)
   bool check_ledger_balance = true;
+  /// Tracing was on: every terminal job must carry a finished, well-nested
+  /// span tree whose top-level stages exactly partition [start, finish]
+  /// (see telemetry::trace_nesting_error). Jobs restored after a kill
+  /// re-begin their timeline with an explicit `lost` stage, so the
+  /// invariant holds across crash/restart replays too.
+  bool check_traces = false;
+  /// Job id -> its trace, as found at gather time (evicted traces absent).
+  std::map<std::uint64_t, telemetry::JobTrace> traces;
 };
 
 /// Returns one message per violated invariant (empty = all hold):
@@ -58,7 +67,9 @@ struct InvariantInput {
 ///     are final; acknowledged cancels end cancelled),
 ///   - per-user ledger totals equal the shots their jobs actually
 ///     executed, and in-flight reservations drained to zero,
-///   - the queue is empty and, under GC, records_ stays within its cap.
+///   - the queue is empty and, under GC, records_ stays within its cap,
+///   - with tracing on, every terminal job has a finished, well-nested
+///     span tree whose stage durations sum to its observed latency.
 std::vector<std::string> check_invariants(const InvariantInput& input);
 
 }  // namespace qcenv::simtest

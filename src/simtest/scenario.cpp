@@ -341,6 +341,29 @@ class SimWorld {
     for (const auto& [_, depth] : daemon_->dispatcher().queue_depths()) {
       input.queue_depth += depth;
     }
+    if (telemetry::TraceStore* traces = daemon_->traces()) {
+      input.check_traces = true;
+      for (const auto& [id, job] : input.jobs) {
+        if (job.trace_id == 0) continue;
+        if (auto trace = traces->find(job.trace_id)) {
+          input.traces.emplace(id, std::move(*trace));
+        }
+      }
+    }
+    if (options_.trace_dump) {
+      common::Json dump = common::Json::object();
+      common::Json events = common::Json::array();
+      for (const auto& event : daemon_->events().since(0, 1 << 20)) {
+        events.push_back(telemetry::EventLog::to_json(event));
+      }
+      dump["events"] = std::move(events);
+      common::Json traces = common::Json::array();
+      for (const auto& [id, trace] : input.traces) {
+        traces.push_back(telemetry::TraceStore::to_json(trace));
+      }
+      dump["traces"] = std::move(traces);
+      result_.trace_dump = dump.dump();
+    }
     input.gc_enabled = options_.gc;
     input.records_count = daemon_->dispatcher().jobs_snapshot().size();
     input.records_cap = options_.gc ? kGcCap : 0;
@@ -520,6 +543,12 @@ class SimWorld {
       }
     }
     if (options_.gc) options.store.terminal_job_cap = kGcCap;
+    // Tracing stays on (the production default): the invariants verify
+    // every terminal job's span tree, and the store is sized so no trace
+    // the scenario can generate — including storm rejections — is ever
+    // evicted mid-run.
+    options.telemetry.trace_capacity = 1 << 16;
+    options.telemetry.event_capacity = 1 << 14;
     qrmi::ResourceRegistry fleet;
     for (std::size_t i = 0; i < emus_.size(); ++i) {
       fleet.add(emu_name(i), emus_[i]);

@@ -70,6 +70,10 @@ struct ScenarioOptions {
   /// result. Exists solely to prove the sweep catches invariant
   /// violations with a replayable seed.
   bool plant_shot_loss = false;
+  /// Collect the final daemon life's structured-event log and every
+  /// job's trace into ScenarioResult::trace_dump (JSON) — the sweep's
+  /// `--trace` flag, for debugging a failing seed stage by stage.
+  bool trace_dump = false;
 };
 
 struct ScenarioStats {
@@ -94,6 +98,8 @@ struct ScenarioResult {
   std::string plan;
   ScenarioStats stats;
   std::vector<std::string> violations;
+  /// JSON {events, traces} when ScenarioOptions::trace_dump was set.
+  std::string trace_dump;
   bool ok() const { return violations.empty(); }
 };
 

@@ -35,6 +35,10 @@ void report_failure(const ScenarioResult& result, std::ostream& out) {
   for (const auto& violation : result.violations) {
     out << "  violation: " << violation << "\n";
   }
+  if (!result.trace_dump.empty()) {
+    out << "  trace dump (events + per-job span trees):\n"
+        << result.trace_dump << "\n";
+  }
 }
 
 }  // namespace
@@ -43,11 +47,19 @@ SweepOutcome run_sweep(const SweepOptions& options, std::ostream& log) {
   SweepOutcome outcome;
   for (std::size_t i = 0; i < options.seeds; ++i) {
     const std::uint64_t seed = options.first_seed + i;
-    ScenarioResult result =
-        run_scenario(scenario_for_seed(seed, options.quick));
+    ScenarioOptions scenario = scenario_for_seed(seed, options.quick);
+    scenario.trace_dump = options.trace;
+    ScenarioResult result = run_scenario(scenario);
     ++outcome.ran;
     if (result.ok()) {
       if (options.verbose) log << summary_line(result) << "\n";
+      // A single-seed replay with --trace is a debugging session: show
+      // the timeline dump even when every invariant held.
+      if (options.trace && options.seeds == 1 &&
+          !result.trace_dump.empty()) {
+        log << "trace dump (events + per-job span trees):\n"
+            << result.trace_dump << "\n";
+      }
       continue;
     }
     report_failure(result, log);

@@ -24,6 +24,9 @@ struct SweepOptions {
   /// When non-empty, failing seeds + schedules are appended here (CI
   /// uploads the file as a build artifact).
   std::string artifact_path;
+  /// Dump each failing seed's structured-event log and per-job traces
+  /// (JSON) alongside its fault schedule — `simtest_sweep --trace`.
+  bool trace = false;
 };
 
 struct SweepOutcome {

@@ -35,6 +35,11 @@ constexpr std::size_t kFrameHeaderLen = 8;
 /// Fixed payload prelude: u64 seq + u64 time + u32 type length.
 constexpr std::size_t kFramePreludeLen = 20;
 
+/// A group-commit cycle (write + fsync) slower than this is an operator
+/// incident: either the disk is saturated or the device is dying. The
+/// crash-loss window is supposed to be ~the commit interval (5 ms).
+constexpr double kFsyncStallSeconds = 0.1;
+
 void put_le32(std::string& out, std::uint32_t value) {
   out.push_back(static_cast<char>(value & 0xFF));
   out.push_back(static_cast<char>((value >> 8) & 0xFF));
@@ -367,6 +372,14 @@ Status JobJournal::open(const std::string& path,
         "store_journal_failed", {},
         "1 once the journal has fail-stopped on a write/fsync error "
         "(new events are no longer durable)");
+    batch_events_hist_ = &metrics_->histogram(
+        "store_group_commit_batch_events",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, {},
+        "events folded into one group-commit write");
+    commit_seconds_hist_ = &metrics_->histogram(
+        "store_group_commit_seconds",
+        {1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1, 5}, {},
+        "wall seconds per group-commit write+fsync cycle");
   }
   const off_t size = ::lseek(fd_, 0, SEEK_END);
   file_bytes_ = size > 0 ? static_cast<std::uint64_t>(size) : 0;
@@ -583,6 +596,10 @@ void JobJournal::fail_locked(common::Error error) {
   io_error_ = std::move(error);
   failed_.store(true, std::memory_order_release);
   if (failed_gauge_ != nullptr) failed_gauge_->set(1);
+  if (events_ != nullptr) {
+    events_->log(clock_->now(), telemetry::Severity::kError,
+                 "journal_fail_stop", io_error_->to_string());
+  }
 }
 
 void JobJournal::reserve_through(std::uint64_t seq) {
@@ -768,6 +785,7 @@ void JobJournal::writer_loop() {
     batch.clear();
     std::string block;
     Status wrote = Status::ok_status();
+    const auto io_start = std::chrono::steady_clock::now();
     {
       std::scoped_lock io(io_mutex_);
       block.reserve(items.size() * 128);
@@ -776,6 +794,20 @@ void JobJournal::writer_loop() {
                      item.dump);
       }
       wrote = write_block(block, want_sync);
+    }
+    const double io_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      io_start)
+            .count();
+    if (batch_events_hist_ != nullptr) {
+      batch_events_hist_->observe(static_cast<double>(batch_events));
+      commit_seconds_hist_->observe(io_seconds);
+    }
+    if (events_ != nullptr && wrote.ok() && io_seconds >= kFsyncStallSeconds) {
+      events_->log(clock_->now(), telemetry::Severity::kWarn, "fsync_stall",
+                   "group commit took " + std::to_string(io_seconds) +
+                       " s for " + std::to_string(batch_events) +
+                       " event(s)");
     }
     lock.lock();
     if (!wrote.ok()) {

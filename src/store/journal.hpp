@@ -49,6 +49,7 @@
 #include "common/result.hpp"
 #include "quantum/payload.hpp"
 #include "store/records.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qcenv::store {
@@ -131,6 +132,11 @@ class JobJournal {
   /// The submit path pays one deque push, nothing more.
   std::uint64_t append_job_submitted(
       JobRecord meta, std::shared_ptr<const quantum::Payload> payload);
+
+  /// Structured-event sink for operator-facing incidents: group-commit
+  /// stalls ("fsync_stall") and the sticky fail-stop ("journal_fail_stop").
+  /// Call before open(); the log must outlive this journal.
+  void set_event_log(telemetry::EventLog* events) { events_ = events; }
 
   /// Blocks until every event appended so far is written AND fsynced.
   /// Errs once the journal has failed (see io_error()).
@@ -222,6 +228,13 @@ class JobJournal {
   telemetry::Counter* appends_counter_ = nullptr;
   telemetry::Counter* fsyncs_counter_ = nullptr;
   telemetry::Gauge* failed_gauge_ = nullptr;
+  // Group-commit writer instrumentation (observed off the hot path, on
+  // the writer thread): events per fsynced batch, and wall seconds per
+  // write+fsync cycle (real IO time — intentionally NOT the virtual
+  // clock, which cannot see disk stalls).
+  telemetry::HistogramMetric* batch_events_hist_ = nullptr;
+  telemetry::HistogramMetric* commit_seconds_hist_ = nullptr;
+  telemetry::EventLog* events_ = nullptr;
 
   std::string path_;
   int fd_ = -1;

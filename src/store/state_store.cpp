@@ -66,6 +66,7 @@ Result<RecoveredState> StateStore::open() {
   if (!recovered.ok()) return recovered.error();
 
   journal_ = std::make_unique<JobJournal>(options_.journal, clock_, metrics_);
+  journal_->set_event_log(events_);
   QCENV_RETURN_IF_ERROR(
       journal_->open(journal_path(), entries, prefix_bytes));
   // A snapshot watermark can outrun a freshly-truncated journal; never

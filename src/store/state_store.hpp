@@ -35,6 +35,7 @@
 #include "store/records.hpp"
 #include "store/recovery.hpp"
 #include "store/snapshot.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qcenv::store {
@@ -98,6 +99,11 @@ class StateStore {
   /// appending (new sequence numbers continue above everything replayed)
   /// and starts the compaction thread.
   common::Result<RecoveredState> open();
+
+  /// Routes journal incidents (fsync stalls, the fail-stop) into the
+  /// daemon's structured-event log. Call before open(); the log must
+  /// outlive this store.
+  void set_event_log(telemetry::EventLog* events) { events_ = events; }
 
   void set_snapshot_provider(SnapshotProvider provider);
 
@@ -164,6 +170,7 @@ class StateStore {
   StoreOptions options_;
   common::Clock* clock_;
   telemetry::MetricsRegistry* metrics_;
+  telemetry::EventLog* events_ = nullptr;
   std::unique_ptr<JobJournal> journal_;
 
   mutable std::mutex mutex_;

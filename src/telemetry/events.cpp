@@ -1,0 +1,82 @@
+#include "telemetry/events.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qcenv::telemetry {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "info";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t EventLog::log(common::TimeNs now, Severity severity,
+                            std::string kind, std::string message,
+                            std::string user, std::uint64_t job_id,
+                            std::uint64_t trace_id) {
+  std::scoped_lock lock(mutex_);
+  Event event;
+  event.seq = next_seq_++;
+  event.at = now;
+  event.severity = severity;
+  event.kind = std::move(kind);
+  event.message = std::move(message);
+  event.user = std::move(user);
+  event.job_id = job_id;
+  event.trace_id = trace_id;
+  const std::size_t slot = (event.seq - 1) % capacity_;
+  if (ring_.size() <= slot) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[slot] = std::move(event);
+  }
+  return next_seq_ - 1;
+}
+
+std::vector<Event> EventLog::since(std::uint64_t after_seq,
+                                   std::size_t max) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Event> out;
+  if (next_seq_ == 1) return out;
+  const std::uint64_t newest = next_seq_ - 1;
+  const std::uint64_t oldest =
+      newest >= capacity_ ? newest - capacity_ + 1 : 1;
+  std::uint64_t seq = std::max(after_seq + 1, oldest);
+  for (; seq <= newest && out.size() < max; ++seq) {
+    out.push_back(ring_[(seq - 1) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t EventLog::last_seq() const {
+  std::scoped_lock lock(mutex_);
+  return next_seq_ - 1;
+}
+
+common::Json EventLog::to_json(const Event& event) {
+  common::Json out = common::Json::object({
+      {"seq", event.seq},
+      {"at_ns", event.at},
+      {"severity", severity_name(event.severity)},
+      {"kind", event.kind},
+      {"message", event.message},
+  });
+  if (!event.user.empty()) out["user"] = event.user;
+  if (event.job_id != 0) out["job_id"] = event.job_id;
+  if (event.trace_id != 0) out["trace_id"] = event.trace_id;
+  return out;
+}
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,66 @@
+// Structured JSON event log: a bounded in-memory ring of operator-facing
+// events (submit rejections, failovers, slow jobs, journal fail-stop,
+// fsync stalls, session lifecycle) with severity/tenant/job/trace fields.
+//
+// Consumers tail it with since(seq): every event carries a monotonically
+// increasing sequence number, so `GET /admin/events?since=N` returns only
+// what the caller has not seen yet and survives ring eviction gracefully
+// (evicted events are simply absent). Timestamps are caller-supplied from
+// the injected common::Clock, so simtest event logs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+
+namespace qcenv::telemetry {
+
+enum class Severity { kInfo, kWarn, kError };
+
+const char* severity_name(Severity severity);
+
+struct Event {
+  std::uint64_t seq = 0;
+  common::TimeNs at = 0;
+  Severity severity = Severity::kInfo;
+  /// Machine-matchable kind: "submit_rejected", "failover", "slow_job",
+  /// "journal_fail_stop", "fsync_stall", ...
+  std::string kind;
+  std::string message;
+  std::string user;           // tenant, empty when not applicable
+  std::uint64_t job_id = 0;   // 0 when not job-scoped
+  std::uint64_t trace_id = 0;  // 0 when no trace correlates
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 4096);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends an event; returns its sequence number.
+  std::uint64_t log(common::TimeNs now, Severity severity, std::string kind,
+                    std::string message, std::string user = "",
+                    std::uint64_t job_id = 0, std::uint64_t trace_id = 0);
+
+  /// Events with seq > `after_seq`, oldest first, at most `max`.
+  std::vector<Event> since(std::uint64_t after_seq,
+                           std::size_t max = 256) const;
+  /// Sequence number of the newest event (0 when empty).
+  std::uint64_t last_seq() const;
+
+  static common::Json to_json(const Event& event);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace qcenv::telemetry

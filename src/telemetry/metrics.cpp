@@ -133,10 +133,21 @@ std::vector<MetricSample> MetricsRegistry::collect() const {
     }
     for (const auto& [key, histogram] : fam.histograms) {
       const auto snap = histogram->snapshot();
-      out.push_back(MetricSample{name + "_count", fam.label_sets.at(key),
+      const Labels& base = fam.label_sets.at(key);
+      // Per-bucket cumulative series, mirroring expose()'s _bucket lines.
+      for (std::size_t b = 0; b < snap.boundaries().size(); ++b) {
+        Labels with_le = base;
+        with_le["le"] = common::format("%g", snap.boundaries()[b]);
+        out.push_back(MetricSample{name + "_bucket", std::move(with_le),
+                                   static_cast<double>(snap.cumulative(b))});
+      }
+      Labels inf = base;
+      inf["le"] = "+Inf";
+      out.push_back(MetricSample{name + "_bucket", std::move(inf),
                                  static_cast<double>(snap.count())});
-      out.push_back(
-          MetricSample{name + "_sum", fam.label_sets.at(key), snap.sum()});
+      out.push_back(MetricSample{name + "_count", base,
+                                 static_cast<double>(snap.count())});
+      out.push_back(MetricSample{name + "_sum", base, snap.sum()});
     }
   }
   return out;

@@ -7,11 +7,16 @@
 // (increment/observe) is lock-free after first lookup.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -50,25 +55,63 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
-/// Histogram handle; observation is mutex-guarded (bucket vectors are not
-/// atomically updatable), still cheap at telemetry rates.
+/// Histogram handle; observation is lock-free. Counts live in
+/// cache-line-aligned stripes of relaxed atomics (stripe picked by a
+/// per-thread hash), so the submit hot path — 64 threads observing the
+/// same stage histogram — never serializes on a mutex the way a shared
+/// bucket vector would. snapshot() merges the stripes; it may miss an
+/// in-flight observation (count and sum are updated separately), which
+/// is fine at scrape granularity.
 class HistogramMetric {
  public:
   explicit HistogramMetric(std::vector<double> boundaries)
-      : histogram_(std::move(boundaries)) {}
+      : boundaries_(std::move(boundaries)) {
+    for (auto& stripe : stripes_) {
+      stripe.counts =
+          std::vector<std::atomic<std::uint64_t>>(boundaries_.size() + 1);
+    }
+  }
 
   void observe(double value) {
-    std::scoped_lock lock(mutex_);
-    histogram_.observe(value);
+    Stripe& stripe = stripes_[stripe_index()];
+    const auto it =
+        std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+    stripe.counts[static_cast<std::size_t>(it - boundaries_.begin())]
+        .fetch_add(1, std::memory_order_relaxed);
+    double sum = stripe.sum.load(std::memory_order_relaxed);
+    while (!stripe.sum.compare_exchange_weak(sum, sum + value,
+                                             std::memory_order_relaxed)) {
+    }
   }
+
   common::BucketHistogram snapshot() const {
-    std::scoped_lock lock(mutex_);
-    return histogram_;
+    std::vector<std::uint64_t> counts(boundaries_.size() + 1, 0);
+    double sum = 0;
+    for (const auto& stripe : stripes_) {
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        counts[i] += stripe.counts[i].load(std::memory_order_relaxed);
+      }
+      sum += stripe.sum.load(std::memory_order_relaxed);
+    }
+    common::BucketHistogram out(boundaries_);
+    out.merge_counts(counts, sum);
+    return out;
   }
 
  private:
-  mutable std::mutex mutex_;
-  common::BucketHistogram histogram_;
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<double> sum{0};
+  };
+  static std::size_t stripe_index() {
+    const thread_local std::size_t index =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+    return index;
+  }
+
+  std::vector<double> boundaries_;
+  std::array<Stripe, kStripes> stripes_;
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

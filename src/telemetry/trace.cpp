@@ -1,0 +1,269 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qcenv::telemetry {
+
+namespace {
+/// Hard cap on spans per trace; a multi-batch job cycles
+/// queue_wait/shard_dispatch/qrmi_execute per batch, so this allows ~40
+/// batches plus children before the trace degrades to "truncated".
+constexpr std::size_t kMaxSpansPerTrace = 256;
+constexpr std::size_t kMaxNotesPerTrace = 64;
+}  // namespace
+
+TraceStore::TraceStore(std::size_t capacity, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  if (capacity < shards) capacity = shards;
+  slots_per_shard_ = (capacity + shards - 1) / shards;
+  shards_ = std::vector<Shard>(shards);
+  for (auto& shard : shards_) {
+    shard.ring.resize(slots_per_shard_);
+  }
+}
+
+JobTrace* TraceStore::locate(Shard& shard, TraceId trace) const {
+  JobTrace& t = shard.ring[slot_for(trace)];
+  return t.trace_id == trace ? &t : nullptr;
+}
+
+TraceId TraceStore::begin(common::TimeNs now, std::string user,
+                          std::string stage, std::string detail) {
+  const TraceId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(id);
+  std::scoped_lock lock(shard.mutex);
+  // A freshly allocated id is the newest its slot has seen, so the claim
+  // cannot fail.
+  JobTrace* t = reset_slot_locked(shard, id, std::move(user), now);
+  t->spans.push_back(
+      TraceSpan{std::move(stage), std::move(detail), now, -1, 0});
+  return id;
+}
+
+void TraceStore::bind_job(TraceId trace, std::uint64_t job_id) {
+  if (trace == 0) return;
+  Shard& shard = shard_for(trace);
+  std::scoped_lock lock(shard.mutex);
+  if (JobTrace* t = locate(shard, trace)) t->job_id = job_id;
+}
+
+namespace {
+
+/// Closes the open top-level span (always the last depth-0 one). Caller
+/// holds the shard mutex.
+std::optional<ClosedSpan> close_open_stage(JobTrace& t, common::TimeNs now) {
+  for (auto it = t.spans.rbegin(); it != t.spans.rend(); ++it) {
+    if (it->depth == 0) {
+      if (it->end < 0) {
+        it->end = now;
+        return ClosedSpan{it->stage, it->detail, now - it->start};
+      }
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ClosedSpan> enter_locked(JobTrace& t, common::TimeNs now,
+                                       std::string stage,
+                                       std::string detail) {
+  std::optional<ClosedSpan> closed = close_open_stage(t, now);
+  if (t.spans.size() >= kMaxSpansPerTrace) {
+    ++t.dropped_spans;
+    return closed;
+  }
+  t.spans.push_back(
+      TraceSpan{std::move(stage), std::move(detail), now, -1, 0});
+  return closed;
+}
+
+}  // namespace
+
+std::optional<ClosedSpan> TraceStore::enter(TraceId trace, common::TimeNs now,
+                                            std::string stage,
+                                            std::string detail) {
+  if (trace == 0) return std::nullopt;
+  Shard& shard = shard_for(trace);
+  std::scoped_lock lock(shard.mutex);
+  JobTrace* t = locate(shard, trace);
+  if (t == nullptr || t->finish >= 0) return std::nullopt;
+  return enter_locked(*t, now, std::move(stage), std::move(detail));
+}
+
+JobTrace* TraceStore::reset_slot_locked(Shard& shard, TraceId trace,
+                                        std::string user,
+                                        common::TimeNs start) {
+  JobTrace& t = shard.ring[slot_for(trace)];
+  // A newer trace already cycled through this slot: this trace was
+  // evicted before it materialized; do not resurrect it over live data.
+  if (t.trace_id > trace) return nullptr;
+  t.trace_id = trace;
+  t.job_id = 0;
+  t.user = std::move(user);
+  t.start = start;
+  t.finish = -1;
+  t.dropped_spans = 0;
+  t.spans.clear();
+  t.notes.clear();
+  return &t;
+}
+
+void TraceStore::materialize_submit(TraceId trace, std::uint64_t job_id,
+                                    std::string user,
+                                    common::TimeNs admission_start,
+                                    common::TimeNs journal_start,
+                                    common::TimeNs queue_start,
+                                    std::string queue_detail) {
+  if (trace == 0) return;
+  Shard& shard = shard_for(trace);
+  std::scoped_lock lock(shard.mutex);
+  JobTrace* t =
+      reset_slot_locked(shard, trace, std::move(user), admission_start);
+  if (t == nullptr) return;
+  t->job_id = job_id;
+  const bool journalled = journal_start >= 0;
+  t->spans.push_back(TraceSpan{"admission", "", admission_start,
+                               journalled ? journal_start : queue_start, 0});
+  if (journalled) {
+    t->spans.push_back(
+        TraceSpan{"journal_append", "", journal_start, queue_start, 0});
+  }
+  t->spans.push_back(
+      TraceSpan{"queue_wait", std::move(queue_detail), queue_start, -1, 0});
+}
+
+void TraceStore::record_rejected(TraceId trace, std::string user,
+                                 common::TimeNs start,
+                                 common::TimeNs finish) {
+  if (trace == 0) return;
+  Shard& shard = shard_for(trace);
+  std::scoped_lock lock(shard.mutex);
+  JobTrace* t = reset_slot_locked(shard, trace, std::move(user), start);
+  if (t == nullptr) return;
+  t->spans.push_back(TraceSpan{"admission", "", start, finish, 0});
+  t->finish = finish;
+}
+
+void TraceStore::child(TraceId trace, std::string stage, common::TimeNs start,
+                       common::TimeNs end, std::string detail) {
+  if (trace == 0) return;
+  Shard& shard = shard_for(trace);
+  std::scoped_lock lock(shard.mutex);
+  JobTrace* t = locate(shard, trace);
+  if (t == nullptr) return;
+  if (t->spans.size() >= kMaxSpansPerTrace) {
+    ++t->dropped_spans;
+    return;
+  }
+  t->spans.push_back(
+      TraceSpan{std::move(stage), std::move(detail), start, end, 1});
+}
+
+void TraceStore::annotate(TraceId trace, common::TimeNs now,
+                          std::string text) {
+  if (trace == 0) return;
+  Shard& shard = shard_for(trace);
+  std::scoped_lock lock(shard.mutex);
+  JobTrace* t = locate(shard, trace);
+  if (t == nullptr || t->notes.size() >= kMaxNotesPerTrace) return;
+  t->notes.push_back(TraceNote{now, std::move(text)});
+}
+
+std::optional<ClosedSpan> TraceStore::finish(TraceId trace,
+                                             common::TimeNs now) {
+  if (trace == 0) return std::nullopt;
+  Shard& shard = shard_for(trace);
+  std::scoped_lock lock(shard.mutex);
+  JobTrace* t = locate(shard, trace);
+  if (t == nullptr || t->finish >= 0) return std::nullopt;
+  std::optional<ClosedSpan> closed = close_open_stage(*t, now);
+  t->finish = now;
+  return closed;
+}
+
+std::optional<JobTrace> TraceStore::find(TraceId trace) const {
+  if (trace == 0) return std::nullopt;
+  const Shard& shard = shard_for(trace);
+  std::scoped_lock lock(shard.mutex);
+  const JobTrace& t = shard.ring[slot_for(trace)];
+  if (t.trace_id != trace) return std::nullopt;
+  return t;
+}
+
+common::Json TraceStore::to_json(const JobTrace& trace) {
+  common::Json spans = common::Json::array();
+  for (const auto& span : trace.spans) {
+    common::Json s = common::Json::object({
+        {"stage", span.stage},
+        {"start_ns", span.start},
+        {"depth", span.depth},
+    });
+    if (span.end >= 0) {
+      s["end_ns"] = span.end;
+      s["duration_ns"] = span.end - span.start;
+    }
+    if (!span.detail.empty()) s["detail"] = span.detail;
+    spans.push_back(std::move(s));
+  }
+  common::Json notes = common::Json::array();
+  for (const auto& note : trace.notes) {
+    notes.push_back(common::Json::object(
+        {{"at_ns", note.at}, {"text", note.text}}));
+  }
+  common::Json out = common::Json::object({
+      {"trace_id", trace.trace_id},
+      {"job_id", trace.job_id},
+      {"user", trace.user},
+      {"start_ns", trace.start},
+      {"spans", std::move(spans)},
+      {"notes", std::move(notes)},
+  });
+  if (trace.finish >= 0) {
+    out["finish_ns"] = trace.finish;
+    out["duration_ns"] = trace.finish - trace.start;
+  }
+  if (trace.dropped_spans > 0) out["dropped_spans"] = trace.dropped_spans;
+  return out;
+}
+
+std::string trace_nesting_error(const JobTrace& trace) {
+  if (trace.dropped_spans > 0) return "";  // truncated traces are exempt
+  if (trace.finish < 0) return "trace not finished";
+  common::TimeNs cursor = trace.start;
+  common::DurationNs stage_sum = 0;
+  bool any_stage = false;
+  for (const auto& span : trace.spans) {
+    if (span.depth != 0) continue;
+    any_stage = true;
+    if (span.end < 0) return "open top-level span '" + span.stage + "'";
+    if (span.start != cursor) {
+      return "gap/overlap before span '" + span.stage + "'";
+    }
+    if (span.end < span.start) return "negative span '" + span.stage + "'";
+    stage_sum += span.end - span.start;
+    cursor = span.end;
+  }
+  if (!any_stage) return "trace has no top-level spans";
+  if (cursor != trace.finish) {
+    return "stages end before trace finish";
+  }
+  if (stage_sum != trace.finish - trace.start) {
+    return "stage durations do not sum to trace duration";
+  }
+  for (const auto& span : trace.spans) {
+    if (span.depth == 0) continue;
+    if (span.end < span.start) return "negative child '" + span.stage + "'";
+    const bool contained = std::any_of(
+        trace.spans.begin(), trace.spans.end(), [&](const TraceSpan& top) {
+          return top.depth == 0 && top.start <= span.start &&
+                 span.end <= top.end;
+        });
+    if (!contained) {
+      return "child '" + span.stage + "' outside any top-level span";
+    }
+  }
+  return "";
+}
+
+}  // namespace qcenv::telemetry

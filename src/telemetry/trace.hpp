@@ -1,0 +1,169 @@
+// Per-job distributed-style tracing for the submit→dispatch→QRMI pipeline.
+//
+// Every submission is assigned a TraceId at admission time and accumulates
+// a flat vector of spans as it moves through the daemon. Top-level spans
+// (depth 0) follow a stage-machine discipline: enter() closes the currently
+// open stage and opens the next one at the same instant, so the top-level
+// spans of a finished trace exactly partition [start, finish] — which is
+// what lets simtest assert "stages sum to observed latency" as an exact
+// equality rather than a tolerance check. Child spans (depth 1, e.g. the
+// QRMI poll loop inside `qrmi_execute`) are recorded already-closed and
+// nest inside whatever top-level span covers their interval.
+//
+// Storage is a lock-sharded bounded ring: begin/enter/child/annotate/finish
+// are O(1) (one shard mutex, one slot write), old traces are evicted by
+// slot reuse, and nothing allocates past the per-trace span cap. All
+// timestamps are caller-supplied (taken from the injected common::Clock),
+// so simtest virtual time yields bit-identical traces across replays.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+
+namespace qcenv::telemetry {
+
+using TraceId = std::uint64_t;
+
+/// One span. `end < 0` means still open (only ever the last depth-0 span).
+struct TraceSpan {
+  std::string stage;
+  std::string detail;  // resource/lane/shard annotation, free-form
+  common::TimeNs start = 0;
+  common::TimeNs end = -1;
+  int depth = 0;  // 0 = pipeline stage, 1 = nested (qrmi_poll, ...)
+};
+
+/// A timestamped free-form note (failover, requeue, give-up...).
+struct TraceNote {
+  common::TimeNs at = 0;
+  std::string text;
+};
+
+struct JobTrace {
+  TraceId trace_id = 0;
+  std::uint64_t job_id = 0;  // 0 until bound to a dispatcher job
+  std::string user;
+  common::TimeNs start = 0;
+  common::TimeNs finish = -1;  // -1 while in flight
+  std::vector<TraceSpan> spans;
+  std::vector<TraceNote> notes;
+  /// Spans discarded once the per-trace cap was hit; a nonzero value tells
+  /// consumers the partition property no longer holds for this trace.
+  std::uint32_t dropped_spans = 0;
+};
+
+/// What enter()/finish() just closed, so call sites can feed per-stage
+/// latency histograms without a second lookup.
+struct ClosedSpan {
+  std::string stage;
+  std::string detail;
+  common::DurationNs duration = 0;
+};
+
+class TraceStore {
+ public:
+  /// `capacity` is the total number of live traces retained (rounded up to
+  /// a multiple of `shards`); the oldest trace in a shard is evicted when
+  /// its ring wraps. Shards exist purely to spread lock traffic: trace ids
+  /// are sequential, so N concurrent submitters hit shards round-robin —
+  /// the default is sized so a 64-thread submit storm rarely collides.
+  explicit TraceStore(std::size_t capacity = 4096, std::size_t shards = 64);
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Allocates a trace id WITHOUT touching any shard — one relaxed
+  /// fetch_add. This is the only TraceStore call on the submit hot path:
+  /// span construction is deferred to materialize_submit(), which runs at
+  /// first claim/finish/read (or record_rejected() on the rejection
+  /// path), so admission-limited throughput pays no lock and no trace
+  /// memory traffic.
+  TraceId allocate() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Materializes an allocate()d trace's submit-side timeline in one
+  /// call: admission [admission_start, journal_start], journal_append
+  /// [journal_start, queue_start], and queue_wait left open at
+  /// `queue_start`. A negative `journal_start` means no durable store —
+  /// admission closes at `queue_start` and the journal stage is skipped.
+  /// A no-op when the slot was already claimed by a newer trace (this
+  /// trace was evicted before it materialized).
+  void materialize_submit(TraceId trace, std::uint64_t job_id,
+                          std::string user, common::TimeNs admission_start,
+                          common::TimeNs journal_start,
+                          common::TimeNs queue_start,
+                          std::string queue_detail);
+  /// Materializes + finishes an allocate()d trace for a submission that
+  /// never reached the queue: one admission span [start, finish].
+  void record_rejected(TraceId trace, std::string user, common::TimeNs start,
+                       common::TimeNs finish);
+  /// Allocates a trace and opens its first top-level span (the eager
+  /// path: restore-time `lost` traces and tests).
+  TraceId begin(common::TimeNs now, std::string user, std::string stage,
+                std::string detail = "");
+  /// Records the dispatcher job id once it exists (after begin()).
+  void bind_job(TraceId trace, std::uint64_t job_id);
+  /// Closes the open top-level span at `now` and opens `stage`. Returns
+  /// the span that was closed (absent for unknown/evicted traces).
+  std::optional<ClosedSpan> enter(TraceId trace, common::TimeNs now,
+                                  std::string stage, std::string detail = "");
+  /// Appends an already-closed child span (depth 1) under the open stage.
+  void child(TraceId trace, std::string stage, common::TimeNs start,
+             common::TimeNs end, std::string detail = "");
+  /// Appends a timestamped note (failover, requeue, ...).
+  void annotate(TraceId trace, common::TimeNs now, std::string text);
+  /// Closes the open span and the trace itself at `now`.
+  std::optional<ClosedSpan> finish(TraceId trace, common::TimeNs now);
+
+  /// Copies a trace out (absent if never created or already evicted).
+  std::optional<JobTrace> find(TraceId trace) const;
+
+  /// Per-job timeline JSON for `GET /v1/jobs/:id/trace` and artifacts.
+  static common::Json to_json(const JobTrace& trace);
+
+ private:
+  /// Cache-line aligned so neighbouring shard mutexes never false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::vector<JobTrace> ring;
+  };
+
+  Shard& shard_for(TraceId trace) { return shards_[trace % shards_.size()]; }
+  const Shard& shard_for(TraceId trace) const {
+    return shards_[trace % shards_.size()];
+  }
+  /// Trace ids are allocated sequentially, so a trace's ring slot is pure
+  /// arithmetic — no per-shard index map on the hot path. A slot whose
+  /// occupant id differs has been reused: the trace was evicted.
+  std::size_t slot_for(TraceId trace) const {
+    return (trace / shards_.size()) % slots_per_shard_;
+  }
+  /// Looks a trace up in its shard; nullptr when evicted. Caller holds the
+  /// shard mutex.
+  JobTrace* locate(Shard& shard, TraceId trace) const;
+  /// Claims `trace`'s ring slot and resets it for reuse (keeping vector
+  /// capacity, so steady-state trace creation is alloc-free). Returns
+  /// nullptr when a newer trace already occupies the slot. Caller holds
+  /// the shard mutex.
+  JobTrace* reset_slot_locked(Shard& shard, TraceId trace, std::string user,
+                              common::TimeNs start);
+
+  std::vector<Shard> shards_;
+  std::size_t slots_per_shard_;
+  std::atomic<TraceId> next_id_{1};
+};
+
+/// Checks the structural invariant exposed to simtest: a finished trace's
+/// top-level spans are closed, contiguous and exactly partition
+/// [start, finish], and every child span nests inside a top-level span.
+/// Returns an empty string when well-nested, else a human-readable reason.
+std::string trace_nesting_error(const JobTrace& trace);
+
+}  // namespace qcenv::telemetry

@@ -1,6 +1,8 @@
 // Sessions, admission, dispatcher and the full REST daemon over loopback.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "daemon/daemon.hpp"
 #include "net/http_client.hpp"
 #include "qpu/controller.hpp"
@@ -413,6 +415,162 @@ TEST_F(DaemonFixture, DeviceEndpointServesSpec) {
       quantum::DeviceSpec::from_json(Json::parse(device.value().body).value());
   ASSERT_TRUE(spec.ok());
   EXPECT_TRUE(spec.value().supports_digital);
+}
+
+TEST_F(DaemonFixture, TraceEndpointShowsWellNestedTimeline) {
+  const std::string token = open_session("alice", "test");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(30).to_json();
+  auto submitted = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted.value().status, 201) << submitted.value().body;
+  const auto parsed = Json::parse(submitted.value().body).value();
+  const auto job_id = parsed.get_int("job_id").value();
+  // Accepted submissions echo their trace id for correlation.
+  EXPECT_GT(parsed.get_int("trace_id").value_or(0), 0);
+
+  auto samples = daemon_->dispatcher().wait(job_id);
+  ASSERT_TRUE(samples.ok());
+
+  auto traced = authed.get("/v1/jobs/" + std::to_string(job_id) + "/trace");
+  ASSERT_TRUE(traced.ok());
+  ASSERT_EQ(traced.value().status, 200) << traced.value().body;
+  const auto timeline = Json::parse(traced.value().body).value();
+  EXPECT_EQ(timeline.at_or_null("job_id").as_int(), job_id);
+  EXPECT_TRUE(timeline.contains("finish_ns"));
+  const Json& spans = timeline.at_or_null("spans");
+  ASSERT_TRUE(spans.is_array());
+  std::vector<std::string> stages;
+  for (const Json& span : spans.as_array()) {
+    stages.push_back(span.at_or_null("stage").as_string());
+  }
+  const auto has = [&](const char* stage) {
+    return std::find(stages.begin(), stages.end(), stage) != stages.end();
+  };
+  EXPECT_TRUE(has("admission")) << traced.value().body;
+  EXPECT_TRUE(has("queue_wait")) << traced.value().body;
+  EXPECT_TRUE(has("shard_dispatch")) << traced.value().body;
+  EXPECT_TRUE(has("qrmi_execute")) << traced.value().body;
+  // Every span of the finished timeline is closed (duration recorded).
+  for (const Json& span : spans.as_array()) {
+    EXPECT_TRUE(span.contains("duration_ns")) << traced.value().body;
+  }
+}
+
+TEST_F(DaemonFixture, TraceEndpointMaterializesQueuedJobsMidFlight) {
+  // Park the lanes so the job stays queued: its deferred trace must still
+  // be readable (materialized on demand by the read itself).
+  daemon_->dispatcher().drain();
+  const std::string token = open_session("bob", "test");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(30).to_json();
+  auto submitted = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted.value().status, 201);
+  const auto job_id =
+      Json::parse(submitted.value().body).value().get_int("job_id").value();
+
+  auto traced = authed.get("/v1/jobs/" + std::to_string(job_id) + "/trace");
+  ASSERT_TRUE(traced.ok());
+  ASSERT_EQ(traced.value().status, 200) << traced.value().body;
+  const auto timeline = Json::parse(traced.value().body).value();
+  EXPECT_FALSE(timeline.contains("finish_ns"));
+  const Json& spans = timeline.at_or_null("spans");
+  ASSERT_TRUE(spans.is_array());
+  ASSERT_GT(spans.size(), 0u);
+  // The open stage of a queued job is queue_wait.
+  const Json& last = spans.as_array().back();
+  EXPECT_EQ(last.at_or_null("stage").as_string(), "queue_wait");
+  EXPECT_FALSE(last.contains("end_ns"));
+  daemon_->dispatcher().resume();
+}
+
+TEST_F(DaemonFixture, RejectedSubmissionCarriesTraceIdInErrorBody) {
+  const std::string token = open_session("carol", "development");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(100000).to_json();  // over dev quota
+  auto rejected = authed.post("/v1/jobs", body.dump());
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().status, 400);
+  const auto parsed = Json::parse(rejected.value().body).value();
+  // The error body names the trace that explains the rejection...
+  const auto trace_id = parsed.get_int("trace_id").value_or(0);
+  EXPECT_GT(trace_id, 0);
+  // ...and that trace exists, finished, with its admission span closed.
+  ASSERT_NE(daemon_->traces(), nullptr);
+  const auto trace =
+      daemon_->traces()->find(static_cast<telemetry::TraceId>(trace_id));
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_GE(trace->finish, 0);
+  ASSERT_EQ(trace->spans.size(), 1u);
+  EXPECT_EQ(trace->spans[0].stage, "admission");
+}
+
+TEST_F(DaemonFixture, AdminEventsTailsStructuredLog) {
+  net::HttpClient admin(client_->port());
+  admin.set_default_header("X-Admin-Key", "root");
+  // Unauthenticated and non-admin callers are refused.
+  EXPECT_EQ(client_->get("/admin/events").value().status, 401);
+
+  const std::string token = open_session("dave", "development");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(100000).to_json();  // force a rejection
+  ASSERT_EQ(authed.post("/v1/jobs", body.dump()).value().status, 400);
+
+  auto events = admin.get("/admin/events?since=0");
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.value().status, 200);
+  const auto parsed = Json::parse(events.value().body).value();
+  const Json& list = parsed.at_or_null("events");
+  ASSERT_TRUE(list.is_array());
+  bool saw_rejection = false;
+  for (const Json& event : list.as_array()) {
+    if (event.at_or_null("kind").as_string() == "submit_rejected") {
+      saw_rejection = true;
+      EXPECT_EQ(event.at_or_null("user").as_string(), "dave");
+    }
+  }
+  EXPECT_TRUE(saw_rejection) << events.value().body;
+  // Tailing from last_seq returns nothing new.
+  const auto last_seq = parsed.at_or_null("last_seq").as_int();
+  auto tail = admin.get("/admin/events?since=" + std::to_string(last_seq));
+  ASSERT_EQ(tail.value().status, 200);
+  EXPECT_EQ(Json::parse(tail.value().body).value().at_or_null("events").size(),
+            0u);
+}
+
+TEST_F(DaemonFixture, MetricsExposeStageHistogramsWithPrometheusType) {
+  const std::string token = open_session("erin", "test");
+  net::HttpClient authed(client_->port());
+  authed.set_default_header("X-Session-Token", token);
+  Json body = Json::object();
+  body["payload"] = small_payload(30).to_json();
+  auto submitted = authed.post("/v1/jobs", body.dump());
+  ASSERT_EQ(submitted.value().status, 201);
+  const auto job_id =
+      Json::parse(submitted.value().body).value().get_int("job_id").value();
+  ASSERT_TRUE(daemon_->dispatcher().wait(job_id).ok());
+
+  auto metrics = client_->get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics.value().status, 200);
+  const auto content_type = metrics.value().headers.find("Content-Type");
+  ASSERT_NE(content_type, metrics.value().headers.end());
+  EXPECT_EQ(content_type->second, "text/plain; version=0.0.4");
+  // Per-stage latency histograms with cumulative le buckets.
+  EXPECT_NE(metrics.value().body.find("daemon_stage_seconds_bucket{"),
+            std::string::npos);
+  EXPECT_NE(metrics.value().body.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(metrics.value().body.find("daemon_stage_seconds_count"),
+            std::string::npos);
 }
 
 TEST_F(DaemonFixture, AdminEndpointsRequireKey) {

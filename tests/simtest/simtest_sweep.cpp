@@ -6,6 +6,7 @@
 //   simtest_sweep --seeds 2000 --first 1000    # nightly range
 //   --verbose                                  # per-seed summary lines
 //   --artifact FILE                            # append failures for CI
+//   --trace        # dump event log + per-job traces for failing seeds
 //
 // Exit status 0 iff every seed upholds every invariant. A failure prints
 // the seed, its expanded fault schedule and each violated invariant — the
@@ -23,7 +24,7 @@ namespace {
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seeds N] [--first N] [--seed N] [--quick] [--full]\n"
-               "       [--verbose] [--artifact FILE]\n";
+               "       [--verbose] [--artifact FILE] [--trace]\n";
 }
 
 }  // namespace
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
       options.verbose = true;
     } else if (arg == "--artifact") {
       options.artifact_path = value();
+    } else if (arg == "--trace") {
+      options.trace = true;
     } else {
       usage(argv[0]);
       return 2;

@@ -65,8 +65,16 @@ TEST(Metrics, CollectFlattensSamples) {
   registry.gauge("b", {{"x", "1"}}).set(2);
   registry.histogram("c", {1.0}).observe(0.5);
   const auto samples = registry.collect();
-  // a, b, c_count, c_sum.
-  EXPECT_EQ(samples.size(), 4u);
+  // a, b, c_count, c_sum, and one c_bucket per le (1, +Inf).
+  EXPECT_EQ(samples.size(), 6u);
+  bool saw_bucket = false;
+  for (const auto& sample : samples) {
+    if (sample.name == "c_bucket" && sample.labels.count("le") > 0) {
+      saw_bucket = true;
+      EXPECT_DOUBLE_EQ(sample.value, 1.0);  // cumulative: 0.5 <= every le
+    }
+  }
+  EXPECT_TRUE(saw_bucket);
 }
 
 TEST(Metrics, LabelFormatting) {

@@ -1,0 +1,197 @@
+// Job tracing (TraceStore), the structured event log, and the lock-free
+// striped histogram behind the per-stage latency metrics.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qcenv::telemetry {
+namespace {
+
+using common::kSecond;
+
+TEST(TraceStoreTest, EagerLifecycleIsWellNested) {
+  TraceStore store(64, 4);
+  const TraceId id = store.begin(0, "alice", "admission");
+  ASSERT_NE(id, 0u);
+  store.bind_job(id, 42);
+  auto closed = store.enter(id, 2, "queue_wait", "shard=1");
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->stage, "admission");
+  EXPECT_EQ(closed->duration, 2);
+  (void)store.enter(id, 5, "qrmi_execute");
+  store.child(id, "qrmi_poll", 6, 8, "polls=3");
+  store.annotate(id, 9, "note");
+  auto last = store.finish(id, 10);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->stage, "qrmi_execute");
+
+  const auto trace = store.find(id);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->job_id, 42u);
+  EXPECT_EQ(trace->user, "alice");
+  EXPECT_EQ(trace->finish, 10);
+  ASSERT_EQ(trace->notes.size(), 1u);
+  EXPECT_EQ(trace_nesting_error(*trace), "");
+}
+
+TEST(TraceStoreTest, DeferredMaterializationBuildsSubmitTimeline) {
+  TraceStore store(64, 4);
+  const TraceId id = store.allocate();
+  ASSERT_NE(id, 0u);
+  // Nothing exists until materialization — the hot path only allocated.
+  EXPECT_FALSE(store.find(id).has_value());
+  store.materialize_submit(id, 7, "bob", /*admission_start=*/10,
+                           /*journal_start=*/13, /*queue_start=*/19,
+                           "shard=2");
+  const auto trace = store.find(id);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->job_id, 7u);
+  ASSERT_EQ(trace->spans.size(), 3u);
+  EXPECT_EQ(trace->spans[0].stage, "admission");
+  EXPECT_EQ(trace->spans[0].start, 10);
+  EXPECT_EQ(trace->spans[0].end, 13);
+  EXPECT_EQ(trace->spans[1].stage, "journal_append");
+  EXPECT_EQ(trace->spans[1].end, 19);
+  EXPECT_EQ(trace->spans[2].stage, "queue_wait");
+  EXPECT_EQ(trace->spans[2].end, -1);  // still open
+  // Finishing closes the open queue_wait and yields a well-nested tree.
+  (void)store.finish(id, 25);
+  EXPECT_EQ(trace_nesting_error(*store.find(id)), "");
+}
+
+TEST(TraceStoreTest, MaterializeWithoutStoreSkipsJournalStage) {
+  TraceStore store(64, 4);
+  const TraceId id = store.allocate();
+  store.materialize_submit(id, 1, "carol", 10, /*journal_start=*/-1, 15, "");
+  const auto trace = store.find(id);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->spans.size(), 2u);
+  EXPECT_EQ(trace->spans[0].stage, "admission");
+  EXPECT_EQ(trace->spans[0].end, 15);
+  EXPECT_EQ(trace->spans[1].stage, "queue_wait");
+}
+
+TEST(TraceStoreTest, RejectedSubmissionIsFinishedAdmissionOnly) {
+  TraceStore store(64, 4);
+  const TraceId id = store.allocate();
+  store.record_rejected(id, "dave", 5, 9);
+  const auto trace = store.find(id);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->finish, 9);
+  ASSERT_EQ(trace->spans.size(), 1u);
+  EXPECT_EQ(trace->spans[0].stage, "admission");
+  EXPECT_EQ(trace_nesting_error(*trace), "");
+}
+
+TEST(TraceStoreTest, RingEvictsOldestAndNeverResurrectsIt) {
+  // 1 shard x 2 slots: the third trace reuses the first trace's slot.
+  TraceStore store(2, 1);
+  const TraceId a = store.begin(0, "u", "admission");
+  const TraceId b = store.begin(1, "u", "admission");
+  const TraceId c = store.begin(2, "u", "admission");
+  EXPECT_FALSE(store.find(a).has_value());  // evicted by c
+  EXPECT_TRUE(store.find(b).has_value());
+  EXPECT_TRUE(store.find(c).has_value());
+  // Operations on the evicted trace must not corrupt the slot's new owner.
+  (void)store.enter(a, 3, "queue_wait");
+  store.materialize_submit(a, 9, "u", 0, -1, 1, "");
+  const auto current = store.find(c);
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->trace_id, c);
+  ASSERT_EQ(current->spans.size(), 1u);
+  EXPECT_EQ(current->spans[0].stage, "admission");
+}
+
+TEST(TraceStoreTest, NestingValidatorFlagsBrokenTimelines) {
+  TraceStore store(64, 4);
+  const TraceId open = store.begin(0, "u", "admission");
+  const auto unfinished = store.find(open);
+  ASSERT_TRUE(unfinished.has_value());
+  EXPECT_NE(trace_nesting_error(*unfinished), "");
+
+  // A gap between stages breaks the partition property.
+  JobTrace gapped;
+  gapped.trace_id = 1;
+  gapped.start = 0;
+  gapped.finish = 10;
+  gapped.spans.push_back(TraceSpan{"admission", "", 0, 4, 0});
+  gapped.spans.push_back(TraceSpan{"queue_wait", "", 6, 10, 0});
+  EXPECT_NE(trace_nesting_error(gapped), "");
+
+  // A child outside every top-level span is flagged.
+  JobTrace stray;
+  stray.trace_id = 2;
+  stray.start = 0;
+  stray.finish = 10;
+  stray.spans.push_back(TraceSpan{"admission", "", 0, 10, 0});
+  stray.spans.push_back(TraceSpan{"qrmi_poll", "", 8, 20, 1});
+  EXPECT_NE(trace_nesting_error(stray), "");
+}
+
+TEST(TraceStoreTest, JsonCarriesSpansNotesAndDuration) {
+  TraceStore store(64, 4);
+  const TraceId id = store.begin(0, "erin", "admission");
+  store.annotate(id, 1, "failover: emu0 -> emu1");
+  (void)store.finish(id, 4);
+  const auto json = TraceStore::to_json(*store.find(id));
+  EXPECT_EQ(json.at_or_null("user").as_string(), "erin");
+  EXPECT_EQ(json.at_or_null("duration_ns").as_int(), 4);
+  EXPECT_EQ(json.at_or_null("spans").size(), 1u);
+  EXPECT_EQ(json.at_or_null("notes").size(), 1u);
+}
+
+TEST(EventLogTest, SinceTailsOnlyUnseenEvents) {
+  EventLog log(16);
+  const auto first = log.log(0, Severity::kInfo, "job_submitted", "m", "u", 1);
+  (void)log.log(1, Severity::kWarn, "failover", "m2", "u", 1);
+  const auto events = log.since(first);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, "failover");
+  EXPECT_EQ(log.since(log.last_seq()).size(), 0u);
+}
+
+TEST(EventLogTest, RingDropsOldestButKeepsSequenceNumbers) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    (void)log.log(i, Severity::kInfo, "k", std::to_string(i));
+  }
+  const auto events = log.since(0, 100);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().message, "6");  // oldest surviving
+  EXPECT_EQ(events.back().seq, log.last_seq());
+}
+
+TEST(StripedHistogramTest, ConcurrentObservationsMergeExactly) {
+  MetricsRegistry registry;
+  auto& hist = registry.histogram("stage_seconds", {0.001, 0.1, 1.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) hist.observe(0.01);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto merged = hist.snapshot();
+  EXPECT_EQ(merged.count(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_NEAR(merged.sum(), 0.01 * kThreads * kPerThread, 1e-6);
+  // The merged snapshot reaches Prometheus exposition with cumulative
+  // buckets: everything landed in le="0.1" and above.
+  const std::string text = registry.expose();
+  EXPECT_NE(text.find("stage_seconds_bucket{le=\"0.001\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_seconds_bucket{le=\"0.1\"} 8000"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_seconds_bucket{le=\"+Inf\"} 8000"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qcenv::telemetry
