@@ -5,12 +5,20 @@
 //   (b) drift-detection scenario: inject a calibration drift episode into a
 //       simulated telemetry stream; report detection latency and false
 //       positives for EWMA and CUSUM across 60 seeds.
+//   (c) scrape-pipeline ingest: registry -> collector -> TSDB points/s and
+//       line-protocol parse throughput, with acceptance gates.
+//
+// --quick (the CI bench-smoke mode) skips the google-benchmark micros and
+// runs (b)+(c) on shrunken workloads; the exit code enforces the gates.
+#include <chrono>
 #include <cstdio>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "telemetry/collector.hpp"
 #include "telemetry/drift.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/tsdb.hpp"
@@ -104,6 +112,84 @@ std::pair<int, bool> drift_episode(Detector detector, double drift_size,
   return {-1, false};  // missed
 }
 
+/// The scrape hot path end to end: a registry the size of a busy daemon's
+/// (gauges + counters across lanes) pulled through MetricsCollector into a
+/// retention-capped TSDB at grid deadlines. Returns points/s ingested.
+double bench_scrape_ingest(int scrapes, int metrics) {
+  telemetry::MetricsRegistry registry;
+  for (int i = 0; i < metrics; ++i) {
+    registry
+        .gauge("scrape_gauge_" + std::to_string(i),
+               {{"lane", std::to_string(i % 8)}})
+        .set(static_cast<double>(i));
+  }
+  telemetry::TimeSeriesDb tsdb(4096);
+  common::ManualClock clock(0);
+  telemetry::CollectorOptions options;
+  options.interval = common::kMillisecond;
+  telemetry::MetricsCollector collector(&registry, &tsdb, &clock, options);
+  std::uint64_t points = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int s = 1; s <= scrapes; ++s) {
+    points += collector.scrape_at(static_cast<common::TimeNs>(s) *
+                                  common::kMillisecond);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(points) / seconds;
+}
+
+/// Line-protocol ingest (the export/import path): parse + insert.
+double bench_line_ingest(int lines) {
+  std::vector<std::string> batch;
+  batch.reserve(lines);
+  for (int i = 0; i < lines; ++i) {
+    batch.push_back("queue_depth,lane=lane" + std::to_string(i % 8) +
+                    " value=" + std::to_string(i % 100) + " " +
+                    std::to_string(static_cast<long long>(i) * 1'000'000));
+  }
+  telemetry::TimeSeriesDb tsdb(1 << 20);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& line : batch) {
+    if (!tsdb.write_line(line).ok()) return 0;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(lines) / seconds;
+}
+
+/// Returns true iff every acceptance gate holds.
+bool ingest_throughput(bool quick) {
+  print_title("E5c | scrape-pipeline ingest throughput");
+  const int scrapes = quick ? 2'000 : 20'000;
+  const int lines = quick ? 200'000 : 2'000'000;
+  const double scrape_points_s = bench_scrape_ingest(scrapes, 128);
+  const double line_points_s = bench_line_ingest(lines);
+  std::printf("scrape ingest (registry->collector->tsdb): %.0f points/s "
+              "(%d scrapes x 128 metrics)\n",
+              scrape_points_s, scrapes);
+  std::printf("line-protocol ingest (parse+insert):       %.0f lines/s "
+              "(%d lines)\n",
+              line_points_s, lines);
+  // Gates sit ~35x under measured Release dev-box rates and ~4x under
+  // Debug (CI's smoke step runs both): they catch accidental O(n)
+  // regressions in the scrape path, not machine variance.
+  bool ok = true;
+  if (scrape_points_s < 100'000) {
+    std::printf("FAIL: scrape ingest %.0f points/s < 100k/s\n",
+                scrape_points_s);
+    ok = false;
+  }
+  if (line_points_s < 50'000) {
+    std::printf("FAIL: line-protocol ingest %.0f lines/s < 50k/s\n",
+                line_points_s);
+    ok = false;
+  }
+  return ok;
+}
+
 void drift_scenarios() {
   print_title(
       "E5b | Drift detection: injected calibration ramp after 300 stable "
@@ -146,9 +232,15 @@ void drift_scenarios() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_title("E5a | telemetry micro costs (google-benchmark)");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const bool quick = quick_mode(argc, argv);
+  if (!quick) {
+    // The micros auto-time themselves for minutes; the smoke run skips
+    // them (and google-benchmark would reject the --quick flag anyway).
+    print_title("E5a | telemetry micro costs (google-benchmark)");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  const bool ok = ingest_throughput(quick);
   drift_scenarios();
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -4,6 +4,12 @@
 // fetch its span timeline from GET /v1/jobs/:id/trace.
 //
 //   observability_demo [--trace-out FILE]   # also write the trace JSON
+//   observability_demo --slo-demo           # live pipeline: a tenant burns
+//                                           # its submit error budget, the
+//                                           # burn-rate alert fires, and the
+//                                           # /admin/slo, /admin/alerts,
+//                                           # /admin/events and flight-dump
+//                                           # surfaces show the incident
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -11,20 +17,110 @@
 #include <string>
 #include <thread>
 
+#include "common/temp_dir.hpp"
 #include "daemon/daemon.hpp"
 #include "net/http_client.hpp"
 #include "qpu/controller.hpp"
 #include "qrmi/direct_qpu.hpp"
+#include "qrmi/local_emulator.hpp"
 #include "telemetry/alerts.hpp"
 #include "telemetry/collector.hpp"
 #include "telemetry/dashboard.hpp"
 
 using namespace qcenv;
 
+namespace {
+
+quantum::Payload tiny_payload(std::uint64_t shots) {
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                               quantum::Waveform::constant(200, 0.0), 0.0});
+  return quantum::Payload::from_sequence(seq, shots);
+}
+
+void print_body(const char* title,
+                const common::Result<net::HttpResponse>& response) {
+  std::printf("\n%s\n%s\n", title,
+              response.ok() ? response.value().body.c_str() : "error");
+}
+
+/// The live pipeline end to end: a daemon with the scrape loop under a
+/// manual clock, a tenant whose submit storm draws rate-limit rejections
+/// until the multi-window burn-rate alert fires, then every operator
+/// surface the incident shows up on.
+int run_slo_demo() {
+  common::ManualClock clock(0, /*auto_advance=*/true);
+  auto emu = qrmi::LocalEmulatorQrmi::create("emu0", "sv").value();
+  common::TempDir dir("qcenv-obs-demo-");
+
+  daemon::DaemonOptions options;
+  options.admin_key = "demo-admin";
+  options.store.data_dir = dir.path();
+  // A submit budget tight enough that the storm below torches it.
+  options.accounting.rate_limit.submit_per_sec = 2.0;
+  options.accounting.rate_limit.submit_burst = 3.0;
+  auto& obs = options.telemetry.observability;
+  obs.scrape_thread = false;  // the demo drives the grid itself
+  obs.scrape_interval = common::kSecond;
+  obs.slo_short_window = 4 * common::kSecond;
+  obs.slo_long_window = 16 * common::kSecond;
+  daemon::MiddlewareDaemon middleware(options, emu, nullptr, &clock);
+  const auto port = middleware.start().value();
+  net::HttpClient admin(port);
+  admin.set_default_header("X-Admin-Key", "demo-admin");
+
+  auto session =
+      middleware.open_session("alice", daemon::JobClass::kDevelopment)
+          .value();
+  auto* pipeline = middleware.observability();
+
+  std::printf("driving 60 virtual seconds; alice storms 6 submits/s for "
+              "the first 20...\n");
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (int t = 1; t <= 60; ++t) {
+    if (t <= 20) {
+      for (int i = 0; i < 6; ++i) {
+        auto submitted =
+            middleware.submit_job(session.token, tiny_payload(20));
+        ++(submitted.ok() ? accepted : rejected);
+      }
+    }
+    const common::TimeNs deadline =
+        static_cast<common::TimeNs>(t) * common::kSecond;
+    clock.advance_to(deadline);
+    pipeline->tick_at(deadline);
+  }
+  std::printf("storm result: %zu accepted, %zu rate-limited\n", accepted,
+              rejected);
+
+  print_body("per-tenant burn rates (GET /admin/slo):",
+             admin.get("/admin/slo"));
+  print_body("alerts (GET /admin/alerts):", admin.get("/admin/alerts"));
+  print_body(
+      "alert events only (GET /admin/events?severity=warn&kind=alert_fired):",
+      admin.get("/admin/events?severity=warn&kind=alert_fired"));
+  print_body(
+      "rejection series, 10 s sums "
+      "(GET /admin/tsdb/query?series=slo_submit_rejected,user=alice"
+      "&window=10000000000&agg=sum):",
+      admin.get("/admin/tsdb/query?series=slo_submit_rejected,user=alice"
+                "&window=10000000000&agg=sum"));
+  print_body("flight recorder (POST /admin/debug/dump):",
+             admin.post("/admin/debug/dump", "{}"));
+  middleware.stop();
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const char* trace_out = nullptr;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--slo-demo") == 0) return run_slo_demo();
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[i + 1];
+    }
   }
   // A QPU whose calibration drifts noticeably over a simulated day.
   common::ManualClock clock;
@@ -38,30 +134,36 @@ int main(int argc, char** argv) {
   telemetry::MetricsRegistry registry;
   telemetry::TimeSeriesDb tsdb;
   telemetry::QpuTelemetrySource source(&device, &registry);
-  telemetry::Collector collector(&registry, &tsdb, &clock);
+  telemetry::CollectorOptions scrape;
+  scrape.interval = 10 * 60 * common::kSecond;  // every 10 simulated min
+  telemetry::MetricsCollector collector(&registry, &tsdb, &clock, scrape);
 
   telemetry::AlertManager alerts;
   telemetry::AlertRule rule;
   rule.name = "qpu-fidelity-drift";
   rule.series = telemetry::SeriesKey{"qpu_fidelity_estimate",
                                      {{"device", "sim-analog"}}};
+  rule.label = "sim-analog";
   rule.severity = telemetry::AlertSeverity::kWarning;
   rule.detector = telemetry::CusumDetector(0.5, 4.0, 24);
   alerts.add_rule(std::move(rule));
-  alerts.add_sink([&](const telemetry::FiredAlert& alert) {
-    std::printf("  !! ALERT [%s] %s at t=%.1f h: %s\n",
-                to_string(alert.severity), alert.rule.c_str(),
-                common::to_seconds(alert.fired_at) / 3600.0,
-                alert.detail.c_str());
+  alerts.add_sink([](const telemetry::AlertRecord& record) {
+    if (!record.active()) return;
+    std::printf("  !! ALERT [%s] %s/%s at t=%.1f h: %s\n",
+                to_string(record.severity), record.rule.c_str(),
+                record.label.c_str(),
+                common::to_seconds(record.fired_at) / 3600.0,
+                record.detail.c_str());
   });
 
-  // Scrape every 10 simulated minutes across 24 hours.
+  // Scrape every 10 simulated minutes across 24 hours; alert evaluation
+  // rides every scrape deadline, exactly as the daemon's pipeline does.
   std::printf("collecting QPU telemetry over a simulated day...\n");
   for (int step = 0; step < 24 * 6; ++step) {
     clock.advance(10 * 60 * common::kSecond);
     source.update();
-    collector.scrape_once();
-    (void)alerts.evaluate(tsdb);
+    collector.run_pending(clock.now());
+    (void)alerts.evaluate(tsdb, collector.last_scrape());
   }
 
   // The "Grafana" view.
@@ -78,7 +180,7 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", dashboard.render(0, clock.now()).c_str());
 
   std::printf("alerts fired during the day: %zu\n\n",
-              alerts.history().size());
+              alerts.history().size() + alerts.active().size());
 
   // Admin runs QA, sees degradation, recalibrates through the daemon.
   auto resource = std::make_shared<qrmi::DirectQpuQrmi>("fresnel", &device,
@@ -103,13 +205,7 @@ int main(int argc, char** argv) {
               qa_after.ok() ? qa_after.value().body.c_str() : "error");
 
   // The per-job metadata path: users see the calibration their job ran with.
-  auto samples = resource->run_sync([&] {
-    quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
-    seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
-                                 quantum::Waveform::constant(200, 0.0),
-                                 0.0});
-    return quantum::Payload::from_sequence(seq, 50);
-  }());
+  auto samples = resource->run_sync(tiny_payload(50));
   if (samples.ok()) {
     std::printf(
         "\nper-job metadata (what end-users get back with results):\n%s\n",
@@ -122,12 +218,8 @@ int main(int argc, char** argv) {
   auto session =
       middleware.open_session("alice", daemon::JobClass::kDevelopment)
           .value();
-  quantum::Sequence traced_seq(quantum::AtomRegister::linear_chain(2, 6.0));
-  traced_seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
-                                      quantum::Waveform::constant(200, 0.0),
-                                      0.0});
-  auto submitted = middleware.submit_job(
-      session.token, quantum::Payload::from_sequence(traced_seq, 50));
+  auto submitted =
+      middleware.submit_job(session.token, tiny_payload(50));
   if (submitted.ok()) {
     const std::uint64_t id = submitted.value().id;
     for (int i = 0; i < 1000; ++i) {

@@ -24,6 +24,7 @@ common::Json ResourceStatus::to_json() const {
   out["shots_done"] = static_cast<long long>(shots_done);
   out["failures"] = static_cast<long long>(failures);
   out["score"] = score;
+  if (!advisory.empty()) out["advisory"] = advisory;
   return out;
 }
 
@@ -339,6 +340,61 @@ std::vector<ResourceStatus> ResourceBroker::snapshot() const {
   out.reserve(order_.size());
   for (const auto& name : order_) out.push_back(fleet_.at(name).status);
   return out;
+}
+
+std::map<std::string, double> ResourceBroker::sample_scores() {
+  // Collect targets outside the lock (a slow endpoint must not stall the
+  // fleet), then fold the scores back in. Every resource is asked, not
+  // just cached-healthy ones: the health flag lags reality by up to a
+  // probe interval, and a dead endpoint excludes itself by failing
+  // target().
+  std::vector<std::pair<std::string, qrmi::QrmiPtr>> fleet;
+  {
+    std::scoped_lock lock(mutex_);
+    for (const auto& name : order_) {
+      fleet.emplace_back(name, fleet_.at(name).resource);
+    }
+  }
+  std::map<std::string, double> scores;
+  for (const auto& [name, resource] : fleet) {
+    auto spec = resource->target();
+    if (spec.ok()) scores[name] = calibration_score(spec.value());
+  }
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, score] : scores) {
+    const auto it = fleet_.find(name);
+    if (it == fleet_.end()) continue;
+    it->second.status.score = score;
+    if (metrics_ != nullptr) {
+      metrics_
+          ->gauge("broker_resource_score", {{"resource", name}},
+                  "calibration score at the last scrape")
+          .set(score);
+    }
+  }
+  return scores;
+}
+
+void ResourceBroker::advise(const std::string& name,
+                            const std::string& reason) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return;
+  it->second.status.advisory = reason;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("broker_advisories_total", {{"resource", name}},
+                  "advisories attached by the alerting pipeline")
+        .increment();
+  }
+  QCENV_LOG(Warn) << "resource " << name << " advisory: " << reason;
+}
+
+void ResourceBroker::clear_advisory(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  const auto it = fleet_.find(name);
+  if (it == fleet_.end()) return;
+  it->second.status.advisory.clear();
 }
 
 }  // namespace qcenv::broker

@@ -56,6 +56,10 @@ struct ResourceStatus {
   std::uint64_t shots_done = 0;
   std::uint64_t failures = 0;
   double score = 0.0;  // calibration_score at the last refresh
+  /// Operator advisory attached by the alerting pipeline (e.g. a critical
+  /// calibration-drift alert). Groundwork for calibration-aware routing:
+  /// surfaced in /v1/resources, no placement change yet.
+  std::string advisory;
 
   common::Json to_json() const;
 };
@@ -120,6 +124,19 @@ class ResourceBroker {
   bool draining(const std::string& name) const;
 
   std::vector<ResourceStatus> snapshot() const;
+
+  /// Refreshes every resource's calibration score from target() right now
+  /// (the scrape-loop entry point: probe-driven refreshes are
+  /// interleaving-dependent, a scrape wants scores as-of the deadline).
+  /// Every registered resource is asked — the cached health flag lags
+  /// reality by up to a probe interval, and an actually-dead endpoint
+  /// drops out on its own by failing target(). Returns name -> score for
+  /// the resources that answered.
+  std::map<std::string, double> sample_scores();
+
+  /// Attaches/clears an operator advisory on a resource (drift alerts).
+  void advise(const std::string& name, const std::string& reason);
+  void clear_advisory(const std::string& name);
 
  private:
   struct Managed {

@@ -1,6 +1,7 @@
 #include "daemon/daemon.hpp"
 
 #include <filesystem>
+#include <limits>
 
 #include "common/strings.hpp"
 
@@ -142,6 +143,39 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
     dispatcher_->restore(recovered_jobs, next_job_id);
     store_->set_snapshot_provider([this] { return build_snapshot(); });
   }
+  if (options_.telemetry.observability.enabled) {
+    ObservabilityOptions obs = options_.telemetry.observability;
+    if (obs.dump_path.empty() && options_.store.enabled()) {
+      obs.dump_path = options_.store.data_dir + "/flight.json";
+    }
+    observability_ = std::make_unique<ObservabilityPipeline>(
+        obs, &metrics_, &events_, clock_);
+    observability_->attach(dispatcher_.get(), broker_.get());
+    dispatcher_->set_latency_slo(obs.latency_slo);
+    dispatcher_->set_lane_heartbeat([this](const std::string& lane) {
+      observability_->recorder().heartbeat(lane);
+    });
+    if (store_ != nullptr) {
+      store_->set_writer_heartbeat([this] {
+        observability_->recorder().heartbeat("journal_writer");
+      });
+      // Journal disk death: capture the black box while the failure is
+      // fresh. The hook runs once, after the journal_fail_stop event is
+      // logged, so the dump's event tail names the failure itself.
+      store_->set_fail_stop_hook([this](const std::string& error) {
+        auto dumped =
+            observability_->recorder().dump("journal_fail_stop: " + error);
+        if (dumped.ok()) {
+          QCENV_LOG(Warn) << "flight recorder dumped to "
+                          << dumped.value();
+        } else {
+          QCENV_LOG(Error) << "flight dump failed: "
+                           << dumped.error().to_string();
+        }
+      });
+    }
+    observability_->start();
+  }
   install_routes();
 }
 
@@ -233,6 +267,9 @@ Result<std::uint16_t> MiddlewareDaemon::start() {
 
 void MiddlewareDaemon::stop() {
   server_.stop();
+  // No scrapes may run once subsystems start tearing down: the samplers
+  // read the dispatcher and broker.
+  if (observability_ != nullptr) observability_->stop();
   // Stop the compaction thread while the dispatcher (whose state the
   // snapshot provider reads) is still alive, and make the journal durable.
   if (store_ != nullptr) store_->shutdown();
@@ -287,6 +324,8 @@ Result<MiddlewareDaemon::Submitted> MiddlewareDaemon::submit_job(
     }
     events_.log(clock_->now(), telemetry::Severity::kWarn,
                 "submit_rejected", error.message(), user, 0, trace);
+    // Rejection-ratio SLO input (cold path by definition).
+    if (observability_ != nullptr) observability_->note_rejected(user);
     return error;
   };
   const JobClass cls =
@@ -699,14 +738,203 @@ void MiddlewareDaemon::install_routes() {
                  max = static_cast<std::size_t>(
                      std::strtoull(raw->c_str(), nullptr, 10));
                }
+               telemetry::EventLog::Filter filter;
+               if (const auto raw = request.query_param("severity")) {
+                 if (*raw == "info") {
+                   filter.severity = telemetry::Severity::kInfo;
+                 } else if (*raw == "warn") {
+                   filter.severity = telemetry::Severity::kWarn;
+                 } else if (*raw == "error") {
+                   filter.severity = telemetry::Severity::kError;
+                 } else {
+                   return error_response(common::err::invalid_argument(
+                       "severity must be info|warn|error"));
+                 }
+               }
+               if (const auto raw = request.query_param("kind")) {
+                 filter.kind = *raw;
+               }
                Json out = Json::object();
                Json list = Json::array();
-               for (const auto& event : events_.since(since, max)) {
+               for (const auto& event : events_.since(since, max, filter)) {
                  list.push_back(telemetry::EventLog::to_json(event));
                }
                out["events"] = std::move(list);
                out["last_seq"] =
                    static_cast<long long>(events_.last_seq());
+               return HttpResponse::json(200, out.dump());
+             });
+
+  // ---- observability: TSDB / alerts / SLO / flight recorder --------------
+  const auto require_observability =
+      [this]() -> common::Result<ObservabilityPipeline*> {
+    if (observability_ == nullptr) {
+      return common::err::failed_precondition("observability is disabled");
+    }
+    return observability_.get();
+  };
+
+  router.add(
+      "GET", "/admin/tsdb/query",
+      [this, require_admin, require_observability](
+          const HttpRequest& request, const PathParams&) {
+        auto admin = require_admin(request);
+        if (!admin.ok()) return error_response(admin.error());
+        auto obs = require_observability();
+        if (!obs.ok()) return error_response(obs.error());
+        const auto series_param = request.query_param("series");
+        if (!series_param) {
+          return error_response(
+              common::err::invalid_argument("series= is required"));
+        }
+        auto key = telemetry::SeriesKey::parse(*series_param);
+        if (!key.ok()) return error_response(key.error());
+        common::TimeNs start = 0;
+        common::TimeNs end = std::numeric_limits<common::TimeNs>::max();
+        if (const auto raw = request.query_param("start")) {
+          start = std::strtoll(raw->c_str(), nullptr, 10);
+        }
+        if (const auto raw = request.query_param("end")) {
+          end = std::strtoll(raw->c_str(), nullptr, 10);
+        }
+        const telemetry::TimeSeriesDb& tsdb = obs.value()->tsdb();
+        Json out = Json::object();
+        out["series"] = key.value().to_string();
+        common::DurationNs window = 0;
+        if (const auto raw = request.query_param("window")) {
+          window = std::strtoll(raw->c_str(), nullptr, 10);
+        }
+        if (window > 0) {
+          telemetry::Aggregation agg = telemetry::Aggregation::kMean;
+          if (const auto raw = request.query_param("agg")) {
+            if (*raw == "mean") {
+              agg = telemetry::Aggregation::kMean;
+            } else if (*raw == "min") {
+              agg = telemetry::Aggregation::kMin;
+            } else if (*raw == "max") {
+              agg = telemetry::Aggregation::kMax;
+            } else if (*raw == "last") {
+              agg = telemetry::Aggregation::kLast;
+            } else if (*raw == "sum") {
+              agg = telemetry::Aggregation::kSum;
+            } else if (*raw == "count") {
+              agg = telemetry::Aggregation::kCount;
+            } else {
+              return error_response(common::err::invalid_argument(
+                  "agg must be mean|min|max|last|sum|count"));
+            }
+          }
+          // aggregate() windows cover [start, end); a max end would
+          // overflow the window arithmetic, so clamp to the data.
+          if (end == std::numeric_limits<common::TimeNs>::max()) {
+            const auto last = tsdb.last(key.value());
+            end = last ? last->time + 1 : start;
+          }
+          Json windows = Json::array();
+          for (const auto& point :
+               tsdb.aggregate(key.value(), start, end, window, agg)) {
+            Json entry = Json::object();
+            entry["window_start"] = point.window_start;
+            entry["value"] = point.value;
+            entry["samples"] = point.samples;
+            windows.push_back(std::move(entry));
+          }
+          out["windows"] = std::move(windows);
+        } else {
+          common::JsonArray points;
+          for (const auto& point :
+               tsdb.query_range(key.value(), start, end)) {
+            common::JsonArray pair;
+            pair.reserve(2);
+            pair.emplace_back(point.time);
+            pair.emplace_back(point.value);
+            points.emplace_back(std::move(pair));
+          }
+          out["points"] = Json(std::move(points));
+        }
+        return HttpResponse::json(200, out.dump());
+      });
+
+  router.add(
+      "GET", "/admin/tsdb/export",
+      [this, require_admin, require_observability](
+          const HttpRequest& request, const PathParams&) {
+        auto admin = require_admin(request);
+        if (!admin.ok()) return error_response(admin.error());
+        auto obs = require_observability();
+        if (!obs.ok()) return error_response(obs.error());
+        const telemetry::TimeSeriesDb& tsdb = obs.value()->tsdb();
+        std::vector<telemetry::SeriesKey> keys;
+        if (const auto raw = request.query_param("series")) {
+          auto key = telemetry::SeriesKey::parse(*raw);
+          if (!key.ok()) return error_response(key.error());
+          keys.push_back(std::move(key).value());
+        } else {
+          keys = tsdb.series();
+        }
+        std::string body;
+        for (const auto& key : keys) {
+          auto lines = tsdb.dump_series(key);
+          if (!lines.ok()) return error_response(lines.error());
+          body += lines.value();
+        }
+        return HttpResponse::text(200, body);
+      });
+
+  router.add("GET", "/admin/alerts",
+             [this, require_admin, require_observability](
+                 const HttpRequest& request, const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               auto obs = require_observability();
+               if (!obs.ok()) return error_response(obs.error());
+               return HttpResponse::json(
+                   200, obs.value()->alerts().to_json().dump());
+             });
+
+  router.add("GET", "/admin/slo",
+             [this, require_admin, require_observability](
+                 const HttpRequest& request, const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               auto obs = require_observability();
+               if (!obs.ok()) return error_response(obs.error());
+               ObservabilityPipeline* pipeline = obs.value();
+               const common::TimeNs now =
+                   pipeline->collector().last_scrape() >= 0
+                       ? pipeline->collector().last_scrape()
+                       : clock_->now();
+               Json out = Json::object();
+               Json burns = Json::array();
+               for (const auto& status :
+                    pipeline->alerts().burn_status(pipeline->tsdb(), now)) {
+                 burns.push_back(status.to_json());
+               }
+               out["burn_rates"] = std::move(burns);
+               out["objective"] = pipeline->options().slo_objective;
+               out["burn_threshold"] = pipeline->options().burn_threshold;
+               out["short_window_ns"] = pipeline->short_window();
+               out["long_window_ns"] = pipeline->long_window();
+               out["evaluated_at"] = now;
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("POST", "/admin/debug/dump",
+             [this, require_admin, require_observability](
+                 const HttpRequest& request, const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               auto obs = require_observability();
+               if (!obs.ok()) return error_response(obs.error());
+               auto dumped = obs.value()->recorder().dump("admin_request");
+               if (!dumped.ok()) return error_response(dumped.error());
+               events_.log(clock_->now(), telemetry::Severity::kInfo,
+                           "flight_dump",
+                           "operator-requested forensics dump to " +
+                               dumped.value());
+               Json out = Json::object();
+               out["path"] = dumped.value();
+               out["dumps"] = obs.value()->recorder().dump_count();
                return HttpResponse::json(200, out.dump());
              });
 

@@ -20,7 +20,13 @@
 //                                        fair-share priority, rate limits
 //   GET    /metrics                                         -> Prometheus
 //   GET    /admin/status
-//   GET    /admin/events?since=N&max=M  (structured-event tail)
+//   GET    /admin/events?since=N&max=M&severity=&kind=  (event tail)
+//   GET    /admin/tsdb/query?series=&start=&end=&window=&agg=  (TSDB range
+//                                       query + windowed aggregation)
+//   GET    /admin/tsdb/export?series=   (InfluxDB line protocol)
+//   GET    /admin/alerts                (active + recent alert records)
+//   GET    /admin/slo                   (per-tenant burn-rate readout)
+//   POST   /admin/debug/dump            (flight-recorder forensics dump)
 //   GET    /admin/sessions
 //   GET    /admin/fairshare            (accounts/users: shares vs usage)
 //   POST   /admin/quotas/:user         {shares?, account?, submit_per_sec?,
@@ -47,6 +53,7 @@
 #include "common/config.hpp"
 #include "daemon/admission.hpp"
 #include "daemon/dispatcher.hpp"
+#include "daemon/observability.hpp"
 #include "daemon/sessions.hpp"
 #include "net/http_server.hpp"
 #include "qpu/qpu_device.hpp"
@@ -73,6 +80,9 @@ struct TelemetryOptions {
   /// trace id, so operators can jump straight from the log line to the
   /// per-stage timeline. 0 disables.
   common::DurationNs slow_job_threshold = 0;
+  /// Live metrics pipeline: TSDB scrape loop, SLO burn-rate + drift
+  /// alerting, crash-forensics flight recorder (see observability.hpp).
+  ObservabilityOptions observability;
 };
 
 struct DaemonOptions {
@@ -137,6 +147,10 @@ class MiddlewareDaemon {
   const DaemonOptions& options() const noexcept { return options_; }
   /// Durable store; nullptr when running purely in memory.
   store::StateStore* state_store() noexcept { return store_.get(); }
+  /// Live metrics pipeline; nullptr when observability is disabled.
+  ObservabilityPipeline* observability() noexcept {
+    return observability_.get();
+  }
 
   /// Resolves a job class from an explicit partition name or session
   /// default.
@@ -207,6 +221,11 @@ class MiddlewareDaemon {
   accounting::AccountingManager accounting_;
   std::shared_ptr<broker::ResourceBroker> broker_;
   qrmi::QrmiPtr primary_;  // first fleet member; backs /v1/device
+  // Must outlive the store AND the dispatcher: the journal writer and the
+  // dispatch lanes beat the flight recorder's watchdog from their threads.
+  // Constructed in the ctor body once both exist; its samplers only run
+  // from ticks, which stop() halts before any member is torn down.
+  std::unique_ptr<ObservabilityPipeline> observability_;
   // The store must outlive the dispatcher (its lanes journal events);
   // the daemon stops the store's compaction thread before tearing the
   // dispatcher down (see stop()).

@@ -388,6 +388,7 @@ Result<std::uint64_t> Dispatcher::submit(
                        record.job.submit_time, id);
     total_queued_.fetch_add(1, std::memory_order_relaxed);
     ++shard.user_pending[user];
+    ++shard.user_slo[user].submitted;
     const auto inserted = shard.records.emplace(id, std::move(record));
     shard.active.insert(id);
     index_insert(id, shard_index);
@@ -699,6 +700,44 @@ std::size_t Dispatcher::pending_for_user(const std::string& user) const {
   std::scoped_lock lock(shard.mutex);
   const auto it = shard.user_pending.find(user);
   return it != shard.user_pending.end() ? it->second : 0;
+}
+
+std::map<std::string, Dispatcher::UserSlo> Dispatcher::slo_counts() const {
+  std::map<std::string, UserSlo> out;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    // Users never span shards, so this is a disjoint union, not a merge.
+    out.insert(shard->user_slo.begin(), shard->user_slo.end());
+  }
+  return out;
+}
+
+std::map<std::string, Dispatcher::QueueWaitSplit>
+Dispatcher::queue_wait_split(common::TimeNs now,
+                             common::DurationNs threshold) const {
+  std::map<std::string, QueueWaitSplit> out;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    for (const std::uint64_t id : shard->active) {
+      const auto it = shard->records.find(id);
+      if (it == shard->records.end()) continue;
+      const DaemonJob& job = it->second.job;
+      if (job.state != DaemonJobState::kQueued) continue;
+      QueueWaitSplit& split = out[job.user];
+      if (now - job.submit_time > threshold) {
+        ++split.over;
+      } else {
+        ++split.within;
+      }
+    }
+  }
+  return out;
+}
+
+void Dispatcher::set_lane_heartbeat(
+    std::function<void(const std::string&)> heartbeat) {
+  std::scoped_lock lock(heartbeat_mutex_);
+  lane_heartbeat_ = std::move(heartbeat);
 }
 
 void Dispatcher::set_terminal_retention(common::DurationNs retention,
@@ -1099,6 +1138,16 @@ void Dispatcher::finish_locked(Shard& shard, Record& record,
   record.job.state = state;
   record.job.error = error;
   record.job.finish_time = clock_->now();
+  if (state == DaemonJobState::kCompleted) {
+    UserSlo& slo = shard.user_slo[record.job.user];
+    ++slo.completed;
+    const common::DurationNs lat_slo =
+        latency_slo_.load(std::memory_order_relaxed);
+    if (lat_slo > 0 &&
+        record.job.finish_time - record.job.submit_time > lat_slo) {
+      ++slo.latency_over;
+    }
+  }
   if (traces_ != nullptr && record.job.trace_id != 0) {
     materialize_trace_locked(record);
     if (auto closed =
@@ -1561,6 +1610,12 @@ void Dispatcher::lane_loop(const std::stop_token& stop,
 
   bool was_healthy = true;
   while (!stop.stop_requested()) {
+    {
+      // Watchdog heartbeat: a lane stuck inside dispatch_one (hung
+      // endpoint) stops beating, which the flight recorder flags.
+      std::scoped_lock beat_lock(heartbeat_mutex_);
+      if (lane_heartbeat_) lane_heartbeat_(lane);
+    }
     // Probe outside the queue locks: a hung endpoint must not block peers.
     const bool healthy = broker_->check_health(lane);
     // Move placed jobs away once per down transition (the batch-failure

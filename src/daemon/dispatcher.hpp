@@ -253,6 +253,39 @@ class Dispatcher {
     slow_job_threshold_.store(threshold, std::memory_order_relaxed);
   }
 
+  // ---- per-tenant SLO signals (scrape-loop samplers) ---------------------
+  // Counters ride the shard mutex the submit/finish paths already hold, so
+  // the hot path pays a map increment, never a new lock.
+
+  /// Cumulative per-user SLO counters since process start.
+  struct UserSlo {
+    std::uint64_t submitted = 0;     // jobs accepted into the queue
+    std::uint64_t completed = 0;     // jobs reaching kCompleted
+    std::uint64_t latency_over = 0;  // completions over the latency SLO
+  };
+  std::map<std::string, UserSlo> slo_counts() const;
+
+  /// Completion-latency SLO threshold used by the latency_over counter
+  /// (0 disables counting, the default).
+  void set_latency_slo(common::DurationNs threshold) {
+    latency_slo_.store(threshold, std::memory_order_relaxed);
+  }
+
+  /// Instantaneous queue-wait split: currently queued jobs per user whose
+  /// age (now - submit) is within / over `threshold`. The scrape loop
+  /// samples this once per deadline — the ratio-of-breaching-samples form
+  /// of a queue-wait percentile SLO.
+  struct QueueWaitSplit {
+    std::size_t within = 0;
+    std::size_t over = 0;
+  };
+  std::map<std::string, QueueWaitSplit> queue_wait_split(
+      common::TimeNs now, common::DurationNs threshold) const;
+
+  /// Watchdog: invoked with the lane name on every lane-loop iteration
+  /// (flight-recorder heartbeats). Must not call back into the dispatcher.
+  void set_lane_heartbeat(std::function<void(const std::string&)> heartbeat);
+
  private:
   struct Record {
     DaemonJob job;
@@ -297,6 +330,9 @@ class Dispatcher {
     /// Jobs in state kQueued per user — O(1) admission pre-checks
     /// instead of an O(active jobs) scan under a global lock.
     std::map<std::string, std::size_t> user_pending;
+    /// Per-user SLO counters (see UserSlo); bumped under this mutex on
+    /// submit and terminal transitions.
+    std::map<std::string, UserSlo> user_slo;
   };
 
   enum class DispatchOutcome {
@@ -369,6 +405,9 @@ class Dispatcher {
   telemetry::HistogramMetric* journal_append_hist_ = nullptr;
   std::array<telemetry::Counter*, 3> submitted_counter_{};
   std::atomic<common::DurationNs> slow_job_threshold_{0};
+  std::atomic<common::DurationNs> latency_slo_{0};
+  std::mutex heartbeat_mutex_;
+  std::function<void(const std::string&)> lane_heartbeat_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -1,0 +1,291 @@
+#include "daemon/observability.hpp"
+
+#include <set>
+#include <utility>
+
+#include "broker/broker.hpp"
+#include "common/strings.hpp"
+#include "daemon/dispatcher.hpp"
+
+namespace qcenv::daemon {
+
+namespace {
+
+telemetry::Severity event_severity(telemetry::AlertSeverity severity) {
+  switch (severity) {
+    case telemetry::AlertSeverity::kCritical:
+      return telemetry::Severity::kError;
+    case telemetry::AlertSeverity::kWarning:
+      return telemetry::Severity::kWarn;
+    case telemetry::AlertSeverity::kInfo:
+      return telemetry::Severity::kInfo;
+  }
+  return telemetry::Severity::kInfo;
+}
+
+bool is_drift_rule(const std::string& rule) {
+  return rule.rfind("calibration_drift", 0) == 0;
+}
+
+bool is_slo_rule(const std::string& rule) {
+  return rule.rfind("slo_", 0) == 0;
+}
+
+}  // namespace
+
+ObservabilityPipeline::ObservabilityPipeline(
+    ObservabilityOptions options, telemetry::MetricsRegistry* registry,
+    telemetry::EventLog* events, common::Clock* clock)
+    : options_(std::move(options)),
+      registry_(registry),
+      events_(events),
+      clock_(clock),
+      tsdb_(options_.tsdb_retention) {
+  telemetry::CollectorOptions collector_options;
+  collector_options.interval = options_.scrape_interval;
+  collector_options.scrape_all_overdue = options_.scrape_all_overdue;
+  collector_ = std::make_unique<telemetry::MetricsCollector>(
+      registry_, &tsdb_, clock_, collector_options);
+
+  telemetry::FlightRecorderOptions recorder_options;
+  recorder_options.dump_path = options_.dump_path;
+  recorder_options.event_tail = options_.flight_event_tail;
+  recorder_ = std::make_unique<telemetry::FlightRecorder>(
+      recorder_options, events_, &tsdb_, clock_);
+
+  alerts_.add_sink(
+      [this](const telemetry::AlertRecord& record) { on_alert(record); });
+}
+
+ObservabilityPipeline::~ObservabilityPipeline() { stop(); }
+
+common::DurationNs ObservabilityPipeline::short_window() const noexcept {
+  return options_.slo_short_window > 0 ? options_.slo_short_window
+                                       : 5 * options_.scrape_interval;
+}
+
+common::DurationNs ObservabilityPipeline::long_window() const noexcept {
+  return options_.slo_long_window > 0 ? options_.slo_long_window
+                                      : 20 * options_.scrape_interval;
+}
+
+void ObservabilityPipeline::attach(Dispatcher* dispatcher,
+                                   broker::ResourceBroker* broker) {
+  dispatcher_ = dispatcher;
+  broker_ = broker;
+  install_samplers();
+  install_rules();
+  recorder_->set_info_provider([this] { return status_json(); });
+  if (options_.arm_signal_handler) recorder_->arm_signal_handler();
+}
+
+void ObservabilityPipeline::install_samplers() {
+  if (dispatcher_ != nullptr) {
+    // Per-tenant SLO signals: per-tick deltas of the dispatcher's
+    // cumulative counters (latency / submit-rejection SLOs) plus an
+    // instantaneous queue-age split (queue-wait SLO). All stamped at the
+    // grid deadline, so burn-rate windows are replayable.
+    collector_->add_sampler([this](common::TimeNs stamp,
+                                   telemetry::TimeSeriesDb& tsdb) {
+      const auto counts = dispatcher_->slo_counts();
+      const auto split =
+          dispatcher_->queue_wait_split(stamp, options_.queue_wait_slo);
+      std::scoped_lock lock(slo_mutex_);
+      std::set<std::string> users;
+      for (const auto& [user, slo] : counts) users.insert(user);
+      for (const auto& [user, n] : rejected_) users.insert(user);
+      for (const auto& [user, s] : split) users.insert(user);
+      for (const std::string& user : users) {
+        SloBaseline& base = slo_baseline_[user];
+        Dispatcher::UserSlo slo;
+        if (auto it = counts.find(user); it != counts.end()) {
+          slo = it->second;
+        }
+        std::uint64_t rejected = 0;
+        if (auto it = rejected_.find(user); it != rejected_.end()) {
+          rejected = it->second;
+        }
+        const std::uint64_t d_submitted = slo.submitted - base.submitted;
+        const std::uint64_t d_completed = slo.completed - base.completed;
+        const std::uint64_t d_over = slo.latency_over - base.latency_over;
+        const std::uint64_t d_rejected = rejected - base.rejected;
+        base = SloBaseline{slo.submitted, slo.completed, slo.latency_over,
+                           rejected};
+
+        const telemetry::Tags tags{{"user", user}};
+        tsdb.write("slo_submit_ok", tags, stamp,
+                   static_cast<double>(d_submitted));
+        tsdb.write("slo_submit_rejected", tags, stamp,
+                   static_cast<double>(d_rejected));
+        tsdb.write("slo_latency_ok", tags, stamp,
+                   static_cast<double>(d_completed - d_over));
+        tsdb.write("slo_latency_bad", tags, stamp,
+                   static_cast<double>(d_over));
+        Dispatcher::QueueWaitSplit wait;
+        if (auto it = split.find(user); it != split.end()) {
+          wait = it->second;
+        }
+        tsdb.write("slo_queue_wait_ok", tags, stamp,
+                   static_cast<double>(wait.within));
+        tsdb.write("slo_queue_wait_bad", tags, stamp,
+                   static_cast<double>(wait.over));
+      }
+    });
+  }
+  if (broker_ != nullptr) {
+    // Fresh calibration scores straight into the TSDB (the drift rules'
+    // input series). sample_scores() also refreshes the broker's
+    // Prometheus gauges as a side effect.
+    collector_->add_sampler(
+        [this](common::TimeNs stamp, telemetry::TimeSeriesDb& tsdb) {
+          for (const auto& [name, score] : broker_->sample_scores()) {
+            tsdb.write("calibration_score", {{"resource", name}}, stamp,
+                       score);
+          }
+        });
+  }
+}
+
+void ObservabilityPipeline::install_rules() {
+  const common::DurationNs short_w = short_window();
+  const common::DurationNs long_w = long_window();
+  auto burn = [&](std::string name, std::string bad, std::string good,
+                  telemetry::AlertSeverity severity) {
+    telemetry::BurnRateRule rule;
+    rule.name = std::move(name);
+    rule.bad_measurement = std::move(bad);
+    rule.good_measurement = std::move(good);
+    rule.group_tag = "user";
+    rule.objective = options_.slo_objective;
+    rule.burn_threshold = options_.burn_threshold;
+    rule.short_window = short_w;
+    rule.long_window = long_w;
+    rule.severity = severity;
+    alerts_.add_burn_rule(std::move(rule));
+  };
+  burn("slo_queue_wait", "slo_queue_wait_bad", "slo_queue_wait_ok",
+       telemetry::AlertSeverity::kWarning);
+  burn("slo_latency", "slo_latency_bad", "slo_latency_ok",
+       telemetry::AlertSeverity::kWarning);
+  burn("slo_submit", "slo_submit_rejected", "slo_submit_ok",
+       telemetry::AlertSeverity::kWarning);
+
+  if (options_.drift_rules && broker_ != nullptr) {
+    for (const std::string& name : broker_->names()) {
+      const telemetry::SeriesKey series{"calibration_score",
+                                        {{"resource", name}}};
+      telemetry::AlertRule ewma;
+      ewma.name = "calibration_drift_ewma";
+      ewma.series = series;
+      ewma.label = name;
+      ewma.severity = telemetry::AlertSeverity::kWarning;
+      ewma.detector = telemetry::EwmaDetector(
+          options_.drift_ewma_alpha, options_.drift_ewma_k,
+          options_.drift_warmup);
+      alerts_.add_rule(std::move(ewma));
+
+      telemetry::AlertRule cusum;
+      cusum.name = "calibration_drift_cusum";
+      cusum.series = series;
+      cusum.label = name;
+      cusum.severity = telemetry::AlertSeverity::kCritical;
+      cusum.detector = telemetry::CusumDetector(
+          options_.drift_cusum_slack, options_.drift_cusum_threshold,
+          options_.drift_warmup);
+      alerts_.add_rule(std::move(cusum));
+    }
+  }
+}
+
+void ObservabilityPipeline::on_alert(const telemetry::AlertRecord& record) {
+  const bool fired = record.active();
+  const std::string user = is_slo_rule(record.rule) ? record.label : "";
+  if (events_ != nullptr) {
+    if (fired) {
+      events_->log(record.fired_at, event_severity(record.severity),
+                   "alert_fired",
+                   record.rule + "/" + record.label + ": " + record.detail,
+                   user);
+    } else {
+      events_->log(record.resolved_at, telemetry::Severity::kInfo,
+                   "alert_resolved", record.rule + "/" + record.label, user);
+    }
+  }
+  // Drift going critical feeds the broker an advisory against the drifting
+  // resource — groundwork for calibration-aware routing (no placement
+  // change yet; the advisory is operator-visible on /v1/resources).
+  if (broker_ != nullptr && is_drift_rule(record.rule) &&
+      record.severity == telemetry::AlertSeverity::kCritical) {
+    if (fired) {
+      broker_->advise(record.label, record.rule + ": " + record.detail);
+      if (events_ != nullptr) {
+        events_->log(record.fired_at, telemetry::Severity::kWarn,
+                     "broker_advisory",
+                     "calibration drift advisory on " + record.label);
+      }
+    } else {
+      broker_->clear_advisory(record.label);
+    }
+  }
+}
+
+void ObservabilityPipeline::tick_at(common::TimeNs deadline) {
+  if (!options_.enabled) return;
+  collector_->scrape_at(deadline);
+  evaluate_at(deadline);
+}
+
+void ObservabilityPipeline::run_pending(common::TimeNs now) {
+  if (!options_.enabled) return;
+  collector_->run_pending(now);
+  const common::TimeNs last = collector_->last_scrape();
+  if (last >= 0 && last != last_evaluated_) evaluate_at(last);
+}
+
+void ObservabilityPipeline::evaluate_at(common::TimeNs deadline) {
+  alerts_.evaluate(tsdb_, deadline);
+  last_evaluated_ = deadline;
+  recorder_->heartbeat("scrape_loop");
+  recorder_->refresh();
+}
+
+void ObservabilityPipeline::note_rejected(const std::string& user) {
+  if (!options_.enabled) return;
+  std::scoped_lock lock(slo_mutex_);
+  ++rejected_[user];
+}
+
+void ObservabilityPipeline::start() {
+  if (!options_.enabled || !options_.scrape_thread) return;
+  if (scraper_.joinable()) return;
+  scraper_ = std::jthread([this](std::stop_token stop) {
+    // 50 ms slices: reacts to stop quickly, cheap no-op between deadlines.
+    while (!stop.stop_requested()) {
+      run_pending(clock_->now());
+      clock_->sleep_for(50 * common::kMillisecond);
+    }
+  });
+}
+
+void ObservabilityPipeline::stop() {
+  if (scraper_.joinable()) {
+    scraper_.request_stop();
+    scraper_.join();
+  }
+}
+
+common::Json ObservabilityPipeline::status_json() const {
+  common::Json out = common::Json::object();
+  out["enabled"] = options_.enabled;
+  out["scrape_interval_ms"] =
+      options_.scrape_interval / common::kMillisecond;
+  out["scrapes"] = collector_->scrape_count();
+  out["missed_scrapes"] = collector_->missed_count();
+  out["last_scrape_ns"] = collector_->last_scrape();
+  out["alert_rules"] = alerts_.rule_count();
+  out["active_alerts"] = alerts_.active().size();
+  out["flight_dumps"] = recorder_->dump_count();
+  return out;
+}
+
+}  // namespace qcenv::daemon

@@ -1,0 +1,171 @@
+// ObservabilityPipeline: the daemon's live metrics pipeline. Owns the
+// in-process TSDB, the grid-deadline scrape loop, the SLO/drift alert
+// manager and the crash-forensics flight recorder, and wires them to the
+// dispatcher, broker and store.
+//
+// Tick model: every scrape deadline runs
+//   scrape (registry + domain samplers, stamped at the grid deadline)
+//   -> alert evaluation at that deadline (burn windows end on the grid)
+//   -> crash-snapshot refresh.
+// Production drives ticks from a clock-driven thread (run_pending); the
+// simulation harness calls tick_at() with its own deterministic deadline
+// sequence, so a replay reproduces the exact alert timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "telemetry/alerts.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace qcenv::broker {
+class ResourceBroker;
+}
+
+namespace qcenv::daemon {
+
+class Dispatcher;
+
+struct ObservabilityOptions {
+  /// Master switch: off restores the pre-pipeline daemon (no TSDB, no
+  /// alerts, no flight recorder).
+  bool enabled = true;
+  /// Spawn the clock-driven scrape thread. Off for simulation, which calls
+  /// tick_at() on its own deterministic grid.
+  bool scrape_thread = true;
+  common::DurationNs scrape_interval = common::kSecond;
+  /// Collector catch-up policy (see CollectorOptions::scrape_all_overdue).
+  bool scrape_all_overdue = false;
+  /// TSDB retention cap (points per series, oldest evicted).
+  std::size_t tsdb_retention = 100000;
+
+  // ---- per-tenant SLOs ---------------------------------------------------
+  /// Queued jobs older than this breach the queue-wait SLO sample.
+  common::DurationNs queue_wait_slo = 30 * common::kSecond;
+  /// Completions slower than this breach the completion-latency SLO.
+  common::DurationNs latency_slo = 120 * common::kSecond;
+  /// Target good fraction shared by all three SLOs (0.99 = 99%).
+  double slo_objective = 0.99;
+  /// Burn-rate alert threshold (multiples of the objective's error budget).
+  double burn_threshold = 2.0;
+  /// Burn windows; 0 derives them from the scrape interval (5x / 20x).
+  common::DurationNs slo_short_window = 0;
+  common::DurationNs slo_long_window = 0;
+
+  // ---- calibration drift -------------------------------------------------
+  /// Register EWMA + CUSUM drift rules on every resource's
+  /// calibration_score series.
+  bool drift_rules = true;
+  double drift_ewma_alpha = 0.2;
+  double drift_ewma_k = 4.0;
+  double drift_cusum_slack = 0.5;
+  double drift_cusum_threshold = 5.0;
+  std::size_t drift_warmup = 20;
+
+  // ---- flight recorder ---------------------------------------------------
+  /// Forensics dump target; empty derives <data_dir>/flight.json (or
+  /// disables dumps when the daemon has no data dir).
+  std::string dump_path;
+  std::size_t flight_event_tail = 50;
+  /// Install fatal-signal handlers that write the last pre-rendered crash
+  /// snapshot. Opt-in: only one recorder per process may be armed.
+  bool arm_signal_handler = false;
+};
+
+class ObservabilityPipeline {
+ public:
+  ObservabilityPipeline(ObservabilityOptions options,
+                        telemetry::MetricsRegistry* registry,
+                        telemetry::EventLog* events, common::Clock* clock);
+  ~ObservabilityPipeline();
+
+  ObservabilityPipeline(const ObservabilityPipeline&) = delete;
+  ObservabilityPipeline& operator=(const ObservabilityPipeline&) = delete;
+
+  /// Installs the domain samplers (SLO deltas, broker scores) and the
+  /// drift/burn alert rules. Either pointer may be null (that sampler is
+  /// skipped). Call once, before start()/the first tick.
+  void attach(Dispatcher* dispatcher, broker::ResourceBroker* broker);
+
+  void start();
+  void stop();
+
+  /// One full tick at a grid deadline: scrape, evaluate alerts with burn
+  /// windows ending at `deadline`, refresh the crash snapshot. The simtest
+  /// harness's deterministic entry point.
+  void tick_at(common::TimeNs deadline);
+  /// Production path: scrape every due deadline per the catch-up policy,
+  /// then evaluate at the newest scraped deadline.
+  void run_pending(common::TimeNs now);
+
+  /// Submit-rejection accounting for the rejection-ratio SLO (cold path:
+  /// called only when a submission is turned away).
+  void note_rejected(const std::string& user);
+
+  /// Fired/resolved/burn-status surface for the admin endpoints.
+  telemetry::TimeSeriesDb& tsdb() noexcept { return tsdb_; }
+  const telemetry::TimeSeriesDb& tsdb() const noexcept { return tsdb_; }
+  telemetry::MetricsCollector& collector() noexcept { return *collector_; }
+  telemetry::AlertManager& alerts() noexcept { return alerts_; }
+  telemetry::FlightRecorder& recorder() noexcept { return *recorder_; }
+  const ObservabilityOptions& options() const noexcept { return options_; }
+
+  common::DurationNs short_window() const noexcept;
+  common::DurationNs long_window() const noexcept;
+
+  /// {"scrapes": N, "missed": N, "active_alerts": N, ...} for /admin/status
+  /// and the flight dump's "info" section.
+  common::Json status_json() const;
+
+ private:
+  void install_samplers();
+  void install_rules();
+  void on_alert(const telemetry::AlertRecord& record);
+  void evaluate_at(common::TimeNs deadline);
+
+  ObservabilityOptions options_;
+  telemetry::MetricsRegistry* registry_;
+  telemetry::EventLog* events_;
+  common::Clock* clock_;
+  Dispatcher* dispatcher_ = nullptr;
+  broker::ResourceBroker* broker_ = nullptr;
+
+  telemetry::TimeSeriesDb tsdb_;
+  std::unique_ptr<telemetry::MetricsCollector> collector_;
+  telemetry::AlertManager alerts_;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
+
+  /// Delta baselines turning the dispatcher's cumulative SLO counters into
+  /// per-tick event counts, plus the pipeline's own rejection counters.
+  /// Guarded by slo_mutex_; touched by the sampler (scrape lock held) and
+  /// note_rejected (submit cold path).
+  struct SloBaseline {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t latency_over = 0;
+    std::uint64_t rejected = 0;
+  };
+  mutable std::mutex slo_mutex_;
+  std::map<std::string, SloBaseline> slo_baseline_;
+  std::map<std::string, std::uint64_t> rejected_;
+
+  /// Newest deadline already alert-evaluated (run_pending() is called far
+  /// more often than deadlines elapse).
+  common::TimeNs last_evaluated_ = -1;
+
+  std::jthread scraper_;
+};
+
+}  // namespace qcenv::daemon

@@ -168,7 +168,10 @@ Status LocalEmulatorQrmi::task_stop(const std::string& task_id) {
 }
 
 Result<quantum::DeviceSpec> LocalEmulatorQrmi::target() {
-  return backend_->spec();
+  quantum::DeviceSpec spec = backend_->spec();
+  std::scoped_lock lock(mutex_);
+  if (fault_hooks_.mutate_spec) fault_hooks_.mutate_spec(spec);
+  return spec;
 }
 
 common::Json LocalEmulatorQrmi::metadata() {

@@ -39,6 +39,10 @@ struct EmulatorFaultHooks {
   /// invariant violations (e.g. silently dropping shots) and prove the
   /// simtest sweep detects them.
   std::function<quantum::Samples(quantum::Samples)> corrupt_result;
+  /// Applied to the DeviceSpec returned by target(). Drives calibration
+  /// drift in simulation: the harness degrades calibration fields as a pure
+  /// function of virtual time so drift alerts replay deterministically.
+  std::function<void(quantum::DeviceSpec&)> mutate_spec;
 };
 
 class LocalEmulatorQrmi final

@@ -23,6 +23,8 @@ const char* to_string(FaultOp op) noexcept {
     case FaultOp::kCompact: return "compact";
     case FaultOp::kCompactCrash: return "compact_crash";
     case FaultOp::kSubmitStorm: return "submit_storm";
+    case FaultOp::kCalibrationDrift: return "calibration_drift";
+    case FaultOp::kScrapeStall: return "scrape_stall";
   }
   return "?";
 }
@@ -57,6 +59,13 @@ std::string FaultEvent::to_string() const {
       break;
     case FaultOp::kCompactCrash:
       out += " atomic_write=" + std::to_string(param);
+      break;
+    case FaultOp::kCalibrationDrift:
+      out += " emu" + std::to_string(target) + " rate=" +
+             std::to_string(param) + "/1000 per s";
+      break;
+    case FaultOp::kScrapeStall:
+      out += " for=" + std::to_string(param) + "ms";
       break;
     default:
       break;
@@ -135,6 +144,19 @@ FaultPlan make_fault_plan(common::Rng& rng,
     plan.events.push_back(
         {at(0.1, 0.75), FaultOp::kSubmitStorm, pick_user(),
          static_cast<std::uint64_t>(rng.uniform_int(8, 20))});
+  }
+  for (std::size_t i = 0; i < options.calib_drifts; ++i) {
+    // Onset at 30-50% of the horizon: the drift detectors' warmup window
+    // (~20 scrapes at the sweep's grid) completes on the stable baseline
+    // first, and plenty of post-onset scrapes remain to alarm on.
+    plan.events.push_back(
+        {at(0.3, 0.5), FaultOp::kCalibrationDrift, pick_resource(),
+         static_cast<std::uint64_t>(rng.uniform_int(25, 80))});
+  }
+  for (std::size_t i = 0; i < options.scrape_stalls; ++i) {
+    plan.events.push_back(
+        {at(0.2, 0.6), FaultOp::kScrapeStall, 0,
+         static_cast<std::uint64_t>(rng.uniform_int(500, 3000))});
   }
   for (std::size_t i = 0; i < options.compactions; ++i) {
     plan.events.push_back({at(0.3, 0.9), FaultOp::kCompact, 0, 0});

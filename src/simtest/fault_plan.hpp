@@ -35,6 +35,13 @@ enum class FaultOp {
                      // mid-migration crash when the journal is migrating
                      // formats); a kKillRestart always follows
   kSubmitStorm,      // target user bursts `param` submissions at once
+  kCalibrationDrift,  // target resource's calibration starts degrading as
+                      // a pure function of virtual time (`param` = drift
+                      // rate in 1/1000 per virtual second); the alerting
+                      // pipeline's drift detectors must catch it
+  kScrapeStall,       // the scrape loop loses every grid deadline for the
+                      // next `param` virtual milliseconds (samples lost,
+                      // not late)
 };
 
 const char* to_string(FaultOp op) noexcept;
@@ -75,6 +82,11 @@ struct FaultPlanOptions {
   /// error (exercises mid-dispatch failover, distinct from flaps). Applied
   /// by the scenario's emulator hooks, not as discrete events.
   double brownout_prob = 0.0;
+  /// Calibration-drift onsets (at 30-50% of the horizon, so the drift
+  /// detectors have a warmed-up baseline before the shift).
+  std::size_t calib_drifts = 0;
+  /// Scrape-stall windows (the metrics pipeline's own fault mode).
+  std::size_t scrape_stalls = 0;
 };
 
 struct FaultPlan {

@@ -130,6 +130,37 @@ std::vector<std::string> check_invariants(const InvariantInput& input) {
                          " records retained, cap " +
                          std::to_string(input.records_cap));
   }
+  if (input.observability && input.scrape_interval > 0) {
+    bool drift_alerted = false;
+    for (const auto& alert : input.alerts) {
+      // Scrapes stamp at grid deadlines and alerts evaluate at those same
+      // deadlines — a timestamp off the grid means wall time leaked into
+      // the alert pipeline (the replay-determinism bug this guards).
+      if (alert.fired_at <= 0 ||
+          alert.fired_at % input.scrape_interval != 0) {
+        violations.push_back(
+            "alert '" + alert.rule + "/" + alert.label +
+            "' fired off the scrape grid at " +
+            std::to_string(alert.fired_at) + " ns (interval " +
+            std::to_string(input.scrape_interval) + " ns)");
+      }
+      if (alert.resolved_at != 0 &&
+          alert.resolved_at % input.scrape_interval != 0) {
+        violations.push_back(
+            "alert '" + alert.rule + "/" + alert.label +
+            "' resolved off the scrape grid at " +
+            std::to_string(alert.resolved_at) + " ns");
+      }
+      if (alert.rule.rfind("calibration_drift", 0) == 0) {
+        drift_alerted = true;
+      }
+    }
+    if (input.expect_drift_alert && !drift_alerted) {
+      violations.push_back(
+          "calibration drift was injected with enough warmup and "
+          "post-onset scrapes, but no calibration_drift alert fired");
+    }
+  }
   return violations;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "daemon/dispatcher.hpp"
+#include "telemetry/alerts.hpp"
 #include "telemetry/trace.hpp"
 
 namespace qcenv::simtest {
@@ -57,6 +58,16 @@ struct InvariantInput {
   bool check_traces = false;
   /// Job id -> its trace, as found at gather time (evicted traces absent).
   std::map<std::uint64_t, telemetry::JobTrace> traces;
+
+  /// Observability pipeline was on: every alert record accumulated across
+  /// all daemon lives (fired and resolved), the scrape grid interval, and
+  /// whether the plan guarantees a calibration-drift alert (computed from
+  /// the schedule: enough pre/post-onset scrapes, no restart resetting the
+  /// detectors, no flap/drain hiding the drifting resource's samples).
+  bool observability = false;
+  std::vector<telemetry::AlertRecord> alerts;
+  common::DurationNs scrape_interval = 0;
+  bool expect_drift_alert = false;
 };
 
 /// Returns one message per violated invariant (empty = all hold):
@@ -69,7 +80,11 @@ struct InvariantInput {
 ///     executed, and in-flight reservations drained to zero,
 ///   - the queue is empty and, under GC, records_ stays within its cap,
 ///   - with tracing on, every terminal job has a finished, well-nested
-///     span tree whose stage durations sum to its observed latency.
+///     span tree whose stage durations sum to its observed latency,
+///   - with observability on, every alert timestamp sits exactly on the
+///     scrape grid (fired_at > 0, divisible by the interval) and a
+///     schedule that guarantees a calibration drift produced a
+///     calibration_drift alert.
 std::vector<std::string> check_invariants(const InvariantInput& input);
 
 }  // namespace qcenv::simtest

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <thread>
+#include <tuple>
 
 #include "common/rng.hpp"
 #include "common/temp_dir.hpp"
@@ -75,13 +78,23 @@ std::vector<Submission> make_workload(common::Rng& rng,
   return load;
 }
 
-/// Latency/brownout model behind the emulator fault hooks. Hooks fire on
-/// dispatch lanes concurrently, and Rng is not thread-safe.
+/// Latency/brownout/drift model behind the emulator fault hooks. Hooks
+/// fire on dispatch lanes concurrently, and Rng is not thread-safe.
 struct EmuModel {
   std::mutex mutex;
   common::Rng rng{0};
   bool latency = false;
   double brownout = 0.0;
+  /// Calibration drift (kCalibrationDrift): once drift_onset >= 0, every
+  /// target() report degrades — fill_success decays and dephasing grows —
+  /// by the current drift_level. The level is advanced ONLY by the
+  /// harness, at scrape-grid deadlines, as min(0.6, rate * seconds since
+  /// onset) with both endpoints taken from the plan/grid rather than the
+  /// live clock: the sampled score series is then bit-identical between
+  /// replays, so the drift-alert timeline must be too.
+  TimeNs drift_onset = -1;
+  double drift_rate = 0.0;
+  double drift_level = 0.0;
 };
 
 /// The world one scenario lives in: fleet, daemon, clock, disk, tenants,
@@ -92,6 +105,12 @@ class SimWorld {
       : options_(options),
         result_(result),
         clock_(0, /*auto_advance=*/true),
+        scrape_interval_(options.scrape_interval > 0
+                             ? options.scrape_interval
+                             : std::max<DurationNs>(common::kMillisecond,
+                                                    options.horizon / 128)),
+        max_grid_(static_cast<std::uint64_t>(options.horizon /
+                                             scrape_interval_)),
         storm_rng_(common::Rng(options.seed).fork(3)) {
     for (std::size_t i = 0; i < options_.fleet_size; ++i) {
       auto emu = qrmi::LocalEmulatorQrmi::create(
@@ -102,6 +121,18 @@ class SimWorld {
       model->latency = options_.latency;
       model->brownout = options_.faults.brownout_prob;
       qrmi::EmulatorFaultHooks hooks;
+      // Always installed: the drift model must be attachable mid-run by a
+      // kCalibrationDrift event even when latency/brownout are off. The
+      // hook only APPLIES the current level — computing it from the live
+      // auto-advancing clock here would smear an interleaving-dependent
+      // epsilon into the sampled scores and, near detector thresholds,
+      // into the alert timeline itself (pump_scrapes owns the update).
+      hooks.mutate_spec = [model](quantum::DeviceSpec& spec) {
+        std::scoped_lock lock(model->mutex);
+        if (model->drift_level <= 0.0) return;
+        spec.calibration.fill_success *= (1.0 - model->drift_level);
+        spec.calibration.dephasing_rate += model->drift_level;
+      };
       if (model->latency || model->brownout > 0.0) {
         hooks.on_start =
             [model](const quantum::Payload&)
@@ -160,6 +191,103 @@ class SimWorld {
     if (disk_dead_) return false;
     auto* store = daemon_->state_store();
     return store == nullptr || !store->journal().io_error().has_value();
+  }
+
+  /// Precomputes the scrape-stall windows and decides whether this plan
+  /// GUARANTEES a calibration-drift alert (the invariant then demands
+  /// one). The guarantee is deliberately conservative: no restart may
+  /// reset the detectors mid-run, nothing may hide the drifting
+  /// resource's samples (flap or drain), and the grid must hold at least
+  /// warmup+2 clean scrapes before onset and 6 after.
+  void prepare_observability(const FaultPlan& plan) {
+    for (const auto& event : plan.events) {
+      if (event.op == FaultOp::kScrapeStall) {
+        stall_windows_.emplace_back(
+            event.at, event.at + static_cast<DurationNs>(event.param) *
+                                     common::kMillisecond);
+      }
+    }
+    if (!options_.observability) return;
+    bool restarts = false;
+    std::vector<const FaultEvent*> drifts;
+    std::vector<bool> hidden(options_.fleet_size, false);
+    for (const auto& event : plan.events) {
+      switch (event.op) {
+        case FaultOp::kKillRestart:
+          restarts = true;
+          break;
+        case FaultOp::kCalibrationDrift:
+          drifts.push_back(&event);
+          break;
+        case FaultOp::kQpuOffline:
+        case FaultOp::kDrainResource:
+          hidden[event.target % options_.fleet_size] = true;
+          break;
+        case FaultOp::kDrainAll:
+          std::fill(hidden.begin(), hidden.end(), true);
+          break;
+        default:
+          break;
+      }
+    }
+    if (restarts) return;
+    for (const auto* drift : drifts) {
+      if (hidden[drift->target % options_.fleet_size]) continue;
+      std::size_t pre = 0;
+      std::size_t post = 0;
+      for (std::uint64_t i = 1; i <= max_grid_; ++i) {
+        const TimeNs t =
+            static_cast<TimeNs>(i) * scrape_interval_;
+        if (stalled(t)) continue;
+        ++(t < drift->at ? pre : post);
+      }
+      if (pre >= kDriftWarmup + 2 && post >= 6) {
+        expect_drift_alert_ = true;
+        break;
+      }
+    }
+  }
+
+  /// Drives every scrape-grid deadline that virtual time has passed, in
+  /// order, through the pipeline's deterministic entry point. The grid
+  /// index is HARNESS state, not collector state: it survives daemon
+  /// restarts (a new life's collector re-anchors on the mid-run clock,
+  /// which would skew the grid) and caps at the horizon so quiescence
+  /// overshoot cannot mint extra samples.
+  void pump_scrapes() {
+    if (!options_.observability) return;
+    const TimeNs now = clock_.now();
+    while (grid_idx_ <= max_grid_) {
+      const TimeNs t = static_cast<TimeNs>(grid_idx_) * scrape_interval_;
+      if (t > now) break;
+      // Advance every drifting emulator's degradation level to this grid
+      // deadline — grid time in, grid time out, so the scores the scrape
+      // below samples are exact functions of the seed.
+      for (const auto& model : models_) {
+        std::scoped_lock lock(model->mutex);
+        if (model->drift_onset < 0 || t < model->drift_onset) continue;
+        model->drift_level = std::min(
+            0.6, model->drift_rate *
+                     common::to_seconds(t - model->drift_onset));
+      }
+      if (auto* obs = daemon_->observability()) {
+        if (stalled(t)) {
+          obs->collector().note_missed();
+        } else {
+          obs->tick_at(t);
+        }
+      }
+      ++grid_idx_;
+    }
+  }
+
+  /// Runs out the rest of the grid after quiescence so every scenario
+  /// evaluates the same number of scrapes regardless of how early the
+  /// workload drained.
+  void finish_scrapes() {
+    if (!options_.observability || max_grid_ == 0) return;
+    clock_.advance_to(static_cast<TimeNs>(max_grid_) * scrape_interval_);
+    pump_scrapes();
   }
 
   void submit(std::size_t user, JobClass cls, std::uint64_t shots) {
@@ -267,6 +395,22 @@ class SimWorld {
         }
         break;
       }
+      case FaultOp::kCalibrationDrift: {
+        ++result_.stats.calib_drifts;
+        auto& model = models_[event.target % models_.size()];
+        std::scoped_lock lock(model->mutex);
+        // Onset pinned to the PLAN's timestamp, not the clock read (which
+        // sits an interleaving-dependent epsilon past it).
+        model->drift_onset = event.at;
+        model->drift_rate = static_cast<double>(event.param) / 1000.0;
+        break;
+      }
+      case FaultOp::kScrapeStall:
+        // The windows themselves were precomputed from the plan
+        // (prepare_observability) — pump_scrapes consults them on every
+        // grid deadline; the event only counts for the summary line.
+        ++result_.stats.scrape_stalls;
+        break;
     }
   }
 
@@ -311,6 +455,7 @@ class SimWorld {
         break;
       }
       clock_.advance(2 * common::kMillisecond);
+      pump_scrapes();
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
@@ -364,10 +509,39 @@ class SimWorld {
       dump["traces"] = std::move(traces);
       result_.trace_dump = dump.dump();
     }
+    // A journal fail-stop mid-scenario made some daemon life dump its
+    // black box to <data_dir>/flight.json; surface the forensics with the
+    // result before the temp dir evaporates.
+    if (options_.durable) {
+      std::ifstream dump_file(dir_.path() + "/flight.json");
+      if (dump_file) {
+        std::ostringstream dump;
+        dump << dump_file.rdbuf();
+        result_.flight_dump = dump.str();
+      }
+    }
     input.gc_enabled = options_.gc;
     input.records_count = daemon_->dispatcher().jobs_snapshot().size();
     input.records_cap = options_.gc ? kGcCap : 0;
     input.check_ledger_balance = !options_.gc;
+    if (options_.observability) {
+      harvest_alerts();
+      // Stable fired-order: lane interleaving never reorders records with
+      // distinct grid stamps, and ties break on rule/label so two replays
+      // serialize identically.
+      std::sort(past_alerts_.begin(), past_alerts_.end(),
+                [](const telemetry::AlertRecord& a,
+                   const telemetry::AlertRecord& b) {
+                  return std::tie(a.fired_at, a.rule, a.label) <
+                         std::tie(b.fired_at, b.rule, b.label);
+                });
+      input.observability = true;
+      input.alerts = past_alerts_;
+      input.scrape_interval = scrape_interval_;
+      input.expect_drift_alert = expect_drift_alert_;
+      result_.alerts = past_alerts_;
+      result_.stats.alerts_fired = past_alerts_.size();
+    }
     // Final per-state tally for the sweep's summary line.
     for (const auto& [id, job] : input.jobs) {
       if (tracked_.count(id) == 0) continue;
@@ -385,6 +559,31 @@ class SimWorld {
 
  private:
   static constexpr std::size_t kGcCap = 12;
+  /// Mirrors ObservabilityOptions::drift_warmup (asserted in make_daemon
+  /// by setting it explicitly): scrapes the detectors swallow before they
+  /// may alarm.
+  static constexpr std::size_t kDriftWarmup = 20;
+
+  bool stalled(TimeNs t) const {
+    for (const auto& [from, to] : stall_windows_) {
+      if (t >= from && t <= to) return true;
+    }
+    return false;
+  }
+
+  /// Folds the current daemon life's alert records (resolved history
+  /// first, then still-active) into the cross-life accumulator. Called
+  /// right before a kill tears the pipeline down, and once at gather.
+  void harvest_alerts() {
+    auto* obs = daemon_ != nullptr ? daemon_->observability() : nullptr;
+    if (obs == nullptr) return;
+    for (const auto& record : obs->alerts().history()) {
+      past_alerts_.push_back(record);
+    }
+    for (const auto& record : obs->alerts().active()) {
+      past_alerts_.push_back(record);
+    }
+  }
 
   std::string user_name(std::size_t u) const {
     return "u" + std::to_string(u);
@@ -461,6 +660,10 @@ class SimWorld {
     if (daemon_->state_store() == nullptr) return;  // nothing to recover
     ++result_.stats.restarts;
     if (journal_healthy()) capture_durable_terminals();
+    // The pipeline dies with the process but its alert record is the
+    // operator's, not the daemon's: harvest it before the kill so the
+    // invariants see the full cross-life timeline.
+    harvest_alerts();
     // Teardown stands in for the kill: with a dead disk the final flushes
     // fail and everything after the fail point is simply gone — exactly
     // the on-disk image a crash would leave.
@@ -549,6 +752,20 @@ class SimWorld {
     // evicted mid-run.
     options.telemetry.trace_capacity = 1 << 16;
     options.telemetry.event_capacity = 1 << 14;
+    // The live metrics pipeline under simulation: no scrape thread (the
+    // harness owns the grid via tick_at), catch-up scrapes every missed
+    // deadline, and burn windows sized in grid ticks so SLO evaluation is
+    // meaningful at any seed's horizon.
+    auto& obs = options.telemetry.observability;
+    obs.enabled = options_.observability;
+    if (options_.observability) {
+      obs.scrape_thread = false;
+      obs.scrape_all_overdue = true;
+      obs.scrape_interval = scrape_interval_;
+      obs.slo_short_window = 4 * scrape_interval_;
+      obs.slo_long_window = 16 * scrape_interval_;
+      obs.drift_warmup = kDriftWarmup;
+    }
     qrmi::ResourceRegistry fleet;
     for (std::size_t i = 0; i < emus_.size(); ++i) {
       fleet.add(emu_name(i), emus_[i]);
@@ -565,6 +782,13 @@ class SimWorld {
   const ScenarioOptions& options_;
   ScenarioResult& result_;
   common::ManualClock clock_;
+  /// Scrape grid, owned by the harness (see pump_scrapes).
+  DurationNs scrape_interval_ = 0;
+  std::uint64_t grid_idx_ = 1;
+  std::uint64_t max_grid_ = 0;
+  std::vector<std::pair<TimeNs, TimeNs>> stall_windows_;
+  std::vector<telemetry::AlertRecord> past_alerts_;
+  bool expect_drift_alert_ = false;
   common::TempDir dir_{"qcenv-simtest-"};
   store::CountingFaultInjector injector_;
   bool disk_dead_ = false;
@@ -618,11 +842,15 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
                    [](const Step& a, const Step& b) { return a.at < b.at; });
 
   SimWorld world(options, result);
+  world.prepare_observability(plan);
   for (const auto& step : timeline) {
     // Catch-up jump (lanes may already have nudged virtual time past the
     // step through their poll sleeps — events then fire back-to-back, in
     // order, which preserves the schedule's semantics).
     world.clock().advance_to(step.at);
+    // Grid deadlines the jump passed fire before the step itself: a
+    // scrape scheduled at or before t observes the world as of t.
+    world.pump_scrapes();
     if (step.is_fault) {
       world.apply(plan.events[step.index]);
     } else {
@@ -631,6 +859,7 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
     }
   }
   world.drive_to_quiescence();
+  world.finish_scrapes();
   auto input = world.gather();
   auto violations = check_invariants(input);
   result.violations.insert(result.violations.end(), violations.begin(),
@@ -694,6 +923,12 @@ ScenarioOptions scenario_for_seed(std::uint64_t seed, bool quick) {
   }
   options.faults.compact_crashes =
       options.durable && rng.bernoulli(0.25) ? 1 : 0;
+  // Metrics-pipeline faults: a calibration drift on roughly a third of
+  // seeds (the invariant demands an alert only when the plan guarantees
+  // one — see SimWorld::prepare_observability), a scrape stall on a
+  // fifth. The grid interval derives from the horizon (~128 scrapes).
+  options.faults.calib_drifts = rng.bernoulli(0.35) ? 1 : 0;
+  options.faults.scrape_stalls = rng.bernoulli(0.2) ? 1 : 0;
   return options;
 }
 

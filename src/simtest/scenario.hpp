@@ -74,6 +74,12 @@ struct ScenarioOptions {
   /// job's trace into ScenarioResult::trace_dump (JSON) — the sweep's
   /// `--trace` flag, for debugging a failing seed stage by stage.
   bool trace_dump = false;
+  /// Live metrics pipeline under test: the harness drives the scrape loop
+  /// on its own deterministic grid (tick_at, never the clock-driven
+  /// thread) so the alert timeline is a pure function of the seed.
+  bool observability = true;
+  /// Scrape grid interval; 0 derives ~horizon/128 (min 1 ms).
+  common::DurationNs scrape_interval = 0;
 };
 
 struct ScenarioStats {
@@ -88,6 +94,9 @@ struct ScenarioStats {
   std::size_t disk_faults = 0;
   std::size_t compactions = 0;
   std::size_t compact_crashes = 0;
+  std::size_t calib_drifts = 0;
+  std::size_t scrape_stalls = 0;
+  std::size_t alerts_fired = 0;
   common::TimeNs virtual_end = 0;
 };
 
@@ -100,6 +109,13 @@ struct ScenarioResult {
   std::vector<std::string> violations;
   /// JSON {events, traces} when ScenarioOptions::trace_dump was set.
   std::string trace_dump;
+  /// The flight recorder's forensics JSON, when any daemon life dumped one
+  /// (a journal fail-stop mid-scenario). The sweep ships it with the
+  /// failure artifact; `simtest_sweep --dump-check` validates its shape.
+  std::string flight_dump;
+  /// Every alert record across all daemon lives, in fired order — the
+  /// sweep's double-run determinism check compares these between replays.
+  std::vector<telemetry::AlertRecord> alerts;
   bool ok() const { return violations.empty(); }
 };
 

@@ -16,6 +16,8 @@ std::string summary_line(const ScenarioResult& result) {
                     std::to_string(stats.restarts) + " restart(s), " +
                     std::to_string(stats.flaps) + " flap(s), " +
                     std::to_string(stats.disk_faults) + " disk fault(s), " +
+                    std::to_string(stats.calib_drifts) + " drift(s), " +
+                    std::to_string(stats.alerts_fired) + " alert(s), " +
                     std::to_string(stats.virtual_end /
                                    common::kMillisecond) +
                     " virtual ms";
@@ -39,6 +41,35 @@ void report_failure(const ScenarioResult& result, std::ostream& out) {
     out << "  trace dump (events + per-job span trees):\n"
         << result.trace_dump << "\n";
   }
+  if (!result.flight_dump.empty()) {
+    out << "  flight dump (crash forensics from the failing run):\n"
+        << result.flight_dump << "\n";
+  }
+}
+
+/// The calibration-drift alert timeline as comparable strings. Only drift
+/// rules qualify: their inputs are pure functions of the seed and the
+/// scrape grid, so two runs of the same seed must reproduce them record
+/// for record. SLO burn alerts ride queue occupancy, which is the host
+/// scheduler's to interleave — deliberately excluded.
+std::vector<std::string> drift_timeline(const ScenarioResult& result) {
+  std::vector<std::string> timeline;
+  for (const auto& alert : result.alerts) {
+    if (alert.rule.rfind("calibration_drift", 0) != 0) continue;
+    timeline.push_back(alert.rule + "/" + alert.label + " " +
+                       to_string(alert.severity) + " @" +
+                       std::to_string(alert.fired_at));
+  }
+  return timeline;
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& part : parts) {
+    if (!out.empty()) out += ", ";
+    out += part;
+  }
+  return out.empty() ? "(none)" : out;
 }
 
 }  // namespace
@@ -50,6 +81,21 @@ SweepOutcome run_sweep(const SweepOptions& options, std::ostream& log) {
     ScenarioOptions scenario = scenario_for_seed(seed, options.quick);
     scenario.trace_dump = options.trace;
     ScenarioResult result = run_scenario(scenario);
+    // Alert-determinism invariant: a seed that injected calibration drift
+    // is run twice and must fire the identical drift-alert timeline at
+    // the identical virtual timestamps — any divergence means wall time
+    // or interleaving leaked into the alerting path.
+    if (result.ok() && scenario.observability &&
+        scenario.faults.calib_drifts > 0) {
+      const ScenarioResult replay = run_scenario(scenario);
+      const auto first = drift_timeline(result);
+      const auto second = drift_timeline(replay);
+      if (first != second) {
+        result.violations.push_back(
+            "drift-alert timeline not reproducible: run1 [" + join(first) +
+            "] vs run2 [" + join(second) + "]");
+      }
+    }
     ++outcome.ran;
     if (result.ok()) {
       if (options.verbose) log << summary_line(result) << "\n";

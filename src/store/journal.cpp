@@ -600,6 +600,9 @@ void JobJournal::fail_locked(common::Error error) {
     events_->log(clock_->now(), telemetry::Severity::kError,
                  "journal_fail_stop", io_error_->to_string());
   }
+  // After the event is logged, so a flight-recorder dump triggered here
+  // captures the journal_fail_stop event itself.
+  if (fail_hook_) fail_hook_(io_error_->to_string());
 }
 
 void JobJournal::reserve_through(std::uint64_t seq) {
@@ -708,6 +711,7 @@ void JobJournal::writer_loop() {
       return stop_ || flush_requested_ ||
              pending_.size() >= options_.group_commit_max_batch;
     });
+    if (heartbeat_) heartbeat_();
     if (pending_.empty()) {
       if (flush_requested_) {
         // Everything is written; make it durable.

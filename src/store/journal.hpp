@@ -138,6 +138,22 @@ class JobJournal {
   /// Call before open(); the log must outlive this journal.
   void set_event_log(telemetry::EventLog* events) { events_ = events; }
 
+  /// Invoked exactly once, after the sticky fail-stop is recorded and its
+  /// journal_fail_stop event logged — the flight-recorder dump trigger.
+  /// Runs on the thread that hit the failure with the journal mutex held,
+  /// so the hook must not call back into this journal.
+  void set_fail_stop_hook(std::function<void(const std::string&)> hook) {
+    std::scoped_lock lock(mutex_);
+    fail_hook_ = std::move(hook);
+  }
+
+  /// Invoked on every writer-thread wakeup (the journal-writer watchdog
+  /// heartbeat). Same reentrancy rule as set_fail_stop_hook.
+  void set_heartbeat(std::function<void()> heartbeat) {
+    std::scoped_lock lock(mutex_);
+    heartbeat_ = std::move(heartbeat);
+  }
+
   /// Blocks until every event appended so far is written AND fsynced.
   /// Errs once the journal has failed (see io_error()).
   common::Status flush();
@@ -235,6 +251,8 @@ class JobJournal {
   telemetry::HistogramMetric* batch_events_hist_ = nullptr;
   telemetry::HistogramMetric* commit_seconds_hist_ = nullptr;
   telemetry::EventLog* events_ = nullptr;
+  std::function<void(const std::string&)> fail_hook_;
+  std::function<void()> heartbeat_;
 
   std::string path_;
   int fd_ = -1;

@@ -67,6 +67,8 @@ Result<RecoveredState> StateStore::open() {
 
   journal_ = std::make_unique<JobJournal>(options_.journal, clock_, metrics_);
   journal_->set_event_log(events_);
+  if (fail_hook_) journal_->set_fail_stop_hook(fail_hook_);
+  if (writer_heartbeat_) journal_->set_heartbeat(writer_heartbeat_);
   QCENV_RETURN_IF_ERROR(
       journal_->open(journal_path(), entries, prefix_bytes));
   // A snapshot watermark can outrun a freshly-truncated journal; never
@@ -100,6 +102,17 @@ Result<RecoveredState> StateStore::open() {
 void StateStore::set_snapshot_provider(SnapshotProvider provider) {
   std::scoped_lock lock(mutex_);
   provider_ = std::move(provider);
+}
+
+void StateStore::set_fail_stop_hook(
+    std::function<void(const std::string&)> hook) {
+  fail_hook_ = std::move(hook);
+  if (journal_ != nullptr) journal_->set_fail_stop_hook(fail_hook_);
+}
+
+void StateStore::set_writer_heartbeat(std::function<void()> heartbeat) {
+  writer_heartbeat_ = std::move(heartbeat);
+  if (journal_ != nullptr) journal_->set_heartbeat(writer_heartbeat_);
 }
 
 void StateStore::append(const std::string& type, Json data) {

@@ -105,6 +105,14 @@ class StateStore {
   /// outlive this store.
   void set_event_log(telemetry::EventLog* events) { events_ = events; }
 
+  /// Forwarded to the journal's fail-stop hook (flight-recorder dump on
+  /// disk death). Safe to call before or after open().
+  void set_fail_stop_hook(std::function<void(const std::string&)> hook);
+
+  /// Forwarded to the journal writer's watchdog heartbeat. Safe to call
+  /// before or after open().
+  void set_writer_heartbeat(std::function<void()> heartbeat);
+
   void set_snapshot_provider(SnapshotProvider provider);
 
   // ---- journal events (names match the replayer's) -----------------------
@@ -171,6 +179,8 @@ class StateStore {
   common::Clock* clock_;
   telemetry::MetricsRegistry* metrics_;
   telemetry::EventLog* events_ = nullptr;
+  std::function<void(const std::string&)> fail_hook_;
+  std::function<void()> writer_heartbeat_;
   std::unique_ptr<JobJournal> journal_;
 
   mutable std::mutex mutex_;

@@ -1,5 +1,11 @@
 #include "telemetry/alerts.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/strings.hpp"
+
 namespace qcenv::telemetry {
 
 const char* to_string(AlertSeverity severity) noexcept {
@@ -11,9 +17,38 @@ const char* to_string(AlertSeverity severity) noexcept {
   return "?";
 }
 
+common::Json AlertRecord::to_json() const {
+  common::Json out = common::Json::object();
+  out["rule"] = rule;
+  out["label"] = label;
+  out["severity"] = to_string(severity);
+  out["fired_at"] = fired_at;
+  out["resolved_at"] = resolved_at;
+  out["active"] = active();
+  out["detail"] = detail;
+  return out;
+}
+
+common::Json BurnStatus::to_json() const {
+  common::Json out = common::Json::object();
+  out["rule"] = rule;
+  out["label"] = label;
+  out["short_burn"] = short_burn;
+  out["long_burn"] = long_burn;
+  out["threshold"] = threshold;
+  out["objective"] = objective;
+  out["active"] = active;
+  return out;
+}
+
 void AlertManager::add_rule(AlertRule rule) {
   std::scoped_lock lock(mutex_);
-  rules_.push_back(RuleState{std::move(rule), -1});
+  rules_.push_back(DriftState{std::move(rule), -1, 0});
+}
+
+void AlertManager::add_burn_rule(BurnRateRule rule) {
+  std::scoped_lock lock(mutex_);
+  burn_rules_.push_back(BurnState{std::move(rule)});
 }
 
 void AlertManager::add_sink(AlertSink sink) {
@@ -21,10 +56,80 @@ void AlertManager::add_sink(AlertSink sink) {
   sinks_.push_back(std::move(sink));
 }
 
-std::vector<FiredAlert> AlertManager::evaluate(const TimeSeriesDb& tsdb) {
+std::size_t AlertManager::rule_count() const {
   std::scoped_lock lock(mutex_);
-  std::vector<FiredAlert> fired;
-  for (RuleState& state : rules_) {
+  return rules_.size() + burn_rules_.size();
+}
+
+void AlertManager::fire_locked(AlertRecord record,
+                               std::vector<AlertRecord>& out) {
+  const AlertKey key{record.rule, record.label};
+  active_[key] = record;
+  for (const auto& sink : sinks_) sink(record);
+  out.push_back(std::move(record));
+}
+
+void AlertManager::resolve_locked(const AlertKey& key, common::TimeNs at,
+                                  std::vector<AlertRecord>& out) {
+  const auto it = active_.find(key);
+  if (it == active_.end()) return;
+  AlertRecord record = it->second;
+  record.resolved_at = at;
+  active_.erase(it);
+  history_.push_back(record);
+  while (history_.size() > history_cap_) history_.pop_front();
+  for (const auto& sink : sinks_) sink(record);
+  out.push_back(std::move(record));
+}
+
+std::vector<std::string> AlertManager::burn_groups_locked(
+    const TimeSeriesDb& tsdb, const BurnRateRule& rule) const {
+  std::set<std::string> groups;
+  for (const SeriesKey& key : tsdb.series()) {
+    if (key.measurement != rule.bad_measurement &&
+        key.measurement != rule.good_measurement) {
+      continue;
+    }
+    if (rule.group_tag.empty()) {
+      groups.insert("");
+      continue;
+    }
+    const auto tag = key.tags.find(rule.group_tag);
+    if (tag != key.tags.end()) groups.insert(tag->second);
+  }
+  return {groups.begin(), groups.end()};
+}
+
+double AlertManager::burn_over_window(const TimeSeriesDb& tsdb,
+                                      const BurnRateRule& rule,
+                                      const std::string& group,
+                                      common::TimeNs now,
+                                      common::DurationNs window) {
+  Tags tags;
+  if (!rule.group_tag.empty()) tags[rule.group_tag] = group;
+  const common::TimeNs start = now >= window ? now - window : 0;
+  double bad = 0;
+  double good = 0;
+  for (const Point& p : tsdb.query_range(
+           SeriesKey{rule.bad_measurement, tags}, start, now)) {
+    bad += p.value;
+  }
+  for (const Point& p : tsdb.query_range(
+           SeriesKey{rule.good_measurement, tags}, start, now)) {
+    good += p.value;
+  }
+  const double total = bad + good;
+  if (total <= 0) return 0;
+  const double budget = std::max(1e-9, 1.0 - rule.objective);
+  return (bad / total) / budget;
+}
+
+std::vector<AlertRecord> AlertManager::evaluate(const TimeSeriesDb& tsdb,
+                                                common::TimeNs now) {
+  std::scoped_lock lock(mutex_);
+  std::vector<AlertRecord> transitions;
+
+  for (DriftState& state : rules_) {
     const auto points = tsdb.query_range(
         state.rule.series, state.high_water + 1,
         std::numeric_limits<common::TimeNs>::max());
@@ -37,17 +142,105 @@ std::vector<FiredAlert> AlertManager::evaluate(const TimeSeriesDb& tsdb) {
                      std::get_if<CusumDetector>(&state.rule.detector)) {
         alert = cusum->update(point.value);
       }
+      const AlertKey key{state.rule.name, state.rule.label};
       if (alert.has_value()) {
-        fired.push_back(FiredAlert{state.rule.name, state.rule.severity,
-                                   point.time, alert->detail});
+        state.quiet = 0;
+        if (active_.find(key) == active_.end()) {
+          fire_locked(AlertRecord{state.rule.name, state.rule.label,
+                                  state.rule.severity, point.time, 0,
+                                  alert->detail},
+                      transitions);
+        }
+      } else if (active_.find(key) != active_.end()) {
+        // A quiet stretch after an alarm: CUSUM resets its sums on every
+        // alarm, so a still-drifting series re-alarms within a few points;
+        // only a sustained quiet run means the drift actually stopped.
+        if (++state.quiet >= state.rule.resolve_quiet) {
+          state.quiet = 0;
+          resolve_locked(key, point.time, transitions);
+        }
       }
     }
   }
-  for (const FiredAlert& alert : fired) {
-    history_.push_back(alert);
-    for (const auto& sink : sinks_) sink(alert);
+
+  for (BurnState& state : burn_rules_) {
+    const BurnRateRule& rule = state.rule;
+    for (const std::string& group : burn_groups_locked(tsdb, rule)) {
+      const double short_burn =
+          burn_over_window(tsdb, rule, group, now, rule.short_window);
+      const double long_burn =
+          burn_over_window(tsdb, rule, group, now, rule.long_window);
+      const AlertKey key{rule.name, group};
+      const bool is_active = active_.find(key) != active_.end();
+      if (!is_active && short_burn > rule.burn_threshold &&
+          long_burn > rule.burn_threshold) {
+        fire_locked(
+            AlertRecord{rule.name, group, rule.severity, now, 0,
+                        common::format(
+                            "burn short=%.2f long=%.2f threshold=%.2f "
+                            "objective=%.4f",
+                            short_burn, long_burn, rule.burn_threshold,
+                            rule.objective)},
+            transitions);
+      } else if (is_active && short_burn <= rule.burn_threshold) {
+        resolve_locked(key, now, transitions);
+      }
+    }
   }
-  return fired;
+  return transitions;
+}
+
+std::vector<AlertRecord> AlertManager::active() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<AlertRecord> out;
+  out.reserve(active_.size());
+  for (const auto& [key, record] : active_) out.push_back(record);
+  return out;
+}
+
+std::vector<AlertRecord> AlertManager::history() const {
+  std::scoped_lock lock(mutex_);
+  return {history_.begin(), history_.end()};
+}
+
+std::vector<BurnStatus> AlertManager::burn_status(const TimeSeriesDb& tsdb,
+                                                  common::TimeNs now) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<BurnStatus> out;
+  for (const BurnState& state : burn_rules_) {
+    const BurnRateRule& rule = state.rule;
+    for (const std::string& group : burn_groups_locked(tsdb, rule)) {
+      BurnStatus status;
+      status.rule = rule.name;
+      status.label = group;
+      status.short_burn =
+          burn_over_window(tsdb, rule, group, now, rule.short_window);
+      status.long_burn =
+          burn_over_window(tsdb, rule, group, now, rule.long_window);
+      status.threshold = rule.burn_threshold;
+      status.objective = rule.objective;
+      status.active =
+          active_.find(AlertKey{rule.name, group}) != active_.end();
+      out.push_back(std::move(status));
+    }
+  }
+  return out;
+}
+
+common::Json AlertManager::to_json() const {
+  std::scoped_lock lock(mutex_);
+  common::Json out = common::Json::object();
+  common::Json active = common::Json::array();
+  for (const auto& [key, record] : active_) {
+    active.as_array().push_back(record.to_json());
+  }
+  common::Json recent = common::Json::array();
+  for (const AlertRecord& record : history_) {
+    recent.as_array().push_back(record.to_json());
+  }
+  out["active"] = std::move(active);
+  out["recent"] = std::move(recent);
+  return out;
 }
 
 }  // namespace qcenv::telemetry

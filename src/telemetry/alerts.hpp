@@ -1,15 +1,28 @@
-// Alerting on TSDB series: each rule attaches a drift detector to one
-// series; evaluation feeds new points into the detector and tracks
-// firing/resolved state, notifying sinks (log, admin API, dashboards).
+// Alerting on TSDB series.
+//
+// Two rule families:
+//  - Drift rules: an EWMA control chart or CUSUM detector attached to one
+//    series (calibration scores), fed every new point in time order.
+//  - Burn-rate rules: SRE-style multi-window SLO burn rates over paired
+//    good/bad event-count series, grouped by a tag (per-tenant SLOs).
+//
+// Both produce AlertRecords with fired/resolved lifecycles; sinks (event
+// log, admin API, broker advisories) are notified on both transitions.
+// Alert timestamps are always series timestamps or the evaluation deadline,
+// never wall-clock reads, so a simulated replay reproduces the exact alert
+// timeline.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "common/json.hpp"
 #include "telemetry/drift.hpp"
 #include "telemetry/tsdb.hpp"
 
@@ -19,44 +32,124 @@ enum class AlertSeverity { kInfo, kWarning, kCritical };
 
 const char* to_string(AlertSeverity severity) noexcept;
 
+/// Drift rule: detector attached to one series.
 struct AlertRule {
   std::string name;
   SeriesKey series;
+  /// Grouping label carried into records (e.g. the resource name).
+  std::string label;
   AlertSeverity severity = AlertSeverity::kWarning;
   /// Detector strategy; one instance per rule, fed in time order.
   std::variant<EwmaDetector, CusumDetector> detector;
+  /// Consecutive quiet points before an active alert resolves. A detector
+  /// re-alarming within this window keeps the alert active instead of
+  /// flapping (CUSUM resets after every alarm).
+  std::size_t resolve_quiet = 5;
 };
 
-struct FiredAlert {
+/// SLO burn-rate rule over paired good/bad counter series. The series hold
+/// per-scrape event-count deltas; the burn rate over a window is
+///   (bad / (bad + good)) / (1 - objective)
+/// and the alert fires when BOTH the short and long window exceed
+/// `burn_threshold` (fast burn confirmed by sustained burn), resolving once
+/// the short window recovers.
+struct BurnRateRule {
+  std::string name;
+  std::string bad_measurement;
+  std::string good_measurement;
+  /// Tag whose values define the alert groups (one alert per tenant).
+  std::string group_tag = "user";
+  /// Target fraction of good outcomes (0.99 = "99% of submits accepted").
+  double objective = 0.99;
+  double burn_threshold = 2.0;
+  common::DurationNs short_window = 0;
+  common::DurationNs long_window = 0;
+  AlertSeverity severity = AlertSeverity::kWarning;
+};
+
+struct AlertRecord {
   std::string rule;
+  std::string label;
   AlertSeverity severity = AlertSeverity::kWarning;
   common::TimeNs fired_at = 0;
+  common::TimeNs resolved_at = 0;  ///< 0 while still active.
   std::string detail;
+
+  bool active() const noexcept { return resolved_at == 0; }
+  common::Json to_json() const;
 };
 
-using AlertSink = std::function<void(const FiredAlert&)>;
+/// Point-in-time burn-rate readout for the /admin/slo endpoint.
+struct BurnStatus {
+  std::string rule;
+  std::string label;
+  double short_burn = 0;
+  double long_burn = 0;
+  double threshold = 0;
+  double objective = 0;
+  bool active = false;
+  common::Json to_json() const;
+};
+
+using AlertSink = std::function<void(const AlertRecord&)>;
 
 class AlertManager {
  public:
+  explicit AlertManager(std::size_t history_cap = 1024)
+      : history_cap_(history_cap) {}
+
   void add_rule(AlertRule rule);
+  void add_burn_rule(BurnRateRule rule);
   void add_sink(AlertSink sink);
 
-  /// Feeds every point newer than the rule's high-water mark into its
-  /// detector. Returns alerts fired during this evaluation.
-  std::vector<FiredAlert> evaluate(const TimeSeriesDb& tsdb);
+  /// Feeds every point newer than each drift rule's high-water mark into
+  /// its detector, and evaluates burn-rate windows ending at `now` (the
+  /// scrape deadline just completed). Returns records that transitioned
+  /// (fired or resolved) during this evaluation.
+  std::vector<AlertRecord> evaluate(const TimeSeriesDb& tsdb,
+                                    common::TimeNs now);
 
-  const std::vector<FiredAlert>& history() const noexcept { return history_; }
-  std::size_t rule_count() const noexcept { return rules_.size(); }
+  std::vector<AlertRecord> active() const;
+  /// Resolved records, oldest first, bounded by history_cap.
+  std::vector<AlertRecord> history() const;
+  /// Burn rates for every (rule, group) pair with data, windows ending at
+  /// `now`. Read-only: does not change alert state.
+  std::vector<BurnStatus> burn_status(const TimeSeriesDb& tsdb,
+                                      common::TimeNs now) const;
+
+  std::size_t rule_count() const;
+  /// {"active": [...], "recent": [...]}.
+  common::Json to_json() const;
 
  private:
-  struct RuleState {
+  struct DriftState {
     AlertRule rule;
     common::TimeNs high_water = -1;
+    std::size_t quiet = 0;
   };
-  std::vector<RuleState> rules_;
+  struct BurnState {
+    BurnRateRule rule;
+  };
+  using AlertKey = std::pair<std::string, std::string>;  // (rule, label)
+
+  void fire_locked(AlertRecord record, std::vector<AlertRecord>& out);
+  void resolve_locked(const AlertKey& key, common::TimeNs at,
+                      std::vector<AlertRecord>& out);
+  std::vector<std::string> burn_groups_locked(const TimeSeriesDb& tsdb,
+                                              const BurnRateRule& rule) const;
+  static double burn_over_window(const TimeSeriesDb& tsdb,
+                                 const BurnRateRule& rule,
+                                 const std::string& group,
+                                 common::TimeNs now,
+                                 common::DurationNs window);
+
+  std::size_t history_cap_;
+  std::vector<DriftState> rules_;
+  std::vector<BurnState> burn_rules_;
   std::vector<AlertSink> sinks_;
-  std::vector<FiredAlert> history_;
-  std::mutex mutex_;
+  std::map<AlertKey, AlertRecord> active_;
+  std::deque<AlertRecord> history_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace qcenv::telemetry

@@ -35,24 +35,82 @@ void QpuTelemetrySource::update() {
       .set(common::to_seconds(counters.busy_ns));
 }
 
-std::size_t Collector::scrape_once() {
+MetricsCollector::MetricsCollector(MetricsRegistry* registry,
+                                   TimeSeriesDb* tsdb, common::Clock* clock,
+                                   CollectorOptions options)
+    : registry_(registry), tsdb_(tsdb), clock_(clock), options_(options) {
+  if (options_.interval <= 0) options_.interval = common::kSecond;
+  // Anchor the grid at multiples of the interval (so a simulated clock
+  // starting at 0 produces deadlines i*interval, and alert timestamps are
+  // grid-aligned by construction).
   const common::TimeNs now = clock_->now();
-  const auto samples = registry_->collect();
-  for (const auto& sample : samples) {
-    Tags tags(sample.labels.begin(), sample.labels.end());
-    tsdb_->write(sample.name, tags, now, sample.value);
-  }
-  scrapes_.fetch_add(1, std::memory_order_relaxed);
-  return samples.size();
+  next_deadline_.store(
+      (now / options_.interval + 1) * options_.interval,
+      std::memory_order_relaxed);
 }
 
-void Collector::start(common::DurationNs interval) {
+void MetricsCollector::add_sampler(Sampler sampler) {
+  std::scoped_lock lock(mutex_);
+  samplers_.push_back(std::move(sampler));
+}
+
+std::size_t MetricsCollector::scrape_at(common::TimeNs stamp) {
+  std::scoped_lock lock(mutex_);
+  return scrape_locked(stamp);
+}
+
+std::size_t MetricsCollector::scrape_locked(common::TimeNs stamp) {
+  std::size_t written = 0;
+  if (registry_ != nullptr) {
+    const auto samples = registry_->collect();
+    for (const auto& sample : samples) {
+      Tags tags(sample.labels.begin(), sample.labels.end());
+      tsdb_->write(sample.name, tags, stamp, sample.value);
+    }
+    written += samples.size();
+  }
+  for (const auto& sampler : samplers_) sampler(stamp, *tsdb_);
+  last_scrape_.store(stamp, std::memory_order_relaxed);
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  return written;
+}
+
+std::size_t MetricsCollector::run_pending(common::TimeNs now) {
+  std::scoped_lock lock(mutex_);
+  std::size_t written = 0;
+  while (true) {
+    common::TimeNs deadline = next_deadline_.load(std::memory_order_relaxed);
+    if (deadline > now) break;
+    next_deadline_.store(deadline + options_.interval,
+                         std::memory_order_relaxed);
+    if (deadline <= stall_until_.load(std::memory_order_relaxed)) {
+      // Scrape-stall fault window: the sample is lost, not late.
+      missed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!options_.scrape_all_overdue &&
+        deadline + options_.interval <= now) {
+      // Older overdue deadline with a newer one still pending: skip it
+      // rather than backfill a stale value.
+      missed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    written += scrape_locked(deadline);
+  }
+  return written;
+}
+
+void MetricsCollector::start() {
   stop();
-  scraper_ = std::jthread([this, interval](const std::stop_token& stop) {
+  scraper_ = std::jthread([this](const std::stop_token& stop) {
     while (!stop.stop_requested()) {
-      scrape_once();
+      run_pending(clock_->now());
       // Sleep in small slices so stop requests are honoured promptly.
-      common::DurationNs remaining = interval;
+      common::DurationNs remaining =
+          next_deadline_.load(std::memory_order_relaxed) - clock_->now();
+      remaining = std::max<common::DurationNs>(
+          common::kMillisecond,
+          std::min<common::DurationNs>(remaining, options_.interval));
       while (remaining > 0 && !stop.stop_requested()) {
         const common::DurationNs slice =
             std::min<common::DurationNs>(remaining, 50 * common::kMillisecond);
@@ -63,7 +121,7 @@ void Collector::start(common::DurationNs interval) {
   });
 }
 
-void Collector::stop() {
+void MetricsCollector::stop() {
   if (scraper_.joinable()) {
     scraper_.request_stop();
     scraper_.join();

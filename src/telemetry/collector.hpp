@@ -1,11 +1,22 @@
-// Collector: bridges the pull world (metrics registries, QPU state) into
-// the TSDB. scrape_once() is manual/deterministic for tests and simulation;
-// start() spawns a background scraper for live deployments.
+// MetricsCollector: bridges the pull world (metrics registries, QPU state,
+// registered samplers) into the TSDB on a fixed deadline grid.
+//
+// Samples are stamped at *scheduled* grid deadlines (multiples of the scrape
+// interval), not at the wall moment the scrape happened to run. That makes
+// the series timestamps a pure function of the interval, which is what lets
+// the simulation harness replay an alert timeline bit-identically: the set
+// of scraped deadlines cannot depend on thread interleaving.
+//
+// scrape_at()/run_pending() are manual/deterministic for tests and
+// simulation; start() spawns a background scraper for live deployments.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "qpu/qpu_device.hpp"
@@ -30,28 +41,79 @@ class QpuTelemetrySource {
   Labels labels_;
 };
 
-class Collector {
+struct CollectorOptions {
+  common::DurationNs interval = common::kSecond;
+  /// Catch-up policy when run_pending() finds several overdue deadlines.
+  /// false (production): scrape only the newest and count the rest as
+  /// missed — a stalled scraper should not backfill stale values. true
+  /// (simulation): scrape every overdue deadline in order, so the scraped
+  /// deadline set is {i * interval} regardless of when run_pending() was
+  /// called.
+  bool scrape_all_overdue = false;
+};
+
+/// A sampler writes domain samples (lane depths, SLO counters, broker
+/// scores, ...) into the TSDB, stamped at the given grid deadline. Samplers
+/// run one at a time under the collector's scrape lock.
+using Sampler = std::function<void(common::TimeNs, TimeSeriesDb&)>;
+
+class MetricsCollector {
  public:
-  Collector(MetricsRegistry* registry, TimeSeriesDb* tsdb,
-            common::Clock* clock)
-      : registry_(registry), tsdb_(tsdb), clock_(clock) {}
-  ~Collector() { stop(); }
+  MetricsCollector(MetricsRegistry* registry, TimeSeriesDb* tsdb,
+                   common::Clock* clock, CollectorOptions options = {});
+  ~MetricsCollector() { stop(); }
 
-  /// Scrapes every registry sample into the TSDB at the clock's now().
-  /// Returns the number of samples written.
-  std::size_t scrape_once();
+  void add_sampler(Sampler sampler);
 
-  /// Background scraping at a fixed wall interval.
-  void start(common::DurationNs interval);
+  /// One scrape of the registry plus all samplers, stamped at `stamp`
+  /// (normally a grid deadline). Returns the number of points written.
+  /// Does not touch the deadline bookkeeping: simulation drivers call this
+  /// directly with their own deterministic deadline sequence.
+  std::size_t scrape_at(common::TimeNs stamp);
+
+  /// Scrapes every grid deadline that is due at `now` (subject to the
+  /// catch-up policy). Returns the number of points written.
+  std::size_t run_pending(common::TimeNs now);
+
+  /// Background scraping driven by the injected clock.
+  void start();
   void stop();
 
+  /// Drops scrapes for deadlines <= until (a scrape-stall fault: the
+  /// samples are lost, not late). Dropped deadlines count as missed.
+  void stall_until(common::TimeNs until) {
+    stall_until_.store(until, std::memory_order_relaxed);
+  }
+  /// Records scrapes lost outside the collector (e.g. a simulated stall
+  /// where the driver never called scrape_at).
+  void note_missed(std::uint64_t n = 1) {
+    missed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  common::DurationNs interval() const noexcept { return options_.interval; }
+  common::TimeNs next_deadline() const noexcept {
+    return next_deadline_.load(std::memory_order_relaxed);
+  }
+  common::TimeNs last_scrape() const noexcept {
+    return last_scrape_.load(std::memory_order_relaxed);
+  }
   std::uint64_t scrape_count() const noexcept { return scrapes_.load(); }
+  std::uint64_t missed_count() const noexcept { return missed_.load(); }
 
  private:
+  std::size_t scrape_locked(common::TimeNs stamp);
+
   MetricsRegistry* registry_;
   TimeSeriesDb* tsdb_;
   common::Clock* clock_;
+  CollectorOptions options_;
+  std::mutex mutex_;  // guards samplers_ and serializes scrapes
+  std::vector<Sampler> samplers_;
+  std::atomic<common::TimeNs> next_deadline_{0};
+  std::atomic<common::TimeNs> last_scrape_{-1};
+  std::atomic<common::TimeNs> stall_until_{-1};
   std::atomic<std::uint64_t> scrapes_{0};
+  std::atomic<std::uint64_t> missed_{0};
   std::jthread scraper_;
 };
 

@@ -45,8 +45,8 @@ std::uint64_t EventLog::log(common::TimeNs now, Severity severity,
   return next_seq_ - 1;
 }
 
-std::vector<Event> EventLog::since(std::uint64_t after_seq,
-                                   std::size_t max) const {
+std::vector<Event> EventLog::since(std::uint64_t after_seq, std::size_t max,
+                                   const Filter& filter) const {
   std::scoped_lock lock(mutex_);
   std::vector<Event> out;
   if (next_seq_ == 1) return out;
@@ -55,6 +55,20 @@ std::vector<Event> EventLog::since(std::uint64_t after_seq,
       newest >= capacity_ ? newest - capacity_ + 1 : 1;
   std::uint64_t seq = std::max(after_seq + 1, oldest);
   for (; seq <= newest && out.size() < max; ++seq) {
+    const Event& event = ring_[(seq - 1) % capacity_];
+    if (filter.matches(event)) out.push_back(event);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::tail(std::size_t n) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Event> out;
+  if (next_seq_ == 1 || n == 0) return out;
+  const std::uint64_t newest = next_seq_ - 1;
+  std::uint64_t oldest = newest >= capacity_ ? newest - capacity_ + 1 : 1;
+  if (newest - oldest + 1 > n) oldest = newest - n + 1;
+  for (std::uint64_t seq = oldest; seq <= newest; ++seq) {
     out.push_back(ring_[(seq - 1) % capacity_]);
   }
   return out;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,9 +49,28 @@ class EventLog {
                     std::string message, std::string user = "",
                     std::uint64_t job_id = 0, std::uint64_t trace_id = 0);
 
+  /// Tail filter: match everything unless the field is set.
+  struct Filter {
+    std::optional<Severity> severity;
+    std::optional<std::string> kind;
+
+    bool matches(const Event& event) const {
+      if (severity.has_value() && event.severity != *severity) return false;
+      if (kind.has_value() && event.kind != *kind) return false;
+      return true;
+    }
+  };
+
   /// Events with seq > `after_seq`, oldest first, at most `max`.
   std::vector<Event> since(std::uint64_t after_seq,
-                           std::size_t max = 256) const;
+                           std::size_t max = 256) const {
+    return since(after_seq, max, Filter{});
+  }
+  /// Filtered variant: `max` bounds the *matching* events returned.
+  std::vector<Event> since(std::uint64_t after_seq, std::size_t max,
+                           const Filter& filter) const;
+  /// The newest `n` events, oldest first (the flight-recorder tail).
+  std::vector<Event> tail(std::size_t n) const;
   /// Sequence number of the newest event (0 when empty).
   std::uint64_t last_seq() const;
 

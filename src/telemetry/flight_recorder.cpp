@@ -1,0 +1,178 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+namespace qcenv::telemetry {
+
+namespace {
+// The process-wide armed recorder. Signal handlers cannot carry state, so
+// arming is a singleton affair; the last recorder armed wins.
+std::atomic<FlightRecorder*> g_armed_recorder{nullptr};
+}  // namespace
+
+void flight_recorder_signal_dump(int signo) noexcept {
+  FlightRecorder* recorder = g_armed_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr && recorder->signal_fd_ >= 0) {
+    const int active =
+        recorder->signal_active_.load(std::memory_order_acquire);
+    const std::size_t len =
+        recorder->signal_len_[active].load(std::memory_order_acquire);
+    if (len > 0) {
+      // write() and fsync() are async-signal-safe; nothing else here is
+      // allowed to allocate, lock or call into the C++ runtime.
+      ssize_t ignored = ::write(recorder->signal_fd_,
+                                recorder->signal_buf_[active].get(), len);
+      (void)ignored;
+      ::fsync(recorder->signal_fd_);
+    }
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options,
+                               const EventLog* events,
+                               const TimeSeriesDb* tsdb, common::Clock* clock)
+    : options_(std::move(options)),
+      events_(events),
+      tsdb_(tsdb),
+      clock_(clock) {}
+
+FlightRecorder::~FlightRecorder() {
+  FlightRecorder* self = this;
+  g_armed_recorder.compare_exchange_strong(self, nullptr);
+  if (signal_fd_ >= 0) ::close(signal_fd_);
+}
+
+void FlightRecorder::heartbeat(const std::string& component) {
+  const Beat beat{clock_->now(), std::chrono::steady_clock::now()};
+  std::scoped_lock lock(mutex_);
+  heartbeats_[component] = beat;
+}
+
+void FlightRecorder::set_info_provider(
+    std::function<common::Json()> provider) {
+  std::scoped_lock lock(mutex_);
+  info_provider_ = std::move(provider);
+}
+
+common::Json FlightRecorder::render(const std::string& reason) const {
+  common::Json out = common::Json::object();
+  out["reason"] = reason;
+  out["at_ns"] = clock_->now();
+
+  common::Json events = common::Json::array();
+  if (events_ != nullptr) {
+    for (const Event& event : events_->tail(options_.event_tail)) {
+      events.as_array().push_back(EventLog::to_json(event));
+    }
+  }
+  out["events"] = std::move(events);
+
+  common::Json beats = common::Json::object();
+  {
+    const auto wall_now = std::chrono::steady_clock::now();
+    std::scoped_lock lock(mutex_);
+    for (const auto& [component, beat] : heartbeats_) {
+      const auto age = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           wall_now - beat.wall)
+                           .count();
+      common::Json entry = common::Json::object();
+      entry["at_ns"] = beat.at;
+      entry["wall_age_ms"] = age / common::kMillisecond;
+      entry["stale"] = age > options_.stale_after;
+      beats[component] = std::move(entry);
+    }
+  }
+  out["heartbeats"] = std::move(beats);
+
+  common::Json series = common::Json::object();
+  if (tsdb_ != nullptr) {
+    std::size_t kept = 0;
+    for (const SeriesKey& key : tsdb_->series()) {
+      if (kept >= options_.series_cap) break;
+      auto points = tsdb_->query_range(
+          key, 0, std::numeric_limits<common::TimeNs>::max());
+      if (points.size() > options_.points_per_series) {
+        points.erase(points.begin(),
+                     points.end() - static_cast<std::ptrdiff_t>(
+                                        options_.points_per_series));
+      }
+      common::JsonArray tail;
+      tail.reserve(points.size());
+      for (const Point& point : points) {
+        common::JsonArray pair;
+        pair.reserve(2);
+        pair.emplace_back(point.time);
+        pair.emplace_back(point.value);
+        tail.emplace_back(std::move(pair));
+      }
+      series[key.to_string()] = common::Json(std::move(tail));
+      ++kept;
+    }
+  }
+  out["series"] = std::move(series);
+
+  {
+    std::scoped_lock lock(mutex_);
+    if (info_provider_) out["info"] = info_provider_();
+  }
+  return out;
+}
+
+common::Result<std::string> FlightRecorder::dump(const std::string& reason) {
+  if (options_.dump_path.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "flight recorder has no dump path"};
+  }
+  const std::string text = render(reason).dump(2);
+  std::ofstream file(options_.dump_path, std::ios::trunc);
+  if (!file) {
+    return common::Error{common::ErrorCode::kIo,
+                         "cannot open flight dump " + options_.dump_path};
+  }
+  file << text << "\n";
+  file.flush();
+  if (!file) {
+    return common::Error{common::ErrorCode::kIo,
+                         "short write to flight dump " + options_.dump_path};
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  return options_.dump_path;
+}
+
+void FlightRecorder::arm_signal_handler() {
+  if (options_.dump_path.empty()) return;
+  if (!armed_) {
+    signal_buf_[0] = std::make_unique<char[]>(kSignalBufCap);
+    signal_buf_[1] = std::make_unique<char[]>(kSignalBufCap);
+    signal_fd_ = ::open((options_.dump_path + ".signal").c_str(),
+                        O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    if (signal_fd_ < 0) return;
+    armed_ = true;
+  }
+  refresh();
+  g_armed_recorder.store(this, std::memory_order_release);
+  ::signal(SIGSEGV, flight_recorder_signal_dump);
+  ::signal(SIGBUS, flight_recorder_signal_dump);
+  ::signal(SIGABRT, flight_recorder_signal_dump);
+}
+
+void FlightRecorder::refresh() {
+  if (!armed_) return;
+  const std::string text = render("fatal_signal").dump(2);
+  const int inactive = 1 - signal_active_.load(std::memory_order_relaxed);
+  const std::size_t len = std::min(text.size(), kSignalBufCap);
+  std::memcpy(signal_buf_[inactive].get(), text.data(), len);
+  signal_len_[inactive].store(len, std::memory_order_release);
+  signal_active_.store(inactive, std::memory_order_release);
+}
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,110 @@
+// Flight recorder: an always-on bounded black box for post-mortems.
+//
+// Keeps no data of its own beyond component heartbeats — it snapshots the
+// event-log tail and the TSDB tail at dump time, so a crashed daemon's last
+// moments are recoverable without an external scraper having been attached.
+// Dumps fire on journal fail-stop, on POST /admin/debug/dump, or (opt-in)
+// on a fatal signal.
+//
+// Heartbeats are stamped with both the injected clock (for correlation with
+// event/series timestamps) and the wall steady clock (for staleness: a
+// simulated clock can jump hours in microseconds, which must not read as a
+// stalled lane).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace qcenv::telemetry {
+
+struct FlightRecorderOptions {
+  /// Forensics JSON written here on dump(); usually <data_dir>/flight.json.
+  std::string dump_path;
+  /// Events included in a dump (the "last N events" of a post-mortem).
+  std::size_t event_tail = 50;
+  /// Per-series point tail included in a dump.
+  std::size_t points_per_series = 32;
+  /// Series cap: dumps stay bounded even with many tenants/resources.
+  std::size_t series_cap = 64;
+  /// Wall age beyond which a heartbeat is flagged stale in the dump.
+  common::DurationNs stale_after = 5 * common::kSecond;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder(FlightRecorderOptions options, const EventLog* events,
+                 const TimeSeriesDb* tsdb, common::Clock* clock);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stamps a component (lane, journal writer, scrape loop) as alive.
+  void heartbeat(const std::string& component);
+
+  /// Extra context merged into every dump under "info" (scrape counters,
+  /// active alerts, daemon identity).
+  void set_info_provider(std::function<common::Json()> provider);
+
+  /// The forensics document as it would be dumped right now.
+  common::Json render(const std::string& reason) const;
+
+  /// Writes the forensics JSON to dump_path. Returns the path written.
+  common::Result<std::string> dump(const std::string& reason);
+
+  /// Installs SIGSEGV/SIGBUS/SIGABRT handlers that write the last
+  /// pre-rendered snapshot (see refresh()) to <dump_path>.signal using only
+  /// async-signal-safe calls. Off by default; only one recorder per process
+  /// can be armed.
+  void arm_signal_handler();
+
+  /// Re-renders the crash snapshot used by the signal handler. Cheap no-op
+  /// unless armed; call once per scrape tick.
+  void refresh();
+
+  std::uint64_t dump_count() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  const FlightRecorderOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Beat {
+    common::TimeNs at = 0;
+    std::chrono::steady_clock::time_point wall;
+  };
+
+  FlightRecorderOptions options_;
+  const EventLog* events_;
+  const TimeSeriesDb* tsdb_;
+  common::Clock* clock_;
+  mutable std::mutex mutex_;  // guards heartbeats_ and info_provider_
+  std::map<std::string, Beat> heartbeats_;
+  std::function<common::Json()> info_provider_;
+  std::atomic<std::uint64_t> dumps_{0};
+  bool armed_ = false;
+  int signal_fd_ = -1;
+  // Crash snapshot double buffer: refresh() fills the inactive buffer and
+  // flips; the signal handler writes out the active one without locking.
+  // Fixed-capacity heap buffers so the handler never touches a pointer
+  // that could be invalidated by reallocation.
+  static constexpr std::size_t kSignalBufCap = 128 * 1024;
+  std::unique_ptr<char[]> signal_buf_[2];
+  std::atomic<std::size_t> signal_len_[2] = {0, 0};
+  std::atomic<int> signal_active_{0};
+
+  friend void flight_recorder_signal_dump(int signo) noexcept;
+};
+
+}  // namespace qcenv::telemetry

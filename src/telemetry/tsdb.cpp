@@ -18,6 +18,23 @@ std::string SeriesKey::to_string() const {
   return out;
 }
 
+Result<SeriesKey> SeriesKey::parse(const std::string& text) {
+  SeriesKey key;
+  const auto name_tags = common::split(text, ',');
+  key.measurement = name_tags.empty() ? "" : name_tags[0];
+  if (key.measurement.empty()) {
+    return common::err::protocol("empty measurement name");
+  }
+  for (std::size_t i = 1; i < name_tags.size(); ++i) {
+    const std::size_t eq = name_tags[i].find('=');
+    if (eq == std::string::npos) {
+      return common::err::protocol("malformed tag: " + name_tags[i]);
+    }
+    key.tags[name_tags[i].substr(0, eq)] = name_tags[i].substr(eq + 1);
+  }
+  return key;
+}
+
 void TimeSeriesDb::write(const SeriesKey& key, Point point) {
   std::scoped_lock lock(mutex_);
   auto& series = data_[key];
@@ -43,19 +60,8 @@ Status TimeSeriesDb::write_line(const std::string& line) {
   if (sections.size() != 3) {
     return common::err::protocol("line protocol needs 3 sections: " + line);
   }
-  SeriesKey key;
-  const auto name_tags = common::split(sections[0], ',');
-  key.measurement = name_tags[0];
-  if (key.measurement.empty()) {
-    return common::err::protocol("empty measurement name");
-  }
-  for (std::size_t i = 1; i < name_tags.size(); ++i) {
-    const std::size_t eq = name_tags[i].find('=');
-    if (eq == std::string::npos) {
-      return common::err::protocol("malformed tag: " + name_tags[i]);
-    }
-    key.tags[name_tags[i].substr(0, eq)] = name_tags[i].substr(eq + 1);
-  }
+  auto key = SeriesKey::parse(sections[0]);
+  if (!key.ok()) return key.error();
   if (!common::starts_with(sections[1], "value=")) {
     return common::err::protocol("expected value=<num> field");
   }
@@ -69,7 +75,7 @@ Status TimeSeriesDb::write_line(const std::string& line) {
   if (end == sections[2].c_str() || *end != '\0') {
     return common::err::protocol("bad timestamp: " + sections[2]);
   }
-  write(key, Point{time, value});
+  write(key.value(), Point{time, value});
   return Status::ok_status();
 }
 

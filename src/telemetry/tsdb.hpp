@@ -38,6 +38,9 @@ struct SeriesKey {
 
   /// "qpu_fidelity,device=fresnel" (tags sorted).
   std::string to_string() const;
+  /// Inverse of to_string(): "measurement[,tag=v]*" (the line-protocol key
+  /// section, also the /admin/tsdb `series=` query syntax).
+  static common::Result<SeriesKey> parse(const std::string& text);
 };
 
 enum class Aggregation { kMean, kMin, kMax, kLast, kSum, kCount };

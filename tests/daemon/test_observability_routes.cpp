@@ -1,0 +1,293 @@
+// The observability REST surface: /admin/tsdb/{query,export}, /admin/alerts,
+// /admin/slo, /admin/events severity=/kind= filters and the operator-
+// triggered flight dump. The daemon runs with the scrape thread off and the
+// test drives the grid through tick_at(), exactly like simulation does.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/temp_dir.hpp"
+#include "daemon/daemon.hpp"
+#include "net/http_client.hpp"
+#include "qrmi/local_emulator.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace qcenv::daemon {
+namespace {
+
+using common::Json;
+using common::kSecond;
+using common::ManualClock;
+using quantum::AtomRegister;
+using quantum::Payload;
+using quantum::Sequence;
+using quantum::Waveform;
+
+Payload small_payload(std::uint64_t shots = 20) {
+  Sequence seq(AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{Waveform::constant(200, 2.0),
+                               Waveform::constant(200, 0.0), 0.0});
+  return Payload::from_sequence(seq, shots);
+}
+
+class ObservabilityRoutesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    resource_ = qrmi::LocalEmulatorQrmi::create("emu0", "sv").value();
+    DaemonOptions options;
+    options.admin_key = "root";
+    options.store.data_dir = dir_.path();  // gives the recorder a dump path
+    // A submit budget a storm can torch (drives the slo_submit burn rate).
+    options.accounting.rate_limit.submit_per_sec = 2.0;
+    options.accounting.rate_limit.submit_burst = 3.0;
+    auto& obs = options.telemetry.observability;
+    obs.scrape_thread = false;  // the test drives the grid
+    obs.scrape_interval = kSecond;
+    obs.slo_short_window = 4 * kSecond;
+    obs.slo_long_window = 16 * kSecond;
+    daemon_ = std::make_unique<MiddlewareDaemon>(options, resource_, nullptr,
+                                                 &clock_);
+    auto port = daemon_->start();
+    ASSERT_TRUE(port.ok());
+    ASSERT_NE(daemon_->observability(), nullptr);
+    admin_ = std::make_unique<net::HttpClient>(port.value());
+    admin_->set_default_header("X-Admin-Key", "root");
+  }
+
+  /// Advances virtual time by `seconds` grid deadlines and scrapes each.
+  void tick(int seconds) {
+    auto* pipeline = daemon_->observability();
+    for (int i = 0; i < seconds; ++i) {
+      next_deadline_ += kSecond;
+      clock_.advance_to(next_deadline_);
+      pipeline->tick_at(next_deadline_);
+    }
+  }
+
+  /// Floods /v1/jobs past the rate limit for `seconds` grid steps so the
+  /// submit-rejection SLO burns; returns how many submissions bounced.
+  int storm_submits(int seconds) {
+    auto session =
+        daemon_->open_session("alice", JobClass::kDevelopment).value();
+    net::HttpClient user(admin_->port());
+    user.set_default_header("X-Session-Token", session.token);
+    Json body = Json::object();
+    body["payload"] = small_payload().to_json();
+    const std::string request = body.dump();
+    int rejected = 0;
+    for (int s = 0; s < seconds; ++s) {
+      for (int i = 0; i < 6; ++i) {
+        auto response = user.post("/v1/jobs", request);
+        EXPECT_TRUE(response.ok());
+        if (response.value().status == 429) ++rejected;
+      }
+      tick(1);
+    }
+    return rejected;
+  }
+
+  Json get_json(const std::string& path) {
+    auto response = admin_->get(path);
+    EXPECT_TRUE(response.ok()) << path;
+    EXPECT_EQ(response.value().status, 200) << response.value().body;
+    return Json::parse(response.value().body).value();
+  }
+
+  ManualClock clock_{0, /*auto_advance=*/true};
+  common::TempDir dir_{"qcenv-obs-routes-"};
+  qrmi::QrmiPtr resource_;
+  std::unique_ptr<MiddlewareDaemon> daemon_;
+  std::unique_ptr<net::HttpClient> admin_;
+  common::TimeNs next_deadline_ = 0;
+};
+
+TEST_F(ObservabilityRoutesFixture, EndpointsRequireAdminKey) {
+  net::HttpClient anon(admin_->port());
+  for (const char* path :
+       {"/admin/tsdb/query?series=x", "/admin/tsdb/export", "/admin/alerts",
+        "/admin/slo"}) {
+    auto response = anon.get(path);
+    ASSERT_TRUE(response.ok()) << path;
+    EXPECT_EQ(response.value().status, 401) << path;
+  }
+  auto dump = anon.post("/admin/debug/dump", "{}");
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump.value().status, 401);
+}
+
+TEST_F(ObservabilityRoutesFixture, TsdbQueryRawPoints) {
+  tick(3);
+  const auto out = get_json(
+      "/admin/tsdb/query?series=broker_resource_healthy,resource=emu0");
+  EXPECT_EQ(out.get_string("series").value(),
+            "broker_resource_healthy,resource=emu0");
+  const auto& points = out.at_or_null("points");
+  ASSERT_TRUE(points.is_array());
+  ASSERT_EQ(points.as_array().size(), 3u);
+  // Each point is a [time, value] pair stamped on the scrape grid.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& pair = points.as_array()[i].as_array();
+    EXPECT_EQ(pair.at(0).as_int(),
+              static_cast<long long>((i + 1) * kSecond));
+    EXPECT_DOUBLE_EQ(pair.at(1).as_double(), 1.0);
+  }
+}
+
+TEST_F(ObservabilityRoutesFixture, TsdbQueryWindowedAggregation) {
+  tick(4);
+  const auto out = get_json(
+      "/admin/tsdb/query?series=broker_resource_healthy,resource=emu0"
+      "&window=" + std::to_string(2 * kSecond) + "&agg=count");
+  const auto& windows = out.at_or_null("windows");
+  ASSERT_TRUE(windows.is_array());
+  ASSERT_FALSE(windows.as_array().empty());
+  std::size_t samples = 0;
+  for (const auto& window : windows.as_array()) {
+    samples += static_cast<std::size_t>(window.at_or_null("samples").as_int());
+  }
+  EXPECT_EQ(samples, 4u);  // every scrape landed in exactly one window
+}
+
+TEST_F(ObservabilityRoutesFixture, TsdbQueryRejectsBadInput) {
+  EXPECT_EQ(admin_->get("/admin/tsdb/query").value().status, 400);
+  EXPECT_EQ(admin_->get("/admin/tsdb/query?series=,broken").value().status,
+            400);
+  EXPECT_EQ(admin_
+                ->get("/admin/tsdb/query?series=m&window=1000&agg=median")
+                .value()
+                .status,
+            400);
+}
+
+TEST_F(ObservabilityRoutesFixture, TsdbExportRoundTripsThroughWriteLine) {
+  tick(2);
+  auto response =
+      admin_->get("/admin/tsdb/export?series=calibration_score,resource=emu0");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200);
+  // Every exported line must re-ingest cleanly — the import path contract.
+  telemetry::TimeSeriesDb copy;
+  std::istringstream lines(response.value().body);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ASSERT_TRUE(copy.write_line(line).ok()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  const telemetry::SeriesKey key{"calibration_score", {{"resource", "emu0"}}};
+  EXPECT_EQ(copy.point_count(key), 2u);
+
+  // Full export (no series=) covers every series, including the broker's.
+  auto all = admin_->get("/admin/tsdb/export");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().status, 200);
+  EXPECT_NE(all.value().body.find("broker_resource_healthy"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityRoutesFixture, SloAndAlertsReflectASubmitStorm) {
+  const int rejected = storm_submits(8);
+  ASSERT_GT(rejected, 0);
+
+  const auto slo = get_json("/admin/slo");
+  EXPECT_DOUBLE_EQ(slo.at_or_null("objective").as_double(), 0.99);
+  EXPECT_EQ(slo.at_or_null("evaluated_at").as_int(),
+            static_cast<long long>(next_deadline_));
+  bool submit_burning = false;
+  for (const auto& burn : slo.at_or_null("burn_rates").as_array()) {
+    if (burn.at_or_null("rule").as_string() == "slo_submit" &&
+        burn.at_or_null("label").as_string() == "alice") {
+      submit_burning = burn.at_or_null("active").as_bool();
+    }
+  }
+  EXPECT_TRUE(submit_burning);
+
+  const auto alerts = get_json("/admin/alerts");
+  bool alert_seen = false;
+  for (const char* section : {"active", "recent"}) {
+    for (const auto& record : alerts.at_or_null(section).as_array()) {
+      if (record.at_or_null("rule").as_string() == "slo_submit" &&
+          record.at_or_null("label").as_string() == "alice") {
+        alert_seen = true;
+        EXPECT_GT(record.at_or_null("fired_at").as_int(), 0);
+      }
+    }
+  }
+  EXPECT_TRUE(alert_seen);
+}
+
+TEST_F(ObservabilityRoutesFixture, EventFiltersBySeverityAndKind) {
+  storm_submits(8);                                  // warn: alert_fired
+  ASSERT_EQ(admin_->post("/admin/debug/dump", "{}").value().status,
+            200);                                    // info: flight_dump
+
+  const auto warns = get_json("/admin/events?severity=warn");
+  bool saw_alert_fired = false;
+  for (const auto& event : warns.at_or_null("events").as_array()) {
+    EXPECT_EQ(event.at_or_null("severity").as_string(), "warn");
+    if (event.at_or_null("kind").as_string() == "alert_fired") {
+      saw_alert_fired = true;
+    }
+  }
+  EXPECT_TRUE(saw_alert_fired);
+
+  const auto dumps = get_json("/admin/events?kind=flight_dump");
+  ASSERT_FALSE(dumps.at_or_null("events").as_array().empty());
+  for (const auto& event : dumps.at_or_null("events").as_array()) {
+    EXPECT_EQ(event.at_or_null("kind").as_string(), "flight_dump");
+  }
+
+  // Filters compose: nothing is both warn and kind=flight_dump.
+  const auto both = get_json("/admin/events?severity=warn&kind=flight_dump");
+  EXPECT_TRUE(both.at_or_null("events").as_array().empty());
+
+  EXPECT_EQ(admin_->get("/admin/events?severity=fatal").value().status, 400);
+}
+
+TEST_F(ObservabilityRoutesFixture, DebugDumpWritesParseableForensics) {
+  tick(2);
+  auto response = admin_->post("/admin/debug/dump", "{}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200) << response.value().body;
+  const auto out = Json::parse(response.value().body).value();
+  EXPECT_GE(out.at_or_null("dumps").as_int(), 1);
+  const std::string path = out.get_string("path").value();
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << path;
+  std::stringstream contents;
+  contents << file.rdbuf();
+  auto dump = Json::parse(contents.str());
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump.value().at_or_null("reason").as_string(), "admin_request");
+  EXPECT_TRUE(dump.value().at_or_null("events").is_array());
+  EXPECT_TRUE(dump.value().at_or_null("heartbeats").is_object());
+}
+
+TEST(ObservabilityDisabledTest, EndpointsAnswer409) {
+  ManualClock clock(0, /*auto_advance=*/true);
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu0", "sv").value();
+  DaemonOptions options;
+  options.admin_key = "root";
+  options.telemetry.observability.enabled = false;
+  MiddlewareDaemon daemon(options, resource, nullptr, &clock);
+  const auto port = daemon.start().value();
+  EXPECT_EQ(daemon.observability(), nullptr);
+  net::HttpClient admin(port);
+  admin.set_default_header("X-Admin-Key", "root");
+  for (const char* path :
+       {"/admin/tsdb/query?series=x", "/admin/tsdb/export", "/admin/alerts",
+        "/admin/slo"}) {
+    EXPECT_EQ(admin.get(path).value().status, 409) << path;
+  }
+  EXPECT_EQ(admin.post("/admin/debug/dump", "{}").value().status, 409);
+  // The pre-pipeline surface still works without observability.
+  EXPECT_EQ(admin.get("/admin/events").value().status, 200);
+}
+
+}  // namespace
+}  // namespace qcenv::daemon

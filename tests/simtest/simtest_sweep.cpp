@@ -4,6 +4,9 @@
 //   simtest_sweep --seeds 200 --quick          # the CI sweep
 //   simtest_sweep --seed 1337                  # replay one failing seed
 //   simtest_sweep --seeds 2000 --first 1000    # nightly range
+//   simtest_sweep --dump-check                 # nightly: force a journal
+//                                              # disk-death and validate the
+//                                              # flight recorder's forensics
 //   --verbose                                  # per-seed summary lines
 //   --artifact FILE                            # append failures for CI
 //   --trace        # dump event log + per-job traces for failing seeds
@@ -17,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/json.hpp"
 #include "simtest/sweep.hpp"
 
 namespace {
@@ -24,7 +28,75 @@ namespace {
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seeds N] [--first N] [--seed N] [--quick] [--full]\n"
-               "       [--verbose] [--artifact FILE] [--trace]\n";
+               "       [--verbose] [--artifact FILE] [--trace]"
+               " [--dump-check]\n";
+}
+
+/// Kill-and-restart forensics check: a scenario with a guaranteed journal
+/// disk-death must leave a parseable flight dump naming the fail-stop
+/// event, carrying a bounded event tail that includes it, and the daemon's
+/// next life (the plan's forced restart) must still satisfy every
+/// invariant. Run nightly so dump-format rot is caught by CI, not by the
+/// first real incident.
+int run_dump_check(std::uint64_t seed) {
+  qcenv::simtest::ScenarioOptions options =
+      qcenv::simtest::scenario_for_seed(seed, /*quick=*/true);
+  options.durable = true;
+  options.faults.disk_fault = true;
+  const auto result = qcenv::simtest::run_scenario(options);
+  std::cout << qcenv::simtest::summary_line(result) << "\n";
+  const auto fail = [&](const std::string& why) {
+    std::cerr << "dump-check FAILED (seed " << seed << "): " << why << "\n";
+    return 1;
+  };
+  if (!result.ok()) {
+    for (const auto& violation : result.violations) {
+      std::cerr << "  violation: " << violation << "\n";
+    }
+    return fail("scenario violated invariants");
+  }
+  if (result.stats.disk_faults == 0) {
+    return fail("the forced disk fault never armed");
+  }
+  if (result.flight_dump.empty()) {
+    return fail("journal fail-stopped but no flight dump was written");
+  }
+  auto parsed = qcenv::common::Json::parse(result.flight_dump);
+  if (!parsed.ok()) {
+    return fail("flight dump is not valid JSON: " +
+                parsed.error().to_string());
+  }
+  const auto& dump = parsed.value();
+  const auto& reason = dump.at_or_null("reason");
+  if (!reason.is_string() ||
+      reason.as_string().rfind("journal_fail_stop", 0) != 0) {
+    return fail("dump reason does not name the fail-stop: " +
+                dump.at_or_null("reason").dump());
+  }
+  const auto& events = dump.at_or_null("events");
+  if (!events.is_array() || events.as_array().empty()) {
+    return fail("dump carries no event tail");
+  }
+  if (events.as_array().size() > 50) {
+    return fail("event tail unbounded: " +
+                std::to_string(events.as_array().size()) + " events");
+  }
+  bool names_fail_stop = false;
+  for (const auto& event : events.as_array()) {
+    if (event.at_or_null("kind").is_string() &&
+        event.at_or_null("kind").as_string() == "journal_fail_stop") {
+      names_fail_stop = true;
+    }
+  }
+  if (!names_fail_stop) {
+    return fail("event tail does not include the journal_fail_stop event");
+  }
+  if (!dump.at_or_null("heartbeats").is_object()) {
+    return fail("dump carries no watchdog heartbeats");
+  }
+  std::cout << "dump-check OK: " << events.as_array().size()
+            << "-event tail, reason '" << reason.as_string() << "'\n";
+  return 0;
 }
 
 }  // namespace
@@ -33,6 +105,7 @@ int main(int argc, char** argv) {
   qcenv::simtest::SweepOptions options;
   options.quick = true;
   std::int64_t only_seed = -1;
+  bool dump_check = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -59,10 +132,17 @@ int main(int argc, char** argv) {
       options.artifact_path = value();
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--dump-check") {
+      dump_check = true;
     } else {
       usage(argv[0]);
       return 2;
     }
+  }
+  if (dump_check) {
+    return run_dump_check(only_seed >= 0
+                              ? static_cast<std::uint64_t>(only_seed)
+                              : options.first_seed);
   }
   if (only_seed >= 0) {
     // Replay mode: one seed, chatty.

@@ -223,7 +223,7 @@ TEST(Alerts, ManagerFiresAndNotifies) {
   rule.detector = EwmaDetector(0.3, 4.0, 20);
   manager.add_rule(std::move(rule));
   int notified = 0;
-  manager.add_sink([&](const FiredAlert& alert) {
+  manager.add_sink([&](const AlertRecord& alert) {
     ++notified;
     EXPECT_EQ(alert.rule, "dephasing-drift");
     EXPECT_EQ(alert.severity, AlertSeverity::kCritical);
@@ -233,14 +233,17 @@ TEST(Alerts, ManagerFiresAndNotifies) {
   for (int i = 0; i < 40; ++i) {
     tsdb.write(key, Point{i * kSecond, 0.008 + 0.0001 * rng.normal()});
   }
-  EXPECT_TRUE(manager.evaluate(tsdb).empty());
+  EXPECT_TRUE(manager.evaluate(tsdb, 40 * kSecond).empty());
   for (int i = 40; i < 60; ++i) {
     tsdb.write(key, Point{i * kSecond, 0.02 + 0.0001 * rng.normal()});
   }
-  const auto fired = manager.evaluate(tsdb);
+  const auto fired = manager.evaluate(tsdb, 60 * kSecond);
   EXPECT_FALSE(fired.empty());
   EXPECT_GT(notified, 0);
-  EXPECT_EQ(manager.history().size(), fired.size());
+  // The shifted regime keeps the detector alarming, so the alert stays
+  // active rather than resolving into history.
+  EXPECT_FALSE(manager.active().empty());
+  EXPECT_EQ(manager.active().front().fired_at % kSecond, 0);
 }
 
 TEST(Alerts, HighWaterMarkAvoidsReprocessing) {
@@ -253,22 +256,86 @@ TEST(Alerts, HighWaterMarkAvoidsReprocessing) {
   rule.detector = CusumDetector(0.5, 5.0, 5);
   manager.add_rule(std::move(rule));
   for (int i = 0; i < 10; ++i) tsdb.write(key, Point{i, 1.0});
-  (void)manager.evaluate(tsdb);
+  (void)manager.evaluate(tsdb, 10);
   // Re-evaluating without new data must feed nothing new.
-  EXPECT_TRUE(manager.evaluate(tsdb).empty());
+  EXPECT_TRUE(manager.evaluate(tsdb, 11).empty());
 }
 
 TEST(CollectorTest, ScrapesRegistryIntoTsdb) {
   MetricsRegistry registry;
   TimeSeriesDb tsdb;
   common::ManualClock clock(5 * kSecond);
-  Collector collector(&registry, &tsdb, &clock);
+  MetricsCollector collector(&registry, &tsdb, &clock);
   registry.gauge("qpu_fidelity", {{"device", "d"}}).set(0.99);
-  EXPECT_EQ(collector.scrape_once(), 1u);
+  EXPECT_EQ(collector.scrape_at(5 * kSecond), 1u);
   const SeriesKey key{"qpu_fidelity", {{"device", "d"}}};
   ASSERT_EQ(tsdb.point_count(key), 1u);
   EXPECT_EQ(tsdb.last(key).value().time, 5 * kSecond);
   EXPECT_DOUBLE_EQ(tsdb.last(key).value().value, 0.99);
+}
+
+TEST(CollectorTest, GridDeadlinesAndCatchUpPolicy) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(1.0);
+  common::ManualClock clock(0);
+  const SeriesKey key{"g", {}};
+
+  // Production policy: several overdue deadlines collapse to the newest.
+  {
+    TimeSeriesDb tsdb;
+    MetricsCollector collector(&registry, &tsdb, &clock,
+                               {.interval = kSecond});
+    EXPECT_EQ(collector.next_deadline(), kSecond);
+    EXPECT_GT(collector.run_pending(5 * kSecond + 1), 0u);
+    EXPECT_EQ(tsdb.point_count(key), 1u);
+    EXPECT_EQ(tsdb.last(key).value().time, 5 * kSecond);
+    EXPECT_EQ(collector.missed_count(), 4u);
+  }
+
+  // Simulation policy: every deadline is scraped, stamped on the grid.
+  {
+    TimeSeriesDb tsdb;
+    MetricsCollector collector(
+        &registry, &tsdb, &clock,
+        {.interval = kSecond, .scrape_all_overdue = true});
+    EXPECT_GT(collector.run_pending(5 * kSecond + 1), 0u);
+    const auto points = tsdb.query_range(key, 0, 10 * kSecond);
+    ASSERT_EQ(points.size(), 5u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_EQ(points[i].time, static_cast<common::TimeNs>(i + 1) * kSecond);
+    }
+    EXPECT_EQ(collector.missed_count(), 0u);
+  }
+}
+
+TEST(CollectorTest, StallWindowDropsScrapes) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(1.0);
+  common::ManualClock clock(0);
+  TimeSeriesDb tsdb;
+  MetricsCollector collector(
+      &registry, &tsdb, &clock,
+      {.interval = kSecond, .scrape_all_overdue = true});
+  collector.stall_until(3 * kSecond);
+  (void)collector.run_pending(5 * kSecond);
+  const auto points = tsdb.query_range(SeriesKey{"g", {}}, 0, 10 * kSecond);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points.front().time, 4 * kSecond);
+  EXPECT_EQ(collector.missed_count(), 3u);
+}
+
+TEST(CollectorTest, SamplersRunAtTheGridStamp) {
+  common::ManualClock clock(0);
+  TimeSeriesDb tsdb;
+  MetricsCollector collector(nullptr, &tsdb, &clock, {.interval = kSecond});
+  collector.add_sampler([](common::TimeNs at, TimeSeriesDb& db) {
+    db.write("sampled", {}, at, 42.0);
+  });
+  (void)collector.run_pending(kSecond);
+  const auto last = tsdb.last(SeriesKey{"sampled", {}});
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->time, kSecond);
+  EXPECT_DOUBLE_EQ(last->value, 42.0);
 }
 
 TEST(QpuTelemetrySourceTest, PublishesDeviceState) {

@@ -1,0 +1,253 @@
+// TimeSeriesDb contract tests: line-protocol round-trips, retention
+// eviction order, and windowed-aggregation edge cases (the parts the
+// scrape loop and /admin/tsdb endpoints lean on).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/strings.hpp"
+#include "telemetry/tsdb.hpp"
+
+namespace qcenv::telemetry {
+namespace {
+
+using common::kSecond;
+using common::TimeNs;
+
+TEST(SeriesKeyTest, ToStringSortsTags) {
+  SeriesKey key{"qpu_fidelity", {{"zone", "b"}, {"device", "fresnel"}}};
+  // Tags is a std::map — serialization is sorted regardless of insert order.
+  EXPECT_EQ(key.to_string(), "qpu_fidelity,device=fresnel,zone=b");
+}
+
+TEST(SeriesKeyTest, ParseIsInverseOfToString) {
+  SeriesKey key{"queue_wait", {{"lane", "emu0"}, {"user", "alice"}}};
+  auto parsed = SeriesKey::parse(key.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), key);
+
+  auto bare = SeriesKey::parse("uptime");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value().measurement, "uptime");
+  EXPECT_TRUE(bare.value().tags.empty());
+}
+
+TEST(SeriesKeyTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(SeriesKey::parse("").ok());
+  EXPECT_FALSE(SeriesKey::parse(",device=x").ok());     // empty measurement
+  EXPECT_FALSE(SeriesKey::parse("m,no_equals").ok());   // tag without '='
+}
+
+TEST(TsdbLineProtocolTest, WriteLineParsesAllSections) {
+  TimeSeriesDb tsdb;
+  ASSERT_TRUE(
+      tsdb.write_line("fidelity,device=fresnel value=0.93 5000000000").ok());
+  const SeriesKey key{"fidelity", {{"device", "fresnel"}}};
+  const auto point = tsdb.last(key);
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(point->time, 5 * kSecond);
+  EXPECT_DOUBLE_EQ(point->value, 0.93);
+}
+
+TEST(TsdbLineProtocolTest, WriteLineRejectsMalformedLines) {
+  TimeSeriesDb tsdb;
+  EXPECT_FALSE(tsdb.write_line("").ok());
+  EXPECT_FALSE(tsdb.write_line("m value=1").ok());          // no timestamp
+  EXPECT_FALSE(tsdb.write_line("m value=1 2 3").ok());      // extra section
+  EXPECT_FALSE(tsdb.write_line("m field=1 100").ok());      // not value=
+  EXPECT_FALSE(tsdb.write_line("m value=abc 100").ok());    // bad number
+  EXPECT_FALSE(tsdb.write_line("m value=1.5x 100").ok());   // trailing junk
+  EXPECT_FALSE(tsdb.write_line("m value=1 10s").ok());      // bad timestamp
+  EXPECT_FALSE(tsdb.write_line(",lane=a value=1 100").ok());
+  // Nothing partial was committed.
+  EXPECT_TRUE(tsdb.series().empty());
+}
+
+TEST(TsdbLineProtocolTest, DumpAndReingestRoundTrips) {
+  TimeSeriesDb source;
+  const SeriesKey key{"queue_depth", {{"lane", "emu0"}, {"class", "prod"}}};
+  for (int i = 0; i < 10; ++i) {
+    source.write(key, Point{static_cast<TimeNs>(i) * kSecond, 0.5 * i});
+  }
+  auto dump = source.dump_series(key);
+  ASSERT_TRUE(dump.ok());
+
+  TimeSeriesDb copy;
+  for (const auto& line : common::split(dump.value(), '\n')) {
+    if (line.empty()) continue;
+    ASSERT_TRUE(copy.write_line(line).ok()) << line;
+  }
+  const auto original = source.query_range(key, 0, 10 * kSecond);
+  const auto restored = copy.query_range(key, 0, 10 * kSecond);
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i].time, original[i].time);
+    EXPECT_DOUBLE_EQ(restored[i].value, original[i].value);
+  }
+  // Byte-level idempotence: dumping the re-ingested copy matches the dump.
+  EXPECT_EQ(copy.dump_series(key).value(), dump.value());
+}
+
+TEST(TsdbLineProtocolTest, DumpUnknownSeriesIsNotFound) {
+  TimeSeriesDb tsdb;
+  EXPECT_FALSE(tsdb.dump_series(SeriesKey{"nope", {}}).ok());
+}
+
+TEST(TsdbRetentionTest, EvictsOldestFirst) {
+  TimeSeriesDb tsdb(/*max_points_per_series=*/5);
+  const SeriesKey key{"m", {}};
+  for (int i = 1; i <= 8; ++i) {
+    tsdb.write(key, Point{static_cast<TimeNs>(i) * kSecond, 1.0 * i});
+  }
+  EXPECT_EQ(tsdb.point_count(key), 5u);
+  const auto points = tsdb.query_range(key, 0, 100 * kSecond);
+  ASSERT_EQ(points.size(), 5u);
+  // 1..3 were evicted; 4..8 survive in time order.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].time, static_cast<TimeNs>(i + 4) * kSecond);
+  }
+}
+
+TEST(TsdbRetentionTest, OutOfOrderWritesStaySortedAndEvictByTime) {
+  TimeSeriesDb tsdb(/*max_points_per_series=*/3);
+  const SeriesKey key{"m", {}};
+  tsdb.write(key, Point{5 * kSecond, 5.0});
+  tsdb.write(key, Point{9 * kSecond, 9.0});
+  tsdb.write(key, Point{7 * kSecond, 7.0});  // insert-sorted into the middle
+  tsdb.write(key, Point{3 * kSecond, 3.0});  // oldest — first eviction victim
+  const auto points = tsdb.query_range(key, 0, 100 * kSecond);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].time, 5 * kSecond);
+  EXPECT_EQ(points[1].time, 7 * kSecond);
+  EXPECT_EQ(points[2].time, 9 * kSecond);
+}
+
+TEST(TsdbRetentionTest, RetentionIsPerSeries) {
+  TimeSeriesDb tsdb(/*max_points_per_series=*/2);
+  const SeriesKey a{"m", {{"lane", "a"}}};
+  const SeriesKey b{"m", {{"lane", "b"}}};
+  for (int i = 0; i < 4; ++i) {
+    tsdb.write(a, Point{static_cast<TimeNs>(i), 1.0});
+    tsdb.write(b, Point{static_cast<TimeNs>(i), 2.0});
+  }
+  EXPECT_EQ(tsdb.point_count(a), 2u);
+  EXPECT_EQ(tsdb.point_count(b), 2u);
+  EXPECT_EQ(tsdb.series().size(), 2u);
+}
+
+TEST(TsdbQueryTest, RangeIsInclusiveOnBothEnds) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"m", {}};
+  for (TimeNs t = 1; t <= 5; ++t) tsdb.write(key, Point{t * kSecond, 1.0});
+  const auto points = tsdb.query_range(key, 2 * kSecond, 4 * kSecond);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points.front().time, 2 * kSecond);
+  EXPECT_EQ(points.back().time, 4 * kSecond);
+  EXPECT_TRUE(tsdb.query_range(SeriesKey{"nope", {}}, 0, 10).empty());
+}
+
+class TsdbAggregateTest : public ::testing::Test {
+ protected:
+  // Points at t = 0s..9s with value = t-in-seconds.
+  void SetUp() override {
+    for (TimeNs t = 0; t < 10; ++t) {
+      tsdb_.write(key_, Point{t * kSecond, static_cast<double>(t)});
+    }
+  }
+  TimeSeriesDb tsdb_;
+  const SeriesKey key_{"m", {}};
+};
+
+TEST_F(TsdbAggregateTest, DegenerateInputsYieldNoWindows) {
+  EXPECT_TRUE(tsdb_.aggregate(key_, 0, 10 * kSecond, 0,
+                              Aggregation::kMean).empty());
+  EXPECT_TRUE(tsdb_.aggregate(key_, 5 * kSecond, 5 * kSecond, kSecond,
+                              Aggregation::kMean).empty());
+  EXPECT_TRUE(tsdb_.aggregate(key_, 9 * kSecond, 2 * kSecond, kSecond,
+                              Aggregation::kMean).empty());
+}
+
+TEST_F(TsdbAggregateTest, EmptySeriesStillShapesTheGrid) {
+  const auto windows = tsdb_.aggregate(SeriesKey{"absent", {}}, 0,
+                                       4 * kSecond, 2 * kSecond,
+                                       Aggregation::kSum);
+  ASSERT_EQ(windows.size(), 2u);
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.samples, 0u);
+    EXPECT_DOUBLE_EQ(w.value, 0.0);
+  }
+  EXPECT_EQ(windows[0].window_start, 0);
+  EXPECT_EQ(windows[1].window_start, 2 * kSecond);
+}
+
+TEST_F(TsdbAggregateTest, EndIsExclusive) {
+  // [0s, 4s) with 2s windows: point at t=4s must NOT land in any window.
+  const auto windows =
+      tsdb_.aggregate(key_, 0, 4 * kSecond, 2 * kSecond, Aggregation::kCount);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].value, 2.0);  // t=0,1
+  EXPECT_DOUBLE_EQ(windows[1].value, 2.0);  // t=2,3
+}
+
+TEST_F(TsdbAggregateTest, PartialTrailingWindowIsKept) {
+  // [0s, 5s) with 2s windows -> 3 windows, the last covering only t=4.
+  const auto windows =
+      tsdb_.aggregate(key_, 0, 5 * kSecond, 2 * kSecond, Aggregation::kSum);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[2].window_start, 4 * kSecond);
+  EXPECT_EQ(windows[2].samples, 1u);
+  EXPECT_DOUBLE_EQ(windows[2].value, 4.0);
+}
+
+TEST_F(TsdbAggregateTest, SinglePointWindow) {
+  const auto windows = tsdb_.aggregate(key_, 3 * kSecond, 4 * kSecond,
+                                       kSecond, Aggregation::kMean);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].samples, 1u);
+  EXPECT_DOUBLE_EQ(windows[0].value, 3.0);
+}
+
+TEST_F(TsdbAggregateTest, AllAggregationsAgreeOnTheSameWindow) {
+  // One 4s window over t=2..5 (values 2,3,4,5).
+  const auto one = [&](Aggregation agg) {
+    const auto windows =
+        tsdb_.aggregate(key_, 2 * kSecond, 6 * kSecond, 4 * kSecond, agg);
+    EXPECT_EQ(windows.size(), 1u);
+    return windows.at(0).value;
+  };
+  EXPECT_DOUBLE_EQ(one(Aggregation::kMean), 3.5);
+  EXPECT_DOUBLE_EQ(one(Aggregation::kMin), 2.0);
+  EXPECT_DOUBLE_EQ(one(Aggregation::kMax), 5.0);
+  EXPECT_DOUBLE_EQ(one(Aggregation::kLast), 5.0);
+  EXPECT_DOUBLE_EQ(one(Aggregation::kSum), 14.0);
+  EXPECT_DOUBLE_EQ(one(Aggregation::kCount), 4.0);
+}
+
+TEST_F(TsdbAggregateTest, MinMaxHandleNegativeValues) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"delta", {}};
+  tsdb.write(key, Point{kSecond, -3.0});
+  tsdb.write(key, Point{2 * kSecond, -1.0});
+  const auto min_w =
+      tsdb.aggregate(key, 0, 3 * kSecond, 3 * kSecond, Aggregation::kMin);
+  const auto max_w =
+      tsdb.aggregate(key, 0, 3 * kSecond, 3 * kSecond, Aggregation::kMax);
+  // A zero-initialized accumulator would wrongly report 0 here.
+  EXPECT_DOUBLE_EQ(min_w.at(0).value, -3.0);
+  EXPECT_DOUBLE_EQ(max_w.at(0).value, -1.0);
+}
+
+TEST_F(TsdbAggregateTest, LastRespectsTimeOrderNotInsertOrder) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"m", {}};
+  tsdb.write(key, Point{5 * kSecond, 50.0});
+  tsdb.write(key, Point{2 * kSecond, 20.0});  // late arrival, earlier time
+  const auto windows =
+      tsdb.aggregate(key, 0, 10 * kSecond, 10 * kSecond, Aggregation::kLast);
+  EXPECT_DOUBLE_EQ(windows.at(0).value, 50.0);
+}
+
+}  // namespace
+}  // namespace qcenv::telemetry
