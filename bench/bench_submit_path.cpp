@@ -21,7 +21,7 @@
 // layer: tracing-on must stay within 5% of tracing-off.
 //
 // Usage:
-//   bench_submit_path [--quick] [--out FILE]
+//   bench_submit_path [--quick] [--out FILE] [--profile-out FILE]
 //                     [--check BASELINE [--tolerance FRAC]
 //                      [--trace-tolerance FRAC]]
 //
@@ -50,6 +50,7 @@
 #include "daemon/dispatcher.hpp"
 #include "qrmi/local_emulator.hpp"
 #include "store/state_store.hpp"
+#include "telemetry/explain.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -211,6 +212,46 @@ Json to_json(const Config& config, const RunResult& result) {
   return out;
 }
 
+/// A short traced run with LIVE lanes (unlike the drained measurement
+/// runs): every terminal job's span tree folds through the
+/// CriticalPathProfiler into a flamegraph-compatible collapsed-stack
+/// artifact — the profile counterpart of the sample trace JSON CI
+/// already uploads, so every green build carries the current critical
+/// path shape of the submit-to-result pipeline.
+bool write_profile_artifact(const char* path) {
+  common::WallClock clock;
+  auto broker = std::make_shared<broker::ResourceBroker>(
+      broker::BrokerOptions{}, &clock, nullptr);
+  (void)broker->add("emu0", qrmi::LocalEmulatorQrmi::create("emu0", "sv")
+                                .value());
+  telemetry::MetricsRegistry metrics;
+  telemetry::TraceStore traces;
+  telemetry::CriticalPathProfiler profiler;
+  daemon::Dispatcher dispatcher(broker, daemon::QueuePolicy{}, &clock,
+                                &metrics, nullptr, nullptr, &traces,
+                                nullptr);
+  dispatcher.set_profiler(&profiler);
+  const auto payload =
+      std::make_shared<const quantum::Payload>(tiny_payload(64));
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    daemon::Dispatcher::SubmitOptions options;
+    options.trace_id = traces.allocate();
+    auto submitted =
+        dispatcher.submit(common::SessionId{0}, "profile",
+                          daemon::JobClass::kDevelopment, payload, options);
+    if (!submitted.ok()) return false;
+    ids.push_back(submitted.value());
+  }
+  for (const auto id : ids) {
+    if (!dispatcher.wait(id).ok()) return false;
+  }
+  const auto view = profiler.view(0, clock.now());
+  std::ofstream file(path);
+  file << telemetry::to_collapsed_text(view.stacks);
+  return static_cast<bool>(file);
+}
+
 const char* arg_value(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
@@ -283,6 +324,15 @@ int main(int argc, char** argv) {
     std::ofstream file(out);
     file << report.dump(2) << "\n";
     print_note("wrote " + std::string(out));
+  }
+
+  if (const char* profile_out = arg_value(argc, argv, "--profile-out")) {
+    if (!write_profile_artifact(profile_out)) {
+      std::fprintf(stderr, "cannot write collapsed-stack profile '%s'\n",
+                   profile_out);
+      return 1;
+    }
+    print_note("wrote " + std::string(profile_out));
   }
 
   if (const char* baseline_path = arg_value(argc, argv, "--check")) {

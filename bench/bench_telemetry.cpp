@@ -7,17 +7,23 @@
 //       positives for EWMA and CUSUM across 60 seeds.
 //   (c) scrape-pipeline ingest: registry -> collector -> TSDB points/s and
 //       line-protocol parse throughput, with acceptance gates.
+//   (d) explain-report generation: the GET /v1/jobs/:id/explain hot path
+//       (wait decomposition + JSON serialization) over a daemon full of
+//       terminal jobs, with an acceptance gate.
 //
 // --quick (the CI bench-smoke mode) skips the google-benchmark micros and
-// runs (b)+(c) on shrunken workloads; the exit code enforces the gates.
+// runs (b)+(c)+(d) on shrunken workloads; the exit code enforces the gates.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "daemon/daemon.hpp"
+#include "qrmi/local_emulator.hpp"
 #include "telemetry/collector.hpp"
 #include "telemetry/drift.hpp"
 #include "telemetry/metrics.hpp"
@@ -190,6 +196,73 @@ bool ingest_throughput(bool quick) {
   return ok;
 }
 
+/// The explain-report hot path: eta().explain() decomposes a terminal
+/// job's observed wait into causes and the result serializes to the
+/// GET /v1/jobs/:id/explain JSON body. Returns reports/s over a daemon
+/// holding `jobs` terminal jobs, `rounds` passes over all of them.
+double bench_explain_reports(int jobs, int rounds) {
+  auto resource = qrmi::LocalEmulatorQrmi::create("emu0", "sv").value();
+  common::ManualClock clock(0, /*auto_advance=*/true);
+  daemon::DaemonOptions options;
+  options.telemetry.observability.enabled = false;
+  auto d = std::make_unique<daemon::MiddlewareDaemon>(options, resource,
+                                                      nullptr, &clock);
+  auto session = d->open_session("bench", daemon::JobClass::kTest);
+  if (!session.ok()) return 0;
+
+  quantum::Sequence seq(quantum::AtomRegister::linear_chain(2, 6.0));
+  seq.add_pulse(quantum::Pulse{quantum::Waveform::constant(200, 2.0),
+                               quantum::Waveform::constant(200, 0.0), 0.0});
+  const auto payload = quantum::Payload::from_sequence(seq, 20);
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    auto submitted = d->submit_job(session.value().token, payload, {});
+    if (!submitted.ok()) return 0;
+    ids.push_back(submitted.value().id);
+  }
+  for (const auto id : ids) {
+    if (!d->dispatcher().wait(id).ok()) return 0;
+  }
+
+  std::uint64_t reports = 0;
+  std::size_t bytes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto id : ids) {
+      auto report = d->eta().explain(id);
+      if (!report.ok()) return 0;
+      bytes += report.value().to_json().dump().size();
+      ++reports;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchmark::DoNotOptimize(bytes);
+  return static_cast<double>(reports) / seconds;
+}
+
+/// Returns true iff the explain-report gate holds.
+bool explain_throughput(bool quick) {
+  print_title("E5d | explain-report generation throughput");
+  const int jobs = 200;
+  const int rounds = quick ? 25 : 100;
+  const double reports_s = bench_explain_reports(jobs, rounds);
+  std::printf("explain reports (decompose+serialize):     %.0f reports/s "
+              "(%d terminal jobs x %d rounds)\n",
+              reports_s, jobs, rounds);
+  // Same philosophy as the ingest gates: an order of magnitude under the
+  // measured Debug rate, catching accidental O(n^2) work in the wait
+  // decomposition or serializer rather than machine variance.
+  if (reports_s < 10'000) {
+    std::printf("FAIL: explain reports %.0f/s < 10k/s\n", reports_s);
+    return false;
+  }
+  return true;
+}
+
 void drift_scenarios() {
   print_title(
       "E5b | Drift detection: injected calibration ramp after 300 stable "
@@ -240,7 +313,8 @@ int main(int argc, char** argv) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }
-  const bool ok = ingest_throughput(quick);
+  bool ok = ingest_throughput(quick);
+  ok = explain_throughput(quick) && ok;
   drift_scenarios();
   return ok ? 0 : 1;
 }

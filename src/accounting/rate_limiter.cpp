@@ -92,6 +92,23 @@ void RateLimiter::release(const std::string& user, std::uint64_t shots) {
   it->second.inflight_shots -= std::min(it->second.inflight_shots, shots);
 }
 
+common::DurationNs RateLimiter::retry_after(const std::string& user,
+                                            common::TimeNs now) const {
+  const Stripe& stripe = stripe_for(user);
+  std::scoped_lock lock(stripe.mutex);
+  const RateLimitOptions options = effective_locked(stripe, user);
+  if (options.submit_per_sec <= 0) return 0;
+  const auto it = stripe.buckets.find(user);
+  // Never-seen users start with a full (primed) bucket.
+  if (it == stripe.buckets.end()) return 0;
+  Bucket bucket = it->second;
+  refill_locked(bucket, options, now);
+  if (bucket.tokens >= 1.0) return 0;
+  const double seconds = (1.0 - bucket.tokens) / options.submit_per_sec;
+  return static_cast<common::DurationNs>(
+      seconds * static_cast<double>(common::kSecond));
+}
+
 std::uint64_t RateLimiter::inflight_shots(const std::string& user) const {
   const Stripe& stripe = stripe_for(user);
   std::scoped_lock lock(stripe.mutex);

@@ -62,6 +62,14 @@ class RateLimiter {
 
   std::uint64_t inflight_shots(const std::string& user) const;
 
+  /// Time until the user's bucket holds a whole token again — the number a
+  /// 429's Retry-After header and the ETA engine's `rate_limited` wait
+  /// cause both report. 0 when the user is not rate-limited (unlimited
+  /// config, or a token is already available). Read-only: the bucket is
+  /// refilled on a copy, never mutated.
+  common::DurationNs retry_after(const std::string& user,
+                                 common::TimeNs now) const;
+
   /// Per-user limiter state for /v1/usage and /admin/fairshare.
   common::Json to_json(const std::string& user, common::TimeNs now) const;
 

@@ -103,6 +103,15 @@ std::string ResourceBroker::fleet_summary_locked() const {
   return common::join(parts, ", ");
 }
 
+void ResourceBroker::log_transition_locked(const char* kind,
+                                           const std::string& name,
+                                           telemetry::Severity severity) {
+  if (events_ == nullptr) return;
+  // The message is exactly the resource name: eta.cpp's outage sweep
+  // parses these events back into per-resource availability intervals.
+  events_->log(clock_->now(), severity, kind, name);
+}
+
 void ResourceBroker::set_health_gauge_locked(const Managed& managed) {
   if (metrics_ == nullptr) return;
   metrics_
@@ -232,6 +241,9 @@ void ResourceBroker::on_failure(const std::string& name,
   Managed& managed = it->second;
   if (managed.status.inflight_batches > 0) --managed.status.inflight_batches;
   ++managed.status.failures;
+  if (managed.status.healthy) {
+    log_transition_locked("resource_down", name, telemetry::Severity::kWarn);
+  }
   managed.status.healthy = false;
   managed.next_probe = clock_->now() + managed.backoff;
   managed.backoff = std::min(managed.backoff * 2, options_.max_backoff);
@@ -285,8 +297,13 @@ bool ResourceBroker::probe(const std::string& name) {
     managed.next_probe = clock_->now() + options_.probe_interval;
     if (!was_healthy) {
       QCENV_LOG(Info) << "resource " << name << " recovered";
+      log_transition_locked("resource_up", name, telemetry::Severity::kInfo);
     }
   } else {
+    if (was_healthy) {
+      log_transition_locked("resource_down", name,
+                            telemetry::Severity::kWarn);
+    }
     managed.next_probe = clock_->now() + managed.backoff;
     managed.backoff = std::min(managed.backoff * 2, options_.max_backoff);
   }
@@ -316,6 +333,10 @@ Status ResourceBroker::drain(const std::string& name) {
   std::scoped_lock lock(mutex_);
   const auto it = fleet_.find(name);
   if (it == fleet_.end()) return unknown_locked(name);
+  if (!it->second.status.draining) {
+    log_transition_locked("resource_drain", name,
+                          telemetry::Severity::kInfo);
+  }
   it->second.status.draining = true;
   return Status::ok_status();
 }
@@ -324,6 +345,10 @@ Status ResourceBroker::resume(const std::string& name) {
   std::scoped_lock lock(mutex_);
   const auto it = fleet_.find(name);
   if (it == fleet_.end()) return unknown_locked(name);
+  if (it->second.status.draining) {
+    log_transition_locked("resource_resume", name,
+                          telemetry::Severity::kInfo);
+  }
   it->second.status.draining = false;
   return Status::ok_status();
 }

@@ -30,6 +30,7 @@
 #include "common/result.hpp"
 #include "qrmi/qrmi.hpp"
 #include "qrmi/registry.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qcenv::broker {
@@ -138,6 +139,14 @@ class ResourceBroker {
   void advise(const std::string& name, const std::string& reason);
   void clear_advisory(const std::string& name);
 
+  /// Structured-event sink for availability transitions: resource_down /
+  /// resource_up / resource_drain / resource_resume events whose message
+  /// is exactly the resource name. The ETA engine replays them to compute
+  /// a job's drain/outage wait overlap. Must be set before any resource
+  /// can transition (i.e. right after construction) and outlive the
+  /// broker; nullptr (the default) disables.
+  void set_event_log(telemetry::EventLog* events) { events_ = events; }
+
  private:
   struct Managed {
     qrmi::QrmiPtr resource;
@@ -155,9 +164,15 @@ class ResourceBroker {
   /// Probes `name` outside the lock and folds the outcome back in.
   bool probe(const std::string& name);
 
+  /// Logs an availability transition (caller holds mutex_; the event
+  /// log's own lock is a leaf).
+  void log_transition_locked(const char* kind, const std::string& name,
+                             telemetry::Severity severity);
+
   BrokerOptions options_;
   common::Clock* clock_;
   telemetry::MetricsRegistry* metrics_;
+  telemetry::EventLog* events_ = nullptr;
 
   mutable std::mutex mutex_;
   std::vector<std::string> order_;

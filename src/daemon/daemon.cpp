@@ -110,6 +110,7 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
                         options_.telemetry.trace_shards)
                   : nullptr),
       events_(options_.telemetry.event_capacity),
+      profiler_(options_.telemetry.profile_capacity),
       sessions_(options_.sessions, clock),
       admission_(options_.admission),
       accounting_(options_.accounting, clock, &metrics_),
@@ -117,6 +118,9 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
                                                        clock, &metrics_)),
       server_(net::HttpServerOptions{options_.port, 4,
                                      10 * common::kSecond}) {
+  // Availability transitions must be logged before the first resource can
+  // transition — the ETA engine replays them for drain/outage overlap.
+  broker_->set_event_log(&events_);
   auto seeded = broker_->add_all(fleet);
   if (!seeded.ok()) {
     QCENV_LOG(Error) << "fleet seeding failed: " << seeded.to_string();
@@ -176,6 +180,19 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
     }
     observability_->start();
   }
+  // Before any job can finish: lanes fold terminal traces into the
+  // critical-path profiler from finish_locked.
+  dispatcher_->set_profiler(&profiler_);
+  EtaEngine::Deps eta_deps;
+  eta_deps.dispatcher = dispatcher_.get();
+  eta_deps.broker = broker_.get();
+  eta_deps.accounting = &accounting_;
+  eta_deps.tsdb =
+      observability_ != nullptr ? &observability_->tsdb() : nullptr;
+  eta_deps.events = &events_;
+  eta_deps.clock = clock_;
+  eta_deps.policy = options_.queue_policy;
+  eta_ = std::make_unique<EtaEngine>(eta_deps, options_.telemetry.eta);
   install_routes();
 }
 
@@ -526,15 +543,77 @@ void MiddlewareDaemon::install_routes() {
                                     std::move(payload).value(), hints,
                                     &trace);
         if (!submitted.ok()) {
-          return error_response(submitted.error(), trace);
+          HttpResponse response = error_response(submitted.error(), trace);
+          // Rate-limited submissions learn when to come back: the token
+          // bucket's refill time, rounded up to whole seconds (HTTP
+          // Retry-After), the same number the ETA endpoint reports as the
+          // rate_limited wait cause. Caps without a refill (in-flight
+          // shots, pending jobs) send no header.
+          if (response.status == 429) {
+            if (auto limited = sessions_.authenticate(token.value());
+                limited.ok()) {
+              const common::DurationNs retry =
+                  accounting_.rate_limiter().retry_after(
+                      limited.value().user, clock_->now());
+              if (retry > 0) {
+                response.headers["Retry-After"] = std::to_string(
+                    (retry + common::kSecond - 1) / common::kSecond);
+              }
+            }
+          }
+          return response;
         }
         Json out = Json::object();
         out["job_id"] = static_cast<long long>(submitted.value().id);
         out["class"] = to_string(submitted.value().job_class);
         out["resource"] = submitted.value().resource;
         if (trace != 0) out["trace_id"] = static_cast<long long>(trace);
+        // The predicted start/finish window rides the 201: REST clients
+        // get their ETA without a second round-trip. Off the programmatic
+        // hot path on purpose — bench_submit_path drives submit_job
+        // directly and never pays for the queue snapshot below.
+        if (auto eta = eta_->estimate(submitted.value().id); eta.ok()) {
+          out["eta"] = eta.value().to_json();
+        }
         return HttpResponse::json(201, out.dump());
       });
+
+  router.add("GET", "/v1/jobs/:id/eta",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams& params) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               const std::uint64_t id = std::strtoull(
+                   params.at("id").c_str(), nullptr, 10);
+               auto job = dispatcher_->query(id);
+               if (!job.ok()) return error_response(job.error());
+               if (job.value().user != session.value().user) {
+                 return error_response(common::err::permission_denied(
+                     "job belongs to another user"));
+               }
+               auto eta = eta_->estimate(id);
+               if (!eta.ok()) return error_response(eta.error());
+               return HttpResponse::json(200, eta.value().to_json().dump());
+             });
+
+  router.add("GET", "/v1/jobs/:id/explain",
+             [this, authenticate](const HttpRequest& request,
+                                  const PathParams& params) {
+               auto session = authenticate(request);
+               if (!session.ok()) return error_response(session.error());
+               const std::uint64_t id = std::strtoull(
+                   params.at("id").c_str(), nullptr, 10);
+               auto job = dispatcher_->query(id);
+               if (!job.ok()) return error_response(job.error());
+               if (job.value().user != session.value().user) {
+                 return error_response(common::err::permission_denied(
+                     "job belongs to another user"));
+               }
+               auto report = eta_->explain(id);
+               if (!report.ok()) return error_response(report.error());
+               return HttpResponse::json(200,
+                                         report.value().to_json().dump());
+             });
 
   router.add("GET", "/v1/jobs/:id",
              [this, authenticate](const HttpRequest& request,
@@ -819,9 +898,11 @@ void MiddlewareDaemon::install_routes() {
               agg = telemetry::Aggregation::kSum;
             } else if (*raw == "count") {
               agg = telemetry::Aggregation::kCount;
+            } else if (*raw == "rate") {
+              agg = telemetry::Aggregation::kRate;
             } else {
               return error_response(common::err::invalid_argument(
-                  "agg must be mean|min|max|last|sum|count"));
+                  "agg must be mean|min|max|last|sum|count|rate"));
             }
           }
           // aggregate() windows cover [start, end); a max end would
@@ -916,6 +997,61 @@ void MiddlewareDaemon::install_routes() {
                out["short_window_ns"] = pipeline->short_window();
                out["long_window_ns"] = pipeline->long_window();
                out["evaluated_at"] = now;
+               return HttpResponse::json(200, out.dump());
+             });
+
+  // Critical-path profile: collapsed stacks of terminal jobs finishing in
+  // the trailing `window` ns (0/absent = everything retained), merged
+  // fleet-wide and split per resource / per tenant, plus regressions
+  // against the recorded baseline (stacks whose share of total self time
+  // grew more than `threshold` share points).
+  const auto profile_window =
+      [this](const HttpRequest& request) -> std::pair<common::TimeNs,
+                                                      common::TimeNs> {
+    const common::TimeNs now = clock_->now();
+    common::DurationNs window = 0;
+    if (const auto raw = request.query_param("window")) {
+      window = std::strtoll(raw->c_str(), nullptr, 10);
+    }
+    const common::TimeNs since =
+        window > 0 ? (now > window ? now - window : 0) : 0;
+    return {since, now};
+  };
+
+  router.add("GET", "/admin/profile",
+             [this, require_admin, profile_window](
+                 const HttpRequest& request, const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               const auto [since, until] = profile_window(request);
+               double threshold = 0.05;
+               if (const auto raw = request.query_param("threshold")) {
+                 threshold = std::strtod(raw->c_str(), nullptr);
+               }
+               Json out = profiler_.view(since, until).to_json();
+               out["baseline"] = profiler_.has_baseline();
+               Json regs = Json::array();
+               for (const auto& regression :
+                    profiler_.regressions(since, until, threshold)) {
+                 regs.push_back(regression.to_json());
+               }
+               out["regressions"] = std::move(regs);
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("POST", "/admin/profile/baseline",
+             [this, require_admin, profile_window](
+                 const HttpRequest& request, const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               const auto [since, until] = profile_window(request);
+               profiler_.record_baseline(since, until);
+               Json out = Json::object();
+               out["recorded"] = true;
+               out["since_ns"] = since;
+               out["until_ns"] = until;
+               out["jobs"] = static_cast<long long>(
+                   profiler_.view(since, until).jobs);
                return HttpResponse::json(200, out.dump());
              });
 

@@ -13,6 +13,9 @@
 //                                      resource?, policy?} -> {job_id}
 //   GET    /v1/jobs/:id                                     -> job status
 //   GET    /v1/jobs/:id/trace          -> per-stage timeline (span tree)
+//   GET    /v1/jobs/:id/eta            -> predicted start/finish window
+//                                         (also embedded in submit 201s)
+//   GET    /v1/jobs/:id/explain        -> wait decomposed into causes
 //   GET    /v1/jobs/:id/result                              -> samples
 //   DELETE /v1/jobs/:id                                     -> cancel
 //   GET    /v1/queue                  -> depths/order/lanes/per-user counts
@@ -26,6 +29,10 @@
 //   GET    /admin/tsdb/export?series=   (InfluxDB line protocol)
 //   GET    /admin/alerts                (active + recent alert records)
 //   GET    /admin/slo                   (per-tenant burn-rate readout)
+//   GET    /admin/profile?window=&threshold=  (critical-path profile:
+//                                       collapsed stacks per resource/
+//                                       tenant + baseline regressions)
+//   POST   /admin/profile/baseline?window=  (record regression baseline)
 //   POST   /admin/debug/dump            (flight-recorder forensics dump)
 //   GET    /admin/sessions
 //   GET    /admin/fairshare            (accounts/users: shares vs usage)
@@ -53,6 +60,7 @@
 #include "common/config.hpp"
 #include "daemon/admission.hpp"
 #include "daemon/dispatcher.hpp"
+#include "daemon/eta.hpp"
 #include "daemon/observability.hpp"
 #include "daemon/sessions.hpp"
 #include "net/http_server.hpp"
@@ -83,6 +91,10 @@ struct TelemetryOptions {
   /// Live metrics pipeline: TSDB scrape loop, SLO burn-rate + drift
   /// alerting, crash-forensics flight recorder (see observability.hpp).
   ObservabilityOptions observability;
+  /// Queue ETA / explainability knobs (see eta.hpp).
+  EtaOptions eta;
+  /// Terminal-job traces retained by the critical-path profiler.
+  std::size_t profile_capacity = 4096;
 };
 
 struct DaemonOptions {
@@ -151,6 +163,10 @@ class MiddlewareDaemon {
   ObservabilityPipeline* observability() noexcept {
     return observability_.get();
   }
+  /// Queue ETA / wait-explainability engine (always available).
+  EtaEngine& eta() noexcept { return *eta_; }
+  /// Critical-path profiles of terminal jobs (fed when tracing is on).
+  telemetry::CriticalPathProfiler& profiler() noexcept { return profiler_; }
 
   /// Resolves a job class from an explicit partition name or session
   /// default.
@@ -215,6 +231,8 @@ class MiddlewareDaemon {
   // into them from their worker threads).
   std::unique_ptr<telemetry::TraceStore> traces_;
   telemetry::EventLog events_;
+  // Must outlive the dispatcher: its lanes fold terminal traces in.
+  telemetry::CriticalPathProfiler profiler_;
   SessionManager sessions_;
   AdmissionController admission_;
   // Must outlive the dispatcher: its lanes charge the ledger.
@@ -231,6 +249,9 @@ class MiddlewareDaemon {
   // dispatcher down (see stop()).
   std::unique_ptr<store::StateStore> store_;
   std::unique_ptr<Dispatcher> dispatcher_;
+  // Stateless view over dispatcher/broker/accounting/events/TSDB;
+  // constructed after all of them, destroyed first.
+  std::unique_ptr<EtaEngine> eta_;
   net::HttpServer server_;
 };
 

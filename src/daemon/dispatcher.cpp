@@ -601,12 +601,22 @@ void Dispatcher::set_idle_tick(common::DurationNs tick) {
 }
 
 void Dispatcher::drain() {
-  draining_.store(true);
+  const bool was = draining_.exchange(true);
+  // The transition event (not the state) is what the ETA engine replays
+  // to attribute wait time to maintenance windows.
+  if (!was && events_ != nullptr) {
+    events_->log(clock_->now(), telemetry::Severity::kInfo, "drain_all",
+                 "global dispatch drain");
+  }
   wake_lanes_all();
 }
 
 void Dispatcher::resume() {
-  draining_.store(false);
+  const bool was = draining_.exchange(false);
+  if (was && events_ != nullptr) {
+    events_->log(clock_->now(), telemetry::Severity::kInfo, "resume_all",
+                 "global dispatch resume");
+  }
   wake_lanes_all();
 }
 
@@ -680,6 +690,52 @@ std::vector<std::uint64_t> Dispatcher::queue_order() const {
     }
     if (best == nullptr) break;
     out.push_back(best->job_id);
+    ++cursor[best_list];
+  }
+  return out;
+}
+
+Dispatcher::PendingSnapshot Dispatcher::pending_snapshot() const {
+  PendingSnapshot out;
+  out.now = clock_->now();
+  const auto locks = lock_all_shards();
+  std::vector<std::vector<PriorityQueueCore::Head>> heads;
+  heads.reserve(shards_.size());
+  bool shortest_first = false;
+  for (const auto& shard : shards_) {
+    shortest_first = shard->core.policy().shortest_first_within_class;
+    heads.push_back(shard->core.snapshot_heads(out.now));
+  }
+  std::vector<std::size_t> cursor(heads.size(), 0);
+  while (true) {
+    const PriorityQueueCore::Head* best = nullptr;
+    std::size_t best_list = 0;
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (cursor[i] >= heads[i].size()) continue;
+      const PriorityQueueCore::Head& head = heads[i][cursor[i]];
+      if (best == nullptr ||
+          PriorityQueueCore::head_before(head, *best, shortest_first)) {
+        best = &head;
+        best_list = i;
+      }
+    }
+    if (best == nullptr) break;
+    const auto it = shards_[best_list]->records.find(best->job_id);
+    if (it != shards_[best_list]->records.end()) {
+      const Record& record = it->second;
+      PendingView view;
+      view.job_id = best->job_id;
+      view.user = record.job.user;
+      view.cls = best->cls;
+      view.rank = best->rank;
+      view.has_hook = best->has_hook;
+      view.hook = best->hook;
+      view.remaining_shots = best->remaining_shots;
+      view.resource = record.job.resource;
+      view.pinned = record.pinned;
+      view.submit_time = record.job.submit_time;
+      out.entries.push_back(std::move(view));
+    }
     ++cursor[best_list];
   }
   return out;
@@ -1154,6 +1210,13 @@ void Dispatcher::finish_locked(Shard& shard, Record& record,
             traces_->finish(record.job.trace_id, record.job.finish_time)) {
       observe_stage(closed->stage, record.job.job_class,
                     record.job.resource, closed->duration);
+    }
+    // Critical-path profiling rides the terminal transition (never the
+    // submit hot path): one trace copy + collapse per finished job.
+    if (profiler_ != nullptr) {
+      if (auto trace = traces_->find(record.job.trace_id)) {
+        profiler_->add(*trace);
+      }
     }
   }
   if (events_ != nullptr) {

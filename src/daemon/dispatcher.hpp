@@ -51,6 +51,7 @@
 #include "qrmi/qrmi.hpp"
 #include "store/state_store.hpp"
 #include "telemetry/events.hpp"
+#include "telemetry/explain.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -226,6 +227,28 @@ class Dispatcher {
   /// Pending ids in global dispatch order (k-way merge of shard heads).
   std::vector<std::uint64_t> queue_order() const;
 
+  /// ETA-engine introspection: every pending job's ordering keys plus the
+  /// record fields the estimator needs, in global dispatch order — the
+  /// exact k-way merge queue_order() runs, with one `now` for the whole
+  /// pass so rank/hook snapshots are mutually consistent.
+  struct PendingView {
+    std::uint64_t job_id = 0;
+    std::string user;
+    JobClass cls = JobClass::kDevelopment;
+    int rank = 0;           // effective class rank after aging
+    bool has_hook = false;  // fair-share hook installed
+    double hook = 0.0;      // fair-share priority factor (higher first)
+    std::uint64_t remaining_shots = 0;
+    std::string resource;  // current placement ("" = unplaced)
+    bool pinned = false;
+    common::TimeNs submit_time = 0;
+  };
+  struct PendingSnapshot {
+    common::TimeNs now = 0;
+    std::vector<PendingView> entries;  // global dispatch order
+  };
+  PendingSnapshot pending_snapshot() const;
+
   /// Per-resource view of the queue for GET /v1/queue: how many jobs are
   /// queued on / running on each dispatch lane. Jobs awaiting any healthy
   /// resource appear under "(unplaced)".
@@ -285,6 +308,14 @@ class Dispatcher {
   /// Watchdog: invoked with the lane name on every lane-loop iteration
   /// (flight-recorder heartbeats). Must not call back into the dispatcher.
   void set_lane_heartbeat(std::function<void(const std::string&)> heartbeat);
+
+  /// Critical-path sink: every terminal job's finished trace is collapsed
+  /// into `profiler` (requires tracing). Set once right after
+  /// construction, before any job can reach a terminal state; the
+  /// profiler must outlive the dispatcher.
+  void set_profiler(telemetry::CriticalPathProfiler* profiler) {
+    profiler_ = profiler;
+  }
 
  private:
   struct Record {
@@ -398,6 +429,7 @@ class Dispatcher {
   accounting::AccountingManager* accounting_;
   telemetry::TraceStore* traces_;
   telemetry::EventLog* events_;
+  telemetry::CriticalPathProfiler* profiler_ = nullptr;
   /// Submit-hot-path metric handles, resolved once: the registry lookup
   /// takes a global mutex and builds a label map, which 64 submitting
   /// threads must not pay per submission.

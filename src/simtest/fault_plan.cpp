@@ -25,6 +25,7 @@ const char* to_string(FaultOp op) noexcept {
     case FaultOp::kSubmitStorm: return "submit_storm";
     case FaultOp::kCalibrationDrift: return "calibration_drift";
     case FaultOp::kScrapeStall: return "scrape_stall";
+    case FaultOp::kEtaProbe: return "eta_probe";
   }
   return "?";
 }
@@ -55,6 +56,7 @@ std::string FaultEvent::to_string() const {
       out += " keep=" + std::to_string(param) + "B";
       break;
     case FaultOp::kCancelJob:
+    case FaultOp::kEtaProbe:
       out += " pick=" + std::to_string(param);
       break;
     case FaultOp::kCompactCrash:
@@ -194,6 +196,14 @@ FaultPlan make_fault_plan(common::Rng& rng,
     plan.events.push_back(
         {when + static_cast<DurationNs>(horizon * rng.uniform(0.03, 0.1)),
          FaultOp::kKillRestart, 0, 0});
+  }
+
+  // Drawn LAST so every schedule above is byte-identical to plans built
+  // before eta probes existed (seed stability across sweep generations).
+  for (std::size_t i = 0; i < options.eta_probes; ++i) {
+    plan.events.push_back({at(0.1, 0.8), FaultOp::kEtaProbe, 0,
+                           static_cast<std::uint64_t>(rng.uniform_int(
+                               0, std::numeric_limits<std::int64_t>::max()))});
   }
 
   std::stable_sort(plan.events.begin(), plan.events.end(),

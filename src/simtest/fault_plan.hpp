@@ -42,6 +42,10 @@ enum class FaultOp {
   kScrapeStall,       // the scrape loop loses every grid deadline for the
                       // next `param` virtual milliseconds (samples lost,
                       // not late)
+  kEtaProbe,          // query a live tracked job's eta + explain surface
+                      // mid-fault (`param` picks deterministically); the
+                      // answers are interleaving-dependent, so this only
+                      // asserts the engine survives every queue state
 };
 
 const char* to_string(FaultOp op) noexcept;
@@ -87,6 +91,8 @@ struct FaultPlanOptions {
   std::size_t calib_drifts = 0;
   /// Scrape-stall windows (the metrics pipeline's own fault mode).
   std::size_t scrape_stalls = 0;
+  /// Mid-run eta/explain queries against random live jobs.
+  std::size_t eta_probes = 0;
 };
 
 struct FaultPlan {

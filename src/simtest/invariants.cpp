@@ -161,6 +161,48 @@ std::vector<std::string> check_invariants(const InvariantInput& input) {
           "post-onset scrapes, but no calibration_drift alert fired");
     }
   }
+  if (!input.eta_samples.empty()) {
+    std::vector<std::string> misses;
+    for (const auto& sample : input.eta_samples) {
+      // Upper bound only: the lower bound can legitimately race a lane's
+      // latency sleep advancing the clock between the dispatch stamp and
+      // the estimate's own clock read.
+      if (sample.predicted_latest >= 0 &&
+          sample.first_dispatch > sample.predicted_latest) {
+        misses.push_back(
+            "job " + std::to_string(sample.job_id) +
+            " first dispatched at " +
+            std::to_string(sample.first_dispatch) + " ns, " +
+            std::to_string(sample.first_dispatch -
+                           sample.predicted_latest) +
+            " ns past its predicted start upper bound");
+      }
+    }
+    const auto allowed = static_cast<std::size_t>(
+        (1.0 - input.eta_confidence) *
+        static_cast<double>(input.eta_samples.size()));
+    if (misses.size() > allowed) {
+      violations.push_back(
+          "eta miscalibrated: " + std::to_string(misses.size()) + "/" +
+          std::to_string(input.eta_samples.size()) +
+          " paced-probe job(s) missed their predicted start window "
+          "(claimed confidence " +
+          std::to_string(input.eta_confidence) + " allows " +
+          std::to_string(allowed) + ")");
+      for (const auto& miss : misses) {
+        violations.push_back("eta calibration: " + miss);
+      }
+    }
+  }
+  for (const auto& check : input.explain_checks) {
+    if (check.causes_total != check.observed_wait) {
+      violations.push_back(
+          "explain report for job " + std::to_string(check.job_id) +
+          " is not an exact partition: causes sum to " +
+          std::to_string(check.causes_total) + " ns, observed wait is " +
+          std::to_string(check.observed_wait) + " ns");
+    }
+  }
   return violations;
 }
 

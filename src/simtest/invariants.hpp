@@ -68,6 +68,34 @@ struct InvariantInput {
   std::vector<telemetry::AlertRecord> alerts;
   common::DurationNs scrape_interval = 0;
   bool expect_drift_alert = false;
+
+  /// ETA calibration (the explainability engine's promise): one sample
+  /// per paced-probe job — the start upper bound the engine predicted at
+  /// submit against the job's actual first dispatch. Collected by the
+  /// scenario's post-quiescence probe phase, where virtual time advances
+  /// in small paced steps so dispatch lanes keep up (the scenario proper
+  /// fast-forwards the clock in catch-up jumps, which would blame the
+  /// predictor for time the lanes never got). Actual starts must land at
+  /// or before the predicted bound at a rate of at least
+  /// `eta_confidence`.
+  struct EtaSample {
+    std::uint64_t job_id = 0;
+    common::TimeNs predicted_latest = -1;
+    common::TimeNs first_dispatch = 0;
+  };
+  std::vector<EtaSample> eta_samples;
+  double eta_confidence = 0.0;
+
+  /// Explain-report partition: per terminal job, the observed queue wait
+  /// and the sum of the causes the engine attributed it to. The engine
+  /// promises EXACT equality — the unexplained remainder is filed under
+  /// queue_depth, never dropped or invented.
+  struct ExplainCheck {
+    std::uint64_t job_id = 0;
+    common::DurationNs observed_wait = 0;
+    common::DurationNs causes_total = 0;
+  };
+  std::vector<ExplainCheck> explain_checks;
 };
 
 /// Returns one message per violated invariant (empty = all hold):
@@ -84,7 +112,10 @@ struct InvariantInput {
 ///   - with observability on, every alert timestamp sits exactly on the
 ///     scrape grid (fired_at > 0, divisible by the interval) and a
 ///     schedule that guarantees a calibration drift produced a
-///     calibration_drift alert.
+///     calibration_drift alert,
+///   - eta predictions are calibrated (eligible jobs start by their
+///     predicted upper bound at >= the claimed confidence rate), and
+///     every explain report's causes sum exactly to its observed wait.
 std::vector<std::string> check_invariants(const InvariantInput& input);
 
 }  // namespace qcenv::simtest

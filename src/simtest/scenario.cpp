@@ -297,8 +297,13 @@ class SimWorld {
                                          make_payload(shots), hints);
     if (submitted.ok()) {
       const std::uint64_t id = submitted.value().id;
-      tracked_.emplace(id, TrackedJob{id, user_name(user), shots, false,
-                                      std::nullopt});
+      TrackedJob tracked{id, user_name(user), shots, false, std::nullopt};
+      // Exercise the prediction the tenant would have seen in the 201
+      // body against the live queue (crash coverage only — calibration is
+      // asserted by run_eta_probe's paced phase, where lanes keep up with
+      // virtual time).
+      (void)daemon_->eta().estimate(id);
+      tracked_.emplace(id, tracked);
       ++result_.stats.submitted;
       return;
     }
@@ -395,6 +400,22 @@ class SimWorld {
         }
         break;
       }
+      case FaultOp::kEtaProbe: {
+        // Exercise the explainability surface against whatever queue the
+        // faults have produced. The answers are interleaving-dependent —
+        // only survival is asserted here; the deterministic bit-identity
+        // probe runs post-quiescence (run_eta_probe).
+        const auto jobs = job_table();
+        std::vector<std::uint64_t> ids;
+        for (const auto& [id, tracked] : tracked_) {
+          if (jobs.count(id) != 0) ids.push_back(id);
+        }
+        if (ids.empty()) break;
+        const std::uint64_t id = ids[event.param % ids.size()];
+        (void)daemon_->eta().estimate(id);
+        (void)daemon_->eta().explain(id);
+        break;
+      }
       case FaultOp::kCalibrationDrift: {
         ++result_.stats.calib_drifts;
         auto& model = models_[event.target % models_.size()];
@@ -467,14 +488,25 @@ class SimWorld {
     for (const auto& [id, tracked] : tracked_) {
       input.tracked.push_back(tracked);
       const auto it = input.jobs.find(id);
-      if (it != input.jobs.end() &&
-          it->second.state == DaemonJobState::kCompleted) {
+      if (it == input.jobs.end()) continue;
+      if (it->second.state == DaemonJobState::kCompleted) {
         auto samples = daemon_->dispatcher().result(id);
         if (samples.ok()) {
           input.result_shots[id] = samples.value().total_shots();
         }
       }
+      // Explain-partition check: every still-recorded job's wait must
+      // decompose into causes that sum to it exactly.
+      if (auto report = daemon_->eta().explain(id); report.ok()) {
+        DurationNs causes_total = 0;
+        for (const auto& cause : report.value().causes) {
+          causes_total += cause.duration;
+        }
+        input.explain_checks.push_back(
+            {id, report.value().observed_wait, causes_total});
+      }
     }
+    input.eta_confidence = daemon_->eta().options().confidence;
     const TimeNs now = clock_.now();
     for (std::size_t u = 0; u < options_.users; ++u) {
       const std::string user = user_name(u);
@@ -555,6 +587,141 @@ class SimWorld {
     }
     result_.stats.virtual_end = now;
     return input;
+  }
+
+  /// The sweep's bit-identity probe (run AFTER gather — it replaces the
+  /// daemon): a fresh, non-durable daemon over the healed fleet, drained
+  /// before anything can dispatch, queried at a pinned virtual time. Every
+  /// input — job ids, queue order, token-bucket level, the drain event the
+  /// explain report attributes the wait to, the TSDB-less fallback batch
+  /// latency — is a pure function of the seed, so two runs of one seed
+  /// must serialize byte-identical eta and explain responses.
+  void run_eta_probe() {
+    // Pin far past anything an ok run can have reached: quiescence is
+    // budgeted at 2 virtual minutes past its entry, which itself trails
+    // the horizon by at most seconds of lane-sleep overshoot. A run that
+    // got here later already failed the stall invariant — but check, so a
+    // pathological overshoot fails loudly instead of diverging silently.
+    const TimeNs probe_time =
+        static_cast<TimeNs>(max_grid_) * scrape_interval_ +
+        5 * 60 * common::kSecond;
+    if (clock_.now() > probe_time) {
+      violation("eta probe: virtual clock overshot the deterministic pin");
+      return;
+    }
+    daemon_.reset();
+    injector_.heal();
+    disk_dead_ = false;
+    clock_.advance_to(probe_time);
+    daemon_ = make_probe_daemon();
+    // Drained before the lanes can touch anything: the queue the
+    // estimator simulates stays exactly the submission order below.
+    daemon_->dispatcher().drain();
+    auto session = daemon_->open_session("eta-probe", JobClass::kTest);
+    if (!session.ok()) {
+      violation("eta probe: could not open session: " +
+                session.error().to_string());
+      return;
+    }
+    common::Rng probe_rng = common::Rng(options_.seed).fork(4);
+    const auto count =
+        static_cast<std::size_t>(probe_rng.uniform_int(2, 4));
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto shots = static_cast<std::uint64_t>(probe_rng.uniform_int(
+          static_cast<std::int64_t>(options_.min_shots),
+          static_cast<std::int64_t>(options_.max_shots)));
+      const std::int64_t cls_pick = probe_rng.uniform_int(0, 2);
+      const JobClass cls = cls_pick == 0   ? JobClass::kProduction
+                           : cls_pick == 1 ? JobClass::kTest
+                                           : JobClass::kDevelopment;
+      daemon::MiddlewareDaemon::SubmitHints hints;
+      hints.partition = partition_for(cls);
+      auto submitted = daemon_->submit_job(session.value().token,
+                                           make_payload(shots), hints);
+      if (!submitted.ok()) {
+        violation("eta probe: submission rejected: " +
+                  submitted.error().to_string());
+        return;
+      }
+      ids.push_back(submitted.value().id);
+    }
+    // A deterministic wait gives the explain reports something to
+    // attribute: 5 virtual seconds of global drain, exactly.
+    clock_.advance(5 * common::kSecond);
+    for (const std::uint64_t id : ids) {
+      auto eta = daemon_->eta().estimate(id);
+      auto explain = daemon_->eta().explain(id);
+      if (!eta.ok() || !explain.ok()) {
+        violation("eta probe: query failed for job " + std::to_string(id));
+        return;
+      }
+      result_.eta_probe.push_back(eta.value().to_json().dump() + "\n" +
+                                  explain.value().to_json().dump());
+    }
+    // Phase 2 — calibration under a PACED clock. The scenario proper
+    // fast-forwards virtual time in catch-up jumps with no real sleeps,
+    // so lanes starve of CPU while the clock races ahead and every
+    // submit-time prediction looks late through no fault of the model.
+    // Here the lanes are resumed, a fresh batch is submitted with its
+    // predictions recorded, and virtual time advances in small steps
+    // with real sleeps in between — the lanes keep up, so actual first
+    // dispatches are a fair test of the predicted start upper bounds
+    // (checked by the calibration invariant).
+    daemon_->dispatcher().resume();
+    std::vector<std::uint64_t> paced;
+    for (std::size_t i = 0; i < 5; ++i) {
+      const auto shots = static_cast<std::uint64_t>(probe_rng.uniform_int(
+          static_cast<std::int64_t>(options_.min_shots),
+          static_cast<std::int64_t>(options_.max_shots)));
+      daemon::MiddlewareDaemon::SubmitHints hints;
+      hints.partition = partition_for(JobClass::kTest);
+      auto submitted = daemon_->submit_job(session.value().token,
+                                           make_payload(shots), hints);
+      if (!submitted.ok()) {
+        violation("eta probe: paced submission rejected: " +
+                  submitted.error().to_string());
+        return;
+      }
+      const std::uint64_t id = submitted.value().id;
+      auto eta = daemon_->eta().estimate(id);
+      if (!eta.ok()) {
+        violation("eta probe: paced estimate failed for job " +
+                  std::to_string(id));
+        return;
+      }
+      // A job a lane already picked up reports its actual start
+      // (confidence 1.0) — a trivially satisfied sample, kept anyway so
+      // the sample count is seed-stable.
+      eta_samples_.push_back({id, eta.value().start_latest, 0});
+      paced.push_back(id);
+    }
+    const TimeNs pace_deadline = clock_.now() + 30 * common::kSecond;
+    while (true) {
+      const auto jobs = job_table();
+      bool all_dispatched = true;
+      for (std::size_t i = 0; i < paced.size(); ++i) {
+        const auto it = jobs.find(paced[i]);
+        if (it == jobs.end() || it->second.first_dispatch_time <= 0) {
+          all_dispatched = false;
+          break;
+        }
+        eta_samples_[eta_samples_.size() - paced.size() + i]
+            .first_dispatch = it->second.first_dispatch_time;
+      }
+      if (all_dispatched) break;
+      if (clock_.now() >= pace_deadline) {
+        violation("eta probe: paced jobs not dispatched within 30 "
+                  "virtual seconds");
+        return;
+      }
+      clock_.advance(2 * common::kMillisecond);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  const std::vector<InvariantInput::EtaSample>& eta_samples() const {
+    return eta_samples_;
   }
 
  private:
@@ -746,6 +913,11 @@ class SimWorld {
       }
     }
     if (options_.gc) options.store.terminal_job_cap = kGcCap;
+    // Wide start-window slack for the in-scenario estimates (crash
+    // coverage only — the step loop fast-forwards the clock, so these
+    // predictions are never held to account; run_eta_probe's paced phase
+    // owns calibration).
+    options.telemetry.eta.start_slack = options_.horizon / 2;
     // Tracing stays on (the production default): the invariants verify
     // every terminal job's span tree, and the store is sized so no trace
     // the scenario can generate — including storm rejections — is ever
@@ -779,6 +951,33 @@ class SimWorld {
     return daemon;
   }
 
+  /// A daemon whose every observable is seed-pure: no durable store (a
+  /// replayed journal's record order is interleaving-dependent), no
+  /// observability (an empty TSDB pins the eta engine to its fallback
+  /// batch latency), same queue topology as the scenario proper.
+  std::unique_ptr<daemon::MiddlewareDaemon> make_probe_daemon() {
+    daemon::DaemonOptions options;
+    options.admin_key = "simtest";
+    options.queue_policy.non_production_batch_shots = options_.batch_shots;
+    options.queue_policy.submit_shards = options_.submit_shards;
+    if (options_.rate_limits) {
+      options.accounting.rate_limit.submit_per_sec = 25.0;
+      options.accounting.rate_limit.submit_burst = 6.0;
+    }
+    options.telemetry.observability.enabled = false;
+    qrmi::ResourceRegistry fleet;
+    for (std::size_t i = 0; i < emus_.size(); ++i) {
+      fleet.add(emu_name(i), emus_[i]);
+    }
+    auto daemon = std::make_unique<daemon::MiddlewareDaemon>(
+        options, fleet, nullptr, &clock_);
+    // Same fast idle tick as the scenario daemon: the paced calibration
+    // phase relies on lanes noticing queued work within microseconds of
+    // real time.
+    daemon->dispatcher().set_idle_tick(common::kMillisecond / 2);
+    return daemon;
+  }
+
   const ScenarioOptions& options_;
   ScenarioResult& result_;
   common::ManualClock clock_;
@@ -798,6 +997,8 @@ class SimWorld {
   std::unique_ptr<daemon::MiddlewareDaemon> daemon_;
   std::map<std::size_t, std::string> tokens_;
   std::map<std::uint64_t, TrackedJob> tracked_;
+  /// Paced-probe calibration samples (see run_eta_probe phase 2).
+  std::vector<InvariantInput::EtaSample> eta_samples_;
   common::Rng storm_rng_;
 };
 
@@ -861,6 +1062,10 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
   world.drive_to_quiescence();
   world.finish_scrapes();
   auto input = world.gather();
+  // The probe replaces the scenario daemon, so it must run after gather;
+  // its calibration samples feed the invariant check below.
+  world.run_eta_probe();
+  input.eta_samples = world.eta_samples();
   auto violations = check_invariants(input);
   result.violations.insert(result.violations.end(), violations.begin(),
                            violations.end());
@@ -929,6 +1134,10 @@ ScenarioOptions scenario_for_seed(std::uint64_t seed, bool quick) {
   // fifth. The grid interval derives from the horizon (~128 scrapes).
   options.faults.calib_drifts = rng.bernoulli(0.35) ? 1 : 0;
   options.faults.scrape_stalls = rng.bernoulli(0.2) ? 1 : 0;
+  // Mid-run explainability queries (drawn last: earlier derivations stay
+  // identical to pre-eta sweep generations, so seeds replay unchanged).
+  options.faults.eta_probes =
+      static_cast<std::size_t>(rng.uniform_int(0, 2));
   return options;
 }
 

@@ -116,6 +116,12 @@ struct ScenarioResult {
   /// Every alert record across all daemon lives, in fired order — the
   /// sweep's double-run determinism check compares these between replays.
   std::vector<telemetry::AlertRecord> alerts;
+  /// Deterministic post-scenario eta/explain probe responses (one string
+  /// per probe job, verbatim JSON). Produced by a fresh, drained,
+  /// non-durable daemon at a pinned virtual time whose inputs are pure
+  /// functions of the seed — the sweep's double-run check compares these
+  /// byte for byte between replays.
+  std::vector<std::string> eta_probe;
   bool ok() const { return violations.empty(); }
 };
 

@@ -72,6 +72,24 @@ std::string join(const std::vector<std::string>& parts) {
   return out.empty() ? "(none)" : out;
 }
 
+/// First divergence between two eta-probe transcripts, rendered for the
+/// failure report (the full responses are JSON — print only the pair that
+/// differs, not every probe).
+std::string probe_divergence(const std::vector<std::string>& first,
+                             const std::vector<std::string>& second) {
+  if (first.size() != second.size()) {
+    return std::to_string(first.size()) + " probe(s) vs " +
+           std::to_string(second.size());
+  }
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    if (first[i] != second[i]) {
+      return "probe " + std::to_string(i) + ": run1 <" + first[i] +
+             "> vs run2 <" + second[i] + ">";
+    }
+  }
+  return "(identical)";
+}
+
 }  // namespace
 
 SweepOutcome run_sweep(const SweepOptions& options, std::ostream& log) {
@@ -81,19 +99,30 @@ SweepOutcome run_sweep(const SweepOptions& options, std::ostream& log) {
     ScenarioOptions scenario = scenario_for_seed(seed, options.quick);
     scenario.trace_dump = options.trace;
     ScenarioResult result = run_scenario(scenario);
-    // Alert-determinism invariant: a seed that injected calibration drift
-    // is run twice and must fire the identical drift-alert timeline at
-    // the identical virtual timestamps — any divergence means wall time
-    // or interleaving leaked into the alerting path.
-    if (result.ok() && scenario.observability &&
-        scenario.faults.calib_drifts > 0) {
+    // Double-run determinism: a seed that injected calibration drift is
+    // replayed and must fire the identical drift-alert timeline at the
+    // identical virtual timestamps — any divergence means wall time or
+    // interleaving leaked into the alerting path. Every replay (plus a
+    // deterministic quarter of drift-free seeds, so the check covers
+    // every schedule shape) also compares the post-scenario eta/explain
+    // probe byte for byte.
+    const bool replay_for_drift = scenario.observability &&
+                                  scenario.faults.calib_drifts > 0;
+    if (result.ok() && (replay_for_drift || seed % 4 == 0)) {
       const ScenarioResult replay = run_scenario(scenario);
-      const auto first = drift_timeline(result);
-      const auto second = drift_timeline(replay);
-      if (first != second) {
+      if (replay_for_drift) {
+        const auto first = drift_timeline(result);
+        const auto second = drift_timeline(replay);
+        if (first != second) {
+          result.violations.push_back(
+              "drift-alert timeline not reproducible: run1 [" +
+              join(first) + "] vs run2 [" + join(second) + "]");
+        }
+      }
+      if (result.eta_probe != replay.eta_probe) {
         result.violations.push_back(
-            "drift-alert timeline not reproducible: run1 [" + join(first) +
-            "] vs run2 [" + join(second) + "]");
+            "eta probe not bit-identical across replays: " +
+            probe_divergence(result.eta_probe, replay.eta_probe));
       }
     }
     ++outcome.ran;

@@ -1,0 +1,254 @@
+#include "telemetry/explain.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace qcenv::telemetry {
+
+using common::Json;
+
+Json WaitCause::to_json() const {
+  Json out = Json::object();
+  out["cause"] = name;
+  out["duration_ns"] = static_cast<long long>(duration);
+  out["duration_s"] = common::to_seconds(duration);
+  if (!detail.empty()) out["detail"] = detail;
+  return out;
+}
+
+Json ExplainReport::to_json() const {
+  Json out = Json::object();
+  out["job_id"] = static_cast<long long>(job_id);
+  out["trace_id"] = static_cast<long long>(trace_id);
+  out["user"] = user;
+  out["state"] = state;
+  out["observed_wait_ns"] = static_cast<long long>(observed_wait);
+  out["observed_wait_s"] = common::to_seconds(observed_wait);
+  out["wait_closed"] = wait_closed;
+  Json list = Json::array();
+  common::DurationNs sum = 0;
+  for (const WaitCause& cause : causes) {
+    list.push_back(cause.to_json());
+    sum += cause.duration;
+  }
+  out["causes"] = std::move(list);
+  // Redundant on purpose: lets clients (and simtest) check the partition
+  // property without re-summing floats.
+  out["causes_total_ns"] = static_cast<long long>(sum);
+  return out;
+}
+
+std::map<std::string, std::uint64_t> collapse_trace(const JobTrace& trace) {
+  std::map<std::string, std::uint64_t> stacks;
+  // Spans sorted by (start asc, depth asc): a parent opens no later than
+  // its children and sorts before them, so a single pass with a path
+  // stack reconstructs the tree. Self time = span minus nested children.
+  std::vector<const TraceSpan*> spans;
+  spans.reserve(trace.spans.size());
+  for (const TraceSpan& span : trace.spans) {
+    if (span.end < 0 || span.end < span.start) continue;  // open/corrupt
+    spans.push_back(&span);
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     if (a->start != b->start) return a->start < b->start;
+                     return a->depth < b->depth;
+                   });
+  struct Open {
+    std::string path;
+    int depth = 0;
+    std::int64_t self = 0;
+  };
+  std::vector<Open> open;
+  const auto flush_to = [&](int depth) {
+    while (!open.empty() && open.back().depth >= depth) {
+      const Open& top = open.back();
+      if (top.self > 0) {
+        stacks[top.path] += static_cast<std::uint64_t>(top.self);
+      }
+      open.pop_back();
+    }
+  };
+  for (const TraceSpan* span : spans) {
+    flush_to(span->depth);
+    const std::int64_t duration = span->end - span->start;
+    if (!open.empty()) open.back().self -= duration;
+    Open frame;
+    frame.path = open.empty() ? span->stage
+                              : open.back().path + ";" + span->stage;
+    frame.depth = span->depth;
+    frame.self = duration;
+    open.push_back(std::move(frame));
+  }
+  flush_to(0);
+  return stacks;
+}
+
+std::string to_collapsed_text(
+    const std::map<std::string, std::uint64_t>& stacks) {
+  std::string out;
+  for (const auto& [path, value] : stacks) {
+    out += path + " " + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+Json stacks_json(const std::map<std::string, std::uint64_t>& stacks) {
+  Json out = Json::object();
+  out["collapsed"] = to_collapsed_text(stacks);
+  std::uint64_t total = 0;
+  for (const auto& [_, value] : stacks) total += value;
+  out["total_ns"] = static_cast<long long>(total);
+  return out;
+}
+
+/// Pulls the resource name out of an execution span's free-form detail
+/// ("resource=emu0 shard=2" -> "emu0"; a bare name passes through).
+std::string detail_resource(const std::string& detail) {
+  static constexpr std::string_view kKey = "resource=";
+  const auto pos = detail.find(kKey);
+  if (pos == std::string::npos) return detail;
+  const auto start = pos + kKey.size();
+  const auto end = detail.find(' ', start);
+  return detail.substr(
+      start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+/// Resource attribution for one trace: the last execution span's detail.
+std::string trace_resource(const JobTrace& trace) {
+  std::string resource;
+  for (const TraceSpan& span : trace.spans) {
+    if (span.stage == "qrmi_execute" && !span.detail.empty()) {
+      resource = detail_resource(span.detail);
+    }
+  }
+  if (resource.empty()) {
+    for (const TraceSpan& span : trace.spans) {
+      if (span.stage == "shard_dispatch" && !span.detail.empty()) {
+        resource = detail_resource(span.detail);
+      }
+    }
+  }
+  return resource.empty() ? "(none)" : resource;
+}
+
+}  // namespace
+
+Json ProfileView::to_json() const {
+  Json out = Json::object();
+  out["since_ns"] = static_cast<long long>(since);
+  out["until_ns"] = static_cast<long long>(until);
+  out["jobs"] = static_cast<long long>(jobs);
+  out["profile"] = stacks_json(stacks);
+  Json resources = Json::object();
+  for (const auto& [name, entry] : by_resource) {
+    resources[name] = stacks_json(entry);
+  }
+  out["by_resource"] = std::move(resources);
+  Json users = Json::object();
+  for (const auto& [name, entry] : by_user) {
+    users[name] = stacks_json(entry);
+  }
+  out["by_user"] = std::move(users);
+  return out;
+}
+
+Json ProfileRegression::to_json() const {
+  Json out = Json::object();
+  out["stack"] = stack;
+  out["baseline_share"] = baseline_share;
+  out["current_share"] = current_share;
+  out["delta"] = current_share - baseline_share;
+  return out;
+}
+
+void CriticalPathProfiler::add(const JobTrace& trace) {
+  Sample sample;
+  sample.at = trace.finish >= 0 ? trace.finish : trace.start;
+  sample.user = trace.user;
+  sample.resource = trace_resource(trace);
+  sample.stacks = collapse_trace(trace);
+  if (sample.stacks.empty()) return;
+  std::scoped_lock lock(mutex_);
+  samples_.push_back(std::move(sample));
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
+ProfileView CriticalPathProfiler::view_locked(common::TimeNs since,
+                                              common::TimeNs until) const {
+  ProfileView view;
+  view.since = since;
+  view.until = until;
+  for (const Sample& sample : samples_) {
+    if (sample.at < since || sample.at > until) continue;
+    ++view.jobs;
+    for (const auto& [path, value] : sample.stacks) {
+      view.stacks[path] += value;
+      view.by_resource[sample.resource][path] += value;
+      view.by_user[sample.user][path] += value;
+    }
+  }
+  return view;
+}
+
+ProfileView CriticalPathProfiler::view(common::TimeNs since,
+                                       common::TimeNs until) const {
+  std::scoped_lock lock(mutex_);
+  return view_locked(since, until);
+}
+
+std::map<std::string, double> CriticalPathProfiler::shares(
+    const std::map<std::string, std::uint64_t>& stacks) {
+  std::uint64_t total = 0;
+  for (const auto& [_, value] : stacks) total += value;
+  std::map<std::string, double> out;
+  if (total == 0) return out;
+  for (const auto& [path, value] : stacks) {
+    out[path] = static_cast<double>(value) / static_cast<double>(total);
+  }
+  return out;
+}
+
+void CriticalPathProfiler::record_baseline(common::TimeNs since,
+                                           common::TimeNs until) {
+  std::scoped_lock lock(mutex_);
+  baseline_ = shares(view_locked(since, until).stacks);
+  has_baseline_ = true;
+}
+
+bool CriticalPathProfiler::has_baseline() const {
+  std::scoped_lock lock(mutex_);
+  return has_baseline_;
+}
+
+std::vector<ProfileRegression> CriticalPathProfiler::regressions(
+    common::TimeNs since, common::TimeNs until, double threshold) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<ProfileRegression> out;
+  if (!has_baseline_) return out;
+  const auto current = shares(view_locked(since, until).stacks);
+  for (const auto& [path, share] : current) {
+    const auto it = baseline_.find(path);
+    const double base = it != baseline_.end() ? it->second : 0.0;
+    if (share - base > threshold) {
+      out.push_back(ProfileRegression{path, base, share});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileRegression& a, const ProfileRegression& b) {
+              const double da = a.current_share - a.baseline_share;
+              const double db = b.current_share - b.baseline_share;
+              if (da != db) return da > db;
+              return a.stack < b.stack;
+            });
+  return out;
+}
+
+std::size_t CriticalPathProfiler::size() const {
+  std::scoped_lock lock(mutex_);
+  return samples_.size();
+}
+
+}  // namespace qcenv::telemetry

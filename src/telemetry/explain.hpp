@@ -1,0 +1,136 @@
+// Job explainability primitives (§3.6, user-facing): the pieces that turn
+// per-job span timelines into answers a tenant can act on.
+//
+//  - WaitCause / ExplainReport: the "where did my job's wait go"
+//    decomposition served at GET /v1/jobs/:id/explain. Causes are an exact
+//    partition of the observed queue wait — the daemon-side builder
+//    (daemon/eta.hpp) constructs them so durations sum to the wait span,
+//    and simtest asserts that equality per terminal job per seed.
+//  - collapse_trace(): folds one trace's span tree into collapsed stacks
+//    (flamegraph semantics: a frame's value is its SELF time, so the
+//    values of all stacks sum to the trace's total duration).
+//  - CriticalPathProfiler: aggregates terminal-job traces into windowed
+//    per-resource / per-tenant collapsed-stack profiles with regression
+//    detection against a recorded baseline (GET /admin/profile).
+//
+// Pure telemetry layer: no daemon, broker or accounting dependencies, so
+// the bench and unit tests drive it with hand-built traces.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qcenv::telemetry {
+
+/// One named slice of a job's observed queue wait.
+struct WaitCause {
+  std::string name;  // "fair_share_demotion", "rate_limited", ...
+  common::DurationNs duration = 0;
+  std::string detail;  // human-readable attribution evidence
+
+  common::Json to_json() const;
+};
+
+/// The per-job wait decomposition. `causes` partition `observed_wait`
+/// exactly (the builder assigns the unexplained remainder to a
+/// "queue_depth" cause rather than inventing slack).
+struct ExplainReport {
+  std::uint64_t job_id = 0;
+  TraceId trace_id = 0;
+  std::string user;
+  std::string state;
+  /// Closed queue_wait time for dispatched jobs; submit->now for jobs
+  /// still pending (then `wait_closed` is false).
+  common::DurationNs observed_wait = 0;
+  bool wait_closed = false;
+  std::vector<WaitCause> causes;
+
+  common::Json to_json() const;
+};
+
+/// Folds one trace into collapsed stacks: ';'-joined stage path (root
+/// first) -> self-time ns. Open spans (end < 0) are skipped — profiles
+/// are built from terminal jobs, where every span is closed.
+std::map<std::string, std::uint64_t> collapse_trace(const JobTrace& trace);
+
+/// Flamegraph-compatible collapsed text: one "path value" line per stack,
+/// sorted by path so the output is byte-stable across runs.
+std::string to_collapsed_text(
+    const std::map<std::string, std::uint64_t>& stacks);
+
+/// One merged profile window (GET /admin/profile?window=).
+struct ProfileView {
+  common::TimeNs since = 0;
+  common::TimeNs until = 0;
+  std::size_t jobs = 0;
+  std::map<std::string, std::uint64_t> stacks;
+  std::map<std::string, std::map<std::string, std::uint64_t>> by_resource;
+  std::map<std::string, std::map<std::string, std::uint64_t>> by_user;
+
+  common::Json to_json() const;
+};
+
+/// A stack whose share of total self time grew past the baseline.
+struct ProfileRegression {
+  std::string stack;
+  double baseline_share = 0.0;
+  double current_share = 0.0;
+
+  common::Json to_json() const;
+};
+
+class CriticalPathProfiler {
+ public:
+  /// Retains the most recent `capacity` terminal-job profiles.
+  explicit CriticalPathProfiler(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Folds one terminal job's trace in, keyed at its finish time. The
+  /// resource label comes from the last qrmi_execute (or shard_dispatch)
+  /// span's detail; jobs that never dispatched file under "(none)".
+  void add(const JobTrace& trace);
+
+  /// Merged stacks over finish times in [since, until].
+  ProfileView view(common::TimeNs since, common::TimeNs until) const;
+
+  /// Records the window's per-stack shares as the regression baseline.
+  void record_baseline(common::TimeNs since, common::TimeNs until);
+  bool has_baseline() const;
+
+  /// Stacks whose share of total self time exceeds the baseline share by
+  /// more than `threshold` (absolute share points, e.g. 0.05 = 5pp).
+  /// Sorted by regression size, largest first. Empty without a baseline.
+  std::vector<ProfileRegression> regressions(common::TimeNs since,
+                                             common::TimeNs until,
+                                             double threshold) const;
+
+  std::size_t size() const;
+
+ private:
+  struct Sample {
+    common::TimeNs at = 0;
+    std::string user;
+    std::string resource;
+    std::map<std::string, std::uint64_t> stacks;
+  };
+
+  static std::map<std::string, double> shares(
+      const std::map<std::string, std::uint64_t>& stacks);
+  ProfileView view_locked(common::TimeNs since, common::TimeNs until) const;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Sample> samples_;
+  std::map<std::string, double> baseline_;
+  bool has_baseline_ = false;
+};
+
+}  // namespace qcenv::telemetry

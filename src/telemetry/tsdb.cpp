@@ -126,6 +126,11 @@ std::vector<WindowPoint> TimeSeriesDb::aggregate(
   for (std::size_t w = 0; w < num_windows; ++w) {
     out[w].window_start = start + static_cast<common::TimeNs>(w) * window;
   }
+  // Counter state for kRate: the previous sample's value carries across
+  // window boundaries so the first point of a window still contributes its
+  // delta from the tail of the previous one.
+  bool has_prev = false;
+  double prev = 0.0;
   for (const Point& point : points) {
     const auto w = static_cast<std::size_t>((point.time - start) / window);
     WindowPoint& wp = out[w];
@@ -147,7 +152,14 @@ std::vector<WindowPoint> TimeSeriesDb::aggregate(
         break;
       case Aggregation::kCount:
         break;
+      case Aggregation::kRate:
+        if (has_prev) {
+          wp.value += point.value >= prev ? point.value - prev : point.value;
+        }
+        break;
     }
+    has_prev = true;
+    prev = point.value;
     ++wp.samples;
   }
   for (WindowPoint& wp : out) {
@@ -156,6 +168,9 @@ std::vector<WindowPoint> TimeSeriesDb::aggregate(
     }
     if (aggregation == Aggregation::kCount) {
       wp.value = static_cast<double>(wp.samples);
+    }
+    if (aggregation == Aggregation::kRate) {
+      wp.value /= common::to_seconds(window);
     }
   }
   return out;

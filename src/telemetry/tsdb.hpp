@@ -43,7 +43,11 @@ struct SeriesKey {
   static common::Result<SeriesKey> parse(const std::string& text);
 };
 
-enum class Aggregation { kMean, kMin, kMax, kLast, kSum, kCount };
+/// kRate is the counter aggregation: per-second increase over each window,
+/// tolerant of counter resets (a value decrease means the process restarted
+/// and the counter began again from zero — the post-reset value IS the
+/// increase, never a negative delta).
+enum class Aggregation { kMean, kMin, kMax, kLast, kSum, kCount, kRate };
 
 struct WindowPoint {
   common::TimeNs window_start = 0;

@@ -185,6 +185,31 @@ TEST(RateLimiter, InflightShotCap) {
   EXPECT_EQ(limiter.inflight_shots("carol"), 0u);
 }
 
+TEST(RateLimiter, RetryAfterReportsTokenRefillTime) {
+  RateLimitOptions options;
+  options.submit_per_sec = 2.0;
+  options.submit_burst = 1.0;
+  RateLimiter limiter(options);
+  // Never-seen users start with a primed (full) bucket: no wait.
+  EXPECT_EQ(limiter.retry_after("dave", 0), 0);
+  ASSERT_TRUE(limiter.admit("dave", 1, 0).ok());
+  // Bucket empty; at 2 tokens/s a whole token is 500ms away.
+  EXPECT_EQ(limiter.retry_after("dave", 0), common::kSecond / 2);
+  // The readout is time-aware: half the refill later, half the wait left.
+  EXPECT_EQ(limiter.retry_after("dave", common::kSecond / 4),
+            common::kSecond / 4);
+  // ...and read-only: asking repeatedly never consumes the refill.
+  EXPECT_EQ(limiter.retry_after("dave", common::kSecond / 4),
+            common::kSecond / 4);
+  // Once a token is back the user is no longer limited.
+  EXPECT_EQ(limiter.retry_after("dave", common::kSecond), 0);
+  EXPECT_TRUE(limiter.admit("dave", 1, common::kSecond).ok());
+  // Unlimited users never wait, bucket state or not.
+  RateLimiter open;
+  ASSERT_TRUE(open.admit("erin", 1, 0).ok());
+  EXPECT_EQ(open.retry_after("erin", 0), 0);
+}
+
 TEST(RateLimiter, PerUserOverrides) {
   RateLimiter limiter;  // permissive defaults
   RateLimitOptions strict;

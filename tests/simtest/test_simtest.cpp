@@ -179,6 +179,43 @@ TEST(Invariants, VanishedJobAndUnboundedRecordsAreCaught) {
   EXPECT_NE(unbounded[0].find("unbounded"), std::string::npos);
 }
 
+TEST(Invariants, EtaMiscalibrationIsCaughtAndBoundedMissesTolerated) {
+  auto input = healthy_input();
+  input.eta_confidence = 0.95;
+  // Within the bound: calibrated.
+  input.eta_samples.push_back({1, 5000, 4000});
+  EXPECT_TRUE(check_invariants(input).empty());
+
+  // One miss in one sample exceeds the 5% allowance.
+  input.eta_samples[0].first_dispatch = 9000;
+  const auto violations = check_invariants(input);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_NE(violations[0].find("miscalibrated"), std::string::npos);
+  EXPECT_NE(violations[1].find("past its predicted start"),
+            std::string::npos);
+
+  // A low claimed confidence tolerates the same miss.
+  input.eta_confidence = 0.5;
+  input.eta_samples.push_back({2, 5000, 4000});
+  EXPECT_TRUE(check_invariants(input).empty());
+
+  // Unbounded predictions (start_latest = -1) are never scored.
+  input.eta_confidence = 0.95;
+  input.eta_samples.clear();
+  input.eta_samples.push_back({3, -1, 9000});
+  EXPECT_TRUE(check_invariants(input).empty());
+}
+
+TEST(Invariants, InexactExplainPartitionIsCaught) {
+  auto input = healthy_input();
+  input.explain_checks.push_back({1, 5000, 5000});
+  EXPECT_TRUE(check_invariants(input).empty());
+  input.explain_checks.push_back({1, 5000, 4999});  // one lost nanosecond
+  const auto violations = check_invariants(input);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("exact partition"), std::string::npos);
+}
+
 // ---- end-to-end scenarios ---------------------------------------------------
 
 TEST(Scenario, InMemoryFlapAndStormUpholdsInvariants) {
@@ -291,6 +328,30 @@ TEST(Scenario, FaultedRunMatchesFaultFreeLedgerAndFairShareOrder) {
   // so equality here means the restarts preserved the ledger exactly.
   EXPECT_EQ(clean_result.stats.submitted, faulted_result.stats.submitted);
   EXPECT_EQ(clean_result.stats.completed, faulted_result.stats.completed);
+}
+
+TEST(Scenario, EtaProbeIsBitIdenticalAcrossReplays) {
+  // The post-scenario probe daemon's state is a pure function of the
+  // seed: two runs must serialize the same eta/explain bytes. (The sweep
+  // re-checks this across its whole seed range; this is the fixed-seed
+  // smoke version.)
+  ScenarioOptions options;
+  options.seed = 31;
+  options.durable = false;
+  options.fleet_size = 2;
+  options.jobs = 8;
+  options.horizon = 8 * common::kSecond;
+  options.faults.flaps = 1;
+  options.faults.eta_probes = 1;
+  const auto first = run_scenario(options);
+  const auto second = run_scenario(options);
+  ASSERT_TRUE(first.ok()) << first.plan << first.violations.front();
+  ASSERT_FALSE(first.eta_probe.empty());
+  EXPECT_EQ(first.eta_probe, second.eta_probe);
+  // The probe responses carry the fields clients key on.
+  EXPECT_NE(first.eta_probe[0].find("\"bounded\""), std::string::npos);
+  EXPECT_NE(first.eta_probe[0].find("\"causes_total_ns\""),
+            std::string::npos);
 }
 
 TEST(Sweep, AFewSeedsRunGreen) {

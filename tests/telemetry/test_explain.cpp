@@ -1,0 +1,193 @@
+// collapse_trace self-time semantics, byte-stable collapsed text and the
+// CriticalPathProfiler window/baseline/regression machinery — all driven
+// with hand-built traces (the explain layer has no daemon dependencies).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/explain.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qcenv::telemetry {
+namespace {
+
+TraceSpan span(std::string stage, common::TimeNs start, common::TimeNs end,
+               int depth = 0, std::string detail = "") {
+  TraceSpan out;
+  out.stage = std::move(stage);
+  out.detail = std::move(detail);
+  out.start = start;
+  out.end = end;
+  out.depth = depth;
+  return out;
+}
+
+/// The canonical pipeline shape: three top-level stages and one nested
+/// poll loop inside the execute stage.
+JobTrace pipeline_trace(std::uint64_t job_id, std::string user,
+                        common::TimeNs base, std::string resource = "emu0") {
+  JobTrace trace;
+  trace.trace_id = job_id;
+  trace.job_id = job_id;
+  trace.user = std::move(user);
+  trace.start = base;
+  trace.finish = base + 1000;
+  trace.spans.push_back(span("admission", base, base + 100));
+  trace.spans.push_back(span("queue_wait", base + 100, base + 400));
+  trace.spans.push_back(
+      span("qrmi_execute", base + 400, base + 1000, 0, resource));
+  trace.spans.push_back(span("qrmi_poll", base + 500, base + 800, 1));
+  return trace;
+}
+
+TEST(CollapseTraceTest, SelfTimesSumToTraceTotal) {
+  const auto stacks = collapse_trace(pipeline_trace(1, "alice", 0));
+  ASSERT_EQ(stacks.size(), 4u);
+  EXPECT_EQ(stacks.at("admission"), 100u);
+  EXPECT_EQ(stacks.at("queue_wait"), 300u);
+  // The execute frame's value is SELF time: 600 total minus the 300ns
+  // nested poll loop.
+  EXPECT_EQ(stacks.at("qrmi_execute"), 300u);
+  EXPECT_EQ(stacks.at("qrmi_execute;qrmi_poll"), 300u);
+  std::uint64_t total = 0;
+  for (const auto& [_, value] : stacks) total += value;
+  EXPECT_EQ(total, 1000u);  // flamegraph invariant: stacks sum to the trace
+}
+
+TEST(CollapseTraceTest, SkipsOpenAndCorruptSpans) {
+  JobTrace trace;
+  trace.user = "bob";
+  trace.start = 0;
+  trace.spans.push_back(span("admission", 0, 50));
+  trace.spans.push_back(span("queue_wait", 50, -1));  // still open
+  trace.spans.push_back(span("bogus", 90, 10));       // end < start
+  const auto stacks = collapse_trace(trace);
+  ASSERT_EQ(stacks.size(), 1u);
+  EXPECT_EQ(stacks.at("admission"), 50u);
+}
+
+TEST(CollapseTraceTest, UnsortedInputStillNestsByInterval) {
+  // Spans arrive in store order, not time order; collapse sorts by
+  // (start, depth) before reconstructing the tree.
+  JobTrace trace;
+  trace.user = "carol";
+  trace.spans.push_back(span("qrmi_poll", 30, 40, 1));
+  trace.spans.push_back(span("qrmi_execute", 20, 60));
+  trace.spans.push_back(span("admission", 0, 20));
+  const auto stacks = collapse_trace(trace);
+  EXPECT_EQ(stacks.at("admission"), 20u);
+  EXPECT_EQ(stacks.at("qrmi_execute"), 30u);
+  EXPECT_EQ(stacks.at("qrmi_execute;qrmi_poll"), 10u);
+}
+
+TEST(CollapseTraceTest, CollapsedTextIsSortedAndByteStable) {
+  const auto stacks = collapse_trace(pipeline_trace(1, "alice", 0));
+  const std::string text = to_collapsed_text(stacks);
+  EXPECT_EQ(text,
+            "admission 100\n"
+            "qrmi_execute 300\n"
+            "qrmi_execute;qrmi_poll 300\n"
+            "queue_wait 300\n");
+  // Same trace content, different construction order: identical bytes.
+  EXPECT_EQ(text, to_collapsed_text(collapse_trace(pipeline_trace(7, "x", 0))));
+}
+
+TEST(ExplainReportTest, JsonCarriesCauseSum) {
+  ExplainReport report;
+  report.job_id = 42;
+  report.user = "alice";
+  report.state = "completed";
+  report.observed_wait = 300;
+  report.wait_closed = true;
+  report.causes.push_back(WaitCause{"resource_drain", 120, "emu0 down"});
+  report.causes.push_back(WaitCause{"queue_depth", 180, ""});
+  const auto json = report.to_json();
+  EXPECT_EQ(json.at_or_null("observed_wait_ns").as_int(), 300);
+  EXPECT_EQ(json.at_or_null("causes_total_ns").as_int(), 300);
+  EXPECT_EQ(json.at_or_null("causes").as_array().size(), 2u);
+}
+
+TEST(CriticalPathProfilerTest, ViewFiltersByFinishWindow) {
+  CriticalPathProfiler profiler;
+  profiler.add(pipeline_trace(1, "alice", 0));       // finishes at 1000
+  profiler.add(pipeline_trace(2, "bob", 5000));      // finishes at 6000
+  profiler.add(pipeline_trace(3, "alice", 9000));    // finishes at 10000
+  EXPECT_EQ(profiler.size(), 3u);
+
+  const auto all = profiler.view(0, 10000);
+  EXPECT_EQ(all.jobs, 3u);
+  EXPECT_EQ(all.stacks.at("queue_wait"), 900u);
+  EXPECT_EQ(all.by_user.at("alice").at("queue_wait"), 600u);
+  EXPECT_EQ(all.by_user.at("bob").at("queue_wait"), 300u);
+  EXPECT_EQ(all.by_resource.at("emu0").at("admission"), 300u);
+
+  const auto mid = profiler.view(2000, 7000);
+  EXPECT_EQ(mid.jobs, 1u);
+  EXPECT_EQ(mid.stacks.at("admission"), 100u);
+  EXPECT_EQ(mid.by_user.count("alice"), 0u);
+}
+
+TEST(CriticalPathProfilerTest, ResourceAttributionFallsBackToDispatch) {
+  JobTrace trace;
+  trace.user = "dave";
+  trace.start = 0;
+  trace.finish = 100;
+  trace.spans.push_back(span("shard_dispatch", 0, 100, 0, "lane3"));
+  CriticalPathProfiler profiler;
+  profiler.add(trace);
+  const auto view = profiler.view(0, 100);
+  EXPECT_EQ(view.by_resource.count("lane3"), 1u);
+
+  // No execute/dispatch detail at all -> the "(none)" bucket.
+  JobTrace bare;
+  bare.user = "dave";
+  bare.finish = 200;
+  bare.spans.push_back(span("admission", 150, 200));
+  profiler.add(bare);
+  EXPECT_EQ(profiler.view(0, 200).by_resource.count("(none)"), 1u);
+}
+
+TEST(CriticalPathProfilerTest, CapacityEvictsOldestSamples) {
+  CriticalPathProfiler profiler(2);
+  profiler.add(pipeline_trace(1, "alice", 0));
+  profiler.add(pipeline_trace(2, "alice", 2000));
+  profiler.add(pipeline_trace(3, "alice", 4000));
+  EXPECT_EQ(profiler.size(), 2u);
+  EXPECT_EQ(profiler.view(0, 1000).jobs, 0u);  // the oldest was evicted
+  EXPECT_EQ(profiler.view(0, 5000).jobs, 2u);
+}
+
+TEST(CriticalPathProfilerTest, RegressionsCompareSharesAgainstBaseline) {
+  CriticalPathProfiler profiler;
+  EXPECT_FALSE(profiler.has_baseline());
+  EXPECT_TRUE(profiler.regressions(0, 1000, 0.0).empty());
+
+  profiler.add(pipeline_trace(1, "alice", 0));  // queue_wait share = 30%
+  profiler.record_baseline(0, 1000);
+  EXPECT_TRUE(profiler.has_baseline());
+  // The baseline window itself never regresses against itself.
+  EXPECT_TRUE(profiler.regressions(0, 1000, 0.01).empty());
+
+  // A later job whose queue_wait balloons: 900 of 1000ns total.
+  JobTrace slow;
+  slow.trace_id = 9;
+  slow.user = "alice";
+  slow.start = 5000;
+  slow.finish = 6000;
+  slow.spans.push_back(span("admission", 5000, 5050));
+  slow.spans.push_back(span("queue_wait", 5050, 5950));
+  slow.spans.push_back(span("qrmi_execute", 5950, 6000, 0, "emu0"));
+  profiler.add(slow);
+
+  const auto found = profiler.regressions(4000, 7000, 0.05);
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found.front().stack, "queue_wait");
+  EXPECT_NEAR(found.front().baseline_share, 0.30, 1e-9);
+  EXPECT_NEAR(found.front().current_share, 0.90, 1e-9);
+  // Tight thresholds surface more stacks, sorted by delta descending.
+  const auto loose = profiler.regressions(4000, 7000, 0.5);
+  EXPECT_LE(loose.size(), found.size());
+}
+
+}  // namespace
+}  // namespace qcenv::telemetry

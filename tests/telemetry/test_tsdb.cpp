@@ -239,6 +239,52 @@ TEST_F(TsdbAggregateTest, MinMaxHandleNegativeValues) {
   EXPECT_DOUBLE_EQ(max_w.at(0).value, -1.0);
 }
 
+TEST_F(TsdbAggregateTest, RateIsPerSecondIncrease) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"jobs_total", {}};
+  // A counter climbing 3/s: 0, 3, 6, 9 at t = 0..3s.
+  for (TimeNs t = 0; t < 4; ++t) {
+    tsdb.write(key, Point{t * kSecond, 3.0 * static_cast<double>(t)});
+  }
+  const auto windows =
+      tsdb.aggregate(key, 0, 4 * kSecond, 2 * kSecond, Aggregation::kRate);
+  ASSERT_EQ(windows.size(), 2u);
+  // Window 0 sees increases 0->3 (the t=0 sample has no predecessor);
+  // window 1 sees 3->6 and 6->9, the first delta crossing the boundary.
+  EXPECT_DOUBLE_EQ(windows[0].value, 3.0 / 2.0);
+  EXPECT_DOUBLE_EQ(windows[1].value, 6.0 / 2.0);
+}
+
+TEST_F(TsdbAggregateTest, RateDetectsCounterResets) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"jobs_total", {}};
+  // Counter runs 10, 14, then the daemon restarts (reset to 0) and climbs
+  // again: 2, 5. A naive rate would charge -14; reset detection charges
+  // the post-restart value itself (2) as the increase.
+  tsdb.write(key, Point{0 * kSecond, 10.0});
+  tsdb.write(key, Point{1 * kSecond, 14.0});
+  tsdb.write(key, Point{2 * kSecond, 2.0});
+  tsdb.write(key, Point{3 * kSecond, 5.0});
+  const auto windows =
+      tsdb.aggregate(key, 0, 4 * kSecond, 4 * kSecond, Aggregation::kRate);
+  ASSERT_EQ(windows.size(), 1u);
+  // Increases: +4 (10->14), +2 (reset), +3 (2->5) over a 4 s window.
+  EXPECT_DOUBLE_EQ(windows[0].value, 9.0 / 4.0);
+  EXPECT_GE(windows[0].value, 0.0);
+}
+
+TEST_F(TsdbAggregateTest, RateOfSinglePointWindowIsZero) {
+  TimeSeriesDb tsdb;
+  const SeriesKey key{"jobs_total", {}};
+  tsdb.write(key, Point{kSecond, 42.0});
+  const auto windows =
+      tsdb.aggregate(key, 0, 2 * kSecond, 2 * kSecond, Aggregation::kRate);
+  ASSERT_EQ(windows.size(), 1u);
+  // One sample has no predecessor: no increase is attributable.
+  EXPECT_DOUBLE_EQ(windows[0].value, 0.0);
+  EXPECT_EQ(windows[0].samples, 1u);
+}
+
 TEST_F(TsdbAggregateTest, LastRespectsTimeOrderNotInsertOrder) {
   TimeSeriesDb tsdb;
   const SeriesKey key{"m", {}};
