@@ -21,9 +21,15 @@
 // layer: tracing-on must stay within 5% of tracing-off.
 //
 // Usage:
-//   bench_submit_path [--quick] [--out FILE] [--profile-out FILE]
+//   bench_submit_path [--quick] [--replicate] [--out FILE]
+//                     [--profile-out FILE]
 //                     [--check BASELINE [--tolerance FRAC]
 //                      [--trace-tolerance FRAC]]
+//
+// --replicate runs a hot-standby journal-shipping replicator concurrently
+// with every v2-journal measurement (pulling WAL segments off the live
+// store dir into a mirror) — the gate then proves replication rides the
+// hot path for free.
 //
 // --out writes the measured numbers as JSON (the committed baseline at
 // the repo root is BENCH_submit.json). --check loads a baseline and FAILS
@@ -48,6 +54,7 @@
 #include "common/json.hpp"
 #include "common/temp_dir.hpp"
 #include "daemon/dispatcher.hpp"
+#include "federation/replication.hpp"
 #include "qrmi/local_emulator.hpp"
 #include "store/state_store.hpp"
 #include "telemetry/explain.hpp"
@@ -91,7 +98,7 @@ double quantile(std::vector<double>& sorted, double q) {
 }
 
 RunResult run_config_once(const Config& config, std::size_t tenants,
-                          std::size_t jobs_per_tenant) {
+                          std::size_t jobs_per_tenant, bool replicate) {
   common::TempDir dir("qcenv-bench-submit-");
   common::WallClock clock;
   store::StoreOptions store_options;
@@ -119,6 +126,30 @@ RunResult run_config_once(const Config& config, std::size_t tenants,
   // Park the lanes: execution throughput is bench_shot_rate's problem;
   // this harness measures the submit->journal->fsync path alone.
   dispatcher.drain();
+
+  // Hot-standby shipping alongside the measurement (v2 journals only —
+  // the shipping protocol doesn't speak v1): a replicator thread pulls
+  // WAL segments off the live store dir into a mirror for the whole run,
+  // so the measured throughput pays whatever contention replication
+  // actually costs the hot path.
+  std::unique_ptr<common::TempDir> standby_dir;
+  std::atomic<bool> stop_replication{false};
+  std::thread shipper;
+  if (replicate && config.format == store::JournalFormat::kBinaryV2) {
+    standby_dir = std::make_unique<common::TempDir>("qcenv-bench-standby-");
+    shipper = std::thread([&] {
+      federation::FileReplicationSource source(dir.path());
+      federation::StandbyReplicator replicator(
+          {standby_dir->path(), 256 * 1024}, &source, &clock, nullptr,
+          nullptr);
+      while (!stop_replication.load(std::memory_order_acquire)) {
+        (void)replicator.poll_once();
+        // Production cadence (StandbyOptions::poll_interval): the gate
+        // prices the shipping a real standby imposes, not a tight loop.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
 
   // Start barrier: thread creation (64 pthreads) must not be timed, and
   // every tenant must hit the dispatcher concurrently from the first
@@ -172,6 +203,10 @@ RunResult run_config_once(const Config& config, std::size_t tenants,
   const double wall_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
+  if (shipper.joinable()) {
+    stop_replication.store(true, std::memory_order_release);
+    shipper.join();
+  }
 
   std::vector<double> all;
   all.reserve(tenants * jobs_per_tenant);
@@ -191,11 +226,12 @@ RunResult run_config_once(const Config& config, std::size_t tenants,
 /// the best run is the one least perturbed by it — the ratio of two best
 /// runs is far more stable than the ratio of two single runs.
 RunResult run_config(const Config& config, std::size_t tenants,
-                     std::size_t jobs_per_tenant, std::size_t reps) {
+                     std::size_t jobs_per_tenant, std::size_t reps,
+                     bool replicate) {
   RunResult best;
   for (std::size_t r = 0; r < reps; ++r) {
     const RunResult result =
-        run_config_once(config, tenants, jobs_per_tenant);
+        run_config_once(config, tenants, jobs_per_tenant, replicate);
     if (result.submits_per_sec > best.submits_per_sec) best = result;
   }
   return best;
@@ -262,6 +298,10 @@ const char* arg_value(int argc, char** argv, const char* flag) {
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  bool replicate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicate") == 0) replicate = true;
+  }
   const std::size_t tenants = 64;
   const std::size_t jobs_per_tenant = quick ? 150 : 600;
   // Even quick mode earns 3 reps: the tracing gate compares two configs
@@ -277,14 +317,17 @@ int main(int argc, char** argv) {
 
   print_title("submit-path | " + std::to_string(tenants) +
               " concurrent tenants, " + std::to_string(jobs_per_tenant) +
-              " submits each, durable (submit + group-commit drain)");
+              " submits each, durable (submit + group-commit drain)" +
+              (replicate ? ", journal shipping ON" : ""));
 
   // Pre-PR first so the overhauled run cannot ride a warmed allocator
   // into an inflated ratio; each config gets its own store directory.
-  const RunResult before = run_config(pre_pr, tenants, jobs_per_tenant, reps);
-  const RunResult after = run_config(sharded, tenants, jobs_per_tenant, reps);
+  const RunResult before =
+      run_config(pre_pr, tenants, jobs_per_tenant, reps, replicate);
+  const RunResult after =
+      run_config(sharded, tenants, jobs_per_tenant, reps, replicate);
   const RunResult with_tracing =
-      run_config(traced, tenants, jobs_per_tenant, reps);
+      run_config(traced, tenants, jobs_per_tenant, reps, replicate);
   const double speedup = before.submits_per_sec > 0.0
                              ? after.submits_per_sec / before.submits_per_sec
                              : 0.0;
@@ -319,6 +362,7 @@ int main(int argc, char** argv) {
   report["traced"] = to_json(traced, with_tracing);
   report["speedup"] = speedup;
   report["trace_overhead"] = trace_overhead;
+  report["replicate"] = replicate;
 
   if (const char* out = arg_value(argc, argv, "--out")) {
     std::ofstream file(out);

@@ -39,8 +39,9 @@ void AccountingManager::release_submission(const std::string& user,
 
 void AccountingManager::charge_batch(const std::string& user,
                                      std::uint64_t shots,
-                                     common::DurationNs qpu_ns) {
-  ledger_.charge(user, shots, qpu_ns, 0, clock_->now());
+                                     common::DurationNs qpu_ns,
+                                     common::TimeNs at) {
+  ledger_.charge(user, shots, qpu_ns, 0, at >= 0 ? at : clock_->now());
   rate_limiter_.release(user, shots);
   if (metrics_ != nullptr) {
     metrics_
@@ -53,10 +54,10 @@ void AccountingManager::charge_batch(const std::string& user,
 
 void AccountingManager::job_finished(const std::string& user,
                                      std::uint64_t unexecuted_shots,
-                                     bool completed) {
+                                     bool completed, common::TimeNs at) {
   rate_limiter_.release(user, unexecuted_shots);
   if (completed) {
-    ledger_.charge(user, 0, 0, 1, clock_->now());
+    ledger_.charge(user, 0, 0, 1, at >= 0 ? at : clock_->now());
     update_usage_metrics(user);
   }
 }

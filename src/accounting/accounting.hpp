@@ -52,13 +52,17 @@ class AccountingManager {
   void release_submission(const std::string& user, std::uint64_t shots);
 
   // ---- dispatch side ------------------------------------------------------
-  /// An executed batch: charges the ledger and releases the shots.
+  /// An executed batch: charges the ledger and releases the shots. `at`
+  /// (when >= 0) is the charge instant — the dispatcher passes the exact
+  /// time its journal event records, so replaying the journal re-charges
+  /// the ledger to the same decayed values; -1 reads the clock.
   void charge_batch(const std::string& user, std::uint64_t shots,
-                    common::DurationNs qpu_ns);
+                    common::DurationNs qpu_ns, common::TimeNs at = -1);
   /// Terminal state: releases the never-executed remainder; completed jobs
-  /// additionally charge one job to the ledger.
+  /// additionally charge one job to the ledger (at `at`, same contract as
+  /// charge_batch).
   void job_finished(const std::string& user, std::uint64_t unexecuted_shots,
-                    bool completed);
+                    bool completed, common::TimeNs at = -1);
 
   // ---- scheduling ---------------------------------------------------------
   /// Fair-share priority factor for the queue core's hook (higher = more

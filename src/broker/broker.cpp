@@ -367,6 +367,47 @@ std::vector<ResourceStatus> ResourceBroker::snapshot() const {
   return out;
 }
 
+common::Json ResourceBroker::FleetSummary::to_json() const {
+  common::Json out = common::Json::object();
+  out["total"] = static_cast<long long>(total);
+  out["healthy"] = static_cast<long long>(healthy);
+  out["draining"] = static_cast<long long>(draining);
+  out["bound_jobs"] = static_cast<long long>(bound_jobs);
+  out["inflight_batches"] = static_cast<long long>(inflight_batches);
+  out["mean_score"] = mean_score;
+  common::Json classes = common::Json::object();
+  for (const auto& [name, score] : class_scores) classes[name] = score;
+  out["class_scores"] = std::move(classes);
+  return out;
+}
+
+ResourceBroker::FleetSummary ResourceBroker::summarize() const {
+  FleetSummary summary;
+  std::map<std::string, std::pair<double, std::size_t>> by_class;
+  std::scoped_lock lock(mutex_);
+  for (const auto& name : order_) {
+    const ResourceStatus& status = fleet_.at(name).status;
+    ++summary.total;
+    summary.bound_jobs += status.bound_jobs;
+    summary.inflight_batches += status.inflight_batches;
+    if (status.draining) ++summary.draining;
+    if (status.healthy && !status.draining) {
+      ++summary.healthy;
+      summary.mean_score += status.score;
+      auto& [sum, count] = by_class[qrmi::to_string(status.type)];
+      sum += status.score;
+      ++count;
+    }
+  }
+  if (summary.healthy > 0) {
+    summary.mean_score /= static_cast<double>(summary.healthy);
+  }
+  for (const auto& [name, acc] : by_class) {
+    summary.class_scores[name] = acc.first / static_cast<double>(acc.second);
+  }
+  return summary;
+}
+
 std::map<std::string, double> ResourceBroker::sample_scores() {
   // Collect targets outside the lock (a slow endpoint must not stall the
   // fleet), then fold the scores back in. Every resource is asked, not

@@ -126,6 +126,26 @@ class ResourceBroker {
 
   std::vector<ResourceStatus> snapshot() const;
 
+  /// Aggregate fleet capacity/health — what a federated peer daemon needs
+  /// to decide whether to route a submission here (GET /admin/federation
+  /// advertises this verbatim).
+  struct FleetSummary {
+    std::size_t total = 0;
+    std::size_t healthy = 0;  ///< healthy AND not draining
+    std::size_t draining = 0;
+    std::size_t bound_jobs = 0;
+    std::size_t inflight_batches = 0;
+    /// Mean calibration score over the healthy, non-draining resources
+    /// (0 when none qualify).
+    double mean_score = 0.0;
+    /// Same mean broken out by resource class (qrmi type name), so a
+    /// federated router can match a job's class preference.
+    std::map<std::string, double> class_scores;
+
+    common::Json to_json() const;
+  };
+  FleetSummary summarize() const;
+
   /// Refreshes every resource's calibration score from target() right now
   /// (the scrape-loop entry point: probe-driven refreshes are
   /// interleaving-dependent, a scrape wants scores as-of the deadline).

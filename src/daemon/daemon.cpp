@@ -1,6 +1,11 @@
 #include "daemon/daemon.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
 
 #include "common/strings.hpp"
@@ -65,6 +70,43 @@ Json job_to_json(const DaemonJob& job) {
   out["resource"] = job.resource;
   if (!job.error.empty()) out["error"] = job.error;
   return out;
+}
+
+/// Strict non-negative decimal parse of a numeric query parameter. The
+/// whole value must be digits: `since=abc` must 400 naming the parameter
+/// rather than silently become 0, and `since=-1` must 400 rather than
+/// wrap to 2^64-1.
+Result<std::uint64_t> parse_numeric_param(const std::string& raw,
+                                          const char* name) {
+  if (raw.empty() ||
+      raw.find_first_not_of("0123456789") != std::string::npos) {
+    return common::err::invalid_argument(
+        std::string(name) + " must be a non-negative integer, got '" + raw +
+        "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+  if (errno == ERANGE || end != raw.c_str() + raw.size()) {
+    return common::err::invalid_argument(std::string(name) +
+                                         " is out of range");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Same, for parameters consumed as signed nanosecond timestamps/windows
+/// (start=/end=/window=): non-negative and within int64 range.
+Result<common::TimeNs> parse_time_param(const std::string& raw,
+                                        const char* name) {
+  auto value = parse_numeric_param(raw, name);
+  if (!value.ok()) return value.error();
+  if (value.value() >
+      static_cast<std::uint64_t>(
+          std::numeric_limits<common::TimeNs>::max())) {
+    return common::err::invalid_argument(std::string(name) +
+                                         " is out of range");
+  }
+  return static_cast<common::TimeNs>(value.value());
 }
 
 qrmi::ResourceRegistry single_resource_fleet(const qrmi::QrmiPtr& resource) {
@@ -193,6 +235,32 @@ MiddlewareDaemon::MiddlewareDaemon(DaemonOptions options,
   eta_deps.clock = clock_;
   eta_deps.policy = options_.queue_policy;
   eta_ = std::make_unique<EtaEngine>(eta_deps, options_.telemetry.eta);
+  if (options_.federation.enabled) {
+    federation_ = std::make_unique<federation::FederationRouter>(
+        options_.federation,
+        [this] {
+          federation::FederationRouter::LocalStatus status;
+          status.queue_depth = dispatcher_->queued_total();
+          const auto fleet = broker_->summarize();
+          status.healthy_resources = fleet.healthy;
+          status.mean_score = fleet.mean_score;
+          return status;
+        },
+        clock_, &metrics_, &events_);
+    if (options_.store.enabled()) {
+      // The durable fencing epoch lives next to the journal: a daemon
+      // restarted after being promoted resumes AT its promoted epoch,
+      // not at 0 (where the old leader's WAL could out-fence it again).
+      federation_->set_data_dir(options_.store.data_dir);
+      auto epoch = federation::read_epoch(options_.store.data_dir);
+      if (epoch.ok()) {
+        federation_->set_epoch(epoch.value());
+      } else {
+        QCENV_LOG(Error) << "unreadable federation epoch file: "
+                         << epoch.error().to_string();
+      }
+    }
+  }
   install_routes();
 }
 
@@ -278,11 +346,15 @@ Result<std::uint16_t> MiddlewareDaemon::start() {
   auto port = server_.start();
   if (port.ok()) {
     QCENV_LOG(Info) << "middleware daemon on 127.0.0.1:" << port.value();
+    if (federation_ != nullptr) federation_->start();
   }
   return port;
 }
 
 void MiddlewareDaemon::stop() {
+  // Peer polling first: a poll landing mid-teardown would read members
+  // this function is about to destroy state under.
+  if (federation_ != nullptr) federation_->stop();
   server_.stop();
   // No scrapes may run once subsystems start tearing down: the samplers
   // read the dispatcher and broker.
@@ -318,12 +390,66 @@ Result<std::size_t> MiddlewareDaemon::close_session(
   return session_removed(session.value());
 }
 
+Result<std::string> MiddlewareDaemon::ingress_session(
+    const std::string& user) {
+  {
+    std::scoped_lock lock(ingress_mutex_);
+    const auto it = ingress_tokens_.find(user);
+    // Re-authenticate the cached token: idle expiry may have reaped the
+    // session between forwards.
+    if (it != ingress_tokens_.end() &&
+        sessions_.authenticate(it->second).ok()) {
+      return it->second;
+    }
+  }
+  // The session default class is a placeholder — forwarded submissions
+  // carry their partition, and resolve_class overrides per job.
+  auto session = open_session(user, JobClass::kDevelopment);
+  if (!session.ok()) return session.error();
+  std::scoped_lock lock(ingress_mutex_);
+  ingress_tokens_[user] = session.value().token;
+  return session.value().token;
+}
+
 Result<MiddlewareDaemon::Submitted> MiddlewareDaemon::submit_job(
     const std::string& token, quantum::Payload payload,
     const SubmitHints& hints, telemetry::TraceId* trace_out) {
   auto session = sessions_.authenticate(token);
   if (!session.ok()) return session.error();
   const std::string user = session.value().user;
+  // Federation: when this daemon cannot take the job (demoted to
+  // standby, fleet down, queue saturated — choose_peer decides), route
+  // it to the best-scored peer BEFORE touching local admission state.
+  // A failed forward falls through to the normal local path below: a
+  // submission always lands in exactly one daemon's queue, never
+  // nowhere. Resource-pinned jobs and peer-forwarded arrivals stay put.
+  if (federation_ != nullptr && !hints.no_forward &&
+      hints.resource.empty()) {
+    if (const auto peer = federation_->choose_peer("")) {
+      auto forwarded = federation_->forward(*peer, user, hints.partition,
+                                            payload.to_json());
+      if (forwarded.ok()) {
+        events_.log(clock_->now(), telemetry::Severity::kInfo,
+                    "job_forwarded",
+                    "submission routed to peer '" + *peer + "' as job " +
+                        std::to_string(forwarded.value().remote_id),
+                    user, forwarded.value().remote_id);
+        Submitted submitted;
+        submitted.id = forwarded.value().remote_id;
+        submitted.job_class =
+            resolve_class(hints.partition, session.value().job_class);
+        submitted.resource = forwarded.value().resource;
+        submitted.forwarded_to = *peer;
+        return submitted;
+      }
+      events_.log(clock_->now(), telemetry::Severity::kWarn,
+                  "forward_failed",
+                  "peer '" + *peer + "' refused a forwarded submission (" +
+                      forwarded.error().message() +
+                      "); falling back to the local queue",
+                  user);
+    }
+  }
   // Every traced submission's timeline starts here: the `admission` stage
   // covers validation and accounting, and it opens BEFORE any check can
   // reject — so 429/500/503 responses carry a trace id too.
@@ -567,13 +693,19 @@ void MiddlewareDaemon::install_routes() {
         out["job_id"] = static_cast<long long>(submitted.value().id);
         out["class"] = to_string(submitted.value().job_class);
         out["resource"] = submitted.value().resource;
+        if (!submitted.value().forwarded_to.empty()) {
+          out["forwarded_to"] = submitted.value().forwarded_to;
+        }
         if (trace != 0) out["trace_id"] = static_cast<long long>(trace);
         // The predicted start/finish window rides the 201: REST clients
         // get their ETA without a second round-trip. Off the programmatic
         // hot path on purpose — bench_submit_path drives submit_job
-        // directly and never pays for the queue snapshot below.
-        if (auto eta = eta_->estimate(submitted.value().id); eta.ok()) {
-          out["eta"] = eta.value().to_json();
+        // directly and never pays for the queue snapshot below. A
+        // forwarded job's id belongs to the peer; its ETA does too.
+        if (submitted.value().forwarded_to.empty()) {
+          if (auto eta = eta_->estimate(submitted.value().id); eta.ok()) {
+            out["eta"] = eta.value().to_json();
+          }
         }
         return HttpResponse::json(201, out.dump());
       });
@@ -771,7 +903,13 @@ void MiddlewareDaemon::install_routes() {
 
   router.add("GET", "/metrics",
              [this](const HttpRequest&, const PathParams&) {
-               return HttpResponse::text(200, metrics_.expose());
+               HttpResponse response =
+                   HttpResponse::text(200, metrics_.expose());
+               // The version suffix is the Prometheus exposition-format
+               // contract; only this endpoint speaks it.
+               response.headers["Content-Type"] =
+                   "text/plain; version=0.0.4";
+               return response;
              });
 
   // ---- Admin surface ------------------------------------------------------
@@ -810,12 +948,15 @@ void MiddlewareDaemon::install_routes() {
                if (!admin.ok()) return error_response(admin.error());
                std::uint64_t since = 0;
                if (const auto raw = request.query_param("since")) {
-                 since = std::strtoull(raw->c_str(), nullptr, 10);
+                 auto parsed = parse_numeric_param(*raw, "since");
+                 if (!parsed.ok()) return error_response(parsed.error());
+                 since = parsed.value();
                }
                std::size_t max = 256;
                if (const auto raw = request.query_param("max")) {
-                 max = static_cast<std::size_t>(
-                     std::strtoull(raw->c_str(), nullptr, 10));
+                 auto parsed = parse_numeric_param(*raw, "max");
+                 if (!parsed.ok()) return error_response(parsed.error());
+                 max = static_cast<std::size_t>(parsed.value());
                }
                telemetry::EventLog::Filter filter;
                if (const auto raw = request.query_param("severity")) {
@@ -871,17 +1012,23 @@ void MiddlewareDaemon::install_routes() {
         common::TimeNs start = 0;
         common::TimeNs end = std::numeric_limits<common::TimeNs>::max();
         if (const auto raw = request.query_param("start")) {
-          start = std::strtoll(raw->c_str(), nullptr, 10);
+          auto parsed = parse_time_param(*raw, "start");
+          if (!parsed.ok()) return error_response(parsed.error());
+          start = parsed.value();
         }
         if (const auto raw = request.query_param("end")) {
-          end = std::strtoll(raw->c_str(), nullptr, 10);
+          auto parsed = parse_time_param(*raw, "end");
+          if (!parsed.ok()) return error_response(parsed.error());
+          end = parsed.value();
         }
         const telemetry::TimeSeriesDb& tsdb = obs.value()->tsdb();
         Json out = Json::object();
         out["series"] = key.value().to_string();
         common::DurationNs window = 0;
         if (const auto raw = request.query_param("window")) {
-          window = std::strtoll(raw->c_str(), nullptr, 10);
+          auto parsed = parse_time_param(*raw, "window");
+          if (!parsed.ok()) return error_response(parsed.error());
+          window = parsed.value();
         }
         if (window > 0) {
           telemetry::Aggregation agg = telemetry::Aggregation::kMean;
@@ -1006,16 +1153,18 @@ void MiddlewareDaemon::install_routes() {
   // against the recorded baseline (stacks whose share of total self time
   // grew more than `threshold` share points).
   const auto profile_window =
-      [this](const HttpRequest& request) -> std::pair<common::TimeNs,
-                                                      common::TimeNs> {
+      [this](const HttpRequest& request)
+      -> Result<std::pair<common::TimeNs, common::TimeNs>> {
     const common::TimeNs now = clock_->now();
     common::DurationNs window = 0;
     if (const auto raw = request.query_param("window")) {
-      window = std::strtoll(raw->c_str(), nullptr, 10);
+      auto parsed = parse_time_param(*raw, "window");
+      if (!parsed.ok()) return parsed.error();
+      window = parsed.value();
     }
     const common::TimeNs since =
         window > 0 ? (now > window ? now - window : 0) : 0;
-    return {since, now};
+    return std::pair<common::TimeNs, common::TimeNs>{since, now};
   };
 
   router.add("GET", "/admin/profile",
@@ -1023,7 +1172,9 @@ void MiddlewareDaemon::install_routes() {
                  const HttpRequest& request, const PathParams&) {
                auto admin = require_admin(request);
                if (!admin.ok()) return error_response(admin.error());
-               const auto [since, until] = profile_window(request);
+               auto range = profile_window(request);
+               if (!range.ok()) return error_response(range.error());
+               const auto [since, until] = range.value();
                double threshold = 0.05;
                if (const auto raw = request.query_param("threshold")) {
                  threshold = std::strtod(raw->c_str(), nullptr);
@@ -1044,7 +1195,9 @@ void MiddlewareDaemon::install_routes() {
                  const HttpRequest& request, const PathParams&) {
                auto admin = require_admin(request);
                if (!admin.ok()) return error_response(admin.error());
-               const auto [since, until] = profile_window(request);
+               auto range = profile_window(request);
+               if (!range.ok()) return error_response(range.error());
+               const auto [since, until] = range.value();
                profiler_.record_baseline(since, until);
                Json out = Json::object();
                out["recorded"] = true;
@@ -1275,6 +1428,208 @@ void MiddlewareDaemon::install_routes() {
                out["journal_events"] = store_->journal().event_count();
                return HttpResponse::json(200, out.dump());
              });
+
+  // ---- federation + hot-standby replication ------------------------------
+
+  // Always registered (federation disabled included): peers probing a
+  // daemon that has federation off still get a parseable answer instead
+  // of a 404 they cannot tell from a dead daemon.
+  router.add(
+      "GET", "/admin/federation",
+      [this, require_admin](const HttpRequest& request, const PathParams&) {
+        auto admin = require_admin(request);
+        if (!admin.ok()) return error_response(admin.error());
+        Json out;
+        if (federation_ != nullptr) {
+          out = federation_->status_json();
+        } else {
+          out = Json::object();
+          out["enabled"] = false;
+          out["self"] = options_.federation.self;
+          out["role"] = "leader";
+          std::uint64_t epoch = 0;
+          if (options_.store.enabled()) {
+            if (auto read = federation::read_epoch(options_.store.data_dir);
+                read.ok()) {
+              epoch = read.value();
+            }
+          }
+          out["epoch"] = static_cast<long long>(epoch);
+          out["queue_depth"] =
+              static_cast<long long>(dispatcher_->queued_total());
+          out["peers"] = Json::array();
+        }
+        out["fleet"] = broker_->summarize().to_json();
+        if (store_ != nullptr) {
+          Json store_state = Json::object();
+          store_state["journal_last_seq"] =
+              static_cast<long long>(store_->journal().last_seq());
+          out["store"] = std::move(store_state);
+        }
+        return HttpResponse::json(200, out.dump());
+      });
+
+  router.add("POST", "/admin/federation/promote",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               if (federation_ == nullptr) {
+                 return error_response(common::err::failed_precondition(
+                     "federation is not enabled on this daemon"));
+               }
+               auto epoch = federation_->promote();
+               if (!epoch.ok()) return error_response(epoch.error());
+               Json out = Json::object();
+               out["role"] = "leader";
+               out["epoch"] = static_cast<long long>(epoch.value());
+               return HttpResponse::json(200, out.dump());
+             });
+
+  router.add("POST", "/admin/federation/demote",
+             [this, require_admin](const HttpRequest& request,
+                                   const PathParams&) {
+               auto admin = require_admin(request);
+               if (!admin.ok()) return error_response(admin.error());
+               if (federation_ == nullptr) {
+                 return error_response(common::err::failed_precondition(
+                     "federation is not enabled on this daemon"));
+               }
+               federation_->demote();
+               Json out = Json::object();
+               out["role"] = "standby";
+               out["epoch"] = static_cast<long long>(federation_->epoch());
+               return HttpResponse::json(200, out.dump());
+             });
+
+  // Peer ingress: a forwarded job enters here and walks the exact
+  // session/admission/accounting pipeline a direct submission does —
+  // under a lazily-created session for the ORIGINAL user, so fair-share
+  // and quotas charge the right ledger on this side too.
+  router.add(
+      "POST", "/admin/federation/submit",
+      [this, require_admin](const HttpRequest& request, const PathParams&) {
+        auto admin = require_admin(request);
+        if (!admin.ok()) return error_response(admin.error());
+        auto body = Json::parse(request.body);
+        if (!body.ok()) return error_response(body.error());
+        auto user = body.value().get_string("user");
+        if (!user.ok()) return error_response(user.error());
+        auto payload =
+            quantum::Payload::from_json(body.value().at_or_null("payload"));
+        if (!payload.ok()) return error_response(payload.error());
+        SubmitHints hints;
+        hints.no_forward = true;
+        if (body.value().contains("partition")) {
+          auto parsed = body.value().get_string("partition");
+          if (!parsed.ok()) return error_response(parsed.error());
+          hints.partition = std::move(parsed).value();
+        }
+        auto token = ingress_session(user.value());
+        if (!token.ok()) return error_response(token.error());
+        auto submitted =
+            submit_job(token.value(), std::move(payload).value(), hints);
+        if (!submitted.ok()) return error_response(submitted.error());
+        Json out = Json::object();
+        out["job_id"] = static_cast<long long>(submitted.value().id);
+        out["class"] = to_string(submitted.value().job_class);
+        out["resource"] = submitted.value().resource;
+        return HttpResponse::json(201, out.dump());
+      });
+
+  // Journal shipping: raw v2 WAL frames above `after`, capped at the
+  // durable watermark and `max_bytes`. Framing metadata rides response
+  // headers so the body stays exactly the bytes the leader's WAL holds.
+  router.add(
+      "GET", "/admin/replication/wal",
+      [this, require_admin](const HttpRequest& request, const PathParams&) {
+        auto admin = require_admin(request);
+        if (!admin.ok()) return error_response(admin.error());
+        if (store_ == nullptr) {
+          return error_response(common::err::failed_precondition(
+              "daemon runs without a durable store (no data_dir)"));
+        }
+        std::uint64_t after = 0;
+        if (const auto raw = request.query_param("after")) {
+          auto parsed = parse_numeric_param(*raw, "after");
+          if (!parsed.ok()) return error_response(parsed.error());
+          after = parsed.value();
+        }
+        std::uint64_t max_bytes = 256 * 1024;
+        if (const auto raw = request.query_param("max_bytes")) {
+          auto parsed = parse_numeric_param(*raw, "max_bytes");
+          if (!parsed.ok()) return error_response(parsed.error());
+          if (parsed.value() == 0) {
+            return error_response(common::err::invalid_argument(
+                "max_bytes must be a positive integer"));
+          }
+          max_bytes = parsed.value();
+        }
+        auto segment = store_->journal().read_segment(after, max_bytes);
+        if (!segment.ok()) return error_response(segment.error());
+        std::uint64_t epoch = 0;
+        if (federation_ != nullptr) {
+          epoch = federation_->epoch();
+        } else if (auto read =
+                       federation::read_epoch(options_.store.data_dir);
+                   read.ok()) {
+          epoch = read.value();
+        }
+        HttpResponse response;
+        response.headers["Content-Type"] = "application/octet-stream";
+        response.headers["X-Replication-First-Seq"] =
+            std::to_string(segment.value().first_seq);
+        response.headers["X-Replication-End-Seq"] =
+            std::to_string(segment.value().end_seq);
+        response.headers["X-Replication-Durable-Seq"] =
+            std::to_string(segment.value().durable_seq);
+        response.headers["X-Replication-Snapshot-Needed"] =
+            segment.value().snapshot_needed ? "1" : "0";
+        response.headers["X-Replication-Epoch"] = std::to_string(epoch);
+        response.body = std::move(segment.value().bytes);
+        return response;
+      });
+
+  router.add(
+      "GET", "/admin/replication/snapshot",
+      [this, require_admin](const HttpRequest& request, const PathParams&) {
+        auto admin = require_admin(request);
+        if (!admin.ok()) return error_response(admin.error());
+        if (store_ == nullptr) {
+          return error_response(common::err::failed_precondition(
+              "daemon runs without a durable store (no data_dir)"));
+        }
+        std::ifstream in(store_->snapshot_path(), std::ios::binary);
+        if (!in.is_open()) {
+          return error_response(
+              common::err::not_found("no snapshot has been written yet"));
+        }
+        std::string bytes{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+        // Parse the bytes we are about to ship (not the file again —
+        // compaction may swap it underneath) for the resume watermark.
+        auto parsed = Json::parse(bytes);
+        if (!parsed.ok()) return error_response(parsed.error());
+        auto snapshot = store::StoreSnapshot::from_json(parsed.value());
+        if (!snapshot.ok()) return error_response(snapshot.error());
+        const std::uint64_t watermark = std::min(
+            snapshot.value().jobs_seq, snapshot.value().sessions_seq);
+        std::uint64_t epoch = 0;
+        if (federation_ != nullptr) {
+          epoch = federation_->epoch();
+        } else if (auto read =
+                       federation::read_epoch(options_.store.data_dir);
+                   read.ok()) {
+          epoch = read.value();
+        }
+        HttpResponse response;
+        response.headers["Content-Type"] = "application/json";
+        response.headers["X-Replication-Watermark"] =
+            std::to_string(watermark);
+        response.headers["X-Replication-Epoch"] = std::to_string(epoch);
+        response.body = std::move(bytes);
+        return response;
+      });
 
   router.add("POST", "/admin/recalibrate",
              [this, require_admin](const HttpRequest& request,

@@ -46,11 +46,20 @@
 //   POST   /admin/recalibrate
 //   POST   /admin/qa
 //   POST   /admin/lowlevel/shot_rate  {value}   (safeguarded bounds)
+//   GET    /admin/federation           (role/epoch/queue + fleet summary
+//                                       + last polled peer views)
+//   POST   /admin/federation/promote | /admin/federation/demote
+//   POST   /admin/federation/submit   {user, partition?, payload}
+//                                      (peer ingress for forwarded jobs)
+//   GET    /admin/replication/wal?after=N&max_bytes=M  (raw v2 WAL
+//                                       segment; X-Replication-* headers)
+//   GET    /admin/replication/snapshot  (snapshot.json + watermark header)
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,6 +72,7 @@
 #include "daemon/eta.hpp"
 #include "daemon/observability.hpp"
 #include "daemon/sessions.hpp"
+#include "federation/federation.hpp"
 #include "net/http_server.hpp"
 #include "qpu/qpu_device.hpp"
 #include "qrmi/qrmi.hpp"
@@ -125,6 +135,10 @@ struct DaemonOptions {
   store::StoreOptions store;
   /// Tracing + structured events (see TelemetryOptions).
   TelemetryOptions telemetry;
+  /// Broker-of-brokers: peers, poll cadence, forward threshold (see
+  /// federation/federation.hpp). Disabled by default — a lone daemon
+  /// pays nothing for the subsystem existing.
+  federation::FederationOptions federation;
 };
 
 class MiddlewareDaemon {
@@ -167,6 +181,10 @@ class MiddlewareDaemon {
   EtaEngine& eta() noexcept { return *eta_; }
   /// Critical-path profiles of terminal jobs (fed when tracing is on).
   telemetry::CriticalPathProfiler& profiler() noexcept { return profiler_; }
+  /// Federation router; nullptr when federation is disabled.
+  federation::FederationRouter* federation() noexcept {
+    return federation_.get();
+  }
 
   /// Resolves a job class from an explicit partition name or session
   /// default.
@@ -192,6 +210,10 @@ class MiddlewareDaemon {
     std::string partition;
     std::string resource;
     std::optional<broker::SchedulingPolicy> policy;
+    /// Set on the peer-ingress path (/admin/federation/submit): a job a
+    /// peer already routed here must not bounce to a third daemon, or
+    /// two saturated daemons would ping-pong it forever.
+    bool no_forward = false;
   };
   /// What a successful submission settled on (the 201 response body).
   struct Submitted {
@@ -199,6 +221,9 @@ class MiddlewareDaemon {
     JobClass job_class = JobClass::kDevelopment;
     /// Initial placement; empty while no healthy resource could take it.
     std::string resource;
+    /// Peer this submission was routed to; empty for local placements.
+    /// When set, `id` is the job's id AT THAT PEER.
+    std::string forwarded_to;
   };
   /// POST /v1/jobs: authenticates, validates against the target device
   /// spec, applies admission + per-user rate limits (reservations are
@@ -208,9 +233,16 @@ class MiddlewareDaemon {
   /// the timeline that explains them.
   common::Result<Submitted> submit_job(const std::string& token,
                                        quantum::Payload payload,
-                                       const SubmitHints& hints = {},
+                                       const SubmitHints& hints,
                                        telemetry::TraceId* trace_out =
                                            nullptr);
+  /// Hint-less convenience (an overload, not a default argument: default
+  /// arguments are not complete-class context, so `= {}` cannot see the
+  /// nested aggregate's member initializers).
+  common::Result<Submitted> submit_job(const std::string& token,
+                                       quantum::Payload payload) {
+    return submit_job(token, std::move(payload), SubmitHints{});
+  }
 
  private:
   void install_routes();
@@ -222,6 +254,9 @@ class MiddlewareDaemon {
   /// Shared cleanup when a session goes away (close or idle expiry):
   /// cancels its queued jobs and journals the closure.
   std::size_t session_removed(const Session& session);
+  /// Session backing forwarded submissions from `user` via the peer
+  /// ingress; created lazily, reused while it stays valid.
+  common::Result<std::string> ingress_session(const std::string& user);
 
   DaemonOptions options_;
   qpu::QpuDevice* device_;
@@ -252,6 +287,12 @@ class MiddlewareDaemon {
   // Stateless view over dispatcher/broker/accounting/events/TSDB;
   // constructed after all of them, destroyed first.
   std::unique_ptr<EtaEngine> eta_;
+  // Reads dispatcher + broker through its status callback, so it must be
+  // torn down before either (reverse declaration order handles it).
+  std::unique_ptr<federation::FederationRouter> federation_;
+  // Sessions backing the peer ingress, keyed by user.
+  std::mutex ingress_mutex_;
+  std::map<std::string, std::string> ingress_tokens_;
   net::HttpServer server_;
 };
 

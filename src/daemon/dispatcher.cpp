@@ -1254,23 +1254,26 @@ void Dispatcher::finish_locked(Shard& shard, Record& record,
   }
   if (accounting_ != nullptr) {
     // The never-executed remainder leaves the user's in-flight budget;
-    // completions additionally charge one job to the ledger.
+    // completions additionally charge one job to the ledger — stamped
+    // with the record's finish time, which the journal event below also
+    // carries, so replay re-charges at the identical instant.
     const std::uint64_t unexecuted =
         record.job.total_shots -
         std::min(record.job.shots_done, record.job.total_shots);
     accounting_->job_finished(record.job.user, unexecuted,
-                              state == DaemonJobState::kCompleted);
+                              state == DaemonJobState::kCompleted,
+                              record.job.finish_time);
   }
   if (store_ != nullptr) {
     switch (state) {
       case DaemonJobState::kCompleted:
-        store_->job_completed(record.job.id);
+        store_->job_completed(record.job.id, record.job.finish_time);
         break;
       case DaemonJobState::kFailed:
-        store_->job_failed(record.job.id, error);
+        store_->job_failed(record.job.id, error, record.job.finish_time);
         break;
       case DaemonJobState::kCancelled:
-        store_->job_cancelled(record.job.id);
+        store_->job_cancelled(record.job.id, error, record.job.finish_time);
         break;
       default:
         break;
@@ -1433,18 +1436,22 @@ Dispatcher::DispatchOutcome Dispatcher::dispatch_one(
       finish_locked(shard, record, DaemonJobState::kCancelled, "");
       return DispatchOutcome::kRetry;
     }
+    const common::TimeNs dispatched_at = clock_->now();
     if (record.job.state == DaemonJobState::kQueued) {
       record.job.state = DaemonJobState::kRunning;
       drop_user_pending(shard, record.job.user);
       // Keep the first dispatch time across failover requeues.
       if (record.job.first_dispatch_time == 0) {
-        record.job.first_dispatch_time = clock_->now();
+        record.job.first_dispatch_time = dispatched_at;
       }
     }
     slice = *record.payload;
     slice.set_shots(batch->shots);
     if (store_ != nullptr) {
-      store_->batch_dispatched(batch->job_id, lane, batch->shots);
+      // Same stamp as first_dispatch_time: replay recovers it from the
+      // first batch_dispatched event's time.
+      store_->batch_dispatched(batch->job_id, lane, batch->shots,
+                               dispatched_at);
     }
     trace = record.job.trace_id;
     trace_cls = record.job.job_class;
@@ -1631,18 +1638,24 @@ Dispatcher::DispatchOutcome Dispatcher::dispatch_one(
   auto merged_metadata = outcome.value().metadata();
   (void)record.samples.merge(outcome.value());
   record.samples.set_metadata(std::move(merged_metadata));
+  // One clock read shared by the journal event and the ledger charge:
+  // replay derives the re-charge instant from the event time, so two
+  // reads (two different virtual instants) would make the replayed
+  // ledger decay differently from the live one.
+  const common::TimeNs charged_at = clock_->now();
   if (store_ != nullptr) {
     // The executed shots become durable BEFORE any terminal event, so a
     // crash between the two replays them as done, never re-runs them.
     // Serialization is deferred to the journal's writer thread.
     store_->batch_done(batch->job_id, batch->shots, qpu_ns,
-                       batch->final_batch, outcome.value());
+                       batch->final_batch, outcome.value(), charged_at);
   }
   if (accounting_ != nullptr) {
     // Charged in the same critical section as the journal append, so a
     // compaction snapshot (which reads the watermark and the ledger
     // under every shard mutex) can never tear the two apart.
-    accounting_->charge_batch(record.job.user, batch->shots, qpu_ns);
+    accounting_->charge_batch(record.job.user, batch->shots, qpu_ns,
+                              charged_at);
   }
   if (traced && !batch->final_batch && !record.cancel_requested) {
     // The remainder re-enters the queue: open a fresh queue_wait stage so

@@ -1,0 +1,178 @@
+// Federation: a broker-of-brokers across middleware daemons.
+//
+// Each daemon advertises its fleet (healthy resources, mean calibration
+// score per resource class — ResourceBroker::summarize) plus its queue
+// depth on `GET /admin/federation`. The FederationRouter polls its peers,
+// scores them, and when the local daemon cannot take a submission (fleet
+// down, queue saturated, or demoted to standby) picks the best peer and
+// forwards the job over the peer's admin ingress. Forwarding failure
+// falls back to the local queue — the cross-daemon analogue of the
+// dispatcher's zero-shot-loss requeue: a submission always lands in
+// exactly one daemon's durable queue, never nowhere.
+//
+// Leadership is epoch-fenced: every promotion bumps a durable `epoch`
+// file in the data dir, replication responses carry the leader's epoch,
+// and a follower rejects WAL from a leader older than one it has already
+// heard — a partitioned ex-leader cannot roll a promoted standby back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::federation {
+
+enum class Role { kLeader, kStandby };
+
+const char* to_string(Role role) noexcept;
+
+/// One remote daemon this one federates with.
+struct PeerConfig {
+  std::string name;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Admin key for the peer's /admin/federation surface.
+  std::string admin_key;
+};
+
+struct FederationOptions {
+  bool enabled = false;
+  /// This daemon's name in the federation (peer lists refer to it).
+  std::string self = "daemon";
+  std::vector<PeerConfig> peers;
+  common::DurationNs poll_interval = common::kSecond;
+  /// Leader silence (no successful replication pull / status poll) after
+  /// which a standby's lease on the leader expires and takeover begins.
+  common::DurationNs lease = 3 * common::kSecond;
+  /// Local queue depth at which submissions start considering remote
+  /// placement.
+  std::size_t forward_queue_threshold = 64;
+  /// Spawn the background peer-poll thread in start(). Tests and the
+  /// virtual-time harness drive poll_once() instead.
+  bool poll_thread = true;
+};
+
+/// Last polled view of one peer.
+struct PeerView {
+  PeerConfig config;
+  bool reachable = false;
+  common::TimeNs last_seen = -1;
+  std::uint64_t epoch = 0;
+  Role role = Role::kLeader;
+  std::size_t queue_depth = 0;
+  std::size_t healthy_resources = 0;
+  double mean_score = 0.0;
+  /// Mean calibration score per resource class (qrmi type name).
+  std::map<std::string, double> class_scores;
+
+  common::Json to_json() const;
+};
+
+/// Durable leader-epoch fencing token: `<data_dir>/epoch`, one decimal
+/// number, written atomically. Absent file reads as epoch 0.
+common::Result<std::uint64_t> read_epoch(const std::string& data_dir);
+common::Status write_epoch(const std::string& data_dir, std::uint64_t epoch);
+
+class FederationRouter {
+ public:
+  /// Everything the routing decision needs from the local daemon;
+  /// supplied as a callback so this module never depends on daemon
+  /// headers.
+  struct LocalStatus {
+    std::size_t queue_depth = 0;
+    std::size_t healthy_resources = 0;
+    double mean_score = 0.0;
+  };
+  using LocalStatusFn = std::function<LocalStatus()>;
+
+  /// What a forwarded submission settled on at the remote daemon.
+  struct Forwarded {
+    std::uint64_t remote_id = 0;
+    std::string peer;
+    std::string resource;
+  };
+
+  FederationRouter(FederationOptions options, LocalStatusFn local_status,
+                   common::Clock* clock,
+                   telemetry::MetricsRegistry* metrics,
+                   telemetry::EventLog* events);
+  ~FederationRouter();
+  FederationRouter(const FederationRouter&) = delete;
+  FederationRouter& operator=(const FederationRouter&) = delete;
+
+  void start();
+  void stop();
+
+  /// Refreshes every peer's view over HTTP (one GET per peer). The
+  /// production poll thread calls this on its cadence; tests call it
+  /// directly.
+  void poll_once(common::TimeNs now);
+
+  /// Whether a submission for `resource_class` ("" = any) should leave
+  /// this daemon, and for which peer. Local wins whenever it can take
+  /// the job (healthy fleet, queue below the threshold); otherwise the
+  /// reachable peer with the best score-per-load wins. nullopt = keep it
+  /// local.
+  std::optional<std::string> choose_peer(const std::string& resource_class);
+
+  /// Forwards one submission to `peer` (POST /admin/federation/submit).
+  /// Any transport or remote error returns the error — the caller falls
+  /// back to the local queue, so the job is never lost.
+  common::Result<Forwarded> forward(const std::string& peer,
+                                    const std::string& user,
+                                    const std::string& partition,
+                                    const common::Json& payload);
+
+  Role role() const;
+  /// Promote/demote flip the role; promotion bumps and persists the epoch
+  /// in `data_dir` when one is configured (see set_data_dir).
+  common::Result<std::uint64_t> promote();
+  void demote();
+  std::uint64_t epoch() const;
+  void set_epoch(std::uint64_t epoch);
+  /// Data dir holding the durable epoch file (usually the store's).
+  /// Empty keeps the epoch in memory only.
+  void set_data_dir(std::string data_dir);
+
+  std::vector<PeerView> peers() const;
+  const FederationOptions& options() const noexcept { return options_; }
+  /// The /admin/federation payload: self, role, epoch, peers.
+  common::Json status_json() const;
+
+ private:
+  void poll_loop();
+  void apply_peer_status(PeerView& peer, const common::Json& status,
+                         common::TimeNs now);
+
+  FederationOptions options_;
+  LocalStatusFn local_status_;
+  common::Clock* clock_;
+  telemetry::EventLog* events_;
+  telemetry::Gauge* epoch_gauge_ = nullptr;
+  telemetry::Gauge* role_gauge_ = nullptr;
+  telemetry::Counter* forwards_ = nullptr;
+  telemetry::Counter* forward_failures_ = nullptr;
+  telemetry::Counter* promotions_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::vector<PeerView> peers_;
+  Role role_ = Role::kLeader;
+  std::uint64_t epoch_ = 0;
+  std::string data_dir_;
+  bool stop_ = false;
+  std::thread poller_;
+};
+
+}  // namespace qcenv::federation

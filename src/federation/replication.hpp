@@ -1,0 +1,174 @@
+// Journal shipping: how the hot standby stays warm.
+//
+// The leader's JobJournal serves raw v2 WAL segments (whole CRC-framed
+// chunks, capped at the durable watermark); the StandbyReplicator pulls
+// them through a ReplicationSource, re-verifies every frame with the same
+// CRC decoder replay uses, and appends the clean prefix to its own
+// journal.log — so the standby's file is byte-for-byte the leader's
+// durable prefix. A torn chunk (cut stream, bit rot in transit) keeps its
+// valid prefix and is re-requested from the last good seq: replication
+// never applies a frame the leader didn't write, and never loses one the
+// leader made durable. When the follower's cursor predates the leader's
+// compaction watermark it catches up from the snapshot file instead,
+// then resumes WAL pulls above the snapshot's watermark.
+//
+// Sources:
+//   HttpReplicationSource  production — GET /admin/replication/{wal,
+//                          snapshot} on the leader over net/.
+//   FileReplicationSource  reads a leader data dir straight off local
+//                          disk: the virtual-time simtest harness, bench,
+//                          and post-mortem drains of a dead leader's
+//                          surviving disk. Carries the simtest fault
+//                          hooks (partition, torn segment).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/lag.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::federation {
+
+/// Transport-level WAL segment: store::WalSegment plus the leader's
+/// fencing epoch.
+struct WalChunk {
+  bool snapshot_needed = false;
+  std::uint64_t first_seq = 0;
+  std::uint64_t end_seq = 0;
+  std::uint64_t durable_seq = 0;
+  std::uint64_t leader_epoch = 0;
+  std::string bytes;
+};
+
+struct SnapshotChunk {
+  /// Raw snapshot.json contents, shipped verbatim.
+  std::string bytes;
+  /// Journal events with seq <= watermark are folded into the snapshot;
+  /// WAL pulls resume above it.
+  std::uint64_t watermark = 0;
+  std::uint64_t leader_epoch = 0;
+};
+
+class ReplicationSource {
+ public:
+  virtual ~ReplicationSource() = default;
+  virtual common::Result<WalChunk> fetch_wal(std::uint64_t after_seq,
+                                             std::uint64_t max_bytes) = 0;
+  virtual common::Result<SnapshotChunk> fetch_snapshot() = 0;
+};
+
+class FileReplicationSource : public ReplicationSource {
+ public:
+  explicit FileReplicationSource(std::string data_dir);
+
+  /// Re-point at a new leader's data dir (after a promotion).
+  void set_data_dir(std::string data_dir);
+  /// Simtest fault hooks: a partitioned source fails every fetch; a torn
+  /// segment cuts the next non-empty WAL chunk mid-frame and flips a byte
+  /// in it (both failure modes of a real link at once).
+  void set_partitioned(bool partitioned);
+  void tear_next_segment();
+
+  common::Result<WalChunk> fetch_wal(std::uint64_t after_seq,
+                                     std::uint64_t max_bytes) override;
+  common::Result<SnapshotChunk> fetch_snapshot() override;
+
+ private:
+  std::mutex mutex_;
+  std::string dir_;
+  bool partitioned_ = false;
+  bool tear_next_ = false;
+  /// Resume cursor so steady-state pulls read only the journal's new
+  /// tail instead of re-scanning the whole file each poll. Keyed to the
+  /// file's inode: compaction replaces the journal atomically (rename),
+  /// so an inode change invalidates the cursor and forces a full rescan.
+  std::uint64_t cursor_seq_ = 0;
+  std::uint64_t cursor_offset_ = 0;
+  std::uint64_t cursor_inode_ = 0;
+};
+
+class HttpReplicationSource : public ReplicationSource {
+ public:
+  HttpReplicationSource(std::uint16_t leader_port, std::string admin_key);
+
+  common::Result<WalChunk> fetch_wal(std::uint64_t after_seq,
+                                     std::uint64_t max_bytes) override;
+  common::Result<SnapshotChunk> fetch_snapshot() override;
+
+ private:
+  std::uint16_t port_;
+  std::string admin_key_;
+};
+
+struct ReplicatorOptions {
+  /// The standby's own store dir; journal.log and snapshot.json in it are
+  /// mirrors of the leader's, promotion-ready at every instant.
+  std::string data_dir;
+  std::uint64_t max_segment_bytes = 256 * 1024;
+};
+
+class StandbyReplicator {
+ public:
+  struct Stats {
+    std::uint64_t segments = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t torn_segments = 0;
+    std::uint64_t snapshot_catchups = 0;
+    std::uint64_t fetch_failures = 0;
+  };
+
+  /// Resumes from whatever journal.log/snapshot.json already exist in
+  /// data_dir (a restarted standby re-pulls only what it is missing).
+  StandbyReplicator(ReplicatorOptions options, ReplicationSource* source,
+                    common::Clock* clock,
+                    telemetry::MetricsRegistry* metrics,
+                    telemetry::EventLog* events);
+
+  /// One pull + apply. Returns the frames applied; an error means the
+  /// fetch failed (partition) or the leader is fenced below an epoch we
+  /// have already seen.
+  common::Result<std::size_t> poll_once();
+
+  /// Pulls until the mirror has every durable event the source can
+  /// serve (post-mortem drain before promotion, tests).
+  common::Status catch_up();
+
+  std::uint64_t applied_seq() const;
+  /// Leader's durable high-water mark at the last successful pull.
+  std::uint64_t leader_seq() const;
+  std::uint64_t leader_epoch() const;
+  std::uint64_t lag_events() const;
+  common::TimeNs last_success() const;
+  Stats stats() const;
+  const telemetry::LagTracker& lag() const { return lag_; }
+
+ private:
+  common::Status apply_snapshot(const SnapshotChunk& snapshot);
+  common::Status append_frames(std::string_view bytes);
+
+  ReplicatorOptions options_;
+  ReplicationSource* source_;
+  common::Clock* clock_;
+  telemetry::EventLog* events_;
+  telemetry::Gauge* lag_gauge_ = nullptr;
+  telemetry::Counter* segments_counter_ = nullptr;
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Counter* torn_counter_ = nullptr;
+  telemetry::Counter* catchup_counter_ = nullptr;
+  telemetry::LagTracker lag_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t leader_seq_ = 0;
+  std::uint64_t leader_epoch_ = 0;
+  common::TimeNs last_success_ = -1;
+  Stats stats_;
+};
+
+}  // namespace qcenv::federation

@@ -1,0 +1,190 @@
+#include "federation/standby.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "federation/federation.hpp"
+
+#define QCENV_LOG_COMPONENT "federation.standby"
+#include "common/logging.hpp"
+
+namespace qcenv::federation {
+
+using common::Result;
+using common::Status;
+
+StandbyDaemon::StandbyDaemon(StandbyOptions options,
+                             ReplicationSource* source,
+                             DaemonFactory factory, common::Clock* clock,
+                             telemetry::MetricsRegistry* metrics,
+                             telemetry::EventLog* events)
+    : options_(std::move(options)),
+      factory_(std::move(factory)),
+      clock_(clock),
+      events_(events),
+      replicator_({options_.data_dir, options_.max_segment_bytes}, source,
+                  clock, metrics, events) {
+  auto epoch = read_epoch(options_.data_dir);
+  if (epoch.ok()) epoch_ = epoch.value();
+  started_at_ = clock_->now();
+}
+
+StandbyDaemon::~StandbyDaemon() { stop(); }
+
+Status StandbyDaemon::start() {
+  started_at_ = clock_->now();
+  if (!options_.poll_thread) return Status::ok_status();
+  {
+    std::scoped_lock lock(mutex_);
+    if (poller_.joinable()) {
+      return common::err::failed_precondition("standby already started");
+    }
+    stop_ = false;
+  }
+  poller_ = std::thread([this] { poll_loop(); });
+  return Status::ok_status();
+}
+
+void StandbyDaemon::stop() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  if (poller_.joinable()) poller_.join();
+}
+
+void StandbyDaemon::poll_loop() {
+  const auto interval =
+      std::chrono::nanoseconds(std::max<common::DurationNs>(
+          options_.poll_interval, common::kMillisecond));
+  while (true) {
+    // Wall-clock cadence: the pull thread is production-only (the
+    // virtual-time harness calls poll_once directly), and stop() must
+    // not wait on a virtual sleep nobody will advance.
+    std::this_thread::sleep_for(interval);
+    {
+      std::scoped_lock lock(mutex_);
+      if (stop_ || promoted_) return;
+    }
+    (void)poll_once();
+    if (options_.auto_promote && lease_expired(clock_->now())) {
+      QCENV_LOG(Warn) << "leader lease expired; starting takeover";
+      auto promoted = promote();
+      if (!promoted.ok()) {
+        QCENV_LOG(Error) << "takeover failed: "
+                         << promoted.error().message();
+      }
+      return;
+    }
+  }
+}
+
+Result<std::size_t> StandbyDaemon::poll_once() {
+  return replicator_.poll_once();
+}
+
+bool StandbyDaemon::lease_expired(common::TimeNs now) const {
+  const common::TimeNs last = replicator_.last_success();
+  const common::TimeNs anchor = last >= 0 ? last : started_at_;
+  return now - anchor > options_.lease;
+}
+
+bool StandbyDaemon::promoted() const {
+  std::scoped_lock lock(mutex_);
+  return promoted_;
+}
+
+Result<daemon::MiddlewareDaemon*> StandbyDaemon::promote() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (promoted_ && daemon_ != nullptr) return daemon_.get();
+    stop_ = true;  // no more background pulls once takeover starts
+  }
+  // Final drain: pull whatever the source can still serve. A dead,
+  // unreachable leader fails here — promotion proceeds with the durable
+  // prefix already mirrored (exactly what a restart of the leader itself
+  // would recover).
+  (void)replicator_.catch_up();
+  // Fence first, THEN build: once the bumped epoch is durable, WAL from
+  // the old leader (a lower epoch) is rejected everywhere, even if this
+  // process dies before the daemon below exists.
+  auto durable = read_epoch(options_.data_dir);
+  if (!durable.ok()) return durable.error();
+  const std::uint64_t next =
+      std::max({durable.value(), replicator_.leader_epoch(), epoch_}) + 1;
+  QCENV_RETURN_IF_ERROR(write_epoch(options_.data_dir, next));
+  {
+    std::scoped_lock lock(mutex_);
+    epoch_ = next;
+  }
+  std::function<Status()> crash_hook;
+  {
+    std::scoped_lock lock(mutex_);
+    crash_hook = crash_hook_;
+  }
+  if (crash_hook) {
+    auto crashed = crash_hook();
+    if (!crashed.ok()) return crashed.error();
+  }
+  if (!factory_) {
+    return common::err::failed_precondition(
+        "standby has no daemon factory to promote with");
+  }
+  auto built = factory_(options_.data_dir);
+  if (!built.ok()) return built.error();
+  std::scoped_lock lock(mutex_);
+  daemon_ = std::move(built).value();
+  promoted_ = true;
+  if (events_ != nullptr) {
+    events_->log(clock_->now(), telemetry::Severity::kWarn,
+                 "leader_promoted",
+                 "standby promoted on '" + options_.data_dir + "' (epoch " +
+                     std::to_string(next) + ")");
+  }
+  return daemon_.get();
+}
+
+void StandbyDaemon::set_promotion_crash_hook(
+    std::function<Status()> hook) {
+  std::scoped_lock lock(mutex_);
+  crash_hook_ = std::move(hook);
+}
+
+daemon::MiddlewareDaemon* StandbyDaemon::promoted_daemon() {
+  std::scoped_lock lock(mutex_);
+  return daemon_.get();
+}
+
+std::unique_ptr<daemon::MiddlewareDaemon> StandbyDaemon::release_daemon() {
+  std::scoped_lock lock(mutex_);
+  return std::move(daemon_);
+}
+
+std::uint64_t StandbyDaemon::epoch() const {
+  std::scoped_lock lock(mutex_);
+  return epoch_;
+}
+
+common::Json StandbyDaemon::status_json() const {
+  common::Json out = common::Json::object();
+  {
+    std::scoped_lock lock(mutex_);
+    out["role"] = promoted_ ? "leader" : "standby";
+    out["epoch"] = static_cast<long long>(epoch_);
+    out["promoted"] = promoted_;
+  }
+  out["applied_seq"] = static_cast<long long>(replicator_.applied_seq());
+  out["leader_seq"] = static_cast<long long>(replicator_.leader_seq());
+  out["lag_events"] = static_cast<long long>(replicator_.lag_events());
+  out["lag"] = replicator_.lag().summary().to_json();
+  const auto stats = replicator_.stats();
+  out["segments"] = static_cast<long long>(stats.segments);
+  out["bytes"] = static_cast<long long>(stats.bytes);
+  out["torn_segments"] = static_cast<long long>(stats.torn_segments);
+  out["snapshot_catchups"] =
+      static_cast<long long>(stats.snapshot_catchups);
+  out["fetch_failures"] = static_cast<long long>(stats.fetch_failures);
+  return out;
+}
+
+}  // namespace qcenv::federation

@@ -1,0 +1,111 @@
+// StandbyDaemon: a hot standby kept warm by journal shipping.
+//
+// Runs a StandbyReplicator against the leader (HTTP in production, a
+// FileReplicationSource under the virtual-time harness) and holds a
+// lease: while pulls succeed, the leader is alive. When the lease
+// expires (or an operator calls promote()), the standby fences the
+// leader out by bumping the durable epoch file, drains whatever WAL it
+// can still reach, and builds a full MiddlewareDaemon on the mirrored
+// data dir — the existing recovery machinery restores sessions (tokens
+// intact), the job table, the usage ledger and fair-share state exactly
+// as a restart of the dead leader would have. Promotion is idempotent:
+// a crash after the epoch fence but before the daemon exists simply
+// re-runs promote(), bumping the epoch again.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "daemon/daemon.hpp"
+#include "federation/replication.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qcenv::federation {
+
+struct StandbyOptions {
+  /// The standby's own store dir: the replication mirror, and the data
+  /// dir of the promoted daemon.
+  std::string data_dir;
+  std::uint64_t max_segment_bytes = 256 * 1024;
+  common::DurationNs poll_interval = 50 * common::kMillisecond;
+  /// Leader silence (no successful pull) after which the lease expires.
+  common::DurationNs lease = 3 * common::kSecond;
+  /// Take over on lease expiry without an operator (production HA).
+  bool auto_promote = false;
+  /// Spawn the background pull thread in start(). The virtual-time
+  /// harness drives poll_once()/promote() directly instead.
+  bool poll_thread = true;
+};
+
+class StandbyDaemon {
+ public:
+  /// Builds the daemon this standby promotes into, bound to the mirrored
+  /// data dir. Supplied by the caller — it knows the fleet, options and
+  /// clock — so this module needs nothing of daemon construction.
+  using DaemonFactory =
+      std::function<common::Result<std::unique_ptr<daemon::MiddlewareDaemon>>(
+          const std::string& data_dir)>;
+
+  StandbyDaemon(StandbyOptions options, ReplicationSource* source,
+                DaemonFactory factory, common::Clock* clock,
+                telemetry::MetricsRegistry* metrics,
+                telemetry::EventLog* events);
+  ~StandbyDaemon();
+  StandbyDaemon(const StandbyDaemon&) = delete;
+  StandbyDaemon& operator=(const StandbyDaemon&) = delete;
+
+  common::Status start();
+  void stop();
+
+  /// One replication pull (virtual-time harness entry point).
+  common::Result<std::size_t> poll_once();
+
+  bool lease_expired(common::TimeNs now) const;
+  bool promoted() const;
+
+  /// Fence -> final drain -> build the daemon on the mirror. Returns the
+  /// promoted daemon (owned by this object). Idempotent across a crash
+  /// between the fence and the daemon build.
+  common::Result<daemon::MiddlewareDaemon*> promote();
+
+  /// Test/simtest injection: invoked after the epoch fence is durable
+  /// but before the daemon is built — the mid-promotion crash window.
+  /// A throwing/flagging hook models the standby dying right there.
+  void set_promotion_crash_hook(std::function<common::Status()> hook);
+
+  daemon::MiddlewareDaemon* promoted_daemon();
+  /// Transfers ownership of the promoted daemon to the caller (nullptr if
+  /// not promoted). Lets a harness keep the daemon alive while tearing
+  /// the standby machinery down and standing up a fresh mirror.
+  std::unique_ptr<daemon::MiddlewareDaemon> release_daemon();
+  StandbyReplicator& replicator() noexcept { return replicator_; }
+  std::uint64_t epoch() const;
+  common::Json status_json() const;
+
+ private:
+  void poll_loop();
+
+  StandbyOptions options_;
+  DaemonFactory factory_;
+  common::Clock* clock_;
+  telemetry::EventLog* events_;
+  StandbyReplicator replicator_;
+
+  mutable std::mutex mutex_;
+  std::function<common::Status()> crash_hook_;
+  std::unique_ptr<daemon::MiddlewareDaemon> daemon_;
+  std::uint64_t epoch_ = 0;
+  common::TimeNs started_at_ = -1;
+  bool promoted_ = false;
+  bool stop_ = false;
+  std::thread poller_;
+};
+
+}  // namespace qcenv::federation

@@ -64,7 +64,7 @@ HttpResponse HttpResponse::json(int status, const std::string& body) {
 
 HttpResponse HttpResponse::text(int status, const std::string& body) {
   HttpResponse response = json(status, body);
-  response.headers["Content-Type"] = "text/plain; version=0.0.4";
+  response.headers["Content-Type"] = "text/plain";
   return response;
 }
 

@@ -26,6 +26,9 @@ const char* to_string(FaultOp op) noexcept {
     case FaultOp::kCalibrationDrift: return "calibration_drift";
     case FaultOp::kScrapeStall: return "scrape_stall";
     case FaultOp::kEtaProbe: return "eta_probe";
+    case FaultOp::kPeerPartition: return "peer_partition";
+    case FaultOp::kTornSegment: return "torn_segment";
+    case FaultOp::kLeaderKill: return "leader_kill";
   }
   return "?";
 }
@@ -67,7 +70,11 @@ std::string FaultEvent::to_string() const {
              std::to_string(param) + "/1000 per s";
       break;
     case FaultOp::kScrapeStall:
+    case FaultOp::kPeerPartition:
       out += " for=" + std::to_string(param) + "ms";
+      break;
+    case FaultOp::kLeaderKill:
+      if (param == 1) out += " crash_mid_promotion";
       break;
     default:
       break;
@@ -204,6 +211,23 @@ FaultPlan make_fault_plan(common::Rng& rng,
     plan.events.push_back({at(0.1, 0.8), FaultOp::kEtaProbe, 0,
                            static_cast<std::uint64_t>(rng.uniform_int(
                                0, std::numeric_limits<std::int64_t>::max()))});
+  }
+  // HA ops, also appended after everything older (same stability rule).
+  for (std::size_t i = 0; i < options.peer_partitions; ++i) {
+    plan.events.push_back(
+        {at(0.15, 0.6), FaultOp::kPeerPartition, 0,
+         static_cast<std::uint64_t>(rng.uniform_int(300, 3000))});
+  }
+  for (std::size_t i = 0; i < options.torn_segments; ++i) {
+    plan.events.push_back({at(0.2, 0.7), FaultOp::kTornSegment, 0, 0});
+  }
+  for (std::size_t i = 0; i < options.leader_kills; ++i) {
+    // Late enough that real state exists to fail over; param==1 crashes
+    // the standby between the epoch fence and the daemon build, and the
+    // harness retries promotion (epochs must strictly increase).
+    plan.events.push_back({at(0.35, 0.7), FaultOp::kLeaderKill, 0,
+                           rng.bernoulli(0.5) ? std::uint64_t{1}
+                                              : std::uint64_t{0}});
   }
 
   std::stable_sort(plan.events.begin(), plan.events.end(),

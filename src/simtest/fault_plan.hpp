@@ -46,6 +46,16 @@ enum class FaultOp {
                       // mid-fault (`param` picks deterministically); the
                       // answers are interleaving-dependent, so this only
                       // asserts the engine survives every queue state
+  kPeerPartition,     // the replication link between leader and standby
+                      // drops for `param` virtual milliseconds (every pull
+                      // fails; the standby must catch up afterwards)
+  kTornSegment,       // the next shipped WAL segment arrives torn (short
+                      // read + flipped byte); the standby must reject it
+                      // and re-request instead of corrupting the mirror
+  kLeaderKill,        // the leader dies for good; the hot standby fences
+                      // (epoch bump) and promotes on the mirrored dir
+                      // (`param` = 1 injects a crash between the fence and
+                      // the daemon build, then retries promotion)
 };
 
 const char* to_string(FaultOp op) noexcept;
@@ -93,6 +103,14 @@ struct FaultPlanOptions {
   std::size_t scrape_stalls = 0;
   /// Mid-run eta/explain queries against random live jobs.
   std::size_t eta_probes = 0;
+  /// Replication-link partitions between leader and hot standby (ignored
+  /// when the scenario runs without federation).
+  std::size_t peer_partitions = 0;
+  /// Shipped WAL segments delivered torn (short + corrupt).
+  std::size_t torn_segments = 0;
+  /// Permanent leader deaths followed by standby promotion (a fresh
+  /// standby starts mirroring each promoted leader).
+  std::size_t leader_kills = 0;
 };
 
 struct FaultPlan {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -12,8 +13,15 @@
 #include "common/rng.hpp"
 #include "common/temp_dir.hpp"
 #include "daemon/daemon.hpp"
+#include "federation/federation.hpp"
+#include "federation/replication.hpp"
+#include "federation/standby.hpp"
 #include "qrmi/local_emulator.hpp"
+#include <cmath>
+
+#include "accounting/usage_ledger.hpp"
 #include "store/fault_injector.hpp"
+#include "store/recovery.hpp"
 
 #define QCENV_LOG_COMPONENT "simtest"
 #include "common/logging.hpp"
@@ -76,6 +84,113 @@ std::vector<Submission> make_workload(common::Rng& rng,
               return a.at < b.at;
             });
   return load;
+}
+
+/// Semantic equivalence of two recovered states — what a promotion
+/// actually restores. Sessions (tokens included), job records, id
+/// allocation and the sequence high-water mark must match exactly. The
+/// accounting ledger is compared as the LEDGER both sides rebuild through
+/// the production restore path (snapshot records, then journal deltas in
+/// order): a compacted leader and a full-history mirror hold the same
+/// ledger in different on-disk representations (decayed snapshot records
+/// vs raw deltas), so the raw lists themselves are not comparable.
+/// Rebuilt raw integer totals must match exactly; the decayed figures are
+/// the same exponential fold evaluated through different factorings of
+/// 2^-dt, so they get one part in 10^9. Returns "" when equivalent, else
+/// what diverged.
+std::string mirror_mismatch(const store::RecoveredState& leader,
+                            const store::RecoveredState& mirror) {
+  if (leader.last_seq != mirror.last_seq) {
+    return "sequence high-water marks differ";
+  }
+  if (leader.next_job_id != mirror.next_job_id) {
+    return "job id allocation differs (leader next_job_id " +
+           std::to_string(leader.next_job_id) + ", mirror " +
+           std::to_string(mirror.next_job_id) + ")";
+  }
+  const auto session_images = [](const store::RecoveredState& state) {
+    std::vector<std::string> out;
+    out.reserve(state.sessions.size());
+    for (auto session : state.sessions) {
+      // A restored session is treated as active-now; last_active is
+      // bookkeeping a snapshot refreshes but journal replay cannot see.
+      session.last_active = 0;
+      out.push_back(session.to_json().dump());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  if (session_images(leader) != session_images(mirror)) {
+    return "session records differ (tokens/users/classes)";
+  }
+  const auto job_images = [](const store::RecoveredState& state) {
+    std::vector<std::string> out;
+    out.reserve(state.jobs.size());
+    for (const auto& job : state.jobs) out.push_back(job.to_json().dump());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  {
+    const auto a = job_images(leader);
+    const auto b = job_images(mirror);
+    if (a != b) {
+      std::string detail;
+      for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+        const std::string& left = i < a.size() ? a[i] : std::string("<none>");
+        const std::string& right = i < b.size() ? b[i] : std::string("<none>");
+        if (left != right) {
+          detail = " [leader " + left + " vs mirror " + right + "]";
+          break;
+        }
+      }
+      return "job records differ" + detail;
+    }
+  }
+  const auto populate = [](accounting::UsageLedger& ledger,
+                           const store::RecoveredState& state) {
+    ledger.restore(state.usage);
+    for (const auto& delta : state.usage_deltas) {
+      ledger.charge(delta.user, delta.shots, delta.qpu_ns, delta.jobs,
+                    delta.time);
+    }
+  };
+  accounting::UsageLedger leader_ledger;
+  accounting::UsageLedger mirror_ledger;
+  populate(leader_ledger, leader);
+  populate(mirror_ledger, mirror);
+  TimeNs as_of = 0;
+  for (const auto* state : {&leader, &mirror}) {
+    for (const auto& record : state->usage) {
+      as_of = std::max(as_of, record.as_of);
+    }
+    for (const auto& delta : state->usage_deltas) {
+      as_of = std::max(as_of, delta.time);
+    }
+  }
+  auto users = leader_ledger.users();
+  {
+    const auto more = mirror_ledger.users();
+    users.insert(users.end(), more.begin(), more.end());
+    std::sort(users.begin(), users.end());
+    users.erase(std::unique(users.begin(), users.end()), users.end());
+  }
+  const auto close = [](double a, double b) {
+    return std::abs(a - b) <=
+           1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
+  };
+  for (const auto& user : users) {
+    const auto a = leader_ledger.usage(user, as_of);
+    const auto b = mirror_ledger.usage(user, as_of);
+    if (a.raw_shots != b.raw_shots || a.raw_jobs != b.raw_jobs ||
+        a.raw_qpu_ns != b.raw_qpu_ns) {
+      return "raw ledger totals differ for user " + user;
+    }
+    if (!close(a.shots, b.shots) ||
+        !close(a.qpu_seconds, b.qpu_seconds) || !close(a.jobs, b.jobs)) {
+      return "decayed ledger usage differs for user " + user;
+    }
+  }
+  return "";
 }
 
 /// Latency/brownout/drift model behind the emulator fault hooks. Hooks
@@ -177,9 +292,11 @@ class SimWorld {
     for (std::size_t u = 0; u < options_.users; ++u) {
       open_session(u);
     }
+    start_standby();
   }
 
   ~SimWorld() {
+    standby_.reset();
     daemon_.reset();
     store::set_fault_injector(nullptr);
   }
@@ -255,6 +372,7 @@ class SimWorld {
   /// which would skew the grid) and caps at the horizon so quiescence
   /// overshoot cannot mint extra samples.
   void pump_scrapes() {
+    pump_replication();
     if (!options_.observability) return;
     const TimeNs now = clock_.now();
     while (grid_idx_ <= max_grid_) {
@@ -432,6 +550,21 @@ class SimWorld {
         // grid deadline; the event only counts for the summary line.
         ++result_.stats.scrape_stalls;
         break;
+      case FaultOp::kPeerPartition:
+        if (standby_ == nullptr) break;
+        ++result_.stats.peer_partitions;
+        partition_until_ =
+            clock_.now() +
+            static_cast<DurationNs>(event.param) * common::kMillisecond;
+        break;
+      case FaultOp::kTornSegment:
+        if (repl_source_ == nullptr) break;
+        ++result_.stats.torn_segments;
+        repl_source_->tear_next_segment();
+        break;
+      case FaultOp::kLeaderKill:
+        leader_kill(event.param == 1);
+        break;
     }
   }
 
@@ -545,7 +678,10 @@ class SimWorld {
     // black box to <data_dir>/flight.json; surface the forensics with the
     // result before the temp dir evaporates.
     if (options_.durable) {
-      std::ifstream dump_file(dir_.path() + "/flight.json");
+      std::ifstream dump_file(data_dir_ + "/flight.json");
+      if (!dump_file.is_open() && data_dir_ != dir_.path()) {
+        dump_file.open(dir_.path() + "/flight.json");
+      }
       if (dump_file) {
         std::ostringstream dump;
         dump << dump_file.rdbuf();
@@ -724,6 +860,37 @@ class SimWorld {
     return eta_samples_;
   }
 
+  /// End-of-run mirror check for federated seeds whose leader survived:
+  /// after a final catch-up, replaying the standby's mirror must recover
+  /// exactly what replaying the live leader's disk recovers. Runs after
+  /// gather (the daemon is idle) and before the eta probe replaces it.
+  void verify_replication() {
+    if (standby_ == nullptr || daemon_->state_store() == nullptr) return;
+    partition_until_ = -1;
+    repl_source_->set_partitioned(false);
+    // The leader is idle but alive: its group-commit writer, session
+    // expiry sweeps and auto-compaction still run (and still advance
+    // virtual time), so a single pull can land between a durable append
+    // and the next. Flush-then-drain until the cut is consistent; a real
+    // divergence persists through every attempt and is still reported.
+    std::string divergence;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      // Best effort: a fail-stopped journal still serves (and must still
+      // mirror) exactly its durable prefix.
+      (void)daemon_->state_store()->flush();
+      auto drained = standby_->replicator().catch_up();
+      if (!drained.ok()) {
+        violation("replication: final catch-up failed: " +
+                  drained.error().to_string());
+        return;
+      }
+      divergence = mirror_divergence(data_dir_);
+      if (divergence.empty()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    violation("replication: " + divergence);
+  }
+
  private:
   static constexpr std::size_t kGcCap = 12;
   /// Mirrors ObservabilityOptions::drift_warmup (asserted in make_daemon
@@ -869,6 +1036,190 @@ class SimWorld {
     }
   }
 
+  /// (Re)creates the hot standby: a fresh mirror dir under ha_dir_, a
+  /// file source over the CURRENT leader dir, and a StandbyDaemon whose
+  /// factory re-points the harness at the mirror when it promotes. The
+  /// harness drives every pull itself (poll_thread=false) so replication
+  /// advances only with virtual time.
+  void start_standby() {
+    if (!options_.federation || !options_.durable) return;
+    ++standby_gen_;
+    standby_dir_ =
+        ha_dir_.path() + "/standby" + std::to_string(standby_gen_);
+    std::error_code ec;
+    std::filesystem::create_directories(standby_dir_, ec);
+    if (ec) {
+      violation("could not create standby dir: " + ec.message());
+      return;
+    }
+    repl_source_ =
+        std::make_unique<federation::FileReplicationSource>(data_dir_);
+    federation::StandbyOptions standby_options;
+    standby_options.data_dir = standby_dir_;
+    standby_options.poll_thread = false;
+    standby_ = std::make_unique<federation::StandbyDaemon>(
+        standby_options, repl_source_.get(),
+        [this](const std::string& dir)
+            -> common::Result<std::unique_ptr<daemon::MiddlewareDaemon>> {
+          data_dir_ = dir;
+          return make_daemon();
+        },
+        &clock_, nullptr, nullptr);
+  }
+
+  /// One replication pull against the leader's files, honouring any
+  /// active partition window. Rate-limited to the scrape grid so the
+  /// quiescence loop's 2 ms advances don't re-scan the journal file on
+  /// every step.
+  void pump_replication() {
+    if (standby_ == nullptr) return;
+    const TimeNs now = clock_.now();
+    repl_source_->set_partitioned(now < partition_until_);
+    if (last_repl_poll_ >= 0 && now - last_repl_poll_ < scrape_interval_) {
+      return;
+    }
+    last_repl_poll_ = now;
+    (void)standby_->poll_once();
+  }
+
+  /// Replays a data dir through the production recovery path. Pure read;
+  /// nothing running is touched.
+  common::Result<store::RecoveredState> replay_dir(
+      const std::string& dir) const {
+    return store::RecoveryReplayer::replay(dir + "/journal.log",
+                                           dir + "/snapshot.json");
+  }
+
+  /// Mirror equivalence probe: replaying the standby's mirror must
+  /// recover the same state as replaying the leader's own disk — the
+  /// "no-crash run" a restart of that leader would have seen. Returns ""
+  /// when equivalent, else what diverged.
+  std::string mirror_divergence(const std::string& leader_dir) {
+    auto leader = replay_dir(leader_dir);
+    auto mirror = replay_dir(standby_dir_);
+    if (!leader.ok() || !mirror.ok()) {
+      return "replay failed: " + (!leader.ok()
+                                      ? leader.error().to_string()
+                                      : mirror.error().to_string());
+    }
+    const std::string mismatch =
+        mirror_mismatch(leader.value(), mirror.value());
+    if (mismatch.empty()) return "";
+    return "standby mirror diverged from the leader's durable state: " +
+           mismatch + " (leader last_seq " +
+           std::to_string(leader.value().last_seq) + ", mirror last_seq " +
+           std::to_string(mirror.value().last_seq) + ")";
+  }
+
+  void check_mirror_equivalence(const std::string& leader_dir,
+                                const std::string& what) {
+    const std::string divergence = mirror_divergence(leader_dir);
+    if (!divergence.empty()) violation(what + ": " + divergence);
+  }
+
+  /// The leader dies for good. The standby drains whatever the surviving
+  /// disk can still serve, proves its mirror equals the dead leader's
+  /// durable state, fences the epoch and promotes; the promoted daemon
+  /// replaces the dead one for the rest of the scenario and a fresh
+  /// standby starts mirroring the new leader. With `crash_mid_promotion`
+  /// the standby dies between the fence and the daemon build, and the
+  /// retried promotion must find the fence durable and bump the epoch
+  /// again.
+  void leader_kill(bool crash_mid_promotion) {
+    if (standby_ == nullptr || daemon_->state_store() == nullptr) return;
+    ++result_.stats.leader_kills;
+    if (journal_healthy()) capture_durable_terminals();
+    harvest_alerts();
+    const std::string dead_dir = data_dir_;
+    // Teardown stands in for the kill (same rule as restart()); the dead
+    // leader's disk survives it, which is exactly what the final drain
+    // and the equivalence check read.
+    daemon_.reset();
+    injector_.heal();
+    disk_dead_ = false;
+    // A link partition cannot outlive the leader process: the drain runs
+    // straight off the surviving disk.
+    partition_until_ = -1;
+    repl_source_->set_partitioned(false);
+    auto drained = standby_->replicator().catch_up();
+    if (!drained.ok()) {
+      violation("leader kill: final drain failed: " +
+                drained.error().to_string());
+    }
+    check_mirror_equivalence(dead_dir, "leader kill");
+    const std::uint64_t epoch_before = standby_->epoch();
+    if (crash_mid_promotion) {
+      bool crashed = false;
+      standby_->set_promotion_crash_hook(
+          [&crashed]() -> common::Status {
+            if (crashed) return common::Status::ok_status();
+            crashed = true;
+            return common::err::io("injected crash mid-promotion");
+          });
+      auto first = standby_->promote();
+      if (first.ok()) {
+        violation("leader kill: mid-promotion crash hook never fired");
+      }
+      auto fenced = federation::read_epoch(standby_dir_);
+      if (!fenced.ok() || fenced.value() <= epoch_before) {
+        violation("leader kill: epoch fence not durable before the "
+                  "mid-promotion crash");
+      }
+    }
+    auto promoted = standby_->promote();
+    if (!promoted.ok()) {
+      violation("leader kill: promotion failed: " +
+                promoted.error().to_string());
+      // Keep the scenario alive on the old dir so quiescence still runs.
+      data_dir_ = dead_dir;
+      standby_.reset();
+      repl_source_.reset();
+      daemon_ = make_daemon();
+      return;
+    }
+    const std::uint64_t epoch_after = standby_->epoch();
+    if (epoch_after <= epoch_before ||
+        (crash_mid_promotion && epoch_after < epoch_before + 2)) {
+      violation("leader kill: promotion epochs did not strictly "
+                "increase (" +
+                std::to_string(epoch_before) + " -> " +
+                std::to_string(epoch_after) + ")");
+    }
+    ++result_.stats.promotions;
+    daemon_ = standby_->release_daemon();
+    standby_.reset();
+    repl_source_.reset();
+    // Promotion restores exactly what a restart of the dead leader would
+    // have: durably-terminal jobs unchanged, session tokens intact.
+    const auto jobs = job_table();
+    for (const auto& [id, tracked] : tracked_) {
+      if (!tracked.durable_terminal.has_value()) continue;
+      const auto it = jobs.find(id);
+      if (it == jobs.end()) {
+        if (!options_.gc) {
+          violation("job " + std::to_string(id) +
+                    " lost across promotion despite a durable terminal "
+                    "state");
+        }
+        continue;
+      }
+      if (it->second.state != *tracked.durable_terminal) {
+        violation("job " + std::to_string(id) +
+                  " changed state across promotion: " +
+                  daemon::to_string(*tracked.durable_terminal) + " -> " +
+                  daemon::to_string(it->second.state));
+      }
+    }
+    for (std::size_t u = 0; u < options_.users; ++u) {
+      const auto token = tokens_.find(u);
+      if (token == tokens_.end() ||
+          !daemon_->sessions().authenticate(token->second).ok()) {
+        open_session(u);
+      }
+    }
+    start_standby();
+  }
+
   std::map<std::uint64_t, daemon::DaemonJob> job_table() const {
     std::map<std::uint64_t, daemon::DaemonJob> out;
     for (const auto& job : daemon_->dispatcher().jobs_snapshot()) {
@@ -901,7 +1252,9 @@ class SimWorld {
           options_.max_shots * 64;
     }
     if (options_.durable) {
-      options.store.data_dir = dir_.path();
+      // data_dir_ starts as the scenario's own temp dir and re-points at
+      // the standby's mirror when a leader kill promotes it.
+      options.store.data_dir = data_dir_;
       options.store.journal.sync = store::SyncMode::kAlways;
       // Compaction is a scheduled fault event, not a background race.
       options.store.compact_every_events = 0;
@@ -989,6 +1342,17 @@ class SimWorld {
   std::vector<telemetry::AlertRecord> past_alerts_;
   bool expect_drift_alert_ = false;
   common::TempDir dir_{"qcenv-simtest-"};
+  /// The live leader's store dir (dir_ until a promotion re-points it).
+  std::string data_dir_ = dir_.path();
+  /// Standby mirror dirs live OUTSIDE the leader dir (a mirror inside it
+  /// would recursively ship itself).
+  common::TempDir ha_dir_{"qcenv-simtest-ha-"};
+  std::unique_ptr<federation::FileReplicationSource> repl_source_;
+  std::unique_ptr<federation::StandbyDaemon> standby_;
+  std::string standby_dir_;
+  std::size_t standby_gen_ = 0;
+  TimeNs partition_until_ = -1;
+  TimeNs last_repl_poll_ = -1;
   store::CountingFaultInjector injector_;
   bool disk_dead_ = false;
   std::size_t lives_ = 0;  // daemon incarnations (1 = the first boot)
@@ -1020,6 +1384,11 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
     fault_options.restarts = 0;
     fault_options.disk_fault = false;
     fault_options.compactions = 0;
+  }
+  if (!options.durable || !options.federation) {
+    fault_options.peer_partitions = 0;
+    fault_options.torn_segments = 0;
+    fault_options.leader_kills = 0;
   }
   const FaultPlan plan = make_fault_plan(fault_rng, fault_options);
   result.plan = plan.to_string();
@@ -1062,6 +1431,9 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
   world.drive_to_quiescence();
   world.finish_scrapes();
   auto input = world.gather();
+  // The mirror check needs the idle post-gather daemon; the probe below
+  // replaces it.
+  world.verify_replication();
   // The probe replaces the scenario daemon, so it must run after gather;
   // its calibration samples feed the invariant check below.
   world.run_eta_probe();
@@ -1138,6 +1510,19 @@ ScenarioOptions scenario_for_seed(std::uint64_t seed, bool quick) {
   // identical to pre-eta sweep generations, so seeds replay unchanged).
   options.faults.eta_probes =
       static_cast<std::size_t>(rng.uniform_int(0, 2));
+  // Federated HA seeds (drawn after everything older, same stability
+  // rule): a hot standby mirrors the leader via journal shipping, under
+  // link partitions, torn shipped segments and permanent leader kills
+  // with fenced promotion.
+  options.federation = options.durable && rng.bernoulli(0.4);
+  if (options.federation) {
+    // The shipping protocol is v2-only; format-migration seeds run
+    // unfederated (the forced compactions/restarts drawn above remain).
+    options.journal_v1_start = false;
+    options.faults.peer_partitions = rng.bernoulli(0.5) ? 1 : 0;
+    options.faults.torn_segments = rng.bernoulli(0.5) ? 1 : 0;
+    options.faults.leader_kills = rng.bernoulli(0.5) ? 1 : 0;
+  }
   return options;
 }
 

@@ -80,6 +80,14 @@ struct ScenarioOptions {
   bool observability = true;
   /// Scrape grid interval; 0 derives ~horizon/128 (min 1 ms).
   common::DurationNs scrape_interval = 0;
+  /// Hot-standby replication under test: a StandbyDaemon mirrors the
+  /// leader's journal over a FileReplicationSource (polled on the scrape
+  /// grid, virtual time only). Enables kPeerPartition / kTornSegment /
+  /// kLeaderKill fault ops, an end-of-run mirror-equivalence check, and —
+  /// on kLeaderKill — fenced promotion whose recovered sessions, ledger
+  /// and fair-share inputs must match what a restart of the dead leader
+  /// would have recovered. Requires `durable`.
+  bool federation = false;
 };
 
 struct ScenarioStats {
@@ -97,6 +105,10 @@ struct ScenarioStats {
   std::size_t calib_drifts = 0;
   std::size_t scrape_stalls = 0;
   std::size_t alerts_fired = 0;
+  std::size_t peer_partitions = 0;
+  std::size_t torn_segments = 0;
+  std::size_t leader_kills = 0;
+  std::size_t promotions = 0;
   common::TimeNs virtual_end = 0;
 };
 

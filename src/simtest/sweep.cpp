@@ -18,6 +18,7 @@ std::string summary_line(const ScenarioResult& result) {
                     std::to_string(stats.disk_faults) + " disk fault(s), " +
                     std::to_string(stats.calib_drifts) + " drift(s), " +
                     std::to_string(stats.alerts_fired) + " alert(s), " +
+                    std::to_string(stats.promotions) + " promotion(s), " +
                     std::to_string(stats.virtual_end /
                                    common::kMillisecond) +
                     " virtual ms";
@@ -98,6 +99,15 @@ SweepOutcome run_sweep(const SweepOptions& options, std::ostream& log) {
     const std::uint64_t seed = options.first_seed + i;
     ScenarioOptions scenario = scenario_for_seed(seed, options.quick);
     scenario.trace_dump = options.trace;
+    if (options.ha) {
+      // The HA slice: every seed runs durable + federated and loses its
+      // leader at least once, on top of whatever it drew organically.
+      scenario.durable = true;
+      scenario.journal_v1_start = false;
+      scenario.federation = true;
+      scenario.faults.leader_kills =
+          std::max<std::size_t>(scenario.faults.leader_kills, 1);
+    }
     ScenarioResult result = run_scenario(scenario);
     // Double-run determinism: a seed that injected calibration drift is
     // replayed and must fire the identical drift-alert timeline at the

@@ -27,6 +27,11 @@ struct SweepOptions {
   /// Dump each failing seed's structured-event log and per-job traces
   /// (JSON) alongside its fault schedule — `simtest_sweep --trace`.
   bool trace = false;
+  /// Force every seed onto the federated/hot-standby path (durable store,
+  /// journal shipping, at least one leader kill with fenced promotion) —
+  /// the CI HA slice. Normal sweeps still cover HA on the ~40% of durable
+  /// seeds that draw it organically.
+  bool ha = false;
 };
 
 struct SweepOutcome {

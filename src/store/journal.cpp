@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "store/crc32c.hpp"
@@ -303,6 +304,10 @@ Status write_fully(int fd, const char* data, std::size_t size,
 
 }  // namespace
 
+std::string_view wal_v2_magic() noexcept {
+  return std::string_view(kMagicV2, kMagicLen);
+}
+
 const char* to_string(SyncMode mode) noexcept {
   switch (mode) {
     case SyncMode::kNone: return "none";
@@ -434,17 +439,18 @@ Status JobJournal::open(const std::string& path,
   return Status::ok_status();
 }
 
-std::uint64_t JobJournal::append(const std::string& type, Json data) {
+std::uint64_t JobJournal::append(const std::string& type, Json data,
+                                 common::TimeNs at) {
   PendingEvent event;
   event.data = std::move(data);
-  return enqueue(type, std::move(event));
+  return enqueue(type, std::move(event), at);
 }
 
 std::uint64_t JobJournal::append_deferred(
-    const std::string& type, std::function<Json()> build) {
+    const std::string& type, std::function<Json()> build, common::TimeNs at) {
   PendingEvent event;
   event.build = std::move(build);
-  return enqueue(type, std::move(event));
+  return enqueue(type, std::move(event), at);
 }
 
 std::uint64_t JobJournal::append_job_submitted(
@@ -511,8 +517,8 @@ std::string JobJournal::serialize_pending(const PendingEvent& event,
 }
 
 std::uint64_t JobJournal::enqueue(const std::string& type,
-                                  PendingEvent event) {
-  const common::TimeNs now = clock_->now();
+                                  PendingEvent event, common::TimeNs at) {
+  const common::TimeNs now = at >= 0 ? at : clock_->now();
   std::uint64_t seq = 0;
   {
     std::unique_lock lock(mutex_);
@@ -1033,6 +1039,11 @@ Status JobJournal::drop_through(std::uint64_t watermark) {
   // a block written just before we took io_mutex_ is already included in
   // `kept`, and the writer must not add it again after we release.
   ++rewrite_epoch_;
+  // The rewrite moved every surviving frame; replication followers fall
+  // back to a full scan (and a snapshot catch-up if their cursor now
+  // precedes the compacted watermark).
+  ship_cursor_seq_ = 0;
+  ship_cursor_offset_ = 0;
   file_bytes_ = kept.size();
   file_events_ = kept_events;
   active_format_ = target;
@@ -1188,6 +1199,183 @@ Result<std::vector<JournalEntry>> read_file_v2(
 }
 
 }  // namespace
+
+namespace {
+
+/// Shared frame walk for segment shipping: collects whole valid frames
+/// with seq in (after_seq, durable_cap] into `segment`, stopping
+/// collection (but not the walk — durable_seq must still reflect the full
+/// scanned prefix) once ~max_bytes are gathered. `content` starts at a
+/// frame boundary, magic already skipped. A torn or corrupt frame ends
+/// the walk: only the clean prefix ships, and replay on the follower
+/// applies the same CRC verdicts the leader would. With `check_gap`, a
+/// cursor below the first frame's predecessor flags snapshot_needed —
+/// the events between were compacted away.
+void scan_segment_frames(std::string_view content, std::uint64_t after_seq,
+                         std::uint64_t max_bytes, std::uint64_t durable_cap,
+                         bool check_gap, WalSegment& segment,
+                         std::uint64_t& served_end,
+                         std::uint64_t& first_seen) {
+  std::size_t pos = 0;
+  first_seen = 0;
+  bool collecting = true;
+  while (pos < content.size()) {
+    if (content.size() - pos < kFrameHeaderLen) break;
+    const std::uint32_t len = get_le32(content.data() + pos);
+    const std::size_t extent = pos + kFrameHeaderLen + len;
+    if (extent > content.size()) break;
+    const char* payload = content.data() + pos + kFrameHeaderLen;
+    if (len < kFramePreludeLen ||
+        crc32c(std::string_view(payload, len)) !=
+            get_le32(content.data() + pos + 4)) {
+      break;
+    }
+    const std::uint64_t seq = get_le64(payload);
+    if (seq > durable_cap) break;
+    if (first_seen == 0) first_seen = seq;
+    segment.durable_seq = std::max(segment.durable_seq, seq);
+    if (collecting && seq > after_seq) {
+      if (!segment.bytes.empty() &&
+          segment.bytes.size() + (extent - pos) > max_bytes) {
+        collecting = false;
+      } else {
+        if (segment.first_seq == 0) segment.first_seq = seq;
+        segment.end_seq = seq;
+        segment.bytes.append(content.substr(pos, extent - pos));
+        served_end = extent;
+      }
+    }
+    pos = extent;
+  }
+  if (check_gap && first_seen > 0 && after_seq + 1 < first_seen) {
+    segment.snapshot_needed = true;
+    segment.first_seq = 0;
+    segment.end_seq = 0;
+    segment.bytes.clear();
+    served_end = 0;
+  }
+}
+
+}  // namespace
+
+Result<WalSegment> JobJournal::read_segment(std::uint64_t after_seq,
+                                            std::uint64_t max_bytes) {
+  JournalFormat format = JournalFormat::kBinaryV2;
+  std::uint64_t durable = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    durable = durable_seq_;
+    format = active_format_;
+  }
+  if (fd_ < 0) {
+    return common::err::failed_precondition("journal is not open");
+  }
+  WalSegment segment;
+  segment.durable_seq = durable;
+  if (format == JournalFormat::kJsonV1) {
+    // v1 JSON segments are not streamable; the next compaction rewrites
+    // the file as v2, and the follower bridges the gap via snapshot.
+    segment.snapshot_needed = true;
+    return segment;
+  }
+  std::scoped_lock io(io_mutex_);
+  std::uint64_t start = kMagicLen;
+  bool check_gap = true;
+  if (after_seq != 0 && after_seq == ship_cursor_seq_ &&
+      ship_cursor_offset_ >= kMagicLen) {
+    start = ship_cursor_offset_;
+    check_gap = false;  // the cursor is known-contiguous with after_seq
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  const std::uint64_t file_size = end > 0 ? static_cast<std::uint64_t>(end)
+                                          : 0;
+  if (file_size < start) {
+    // Stale cursor (should not happen — compaction resets it); rescan.
+    start = kMagicLen;
+    check_gap = true;
+  }
+  if (file_size <= start) {
+    // Durable events above the cursor with an empty journal means
+    // compaction folded them into the snapshot — the follower must
+    // bridge the gap there, not wait for frames that will never appear.
+    if (check_gap && durable > after_seq) segment.snapshot_needed = true;
+    return segment;
+  }
+  const std::string content = read_range(path_, start, file_size - start);
+  std::uint64_t served_end = 0;
+  std::uint64_t first_seen = 0;
+  scan_segment_frames(content, after_seq, max_bytes, durable, check_gap,
+                      segment, served_end, first_seen);
+  segment.durable_seq = durable;
+  if (check_gap && first_seen == 0 && durable > after_seq) {
+    // Same compacted-away case, but the file still holds the magic header
+    // plus torn bytes only.
+    segment.snapshot_needed = true;
+  }
+  if (segment.end_seq != 0) {
+    ship_cursor_seq_ = segment.end_seq;
+    ship_cursor_offset_ = start + served_end;
+    segment.next_offset = ship_cursor_offset_;
+  }
+  return segment;
+}
+
+Result<WalSegment> JobJournal::read_segment_file(const std::string& path,
+                                                 std::uint64_t after_seq,
+                                                 std::uint64_t max_bytes) {
+  WalSegment segment;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return segment;  // absent = nothing written yet
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  if (content.empty()) return segment;
+  if (content[0] == '{') {
+    segment.snapshot_needed = true;  // v1: not streamable (see above)
+    return segment;
+  }
+  const std::size_t have = std::min(content.size(), kMagicLen);
+  if (std::memcmp(content.data(), kMagicV2, have) != 0) {
+    return common::err::protocol("unrecognized journal header in '" + path +
+                                 "' (neither v1 JSON lines nor v2 frames)");
+  }
+  if (content.size() <= kMagicLen) return segment;
+  std::uint64_t served_end = 0;
+  std::uint64_t first_seen = 0;
+  scan_segment_frames(std::string_view(content).substr(kMagicLen),
+                      after_seq, max_bytes,
+                      std::numeric_limits<std::uint64_t>::max(), true,
+                      segment, served_end, first_seen);
+  if (served_end > 0) segment.next_offset = kMagicLen + served_end;
+  return segment;
+}
+
+JobJournal::FramePrefix JobJournal::validate_frames(std::string_view bytes,
+                                                    std::uint64_t after_seq) {
+  FramePrefix prefix;
+  std::uint64_t last_seq = after_seq;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderLen) break;
+    const std::uint32_t len = get_le32(bytes.data() + pos);
+    const std::size_t extent = pos + kFrameHeaderLen + len;
+    if (extent > bytes.size()) break;
+    const char* payload = bytes.data() + pos + kFrameHeaderLen;
+    if (len < kFramePreludeLen ||
+        crc32c(std::string_view(payload, len)) !=
+            get_le32(bytes.data() + pos + 4)) {
+      break;
+    }
+    const std::uint64_t seq = get_le64(payload);
+    if (seq <= last_seq) break;  // out of order / replayed frame
+    last_seq = seq;
+    pos = extent;
+    prefix.bytes = pos;
+    ++prefix.frames;
+    prefix.end_seq = seq;
+  }
+  return prefix;
+}
 
 Result<std::vector<JournalEntry>> JobJournal::read_file(
     const std::string& path, std::uint64_t* complete_prefix_bytes) {

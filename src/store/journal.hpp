@@ -40,6 +40,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -55,6 +56,10 @@
 namespace qcenv::store {
 
 enum class SyncMode { kNone, kAlways, kGroupCommit };
+
+/// The 8-byte v2 segment header, for components that mirror raw frames
+/// into a journal file of their own (the standby replicator).
+std::string_view wal_v2_magic() noexcept;
 
 const char* to_string(SyncMode mode) noexcept;
 
@@ -87,6 +92,28 @@ struct JournalEntry {
   common::Json data;
 };
 
+/// One shipped chunk of a v2 journal for standby replication: verbatim
+/// whole frames (CRCs intact end to end), contiguous with the follower's
+/// cursor, never extending past the durable watermark — a standby must
+/// not hold events the leader has not acknowledged as durable.
+struct WalSegment {
+  /// The cursor precedes the file's first frame (compaction dropped those
+  /// events) or the file is a v1 segment the shipping protocol does not
+  /// speak: the follower must catch up from a snapshot before resuming
+  /// WAL pulls.
+  bool snapshot_needed = false;
+  std::uint64_t first_seq = 0;  ///< first frame in `bytes` (0 = none)
+  std::uint64_t end_seq = 0;    ///< last frame in `bytes` (0 = none)
+  /// Leader's durable high-water mark at read time; follower replication
+  /// lag in events = durable_seq - its applied seq.
+  std::uint64_t durable_seq = 0;
+  /// Absolute file offset just past the last served frame (0 = none):
+  /// lets a file-based puller resume the next scan there instead of
+  /// re-walking the whole journal.
+  std::uint64_t next_offset = 0;
+  std::string bytes;  ///< raw frame bytes, exactly as on the leader's disk
+};
+
 class JobJournal {
  public:
   JobJournal(JournalOptions options, common::Clock* clock,
@@ -114,15 +141,21 @@ class JobJournal {
   /// Appends one event; returns its sequence number. Durability depends on
   /// the sync mode (see header comment). Serialization happens on the
   /// writer thread (except kAlways), so appending is cheap for callers
-  /// holding hot-path locks.
-  std::uint64_t append(const std::string& type, common::Json data);
+  /// holding hot-path locks. `at` (when >= 0) stamps the event instead of
+  /// a fresh clock read: callers whose in-memory mutation carries its own
+  /// timestamp (finish times, ledger charges) pass the SAME value so
+  /// replaying the journal reproduces that state exactly — two clock
+  /// reads are two different virtual instants.
+  std::uint64_t append(const std::string& type, common::Json data,
+                       common::TimeNs at = -1);
 
   /// Same, but even *building* the event body is deferred to the writer
   /// thread. `build` must be safe to call from another thread later (own
   /// its data or reference only immutable state). This keeps large bodies
   /// — a submitted job's full payload — entirely off the submit path.
   std::uint64_t append_deferred(const std::string& type,
-                                std::function<common::Json()> build);
+                                std::function<common::Json()> build,
+                                common::TimeNs at = -1);
 
   /// Specialized zero-type-erasure variant of append_deferred for the
   /// hottest event: a submitted job. The writer thread fingerprints the
@@ -209,6 +242,37 @@ class JobJournal {
       const std::string& path,
       std::uint64_t* complete_prefix_bytes = nullptr);
 
+  /// Live-journal read for replication: frames with seq > `after_seq`,
+  /// capped at the durable watermark and ~`max_bytes` (always at least
+  /// one frame when one qualifies). Safe against concurrent appends and
+  /// compaction. A follower advancing one segment at a time hits a cursor
+  /// fast path that reads only bytes past what it was already served, so
+  /// the io_mutex_ hold (shared with the group-commit writer) stays
+  /// O(new data), not O(file).
+  common::Result<WalSegment> read_segment(std::uint64_t after_seq,
+                                          std::uint64_t max_bytes);
+
+  /// Same scan over a journal file with no live journal behind it
+  /// (post-mortem shipping from a dead leader's disk, tests). Serves the
+  /// complete-frame prefix; a torn tail is ignored exactly like replay
+  /// ignores it, and durable_seq reports the prefix's last frame.
+  static common::Result<WalSegment> read_segment_file(
+      const std::string& path, std::uint64_t after_seq,
+      std::uint64_t max_bytes);
+
+  /// Validation verdict on a buffer of raw shipped frames (no magic
+  /// header): the byte length of the whole-frame CRC-clean prefix whose
+  /// seqs strictly increase from `after_seq`, plus its frame count and
+  /// last seq. bytes < buffer size means the tail was torn in transit —
+  /// the receiver appends the clean prefix and re-requests from end_seq.
+  struct FramePrefix {
+    std::uint64_t bytes = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t end_seq = 0;
+  };
+  static FramePrefix validate_frames(std::string_view bytes,
+                                     std::uint64_t after_seq);
+
  private:
   /// One event waiting for the writer thread. Exactly one of data/build/
   /// submit_payload-with-meta is meaningful (see encode_pending).
@@ -222,7 +286,8 @@ class JobJournal {
     std::shared_ptr<const quantum::Payload> submit_payload;
   };
 
-  std::uint64_t enqueue(const std::string& type, PendingEvent event);
+  std::uint64_t enqueue(const std::string& type, PendingEvent event,
+                        common::TimeNs at = -1);
   /// Records the first (sticky) I/O failure and flips the failure gauge
   /// so /metrics shows the fail-stop. Caller must hold mutex_.
   void fail_locked(common::Error error);
@@ -281,6 +346,12 @@ class JobJournal {
   bool stop_ = false;
 
   std::mutex io_mutex_;  // serializes file writes vs. compaction rewrite
+  /// Replication ship cursor (guarded by io_mutex_): the last seq served
+  /// by read_segment and the file offset just past its frame, so a
+  /// follower pulling sequentially re-reads only new bytes. Reset by
+  /// drop_through — the rewrite invalidates offsets.
+  std::uint64_t ship_cursor_seq_ = 0;
+  std::uint64_t ship_cursor_offset_ = 0;
   /// Payloads already embedded in the current journal segment, keyed by
   /// "<user>|<fingerprint>" (writer-thread dedup); cleared by
   /// drop_through(). Scoping by user means a crafted fingerprint

@@ -223,6 +223,7 @@ RecoveredState RecoveryReplayer::apply(
       } else if (entry.type == "job_cancelled") {
         job.phase = JobPhase::kCancelled;
         job.finish_time = entry.time;
+        job.error = string_or(entry.data, "error");
       } else if (entry.type == "job_evicted") {
         // The GC dropped this terminal job; its usage stays charged (the
         // deltas above already captured it) but the record is gone.

@@ -115,9 +115,10 @@ void StateStore::set_writer_heartbeat(std::function<void()> heartbeat) {
   if (journal_ != nullptr) journal_->set_heartbeat(writer_heartbeat_);
 }
 
-void StateStore::append(const std::string& type, Json data) {
+void StateStore::append(const std::string& type, Json data,
+                        common::TimeNs at) {
   if (journal_ == nullptr) return;
-  journal_->append(type, std::move(data));
+  journal_->append(type, std::move(data), at);
   note_append();
 }
 
@@ -168,29 +169,29 @@ void StateStore::job_placed(std::uint64_t id, const std::string& resource) {
 
 void StateStore::batch_dispatched(std::uint64_t id,
                                   const std::string& resource,
-                                  std::uint64_t shots) {
+                                  std::uint64_t shots, common::TimeNs at) {
   Json data = Json::object();
   data["id"] = id;
   data["resource"] = resource;
   data["shots"] = shots;
-  append("batch_dispatched", std::move(data));
+  append("batch_dispatched", std::move(data), at);
 }
 
 void StateStore::batch_done(std::uint64_t id, std::uint64_t shots,
                             common::DurationNs qpu_ns, bool final_batch,
-                            Json samples) {
+                            Json samples, common::TimeNs at) {
   Json data = Json::object();
   data["id"] = id;
   data["shots"] = shots;
   data["qpu_ns"] = qpu_ns;
   data["final"] = final_batch;
   data["samples"] = std::move(samples);
-  append("batch_done", std::move(data));
+  append("batch_done", std::move(data), at);
 }
 
 void StateStore::batch_done(std::uint64_t id, std::uint64_t shots,
                             common::DurationNs qpu_ns, bool final_batch,
-                            quantum::Samples samples) {
+                            quantum::Samples samples, common::TimeNs at) {
   if (journal_ == nullptr) return;
   journal_->append_deferred(
       "batch_done",
@@ -202,7 +203,8 @@ void StateStore::batch_done(std::uint64_t id, std::uint64_t shots,
         data["final"] = final_batch;
         data["samples"] = samples.to_json();
         return data;
-      });
+      },
+      at);
   note_append();
 }
 
@@ -217,23 +219,26 @@ void StateStore::batch_failed(std::uint64_t id, const std::string& resource,
   append("batch_failed", std::move(data));
 }
 
-void StateStore::job_completed(std::uint64_t id) {
+void StateStore::job_completed(std::uint64_t id, common::TimeNs at) {
   Json data = Json::object();
   data["id"] = id;
-  append("job_completed", std::move(data));
+  append("job_completed", std::move(data), at);
 }
 
-void StateStore::job_failed(std::uint64_t id, const std::string& error) {
+void StateStore::job_failed(std::uint64_t id, const std::string& error,
+                            common::TimeNs at) {
   Json data = Json::object();
   data["id"] = id;
   data["error"] = error;
-  append("job_failed", std::move(data));
+  append("job_failed", std::move(data), at);
 }
 
-void StateStore::job_cancelled(std::uint64_t id) {
+void StateStore::job_cancelled(std::uint64_t id, const std::string& reason,
+                               common::TimeNs at) {
   Json data = Json::object();
   data["id"] = id;
-  append("job_cancelled", std::move(data));
+  if (!reason.empty()) data["error"] = reason;
+  append("job_cancelled", std::move(data), at);
 }
 
 void StateStore::job_cancel_requested(std::uint64_t id) {

@@ -127,24 +127,34 @@ class StateStore {
   std::uint64_t job_submitted(JobRecord meta,
                               std::shared_ptr<const quantum::Payload> payload);
   void job_placed(std::uint64_t id, const std::string& resource);
+  /// `at` (when >= 0) stamps the journal event with the exact time the
+  /// caller's in-memory state recorded for the same transition (first
+  /// dispatch, finish, ledger charge): replay consumes the event time, so
+  /// a second clock read here would make the replayed state differ from
+  /// the live one.
   void batch_dispatched(std::uint64_t id, const std::string& resource,
-                        std::uint64_t shots);
+                        std::uint64_t shots, common::TimeNs at = -1);
   /// `qpu_ns` is the batch's measured QPU wall time; recovery re-charges
   /// it (with the shots) to the usage ledger.
   void batch_done(std::uint64_t id, std::uint64_t shots,
                   common::DurationNs qpu_ns, bool final_batch,
-                  common::Json samples);
+                  common::Json samples, common::TimeNs at = -1);
   /// Hot-path variant: copies the counts map now (cheap) and serializes
   /// it on the journal's writer thread, so dispatch lanes never build
   /// JSON under the dispatcher lock.
   void batch_done(std::uint64_t id, std::uint64_t shots,
                   common::DurationNs qpu_ns, bool final_batch,
-                  quantum::Samples samples);
+                  quantum::Samples samples, common::TimeNs at = -1);
   void batch_failed(std::uint64_t id, const std::string& resource,
                     std::uint64_t shots, const std::string& error);
-  void job_completed(std::uint64_t id);
-  void job_failed(std::uint64_t id, const std::string& error);
-  void job_cancelled(std::uint64_t id);
+  void job_completed(std::uint64_t id, common::TimeNs at = -1);
+  void job_failed(std::uint64_t id, const std::string& error,
+                  common::TimeNs at = -1);
+  /// `reason` is the human-readable cause the live record carries in its
+  /// error field ("session closed", ...); replay restores it so a
+  /// promoted standby serves the same explanation the dead leader did.
+  void job_cancelled(std::uint64_t id, const std::string& reason = "",
+                     common::TimeNs at = -1);
   /// Cancel landed while a batch was in flight (the terminal
   /// job_cancelled follows at the batch boundary — unless the daemon
   /// dies first, in which case replay honours this intent).
@@ -170,7 +180,8 @@ class StateStore {
   std::string snapshot_path() const;
 
  private:
-  void append(const std::string& type, common::Json data);
+  void append(const std::string& type, common::Json data,
+              common::TimeNs at = -1);
   /// Compaction-window accounting shared by every append path.
   void note_append();
   void compactor_loop();

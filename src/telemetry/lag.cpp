@@ -1,0 +1,39 @@
+#include "telemetry/lag.hpp"
+
+namespace qcenv::telemetry {
+
+common::Json LagTracker::Summary::to_json() const {
+  common::Json out = common::Json::object();
+  out["current"] = static_cast<long long>(current);
+  out["max"] = static_cast<long long>(max);
+  out["mean"] = mean;
+  out["samples"] = static_cast<long long>(samples);
+  return out;
+}
+
+void LagTracker::record(common::TimeNs at, std::uint64_t lag_events) {
+  std::scoped_lock lock(mutex_);
+  current_ = lag_events;
+  if (lag_events > max_) max_ = lag_events;
+  sum_ += static_cast<double>(lag_events);
+  ++count_;
+  recent_.push_back({at, lag_events});
+  while (recent_.size() > window_) recent_.pop_front();
+}
+
+LagTracker::Summary LagTracker::summary() const {
+  std::scoped_lock lock(mutex_);
+  Summary out;
+  out.current = current_;
+  out.max = max_;
+  out.mean = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  out.samples = count_;
+  return out;
+}
+
+std::deque<LagTracker::Sample> LagTracker::recent() const {
+  std::scoped_lock lock(mutex_);
+  return recent_;
+}
+
+}  // namespace qcenv::telemetry

@@ -1,0 +1,54 @@
+// LagTracker: replication-lag bookkeeping for the hot-standby pipeline.
+//
+// The standby replicator records (virtual time, lag-in-events) after every
+// WAL pull; the tracker folds the samples into current/max/mean and keeps
+// a bounded recent window so /admin/federation and bench_federation can
+// show the lag trajectory, not just the endpoint. Metrics registries hold
+// only the current value (a gauge) — the window lives here because lag is
+// per-replication-link state, not global daemon state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+
+namespace qcenv::telemetry {
+
+class LagTracker {
+ public:
+  struct Sample {
+    common::TimeNs at = 0;
+    std::uint64_t lag_events = 0;
+  };
+
+  struct Summary {
+    std::uint64_t current = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    std::uint64_t samples = 0;
+
+    common::Json to_json() const;
+  };
+
+  explicit LagTracker(std::size_t window = 256) : window_(window) {}
+
+  void record(common::TimeNs at, std::uint64_t lag_events);
+  Summary summary() const;
+  /// The bounded recent window, oldest first.
+  std::deque<Sample> recent() const;
+
+ private:
+  const std::size_t window_;
+  mutable std::mutex mutex_;
+  std::deque<Sample> recent_;
+  std::uint64_t current_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace qcenv::telemetry

@@ -248,6 +248,70 @@ TEST_F(ObservabilityRoutesFixture, EventFiltersBySeverityAndKind) {
   EXPECT_EQ(admin_->get("/admin/events?severity=fatal").value().status, 400);
 }
 
+TEST_F(ObservabilityRoutesFixture, EventsRejectNonNumericCursorsByName) {
+  // Garbage and negative since=/max= are 400s that NAME the offending
+  // parameter — a cursor silently parsed as 0 would replay the whole log.
+  for (const char* query : {"since=abc", "since=-1", "since=1e3"}) {
+    auto response = admin_->get(std::string("/admin/events?") + query);
+    ASSERT_TRUE(response.ok()) << query;
+    EXPECT_EQ(response.value().status, 400) << query;
+    EXPECT_NE(response.value().body.find("since"), std::string::npos)
+        << response.value().body;
+  }
+  for (const char* query : {"max=-1", "max=ten", "max=2.5"}) {
+    auto response = admin_->get(std::string("/admin/events?") + query);
+    ASSERT_TRUE(response.ok()) << query;
+    EXPECT_EQ(response.value().status, 400) << query;
+    EXPECT_NE(response.value().body.find("max"), std::string::npos)
+        << response.value().body;
+  }
+  // Valid numeric cursors still work.
+  EXPECT_EQ(admin_->get("/admin/events?since=0&max=10").value().status,
+            200);
+}
+
+TEST_F(ObservabilityRoutesFixture, TsdbQueryRejectsNonNumericTimesByName) {
+  tick(1);
+  const std::string base =
+      "/admin/tsdb/query?series=broker_resource_healthy,resource=emu0";
+  const struct {
+    const char* query;
+    const char* param;
+  } cases[] = {{"&start=abc", "start"},
+               {"&end=-5", "end"},
+               {"&window=oops&agg=mean", "window"}};
+  for (const auto& bad : cases) {
+    auto response = admin_->get(base + bad.query);
+    ASSERT_TRUE(response.ok()) << bad.query;
+    EXPECT_EQ(response.value().status, 400) << bad.query;
+    EXPECT_NE(response.value().body.find(bad.param), std::string::npos)
+        << response.value().body;
+  }
+  // The same values in their numeric spelling are accepted.
+  EXPECT_EQ(admin_->get(base + "&start=0&end=" + std::to_string(kSecond))
+                .value()
+                .status,
+            200);
+}
+
+TEST_F(ObservabilityRoutesFixture, ContentTypesCarryTheVersionOnlyOnMetrics) {
+  tick(1);
+  // /metrics speaks the Prometheus exposition format, version suffix and
+  // all — that string is the scrape contract.
+  auto metrics = admin_->get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics.value().status, 200);
+  EXPECT_EQ(metrics.value().headers.at("Content-Type"),
+            "text/plain; version=0.0.4");
+
+  // Every other text response is plain text/plain: the TSDB export is
+  // qcenv's own line format, not exposition format 0.0.4.
+  auto exported = admin_->get("/admin/tsdb/export");
+  ASSERT_TRUE(exported.ok());
+  ASSERT_EQ(exported.value().status, 200);
+  EXPECT_EQ(exported.value().headers.at("Content-Type"), "text/plain");
+}
+
 TEST_F(ObservabilityRoutesFixture, DebugDumpWritesParseableForensics) {
   tick(2);
   auto response = admin_->post("/admin/debug/dump", "{}");

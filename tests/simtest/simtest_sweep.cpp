@@ -7,6 +7,9 @@
 //   simtest_sweep --dump-check                 # nightly: force a journal
 //                                              # disk-death and validate the
 //                                              # flight recorder's forensics
+//   simtest_sweep --seeds 40 --quick --ha      # CI HA slice: every seed
+//                                              # federated, leader killed,
+//                                              # standby promoted
 //   --verbose                                  # per-seed summary lines
 //   --artifact FILE                            # append failures for CI
 //   --trace        # dump event log + per-job traces for failing seeds
@@ -28,7 +31,7 @@ namespace {
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seeds N] [--first N] [--seed N] [--quick] [--full]\n"
-               "       [--verbose] [--artifact FILE] [--trace]"
+               "       [--verbose] [--artifact FILE] [--trace] [--ha]"
                " [--dump-check]\n";
 }
 
@@ -132,6 +135,8 @@ int main(int argc, char** argv) {
       options.artifact_path = value();
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--ha") {
+      options.ha = true;
     } else if (arg == "--dump-check") {
       dump_check = true;
     } else {
